@@ -1,0 +1,40 @@
+// Ablation (ours, motivated by Section 5.2): leftmost vs rightmost valid
+// pivot. The leftmost pivot minimizes P2P transfer volume; the gap depends
+// on duplicate density and distribution ("the performance gain of this
+// optimization depends on the number of duplicate keys and the data
+// distribution").
+
+#include "benchsuite/suite.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Ablation: leftmost vs rightmost pivot selection");
+  ReportTable table(
+      "Pivot policy ablation (2e9 int32, AC922, 2 GPUs)",
+      {"distribution", "leftmost [s]", "P2P bytes [GB]", "rightmost [s]",
+       "P2P bytes [GB]"});
+  for (Distribution dist :
+       {Distribution::kUniform, Distribution::kSorted,
+        Distribution::kNearlySorted, Distribution::kZipf}) {
+    SortConfig config;
+    config.system = "ac922";
+    config.algo = Algo::kP2p;
+    config.gpus = 2;
+    config.logical_keys = 2'000'000'000;
+    config.distribution = dist;
+    core::SortStats left, right;
+    config.pivot_policy = core::PivotPolicy::kLeftmost;
+    const auto lstats = CheckOk(RunMany(config, &left));
+    config.pivot_policy = core::PivotPolicy::kRightmost;
+    const auto rstats = CheckOk(RunMany(config, &right));
+    table.AddRow({DistributionToString(dist),
+                  ReportTable::Num(lstats.Mean(), 3),
+                  ReportTable::Num(left.p2p_bytes / kGB, 2),
+                  ReportTable::Num(rstats.Mean(), 3),
+                  ReportTable::Num(right.p2p_bytes / kGB, 2)});
+  }
+  table.Emit();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Section 6 "CPU Sort Baseline": PARADIS vs library sorting primitives.
+// Reports (a) the calibrated PARADIS rates per system and (b) real
+// wall-clock measurements of our CPU substrate implementations on *this*
+// machine (std::sort, LSB radix, PARADIS-style, merge sort), which
+// reproduce the qualitative ranking (radix sorts beat comparison sorts).
+
+#include <algorithm>
+#include <chrono>
+
+#include "cpusort/cpusort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+#include "util/report.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+using namespace mgs;
+
+namespace {
+
+template <typename F>
+double TimeIt(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("CPU sort baselines (Section 6)");
+
+  ReportTable rates("Calibrated PARADIS rates (paper hosts)",
+                    {"system", "CPU", "rate [Gkeys/s, int32]",
+                     "2e9 keys [s]"});
+  for (const auto& name : topo::SystemNames()) {
+    auto topology = CheckOk(topo::MakeSystem(name));
+    const auto& cpu = topology->cpu_spec();
+    rates.AddRow({name, cpu.model,
+                  ReportTable::Num(cpu.paradis_rate_32 / 1e9, 2),
+                  ReportTable::Num(2e9 / cpu.paradis_rate_32, 2)});
+  }
+  rates.Emit();
+
+  const std::int64_t n = 4'000'000;
+  DataGenOptions gen;
+  auto base = GenerateKeys<std::int32_t>(n, gen);
+  ThreadPool pool;
+  ReportTable local(
+      "Real wall-clock of our CPU substrate (this machine, " +
+          std::to_string(pool.num_threads()) + " threads, 4e6 int32)",
+      {"algorithm", "time [ms]", "Mkeys/s"});
+
+  auto report = [&](const char* label, auto&& fn) {
+    auto data = base;
+    const double secs = TimeIt([&] { fn(data); });
+    CheckOk(std::is_sorted(data.begin(), data.end())
+                ? Status::OK()
+                : Status::Internal(std::string(label) + " failed to sort"));
+    local.AddRow({label, ReportTable::Num(secs * 1e3, 1),
+                  ReportTable::Num(static_cast<double>(n) / secs / 1e6, 1)});
+  };
+  report("std::sort", [](auto& d) { std::sort(d.begin(), d.end()); });
+  report("LSB radix sort", [&](auto& d) {
+    std::vector<std::int32_t> aux(d.size());
+    cpusort::LsbRadixSort(d.data(), aux.data(),
+                          static_cast<std::int64_t>(d.size()), &pool);
+  });
+  report("PARADIS (in-place MSD radix)", [&](auto& d) {
+    cpusort::ParadisSort(d.data(), static_cast<std::int64_t>(d.size()),
+                         &pool);
+  });
+  report("merge sort", [&](auto& d) {
+    std::vector<std::int32_t> aux(d.size());
+    cpusort::MergeSort(d.data(), aux.data(),
+                       static_cast<std::int64_t>(d.size()), &pool);
+  });
+  report("sample sort (gnu_parallel-class)", [&](auto& d) {
+    std::vector<std::int32_t> aux(d.size());
+    cpusort::SampleSort(d.data(), aux.data(),
+                        static_cast<std::int64_t>(d.size()), &pool);
+  });
+  local.Emit();
+  return 0;
+}

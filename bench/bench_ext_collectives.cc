@@ -1,0 +1,44 @@
+// Extension: collective P2P patterns (Li et al.'s Tartan-style view of the
+// interconnects). Broadcast / gather / all-to-all aggregate throughput per
+// system — the all-to-all pattern is what the RDX sort's exchange uses.
+
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/report.h"
+#include "util/units.h"
+
+using namespace mgs;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Extension: collective P2P patterns (4 GB per transfer)");
+  ReportTable table("Collectives across all GPUs",
+                    {"system", "pattern", "aggregate [GB/s]",
+                     "bottleneck (util)"});
+  for (const auto& name : topo::SystemNames()) {
+    TransferProbe probe(CheckOk(topo::MakeSystem(name)));
+    std::vector<int> gpus;
+    for (int g = 0; g < probe.topology().num_gpus(); ++g) gpus.push_back(g);
+    struct Pattern {
+      const char* label;
+      std::vector<topo::TransferOp> ops;
+    };
+    const Pattern patterns[] = {
+        {"broadcast (GPU0 -> all)",
+         TransferProbe::Broadcast(0, gpus, 4 * kGB)},
+        {"gather (all -> GPU0)", TransferProbe::Gather(0, gpus, 4 * kGB)},
+        {"pairwise ring", TransferProbe::P2pRing(gpus, 4 * kGB)},
+        {"all-to-all", TransferProbe::AllToAll(gpus, 4 * kGB)},
+    };
+    for (const auto& pattern : patterns) {
+      const auto r = CheckOk(probe.Run(pattern.ops));
+      table.AddRow(
+          {name, pattern.label,
+           ReportTable::Num(r.aggregate_throughput / kGB, 0),
+           r.bottleneck + " (" +
+               ReportTable::Num(r.bottleneck_utilization * 100, 0) + "%)"});
+    }
+  }
+  table.Emit();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension (Section 7 future work): multi-hop P2P routing. "Data
+// transfers are redirected to their destination over multiple GPUs instead
+// of traversing the host-side via PCIe 3.0. However, this strategy is
+// limited to systems where multi-hop traversals can benefit from
+// high-speed interconnects (e.g., DELTA D22x)."
+
+#include "benchsuite/suite.h"
+#include "topo/transfer_probe.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+namespace {
+
+double RunP2pSort(const std::string& system, bool multihop) {
+  auto topology = CheckOk(topo::MakeSystem(system));
+  topology->SetMultihopP2p(multihop);
+  auto platform = CheckOk(vgpu::Platform::Create(
+      std::move(topology), vgpu::PlatformOptions{2000.0}));
+  DataGenOptions gen;
+  auto keys = GenerateKeys<std::int32_t>(1'000'000, gen);  // 2e9 logical
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  core::SortOptions options;
+  options.gpu_set =
+      CheckOk(core::ChooseGpuSet(platform->topology(), 4, true));
+  return CheckOk(core::P2pSort(platform.get(), &data, options))
+      .total_seconds;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Extension: multi-hop P2P routing (Section 7)");
+
+  ReportTable transfers("Serial P2P with and without multi-hop (4 GB)",
+                        {"system", "pair", "host route [GB/s]",
+                         "multi-hop [GB/s]"});
+  struct Pair {
+    const char* system;
+    int src, dst;
+  };
+  for (const Pair& p :
+       {Pair{"delta-d22x", 0, 3}, Pair{"delta-d22x", 1, 2},
+        Pair{"ac922", 0, 2}}) {
+    auto base_topo = CheckOk(topo::MakeSystem(p.system));
+    topo::TransferProbe base(std::move(base_topo));
+    auto multi_topo = CheckOk(topo::MakeSystem(p.system));
+    multi_topo->SetMultihopP2p(true);
+    topo::TransferProbe multi(std::move(multi_topo));
+    const auto b = CheckOk(
+        base.Run({topo::TransferProbe::PtoP(p.src, p.dst, 4 * kGB)}));
+    const auto m = CheckOk(
+        multi.Run({topo::TransferProbe::PtoP(p.src, p.dst, 4 * kGB)}));
+    transfers.AddRow(
+        {p.system, std::to_string(p.src) + "->" + std::to_string(p.dst),
+         ReportTable::Num(b.aggregate_throughput / kGB, 1),
+         ReportTable::Num(m.aggregate_throughput / kGB, 1)});
+  }
+  transfers.Emit();
+
+  ReportTable sort("P2P sort, 2e9 int32 keys, 4 GPUs",
+                   {"system", "host routing [s]", "multi-hop [s]",
+                    "speedup"});
+  for (const char* system : {"delta-d22x", "ac922"}) {
+    const double base = RunP2pSort(system, false);
+    const double multi = RunP2pSort(system, true);
+    sort.AddRow({system, ReportTable::Num(base, 3),
+                 ReportTable::Num(multi, 3),
+                 ReportTable::Num(base / multi, 2)});
+  }
+  sort.Emit();
+  return 0;
+}

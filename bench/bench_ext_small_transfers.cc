@@ -1,0 +1,56 @@
+// Extension: transfer-size sweep (Pearson et al.-style CUDA-primitive
+// characterization). The paper uses 4 GB blocks where bandwidth dominates;
+// below ~1 MB the launch + wire latency takes over. Prints the classic
+// throughput-vs-size curve and the half-bandwidth point per interconnect.
+
+#include <cstdio>
+
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/report.h"
+#include "util/units.h"
+
+using namespace mgs;
+using topo::TransferProbe;
+
+namespace {
+
+void Sweep(const std::string& system, topo::TransferOp (*make)(int, int,
+                                                               double),
+           int a, int b, const char* what) {
+  TransferProbe probe(CheckOk(topo::MakeSystem(system)));
+  ReportTable table("Size sweep: " + system + " " + what,
+                    {"size", "throughput [GB/s]", "peak fraction"});
+  // Peak = throughput at 4 GB.
+  const double peak =
+      CheckOk(probe.Run({make(a, b, 4 * kGB)})).aggregate_throughput;
+  for (double size = 64e3; size <= 4e9; size *= 8) {
+    const auto r = CheckOk(probe.Run({make(a, b, size)}));
+    table.AddRow({FormatBytes(size),
+                  ReportTable::Num(r.aggregate_throughput / kGB, 2),
+                  ReportTable::Num(r.aggregate_throughput / peak, 2)});
+  }
+  table.Emit();
+}
+
+topo::TransferOp MakeHtoD(int, int gpu, double bytes) {
+  return TransferProbe::HtoD(gpu, bytes);
+}
+topo::TransferOp MakePtoP(int a, int b, double bytes) {
+  return TransferProbe::PtoP(a, b, bytes);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Extension: transfer-size sweep (latency vs bandwidth)");
+  Sweep("dgx-a100", MakeHtoD, 0, 0, "HtoD (PCIe 4.0)");
+  Sweep("dgx-a100", MakePtoP, 0, 1, "P2P (NVSwitch)");
+  Sweep("ac922", MakePtoP, 0, 1, "P2P (3x NVLink 2.0)");
+  Sweep("delta-d22x", MakePtoP, 0, 3, "P2P (host-traversing PCIe 3.0)");
+  std::printf(
+      "\nNote: wire latencies are per-hop (calibration.h); the paper's 4 GB\n"
+      "experiments sit on the bandwidth plateau, so these latencies do not\n"
+      "affect any reproduced figure.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 1: sorting 16 GB (4e9 uniform int32 keys) on the DGX A100 —
+// CPU (PARADIS) vs one-GPU Thrust vs P2P sort and HET sort on 2/4 GPUs.
+
+#include "benchsuite/suite.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Figure 1: sorting 16 GB on the DGX A100, CPU vs GPUs");
+  struct Bar {
+    const char* label;
+    Algo algo;
+    int gpus;
+    double paper_s;
+  };
+  const Bar bars[] = {
+      {"PARADIS (CPU)", Algo::kCpuParadis, 0, 2.25},
+      {"Thrust (1 GPU)", Algo::kP2p, 1, 1.47},
+      {"P2P sort (2 GPUs)", Algo::kP2p, 2, 0.75},
+      {"P2P sort (4 GPUs)", Algo::kP2p, 4, 0.45},
+      {"HET sort (2 GPUs)", Algo::kHet2n, 2, 1.09},
+      {"HET sort (4 GPUs)", Algo::kHet2n, 4, 0.75},
+  };
+  ReportTable table(
+      "Fig 1: 4e9 int32 keys, DGX A100",
+      {"configuration", "simulated [s]", "paper [s]", "ratio"});
+  for (const auto& bar : bars) {
+    SortConfig config;
+    config.system = "dgx-a100";
+    config.algo = bar.algo;
+    config.gpus = bar.gpus;
+    config.logical_keys = 4'000'000'000;
+    const auto stats = CheckOk(RunMany(config));
+    table.AddRow({bar.label, ReportTable::Num(stats.Mean(), 2),
+                  ReportTable::Num(bar.paper_s, 2),
+                  ReportTable::Num(stats.Mean() / bar.paper_s, 2)});
+  }
+  table.Emit();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 2: CPU-GPU data transfers on the IBM AC922 (serial and parallel
+// HtoD / DtoH / bidirectional, 4 GB per stream, pinned memory, NUMA 0).
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Figure 2: CPU-GPU data transfers on the IBM AC922");
+  TransferProbe probe(topo::MakeAc922());
+
+  RunTransferScenarios(
+      "Fig 2a: serial", probe,
+      {
+          {"{0,1} HtoD", {TransferProbe::HtoD(0, kCopyBytes)}, 72},
+          {"{0,1} DtoH", {TransferProbe::DtoH(0, kCopyBytes)}, 72},
+          {"{0,1} HtoD/DtoH", TransferProbe::Bidirectional({0}, kCopyBytes),
+           127},
+          {"{2,3} HtoD", {TransferProbe::HtoD(2, kCopyBytes)}, 41},
+          {"{2,3} DtoH", {TransferProbe::DtoH(2, kCopyBytes)}, 35},
+          {"{2,3} HtoD/DtoH", TransferProbe::Bidirectional({2}, kCopyBytes),
+           65},
+      });
+
+  RunTransferScenarios(
+      "Fig 2b: parallel", probe,
+      {
+          {"(0,1) HtoD",
+           {TransferProbe::HtoD(0, kCopyBytes),
+            TransferProbe::HtoD(1, kCopyBytes)},
+           141},
+          {"(0,1) DtoH",
+           {TransferProbe::DtoH(0, kCopyBytes),
+            TransferProbe::DtoH(1, kCopyBytes)},
+           109},
+          {"(0,1) HtoD/DtoH", TransferProbe::Bidirectional({0, 1}, kCopyBytes),
+           136},
+          {"(2,3) HtoD",
+           {TransferProbe::HtoD(2, kCopyBytes),
+            TransferProbe::HtoD(3, kCopyBytes)},
+           39},
+          {"(2,3) DtoH",
+           {TransferProbe::DtoH(2, kCopyBytes),
+            TransferProbe::DtoH(3, kCopyBytes)},
+           30},
+          {"(2,3) HtoD/DtoH", TransferProbe::Bidirectional({2, 3}, kCopyBytes),
+           54},
+          {"(0,1,2,3) HtoD",
+           {TransferProbe::HtoD(0, kCopyBytes),
+            TransferProbe::HtoD(1, kCopyBytes),
+            TransferProbe::HtoD(2, kCopyBytes),
+            TransferProbe::HtoD(3, kCopyBytes)},
+           74},
+          {"(0,1,2,3) DtoH",
+           {TransferProbe::DtoH(0, kCopyBytes),
+            TransferProbe::DtoH(1, kCopyBytes),
+            TransferProbe::DtoH(2, kCopyBytes),
+            TransferProbe::DtoH(3, kCopyBytes)},
+           54},
+          {"(0,1,2,3) HtoD/DtoH",
+           TransferProbe::Bidirectional({0, 1, 2, 3}, kCopyBytes), 98},
+      });
+  return 0;
+}

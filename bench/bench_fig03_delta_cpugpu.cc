@@ -1,0 +1,66 @@
+// Figure 3: CPU-GPU data transfers on the DELTA D22x M4 PS.
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Figure 3: CPU-GPU data transfers on the DELTA D22x");
+  TransferProbe probe(topo::MakeDeltaD22x());
+
+  RunTransferScenarios(
+      "Fig 3a: serial", probe,
+      {
+          {"{0,1} HtoD", {TransferProbe::HtoD(0, kCopyBytes)}, 12},
+          {"{0,1} DtoH", {TransferProbe::DtoH(0, kCopyBytes)}, 13},
+          {"{0,1} HtoD/DtoH", TransferProbe::Bidirectional({0}, kCopyBytes),
+           20},
+          {"{2,3} HtoD", {TransferProbe::HtoD(2, kCopyBytes)}, 12},
+          {"{2,3} DtoH", {TransferProbe::DtoH(2, kCopyBytes)}, 13},
+          {"{2,3} HtoD/DtoH", TransferProbe::Bidirectional({2}, kCopyBytes),
+           20},
+      });
+
+  RunTransferScenarios(
+      "Fig 3b: parallel", probe,
+      {
+          {"(0,1) HtoD",
+           {TransferProbe::HtoD(0, kCopyBytes),
+            TransferProbe::HtoD(1, kCopyBytes)},
+           24},
+          {"(0,1) DtoH",
+           {TransferProbe::DtoH(0, kCopyBytes),
+            TransferProbe::DtoH(1, kCopyBytes)},
+           26},
+          {"(0,1) HtoD/DtoH", TransferProbe::Bidirectional({0, 1}, kCopyBytes),
+           40},
+          {"(2,3) HtoD",
+           {TransferProbe::HtoD(2, kCopyBytes),
+            TransferProbe::HtoD(3, kCopyBytes)},
+           24},
+          {"(2,3) DtoH",
+           {TransferProbe::DtoH(2, kCopyBytes),
+            TransferProbe::DtoH(3, kCopyBytes)},
+           25},
+          {"(2,3) HtoD/DtoH", TransferProbe::Bidirectional({2, 3}, kCopyBytes),
+           40},
+          {"(0,1,2,3) HtoD",
+           {TransferProbe::HtoD(0, kCopyBytes),
+            TransferProbe::HtoD(1, kCopyBytes),
+            TransferProbe::HtoD(2, kCopyBytes),
+            TransferProbe::HtoD(3, kCopyBytes)},
+           49},
+          {"(0,1,2,3) DtoH",
+           {TransferProbe::DtoH(0, kCopyBytes),
+            TransferProbe::DtoH(1, kCopyBytes),
+            TransferProbe::DtoH(2, kCopyBytes),
+            TransferProbe::DtoH(3, kCopyBytes)},
+           51},
+          {"(0,1,2,3) HtoD/DtoH",
+           TransferProbe::Bidirectional({0, 1, 2, 3}, kCopyBytes), 79},
+      });
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 4: CPU-GPU data transfers on the NVIDIA DGX A100 (PCIe 4.0 with
+// one switch per GPU pair; Infinity Fabric to the remote socket).
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+namespace {
+
+std::vector<topo::TransferOp> HtoDSet(const std::vector<int>& gpus) {
+  std::vector<topo::TransferOp> ops;
+  for (int g : gpus) ops.push_back(TransferProbe::HtoD(g, kCopyBytes));
+  return ops;
+}
+
+std::vector<topo::TransferOp> DtoHSet(const std::vector<int>& gpus) {
+  std::vector<topo::TransferOp> ops;
+  for (int g : gpus) ops.push_back(TransferProbe::DtoH(g, kCopyBytes));
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 4: CPU-GPU data transfers on the DGX A100");
+  TransferProbe probe(topo::MakeDgxA100());
+  const std::vector<int> quad{0, 2, 4, 6};
+  const std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7};
+
+  RunTransferScenarios(
+      "Fig 4: serial and parallel", probe,
+      {
+          {"{0-3} HtoD", HtoDSet({0}), 24},
+          {"{0-3} DtoH", DtoHSet({0}), 24},
+          {"{0-3} HtoD/DtoH", TransferProbe::Bidirectional({0}, kCopyBytes),
+           39},
+          {"{4-7} HtoD", HtoDSet({4}), 24},
+          {"{4-7} DtoH", DtoHSet({4}), 25},
+          {"{4-7} HtoD/DtoH", TransferProbe::Bidirectional({4}, kCopyBytes),
+           32},
+          {"(0,1) HtoD", HtoDSet({0, 1}), 25},
+          {"(0,1) DtoH", DtoHSet({0, 1}), 26},
+          {"(0,1) HtoD/DtoH", TransferProbe::Bidirectional({0, 1}, kCopyBytes),
+           29},
+          {"(0,2) HtoD", HtoDSet({0, 2}), 49},
+          {"(0,2) DtoH", DtoHSet({0, 2}), 47},
+          {"(0,2) HtoD/DtoH", TransferProbe::Bidirectional({0, 2}, kCopyBytes),
+           82},
+          {"(4,6) HtoD", HtoDSet({4, 6}), 46},
+          {"(4,6) DtoH", DtoHSet({4, 6}), 47},
+          {"(4,6) HtoD/DtoH", TransferProbe::Bidirectional({4, 6}, kCopyBytes),
+           61},
+          {"(0,2,4,6) HtoD", HtoDSet(quad), 87},
+          {"(0,2,4,6) DtoH", DtoHSet(quad), 92},
+          {"(0,2,4,6) HtoD/DtoH",
+           TransferProbe::Bidirectional(quad, kCopyBytes), 113},
+          {"(0-7) HtoD", HtoDSet(all), 89},
+          {"(0-7) DtoH", DtoHSet(all), 104},
+          {"(0-7) HtoD/DtoH", TransferProbe::Bidirectional(all, kCopyBytes),
+           111},
+      });
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 5: P2P data transfers on the IBM AC922.
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Figure 5: P2P data transfers on the IBM AC922");
+  TransferProbe probe(topo::MakeAc922());
+
+  RunTransferScenarios(
+      "Fig 5a: serial", probe,
+      {
+          {"0->1", {TransferProbe::PtoP(0, 1, kCopyBytes)}, 72},
+          {"0->2", {TransferProbe::PtoP(0, 2, kCopyBytes)}, 32},
+          {"0->3", {TransferProbe::PtoP(0, 3, kCopyBytes)}, 33},
+      });
+
+  RunTransferScenarios(
+      "Fig 5b: parallel", probe,
+      {
+          {"0<->1", TransferProbe::P2pRing({0, 1}, kCopyBytes), 145},
+          {"2<->3", TransferProbe::P2pRing({2, 3}, kCopyBytes), 145},
+          {"0<->3, 1<->2", TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes),
+           53},
+      });
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 6: P2P data transfers on the DELTA D22x.
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Figure 6: P2P data transfers on the DELTA D22x");
+  TransferProbe probe(topo::MakeDeltaD22x());
+
+  RunTransferScenarios(
+      "Fig 6a: serial", probe,
+      {
+          {"0->1", {TransferProbe::PtoP(0, 1, kCopyBytes)}, 48},
+          {"0->2", {TransferProbe::PtoP(0, 2, kCopyBytes)}, 48},
+          {"0->3 (host-traversing)", {TransferProbe::PtoP(0, 3, kCopyBytes)},
+           9},
+      });
+
+  RunTransferScenarios(
+      "Fig 6b: parallel", probe,
+      {
+          {"0<->1", TransferProbe::P2pRing({0, 1}, kCopyBytes), 97},
+          {"2<->3", TransferProbe::P2pRing({2, 3}, kCopyBytes), 97},
+          {"0<->3, 1<->2", TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes),
+           30},
+      });
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: P2P data transfers on the DGX A100 (NVLink 3.0 NVSwitch).
+
+#include "topo/systems.h"
+#include "transfer_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+using topo::TransferProbe;
+
+int main() {
+  PrintBanner("Figure 7: P2P data transfers on the DGX A100");
+  TransferProbe probe(topo::MakeDgxA100());
+
+  RunTransferScenarios(
+      "Fig 7: serial and parallel", probe,
+      {
+          {"i->j (serial)", {TransferProbe::PtoP(0, 1, kCopyBytes)}, 279},
+          {"0<->1", TransferProbe::P2pRing({0, 1}, kCopyBytes), 530},
+          {"0<->2", TransferProbe::P2pRing({0, 2}, kCopyBytes), 453},
+          {"0<->6, 2<->4", TransferProbe::P2pRing({0, 2, 4, 6}, kCopyBytes),
+           894},
+          {"0<->3, 1<->2", TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes),
+           1060},
+          {"all eight",
+           TransferProbe::P2pRing({0, 1, 2, 3, 4, 5, 6, 7}, kCopyBytes),
+           2116},
+      });
+  return 0;
+}

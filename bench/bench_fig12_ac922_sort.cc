@@ -1,0 +1,21 @@
+// Figure 12: multi-GPU sort performance on the IBM AC922 — P2P sort and
+// HET sort scaling with data size (1/2/4 GPUs) and the phase breakdown at
+// 2e9 uniform int32 keys.
+
+#include "sort_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Figure 12: multi-GPU sort performance on the IBM AC922");
+  const std::vector<int> gpus{1, 2, 4};
+  const std::vector<std::int64_t> keys{500'000'000, 1'000'000'000,
+                                       2'000'000'000, 4'000'000'000,
+                                       8'000'000'000};
+  RunSortFigure("Fig 12a", "ac922", Algo::kP2p, gpus, keys,
+                {{1, 0.35}, {2, 0.24}, {4, 0.45}});
+  RunSortFigure("Fig 12b", "ac922", Algo::kHet2n, gpus, keys,
+                {{1, 0.35}, {2, 0.35}, {4, 0.45}});
+  return 0;
+}

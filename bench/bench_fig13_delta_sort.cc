@@ -1,0 +1,20 @@
+// Figure 13: multi-GPU sort performance on the DELTA D22x — P2P sort and
+// HET sort scaling (1/2/4 GPUs) and the phase breakdown at 2e9 keys.
+
+#include "sort_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Figure 13: multi-GPU sort performance on the DELTA D22x");
+  const std::vector<int> gpus{1, 2, 4};
+  const std::vector<std::int64_t> keys{500'000'000, 1'000'000'000,
+                                       2'000'000'000, 4'000'000'000,
+                                       8'000'000'000};
+  RunSortFigure("Fig 13a", "delta-d22x", Algo::kP2p, gpus, keys,
+                {{1, 1.37}, {2, 0.74}, {4, 0.64}});
+  RunSortFigure("Fig 13b", "delta-d22x", Algo::kHet2n, gpus, keys,
+                {{1, 1.37}, {2, 0.90}, {4, 0.64}});
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 14: multi-GPU sort performance on the DGX A100 — P2P sort and
+// HET sort scaling (1/2/4/8 GPUs) and the phase breakdown at 2e9 keys.
+
+#include "sort_bench_util.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Figure 14: multi-GPU sort performance on the DGX A100");
+  const std::vector<int> gpus{1, 2, 4, 8};
+  const std::vector<std::int64_t> keys{
+      1'000'000'000, 2'000'000'000, 4'000'000'000, 8'000'000'000,
+      16'000'000'000};
+  RunSortFigure("Fig 14a", "dgx-a100", Algo::kP2p, gpus, keys,
+                {{1, 0.72}, {2, 0.38}, {4, 0.25}, {8, 0.24}});
+  RunSortFigure("Fig 14b", "dgx-a100", Algo::kHet2n, gpus, keys,
+                {{1, 0.72}, {2, 0.56}, {4, 0.39}, {8, 0.37}});
+  return 0;
+}

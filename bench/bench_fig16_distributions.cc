@@ -1,0 +1,48 @@
+// Figure 16: sorting 2e9 integers of varying distributions with 2 GPUs on
+// the IBM AC922 (uniform / normal / sorted / reverse-sorted / nearly-sorted).
+
+#include "benchsuite/suite.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner(
+      "Figure 16: sorting 2e9 keys, varying distributions, AC922, 2 GPUs");
+  struct Ref {
+    Distribution dist;
+    double paper_p2p;
+    double paper_het;
+  };
+  const Ref refs[] = {
+      {Distribution::kUniform, 0.24, 0.36},
+      {Distribution::kNormal, 0.24, 0.36},
+      {Distribution::kSorted, 0.20, 0.35},
+      {Distribution::kReverseSorted, 0.26, 0.35},
+      {Distribution::kNearlySorted, 0.22, 0.35},
+  };
+  ReportTable table("Fig 16: distribution sweep (2e9 int32, AC922, 2 GPUs)",
+                    {"distribution", "P2P [s]", "paper", "HET [s]", "paper",
+                     "P2P bytes [GB]"});
+  for (const auto& ref : refs) {
+    SortConfig p2p;
+    p2p.system = "ac922";
+    p2p.algo = Algo::kP2p;
+    p2p.gpus = 2;
+    p2p.logical_keys = 2'000'000'000;
+    p2p.distribution = ref.dist;
+    core::SortStats last;
+    const auto p2p_stats = CheckOk(RunMany(p2p, &last));
+    SortConfig het = p2p;
+    het.algo = Algo::kHet2n;
+    const auto het_stats = CheckOk(RunMany(het));
+    table.AddRow({DistributionToString(ref.dist),
+                  ReportTable::Num(p2p_stats.Mean(), 2),
+                  ReportTable::Num(ref.paper_p2p, 2),
+                  ReportTable::Num(het_stats.Mean(), 2),
+                  ReportTable::Num(ref.paper_het, 2),
+                  ReportTable::Num(last.p2p_bytes / kGB, 2)});
+  }
+  table.Emit();
+  return 0;
+}

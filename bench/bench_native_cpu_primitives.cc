@@ -1,0 +1,126 @@
+// Native google-benchmark microbenchmarks of the real CPU substrate on
+// *this* machine: sorting and multiway-merge primitives. These are genuine
+// wall-clock measurements (not simulated) and complement the calibrated
+// paper-figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "cpusort/cpusort.h"
+#include "util/datagen.h"
+#include "util/thread_pool.h"
+
+using namespace mgs;
+
+namespace {
+
+std::vector<std::int32_t> MakeKeys(std::int64_t n, Distribution dist) {
+  DataGenOptions options;
+  options.distribution = dist;
+  return GenerateKeys<std::int32_t>(n, options);
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto base = MakeKeys(state.range(0), Distribution::kUniform);
+  for (auto _ : state) {
+    auto data = base;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LsbRadixSort(benchmark::State& state) {
+  const auto base = MakeKeys(state.range(0), Distribution::kUniform);
+  std::vector<std::int32_t> aux(base.size());
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::LsbRadixSort(data.data(), aux.data(), state.range(0));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LsbRadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParadisSort(benchmark::State& state) {
+  const auto base = MakeKeys(state.range(0), Distribution::kUniform);
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::ParadisSort(data.data(), state.range(0), &pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParadisSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MergeSort(benchmark::State& state) {
+  const auto base = MakeKeys(state.range(0), Distribution::kUniform);
+  std::vector<std::int32_t> aux(base.size());
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::MergeSort(data.data(), aux.data(), state.range(0));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MultiwayMerge(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::int64_t per = state.range(1);
+  std::vector<std::vector<std::int32_t>> lists(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    DataGenOptions options;
+    options.seed = static_cast<std::uint64_t>(i) + 1;
+    lists[static_cast<std::size_t>(i)] =
+        GenerateKeys<std::int32_t>(per, options);
+    std::sort(lists[static_cast<std::size_t>(i)].begin(),
+              lists[static_cast<std::size_t>(i)].end());
+  }
+  std::vector<std::int32_t> out;
+  for (auto _ : state) {
+    cpusort::MultiwayMerge(lists, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * per);
+}
+BENCHMARK(BM_MultiwayMerge)
+    ->Args({2, 1 << 18})
+    ->Args({4, 1 << 18})
+    ->Args({8, 1 << 18})
+    ->Args({16, 1 << 18});
+
+void BM_LoserTreePop(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::vector<std::int32_t>> lists(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    DataGenOptions options;
+    options.seed = static_cast<std::uint64_t>(i) + 7;
+    lists[static_cast<std::size_t>(i)] =
+        GenerateKeys<std::int32_t>(1 << 14, options);
+    std::sort(lists[static_cast<std::size_t>(i)].begin(),
+              lists[static_cast<std::size_t>(i)].end());
+  }
+  for (auto _ : state) {
+    std::vector<cpusort::LoserTree<std::int32_t>::Source> sources;
+    for (const auto& list : lists) {
+      sources.push_back({list.data(), list.data() + list.size()});
+    }
+    cpusort::LoserTree<std::int32_t> tree(std::move(sources));
+    std::int64_t sum = 0;
+    while (!tree.Empty()) {
+      sum += tree.Top();
+      tree.Pop();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * k * (1 << 14));
+}
+BENCHMARK(BM_LoserTreePop)->Arg(2)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Native google-benchmark microbenchmarks of the simulation engine itself:
+// event-queue throughput, coroutine spawn/resume cost, flow-network rate
+// recomputation, and an end-to-end simulated sort per wall-second. These
+// bound how large an experiment the simulator can drive.
+
+#include <benchmark/benchmark.h>
+
+#include "core/p2p_sort.h"
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+using namespace mgs;
+
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(static_cast<double>(i % 97), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_CoroutineSpawnJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto sleeper = [&](double d) -> sim::Task<void> {
+      co_await sim::Delay{sim, d};
+    };
+    std::vector<sim::JoinerPtr> joiners;
+    for (int i = 0; i < state.range(0); ++i) {
+      joiners.push_back(sim::Spawn(sleeper(0.001 * (i % 13 + 1))));
+    }
+    CheckOk(sim::RunToCompletion(&sim, sim::WhenAll(std::move(joiners))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineSpawnJoin)->Arg(256)->Arg(4096);
+
+void BM_FlowNetworkContention(benchmark::State& state) {
+  // N flows over a shared chain of resources: every arrival/completion
+  // triggers a full max-min recomputation.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::FlowNetwork net(&sim);
+    std::vector<sim::ResourceId> chain;
+    for (int r = 0; r < 8; ++r) {
+      chain.push_back(net.AddResource("r" + std::to_string(r), 100.0));
+    }
+    for (int f = 0; f < state.range(0); ++f) {
+      std::vector<sim::PathHop> path;
+      for (int r = f % 4; r < 8; r += 2) path.push_back({chain[static_cast<std::size_t>(r)], 1.0});
+      net.StartFlow(100.0 + f, path, [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowNetworkContention)->Arg(16)->Arg(128);
+
+void BM_EndToEndP2pSort(benchmark::State& state) {
+  // Whole-stack cost: one simulated 8-GPU P2P sort per iteration
+  // (functional work on `range` actual keys).
+  DataGenOptions gen;
+  const auto keys = GenerateKeys<std::int32_t>(state.range(0), gen);
+  for (auto _ : state) {
+    auto platform = CheckOk(vgpu::Platform::Create(
+        topo::MakeDgxA100(), vgpu::PlatformOptions{1000.0}));
+    vgpu::HostBuffer<std::int32_t> data(keys);
+    core::SortOptions options;
+    auto stats = CheckOk(core::P2pSort(platform.get(), &data, options));
+    benchmark::DoNotOptimize(stats.total_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndP2pSort)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Section 5.2 (in-text): device-local copies vs P2P transfers. The paper
+// measures local copies 3x faster than NVLink 3.0, 5x faster than 3x
+// NVLink 2.0, and 42x faster than PCIe 3.0 (host-traversing).
+
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/report.h"
+#include "util/units.h"
+
+using namespace mgs;
+using topo::TransferProbe;
+
+namespace {
+
+void Run(const std::string& system, int src, int dst, double paper_ratio,
+         const char* interconnect, ReportTable* table) {
+  TransferProbe probe(CheckOk(topo::MakeSystem(system)));
+  const double bytes = 4 * kGB;
+  const auto local = CheckOk(probe.Run({TransferProbe::DtoD(src, bytes)}));
+  const auto p2p = CheckOk(probe.Run({TransferProbe::PtoP(src, dst, bytes)}));
+  const double ratio =
+      local.aggregate_throughput / p2p.aggregate_throughput;
+  table->AddRow(
+      {system, interconnect,
+       ReportTable::Num(local.aggregate_throughput / kGB, 0),
+       ReportTable::Num(p2p.aggregate_throughput / kGB, 0),
+       ReportTable::Num(ratio, 1), ReportTable::Num(paper_ratio, 1)});
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Section 5.2: device-local copy vs P2P transfer");
+  ReportTable table("Device-local copy vs P2P (4 GB)",
+                    {"system", "P2P interconnect", "local [GB/s]",
+                     "P2P [GB/s]", "ratio", "paper ratio"});
+  Run("dgx-a100", 0, 1, 3.0, "NVLink 3.0 (NVSwitch)", &table);
+  Run("ac922", 0, 1, 5.0, "3x NVLink 2.0", &table);
+  Run("delta-d22x", 0, 3, 42.0, "PCIe 3.0 (host-traversing)", &table);
+  table.Emit();
+  return 0;
+}

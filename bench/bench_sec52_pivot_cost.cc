@@ -1,0 +1,29 @@
+// Section 5.2 (in-text): "the pivot selection accounts for 0.03% of the
+// total execution time for 2B integers on four GPUs" across the systems.
+
+#include "benchsuite/suite.h"
+
+using namespace mgs;
+using namespace mgs::bench;
+
+int main() {
+  PrintBanner("Section 5.2: pivot-selection share of the P2P sort runtime");
+  ReportTable table("Pivot selection cost (2e9 int32, 4 GPUs)",
+                    {"system", "total [s]", "pivot [us]", "share [%]",
+                     "paper share [%]"});
+  for (const auto& name : topo::SystemNames()) {
+    SortConfig config;
+    config.system = name;
+    config.algo = Algo::kP2p;
+    config.gpus = 4;
+    config.logical_keys = 2'000'000'000;
+    core::SortStats last;
+    const auto stats = CheckOk(RunMany(config, &last));
+    const double share = last.pivot_seconds / last.total_seconds * 100.0;
+    table.AddRow({name, ReportTable::Num(stats.Mean(), 3),
+                  ReportTable::Num(last.pivot_seconds * 1e6, 1),
+                  ReportTable::Num(share, 4), "0.03"});
+  }
+  table.Emit();
+  return 0;
+}

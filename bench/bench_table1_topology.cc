@@ -1,0 +1,71 @@
+// Table 1: topology and specification of the evaluated hardware platforms.
+// Prints each preset's node/link inventory and a lone-flow bandwidth matrix.
+
+#include <cstdio>
+
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/report.h"
+#include "util/units.h"
+
+using namespace mgs;
+
+namespace {
+
+void DumpSystem(const std::string& name) {
+  topo::TransferProbe probe(CheckOk(topo::MakeSystem(name)));
+  const auto& topology = probe.topology();
+  std::printf("\n%s\n", topology.Describe().c_str());
+
+  ReportTable matrix("Table 1 (" + name + "): serial P2P bandwidth matrix",
+                     [&] {
+                       std::vector<std::string> cols{"src\\dst"};
+                       for (int g = 0; g < topology.num_gpus(); ++g) {
+                         cols.push_back("GPU" + std::to_string(g));
+                       }
+                       return cols;
+                     }());
+  for (int a = 0; a < topology.num_gpus(); ++a) {
+    std::vector<std::string> row{"GPU" + std::to_string(a)};
+    for (int b = 0; b < topology.num_gpus(); ++b) {
+      if (a == b) {
+        row.push_back("-");
+        continue;
+      }
+      const double bw = CheckOk(topology.LoneFlowBandwidth(
+          topo::CopyKind::kPeerToPeer, topo::Endpoint::Gpu(a),
+          topo::Endpoint::Gpu(b)));
+      row.push_back(ReportTable::Num(bw / kGB, 0));
+    }
+    matrix.AddRow(row);
+  }
+  matrix.Emit();
+
+  ReportTable cpugpu("Table 1 (" + name + "): serial CPU-GPU bandwidth",
+                     {"GPU", "HtoD [GB/s]", "DtoH [GB/s]"});
+  for (int g = 0; g < topology.num_gpus(); ++g) {
+    cpugpu.AddRow(
+        {"GPU" + std::to_string(g),
+         ReportTable::Num(CheckOk(topology.LoneFlowBandwidth(
+                              topo::CopyKind::kHostToDevice,
+                              topo::Endpoint::HostMemory(0),
+                              topo::Endpoint::Gpu(g))) /
+                              kGB,
+                          1),
+         ReportTable::Num(CheckOk(topology.LoneFlowBandwidth(
+                              topo::CopyKind::kDeviceToHost,
+                              topo::Endpoint::Gpu(g),
+                              topo::Endpoint::HostMemory(0))) /
+                              kGB,
+                          1)});
+  }
+  cpugpu.Emit();
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table 1: evaluated hardware platforms");
+  for (const auto& name : topo::SystemNames()) DumpSystem(name);
+  return 0;
+}

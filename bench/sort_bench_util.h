@@ -1,0 +1,82 @@
+// Shared helper for the multi-GPU sorting figures (Figs. 12-14): scaling
+// curves over the key count plus the phase breakdown at 2e9 keys.
+
+#ifndef MGS_BENCH_SORT_BENCH_UTIL_H_
+#define MGS_BENCH_SORT_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+
+namespace mgs::bench {
+
+struct BreakdownRef {
+  int gpus;
+  double paper_total_s;  // figure's bar total at 2e9 keys
+};
+
+/// Emits (a) sort duration vs number of keys for each GPU count and (b) the
+/// HtoD/Sort/Merge/DtoH breakdown at 2e9 keys, with the paper's totals.
+inline void RunSortFigure(const std::string& figure,
+                          const std::string& system, Algo algo,
+                          const std::vector<int>& gpu_counts,
+                          const std::vector<std::int64_t>& key_counts,
+                          const std::vector<BreakdownRef>& refs) {
+  // Scaling curves. A configuration is skipped when the data exceeds the
+  // GPU set's memory (paper curves stop there too).
+  ReportTable curve(figure + " (top): " + AlgoToString(algo) +
+                        " scaling on " + system,
+                    [&] {
+                      std::vector<std::string> cols{"keys [1e9]"};
+                      for (int g : gpu_counts) {
+                        cols.push_back(std::to_string(g) +
+                                       (g == 1 ? " GPU [s]" : " GPUs [s]"));
+                      }
+                      return cols;
+                    }());
+  for (std::int64_t n : key_counts) {
+    std::vector<std::string> row{KeysLabel(n)};
+    for (int g : gpu_counts) {
+      SortConfig config;
+      config.system = system;
+      config.algo = algo;
+      config.gpus = g;
+      config.logical_keys = n;
+      auto stats = RunMany(config);
+      row.push_back(stats.ok() ? ReportTable::Num(stats->Mean(), 2)
+                               : std::string("-"));
+    }
+    curve.AddRow(row);
+  }
+  curve.Emit();
+
+  // Phase breakdown at 2e9 keys.
+  ReportTable breakdown(
+      figure + " (bottom): breakdown at 2e9 keys, " + AlgoToString(algo) +
+          ", " + system,
+      {"GPUs", "HtoD [s]", "Sort [s]", "Merge [s]", "DtoH [s]", "total [s]",
+       "paper total [s]"});
+  for (const auto& ref : refs) {
+    SortConfig config;
+    config.system = system;
+    config.algo = algo;
+    config.gpus = ref.gpus;
+    config.logical_keys = 2'000'000'000;
+    core::SortStats last;
+    auto stats = RunMany(config, &last);
+    if (!stats.ok()) continue;
+    breakdown.AddRow({std::to_string(ref.gpus),
+                      ReportTable::Num(last.phases.htod, 3),
+                      ReportTable::Num(last.phases.sort, 3),
+                      ReportTable::Num(last.phases.merge, 3),
+                      ReportTable::Num(last.phases.dtoh, 3),
+                      ReportTable::Num(stats->Mean(), 2),
+                      ReportTable::Num(ref.paper_total_s, 2)});
+  }
+  breakdown.Emit();
+}
+
+}  // namespace mgs::bench
+
+#endif  // MGS_BENCH_SORT_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+// Shared helper for the Section 4 interconnect benches (Figs. 2-7).
+
+#ifndef MGS_BENCH_TRANSFER_BENCH_UTIL_H_
+#define MGS_BENCH_TRANSFER_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/transfer_probe.h"
+#include "util/report.h"
+#include "util/units.h"
+
+namespace mgs::bench {
+
+inline constexpr double kCopyBytes = 4 * kGB;  // the paper's block size
+
+struct TransferScenario {
+  std::string label;
+  std::vector<topo::TransferOp> ops;
+  double paper_gbs;  // the value the paper's figure reports
+};
+
+/// Runs all scenarios on `probe` and emits a table with simulated vs paper
+/// throughput.
+inline void RunTransferScenarios(const std::string& title,
+                                 topo::TransferProbe& probe,
+                                 const std::vector<TransferScenario>& list) {
+  ReportTable table(title, {"scenario", "simulated [GB/s]", "paper [GB/s]",
+                            "ratio", "bottleneck (util)"});
+  for (const auto& scenario : list) {
+    const auto result = CheckOk(probe.Run(scenario.ops));
+    const double gbs = result.aggregate_throughput / kGB;
+    table.AddRow({scenario.label, ReportTable::Num(gbs, 1),
+                  ReportTable::Num(scenario.paper_gbs, 1),
+                  ReportTable::Num(gbs / scenario.paper_gbs, 2),
+                  result.bottleneck + " (" +
+                      ReportTable::Num(result.bottleneck_utilization * 100,
+                                       0) +
+                      "%)"});
+  }
+  table.Emit();
+}
+
+}  // namespace mgs::bench
+
+#endif  // MGS_BENCH_TRANSFER_BENCH_UTIL_H_

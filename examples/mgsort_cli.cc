@@ -1,0 +1,208 @@
+// mgsort_cli — run any single sorting experiment from the command line.
+//
+//   mgsort_cli --system=dgx-a100 --algo=p2p --gpus=4 --keys=4e9
+//              --dist=uniform --type=int32 [--trace=out.json]
+//
+// Algorithms: p2p | het2n | het3n | het2n-eager | het3n-eager | cpu | rdx.
+// Prints the phase breakdown and writes an optional chrome trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchsuite/suite.h"
+#include "core/radix_partition_sort.h"
+#include "sim/trace.h"
+#include "util/units.h"
+
+using namespace mgs;
+
+namespace {
+
+struct Args {
+  std::string system = "dgx-a100";
+  std::string algo = "p2p";
+  int gpus = 0;  // 0 = all
+  double keys = 2e9;
+  std::string dist = "uniform";
+  std::string type = "int32";
+  std::string trace_path;
+  bool multihop = false;
+};
+
+void Usage() {
+  std::printf(
+      "usage: mgsort_cli [--system=ac922|delta-d22x|dgx-a100]\n"
+      "                  [--algo=p2p|het2n|het3n|het2n-eager|het3n-eager|"
+      "cpu|rdx]\n"
+      "                  [--gpus=N] [--keys=4e9]\n"
+      "                  [--dist=uniform|normal|sorted|reverse-sorted|"
+      "nearly-sorted|zipf]\n"
+      "                  [--type=int32|int64|float32|float64]\n"
+      "                  [--multihop] [--trace=out.json]\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--system", &value)) {
+      args.system = value;
+    } else if (ParseFlag(argv[i], "--algo", &value)) {
+      args.algo = value;
+    } else if (ParseFlag(argv[i], "--gpus", &value)) {
+      args.gpus = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--keys", &value)) {
+      args.keys = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--dist", &value)) {
+      args.dist = value;
+    } else if (ParseFlag(argv[i], "--type", &value)) {
+      args.type = value;
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      args.trace_path = value;
+    } else if (std::strcmp(argv[i], "--multihop") == 0) {
+      args.multihop = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      std::exit(0);
+    } else {
+      return Status::Invalid(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  return args;
+}
+
+Result<DataType> ParseType(const std::string& name) {
+  if (name == "int32") return DataType::kInt32;
+  if (name == "int64") return DataType::kInt64;
+  if (name == "float32") return DataType::kFloat32;
+  if (name == "float64") return DataType::kFloat64;
+  return Status::Invalid("unknown type: " + name);
+}
+
+template <typename T>
+Result<core::SortStats> RunExperiment(const Args& args,
+                                      sim::TraceRecorder* trace) {
+  const std::int64_t logical = static_cast<std::int64_t>(args.keys);
+  const std::int64_t actual =
+      std::max<std::int64_t>(1, std::min(logical, bench::ActualKeyCap()));
+  vgpu::PlatformOptions popts;
+  popts.scale =
+      std::max(1.0, static_cast<double>(logical) / static_cast<double>(actual));
+  MGS_ASSIGN_OR_RETURN(auto topology, topo::MakeSystem(args.system));
+  topology->SetMultihopP2p(args.multihop);
+  MGS_ASSIGN_OR_RETURN(auto platform,
+                       vgpu::Platform::Create(std::move(topology), popts));
+  platform->SetTrace(trace);
+
+  DataGenOptions gen;
+  MGS_ASSIGN_OR_RETURN(gen.distribution, DistributionFromString(args.dist));
+  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
+  const int gpus =
+      args.gpus > 0 ? args.gpus : platform->num_devices();
+
+  core::SortStats stats;
+  if (args.algo == "cpu") {
+    MGS_ASSIGN_OR_RETURN(stats, core::CpuSortBaseline(platform.get(), &data));
+  } else if (args.algo == "p2p") {
+    core::SortOptions options;
+    MGS_ASSIGN_OR_RETURN(options.gpu_set,
+                         core::ChooseGpuSet(platform->topology(), gpus, true));
+    MGS_ASSIGN_OR_RETURN(stats, core::P2pSort(platform.get(), &data, options));
+  } else if (args.algo == "rdx") {
+    core::RadixPartitionOptions options;
+    MGS_ASSIGN_OR_RETURN(
+        options.gpu_set,
+        core::ChooseGpuSet(platform->topology(), gpus, false));
+    MGS_ASSIGN_OR_RETURN(
+        stats, core::RadixPartitionSort(platform.get(), &data, options));
+  } else if (args.algo.rfind("het", 0) == 0) {
+    core::HetOptions options;
+    options.scheme = args.algo.find("3n") != std::string::npos
+                         ? core::BufferScheme::k3n
+                         : core::BufferScheme::k2n;
+    options.eager_merge = args.algo.find("eager") != std::string::npos;
+    MGS_ASSIGN_OR_RETURN(
+        options.gpu_set,
+        core::ChooseGpuSet(platform->topology(), gpus, false));
+    MGS_ASSIGN_OR_RETURN(stats, core::HetSort(platform.get(), &data, options));
+  } else {
+    return Status::Invalid("unknown algorithm: " + args.algo);
+  }
+
+  if (!std::is_sorted(data.vector().begin(), data.vector().end())) {
+    return Status::Internal("output is not sorted");
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args_or = Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::fprintf(stderr, "%s\n", args_or.status().ToString().c_str());
+    Usage();
+    return 1;
+  }
+  const Args& args = *args_or;
+
+  sim::TraceRecorder trace;
+  sim::TraceRecorder* trace_ptr =
+      args.trace_path.empty() ? nullptr : &trace;
+
+  auto type = ParseType(args.type);
+  if (!type.ok()) {
+    std::fprintf(stderr, "%s\n", type.status().ToString().c_str());
+    return 1;
+  }
+  Result<core::SortStats> stats = Status::Internal("unreachable");
+  switch (*type) {
+    case DataType::kInt32:
+      stats = RunExperiment<std::int32_t>(args, trace_ptr);
+      break;
+    case DataType::kInt64:
+      stats = RunExperiment<std::int64_t>(args, trace_ptr);
+      break;
+    case DataType::kFloat32:
+      stats = RunExperiment<float>(args, trace_ptr);
+      break;
+    case DataType::kFloat64:
+      stats = RunExperiment<double>(args, trace_ptr);
+      break;
+  }
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s on %s, %s of %s (%s)\n", stats->algorithm.c_str(),
+              args.system.c_str(), FormatKeys(stats->keys).c_str(),
+              args.type.c_str(), args.dist.c_str());
+  std::printf("  total : %s (simulated)\n",
+              FormatDuration(stats->total_seconds).c_str());
+  std::printf("  HtoD  : %s\n", FormatDuration(stats->phases.htod).c_str());
+  std::printf("  sort  : %s\n", FormatDuration(stats->phases.sort).c_str());
+  std::printf("  merge : %s\n", FormatDuration(stats->phases.merge).c_str());
+  std::printf("  DtoH  : %s\n", FormatDuration(stats->phases.dtoh).c_str());
+  if (stats->p2p_bytes > 0) {
+    std::printf("  P2P   : %s exchanged\n",
+                FormatBytes(stats->p2p_bytes).c_str());
+  }
+  if (trace_ptr) {
+    CheckOk(trace.WriteChromeTrace(args.trace_path));
+    std::printf("  trace : %s (%zu spans; open in ui.perfetto.dev)\n",
+                args.trace_path.c_str(), trace.size());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Out-of-core sorting: 240 GB (60e9 int32 keys) on a simulated DGX A100 —
+// far beyond the 8 x 40 GB of combined GPU memory. HET sort streams chunk
+// groups through the GPUs and multiway-merges on the CPU (Section 6.2).
+// Compares the 2n and 3n buffer schemes and eager merging.
+
+#include <cstdio>
+
+#include "core/api.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+#include "util/units.h"
+#include "vgpu/platform.h"
+
+using namespace mgs;
+
+namespace {
+
+core::SortStats RunVariant(core::BufferScheme scheme, bool eager) {
+  vgpu::PlatformOptions options;
+  options.scale = 60'000.0;  // 60e9 logical keys over 1e6 actual
+  auto platform =
+      CheckOk(vgpu::Platform::Create(topo::MakeDgxA100(), options));
+  DataGenOptions gen;
+  auto keys = GenerateKeys<std::int32_t>(1'000'000, gen);
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+
+  core::HetOptions het;
+  het.scheme = scheme;
+  het.eager_merge = eager;
+  het.gpu_memory_budget = 33e9;  // the paper's per-GPU budget
+  auto stats = CheckOk(core::HetSort(platform.get(), &data, het));
+  CheckOk(std::is_sorted(data.vector().begin(), data.vector().end())
+              ? Status::OK()
+              : Status::Internal("output not sorted"));
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sorting 60e9 int32 keys (240 GB) on a DGX A100 (8 GPUs)\n\n");
+  std::printf("%-10s %-7s %-12s %-8s %-10s\n", "scheme", "eager", "total",
+              "groups", "final k");
+  for (auto scheme : {core::BufferScheme::k3n, core::BufferScheme::k2n}) {
+    for (bool eager : {false, true}) {
+      const auto stats = RunVariant(scheme, eager);
+      std::printf("%-10s %-7s %-12s %-8d %-10d\n",
+                  core::BufferSchemeToString(scheme), eager ? "yes" : "no",
+                  FormatDuration(stats.total_seconds).c_str(),
+                  stats.chunk_groups, stats.final_merge_sublists);
+    }
+  }
+  std::printf(
+      "\nTakeaways (Section 6.2): 2n and 3n sort equally fast without\n"
+      "eager merging; eager merging loses because the CPU merge competes\n"
+      "with the bidirectional transfers for host memory bandwidth.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Topology explorer: dump each preset platform's interconnects, its
+// CPU-GPU and P2P bandwidth characteristics, and the GPU sets the library
+// would pick for sorting (Section 5.4).
+
+#include <cstdio>
+
+#include "core/gpu_set.h"
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/units.h"
+
+using namespace mgs;
+
+int main() {
+  for (const auto& name : topo::SystemNames()) {
+    topo::TransferProbe probe(CheckOk(topo::MakeSystem(name)));
+    const auto& topology = probe.topology();
+    std::printf("==============================================\n");
+    std::printf("%s\n", topology.Describe().c_str());
+
+    // Parallel HtoD scaling: 1, 2, ..., all GPUs.
+    std::printf("Parallel HtoD aggregate (4 GB per GPU, NUMA 0):\n");
+    for (int g = 1; g <= topology.num_gpus(); g *= 2) {
+      auto set = CheckOk(core::ChooseGpuSet(topology, g, false));
+      std::vector<topo::TransferOp> ops;
+      std::string label;
+      for (int id : set) {
+        ops.push_back(topo::TransferProbe::HtoD(id, 4 * kGB));
+        label += std::to_string(id) + " ";
+      }
+      const auto result = CheckOk(probe.Run(ops));
+      std::printf("  %d GPU(s) [%s]: %s\n", g, label.c_str(),
+                  FormatThroughput(result.aggregate_throughput).c_str());
+    }
+
+    // Best P2P-ordered sets.
+    std::printf("P2P-sort GPU sets (ordered for the merge phase):\n");
+    for (int g = 2; g <= topology.num_gpus(); g *= 2) {
+      auto set = CheckOk(core::ChooseGpuSet(topology, g, true));
+      std::string label;
+      for (int id : set) label += std::to_string(id) + " ";
+      const double cost = CheckOk(core::P2pOrderCost(topology, set));
+      std::printf("  g=%d: [%s] (merge cost %.3g s/GB)\n", g, label.c_str(),
+                  cost * kGB);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "benchsuite/suite.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace mgs::bench {
+
+const char* AlgoToString(Algo algo) {
+  switch (algo) {
+    case Algo::kP2p:
+      return "P2P sort";
+    case Algo::kHet2n:
+      return "HET sort (2n)";
+    case Algo::kHet3n:
+      return "HET sort (3n)";
+    case Algo::kHet2nEager:
+      return "HET sort (2n+EM)";
+    case Algo::kHet3nEager:
+      return "HET sort (3n+EM)";
+    case Algo::kCpuParadis:
+      return "PARADIS (CPU)";
+  }
+  return "unknown";
+}
+
+std::int64_t ActualKeyCap() {
+  if (const char* env = std::getenv("MGS_BENCH_ACTUAL_KEYS")) {
+    const std::int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return 2'000'000;
+}
+
+int Repeats() {
+  if (const char* env = std::getenv("MGS_BENCH_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+namespace {
+
+template <typename T>
+Result<core::SortStats> RunTyped(const SortConfig& config) {
+  const std::int64_t cap = ActualKeyCap();
+  const std::int64_t actual =
+      std::max<std::int64_t>(1, std::min(config.logical_keys, cap));
+  const double scale =
+      static_cast<double>(config.logical_keys) / static_cast<double>(actual);
+  vgpu::PlatformOptions popts;
+  popts.scale = std::max(1.0, scale);
+  MGS_ASSIGN_OR_RETURN(auto topology, topo::MakeSystem(config.system));
+  MGS_ASSIGN_OR_RETURN(auto platform,
+                       vgpu::Platform::Create(std::move(topology), popts));
+
+  DataGenOptions gen;
+  gen.distribution = config.distribution;
+  gen.seed = config.seed;
+  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
+  // Order-independent fingerprint: the output must be a permutation of the
+  // input, not merely sorted (guards against dropped/duplicated keys).
+  auto fingerprint = [](const std::vector<T>& v) {
+    std::uint64_t h = 0;
+    for (const T& x : v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &x, sizeof(T) < 8 ? sizeof(T) : 8);
+      bits = (bits ^ (bits >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h += bits ^ (bits >> 27);
+    }
+    return h;
+  };
+  const std::uint64_t input_fingerprint = fingerprint(data.vector());
+
+  core::SortStats stats;
+  if (config.algo == Algo::kCpuParadis) {
+    MGS_ASSIGN_OR_RETURN(stats,
+                         core::CpuSortBaseline(platform.get(), &data));
+  } else if (config.algo == Algo::kP2p) {
+    core::SortOptions options;
+    options.device_sort = config.device_sort;
+    options.pivot_policy = config.pivot_policy;
+    options.gpu_set = config.gpu_set;
+    if (options.gpu_set.empty() && config.gpus > 0) {
+      MGS_ASSIGN_OR_RETURN(
+          options.gpu_set,
+          core::ChooseGpuSet(platform->topology(), config.gpus,
+                             /*for_p2p_merge=*/true));
+    }
+    MGS_ASSIGN_OR_RETURN(stats, core::P2pSort(platform.get(), &data, options));
+  } else {
+    core::HetOptions options;
+    options.device_sort = config.device_sort;
+    options.gpu_set = config.gpu_set;
+    options.scheme = (config.algo == Algo::kHet2n ||
+                      config.algo == Algo::kHet2nEager)
+                         ? core::BufferScheme::k2n
+                         : core::BufferScheme::k3n;
+    options.eager_merge = config.algo == Algo::kHet2nEager ||
+                          config.algo == Algo::kHet3nEager;
+    options.gpu_memory_budget = config.het_gpu_memory_budget;
+    if (options.gpu_set.empty() && config.gpus > 0) {
+      MGS_ASSIGN_OR_RETURN(
+          options.gpu_set,
+          core::ChooseGpuSet(platform->topology(), config.gpus,
+                             /*for_p2p_merge=*/false));
+    }
+    MGS_ASSIGN_OR_RETURN(stats, core::HetSort(platform.get(), &data, options));
+  }
+
+  if (!std::is_sorted(data.vector().begin(), data.vector().end())) {
+    return Status::Internal("benchmark produced unsorted output: " +
+                            std::string(AlgoToString(config.algo)) + " on " +
+                            config.system);
+  }
+  if (fingerprint(data.vector()) != input_fingerprint) {
+    return Status::Internal(
+        "benchmark output is not a permutation of its input: " +
+        std::string(AlgoToString(config.algo)) + " on " + config.system);
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<core::SortStats> RunOnce(const SortConfig& config) {
+  switch (config.type) {
+    case DataType::kInt32:
+      return RunTyped<std::int32_t>(config);
+    case DataType::kInt64:
+      return RunTyped<std::int64_t>(config);
+    case DataType::kFloat32:
+      return RunTyped<float>(config);
+    case DataType::kFloat64:
+      return RunTyped<double>(config);
+  }
+  return Status::Invalid("unknown data type");
+}
+
+Result<RunningStats> RunMany(SortConfig config, core::SortStats* last) {
+  RunningStats stats;
+  const int repeats = Repeats();
+  for (int r = 0; r < repeats; ++r) {
+    config.seed = 42 + static_cast<std::uint64_t>(r) * 1000003;
+    MGS_ASSIGN_OR_RETURN(auto run, RunOnce(config));
+    stats.Add(run.total_seconds);
+    if (last) *last = run;
+  }
+  return stats;
+}
+
+std::string KeysLabel(std::int64_t keys) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(keys) / 1e9);
+  return buf;
+}
+
+}  // namespace mgs::bench

@@ -1,0 +1,79 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries
+// (bench/): experiment configs, environment knobs, and one-shot runners
+// that build a fresh platform per run.
+//
+// Environment variables:
+//   MGS_BENCH_ACTUAL_KEYS  cap on *actual* (functional) keys per run
+//                          (default 2'000'000; raise for higher-fidelity
+//                          pivots, lower for speed)
+//   MGS_BENCH_REPEATS      repetitions per data point (default 3; the
+//                          paper uses 10)
+//   MGS_BENCH_CSV_DIR      also write every table as CSV into this dir
+
+#ifndef MGS_BENCHSUITE_SUITE_H_
+#define MGS_BENCHSUITE_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+#include "util/report.h"
+#include "util/stats.h"
+#include "vgpu/platform.h"
+
+namespace mgs::bench {
+
+/// Which sort to run.
+enum class Algo {
+  kP2p,
+  kHet2n,
+  kHet3n,
+  kHet2nEager,
+  kHet3nEager,
+  kCpuParadis,
+};
+
+const char* AlgoToString(Algo algo);
+
+/// One experiment data point.
+struct SortConfig {
+  std::string system;             // "ac922" | "delta-d22x" | "dgx-a100"
+  Algo algo = Algo::kP2p;
+  int gpus = 0;                   // 0 = all; ignored for kCpuParadis
+  std::vector<int> gpu_set;       // explicit override (ordered)
+  std::int64_t logical_keys = 0;  // paper-scale key count
+  DataType type = DataType::kInt32;
+  Distribution distribution = Distribution::kUniform;
+  std::uint64_t seed = 42;
+  double het_gpu_memory_budget = 0;  // per-GPU byte budget (0 = all)
+  gpusort::SortAlgo device_sort = gpusort::SortAlgo::kThrustRadix;
+  core::PivotPolicy pivot_policy = core::PivotPolicy::kLeftmost;
+};
+
+/// Cap on functional (actual) keys per run; logical sizes above the cap
+/// use the scale model.
+std::int64_t ActualKeyCap();
+
+/// Repeats per data point.
+int Repeats();
+
+/// Runs one configuration once (fresh platform, fresh data) and returns
+/// the stats. Verifies the output is sorted (aborts on corruption: a
+/// benchmark must never report timings for wrong results).
+Result<core::SortStats> RunOnce(const SortConfig& config);
+
+/// Runs `Repeats()` times with varying seeds; returns per-run stats of the
+/// total duration, and the stats object of the last run in `last` (for
+/// phase breakdowns) if non-null.
+Result<RunningStats> RunMany(SortConfig config,
+                             core::SortStats* last = nullptr);
+
+/// "2.0" style label for a key count in units of 1e9 (the paper's x-axes).
+std::string KeysLabel(std::int64_t keys);
+
+}  // namespace mgs::bench
+
+#endif  // MGS_BENCHSUITE_SUITE_H_

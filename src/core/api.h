@@ -1,0 +1,23 @@
+// Public umbrella API for multi-GPU sorting.
+//
+// Quickstart:
+//
+//   auto platform = mgs::vgpu::Platform::Create(mgs::topo::MakeDgxA100());
+//   mgs::vgpu::HostBuffer<int32_t> data(my_keys);
+//   mgs::core::SortOptions options;
+//   options.gpu_set = *mgs::core::ChooseGpuSet((*platform)->topology(), 4,
+//                                              /*for_p2p_merge=*/true);
+//   auto stats = mgs::core::P2pSort((*platform).get(), &data, options);
+//   // data is sorted; stats->phases holds the HtoD/sort/merge/DtoH split.
+
+#ifndef MGS_CORE_API_H_
+#define MGS_CORE_API_H_
+
+#include "core/common.h"        // IWYU pragma: export
+#include "core/cpu_baseline.h"  // IWYU pragma: export
+#include "core/gpu_set.h"       // IWYU pragma: export
+#include "core/het_sort.h"      // IWYU pragma: export
+#include "core/p2p_sort.h"      // IWYU pragma: export
+#include "core/pivot.h"         // IWYU pragma: export
+
+#endif  // MGS_CORE_API_H_

@@ -1,0 +1,70 @@
+// Shared types for the multi-GPU sorting algorithms.
+
+#ifndef MGS_CORE_COMMON_H_
+#define MGS_CORE_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/pivot.h"
+#include "gpusort/primitives.h"
+#include "util/status.h"
+
+namespace mgs::core {
+
+/// End-to-end sort duration split into the four phases of Section 6.1
+/// ("we define a phase to end when the last GPU completes executing it").
+struct PhaseBreakdown {
+  double htod = 0;   // host-to-device copies
+  double sort = 0;   // on-GPU chunk sorts
+  double merge = 0;  // P2P merge phase (P2P sort) or CPU merge (HET sort)
+  double dtoh = 0;   // device-to-host copies
+
+  double total() const { return htod + sort + merge + dtoh; }
+};
+
+/// Outcome of one sort run (all times are simulated seconds).
+struct SortStats {
+  double total_seconds = 0;
+  PhaseBreakdown phases;
+  int num_gpus = 0;
+  std::int64_t keys = 0;               // logical keys sorted
+  double p2p_bytes = 0;                // logical bytes moved between GPUs
+  double pivot_seconds = 0;            // time spent in pivot selection
+  int merge_stages = 0;                // P2P merge stages executed
+  int chunk_groups = 1;                // HET: number of chunk groups
+  int final_merge_sublists = 0;        // HET: k of the final CPU merge
+  std::string algorithm;
+};
+
+/// Options shared by both algorithms.
+struct SortOptions {
+  /// Ordered GPU set (Section 5.4). Empty selects a default set of all
+  /// GPUs in topology-preferred order.
+  std::vector<int> gpu_set;
+  /// Single-GPU sorting primitive for the chunk sorts.
+  gpusort::SortAlgo device_sort = gpusort::SortAlgo::kThrustRadix;
+  /// Pivot policy for the P2P merge phase (ablation knob; the paper's
+  /// algorithm uses the minimal-transfer leftmost pivot).
+  PivotPolicy pivot_policy = PivotPolicy::kLeftmost;
+};
+
+/// Largest value of a sortable element type, used as the device-side
+/// padding sentinel (pads sort to the global tail and are never copied
+/// back). Arithmetic types use numeric_limits; record types (core/record.h)
+/// specialize.
+template <typename T>
+struct SortableLimits {
+  static T Max() { return std::numeric_limits<T>::max(); }
+};
+
+/// Remote-read latency charged per key accessed during pivot selection
+/// (binary search over P2P memory reads; Section 5.2 measures the whole
+/// selection at ~0.03% of the run).
+inline constexpr double kPivotRemoteReadLatency = 2e-6;
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_COMMON_H_

@@ -1,0 +1,49 @@
+// CPU-only sorting baseline: PARADIS (Cho et al.), the paper's comparison
+// point in Section 6. The functional sort is our real PARADIS-style
+// implementation (src/cpusort/paradis_sort.h); the simulated duration comes
+// from the per-system calibrated rate (the figures were measured on POWER9
+// / Xeon / EPYC hosts, not on this machine).
+
+#ifndef MGS_CORE_CPU_BASELINE_H_
+#define MGS_CORE_CPU_BASELINE_H_
+
+#include "core/common.h"
+#include "cpusort/paradis_sort.h"
+#include "vgpu/platform.h"
+
+namespace mgs::core {
+
+/// Simulated duration of a PARADIS run over `logical_keys` keys of
+/// `key_bytes` width on `platform`'s host CPUs.
+inline double ParadisDuration(const vgpu::Platform& platform,
+                              double logical_keys, std::size_t key_bytes) {
+  const auto& cpu = platform.topology().cpu_spec();
+  const double rate = key_bytes <= 4
+                          ? cpu.paradis_rate_32
+                          : cpu.paradis_rate_32 * topo::cal::kParadis64BitFactor;
+  return logical_keys / rate;
+}
+
+/// Sorts `data` in place with PARADIS on the host CPUs.
+template <typename T>
+Result<SortStats> CpuSortBaseline(vgpu::Platform* platform,
+                                  vgpu::HostBuffer<T>* data) {
+  SortStats stats;
+  stats.algorithm = "PARADIS (CPU)";
+  stats.num_gpus = 0;
+  const std::int64_t n = data->size();
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  const double duration = ParadisDuration(
+      *platform, static_cast<double>(stats.keys), sizeof(T));
+  auto root = [&]() -> sim::Task<void> {
+    co_await platform->CpuBusy(duration);
+    cpusort::ParadisSort(data->data(), n);
+  };
+  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+  return stats;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_CPU_BASELINE_H_

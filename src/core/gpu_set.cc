@@ -1,0 +1,208 @@
+#include "core/gpu_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace mgs::core {
+
+namespace {
+
+// Static weighted max-min rate allocation over a set of paths (the same
+// progressive-filling rule as sim::FlowNetwork, but without a simulator):
+// returns the aggregate steady-state rate.
+double AggregateRate(const topo::Topology& topology,
+                     const std::vector<std::vector<sim::PathHop>>& paths) {
+  std::map<sim::ResourceId, double> remaining;
+  for (const auto& path : paths) {
+    for (const auto& hop : path) {
+      remaining.emplace(hop.resource, topology.ResourceCapacity(hop.resource));
+    }
+  }
+  const std::size_t n = paths.size();
+  std::vector<bool> frozen(n, false);
+  std::vector<double> rate(n, 0.0);
+  std::size_t num_frozen = 0;
+  while (num_frozen < n) {
+    double share = std::numeric_limits<double>::infinity();
+    for (auto& [res, cap] : remaining) {
+      double denom = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        for (const auto& hop : paths[i]) {
+          if (hop.resource == res) denom += hop.weight;
+        }
+      }
+      if (denom > 0) share = std::min(share, std::max(0.0, cap) / denom);
+    }
+    if (!std::isfinite(share)) break;
+    bool froze = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      bool bottlenecked = false;
+      for (const auto& hop : paths[i]) {
+        double denom = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (frozen[j]) continue;
+          for (const auto& h2 : paths[j]) {
+            if (h2.resource == hop.resource) denom += h2.weight;
+          }
+        }
+        if (denom > 0 && remaining[hop.resource] / denom <= share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[i] = share;
+      frozen[i] = true;
+      ++num_frozen;
+      froze = true;
+      for (const auto& hop : paths[i]) {
+        remaining[hop.resource] -= share * hop.weight;
+      }
+    }
+    if (!froze) break;
+  }
+  double total = 0;
+  for (double r : rate) total += r;
+  return total;
+}
+
+Result<double> HtoDAggregate(const topo::Topology& topology,
+                             const std::vector<int>& gpus) {
+  std::vector<std::vector<sim::PathHop>> paths;
+  for (int g : gpus) {
+    MGS_ASSIGN_OR_RETURN(
+        auto path,
+        topology.CopyPath(topo::CopyKind::kHostToDevice,
+                          topo::Endpoint::HostMemory(0),
+                          topo::Endpoint::Gpu(g)));
+    paths.push_back(std::move(path));
+  }
+  return AggregateRate(topology, paths);
+}
+
+Result<double> PairP2pBandwidth(const topo::Topology& topology, int a,
+                                int b) {
+  return topology.LoneFlowBandwidth(topo::CopyKind::kPeerToPeer,
+                                    topo::Endpoint::Gpu(a),
+                                    topo::Endpoint::Gpu(b));
+}
+
+Result<double> OrderCostRecursive(
+    const std::vector<std::vector<double>>& pbw,
+    const std::vector<int>& order, int lo, int hi) {
+  const int g = hi - lo;
+  if (g < 2) return 0.0;
+  double worst = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < g / 2; ++i) {
+    worst = std::min(worst, pbw[static_cast<std::size_t>(order[lo + i])]
+                               [static_cast<std::size_t>(order[hi - 1 - i])]);
+  }
+  const double stage = 1.0 / worst;
+  const int mid = lo + g / 2;
+  MGS_ASSIGN_OR_RETURN(double left, OrderCostRecursive(pbw, order, lo, mid));
+  MGS_ASSIGN_OR_RETURN(double right, OrderCostRecursive(pbw, order, mid, hi));
+  // The pre- and post-stage recursions each run concurrently across halves.
+  return 2.0 * std::max(left, right) + stage;
+}
+
+}  // namespace
+
+Result<double> P2pOrderCost(const topo::Topology& topology,
+                            const std::vector<int>& gpus) {
+  const int total = topology.num_gpus();
+  std::vector<std::vector<double>> pbw(
+      static_cast<std::size_t>(total),
+      std::vector<double>(static_cast<std::size_t>(total), 0.0));
+  for (int a : gpus) {
+    for (int b : gpus) {
+      if (a == b) continue;
+      MGS_ASSIGN_OR_RETURN(pbw[static_cast<std::size_t>(a)]
+                              [static_cast<std::size_t>(b)],
+                           PairP2pBandwidth(topology, a, b));
+    }
+  }
+  return OrderCostRecursive(pbw, gpus, 0, static_cast<int>(gpus.size()));
+}
+
+Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
+                                      bool for_p2p_merge) {
+  const int total = topology.num_gpus();
+  if (g < 1 || g > total) {
+    return Status::Invalid("requested " + std::to_string(g) + " GPUs of " +
+                           std::to_string(total));
+  }
+  if (!topology.compiled()) {
+    return Status::FailedPrecondition("topology not compiled");
+  }
+
+  // Step 1: the GPU combination with the best aggregate HtoD throughput
+  // (parallel copy from NUMA node 0), ties broken lexicographically.
+  std::vector<int> best_set;
+  double best_rate = -1;
+  std::vector<int> combo;
+  auto enumerate = [&](auto&& self, int next) -> Status {
+    if (static_cast<int>(combo.size()) == g) {
+      MGS_ASSIGN_OR_RETURN(const double rate, HtoDAggregate(topology, combo));
+      if (rate > best_rate * (1 + 1e-9)) {
+        best_rate = rate;
+        best_set = combo;
+      }
+      return Status::OK();
+    }
+    for (int id = next; id < total; ++id) {
+      combo.push_back(id);
+      MGS_RETURN_IF_ERROR(self(self, id + 1));
+      combo.pop_back();
+    }
+    return Status::OK();
+  };
+  MGS_RETURN_IF_ERROR(enumerate(enumerate, 0));
+
+  if (!for_p2p_merge || g < 2) return best_set;
+
+  // Step 2: order the set to minimize the estimated P2P merge cost. The
+  // pairwise bandwidth matrix is computed once; permutations are scored
+  // from it.
+  const int ntot = topology.num_gpus();
+  std::vector<std::vector<double>> pbw(
+      static_cast<std::size_t>(ntot),
+      std::vector<double>(static_cast<std::size_t>(ntot), 0.0));
+  for (int a : best_set) {
+    for (int b : best_set) {
+      if (a == b) continue;
+      MGS_ASSIGN_OR_RETURN(pbw[static_cast<std::size_t>(a)]
+                              [static_cast<std::size_t>(b)],
+                           PairP2pBandwidth(topology, a, b));
+    }
+  }
+  std::sort(best_set.begin(), best_set.end());
+  std::vector<int> best_order = best_set;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> perm = best_set;
+  do {
+    // Canonical form: within each pair the order is symmetric; skip
+    // non-canonical duplicates cheaply.
+    bool canonical = true;
+    for (std::size_t i = 0; i + 1 < perm.size(); i += 2) {
+      if (perm[i] > perm[i + 1]) {
+        canonical = false;
+        break;
+      }
+    }
+    if (!canonical) continue;
+    MGS_ASSIGN_OR_RETURN(
+        const double cost,
+        OrderCostRecursive(pbw, perm, 0, static_cast<int>(perm.size())));
+    if (cost < best_cost * (1 - 1e-12)) {
+      best_cost = cost;
+      best_order = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best_order;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,33 @@
+// GPU-set selection and ordering (Sections 5.4 & 6): "when sorting with g
+// GPUs, we always choose the GPU set with the best transfer performance,
+// which includes optimizing the GPU set order for P2P sort."
+
+#ifndef MGS_CORE_GPU_SET_H_
+#define MGS_CORE_GPU_SET_H_
+
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace mgs::core {
+
+/// Chooses g GPUs with the highest aggregate CPU-GPU copy throughput
+/// (spreading across PCIe switches / NUMA nodes) and, for P2P sort, orders
+/// them so pair-wise merge partners (positions 2i, 2i+1) are directly
+/// P2P-interconnected where the topology allows.
+///
+/// `for_p2p_merge` additionally optimizes the order for the P2P merge
+/// stages; HET sort is order-insensitive (Section 5.4).
+Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
+                                      bool for_p2p_merge);
+
+/// Estimated P2P merge-phase cost of a given GPU order (lower is better):
+/// the sum over merge stages of the slowest pairwise swap bandwidth's
+/// inverse. Exposed for the GPU-order ablation bench.
+Result<double> P2pOrderCost(const topo::Topology& topology,
+                            const std::vector<int>& gpus);
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_GPU_SET_H_

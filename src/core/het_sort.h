@@ -1,0 +1,386 @@
+// Heterogeneous multi-GPU sort (Section 5.3): GPUs sort chunks, the CPU
+// multiway-merges the sorted sublists (gnu_parallel-class loser-tree merge).
+//
+// Large data (exceeding the combined GPU memory) is sorted in chunk groups:
+// each GPU repeatedly receives a chunk, sorts it, and returns it while the
+// next chunk streams in on the other copy engine. Two buffer schemes:
+//   * 3n (Stehle et al., Fig. 10): three buffers per GPU; copies of chunks
+//     i-1 / i+1 fully overlap the sort of chunk i (in-place transfer swap
+//     on the third buffer);
+//   * 2n (ours, Fig. 11): two larger buffers; the sort blocks copies, but
+//     fewer, bigger chunks reach the final merge.
+// Optional eager merging (Gowanlock et al.): completed chunk groups are
+// merged on the CPU while the GPUs keep sorting, reducing the final merge's
+// fan-in from c*g to c-1+g at the cost of contending for host memory
+// bandwidth (Section 6.2 shows this loses on modern systems).
+
+#ifndef MGS_CORE_HET_SORT_H_
+#define MGS_CORE_HET_SORT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/common.h"
+#include "cpusort/multiway_merge.h"
+#include "gpusort/device_sort.h"
+#include "vgpu/platform.h"
+
+namespace mgs::core {
+
+enum class BufferScheme {
+  k2n,  // two buffers per GPU, sort blocks copies
+  k3n,  // three buffers per GPU, full copy/compute overlap
+};
+
+inline const char* BufferSchemeToString(BufferScheme s) {
+  return s == BufferScheme::k2n ? "2n" : "3n";
+}
+
+struct HetOptions : SortOptions {
+  BufferScheme scheme = BufferScheme::k2n;
+  bool eager_merge = false;
+  /// Cap on per-GPU memory used for chunk buffers (0 = all free memory).
+  /// The paper compares 2n and 3n at an equal 33 GB budget per GPU.
+  double gpu_memory_budget = 0;
+};
+
+/// Per-doubling throughput penalty of the k-way CPU merge (Section 6.1.1:
+/// merging four chunks instead of two costs ~8% more).
+inline double MergeEngineWeight(int k) {
+  if (k <= 2) return 1.0;
+  return 1.0 + 0.08 * (std::log2(static_cast<double>(k)) - 1.0);
+}
+
+namespace het_internal {
+
+/// Tracks completion of chunk groups for eager merging.
+struct GroupTracker {
+  int group_size = 0;
+  std::vector<int> done_count;
+  std::vector<std::shared_ptr<sim::Trigger>> complete;
+
+  void Init(int groups, int g) {
+    group_size = g;
+    done_count.assign(static_cast<std::size_t>(groups), 0);
+    complete.clear();
+    for (int i = 0; i < groups; ++i) {
+      complete.push_back(std::make_shared<sim::Trigger>());
+    }
+  }
+  void MarkChunkDone(int group) {
+    if (++done_count[static_cast<std::size_t>(group)] == group_size) {
+      complete[static_cast<std::size_t>(group)]->Fire();
+    }
+  }
+};
+
+}  // namespace het_internal
+
+/// Sorts `data` ascending with the heterogeneous algorithm. Unlike P2P
+/// sort, the data may exceed the combined GPU memory (chunk groups) and any
+/// GPU count >= 1 works.
+template <typename T>
+Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
+                          const HetOptions& options) {
+  std::vector<int> gpus = options.gpu_set;
+  if (gpus.empty()) {
+    for (int g = 0; g < platform->num_devices(); ++g) gpus.push_back(g);
+  }
+  const int g = static_cast<int>(gpus.size());
+  if (g < 1) return Status::Invalid("need at least one GPU");
+  for (int id : gpus) {
+    if (id < 0 || id >= platform->num_devices()) {
+      return Status::Invalid("no such GPU: " + std::to_string(id));
+    }
+  }
+  const std::int64_t n = data->size();
+  // HET sort is out-of-place on the host: input regions + merged output
+  // must both fit in DRAM (Section 5.3 assumes "sufficiently large" main
+  // memory; Table 1 bounds it).
+  const double host_mem = platform->topology().cpu_spec().host_memory_bytes;
+  if (host_mem > 0) {
+    const double needed =
+        2.0 * static_cast<double>(n) * sizeof(T) * platform->scale();
+    if (needed > host_mem) {
+      return Status::OutOfMemory(
+          "HET sort needs " + FormatBytes(needed) +
+          " of host memory (2x data for the out-of-place merge) but the "
+          "platform has " +
+          FormatBytes(host_mem));
+    }
+  }
+  SortStats stats;
+  stats.algorithm = std::string("HET sort (") +
+                    BufferSchemeToString(options.scheme) +
+                    (options.eager_merge ? ", eager" : "") + ")";
+  stats.num_gpus = g;
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  if (n == 0) return stats;
+
+  // Chunk geometry: the buffer scheme divides each GPU's memory budget into
+  // 2 or 3 equal buffers; the chunk size is one buffer, capped so a single
+  // group suffices for in-memory data (then 2n and 3n behave identically,
+  // Section 6.1).
+  const int buffers_per_gpu = options.scheme == BufferScheme::k2n ? 2 : 3;
+  double budget = options.gpu_memory_budget;
+  std::int64_t max_chunk = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < g; ++i) {
+    auto& dev = platform->device(gpus[static_cast<std::size_t>(i)]);
+    double free = dev.memory_free();
+    if (budget > 0) free = std::min(free, budget);
+    const std::int64_t per_buffer = static_cast<std::int64_t>(
+        free / buffers_per_gpu / platform->scale() / sizeof(T));
+    max_chunk = std::min(max_chunk, per_buffer);
+  }
+  if (max_chunk < 1) return Status::OutOfMemory("GPU buffers too small");
+  const std::int64_t per_gpu_ceiling = (n + g - 1) / g;
+  const std::int64_t m = std::min(max_chunk, per_gpu_ceiling);
+  const std::int64_t num_chunks = (n + m - 1) / m;
+  const int groups = static_cast<int>((num_chunks + g - 1) / g);
+  stats.chunk_groups = groups;
+
+  // Allocate buffers.
+  struct GpuState {
+    vgpu::Device* device;
+    std::vector<vgpu::DeviceBuffer<T>> buffers;
+  };
+  std::vector<GpuState> state(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    auto& s = state[static_cast<std::size_t>(i)];
+    s.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
+    for (int b = 0; b < buffers_per_gpu; ++b) {
+      MGS_ASSIGN_OR_RETURN(auto buf, s.device->template Allocate<T>(m));
+      s.buffers.push_back(std::move(buf));
+    }
+  }
+
+  // Sorted sublists land back in the host buffer in place; these views
+  // describe them for the final merge.
+  struct Sublist {
+    std::int64_t begin;
+    std::int64_t count;
+    int group;
+  };
+  std::vector<Sublist> sublists;
+  for (std::int64_t c = 0; c < num_chunks; ++c) {
+    const std::int64_t begin = c * m;
+    sublists.push_back(Sublist{begin, std::min(m, n - begin),
+                               static_cast<int>(c / g)});
+  }
+
+  het_internal::GroupTracker tracker;
+  tracker.Init(groups, g);
+
+  // Eager-merge bookkeeping: merged group runs are built in host scratch.
+  std::vector<std::vector<T>> eager_runs;
+  const int eager_groups = options.eager_merge ? std::max(0, groups - 1) : 0;
+  eager_runs.resize(static_cast<std::size_t>(eager_groups));
+
+  double t0 = 0, t_gpu_phase = 0;
+  double htod_busy = 0, sort_busy = 0, dtoh_busy = 0;  // phase attribution
+
+  // One GPU's pipeline over its chunk sequence (chunk indices i, i+g, ...).
+  auto pipeline_2n = [&](int i) -> sim::Task<void> {
+    auto& s = state[static_cast<std::size_t>(i)];
+    auto& in = s.device->stream(0);
+    auto& out = s.device->stream(1);
+    int cur = 0;  // buffer holding the chunk being sorted
+    bool first = true;
+    for (std::int64_t c = i; c < num_chunks; c += g) {
+      const auto& sub = sublists[static_cast<std::size_t>(c)];
+      auto& buf = s.buffers[static_cast<std::size_t>(cur)];
+      auto& aux = s.buffers[static_cast<std::size_t>(1 - cur)];
+      if (first) {
+        in.MemcpyHtoDAsync(buf, 0, *data, sub.begin, sub.count);
+        first = false;
+      }
+      // Sort blocks all copies: both buffers must be free.
+      const double before_sync = platform->simulator().Now();
+      co_await in.Synchronize();
+      co_await out.Synchronize();
+      htod_busy = std::max(htod_busy, platform->simulator().Now());
+      gpusort::SortAsync(in, buf, 0, sub.count, aux, options.device_sort);
+      co_await in.Synchronize();
+      sort_busy = std::max(sort_busy, platform->simulator().Now());
+      (void)before_sync;
+      // Copy the sorted chunk back while the next chunk streams in.
+      out.MemcpyDtoHAsync(*data, sub.begin, buf, 0, sub.count);
+      const int group = sub.group;
+      auto done = out.RecordEvent();
+      sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
+                    het_internal::GroupTracker* tracker,
+                    int group) -> sim::Task<void> {
+        co_await ev->Wait();
+        tracker->MarkChunkDone(group);
+      }(done, &tracker, group));
+      if (c + g < num_chunks) {
+        const auto& next = sublists[static_cast<std::size_t>(c + g)];
+        in.MemcpyHtoDAsync(aux, 0, *data, next.begin, next.count);
+        cur = 1 - cur;
+      }
+    }
+    co_await in.Synchronize();
+    co_await out.Synchronize();
+    dtoh_busy = std::max(dtoh_busy, platform->simulator().Now());
+  };
+
+  auto pipeline_3n = [&](int i) -> sim::Task<void> {
+    auto& s = state[static_cast<std::size_t>(i)];
+    auto& in = s.device->stream(0);
+    auto& out = s.device->stream(1);
+    auto& compute = s.device->stream(2);
+    // Buffer roles: sort / aux / transfer, rotating each iteration.
+    int sort_buf = 0, aux_buf = 1, xfer_buf = 2;
+    std::vector<std::int64_t> mine;
+    for (std::int64_t c = i; c < num_chunks; c += g) mine.push_back(c);
+    if (mine.empty()) co_return;
+
+    // Prime: chunk 0 into the sort buffer.
+    {
+      const auto& sub = sublists[static_cast<std::size_t>(mine[0])];
+      in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(sort_buf)], 0,
+                         *data, sub.begin, sub.count);
+      co_await in.Synchronize();
+      htod_busy = std::max(htod_busy, platform->simulator().Now());
+    }
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      const auto& sub = sublists[static_cast<std::size_t>(mine[k])];
+      // Sort chunk k; concurrently the transfer buffer returns chunk k-1
+      // and receives chunk k+1 (in-place transfer swap, Fig. 10).
+      gpusort::SortAsync(compute, s.buffers[static_cast<std::size_t>(sort_buf)],
+                         0, sub.count,
+                         s.buffers[static_cast<std::size_t>(aux_buf)],
+                         options.device_sort);
+      if (k > 0) {
+        const auto& prev = sublists[static_cast<std::size_t>(mine[k - 1])];
+        out.MemcpyDtoHAsync(*data, prev.begin,
+                            s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                            prev.count);
+        const int group = prev.group;
+        auto done = out.RecordEvent();
+        sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
+                      het_internal::GroupTracker* tracker,
+                      int group) -> sim::Task<void> {
+          co_await ev->Wait();
+          tracker->MarkChunkDone(group);
+        }(done, &tracker, group));
+      }
+      if (k + 1 < mine.size()) {
+        const auto& next = sublists[static_cast<std::size_t>(mine[k + 1])];
+        in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                           *data, next.begin, next.count);
+      }
+      co_await compute.Synchronize();
+      sort_busy = std::max(sort_busy, platform->simulator().Now());
+      co_await in.Synchronize();
+      co_await out.Synchronize();
+      htod_busy = std::max(htod_busy, platform->simulator().Now());
+      std::swap(sort_buf, xfer_buf);  // transfer buffer now holds chunk k+1
+    }
+    // Return the final sorted chunk.
+    {
+      const auto& last = sublists[static_cast<std::size_t>(mine.back())];
+      out.MemcpyDtoHAsync(*data, last.begin,
+                          s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                          last.count);
+      const int group = last.group;
+      auto done = out.RecordEvent();
+      sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
+                    het_internal::GroupTracker* tracker,
+                    int group) -> sim::Task<void> {
+        co_await ev->Wait();
+        tracker->MarkChunkDone(group);
+      }(done, &tracker, group));
+      co_await out.Synchronize();
+      dtoh_busy = std::max(dtoh_busy, platform->simulator().Now());
+    }
+  };
+
+  // Eager merge worker: merges group r's sublists as soon as the group is
+  // fully back in host memory (skipping the last group, Section 5.3).
+  auto eager_worker = [&]() -> sim::Task<void> {
+    for (int r = 0; r < eager_groups; ++r) {
+      co_await tracker.complete[static_cast<std::size_t>(r)]->Wait();
+      std::vector<cpusort::MergeInput<T>> inputs;
+      double bytes = 0;
+      for (const auto& sub : sublists) {
+        if (sub.group != r) continue;
+        inputs.push_back(cpusort::MergeInput<T>{
+            data->data() + sub.begin, data->data() + sub.begin + sub.count});
+        bytes += static_cast<double>(sub.count) * sizeof(T) *
+                 platform->scale();
+      }
+      co_await platform->CpuMemoryWork(
+          0, bytes, platform->topology().cpu_spec().merge_memory_amplification,
+          MergeEngineWeight(static_cast<int>(inputs.size())));
+      auto& run = eager_runs[static_cast<std::size_t>(r)];
+      run.resize(0);
+      std::int64_t total = 0;
+      for (const auto& in : inputs) total += in.size();
+      run.resize(static_cast<std::size_t>(total));
+      cpusort::MultiwayMerge(inputs, run.data());
+    }
+  };
+
+  double merge_phase = 0;
+  auto root = [&]() -> sim::Task<void> {
+    t0 = platform->simulator().Now();
+    std::vector<sim::JoinerPtr> joins;
+    for (int i = 0; i < g; ++i) {
+      joins.push_back(sim::Spawn(options.scheme == BufferScheme::k2n
+                                     ? pipeline_2n(i)
+                                     : pipeline_3n(i)));
+    }
+    sim::JoinerPtr eager_join;
+    if (eager_groups > 0) eager_join = sim::Spawn(eager_worker());
+    co_await sim::WhenAll(std::move(joins));
+    if (eager_join) co_await *eager_join;
+    t_gpu_phase = platform->simulator().Now();
+
+    // Final CPU multiway merge.
+    std::vector<cpusort::MergeInput<T>> inputs;
+    for (const auto& run : eager_runs) {
+      inputs.push_back(
+          cpusort::MergeInput<T>{run.data(), run.data() + run.size()});
+    }
+    for (const auto& sub : sublists) {
+      if (options.eager_merge && sub.group < eager_groups) continue;
+      inputs.push_back(cpusort::MergeInput<T>{
+          data->data() + sub.begin, data->data() + sub.begin + sub.count});
+    }
+    stats.final_merge_sublists = static_cast<int>(inputs.size());
+    if (inputs.size() > 1) {
+      const double out_bytes =
+          static_cast<double>(n) * sizeof(T) * platform->scale();
+      co_await platform->CpuMemoryWork(
+          0, out_bytes,
+          platform->topology().cpu_spec().merge_memory_amplification,
+          MergeEngineWeight(static_cast<int>(inputs.size())));
+      std::vector<T> result(static_cast<std::size_t>(n));
+      cpusort::MultiwayMerge(inputs, result.data());
+      data->vector() = std::move(result);
+    }
+    merge_phase = platform->simulator().Now() - t_gpu_phase;
+  };
+
+  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+
+  // Phase attribution (best effort under pipelining: boundaries follow the
+  // last GPU completing each phase, matching the paper's definition).
+  stats.phases.merge = merge_phase;
+  const double gpu_phase = t_gpu_phase - t0;
+  const double htod_end = std::min(htod_busy - t0, gpu_phase);
+  const double sort_end = std::min(std::max(sort_busy - t0, htod_end),
+                                   gpu_phase);
+  stats.phases.htod = htod_end;
+  stats.phases.sort = sort_end - htod_end;
+  stats.phases.dtoh = gpu_phase - sort_end;
+  return stats;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_HET_SORT_H_

@@ -1,0 +1,183 @@
+// Hybrid out-of-core sort — the question Section 7 leaves open: "future
+// research should evaluate the suitability of a P2P-based GPU merge for
+// large data."
+//
+// Like HET sort, the data streams through the GPUs in chunk groups; unlike
+// HET sort, each group is merged *on the GPUs* with the P2P merge phase
+// before returning to the host, so a group comes back as ONE sorted run.
+// The final CPU multiway merge then has fan-in c (number of groups) instead
+// of c*g (number of chunks) — it trades extra P2P traffic for a lighter
+// host-side merge, which pays off exactly where the paper says the CPU
+// merge is the bottleneck (NVLink/NVSwitch platforms).
+
+#ifndef MGS_CORE_HYBRID_SORT_H_
+#define MGS_CORE_HYBRID_SORT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/het_sort.h"  // MergeEngineWeight
+#include "core/p2p_sort.h"
+#include "cpusort/multiway_merge.h"
+
+namespace mgs::core {
+
+struct HybridOptions : SortOptions {
+  /// Cap on per-GPU memory used for chunk buffers (0 = all free memory).
+  double gpu_memory_budget = 0;
+};
+
+/// Sorts `data` (any size that fits host memory) on g = 2^k GPUs: per
+/// chunk group, chunks are sorted and P2P-merged on the GPUs; groups are
+/// multiway-merged on the CPU.
+template <typename T>
+Result<SortStats> HybridSort(vgpu::Platform* platform,
+                             vgpu::HostBuffer<T>* data,
+                             const HybridOptions& options) {
+  using p2p_internal::Chunk;
+  using p2p_internal::MergeContext;
+
+  std::vector<int> gpus = options.gpu_set;
+  if (gpus.empty()) {
+    for (int g = 0; g < platform->num_devices(); ++g) gpus.push_back(g);
+  }
+  const int g = static_cast<int>(gpus.size());
+  if ((g & (g - 1)) != 0) {
+    return Status::Invalid("hybrid sort requires a power-of-two GPU count");
+  }
+  const std::int64_t n = data->size();
+  SortStats stats;
+  stats.algorithm = "HYB sort (P2P group merge + CPU merge)";
+  stats.num_gpus = g;
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  if (n == 0) return stats;
+
+  // Chunk size: two buffers per GPU (primary + aux), like P2P sort.
+  std::int64_t max_chunk = std::numeric_limits<std::int64_t>::max();
+  for (int id : gpus) {
+    auto& dev = platform->device(id);
+    double free = dev.memory_free();
+    if (options.gpu_memory_budget > 0) {
+      free = std::min(free, options.gpu_memory_budget);
+    }
+    max_chunk = std::min(
+        max_chunk,
+        static_cast<std::int64_t>(free / 2 / platform->scale() / sizeof(T)));
+  }
+  if (max_chunk < 1) return Status::OutOfMemory("GPU buffers too small");
+  const std::int64_t per_gpu_ceiling = (n + g - 1) / g;
+  const std::int64_t m = std::min(max_chunk, per_gpu_ceiling);
+  const std::int64_t group_span = m * g;
+  const int groups = static_cast<int>((n + group_span - 1) / group_span);
+  stats.chunk_groups = groups;
+  stats.final_merge_sublists = groups;
+
+  std::vector<Chunk<T>> chunks(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    auto& chunk = chunks[static_cast<std::size_t>(i)];
+    chunk.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
+    MGS_ASSIGN_OR_RETURN(chunk.primary,
+                         chunk.device->template Allocate<T>(m));
+    MGS_ASSIGN_OR_RETURN(chunk.aux, chunk.device->template Allocate<T>(m));
+  }
+
+  double t0 = 0, gpu_phase_end = 0;
+  auto root = [&]() -> sim::Task<void> {
+    t0 = platform->simulator().Now();
+    for (int r = 0; r < groups; ++r) {
+      const std::int64_t group_begin = static_cast<std::int64_t>(r) * group_span;
+      const std::int64_t group_count =
+          std::min(group_span, n - group_begin);
+      const std::int64_t cm = (group_count + g - 1) / g;  // this group's m
+
+      // Upload + pad + sort each chunk of the group.
+      auto prepare = [&](int i) -> sim::Task<void> {
+        auto& chunk = chunks[static_cast<std::size_t>(i)];
+        const std::int64_t begin = group_begin + static_cast<std::int64_t>(i) * cm;
+        const std::int64_t count = std::max<std::int64_t>(
+            0, std::min(cm, n - begin));
+        auto& stream = chunk.device->stream(0);
+        if (count > 0) {
+          stream.MemcpyHtoDAsync(chunk.primary, 0, *data, begin, count);
+        }
+        if (count < cm) {
+          T* pad_begin = chunk.primary.data() + count;
+          const std::int64_t pad = cm - count;
+          const double fill_time = static_cast<double>(pad) * sizeof(T) *
+                                   platform->scale() /
+                                   chunk.device->spec().memory_bandwidth;
+          stream.LaunchAsync(
+              fill_time,
+              [pad_begin, pad] {
+                std::fill(pad_begin, pad_begin + pad,
+                          SortableLimits<T>::Max());
+              },
+              "pad-fill");
+        }
+        gpusort::SortAsync(stream, chunk.primary, 0, cm, chunk.aux,
+                           options.device_sort);
+        co_await stream.Synchronize();
+      };
+      {
+        std::vector<sim::JoinerPtr> joins;
+        for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(prepare(i)));
+        co_await sim::WhenAll(std::move(joins));
+      }
+
+      // P2P merge of the group into one sorted run across the chunks.
+      MergeContext<T> ctx{platform, &chunks, cm, &stats,
+                          options.pivot_policy};
+      co_await p2p_internal::MergeChunks(ctx, 0, g);
+
+      // Return the run to its host region (sentinels stay behind).
+      auto download = [&](int i) -> sim::Task<void> {
+        auto& chunk = chunks[static_cast<std::size_t>(i)];
+        const std::int64_t begin = group_begin + static_cast<std::int64_t>(i) * cm;
+        const std::int64_t count = std::max<std::int64_t>(
+            0, std::min(cm, n - begin));
+        auto& stream = chunk.device->stream(0);
+        if (count > 0) {
+          stream.MemcpyDtoHAsync(*data, begin, chunk.primary, 0, count);
+        }
+        co_await stream.Synchronize();
+      };
+      {
+        std::vector<sim::JoinerPtr> joins;
+        for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
+        co_await sim::WhenAll(std::move(joins));
+      }
+    }
+    gpu_phase_end = platform->simulator().Now();
+
+    // Final CPU multiway merge of the c group runs.
+    if (groups > 1) {
+      std::vector<cpusort::MergeInput<T>> inputs;
+      for (int r = 0; r < groups; ++r) {
+        const std::int64_t begin = static_cast<std::int64_t>(r) * group_span;
+        const std::int64_t count = std::min(group_span, n - begin);
+        inputs.push_back(cpusort::MergeInput<T>{
+            data->data() + begin, data->data() + begin + count});
+      }
+      const double out_bytes =
+          static_cast<double>(n) * sizeof(T) * platform->scale();
+      co_await platform->CpuMemoryWork(
+          0, out_bytes,
+          platform->topology().cpu_spec().merge_memory_amplification,
+          MergeEngineWeight(groups));
+      std::vector<T> result(static_cast<std::size_t>(n));
+      cpusort::MultiwayMerge(inputs, result.data());
+      data->vector() = std::move(result);
+    }
+  };
+  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+  // Coarse attribution: the streamed GPU phase (transfers + sorts + P2P
+  // merges) vs the final CPU merge.
+  stats.phases.sort = gpu_phase_end - t0;
+  stats.phases.merge = stats.total_seconds - (gpu_phase_end - t0);
+  return stats;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_HYBRID_SORT_H_

@@ -1,0 +1,335 @@
+// P2P-based multi-GPU sort (Section 5.2), building on Tanasic et al. and
+// generalized to any g = 2^k GPUs (Algorithm 2).
+//
+// Phase 1: each GPU copies its chunk from host memory and sorts it locally
+// (Thrust-class radix sort with a pre-allocated auxiliary buffer).
+// Phase 2: a recursive merge phase produces the globally sorted array:
+// pairs of sorted halves select a leftmost pivot (Algorithm 1), exchange
+// pivot-determined blocks via bidirectional P2P copies into the auxiliary
+// buffers (out-of-place swap; the non-swapped remainder is copied
+// device-locally, overlapping the interconnect transfer), and merge the two
+// sorted runs GPU-locally. Chunks that are swapped wholesale just exchange
+// buffer roles. Phase 3: chunks are copied back to host memory.
+//
+// Arbitrary input sizes are handled by padding the last chunk with +inf
+// sentinels on the device (they sort to the global tail and are not copied
+// back).
+
+#ifndef MGS_CORE_P2P_SORT_H_
+#define MGS_CORE_P2P_SORT_H_
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/common.h"
+#include "core/pivot.h"
+#include "gpusort/device_sort.h"
+#include "vgpu/platform.h"
+
+namespace mgs::core {
+
+namespace p2p_internal {
+
+template <typename T>
+struct Chunk {
+  vgpu::Device* device = nullptr;
+  vgpu::DeviceBuffer<T> primary;
+  vgpu::DeviceBuffer<T> aux;
+};
+
+template <typename T>
+struct MergeContext {
+  vgpu::Platform* platform;
+  std::vector<Chunk<T>>* chunks;
+  std::int64_t m;  // chunk size (actual elements)
+  SortStats* stats;
+  PivotPolicy pivot_policy = PivotPolicy::kLeftmost;
+};
+
+/// Swap + local-merge for the two sorted halves [lo, mid) and [mid, hi) of
+/// the chunk array, each half fully sorted across its chunks.
+template <typename T>
+sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
+  auto& chunks = *ctx.chunks;
+  const int g = hi - lo;
+  const int h = g / 2;
+  const std::int64_t m = ctx.m;
+  const std::int64_t half = static_cast<std::int64_t>(h) * m;
+
+  // Leftmost pivot across the concatenated halves. Reads of device memory
+  // model the P2P/binary-search accesses of Algorithm 1.
+  auto read_left = [&chunks, lo, m](std::int64_t i) -> T {
+    return chunks[static_cast<std::size_t>(lo + i / m)].primary[i % m];
+  };
+  auto read_right = [&chunks, lo, h, m](std::int64_t i) -> T {
+    return chunks[static_cast<std::size_t>(lo + h + i / m)].primary[i % m];
+  };
+  const PivotResult pr =
+      SelectPivot<T>(read_left, read_right, half, ctx.pivot_policy);
+  const double pivot_cost = pr.reads * kPivotRemoteReadLatency;
+  ctx.stats->pivot_seconds += pivot_cost;
+  ctx.stats->merge_stages += 1;
+  co_await sim::Delay{ctx.platform->simulator(), pivot_cost};
+  const std::int64_t p = pr.pivot;
+  if (p == 0) co_return;  // halves already ordered: skip the swap entirely
+
+  ctx.stats->p2p_bytes +=
+      2.0 * static_cast<double>(p) * sizeof(T) * ctx.platform->scale();
+
+  // Exchange the last p keys of the left half with the first p keys of the
+  // right half, segment by segment so no copy crosses a chunk boundary.
+  // Swaps land in the aux buffers; the kept remainders are copied
+  // device-locally (overlapped with the P2P transfers).
+  struct Touched {
+    bool any = false;
+    std::int64_t swap_begin = 0;  // local range [swap_begin, swap_end)
+    std::int64_t swap_end = 0;    // received from the remote half
+  };
+  std::vector<Touched> touched(static_cast<std::size_t>(g));
+
+  std::int64_t j = 0;
+  while (j < p) {
+    const std::int64_t a_pos = half - p + j;  // in left half
+    const std::int64_t b_pos = j;             // in right half
+    const std::int64_t a_off = a_pos % m;
+    const std::int64_t b_off = b_pos % m;
+    const std::int64_t len =
+        std::min({m - a_off, m - b_off, p - j});
+    const int ci = lo + static_cast<int>(a_pos / m);
+    const int cj = lo + h + static_cast<int>(b_pos / m);
+    auto& left = chunks[static_cast<std::size_t>(ci)];
+    auto& right = chunks[static_cast<std::size_t>(cj)];
+    // Bidirectional P2P copies, each driven by its source GPU.
+    left.device->stream(0).MemcpyPeerAsync(right.aux, b_off, left.primary,
+                                           a_off, len);
+    right.device->stream(0).MemcpyPeerAsync(left.aux, a_off, right.primary,
+                                            b_off, len);
+    auto& tl = touched[static_cast<std::size_t>(ci - lo)];
+    if (!tl.any) {
+      tl.any = true;
+      tl.swap_begin = a_off;
+      tl.swap_end = a_off + len;
+    } else {
+      tl.swap_begin = std::min(tl.swap_begin, a_off);
+      tl.swap_end = std::max(tl.swap_end, a_off + len);
+    }
+    auto& tr = touched[static_cast<std::size_t>(cj - lo)];
+    if (!tr.any) {
+      tr.any = true;
+      tr.swap_begin = b_off;
+      tr.swap_end = b_off + len;
+    } else {
+      tr.swap_begin = std::min(tr.swap_begin, b_off);
+      tr.swap_end = std::max(tr.swap_end, b_off + len);
+    }
+    j += len;
+  }
+
+  // Device-local copies of the kept remainders into aux (stream 1: the
+  // local engine overlaps the P2P stream).
+  for (int c = 0; c < g; ++c) {
+    auto& t = touched[static_cast<std::size_t>(c)];
+    if (!t.any) continue;
+    auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
+    if (t.swap_begin > 0) {
+      chunk.device->stream(1).MemcpyDtoDAsync(chunk.aux, 0, chunk.primary, 0,
+                                              t.swap_begin);
+    }
+    if (t.swap_end < m) {
+      chunk.device->stream(1).MemcpyDtoDAsync(chunk.aux, t.swap_end,
+                                              chunk.primary, t.swap_end,
+                                              m - t.swap_end);
+    }
+  }
+
+  // Barrier: all P2P and local copies of this stage must land before the
+  // local merges read the aux buffers.
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int c = 0; c < g; ++c) {
+      if (!touched[static_cast<std::size_t>(c)].any) continue;
+      auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
+      joins.push_back(sim::Spawn(chunk.device->stream(0).Synchronize()));
+      joins.push_back(sim::Spawn(chunk.device->stream(1).Synchronize()));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+
+  // Local merges: aux holds [kept][received] (left chunks) or
+  // [received][kept] (right chunks) — in both cases two sorted runs split
+  // at the swap boundary. Fully-swapped chunks (boundary at 0 or m) just
+  // exchange buffer roles.
+  for (int c = 0; c < g; ++c) {
+    auto& t = touched[static_cast<std::size_t>(c)];
+    if (!t.any) continue;
+    auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
+    const bool full_chunk_swap = t.swap_begin == 0 && t.swap_end == m;
+    if (full_chunk_swap) {
+      std::swap(chunk.primary, chunk.aux);
+      continue;
+    }
+    const std::int64_t split = c < h ? t.swap_begin : t.swap_end;
+    gpusort::MergeLocalAsync(chunk.device->stream(0), chunk.primary, 0,
+                             chunk.aux, 0, split, split, m - split);
+  }
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int c = 0; c < g; ++c) {
+      if (!touched[static_cast<std::size_t>(c)].any) continue;
+      auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
+      joins.push_back(sim::Spawn(chunk.device->stream(0).Synchronize()));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+}
+
+/// Algorithm 2: recursive merge of chunks [lo, hi).
+template <typename T>
+sim::Task<void> MergeChunks(MergeContext<T> ctx, int lo, int hi) {
+  const int g = hi - lo;
+  if (g < 2) co_return;
+  const int mid = lo + g / 2;
+  if (g > 2) {
+    std::vector<sim::JoinerPtr> joins;
+    joins.push_back(sim::Spawn(MergeChunks(ctx, lo, mid)));
+    joins.push_back(sim::Spawn(MergeChunks(ctx, mid, hi)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+  co_await MergeStage(ctx, lo, hi);
+  if (g > 2) {
+    std::vector<sim::JoinerPtr> joins;
+    joins.push_back(sim::Spawn(MergeChunks(ctx, lo, mid)));
+    joins.push_back(sim::Spawn(MergeChunks(ctx, mid, hi)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+}
+
+}  // namespace p2p_internal
+
+/// Sorts `data` (host memory, NUMA node 0 by convention) ascending using
+/// the P2P multi-GPU algorithm on `options.gpu_set`. The data must fit the
+/// combined memory of the selected GPUs (primary + auxiliary buffer per
+/// GPU). Returns phase-level timing statistics in simulated seconds.
+template <typename T>
+Result<SortStats> P2pSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
+                          const SortOptions& options) {
+  using p2p_internal::Chunk;
+  using p2p_internal::MergeContext;
+
+  std::vector<int> gpus = options.gpu_set;
+  if (gpus.empty()) {
+    for (int g = 0; g < platform->num_devices(); ++g) gpus.push_back(g);
+  }
+  const int g = static_cast<int>(gpus.size());
+  if ((g & (g - 1)) != 0) {
+    return Status::Invalid("P2P sort requires a power-of-two GPU count, got " +
+                           std::to_string(g));
+  }
+  for (int id : gpus) {
+    if (id < 0 || id >= platform->num_devices()) {
+      return Status::Invalid("no such GPU: " + std::to_string(id));
+    }
+  }
+  const std::int64_t n = data->size();
+  SortStats stats;
+  stats.algorithm = "P2P sort";
+  stats.num_gpus = g;
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  if (n == 0) return stats;
+
+  const std::int64_t m = (n + g - 1) / g;  // chunk size, last chunk padded
+  std::vector<Chunk<T>> chunks(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    auto& chunk = chunks[static_cast<std::size_t>(i)];
+    chunk.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
+    MGS_ASSIGN_OR_RETURN(chunk.primary, chunk.device->template Allocate<T>(m));
+    MGS_ASSIGN_OR_RETURN(chunk.aux, chunk.device->template Allocate<T>(m));
+  }
+
+  double t0 = 0, t_htod = 0, t_sort = 0, t_merge = 0;
+  auto root = [&]() -> sim::Task<void> {
+    t0 = platform->simulator().Now();
+    // Phase 1a: HtoD (pad the tail of the last chunk with +inf sentinels).
+    auto upload = [&](int i) -> sim::Task<void> {
+      auto& chunk = chunks[static_cast<std::size_t>(i)];
+      const std::int64_t begin = static_cast<std::int64_t>(i) * m;
+      const std::int64_t count = std::max<std::int64_t>(
+          0, std::min(m, n - begin));  // trailing chunks may be all padding
+      auto& stream = chunk.device->stream(0);
+      if (count > 0) {
+        stream.MemcpyHtoDAsync(chunk.primary, 0, *data, begin, count);
+      }
+      if (count < m) {
+        T* pad_begin = chunk.primary.data() + count;
+        const std::int64_t pad = m - count;
+        const double fill_time = static_cast<double>(pad) * sizeof(T) *
+                                 platform->scale() /
+                                 chunk.device->spec().memory_bandwidth;
+        stream.LaunchAsync(
+            fill_time,
+            [pad_begin, pad] {
+              std::fill(pad_begin, pad_begin + pad, SortableLimits<T>::Max());
+            },
+            "pad-fill");
+      }
+      co_await stream.Synchronize();
+    };
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(upload(i)));
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_htod = platform->simulator().Now();
+
+    // Phase 1b: local chunk sorts.
+    auto sort_chunk = [&](int i) -> sim::Task<void> {
+      auto& chunk = chunks[static_cast<std::size_t>(i)];
+      auto& stream = chunk.device->stream(0);
+      gpusort::SortAsync(stream, chunk.primary, 0, m, chunk.aux,
+                         options.device_sort);
+      co_await stream.Synchronize();
+    };
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(sort_chunk(i)));
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_sort = platform->simulator().Now();
+
+    // Phase 2: recursive P2P merge.
+    MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
+    co_await p2p_internal::MergeChunks(ctx, 0, g);
+    t_merge = platform->simulator().Now();
+
+    // Phase 3: DtoH (sentinels at the global tail stay behind).
+    auto download = [&](int i) -> sim::Task<void> {
+      auto& chunk = chunks[static_cast<std::size_t>(i)];
+      const std::int64_t begin = static_cast<std::int64_t>(i) * m;
+      const std::int64_t count = std::max<std::int64_t>(
+          0, std::min(m, n - begin));
+      auto& stream = chunk.device->stream(0);
+      if (count > 0) {
+        stream.MemcpyDtoHAsync(*data, begin, chunk.primary, 0, count);
+      }
+      co_await stream.Synchronize();
+    };
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
+      co_await sim::WhenAll(std::move(joins));
+    }
+  };
+  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+  stats.phases.htod = t_htod - t0;
+  stats.phases.sort = t_sort - t_htod;
+  stats.phases.merge = t_merge - t_sort;
+  stats.phases.dtoh = t0 + stats.total_seconds - t_merge;
+  return stats;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_P2P_SORT_H_

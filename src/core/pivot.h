@@ -1,0 +1,94 @@
+// Leftmost pivot selection (Section 5.2, Algorithm 1).
+//
+// Given two sorted arrays A and B of equal length n (each possibly spread
+// over several GPU chunks), the pivot p is the number of keys to exchange:
+// the last p keys of A swap with the first p keys of B, after which every
+// key in A is <= every key in B. Our implementation returns the *leftmost*
+// valid pivot — the minimum number of keys to transfer over the P2P
+// interconnect; for already-ordered halves it returns 0 and the swap is
+// skipped entirely (the paper's optimization over Tanasic et al.).
+
+#ifndef MGS_CORE_PIVOT_H_
+#define MGS_CORE_PIVOT_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace mgs::core {
+
+/// Read accessor for a (possibly chunked) sorted device array: returns the
+/// key at global index i in [0, n). Reads of the remote half model P2P
+/// memory accesses.
+template <typename T>
+using KeyReader = std::function<T(std::int64_t)>;
+
+/// Statistics of one pivot selection.
+struct PivotResult {
+  std::int64_t pivot = 0;       // keys to swap
+  int reads = 0;                // total keys inspected (latency model)
+};
+
+/// Which valid pivot to pick. The set of valid pivots is a contiguous
+/// interval (its width is the number of tied keys at the boundary):
+/// kLeftmost minimizes the P2P transfer volume (the paper's optimization);
+/// kRightmost maximizes it (an upper bound for any valid selection, used by
+/// the ablation bench to quantify the optimization).
+enum class PivotPolicy { kLeftmost, kRightmost };
+
+/// Leftmost valid pivot for sorted arrays A and B of equal size n.
+///
+/// Validity of p requires max(A') <= min(B') after the swap, which reduces
+/// to A[n-p-1] <= B[p] and B[p-1] <= A[n-p] (with virtual -inf / +inf
+/// sentinels at the boundaries). The set of valid pivots is a contiguous
+/// interval; its minimum is the smallest p with A[n-p-1] <= B[p], which a
+/// binary search finds in O(log n) reads.
+template <typename T>
+PivotResult SelectPivot(const KeyReader<T>& a, const KeyReader<T>& b,
+                        std::int64_t n,
+                        PivotPolicy policy = PivotPolicy::kLeftmost) {
+  PivotResult result;
+  if (n <= 0) return result;
+  if (policy == PivotPolicy::kRightmost) {
+    // Largest p with B[p-1] <= A[n-p] (p = 0 is always valid).
+    auto not_too_many = [&](std::int64_t p) {
+      if (p <= 0) return true;
+      result.reads += 2;
+      return !(a(n - p) < b(p - 1));  // b[p-1] <= a[n-p]
+    };
+    std::int64_t lo = 0, hi = n;  // invariant: Q(lo) true
+    while (lo < hi) {
+      const std::int64_t mid = lo + (hi - lo + 1) / 2;
+      if (not_too_many(mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    result.pivot = lo;
+    return result;
+  }
+  // Predicate R(p): swapping p keys is "enough" (A's kept part cannot
+  // exceed B's kept part). R is monotone in p and R(n) is true.
+  auto enough = [&](std::int64_t p) {
+    if (p >= n) return true;  // A[-1] = -inf
+    const std::int64_t ai = n - p - 1;
+    if (ai < 0) return true;
+    result.reads += 2;
+    return !(b(p) < a(ai));  // a[ai] <= b[p]
+  };
+  std::int64_t lo = 0, hi = n;  // invariant: R(hi) true, R(lo-1) false
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (enough(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.pivot = lo;
+  return result;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_PIVOT_H_

@@ -1,0 +1,317 @@
+// Radix/range-partitioning multi-GPU sort — the algorithm the paper's
+// Discussion (Section 7) proposes as future work: "reduce the P2P
+// communication by designing a radix partitioning-based multi-GPU sorting
+// algorithm which would require swapping keys between GPUs only once
+// (all-to-all). This approach would highly benefit systems with many
+// NVSwitch-interconnected GPUs such as the DGX A100."
+//
+// Phases:
+//   1. HtoD: chunks to the g GPUs (any g >= 1, not only powers of two).
+//   2. Splitter selection: each GPU contributes a key sample; the host
+//      sorts the combined sample and picks g-1 quantile splitters.
+//   3. Partition kernel: each GPU partitions its chunk into g contiguous
+//      buckets (bucket j holds keys destined for GPU j).
+//   4. One all-to-all exchange: bucket j of every GPU is copied (P2P; the
+//      diagonal device-locally) into GPU j's receive buffer.
+//   5. Each GPU locally sorts its received keys — partitions are disjoint
+//      ranges, so no merge phase exists.
+//   6. DtoH at the global offsets given by the partition sizes.
+//
+// Sampling makes partitions approximately balanced; receive buffers carry
+// a slack factor and the sort fails gracefully (kOutOfMemory) if a skewed
+// distribution overflows it — callers can retry with more slack.
+
+#ifndef MGS_CORE_RADIX_PARTITION_SORT_H_
+#define MGS_CORE_RADIX_PARTITION_SORT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/common.h"
+#include "gpusort/device_sort.h"
+#include "vgpu/platform.h"
+
+namespace mgs::core {
+
+struct RadixPartitionOptions : SortOptions {
+  /// Sample keys per GPU for splitter selection.
+  int samples_per_gpu = 256;
+  /// Receive-buffer headroom over the perfectly-balanced n/g.
+  double slack = 1.25;
+};
+
+/// Sorts `data` with the partition-then-sort algorithm. Requires the data
+/// (plus slack) to fit the combined GPU memory.
+template <typename T>
+Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
+                                     vgpu::HostBuffer<T>* data,
+                                     const RadixPartitionOptions& options) {
+  std::vector<int> gpus = options.gpu_set;
+  if (gpus.empty()) {
+    for (int g = 0; g < platform->num_devices(); ++g) gpus.push_back(g);
+  }
+  const int g = static_cast<int>(gpus.size());
+  if (g < 1) return Status::Invalid("need at least one GPU");
+  for (int id : gpus) {
+    if (id < 0 || id >= platform->num_devices()) {
+      return Status::Invalid("no such GPU: " + std::to_string(id));
+    }
+  }
+  const std::int64_t n = data->size();
+  SortStats stats;
+  stats.algorithm = "RDX sort (partition + all-to-all)";
+  stats.num_gpus = g;
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  if (n == 0) return stats;
+
+  const std::int64_t m = (n + g - 1) / g;  // send-side chunk
+  const std::int64_t recv_cap = static_cast<std::int64_t>(
+      static_cast<double>(m) * options.slack) + g;
+
+  struct Gpu {
+    vgpu::Device* device;
+    vgpu::DeviceBuffer<T> chunk;      // input chunk, later the sort scratch
+    vgpu::DeviceBuffer<T> buckets;    // partitioned send data
+    vgpu::DeviceBuffer<T> recv;      // received partition (then sorted)
+    std::int64_t count = 0;           // valid keys in chunk
+    std::vector<std::int64_t> bucket_offset;  // g+1 offsets into `buckets`
+    std::int64_t recv_count = 0;
+  };
+  std::vector<Gpu> state(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    auto& s = state[static_cast<std::size_t>(i)];
+    s.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
+    MGS_ASSIGN_OR_RETURN(s.chunk, s.device->template Allocate<T>(recv_cap));
+    MGS_ASSIGN_OR_RETURN(s.buckets, s.device->template Allocate<T>(m));
+    MGS_ASSIGN_OR_RETURN(s.recv, s.device->template Allocate<T>(recv_cap));
+    const std::int64_t begin = static_cast<std::int64_t>(i) * m;
+    s.count = std::max<std::int64_t>(0, std::min(m, n - begin));
+  }
+
+  double t0 = 0, t_htod = 0, t_partition = 0, t_exchange = 0, t_sort = 0;
+  std::vector<T> splitters;  // g-1 keys
+
+  auto root = [&]() -> sim::Task<void> {
+    t0 = platform->simulator().Now();
+    // Phase 1: HtoD.
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        auto upload = [&](int idx) -> sim::Task<void> {
+          auto& s = state[static_cast<std::size_t>(idx)];
+          if (s.count > 0) {
+            s.device->stream(0).MemcpyHtoDAsync(
+                s.chunk, 0, *data, static_cast<std::int64_t>(idx) * m,
+                s.count);
+          }
+          co_await s.device->stream(0).Synchronize();
+        };
+        joins.push_back(sim::Spawn(upload(i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_htod = platform->simulator().Now();
+
+    // Phase 2: splitter selection from per-GPU samples (host-side; the
+    // device reads are modeled like the pivot-selection accesses).
+    {
+      std::vector<T> sample;
+      int reads = 0;
+      for (int i = 0; i < g; ++i) {
+        auto& s = state[static_cast<std::size_t>(i)];
+        if (s.count == 0) continue;
+        const int take = options.samples_per_gpu;
+        for (int k = 0; k < take; ++k) {
+          const std::int64_t pos =
+              static_cast<std::int64_t>((s.count - 1) *
+                                        (static_cast<double>(k) / take));
+          sample.push_back(s.chunk[pos]);
+          ++reads;
+        }
+      }
+      std::sort(sample.begin(), sample.end());
+      splitters.clear();
+      for (int j = 1; j < g; ++j) {
+        splitters.push_back(
+            sample[sample.size() * static_cast<std::size_t>(j) /
+                   static_cast<std::size_t>(g)]);
+      }
+      const double cost = reads * kPivotRemoteReadLatency;
+      stats.pivot_seconds += cost;
+      co_await sim::Delay{platform->simulator(), cost};
+    }
+
+    // Phase 3: partition kernels (one linear pass over the chunk).
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        auto partition = [&](int idx) -> sim::Task<void> {
+          auto& s = state[static_cast<std::size_t>(idx)];
+          const double scale = platform->scale();
+          // A partition pass moves each key once: HBM-bound like one radix
+          // pass, ~1/4 of a full device sort.
+          const double duration =
+              gpusort::SortDuration(s.device->spec(),
+                                    gpusort::SortAlgo::kThrustRadix,
+                                    static_cast<double>(s.count) * scale,
+                                    sizeof(T)) /
+              4.0;
+          T* in = s.chunk.data();
+          T* out = s.buckets.data();
+          auto* offsets = &s.bucket_offset;
+          const std::int64_t count = s.count;
+          const auto* splits = &splitters;
+          const int groups = g;
+          s.device->stream(0).LaunchAsync(
+              duration,
+              [in, out, offsets, count, splits, groups] {
+                // Counting pass + stable scatter by destination GPU.
+                std::vector<std::int64_t> size(
+                    static_cast<std::size_t>(groups), 0);
+                auto dest = [&](const T& key) {
+                  return static_cast<int>(
+                      std::upper_bound(splits->begin(), splits->end(), key) -
+                      splits->begin());
+                };
+                for (std::int64_t k = 0; k < count; ++k) {
+                  ++size[static_cast<std::size_t>(dest(in[k]))];
+                }
+                offsets->assign(static_cast<std::size_t>(groups) + 1, 0);
+                for (int b = 0; b < groups; ++b) {
+                  (*offsets)[static_cast<std::size_t>(b) + 1] =
+                      (*offsets)[static_cast<std::size_t>(b)] +
+                      size[static_cast<std::size_t>(b)];
+                }
+                std::vector<std::int64_t> cursor(offsets->begin(),
+                                                 offsets->end() - 1);
+                for (std::int64_t k = 0; k < count; ++k) {
+                  out[cursor[static_cast<std::size_t>(dest(in[k]))]++] =
+                      in[k];
+                }
+              },
+              "partition");
+          co_await s.device->stream(0).Synchronize();
+        };
+        joins.push_back(sim::Spawn(partition(i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_partition = platform->simulator().Now();
+  };
+
+  MGS_ASSIGN_OR_RETURN(double first_half, platform->Run(root()));
+  (void)first_half;
+
+  // Receive offsets: recv_off[j][i] = where GPU i's bucket j lands in GPU
+  // j's receive buffer (host-side plan; sizes are known after partition).
+  std::vector<std::vector<std::int64_t>> recv_off(
+      static_cast<std::size_t>(g),
+      std::vector<std::int64_t>(static_cast<std::size_t>(g) + 1, 0));
+  for (int j = 0; j < g; ++j) {
+    std::int64_t acc = 0;
+    for (int i = 0; i < g; ++i) {
+      recv_off[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          acc;
+      const auto& off = state[static_cast<std::size_t>(i)].bucket_offset;
+      acc += off[static_cast<std::size_t>(j) + 1] -
+             off[static_cast<std::size_t>(j)];
+    }
+    recv_off[static_cast<std::size_t>(j)][static_cast<std::size_t>(g)] = acc;
+    state[static_cast<std::size_t>(j)].recv_count = acc;
+    if (acc > recv_cap) {
+      return Status::OutOfMemory(
+          "partition skew overflowed GPU " + std::to_string(j) +
+          "'s receive buffer (" + std::to_string(acc) + " > " +
+          std::to_string(recv_cap) + "); increase options.slack");
+    }
+  }
+
+  auto second = [&]() -> sim::Task<void> {
+    // Phase 4: single all-to-all exchange.
+    for (int i = 0; i < g; ++i) {
+      auto& src = state[static_cast<std::size_t>(i)];
+      for (int j = 0; j < g; ++j) {
+        auto& dst = state[static_cast<std::size_t>(j)];
+        const auto& off = src.bucket_offset;
+        const std::int64_t begin = off[static_cast<std::size_t>(j)];
+        const std::int64_t len =
+            off[static_cast<std::size_t>(j) + 1] - begin;
+        if (len == 0) continue;
+        const std::int64_t dst_at =
+            recv_off[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+        if (i == j) {
+          src.device->stream(1).MemcpyDtoDAsync(dst.recv, dst_at,
+                                                src.buckets, begin, len);
+        } else {
+          src.device->stream(0).MemcpyPeerAsync(dst.recv, dst_at,
+                                                src.buckets, begin, len);
+          stats.p2p_bytes += static_cast<double>(len) * sizeof(T) *
+                             platform->scale();
+        }
+      }
+    }
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        auto& s = state[static_cast<std::size_t>(i)];
+        joins.push_back(sim::Spawn(s.device->stream(0).Synchronize()));
+        joins.push_back(sim::Spawn(s.device->stream(1).Synchronize()));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_exchange = platform->simulator().Now();
+
+    // Phase 5: local sorts of the received partitions (chunk is scratch).
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        auto sort_local = [&](int idx) -> sim::Task<void> {
+          auto& s = state[static_cast<std::size_t>(idx)];
+          if (s.recv_count > 0) {
+            gpusort::SortAsync(s.device->stream(0), s.recv, 0, s.recv_count,
+                               s.chunk, options.device_sort);
+          }
+          co_await s.device->stream(0).Synchronize();
+        };
+        joins.push_back(sim::Spawn(sort_local(i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    t_sort = platform->simulator().Now();
+
+    // Phase 6: DtoH at global offsets.
+    {
+      std::int64_t out = 0;
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        auto& s = state[static_cast<std::size_t>(i)];
+        const std::int64_t at = out;
+        out += s.recv_count;
+        auto download = [&, at](int idx) -> sim::Task<void> {
+          auto& gs = state[static_cast<std::size_t>(idx)];
+          if (gs.recv_count > 0) {
+            gs.device->stream(0).MemcpyDtoHAsync(*data, at, gs.recv, 0,
+                                                 gs.recv_count);
+          }
+          co_await gs.device->stream(0).Synchronize();
+        };
+        joins.push_back(sim::Spawn(download(i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+  };
+  MGS_ASSIGN_OR_RETURN(double second_half, platform->Run(second()));
+
+  stats.total_seconds = first_half + second_half;
+  stats.phases.htod = t_htod - t0;
+  stats.phases.sort = (t_partition - t_htod) + (t_sort - t_exchange);
+  stats.phases.merge = t_exchange - t_partition;  // the all-to-all
+  stats.phases.dtoh = stats.total_seconds - (t_sort - t0);
+  stats.merge_stages = 1;
+  return stats;
+}
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_RADIX_PARTITION_SORT_H_

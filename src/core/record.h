@@ -1,0 +1,69 @@
+// Key-value records: what a database actually sorts (index entries, rowid
+// pairs, merge-join inputs — Section 1 motivates sorting with exactly these
+// workloads). The paper evaluates raw keys; this extension makes every
+// algorithm in the library (device radix sorts, PARADIS, multiway merge,
+// P2P/HET/RDX sort) work on fixed-width key/payload records with zero
+// algorithm changes: ordering comes from operator< and radix digit
+// extraction from the key's order-preserving encoding.
+
+#ifndef MGS_CORE_RECORD_H_
+#define MGS_CORE_RECORD_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "core/common.h"
+#include "cpusort/radix_traits.h"
+
+namespace mgs::core {
+
+/// A fixed-width sortable record: ordered by `key`; `value` (e.g. a rowid
+/// or tuple pointer) travels with it. POD, 8/12/16 bytes depending on K/V.
+template <typename K, typename V>
+struct Record {
+  K key;
+  V value;
+
+  friend bool operator<(const Record& a, const Record& b) {
+    return a.key < b.key;
+  }
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// The common database case: 32-bit key, 32-bit rowid.
+using IndexEntry32 = Record<std::int32_t, std::uint32_t>;
+/// Wide rows: 64-bit key, 64-bit tuple id.
+using IndexEntry64 = Record<std::int64_t, std::uint64_t>;
+
+}  // namespace mgs::core
+
+namespace mgs::core {
+
+/// Padding sentinel for records: maximal key (payload irrelevant).
+template <typename K, typename V>
+struct SortableLimits<Record<K, V>> {
+  static Record<K, V> Max() {
+    return Record<K, V>{std::numeric_limits<K>::max(), V{}};
+  }
+};
+
+}  // namespace mgs::core
+
+namespace mgs::cpusort {
+
+/// Radix sorting of records: digits come from the key's order-preserving
+/// encoding; Decode is never used by the radix kernels (they move whole
+/// elements), so it is deliberately unavailable for records.
+template <typename K, typename V>
+struct RadixTraits<mgs::core::Record<K, V>> {
+  using Unsigned = typename RadixTraits<K>::Unsigned;
+  static Unsigned Encode(const mgs::core::Record<K, V>& r) {
+    return RadixTraits<K>::Encode(r.key);
+  }
+};
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CORE_RECORD_H_

@@ -1,0 +1,14 @@
+// Umbrella header for the CPU sorting substrate.
+
+#ifndef MGS_CPUSORT_CPUSORT_H_
+#define MGS_CPUSORT_CPUSORT_H_
+
+#include "cpusort/loser_tree.h"         // IWYU pragma: export
+#include "cpusort/lsb_radix_sort.h"     // IWYU pragma: export
+#include "cpusort/merge_sort.h"         // IWYU pragma: export
+#include "cpusort/multiway_merge.h"     // IWYU pragma: export
+#include "cpusort/paradis_sort.h"       // IWYU pragma: export
+#include "cpusort/radix_traits.h"       // IWYU pragma: export
+#include "cpusort/sample_sort.h"        // IWYU pragma: export
+
+#endif  // MGS_CPUSORT_CPUSORT_H_

@@ -1,0 +1,116 @@
+// Loser-tree (tournament tree) for k-way merging: exactly ceil(log2 k)
+// comparisons per extracted key, the property that makes gnu_parallel's
+// multiway_merge the best conceivable k-way merge (Section 5.3).
+
+#ifndef MGS_CPUSORT_LOSER_TREE_H_
+#define MGS_CPUSORT_LOSER_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mgs::cpusort {
+
+/// A loser tree over k input cursors. The tree stores, at each internal
+/// node, the *loser* of the comparison between the winners of its subtrees;
+/// the overall winner sits at the root. Replacing the winner and replaying
+/// its leaf-to-root path costs exactly the tree height in comparisons.
+template <typename T>
+class LoserTree {
+ public:
+  struct Source {
+    const T* begin;
+    const T* end;
+  };
+
+  explicit LoserTree(std::vector<Source> sources)
+      : sources_(std::move(sources)) {
+    k_ = static_cast<int>(sources_.size());
+    size_ = 1;
+    while (size_ < k_) size_ *= 2;
+    tree_.assign(static_cast<std::size_t>(2 * size_), -1);
+    Build();
+  }
+
+  /// True if every source is exhausted.
+  bool Empty() const { return winner_ < 0; }
+
+  /// Current smallest key across all sources. Precondition: !Empty().
+  const T& Top() const { return *sources_[winner_].begin; }
+
+  /// Index of the source holding the current smallest key.
+  int TopSource() const { return winner_; }
+
+  /// Advances past the current smallest key and replays the path.
+  void Pop() {
+    ++sources_[winner_].begin;
+    Replay(winner_);
+  }
+
+ private:
+  // Winner of a match: the source with the smaller current key; exhausted
+  // sources always lose. Ties go to the lower index (stable merge).
+  int Winner(int a, int b) const {
+    if (a < 0) return b;
+    if (b < 0) return a;
+    const bool a_empty = sources_[a].begin == sources_[a].end;
+    const bool b_empty = sources_[b].begin == sources_[b].end;
+    if (a_empty) return b_empty ? -1 : b;
+    if (b_empty) return a;
+    const T& ka = *sources_[a].begin;
+    const T& kb = *sources_[b].begin;
+    if (kb < ka) return b;
+    if (ka < kb) return a;
+    return a < b ? a : b;  // equal keys: lower source index (stability)
+  }
+
+  void Build() {
+    // Leaves at [size_, 2*size_): source i or -1 padding.
+    std::vector<int> winners(static_cast<std::size_t>(2 * size_), -1);
+    for (int i = 0; i < size_; ++i) {
+      winners[static_cast<std::size_t>(size_ + i)] = i < k_ ? i : -1;
+    }
+    for (int node = size_ - 1; node >= 1; --node) {
+      const int a = winners[static_cast<std::size_t>(2 * node)];
+      const int b = winners[static_cast<std::size_t>(2 * node + 1)];
+      const int w = Winner(a, b);
+      winners[static_cast<std::size_t>(node)] = w;
+      tree_[static_cast<std::size_t>(node)] = (w == a) ? b : a;  // loser
+    }
+    winner_ = Normalize(winners[1]);
+  }
+
+  // An exhausted source can only be the overall winner when every source is
+  // exhausted (exhausted sources always lose matches): report tree-empty.
+  int Normalize(int winner) const {
+    if (winner >= 0 && sources_[winner].begin == sources_[winner].end) {
+      return -1;
+    }
+    return winner;
+  }
+
+  void Replay(int source) {
+    int node = (size_ + source) / 2;
+    int winner = source;
+    while (node >= 1) {
+      const int loser = tree_[static_cast<std::size_t>(node)];
+      const int w = Winner(winner, loser);
+      if (w != winner) {
+        tree_[static_cast<std::size_t>(node)] = winner;
+        winner = w;
+      }
+      node /= 2;
+    }
+    winner_ = Normalize(winner);
+  }
+
+  std::vector<Source> sources_;
+  int k_ = 0;
+  int size_ = 1;        // number of leaves (power of two)
+  std::vector<int> tree_;  // tree_[node] = losing source index, -1 = none
+  int winner_ = -1;
+};
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_LOSER_TREE_H_

@@ -1,0 +1,94 @@
+// Parallel out-of-place LSB (least-significant-bit-first) radix sort, after
+// Polychroniou & Ross (SIGMOD '14) without the SIMD intrinsics: per-thread
+// histograms, a cross-thread prefix sum that assigns each thread a private
+// scatter window per bucket, and a stable scatter pass per 8-bit digit.
+//
+// This is also the functional body of the Thrust/CUB device radix sort in
+// the GPU simulator (src/gpusort).
+
+#ifndef MGS_CPUSORT_LSB_RADIX_SORT_H_
+#define MGS_CPUSORT_LSB_RADIX_SORT_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpusort/radix_traits.h"
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+
+inline constexpr int kRadixBuckets = 256;
+
+/// Sorts data[0, n) ascending using aux[0, n) as scratch. After return the
+/// sorted result is in data (an extra copy pass is made if the final
+/// ping-pong parity lands in aux). `pool` may be null for single-threaded.
+template <typename T>
+void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
+  if (n <= 1) return;
+  const int digits = kRadixDigits<T>;
+  T* src = data;
+  T* dst = aux;
+
+  const int threads = pool ? std::max(1, pool->num_threads()) : 1;
+  const std::int64_t shard = (n + threads - 1) / threads;
+
+  for (int d = 0; d < digits; ++d) {
+    // Per-thread histograms.
+    std::vector<std::array<std::int64_t, kRadixBuckets>> hist(
+        static_cast<std::size_t>(threads));
+    auto histogram = [&](int t) {
+      auto& h = hist[static_cast<std::size_t>(t)];
+      h.fill(0);
+      const std::int64_t b = t * shard;
+      const std::int64_t e = std::min<std::int64_t>(b + shard, n);
+      for (std::int64_t i = b; i < e; ++i) ++h[RadixDigit(src[i], d)];
+    };
+    if (pool && threads > 1) {
+      for (int t = 0; t < threads; ++t) pool->Submit([&, t] { histogram(t); });
+      pool->Wait();
+    } else {
+      for (int t = 0; t < threads; ++t) histogram(t);
+    }
+
+    // Column-major prefix sum: thread t's write cursor for bucket b starts
+    // after all lower buckets and after buckets b of threads < t. This
+    // keeps the scatter stable.
+    std::int64_t running = 0;
+    std::vector<std::array<std::int64_t, kRadixBuckets>> offset(
+        static_cast<std::size_t>(threads));
+    for (int b = 0; b < kRadixBuckets; ++b) {
+      for (int t = 0; t < threads; ++t) {
+        offset[static_cast<std::size_t>(t)][b] = running;
+        running += hist[static_cast<std::size_t>(t)][b];
+      }
+    }
+
+    // Scatter.
+    auto scatter = [&](int t) {
+      auto& off = offset[static_cast<std::size_t>(t)];
+      const std::int64_t b = t * shard;
+      const std::int64_t e = std::min<std::int64_t>(b + shard, n);
+      for (std::int64_t i = b; i < e; ++i) {
+        dst[off[RadixDigit(src[i], d)]++] = src[i];
+      }
+    };
+    if (pool && threads > 1) {
+      for (int t = 0; t < threads; ++t) pool->Submit([&, t] { scatter(t); });
+      pool->Wait();
+    } else {
+      for (int t = 0; t < threads; ++t) scatter(t);
+    }
+
+    std::swap(src, dst);
+  }
+
+  if (src != data) {
+    std::copy(src, src + n, data);
+  }
+}
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_LSB_RADIX_SORT_H_

@@ -1,0 +1,44 @@
+// Bottom-up merge sort with ping-pong buffers. Serves as the functional
+// body of the MGPU (Modern GPU) merge-sort primitive in the GPU simulator
+// and as a comparison-based CPU baseline.
+
+#ifndef MGS_CPUSORT_MERGE_SORT_H_
+#define MGS_CPUSORT_MERGE_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+
+/// Sorts data[0, n) ascending using aux[0, n) as scratch. Stable. `pool`
+/// parallelizes independent run merges within each pass.
+template <typename T>
+void MergeSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
+  if (n <= 1) return;
+  T* src = data;
+  T* dst = aux;
+  for (std::int64_t width = 1; width < n; width *= 2) {
+    const std::int64_t pairs = (n + 2 * width - 1) / (2 * width);
+    auto merge_pair = [&](std::int64_t p) {
+      const std::int64_t lo = p * 2 * width;
+      const std::int64_t mid = std::min(lo + width, n);
+      const std::int64_t hi = std::min(lo + 2 * width, n);
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo);
+    };
+    if (pool && pool->num_threads() > 1 && pairs > 1 && n >= 4096) {
+      pool->ParallelFor(pairs, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t p = b; p < e; ++p) merge_pair(p);
+      }, /*min_shard=*/1);
+    } else {
+      for (std::int64_t p = 0; p < pairs; ++p) merge_pair(p);
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::copy(src, src + n, data);
+}
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_MERGE_SORT_H_

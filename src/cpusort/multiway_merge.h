@@ -1,0 +1,224 @@
+// Parallel k-way merge, functionally equivalent to
+// gnu_parallel::multiway_merge (Section 5.3): a loser tree gives log(k)
+// comparisons per key; a multisequence selection splits the output range
+// into independent shards so every pool thread merges its own slice.
+
+#ifndef MGS_CPUSORT_MULTIWAY_MERGE_H_
+#define MGS_CPUSORT_MULTIWAY_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cpusort/loser_tree.h"
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+
+template <typename T>
+struct MergeInput {
+  const T* begin;
+  const T* end;
+  std::int64_t size() const { return end - begin; }
+};
+
+namespace multiway_internal {
+
+/// Multisequence selection: finds, for a global rank r (0-based count of
+/// keys), per-input split positions p_i with sum(p_i) == r such that every
+/// key below a split is <= every key above any split (i.e. the splits
+/// delimit the r smallest keys overall). Handles duplicates by distributing
+/// the equal-key run left-to-right across inputs.
+template <typename T>
+std::vector<std::int64_t> MultisequenceSelect(
+    const std::vector<MergeInput<T>>& inputs, std::int64_t rank) {
+  const std::size_t k = inputs.size();
+  std::vector<std::int64_t> splits(k, 0);
+  if (rank <= 0) return splits;
+
+  // Binary search over the value domain using a candidate key drawn from
+  // the inputs: classic "find the key with global rank r" via repeatedly
+  // picking the median candidate position.
+  // We binary search on (input, position) candidates: collect the set of
+  // all positions is too big; instead search each input's positions via a
+  // global value-space binary search: find the smallest key v such that
+  // count of keys < v is <= rank <= count of keys <= v.
+  // Candidate values come from the inputs themselves (rank is achieved at
+  // some key boundary).
+  // Search bounds as (input index, offset) pairs are complex; simpler and
+  // O(k log^2 n): binary search on the answer per a pivot value chosen by
+  // bisection over one input at a time.
+  //
+  // Implementation: gather a sorted range of candidate pivots by binary
+  // searching the value space through repeated probing.
+  auto count_less = [&](const T& v) {
+    std::int64_t c = 0;
+    for (const auto& in : inputs) {
+      c += std::lower_bound(in.begin, in.end, v) - in.begin;
+    }
+    return c;
+  };
+  auto count_less_equal = [&](const T& v) {
+    std::int64_t c = 0;
+    for (const auto& in : inputs) {
+      c += std::upper_bound(in.begin, in.end, v) - in.begin;
+    }
+    return c;
+  };
+
+  // Binary search over candidate keys: the search space is the union of
+  // input keys; we bisect by (input, index) lexicographic midpoints.
+  // Maintain lo_i/hi_i bounds per input.
+  std::vector<std::int64_t> lo(k, 0), hi(k);
+  for (std::size_t i = 0; i < k; ++i) hi[i] = inputs[i].size();
+  // The pivot v is the key at the midpoint of the largest remaining input
+  // interval; converges since every round halves at least one interval.
+  for (;;) {
+    // Pick the input with the largest open interval.
+    std::size_t best = k;
+    std::int64_t best_len = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (hi[i] - lo[i] > best_len) {
+        best_len = hi[i] - lo[i];
+        best = i;
+      }
+    }
+    if (best == k) break;  // all intervals empty: bounds converged
+    const std::int64_t mid = lo[best] + (hi[best] - lo[best]) / 2;
+    const T v = inputs[best].begin[mid];
+    if (count_less(v) > rank) {
+      // v is too large: discard positions >= mid in every input.
+      for (std::size_t i = 0; i < k; ++i) {
+        hi[i] = std::min<std::int64_t>(
+            hi[i], std::lower_bound(inputs[i].begin, inputs[i].end, v) -
+                       inputs[i].begin);
+        if (hi[i] < lo[i]) lo[i] = hi[i];
+      }
+    } else if (count_less_equal(v) < rank) {
+      // v is too small: discard positions <= those holding keys <= v.
+      for (std::size_t i = 0; i < k; ++i) {
+        lo[i] = std::max<std::int64_t>(
+            lo[i], std::upper_bound(inputs[i].begin, inputs[i].end, v) -
+                       inputs[i].begin);
+        if (hi[i] < lo[i]) hi[i] = lo[i];
+      }
+    } else {
+      // v is the boundary key: take all keys < v, then fill the remainder
+      // from the equal-v runs, left to right.
+      std::int64_t taken = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        splits[i] = std::lower_bound(inputs[i].begin, inputs[i].end, v) -
+                    inputs[i].begin;
+        taken += splits[i];
+      }
+      for (std::size_t i = 0; i < k && taken < rank; ++i) {
+        const std::int64_t run_end =
+            std::upper_bound(inputs[i].begin, inputs[i].end, v) -
+            inputs[i].begin;
+        const std::int64_t extra =
+            std::min(run_end - splits[i], rank - taken);
+        splits[i] += extra;
+        taken += extra;
+      }
+      return splits;
+    }
+  }
+  // Degenerate convergence (possible when rank == total): all bounds met.
+  for (std::size_t i = 0; i < k; ++i) splits[i] = lo[i];
+  return splits;
+}
+
+/// Sequential k-way merge of `inputs` into out[0, total).
+template <typename T>
+void SequentialMerge(const std::vector<MergeInput<T>>& inputs, T* out) {
+  if (inputs.size() == 2) {
+    // Two-way fast path.
+    std::merge(inputs[0].begin, inputs[0].end, inputs[1].begin, inputs[1].end,
+               out);
+    return;
+  }
+  typename LoserTree<T>::Source src;
+  std::vector<typename LoserTree<T>::Source> sources;
+  sources.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    src.begin = in.begin;
+    src.end = in.end;
+    sources.push_back(src);
+  }
+  LoserTree<T> tree(std::move(sources));
+  while (!tree.Empty()) {
+    *out++ = tree.Top();
+    tree.Pop();
+  }
+}
+
+}  // namespace multiway_internal
+
+/// Merges k sorted inputs into `out` (caller-provided, must hold the sum of
+/// input sizes). Out-of-place, stable across inputs. `pool` enables the
+/// parallel split; null runs sequentially.
+template <typename T>
+void MultiwayMerge(const std::vector<MergeInput<T>>& inputs, T* out,
+                   ThreadPool* pool = nullptr) {
+  using multiway_internal::MultisequenceSelect;
+  using multiway_internal::SequentialMerge;
+  if (inputs.empty()) return;
+  std::int64_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  if (total == 0) return;
+
+  const int threads = pool ? std::max(1, pool->num_threads()) : 1;
+  if (threads == 1 || total < 4096) {
+    SequentialMerge(inputs, out);
+    return;
+  }
+
+  // Split the output into `threads` shards at global ranks; each shard
+  // merges its per-input sub-ranges independently.
+  std::vector<std::vector<std::int64_t>> cuts(
+      static_cast<std::size_t>(threads) + 1);
+  cuts[0].assign(inputs.size(), 0);
+  for (int t = 1; t < threads; ++t) {
+    cuts[static_cast<std::size_t>(t)] =
+        MultisequenceSelect(inputs, total * t / threads);
+  }
+  cuts[static_cast<std::size_t>(threads)].resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    cuts[static_cast<std::size_t>(threads)][i] = inputs[i].size();
+  }
+
+  for (int t = 0; t < threads; ++t) {
+    pool->Submit([&, t] {
+      const auto& a = cuts[static_cast<std::size_t>(t)];
+      const auto& b = cuts[static_cast<std::size_t>(t) + 1];
+      std::vector<MergeInput<T>> shard;
+      std::int64_t out_offset = 0;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        shard.push_back(
+            MergeInput<T>{inputs[i].begin + a[i], inputs[i].begin + b[i]});
+        out_offset += a[i];
+      }
+      SequentialMerge(shard, out + out_offset);
+    });
+  }
+  pool->Wait();
+}
+
+/// Convenience overload for vectors of vectors.
+template <typename T>
+void MultiwayMerge(const std::vector<std::vector<T>>& inputs, std::vector<T>* out,
+                   ThreadPool* pool = nullptr) {
+  std::vector<MergeInput<T>> views;
+  std::int64_t total = 0;
+  views.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    views.push_back(MergeInput<T>{in.data(), in.data() + in.size()});
+    total += static_cast<std::int64_t>(in.size());
+  }
+  out->resize(static_cast<std::size_t>(total));
+  MultiwayMerge(views, out->data(), pool);
+}
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_MULTIWAY_MERGE_H_

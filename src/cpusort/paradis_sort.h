@@ -1,0 +1,237 @@
+// PARADIS-style parallel in-place radix sort, after Cho, Brand, Bordawekar,
+// Finkler, Kulandaisamy, Puri: "PARADIS: An Efficient Parallel Algorithm for
+// In-Place Radix Sort" (PVLDB 8(12), 2015). This is the paper's CPU-only
+// sorting baseline (Section 6, "CPU Sort Baseline").
+//
+// Structure (faithful to the original's phases):
+//  * MSD radix, 8-bit digits;
+//  * per-level: parallel histogram, then iterated
+//      {speculative permutation, repair}
+//    rounds. In the speculative phase each thread owns a private stripe of
+//    every bucket's unresolved region and permutes elements into its own
+//    stripes without synchronization, leaving elements it cannot place
+//    ("speculation misses") in place. The repair phase compacts each
+//    bucket's correctly-placed elements to the region's tail so the next
+//    round's unresolved regions stay contiguous.
+//  * buckets are then sorted recursively; top-level buckets are distributed
+//    across the thread pool, recursion within a bucket is sequential.
+//
+// A serial cycle-chasing fallback guarantees termination even in the
+// adversarial case where a speculative round makes no progress.
+
+#ifndef MGS_CPUSORT_PARADIS_SORT_H_
+#define MGS_CPUSORT_PARADIS_SORT_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpusort/radix_traits.h"
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+
+namespace paradis_internal {
+
+inline constexpr std::int64_t kComparisonSortCutoff = 128;
+
+/// One speculative round over the unresolved regions of all 256 buckets,
+/// executed by a single thread on its private stripes.
+/// stripes[b] = {begin, end} of this thread's stripe in bucket b.
+template <typename T>
+void SpeculativePermute(T* a, int digit,
+                        std::array<std::int64_t, 256>& head,
+                        const std::array<std::int64_t, 256>& tail) {
+  for (int b = 0; b < 256; ++b) {
+    for (std::int64_t pos = head[b]; pos < tail[b]; ++pos) {
+      T v = a[pos];
+      unsigned k = RadixDigit(v, digit);
+      // Chase the displacement cycle while there is room in the private
+      // stripe of the destination bucket.
+      while (k != static_cast<unsigned>(b) &&
+             head[k] < tail[k]) {
+        std::swap(v, a[head[k]]);
+        ++head[k];
+        k = RadixDigit(v, digit);
+      }
+      a[pos] = v;
+      if (k == static_cast<unsigned>(b) && pos == head[b]) {
+        ++head[b];
+      }
+    }
+  }
+}
+
+/// Serial fallback: classic in-place cycle placement (American flag sort)
+/// over the unresolved regions. Always terminates.
+template <typename T>
+void SerialCyclePlace(T* a, int digit, std::array<std::int64_t, 256>& head,
+                      const std::array<std::int64_t, 256>& tail) {
+  for (int b = 0; b < 256; ++b) {
+    while (head[b] < tail[b]) {
+      T v = a[head[b]];
+      unsigned k = RadixDigit(v, digit);
+      while (k != static_cast<unsigned>(b)) {
+        std::swap(v, a[head[k]]);
+        ++head[k];
+        k = RadixDigit(v, digit);
+      }
+      a[head[b]] = v;
+      ++head[b];
+    }
+  }
+}
+
+template <typename T>
+void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
+               ThreadPool* pool, bool parallel);
+
+/// Recursion into the 256 buckets of one resolved level.
+template <typename T>
+void RecurseBuckets(T* a, const std::array<std::int64_t, 257>& bounds,
+                    int digit, ThreadPool* pool, bool parallel) {
+  if (digit == 0) return;
+  if (parallel && pool && pool->num_threads() > 1) {
+    for (int b = 0; b < 256; ++b) {
+      const std::int64_t lo = bounds[b], hi = bounds[b + 1];
+      if (hi - lo <= 1) continue;
+      pool->Submit([a, lo, hi, digit, pool] {
+        SortLevel(a, lo, hi, digit - 1, pool, /*parallel=*/false);
+      });
+    }
+    pool->Wait();
+  } else {
+    for (int b = 0; b < 256; ++b) {
+      const std::int64_t lo = bounds[b], hi = bounds[b + 1];
+      if (hi - lo <= 1) continue;
+      SortLevel(a, lo, hi, digit - 1, pool, /*parallel=*/false);
+    }
+  }
+}
+
+template <typename T>
+void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
+               ThreadPool* pool, bool parallel) {
+  const std::int64_t n = hi - lo;
+  if (n <= 1) return;
+  if (n <= kComparisonSortCutoff) {
+    std::sort(a + lo, a + hi);
+    return;
+  }
+
+  // Histogram.
+  std::array<std::int64_t, 256> count{};
+  if (parallel && pool && pool->num_threads() > 1) {
+    const int threads = pool->num_threads();
+    std::vector<std::array<std::int64_t, 256>> partial(
+        static_cast<std::size_t>(threads));
+    const std::int64_t shard = (n + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      pool->Submit([&, t] {
+        auto& h = partial[static_cast<std::size_t>(t)];
+        h.fill(0);
+        const std::int64_t b = lo + t * shard;
+        const std::int64_t e = std::min<std::int64_t>(b + shard, hi);
+        for (std::int64_t i = b; i < e; ++i) ++h[RadixDigit(a[i], digit)];
+      });
+    }
+    pool->Wait();
+    for (const auto& h : partial) {
+      for (int b = 0; b < 256; ++b) count[b] += h[b];
+    }
+  } else {
+    for (std::int64_t i = lo; i < hi; ++i) ++count[RadixDigit(a[i], digit)];
+  }
+
+  std::array<std::int64_t, 257> bounds{};
+  bounds[0] = lo;
+  for (int b = 0; b < 256; ++b) bounds[b + 1] = bounds[b] + count[b];
+
+  // Unresolved region per bucket.
+  std::array<std::int64_t, 256> gh, gt;
+  for (int b = 0; b < 256; ++b) {
+    gh[b] = bounds[b];
+    gt[b] = bounds[b + 1];
+  }
+
+  auto unresolved = [&] {
+    std::int64_t total = 0;
+    for (int b = 0; b < 256; ++b) total += gt[b] - gh[b];
+    return total;
+  };
+
+  const int threads =
+      (parallel && pool) ? std::max(1, pool->num_threads()) : 1;
+
+  std::int64_t remaining = unresolved();
+  while (remaining > 0) {
+    if (threads == 1) {
+      SerialCyclePlace(a, digit, gh, gt);
+      break;
+    }
+    // Partition every bucket's unresolved region into `threads` stripes.
+    std::vector<std::array<std::int64_t, 256>> head(
+        static_cast<std::size_t>(threads));
+    std::vector<std::array<std::int64_t, 256>> tail(
+        static_cast<std::size_t>(threads));
+    for (int b = 0; b < 256; ++b) {
+      const std::int64_t size = gt[b] - gh[b];
+      std::int64_t start = gh[b];
+      for (int t = 0; t < threads; ++t) {
+        const std::int64_t part =
+            size / threads + (t < size % threads ? 1 : 0);
+        head[static_cast<std::size_t>(t)][b] = start;
+        tail[static_cast<std::size_t>(t)][b] = start + part;
+        start += part;
+      }
+    }
+    // Speculative permutation: threads work on disjoint stripes.
+    for (int t = 0; t < threads; ++t) {
+      pool->Submit([&, t] {
+        SpeculativePermute(a, digit, head[static_cast<std::size_t>(t)],
+                           tail[static_cast<std::size_t>(t)]);
+      });
+    }
+    pool->Wait();
+    // Repair: per bucket, compact correct elements to the region tail so
+    // the unresolved region stays a contiguous prefix.
+    for (int b = 0; b < 256; ++b) {
+      pool->Submit([&, b] {
+        std::int64_t write = gt[b];
+        for (std::int64_t pos = gt[b] - 1; pos >= gh[b]; --pos) {
+          if (RadixDigit(a[pos], digit) == static_cast<unsigned>(b)) {
+            --write;
+            std::swap(a[pos], a[write]);
+          }
+        }
+        gt[b] = write;
+      });
+    }
+    pool->Wait();
+
+    const std::int64_t now_remaining = unresolved();
+    if (now_remaining >= remaining) {
+      // No progress (pathological stripe imbalance): finish serially.
+      SerialCyclePlace(a, digit, gh, gt);
+      break;
+    }
+    remaining = now_remaining;
+  }
+
+  RecurseBuckets(a, bounds, digit, pool, parallel);
+}
+
+}  // namespace paradis_internal
+
+/// Sorts data[0, n) ascending, in place. `pool` enables parallel execution
+/// (top-level histogram/permutation and bucket-level task parallelism).
+template <typename T>
+void ParadisSort(T* data, std::int64_t n, ThreadPool* pool = nullptr) {
+  paradis_internal::SortLevel(data, 0, n, kRadixDigits<T> - 1, pool,
+                              /*parallel=*/pool != nullptr);
+}
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_PARADIS_SORT_H_

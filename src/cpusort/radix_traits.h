@@ -1,0 +1,100 @@
+// Order-preserving bit encodings for radix sorting signed integers and
+// IEEE-754 floats (the paper sorts int32/int64/float32/float64, Section 6.3).
+
+#ifndef MGS_CPUSORT_RADIX_TRAITS_H_
+#define MGS_CPUSORT_RADIX_TRAITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace mgs::cpusort {
+
+/// Maps T to an unsigned integer of equal width such that
+/// a < b  <=>  Encode(a) < Encode(b). Decode inverts Encode.
+template <typename T>
+struct RadixTraits;
+
+template <>
+struct RadixTraits<std::uint32_t> {
+  using Unsigned = std::uint32_t;
+  static Unsigned Encode(std::uint32_t v) { return v; }
+  static std::uint32_t Decode(Unsigned u) { return u; }
+};
+
+template <>
+struct RadixTraits<std::uint64_t> {
+  using Unsigned = std::uint64_t;
+  static Unsigned Encode(std::uint64_t v) { return v; }
+  static std::uint64_t Decode(Unsigned u) { return u; }
+};
+
+template <>
+struct RadixTraits<std::int32_t> {
+  using Unsigned = std::uint32_t;
+  static Unsigned Encode(std::int32_t v) {
+    return static_cast<Unsigned>(v) ^ 0x8000'0000u;
+  }
+  static std::int32_t Decode(Unsigned u) {
+    return static_cast<std::int32_t>(u ^ 0x8000'0000u);
+  }
+};
+
+template <>
+struct RadixTraits<std::int64_t> {
+  using Unsigned = std::uint64_t;
+  static Unsigned Encode(std::int64_t v) {
+    return static_cast<Unsigned>(v) ^ 0x8000'0000'0000'0000ull;
+  }
+  static std::int64_t Decode(Unsigned u) {
+    return static_cast<std::int64_t>(u ^ 0x8000'0000'0000'0000ull);
+  }
+};
+
+template <>
+struct RadixTraits<float> {
+  using Unsigned = std::uint32_t;
+  static Unsigned Encode(float v) {
+    const auto bits = std::bit_cast<Unsigned>(v);
+    // Negative floats: flip all bits (reverses their order); positive:
+    // set the sign bit (places them above all negatives).
+    return (bits & 0x8000'0000u) ? ~bits : bits | 0x8000'0000u;
+  }
+  static float Decode(Unsigned u) {
+    const Unsigned bits = (u & 0x8000'0000u) ? u & 0x7fff'ffffu : ~u;
+    return std::bit_cast<float>(bits);
+  }
+};
+
+template <>
+struct RadixTraits<double> {
+  using Unsigned = std::uint64_t;
+  static Unsigned Encode(double v) {
+    const auto bits = std::bit_cast<Unsigned>(v);
+    return (bits & 0x8000'0000'0000'0000ull)
+               ? ~bits
+               : bits | 0x8000'0000'0000'0000ull;
+  }
+  static double Decode(Unsigned u) {
+    const Unsigned bits = (u & 0x8000'0000'0000'0000ull)
+                              ? u & 0x7fff'ffff'ffff'ffffull
+                              : ~u;
+    return std::bit_cast<double>(bits);
+  }
+};
+
+/// Digit extraction on the encoded key: digit `d` counts from the least
+/// significant end, 8 bits per digit.
+template <typename T>
+inline unsigned RadixDigit(T v, int digit) {
+  const auto u = RadixTraits<T>::Encode(v);
+  return static_cast<unsigned>((u >> (8 * digit)) & 0xff);
+}
+
+/// Number of 8-bit digits in T's key.
+template <typename T>
+inline constexpr int kRadixDigits = static_cast<int>(sizeof(T));
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_RADIX_TRAITS_H_

@@ -1,0 +1,48 @@
+// Parallel sample sort, in the style of gnu_parallel's balanced multiway
+// mergesort / TBB parallel_sort (the library baselines of Section 6's "CPU
+// Sort Baseline"): shard the input, sort shards locally, then produce the
+// output with one parallel multiway merge.
+
+#ifndef MGS_CPUSORT_SAMPLE_SORT_H_
+#define MGS_CPUSORT_SAMPLE_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cpusort/multiway_merge.h"
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+
+/// Sorts data[0, n) ascending using aux[0, n) as scratch. Comparison-based
+/// and stable; parallel across `pool` (null runs std::stable_sort).
+template <typename T>
+void SampleSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
+  if (n <= 1) return;
+  const int threads = pool ? std::max(1, pool->num_threads()) : 1;
+  if (threads == 1 || n < 8192) {
+    std::stable_sort(data, data + n);
+    return;
+  }
+  // Phase 1: sort `threads` contiguous shards in parallel.
+  const std::int64_t shard = (n + threads - 1) / threads;
+  std::vector<MergeInput<T>> runs;
+  for (int t = 0; t < threads; ++t) {
+    const std::int64_t begin = t * shard;
+    const std::int64_t end = std::min<std::int64_t>(begin + shard, n);
+    if (begin >= end) break;
+    runs.push_back(MergeInput<T>{data + begin, data + end});
+    pool->Submit([data, begin, end] {
+      std::stable_sort(data + begin, data + end);
+    });
+  }
+  pool->Wait();
+  // Phase 2: one parallel multiway merge into aux, then copy back.
+  MultiwayMerge(runs, aux, pool);
+  std::copy(aux, aux + n, data);
+}
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CPUSORT_SAMPLE_SORT_H_

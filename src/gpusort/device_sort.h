@@ -1,0 +1,87 @@
+// Stream-level device sort/merge launches: couple the functional algorithms
+// (src/cpusort, executing on the simulated device's memory) with the
+// calibrated duration model (src/gpusort/primitives.h).
+
+#ifndef MGS_GPUSORT_DEVICE_SORT_H_
+#define MGS_GPUSORT_DEVICE_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cpusort/cpusort.h"
+#include "gpusort/primitives.h"
+#include "vgpu/platform.h"
+
+namespace mgs::gpusort {
+
+/// Enqueues a device sort of data[offset, offset+count) on `stream`.
+/// `aux` is the auxiliary buffer thrust::sort/CUB require (capacity >=
+/// count); in-place algorithms (Stehle MSB) ignore it. Keys are sorted
+/// ascending.
+template <typename T>
+void SortAsync(vgpu::Stream& stream, vgpu::DeviceBuffer<T>& data,
+               std::int64_t offset, std::int64_t count,
+               vgpu::DeviceBuffer<T>& aux,
+               SortAlgo algo = SortAlgo::kThrustRadix) {
+  CheckOk(offset >= 0 && count >= 0 && offset + count <= data.size() &&
+                  (algo == SortAlgo::kStehleMsb || count <= aux.size())
+              ? Status::OK()
+              : Status::Invalid("SortAsync: bad range or aux too small"));
+  const auto& spec = stream.device()->spec();
+  const double scale = stream.device()->platform()->scale();
+  const double duration =
+      SortDuration(spec, algo, static_cast<double>(count) * scale, sizeof(T));
+  T* d = data.data() + offset;
+  T* a = aux.data();
+  stream.LaunchAsync(
+      duration,
+      [d, a, count, algo] {
+        switch (algo) {
+          case SortAlgo::kThrustRadix:
+          case SortAlgo::kCubRadix:
+            cpusort::LsbRadixSort(d, a, count);
+            break;
+          case SortAlgo::kStehleMsb:
+            cpusort::ParadisSort(d, count);
+            break;
+          case SortAlgo::kMgpuMerge:
+            cpusort::MergeSort(d, a, count);
+            break;
+        }
+      },
+      std::string("sort:") + SortAlgoToString(algo));
+}
+
+/// Enqueues a device-local two-way merge: merges the sorted runs
+/// src[a_off, a_off+a_len) and src[b_off, b_off+b_len) into
+/// dst[dst_off, ...). `dst` must be a different buffer on the same device
+/// (thrust::merge is out-of-place).
+template <typename T>
+void MergeLocalAsync(vgpu::Stream& stream, vgpu::DeviceBuffer<T>& dst,
+                     std::int64_t dst_off, const vgpu::DeviceBuffer<T>& src,
+                     std::int64_t a_off, std::int64_t a_len,
+                     std::int64_t b_off, std::int64_t b_len) {
+  CheckOk(a_off >= 0 && b_off >= 0 && a_len >= 0 && b_len >= 0 &&
+                  a_off + a_len <= src.size() && b_off + b_len <= src.size() &&
+                  dst_off >= 0 && dst_off + a_len + b_len <= dst.size() &&
+                  dst.device_id() == src.device_id() && &dst != &src
+              ? Status::OK()
+              : Status::Invalid("MergeLocalAsync: bad ranges"));
+  const auto& spec = stream.device()->spec();
+  const double scale = stream.device()->platform()->scale();
+  const double duration = MergeDuration(
+      spec, static_cast<double>(a_len + b_len) * scale, sizeof(T));
+  const T* a = src.data() + a_off;
+  const T* b = src.data() + b_off;
+  T* out = dst.data() + dst_off;
+  stream.LaunchAsync(
+      duration,
+      [a, a_len, b, b_len, out] {
+        std::merge(a, a + a_len, b, b + b_len, out);
+      },
+      "merge-local");
+}
+
+}  // namespace mgs::gpusort
+
+#endif  // MGS_GPUSORT_DEVICE_SORT_H_

@@ -1,0 +1,57 @@
+#include "gpusort/primitives.h"
+#include <cmath>
+
+
+namespace mgs::gpusort {
+
+const char* SortAlgoToString(SortAlgo algo) {
+  switch (algo) {
+    case SortAlgo::kThrustRadix:
+      return "Thrust";
+    case SortAlgo::kCubRadix:
+      return "CUB";
+    case SortAlgo::kStehleMsb:
+      return "Stehle";
+    case SortAlgo::kMgpuMerge:
+      return "MGPU";
+  }
+  return "unknown";
+}
+
+double AlgoSlowdown(SortAlgo algo) {
+  switch (algo) {
+    case SortAlgo::kThrustRadix:
+    case SortAlgo::kCubRadix:
+      return 1.0;
+    case SortAlgo::kStehleMsb:
+      return topo::cal::kStehleSlowdown;
+    case SortAlgo::kMgpuMerge:
+      return topo::cal::kMgpuSlowdown;
+  }
+  return 1.0;
+}
+
+double SortDuration(const topo::GpuSpec& gpu, SortAlgo algo,
+                    double logical_keys, std::size_t key_bytes) {
+  const double base_rate =
+      key_bytes <= 4 ? gpu.sort_rate_32 : gpu.sort_rate_64;
+  double duration = logical_keys / base_rate * AlgoSlowdown(algo);
+  if (algo == SortAlgo::kMgpuMerge) {
+    // Merge sort is O(n log n): Table 2's 5.5x ratio is at n = 1e9; scale
+    // the log factor relative to that reference point.
+    const double ref_log = 30.0;  // log2(1e9)
+    const double n_log =
+        logical_keys > 1 ? std::log2(logical_keys) : 1.0;
+    duration *= n_log / ref_log;
+  }
+  return duration;
+}
+
+double MergeDuration(const topo::GpuSpec& gpu, double logical_keys,
+                     std::size_t key_bytes) {
+  const double rate_32 = gpu.merge_rate_32;
+  const double rate = key_bytes <= 4 ? rate_32 : rate_32 / 2.0;
+  return logical_keys / rate;
+}
+
+}  // namespace mgs::gpusort

@@ -1,0 +1,44 @@
+// Single-GPU sorting and merging primitives (Section 5.1, Table 2).
+//
+// Each primitive couples (a) a real functional algorithm executed on the
+// simulated device's memory with (b) a calibrated duration model for the
+// GPU it runs on. The four sort primitives stand in for the libraries the
+// paper evaluates:
+//   kThrustRadix  - thrust::sort (LSB radix, 1.11.0 with decoupled
+//                   look-back; Table 2: 36 ms / 1e9 keys on A100)
+//   kCubRadix     - cub::DeviceRadixSort (identical backend, 36 ms)
+//   kStehleMsb    - Stehle & Jacobsen MSB radix sort (57 ms)
+//   kMgpuMerge    - Modern GPU merge sort (200 ms)
+
+#ifndef MGS_GPUSORT_PRIMITIVES_H_
+#define MGS_GPUSORT_PRIMITIVES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "topo/calibration.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace mgs::gpusort {
+
+enum class SortAlgo { kThrustRadix, kCubRadix, kStehleMsb, kMgpuMerge };
+
+const char* SortAlgoToString(SortAlgo algo);
+
+/// Relative slowdown of `algo` vs the Thrust/CUB baseline (Table 2 ratios).
+double AlgoSlowdown(SortAlgo algo);
+
+/// Simulated duration of sorting `logical_keys` keys of `key_bytes` width
+/// on a GPU described by `gpu`.
+double SortDuration(const topo::GpuSpec& gpu, SortAlgo algo,
+                    double logical_keys, std::size_t key_bytes);
+
+/// Simulated duration of a device-local two-way merge producing
+/// `logical_keys` output keys.
+double MergeDuration(const topo::GpuSpec& gpu, double logical_keys,
+                     std::size_t key_bytes);
+
+}  // namespace mgs::gpusort
+
+#endif  // MGS_GPUSORT_PRIMITIVES_H_

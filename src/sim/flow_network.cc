@@ -1,0 +1,229 @@
+#include "sim/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mgs::sim {
+
+namespace {
+// Completion epsilon: flows within this many bytes of done are done
+// (guards against floating-point drift never quite reaching zero).
+constexpr double kByteEpsilon = 1e-3;
+}  // namespace
+
+ResourceId FlowNetwork::AddResource(std::string name,
+                                    double capacity_bytes_per_sec) {
+  resources_.push_back(Resource{std::move(name), capacity_bytes_per_sec});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+FlowId FlowNetwork::StartFlow(double bytes, std::vector<PathHop> path,
+                              std::function<void()> on_complete,
+                              double lead_latency) {
+  const FlowId id = next_flow_id_++;
+  if (bytes <= kByteEpsilon) {
+    // Zero-byte transfers complete after the wire latency but still
+    // asynchronously, preserving event ordering for callers.
+    simulator_->Schedule(lead_latency, std::move(on_complete));
+    return id;
+  }
+  if (lead_latency > 0) {
+    // The first byte arrives after the latency; bandwidth is contended
+    // only once bytes are in flight.
+    simulator_->Schedule(
+        lead_latency, [this, bytes, path = std::move(path),
+                       on_complete = std::move(on_complete)]() mutable {
+          StartFlow(bytes, std::move(path), std::move(on_complete), 0.0);
+        });
+    return id;
+  }
+  AdvanceProgress();
+  flows_.push_back(Flow{id, bytes, std::move(path), std::move(on_complete)});
+  RecomputeRates();
+  ScheduleNextCompletion();
+  return id;
+}
+
+Task<void> FlowNetwork::Transfer(double bytes, std::vector<PathHop> path,
+                                 double lead_latency) {
+  Trigger done;
+  StartFlow(bytes, std::move(path), [&done] { done.Fire(); }, lead_latency);
+  co_await done.Wait();
+}
+
+double FlowNetwork::FlowRate(FlowId id) const {
+  for (const auto& f : flows_) {
+    if (f.id == id) return f.rate;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<FlowId, double>> FlowNetwork::CurrentRates() const {
+  std::vector<std::pair<FlowId, double>> out;
+  out.reserve(flows_.size());
+  for (const auto& f : flows_) out.emplace_back(f.id, f.rate);
+  return out;
+}
+
+void FlowNetwork::AdvanceProgress() {
+  const double now = simulator_->Now();
+  const double dt = now - last_update_time_;
+  last_update_time_ = now;
+  if (dt <= 0) return;
+  for (auto& f : flows_) {
+    const double delivered =
+        std::min(f.remaining_bytes, f.rate * dt);
+    f.remaining_bytes -= delivered;
+    for (const auto& hop : f.path) {
+      resources_[static_cast<std::size_t>(hop.resource)].traffic +=
+          delivered * hop.weight;
+    }
+  }
+}
+
+double FlowNetwork::ResourceTraffic(ResourceId id) const {
+  return resources_[static_cast<std::size_t>(id)].traffic;
+}
+
+void FlowNetwork::ResetTraffic() {
+  for (auto& r : resources_) r.traffic = 0;
+}
+
+std::pair<std::string, double> FlowNetwork::BusiestResource(
+    double since_seconds) const {
+  const double elapsed = simulator_->Now() - since_seconds;
+  if (elapsed <= 0) return {"", 0.0};
+  std::pair<std::string, double> best{"", 0.0};
+  for (const auto& r : resources_) {
+    if (r.capacity <= 0) continue;
+    const double utilization = r.traffic / (r.capacity * elapsed);
+    if (utilization > best.second) best = {r.name, utilization};
+  }
+  return best;
+}
+
+void FlowNetwork::RecomputeRates() {
+  // Weighted max-min fair allocation by progressive filling.
+  const std::size_t n = flows_.size();
+  if (n == 0) return;
+  std::vector<double> remaining_cap(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    remaining_cap[r] = resources_[r].capacity;
+  }
+  std::vector<bool> frozen(n, false);
+  std::size_t num_frozen = 0;
+
+  while (num_frozen < n) {
+    // Fair share on each resource crossed by at least one unfrozen flow.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      double denom = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        for (const auto& hop : flows_[i].path) {
+          if (static_cast<std::size_t>(hop.resource) == r) {
+            denom += hop.weight;
+          }
+        }
+      }
+      if (denom > 0) {
+        bottleneck_share =
+            std::min(bottleneck_share, std::max(0.0, remaining_cap[r]) / denom);
+      }
+    }
+    if (!std::isfinite(bottleneck_share)) {
+      // Remaining flows cross no capacity resource: unconstrained. This is a
+      // modeling error; give them a huge rate so they complete immediately.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!frozen[i]) {
+          flows_[i].rate = 1e18;
+          frozen[i] = true;
+          ++num_frozen;
+        }
+      }
+      break;
+    }
+
+    // Find the bottleneck resource(s): those whose share equals the minimum,
+    // and freeze every unfrozen flow crossing one of them at that share.
+    constexpr double kRelTol = 1.0 + 1e-12;
+    std::vector<bool> is_bottleneck(resources_.size(), false);
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      double denom = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        for (const auto& hop : flows_[i].path) {
+          if (static_cast<std::size_t>(hop.resource) == r) {
+            denom += hop.weight;
+          }
+        }
+      }
+      if (denom > 0 &&
+          std::max(0.0, remaining_cap[r]) / denom <= bottleneck_share * kRelTol) {
+        is_bottleneck[r] = true;
+      }
+    }
+
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      bool on_bottleneck = false;
+      for (const auto& hop : flows_[i].path) {
+        if (is_bottleneck[static_cast<std::size_t>(hop.resource)]) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (!on_bottleneck) continue;
+      flows_[i].rate = bottleneck_share;
+      frozen[i] = true;
+      ++num_frozen;
+      froze_any = true;
+      for (const auto& hop : flows_[i].path) {
+        remaining_cap[static_cast<std::size_t>(hop.resource)] -=
+            bottleneck_share * hop.weight;
+      }
+    }
+    // Progress guarantee: the bottleneck always freezes at least one flow.
+    assert(froze_any);
+    if (!froze_any) break;  // defensive in release builds
+  }
+}
+
+void FlowNetwork::ScheduleNextCompletion() {
+  ++generation_;
+  if (flows_.empty()) return;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    if (f.rate > 0) {
+      earliest = std::min(earliest, f.remaining_bytes / f.rate);
+    }
+  }
+  if (!std::isfinite(earliest)) return;  // all rates zero: stalled network
+  const std::uint64_t gen = generation_;
+  simulator_->Schedule(earliest, [this, gen] { OnCompletionEvent(gen); });
+  completion_scheduled_ = true;
+}
+
+void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer allocation
+  AdvanceProgress();
+  // Collect finished flows, remove them, then fire callbacks (callbacks may
+  // start new flows and re-enter the network).
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining_bytes <= kByteEpsilon) {
+      callbacks.push_back(std::move(it->on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RecomputeRates();
+  ScheduleNextCompletion();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace mgs::sim

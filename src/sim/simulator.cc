@@ -1,0 +1,48 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace mgs::sim {
+
+EventId Simulator::Schedule(double delay_seconds, std::function<void()> fn) {
+  if (delay_seconds < 0) delay_seconds = 0;
+  return ScheduleAt(now_ + delay_seconds, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(double time_seconds, std::function<void()> fn) {
+  if (time_seconds < now_) time_seconds = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{time_seconds, next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+}
+
+bool Simulator::IsCancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+double Simulator::Run() { return RunUntil(1e300); }
+
+double Simulator::RunUntil(double deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    --live_events_;
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+//
+// All timing in this project is *simulated time* (seconds). Host logic
+// (multi-GPU sort orchestration) runs as coroutines resumed by events; GPU
+// copies and kernels are events whose completion times come from the flow
+// network (src/sim/flow_network.h) and kernel cost models (src/vgpu).
+//
+// The simulator is deterministic: events at equal timestamps fire in
+// scheduling order.
+
+#ifndef MGS_SIM_SIMULATOR_H_
+#define MGS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  double Now() const { return now_; }
+
+  /// Schedules `fn` to run at `Now() + delay_seconds`. Negative delays are
+  /// clamped to zero.
+  EventId Schedule(double delay_seconds, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute virtual time (>= Now()).
+  EventId ScheduleAt(double time_seconds, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or never existed.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns the final virtual time.
+  double Run();
+
+  /// Runs events until the queue is empty or `deadline` is reached.
+  double RunUntil(double deadline);
+
+  /// Number of events processed so far (for tests/diagnostics).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// True if no events are pending.
+  bool Idle() const { return live_events_ == 0; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_events_ = 0;  // queued minus cancelled
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted-insert not needed; small
+  bool IsCancelled(EventId id);
+};
+
+}  // namespace mgs::sim
+
+#endif  // MGS_SIM_SIMULATOR_H_

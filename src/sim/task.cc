@@ -1,0 +1,57 @@
+#include "sim/task.h"
+
+namespace mgs::sim {
+
+namespace {
+
+// Eager, self-destroying coroutine used to drive a lazy Task to completion.
+struct DetachedRunner {
+  struct promise_type {
+    DetachedRunner get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+}  // namespace
+
+JoinerPtr Spawn(Task<void> task) {
+  auto joiner = std::make_shared<Joiner>();
+  // The runner coroutine keeps the task frame alive in its parameter; the
+  // lambda has this (friend) function's access to Joiner::done_.
+  [](Task<void> t, JoinerPtr j) -> DetachedRunner {
+    co_await std::move(t);
+    j->done_.Fire();
+  }(std::move(task), joiner);
+  return joiner;
+}
+
+Task<void> WhenAll(std::vector<JoinerPtr> joiners) {
+  for (auto& j : joiners) {
+    co_await j->Wait();
+  }
+}
+
+Task<void> WhenAll(std::vector<Task<void>> tasks) {
+  std::vector<JoinerPtr> joiners;
+  joiners.reserve(tasks.size());
+  for (auto& t : tasks) joiners.push_back(Spawn(std::move(t)));
+  for (auto& j : joiners) {
+    co_await j->Wait();
+  }
+}
+
+Status RunToCompletion(Simulator* simulator, Task<void> task) {
+  auto joiner = Spawn(std::move(task));
+  simulator->Run();
+  if (!joiner->done()) {
+    return Status::Internal(
+        "simulation reached quiescence before the root task completed "
+        "(deadlocked host logic: a co_await never fired)");
+  }
+  return Status::OK();
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,219 @@
+// Minimal C++20 coroutine support for simulated host logic.
+//
+// The multi-GPU sorting algorithms are written as coroutines that read like
+// the CUDA host code they reproduce:
+//
+//   sim::Task<void> SortChunk(vgpu::Device& dev, ...) {
+//     co_await dev.stream(0).MemcpyAsync(...);   // suspends for sim-time
+//     co_await dev.stream(0).Launch(...);
+//   }
+//
+// `Task<T>` is lazy: it starts when awaited. `Spawn()` starts a task eagerly
+// and returns a `Joiner` that can be awaited later — this is how concurrent
+// per-GPU pipelines are expressed. `WhenAll` composes both.
+
+#ifndef MGS_SIM_TASK_H_
+#define MGS_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mgs::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing T. Move-only; the handle is
+/// destroyed with the Task (after completion, the frame is still owned by
+/// the Task object).
+template <typename T = void>
+class Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*handle.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine frame (used by Spawn).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+/// One-shot completion event. Coroutines `co_await trigger.Wait()`; a later
+/// `Fire()` resumes all waiters (in registration order). Await after Fire
+/// completes immediately.
+class Trigger {
+ public:
+  bool fired() const { return fired_; }
+
+  void Fire() {
+    if (fired_) return;
+    fired_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) h.resume();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      Trigger* trigger;
+      bool await_ready() const noexcept { return trigger->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        trigger->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Awaitable that suspends the coroutine for `delay` simulated seconds.
+struct Delay {
+  Simulator& simulator;
+  double delay;
+
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    simulator.Schedule(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Handle to an eagerly-started task; awaitable; shared so multiple parties
+/// may join.
+class Joiner {
+ public:
+  auto Wait() { return done_.Wait(); }
+  bool done() const { return done_.fired(); }
+
+  auto operator co_await() { return done_.Wait(); }
+
+ private:
+  friend std::shared_ptr<Joiner> Spawn(Task<void> task);
+  Trigger done_;
+};
+
+using JoinerPtr = std::shared_ptr<Joiner>;
+
+/// Starts `task` immediately (runs until its first suspension point) and
+/// returns a joiner that fires when it completes. The coroutine frame is
+/// kept alive by the runner coroutine. Exceptions escaping the task
+/// terminate the process (simulated host logic reports errors via Status).
+JoinerPtr Spawn(Task<void> task);
+
+/// Awaits every joiner in order; completes when all have completed.
+Task<void> WhenAll(std::vector<JoinerPtr> joiners);
+
+/// Spawns all tasks concurrently, then awaits them all.
+Task<void> WhenAll(std::vector<Task<void>> tasks);
+
+/// Convenience used at the edges: spawn `task`, run the simulator to
+/// completion, and require that the task finished (no deadlock).
+Status RunToCompletion(Simulator* simulator, Task<void> task);
+
+}  // namespace mgs::sim
+
+#endif  // MGS_SIM_TASK_H_

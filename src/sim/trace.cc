@@ -1,0 +1,58 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mgs::sim {
+
+void TraceRecorder::AddSpan(std::string track, std::string name,
+                            double begin, double end) {
+  spans_.push_back(Span{std::move(track), std::move(name), begin, end});
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+}  // namespace
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  // Assign a stable tid per track, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& span : spans_) {
+    tids.emplace(span.track, static_cast<int>(tids.size()));
+  }
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << JsonEscape(track) << "\"}}";
+  }
+  for (const auto& span : spans_) {
+    os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << tids[span.track]
+       << ",\"name\":\"" << JsonEscape(span.name) << "\",\"ts\":"
+       << span.begin * 1e6 << ",\"dur\":" << (span.end - span.begin) * 1e6
+       << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot open trace file: " + path);
+  f << ToChromeTraceJson();
+  return f.good() ? Status::OK()
+                  : Status::Internal("failed writing trace file: " + path);
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,48 @@
+// Execution tracing: records op spans (copies, kernels, CPU phases) on
+// named tracks and writes them as a Chrome trace-event JSON file
+// (chrome://tracing or https://ui.perfetto.dev) — the tool you want when
+// staring at a pipeline like HET sort's 3n scheme.
+
+#ifndef MGS_SIM_TRACE_H_
+#define MGS_SIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::sim {
+
+class TraceRecorder {
+ public:
+  struct Span {
+    std::string track;
+    std::string name;
+    double begin;  // simulated seconds
+    double end;
+  };
+
+  /// Records one completed span on `track` ("GPU0:in", "CPU", ...).
+  void AddSpan(std::string track, std::string name, double begin,
+               double end);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+  /// Serializes all spans in Chrome trace-event format (1 simulated second
+  /// = 1e6 trace microseconds). Tracks become named threads.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace mgs::sim
+
+#endif  // MGS_SIM_TRACE_H_

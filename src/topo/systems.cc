@@ -1,0 +1,248 @@
+#include "topo/systems.h"
+
+#include "topo/calibration.h"
+
+namespace mgs::topo {
+
+namespace {
+
+GpuSpec V100Spec() {
+  GpuSpec spec;
+  spec.model = "Tesla V100 SXM2 32GB";
+  spec.memory_capacity_bytes = cal::kV100MemCapacity;
+  spec.memory_bandwidth = cal::kV100MemBandwidth;
+  spec.sort_rate_32 = cal::kV100SortRate32;
+  spec.sort_rate_64 = cal::kV100SortRate64;
+  spec.merge_rate_32 = cal::kV100MergeRate32;
+  return spec;
+}
+
+GpuSpec A100Spec() {
+  GpuSpec spec;
+  spec.model = "A100 SXM4 40GB";
+  spec.memory_capacity_bytes = cal::kA100MemCapacity;
+  spec.memory_bandwidth = cal::kA100MemBandwidth;
+  spec.sort_rate_32 = cal::kA100SortRate32;
+  spec.sort_rate_64 = cal::kA100SortRate64;
+  spec.merge_rate_32 = cal::kA100MergeRate32;
+  return spec;
+}
+
+void Must(const Status& st) { CheckOk(st); }
+
+}  // namespace
+
+std::unique_ptr<Topology> MakeAc922() {
+  auto topo = std::make_unique<Topology>("IBM Power System AC922");
+
+  CpuSpec cpu;
+  cpu.model = "2x IBM POWER9 (16 x 2.7 GHz)";
+  cpu.sockets = 2;
+  cpu.cores = 32;
+  cpu.host_memory_bytes = 512 * kGB;  // 2x 256 GB DDR4 (Table 1a)
+  cpu.paradis_rate_32 = cal::kAc922ParadisRate32;
+  cpu.multiway_merge_bw = cal::kAc922MergeBw;
+  cpu.merge_memory_amplification = cal::kMergeMemoryAmplification;
+  topo->SetCpuSpec(cpu);
+
+  const int cpu0 = topo->AddCpuSocket();
+  const int cpu1 = topo->AddCpuSocket();
+  Must(topo->AttachHostMemory(cpu0, cal::kAc922MemReadCap,
+                              cal::kAc922MemWriteCap, cal::kAc922MemDuplex,
+                              cal::kAc922MemWriteWeight));
+  Must(topo->AttachHostMemory(cpu1, cal::kAc922MemReadCap,
+                              cal::kAc922MemWriteCap, cal::kAc922MemDuplex,
+                              cal::kAc922MemWriteWeight));
+
+  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? 0 : 1);
+
+  auto nvlink3x = [](std::string name) {
+    LinkSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LinkKind::kNvlink2;
+    spec.cap_ab = cal::kAc922NvlinkCap;
+    spec.duplex_cap = cal::kAc922NvlinkDuplex;
+    spec.latency = cal::kNvlinkLatency;
+    return spec;
+  };
+
+  // CPU-GPU: 3x NVLink 2.0 per GPU, to the local socket.
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(0), nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(1), nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(2), nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(3), nvlink3x("nvl")));
+  // P2P: 3x NVLink 2.0 within each socket-local pair.
+  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(1), nvlink3x("nvl-p2p")));
+  Must(topo->Connect(topo->GpuNode(2), topo->GpuNode(3), nvlink3x("nvl-p2p")));
+
+  LinkSpec xbus;
+  xbus.name = "xbus";
+  xbus.kind = LinkKind::kXBus;
+  xbus.cap_ab = cal::kAc922XbusCapFwd;
+  xbus.cap_ba = cal::kAc922XbusCapBwd;
+  xbus.duplex_cap = cal::kAc922XbusDuplex;
+  xbus.p2p_weight = cal::kAc922XbusP2pWeight;
+  xbus.latency = cal::kCpuLinkLatency;
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), xbus));
+
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDeltaD22x() {
+  auto topo = std::make_unique<Topology>("DELTA System D22x M4 PS");
+
+  CpuSpec cpu;
+  cpu.model = "2x Intel Xeon Gold 6148 (20 x 2.4 GHz)";
+  cpu.sockets = 2;
+  cpu.cores = 40;
+  cpu.host_memory_bytes = 1510 * kGB;  // 2x 755 GB DDR4 (Table 1b)
+  cpu.paradis_rate_32 = cal::kDeltaParadisRate32;
+  cpu.multiway_merge_bw = cal::kDeltaMergeBw;
+  cpu.merge_memory_amplification = cal::kMergeMemoryAmplification;
+  topo->SetCpuSpec(cpu);
+
+  const int cpu0 = topo->AddCpuSocket();
+  const int cpu1 = topo->AddCpuSocket();
+  Must(topo->AttachHostMemory(cpu0, cal::kDeltaMemReadCap,
+                              cal::kDeltaMemWriteCap, cal::kDeltaMemDuplex,
+                              cal::kDeltaMemWriteWeight));
+  Must(topo->AttachHostMemory(cpu1, cal::kDeltaMemReadCap,
+                              cal::kDeltaMemWriteCap, cal::kDeltaMemDuplex,
+                              cal::kDeltaMemWriteWeight));
+
+  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? 0 : 1);
+
+  // CPU-GPU: PCIe 3.0 x16 with an exclusive switch per GPU; modeled as a
+  // single calibrated link (the switch adds no sharing).
+  auto pcie3 = [](std::string name) {
+    LinkSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LinkKind::kPcie3;
+    spec.cap_ab = cal::kDeltaPcieCapHtoD;   // toward the GPU
+    spec.cap_ba = cal::kDeltaPcieCapDtoH;   // toward the host
+    spec.duplex_cap = cal::kDeltaPcieDuplex;
+    spec.p2p_weight = cal::kDeltaPcieP2pWeight;
+    spec.p2p_duplex_weight = cal::kDeltaPcieP2pWeight;
+    spec.latency = cal::kPcieLatency;
+    return spec;
+  };
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(0), pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(1), pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(2), pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(3), pcie3("pcie")));
+
+  // P2P NVLink 2.0 partial mesh (Table 1b): double links 0-1, 0-2, 2-3 and
+  // a single link 1-3. Pairs (0,3) and (1,2) traverse the host via PCIe.
+  auto nvlink2x = [](std::string name) {
+    LinkSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LinkKind::kNvlink2;
+    spec.cap_ab = cal::kDeltaNvlink2Cap;
+    spec.duplex_cap = cal::kDeltaNvlink2Duplex;
+    spec.latency = cal::kNvlinkLatency;
+    return spec;
+  };
+  LinkSpec nvlink1x;
+  nvlink1x.name = "nvl-x1";
+  nvlink1x.kind = LinkKind::kNvlink2;
+  nvlink1x.cap_ab = cal::kDeltaNvlink1Cap;
+  nvlink1x.duplex_cap = cal::kDeltaNvlink1Duplex;
+  nvlink1x.latency = cal::kNvlinkLatency;
+
+  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(1), nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(2), nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(2), topo->GpuNode(3), nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(1), topo->GpuNode(3), nvlink1x));
+
+  LinkSpec upi;
+  upi.name = "upi";
+  upi.kind = LinkKind::kUpi;
+  upi.cap_ab = cal::kDeltaUpiCap;
+  upi.duplex_cap = cal::kDeltaUpiDuplex;
+  upi.latency = cal::kCpuLinkLatency;
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), upi));
+
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDgxA100() {
+  auto topo = std::make_unique<Topology>("NVIDIA DGX A100");
+
+  CpuSpec cpu;
+  cpu.model = "2x AMD EPYC 7742 (64 x 2.25 GHz)";
+  cpu.sockets = 2;
+  cpu.cores = 128;
+  cpu.host_memory_bytes = 1024 * kGB;  // 2x 512 GB DDR4 (Table 1c)
+  cpu.paradis_rate_32 = cal::kDgxParadisRate32;
+  cpu.multiway_merge_bw = cal::kDgxMergeBw;
+  cpu.merge_memory_amplification = cal::kMergeMemoryAmplification;
+  topo->SetCpuSpec(cpu);
+
+  const int cpu0 = topo->AddCpuSocket();
+  const int cpu1 = topo->AddCpuSocket();
+  Must(topo->AttachHostMemory(cpu0, cal::kDgxMemReadCap, cal::kDgxMemWriteCap,
+                              cal::kDgxMemDuplex, cal::kDgxMemWriteWeight));
+  Must(topo->AttachHostMemory(cpu1, cal::kDgxMemReadCap, cal::kDgxMemWriteCap,
+                              cal::kDgxMemDuplex, cal::kDgxMemWriteWeight));
+
+  for (int g = 0; g < 8; ++g) topo->AddGpu(A100Spec(), g < 4 ? 0 : 1);
+
+  // PCIe 4.0: one switch per GPU pair; both the GPU-switch and switch-CPU
+  // hops are 25 GB/s effective with a 39 GB/s duplex budget, so the uplink
+  // is shared by the pair (Fig. 4 pair plateau).
+  auto pcie4 = [](std::string name) {
+    LinkSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LinkKind::kPcie4;
+    spec.cap_ab = cal::kDgxPcieCap;
+    spec.duplex_cap = cal::kDgxPcieDuplex;
+    spec.remote_duplex_weight = cal::kDgxRemoteDuplexWeight;
+    spec.latency = cal::kPcieLatency / 2;  // per hop; two hops per path
+    return spec;
+  };
+  for (int pair = 0; pair < 4; ++pair) {
+    const NodeId sw = topo->AddSwitch("plx" + std::to_string(pair));
+    const int socket = pair < 2 ? cpu0 : cpu1;
+    Must(topo->Connect(topo->CpuNode(socket), sw, pcie4("pcie-up")));
+    Must(topo->Connect(sw, topo->GpuNode(2 * pair), pcie4("pcie-dn")));
+    Must(topo->Connect(sw, topo->GpuNode(2 * pair + 1), pcie4("pcie-dn")));
+  }
+
+  // NVSwitch: every GPU has a 12x NVLink 3.0 port into a non-blocking
+  // fabric; the fabric itself imposes no shared cap (Fig. 7 scales to
+  // 2116 GB/s on eight GPUs).
+  const NodeId nvswitch = topo->AddSwitch("nvswitch");
+  for (int g = 0; g < 8; ++g) {
+    LinkSpec spec;
+    spec.name = "nvl12";
+    spec.kind = LinkKind::kNvlink3;
+    spec.cap_ab = cal::kDgxNvlink3Cap;
+    spec.duplex_cap = cal::kDgxNvlink3Duplex;
+    spec.latency = cal::kNvswitchPortLatency;
+    Must(topo->Connect(topo->GpuNode(g), nvswitch, spec));
+  }
+
+  LinkSpec fabric;
+  fabric.name = "inf-fabric";
+  fabric.kind = LinkKind::kInfinityFabric;
+  fabric.cap_ab = cal::kDgxIfCap;
+  fabric.duplex_cap = cal::kDgxIfDuplex;
+  fabric.latency = cal::kCpuLinkLatency;
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), fabric));
+
+  return topo;
+}
+
+std::vector<std::string> SystemNames() {
+  return {"ac922", "delta-d22x", "dgx-a100"};
+}
+
+Result<std::unique_ptr<Topology>> MakeSystem(const std::string& name) {
+  if (name == "ac922") return MakeAc922();
+  if (name == "delta-d22x") return MakeDeltaD22x();
+  if (name == "dgx-a100") return MakeDgxA100();
+  return Status::NotFound("unknown system: " + name +
+                          " (expected ac922 | delta-d22x | dgx-a100)");
+}
+
+}  // namespace mgs::topo

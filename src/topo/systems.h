@@ -1,0 +1,37 @@
+// The three evaluated hardware platforms (Table 1), as calibrated
+// topologies.
+
+#ifndef MGS_TOPO_SYSTEMS_H_
+#define MGS_TOPO_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace mgs::topo {
+
+/// IBM Power System AC922: 2x POWER9, 4x V100, NVLink 2.0 CPU-GPU and P2P
+/// (pairs (0,1) and (2,3)), X-Bus CPU-CPU (Table 1a).
+std::unique_ptr<Topology> MakeAc922();
+
+/// DELTA System D22x M4 PS: 2x Xeon Gold 6148, 4x V100, PCIe 3.0 CPU-GPU
+/// (one switch per GPU), NVLink 2.0 P2P partial mesh (0-1, 0-2, 2-3 double;
+/// 1-3 single), UPI CPU-CPU (Table 1b).
+std::unique_ptr<Topology> MakeDeltaD22x();
+
+/// NVIDIA DGX A100: 2x EPYC 7742, 8x A100, PCIe 4.0 CPU-GPU (one switch per
+/// GPU *pair*), NVLink 3.0 NVSwitch all-to-all P2P, Infinity Fabric CPU-CPU
+/// (Table 1c).
+std::unique_ptr<Topology> MakeDgxA100();
+
+/// Names accepted by MakeSystem.
+std::vector<std::string> SystemNames();
+
+/// Builds a preset by name ("ac922", "delta-d22x", "dgx-a100").
+Result<std::unique_ptr<Topology>> MakeSystem(const std::string& name);
+
+}  // namespace mgs::topo
+
+#endif  // MGS_TOPO_SYSTEMS_H_

@@ -1,0 +1,453 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+namespace mgs::topo {
+
+const char* LinkKindToString(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kPcie3:
+      return "PCIe 3.0";
+    case LinkKind::kPcie4:
+      return "PCIe 4.0";
+    case LinkKind::kNvlink2:
+      return "NVLink 2.0";
+    case LinkKind::kNvlink3:
+      return "NVLink 3.0";
+    case LinkKind::kXBus:
+      return "X-Bus";
+    case LinkKind::kUpi:
+      return "UPI";
+    case LinkKind::kInfinityFabric:
+      return "Infinity Fabric";
+    case LinkKind::kMemoryBus:
+      return "Memory bus";
+    case LinkKind::kNvswitchFabric:
+      return "NVSwitch fabric";
+  }
+  return "unknown";
+}
+
+const char* CopyKindToString(CopyKind kind) {
+  switch (kind) {
+    case CopyKind::kHostToDevice:
+      return "HtoD";
+    case CopyKind::kDeviceToHost:
+      return "DtoH";
+    case CopyKind::kPeerToPeer:
+      return "PtoP";
+    case CopyKind::kDeviceLocal:
+      return "DtoD";
+  }
+  return "unknown";
+}
+
+int Topology::AddCpuSocket() {
+  const int socket = static_cast<int>(cpu_nodes_.size());
+  nodes_.push_back(Node{NodeKind::kCpu, "CPU" + std::to_string(socket),
+                        socket});
+  cpu_nodes_.push_back(static_cast<NodeId>(nodes_.size() - 1));
+  memory_nodes_.push_back(kInvalidNode);
+  return socket;
+}
+
+Status Topology::AttachHostMemory(int socket, double read_cap,
+                                  double write_cap, double duplex_cap,
+                                  double write_weight) {
+  if (socket < 0 || socket >= num_sockets()) {
+    return Status::Invalid("no such socket: " + std::to_string(socket));
+  }
+  if (memory_nodes_[socket] != kInvalidNode) {
+    return Status::AlreadyExists("socket already has memory attached");
+  }
+  nodes_.push_back(
+      Node{NodeKind::kMemory, "MEM" + std::to_string(socket), socket});
+  const NodeId mem = static_cast<NodeId>(nodes_.size() - 1);
+  memory_nodes_[socket] = mem;
+  LinkSpec spec;
+  spec.name = "membus" + std::to_string(socket);
+  spec.kind = LinkKind::kMemoryBus;
+  spec.cap_ab = read_cap;   // memory -> cpu (reads)
+  spec.cap_ba = write_cap;  // cpu -> memory (writes)
+  spec.duplex_cap = duplex_cap;
+  spec.duplex_weight_ba = write_weight;
+  return Connect(mem, cpu_nodes_[socket], spec);
+}
+
+int Topology::AddGpu(const GpuSpec& spec, int numa_socket) {
+  const int gpu = static_cast<int>(gpus_.size());
+  nodes_.push_back(Node{NodeKind::kGpu, "GPU" + std::to_string(gpu), gpu});
+  gpus_.push_back(Gpu{spec, numa_socket,
+                      static_cast<NodeId>(nodes_.size() - 1), -1});
+  return gpu;
+}
+
+NodeId Topology::AddSwitch(std::string name) {
+  nodes_.push_back(Node{NodeKind::kSwitch, std::move(name), -1});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status Topology::Connect(NodeId a, NodeId b, LinkSpec spec) {
+  if (a < 0 || b < 0 || a >= static_cast<NodeId>(nodes_.size()) ||
+      b >= static_cast<NodeId>(nodes_.size())) {
+    return Status::Invalid("Connect: invalid node id");
+  }
+  if (a == b) return Status::Invalid("Connect: self-link");
+  if (spec.cap_ab <= 0) return Status::Invalid("Connect: cap_ab must be > 0");
+  if (spec.cap_ba <= 0) spec.cap_ba = spec.cap_ab;
+  links_.push_back(Link{a, b, std::move(spec)});
+  return Status::OK();
+}
+
+NodeId Topology::CpuNode(int socket) const { return cpu_nodes_.at(socket); }
+NodeId Topology::GpuNode(int gpu) const { return gpus_.at(gpu).node; }
+NodeId Topology::MemoryNode(int socket) const {
+  return memory_nodes_.at(socket);
+}
+
+Status Topology::Compile(sim::FlowNetwork* net) {
+  if (compiled_) return Status::FailedPrecondition("already compiled");
+  for (int s = 0; s < num_sockets(); ++s) {
+    if (memory_nodes_[s] == kInvalidNode) {
+      return Status::FailedPrecondition("socket " + std::to_string(s) +
+                                        " has no host memory attached");
+    }
+  }
+  for (auto& link : links_) {
+    const std::string base =
+        link.spec.name + "(" + nodes_[link.a].name + "-" + nodes_[link.b].name +
+        ")";
+    link.res_ab = net->AddResource(base + ">", link.spec.cap_ab);
+    link.res_ba = net->AddResource(base + "<", link.spec.cap_ba);
+    if (link.spec.duplex_cap > 0) {
+      link.res_duplex = net->AddResource(base + "=", link.spec.duplex_cap);
+    }
+  }
+  for (auto& gpu : gpus_) {
+    gpu.hbm = net->AddResource("hbm(" + nodes_[gpu.node].name + ")",
+                               gpu.spec.memory_bandwidth);
+  }
+  if (cpu_spec_.multiway_merge_bw > 0) {
+    cpu_merge_engine_ =
+        net->AddResource("cpu-merge-engine", cpu_spec_.multiway_merge_bw);
+  }
+  compiled_ = true;
+  // Validate reachability: every GPU from every memory, every GPU pair.
+  for (int g = 0; g < num_gpus(); ++g) {
+    MGS_RETURN_IF_ERROR(
+        Route(MemoryNode(0), GpuNode(g), /*p2p_class=*/false).status());
+  }
+  for (int a = 0; a < num_gpus(); ++a) {
+    for (int b = a + 1; b < num_gpus(); ++b) {
+      MGS_RETURN_IF_ERROR(
+          Route(GpuNode(a), GpuNode(b), /*p2p_class=*/true).status());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Topology::RouteStep>> Topology::Route(
+    NodeId from, NodeId to, bool p2p_class) const {
+  const bool allow_gpu_intermediates = p2p_class && multihop_p2p_;
+  // Widest-shortest-path search: minimize hop count, then maximize the
+  // bottleneck capacity along the payload direction. The tie-break matters:
+  // on the DGX A100, GPU->GPU is two hops both via the pair's PCIe switch
+  // and via NVSwitch; P2P traffic must take the NVSwitch route.
+  // Intermediate nodes must be CPUs or switches: data never routes
+  // *through* a GPU (the paper treats multi-hop GPU routing as future
+  // work) or through a memory node.
+  if (from == to) return std::vector<RouteStep>{};
+  struct Label {
+    int hops = std::numeric_limits<int>::max();
+    double bottleneck = 0;
+    NodeId prev_node = kInvalidNode;
+    int link_index = -1;
+    bool forward = false;
+  };
+  auto better = [](int hops, double bn, const Label& label) {
+    if (hops != label.hops) return hops < label.hops;
+    return bn > label.bottleneck;
+  };
+  std::vector<Label> labels(nodes_.size());
+  labels[from].hops = 0;
+  labels[from].bottleneck = std::numeric_limits<double>::infinity();
+  // Small graphs: Bellman-Ford-style relaxation is simplest and exact for
+  // this lexicographic metric.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t li = 0; li < links_.size(); ++li) {
+      const Link& link = links_[li];
+      for (int dir = 0; dir < 2; ++dir) {
+        const NodeId cur = dir == 0 ? link.a : link.b;
+        const NodeId next = dir == 0 ? link.b : link.a;
+        const bool forward = dir == 0;
+        if (labels[cur].hops == std::numeric_limits<int>::max()) continue;
+        // Expansion through an intermediate is only allowed for CPU/switch
+        // nodes (the origin itself may be a GPU or memory endpoint) —
+        // unless multi-hop P2P routing is enabled, which also forwards
+        // through GPUs.
+        if (cur != from && nodes_[cur].kind != NodeKind::kCpu &&
+            nodes_[cur].kind != NodeKind::kSwitch &&
+            !(allow_gpu_intermediates &&
+              nodes_[cur].kind == NodeKind::kGpu)) {
+          continue;
+        }
+        const double cap = forward ? link.spec.cap_ab : link.spec.cap_ba;
+        const int hops = labels[cur].hops + 1;
+        const double bn = std::min(labels[cur].bottleneck, cap);
+        if (better(hops, bn, labels[next])) {
+          labels[next] =
+              Label{hops, bn, cur, static_cast<int>(li), forward};
+          changed = true;
+        }
+      }
+    }
+  }
+  if (labels[to].hops == std::numeric_limits<int>::max()) {
+    return Status::NotFound("no route from " + nodes_[from].name + " to " +
+                            nodes_[to].name);
+  }
+  std::vector<RouteStep> route;
+  for (NodeId cur = to; cur != from; cur = labels[cur].prev_node) {
+    route.push_back(RouteStep{labels[cur].link_index, labels[cur].forward});
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+bool Topology::RouteCrossesCpuLink(const std::vector<RouteStep>& route) const {
+  for (const auto& step : route) {
+    const Link& link = links_[step.link_index];
+    if (nodes_[link.a].kind == NodeKind::kCpu &&
+        nodes_[link.b].kind == NodeKind::kCpu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeId Topology::EndpointNode(const Endpoint& e) const {
+  if (e.kind == Endpoint::Kind::kHostMemory) return MemoryNode(e.id);
+  return GpuNode(e.id);
+}
+
+Result<std::vector<sim::PathHop>> Topology::BuildPath(
+    const std::vector<RouteStep>& route, CopyKind kind, Endpoint src,
+    Endpoint dst) const {
+  const bool p2p = kind == CopyKind::kPeerToPeer;
+  const bool crosses_cpu = RouteCrossesCpuLink(route);
+  std::vector<sim::PathHop> path;
+  // Multi-hop P2P: every intermediate GPU stores and forwards, charging
+  // its HBM with one write + one read per byte.
+  for (std::size_t s = 0; s + 1 < route.size(); ++s) {
+    const Link& link = links_[route[s].link_index];
+    const NodeId to_node = route[s].forward ? link.b : link.a;
+    if (nodes_[to_node].kind == NodeKind::kGpu) {
+      path.push_back(sim::PathHop{gpus_[nodes_[to_node].index].hbm, 2.0});
+    }
+  }
+  for (const auto& step : route) {
+    const Link& link = links_[step.link_index];
+    const double class_w = p2p ? link.spec.p2p_weight : 1.0;
+    path.push_back(sim::PathHop{
+        step.forward ? link.res_ab : link.res_ba, class_w});
+    if (link.res_duplex >= 0) {
+      double w = step.forward ? link.spec.duplex_weight_ab
+                              : link.spec.duplex_weight_ba;
+      if (p2p) w *= link.spec.p2p_duplex_weight;
+      if (crosses_cpu) w *= link.spec.remote_duplex_weight;
+      path.push_back(sim::PathHop{link.res_duplex, w});
+    }
+  }
+  // Endpoint device memories.
+  auto add_hbm = [&](const Endpoint& e, double weight) {
+    if (e.kind == Endpoint::Kind::kGpu) {
+      path.push_back(sim::PathHop{gpus_[e.id].hbm, weight});
+    }
+  };
+  if (kind == CopyKind::kDeviceLocal) {
+    // Device-local copy: read + write within one HBM.
+    add_hbm(src, 2.0);
+  } else {
+    add_hbm(src, 1.0);
+    add_hbm(dst, 1.0);
+  }
+  return path;
+}
+
+Result<std::vector<sim::PathHop>> Topology::CopyPath(CopyKind kind,
+                                                     Endpoint src,
+                                                     Endpoint dst) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  switch (kind) {
+    case CopyKind::kHostToDevice:
+      if (src.kind != Endpoint::Kind::kHostMemory ||
+          dst.kind != Endpoint::Kind::kGpu) {
+        return Status::Invalid("HtoD requires host-memory src and GPU dst");
+      }
+      break;
+    case CopyKind::kDeviceToHost:
+      if (src.kind != Endpoint::Kind::kGpu ||
+          dst.kind != Endpoint::Kind::kHostMemory) {
+        return Status::Invalid("DtoH requires GPU src and host-memory dst");
+      }
+      break;
+    case CopyKind::kPeerToPeer:
+      if (src.kind != Endpoint::Kind::kGpu ||
+          dst.kind != Endpoint::Kind::kGpu || src.id == dst.id) {
+        return Status::Invalid("P2P requires two distinct GPUs");
+      }
+      break;
+    case CopyKind::kDeviceLocal:
+      if (src.kind != Endpoint::Kind::kGpu || dst.kind != Endpoint::Kind::kGpu ||
+          src.id != dst.id) {
+        return Status::Invalid("DtoD requires one GPU");
+      }
+      return BuildPath({}, kind, src, dst);
+  }
+  MGS_ASSIGN_OR_RETURN(
+      auto route,
+      Route(EndpointNode(src), EndpointNode(dst),
+            kind == CopyKind::kPeerToPeer));
+  return BuildPath(route, kind, src, dst);
+}
+
+Result<double> Topology::CopyLatency(CopyKind kind, Endpoint src,
+                                     Endpoint dst) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (kind == CopyKind::kDeviceLocal) return 0.0;
+  MGS_ASSIGN_OR_RETURN(
+      auto route,
+      Route(EndpointNode(src), EndpointNode(dst),
+            kind == CopyKind::kPeerToPeer));
+  double latency = 0;
+  for (const auto& step : route) {
+    latency += links_[step.link_index].spec.latency;
+  }
+  return latency;
+}
+
+Result<std::vector<sim::PathHop>> Topology::CpuMemoryWorkPath(
+    int socket, double amplification) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (socket < 0 || socket >= num_sockets()) {
+    return Status::Invalid("no such socket");
+  }
+  // Locate the memory-bus link of this socket.
+  const NodeId mem = memory_nodes_[socket];
+  const NodeId cpu = cpu_nodes_[socket];
+  for (const auto& link : links_) {
+    if ((link.a == mem && link.b == cpu) || (link.a == cpu && link.b == mem)) {
+      std::vector<sim::PathHop> path;
+      const bool mem_is_a = link.a == mem;
+      const auto read_res = mem_is_a ? link.res_ab : link.res_ba;
+      const auto write_res = mem_is_a ? link.res_ba : link.res_ab;
+      path.push_back(sim::PathHop{read_res, amplification / 2});
+      path.push_back(sim::PathHop{write_res, amplification / 2});
+      if (link.res_duplex >= 0) {
+        path.push_back(sim::PathHop{link.res_duplex, amplification});
+      }
+      if (cpu_merge_engine_ >= 0) {
+        path.push_back(sim::PathHop{cpu_merge_engine_, 1.0});
+      }
+      return path;
+    }
+  }
+  return Status::NotFound("socket has no memory bus");
+}
+
+Result<bool> Topology::IsDirectP2p(int gpu_a, int gpu_b) const {
+  if (gpu_a < 0 || gpu_b < 0 || gpu_a >= num_gpus() || gpu_b >= num_gpus()) {
+    return Status::Invalid("no such GPU");
+  }
+  if (gpu_a == gpu_b) return true;
+  MGS_ASSIGN_OR_RETURN(auto route,
+                       Route(GpuNode(gpu_a), GpuNode(gpu_b), true));
+  for (const auto& step : route) {
+    const Link& link = links_[step.link_index];
+    if (nodes_[link.a].kind == NodeKind::kCpu ||
+        nodes_[link.b].kind == NodeKind::kCpu) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Topology::ResourceCapacity(sim::ResourceId res) const {
+  for (const auto& link : links_) {
+    if (link.res_ab == res) return link.spec.cap_ab;
+    if (link.res_ba == res) return link.spec.cap_ba;
+    if (link.res_duplex == res) return link.spec.duplex_cap;
+  }
+  for (const auto& gpu : gpus_) {
+    if (gpu.hbm == res) return gpu.spec.memory_bandwidth;
+  }
+  if (res == cpu_merge_engine_ && res >= 0) {
+    return cpu_spec_.multiway_merge_bw;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Result<double> Topology::LoneFlowBandwidth(CopyKind kind, Endpoint src,
+                                           Endpoint dst) const {
+  MGS_ASSIGN_OR_RETURN(auto path, CopyPath(kind, src, dst));
+  // A lone flow's rate is limited by the tightest hop.
+  double rate = std::numeric_limits<double>::infinity();
+  for (const auto& hop : path) {
+    rate = std::min(rate, ResourceCapacity(hop.resource) / hop.weight);
+  }
+  return rate;
+}
+
+Result<std::string> Topology::DescribeRoute(CopyKind kind, Endpoint src,
+                                            Endpoint dst) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (kind == CopyKind::kDeviceLocal) {
+    return "GPU" + std::to_string(src.id) + " (device-local)";
+  }
+  MGS_ASSIGN_OR_RETURN(
+      auto route,
+      Route(EndpointNode(src), EndpointNode(dst),
+            kind == CopyKind::kPeerToPeer));
+  std::string out =
+      src.kind == Endpoint::Kind::kGpu ? "GPU" + std::to_string(src.id)
+                                       : "MEM" + std::to_string(src.id);
+  for (const auto& step : route) {
+    const Link& link = links_[step.link_index];
+    const NodeId to = step.forward ? link.b : link.a;
+    out += " -[" + link.spec.name + "]-> " + nodes_[to].name;
+  }
+  return out;
+}
+
+std::string Topology::Describe() const {
+  std::ostringstream os;
+  os << "Topology: " << name_ << "\n";
+  os << "  CPU: " << cpu_spec_.model << " (" << cpu_spec_.sockets
+     << " sockets, " << cpu_spec_.cores << " cores)\n";
+  for (int g = 0; g < num_gpus(); ++g) {
+    const auto& spec = gpus_[g].spec;
+    os << "  GPU" << g << ": " << spec.model << ", "
+       << FormatBytes(spec.memory_capacity_bytes) << " HBM @ "
+       << FormatThroughput(spec.memory_bandwidth) << ", NUMA "
+       << gpus_[g].socket << "\n";
+  }
+  for (const auto& link : links_) {
+    os << "  " << nodes_[link.a].name << " <-> " << nodes_[link.b].name
+       << "  " << link.spec.name << " [" << LinkKindToString(link.spec.kind)
+       << "] "
+       << FormatThroughput(link.spec.cap_ab) << " / "
+       << FormatThroughput(link.spec.cap_ba);
+    if (link.spec.duplex_cap > 0) {
+      os << " (duplex " << FormatThroughput(link.spec.duplex_cap) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mgs::topo

@@ -1,0 +1,279 @@
+// Interconnect topology: nodes (CPU sockets, host memories, GPUs, switches),
+// links with per-direction effective capacities, and route compilation into
+// flow-network paths.
+//
+// A topology is *calibrated*: link capacities are effective rates taken from
+// the paper's Section 4 measurements (e.g. "3x NVLink 2.0" is 72 GB/s per
+// direction, not the 75 GB/s theoretical peak). Three presets reproduce the
+// paper's platforms (src/topo/systems.h); custom topologies can be built
+// with the same API (see examples/custom_platform.cc).
+//
+// Modeling vocabulary (see src/sim/flow_network.h):
+//  * each link direction is a capacity resource;
+//  * a link may carry a "duplex" resource bounding the sum of both
+//    directions (bidirectional overhead: NVLink pairs reach 145 GB/s, not
+//    2x72; PCIe 4.0 switches reach 39 GB/s, not 50);
+//  * per-class weight factors express measured second-order effects:
+//    P2P flows crossing a host interconnect see extra overhead
+//    (`p2p_weight`), flows crossing the CPU-CPU interconnect pay a duplex
+//    penalty on their PCIe switch (`remote_duplex_weight`), and writes into
+//    host memory cost more than reads (`duplex_weight_ba`).
+
+#ifndef MGS_TOPO_TOPOLOGY_H_
+#define MGS_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace mgs::topo {
+
+/// Kinds of nodes in the interconnect graph. Routes may pass *through* CPU
+/// and switch nodes only; GPUs and memories are endpoints.
+enum class NodeKind { kCpu, kMemory, kGpu, kSwitch };
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Physical link families (for display and for topology dumps).
+enum class LinkKind {
+  kPcie3,
+  kPcie4,
+  kNvlink2,
+  kNvlink3,
+  kXBus,
+  kUpi,
+  kInfinityFabric,
+  kMemoryBus,
+  kNvswitchFabric,
+};
+
+const char* LinkKindToString(LinkKind kind);
+
+/// GPU hardware description (used by the kernel cost models in src/vgpu).
+struct GpuSpec {
+  std::string model;                  // "Tesla V100", "A100"
+  double memory_capacity_bytes = 0;   // e.g. 32 GB, 40 GB
+  double memory_bandwidth = 0;        // HBM bytes/s (effective)
+  /// 32-bit radix-sort throughput, keys/s (Thrust-class primitive).
+  double sort_rate_32 = 0;
+  /// 64-bit radix-sort throughput, keys/s.
+  double sort_rate_64 = 0;
+  /// Device two-way merge throughput, 32-bit keys/s.
+  double merge_rate_32 = 0;
+};
+
+/// Calibrated CPU-side rates (Section 5.3 / 6 baselines).
+struct CpuSpec {
+  std::string model;
+  int sockets = 2;
+  int cores = 0;  // total physical cores
+  /// Total host DRAM (Table 1). HET sort's out-of-place final merge needs
+  /// 2x the data size in host memory; 0 disables the check.
+  double host_memory_bytes = 0;
+  /// PARADIS parallel radix sort throughput (32-bit keys/s).
+  double paradis_rate_32 = 0;
+  /// Multiway-merge output throughput, bytes/s (loser-tree k-way merge,
+  /// gnu_parallel-class; memory-bandwidth-bound).
+  double multiway_merge_bw = 0;
+  /// Memory bandwidth consumed by the merge per output byte (reads the
+  /// sublists + writes the output).
+  double merge_memory_amplification = 2.0;
+};
+
+/// One link between two nodes.
+struct LinkSpec {
+  std::string name;
+  LinkKind kind = LinkKind::kPcie3;
+  /// Effective payload capacity a->b, bytes/s.
+  double cap_ab = 0;
+  /// Effective payload capacity b->a, bytes/s (defaults to cap_ab if 0).
+  double cap_ba = 0;
+  /// Optional cap on the *sum* of both directions (0 = none).
+  double duplex_cap = 0;
+  /// Weight of a->b (resp. b->a) traffic against the duplex cap.
+  double duplex_weight_ab = 1.0;
+  double duplex_weight_ba = 1.0;
+  /// Weight multiplier for P2P-class flows on the *directed* capacity (DMA
+  /// peer copies traversing the host pay measured extra overhead: e.g.
+  /// X-Bus 41 -> 33 GB/s serial P2P).
+  double p2p_weight = 1.0;
+  /// Weight multiplier for P2P-class flows on the duplex budget. Calibrated
+  /// separately: the AC922 X-Bus shows no extra duplex penalty for P2P
+  /// (53 vs 54 GB/s) while DELTA PCIe 3.0 does (30 vs 40 GB/s).
+  double p2p_duplex_weight = 1.0;
+  /// Extra duplex weight for flows that also cross a CPU-CPU link
+  /// (reproduces the DGX remote-bidi drop: 39 -> 32 GB/s per GPU).
+  double remote_duplex_weight = 1.0;
+  /// One-way wire/hop latency in seconds (0 = ideal). Irrelevant for the
+  /// paper's 4 GB blocks; matters for the small-transfer sweeps
+  /// (Pearson et al.-style) in bench_ext_small_transfers.
+  double latency = 0.0;
+};
+
+/// Copy classes; determine routing and weight factors.
+enum class CopyKind { kHostToDevice, kDeviceToHost, kPeerToPeer, kDeviceLocal };
+
+const char* CopyKindToString(CopyKind kind);
+
+/// A copy endpoint: a host memory (NUMA node id) or a GPU (gpu id).
+struct Endpoint {
+  enum class Kind { kHostMemory, kGpu } kind;
+  int id;
+
+  static Endpoint HostMemory(int numa) {
+    return Endpoint{Kind::kHostMemory, numa};
+  }
+  static Endpoint Gpu(int gpu) { return Endpoint{Kind::kGpu, gpu}; }
+};
+
+class Topology {
+ public:
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Adds a CPU socket (NUMA node). Returns the socket index (0-based).
+  int AddCpuSocket();
+
+  /// Attaches host memory to a socket via a memory-bus link.
+  /// `read_cap`/`write_cap`: payload capacity out of / into memory;
+  /// `duplex_cap`: combined budget; `write_weight`: extra duplex cost of
+  /// writes (dirty-line evictions make DtoH streams more expensive).
+  Status AttachHostMemory(int socket, double read_cap, double write_cap,
+                          double duplex_cap, double write_weight = 1.0);
+
+  /// Adds a GPU owned by `numa_socket` (locality only; connectivity comes
+  /// from links). Returns the gpu id (0-based).
+  int AddGpu(const GpuSpec& spec, int numa_socket);
+
+  /// Adds a switch node (PCIe switch or NVSwitch). Returns its node id.
+  NodeId AddSwitch(std::string name);
+
+  /// Connects two nodes. Node handles come from the typed getters below.
+  Status Connect(NodeId a, NodeId b, LinkSpec spec);
+
+  void SetCpuSpec(const CpuSpec& spec) { cpu_spec_ = spec; }
+
+  /// Enables multi-hop P2P routing (Section 7 future work): P2P copies may
+  /// be forwarded through intermediate GPUs instead of traversing the
+  /// host-side CPU interconnect. Each intermediate GPU charges its HBM
+  /// (store-and-forward: one write + one read). Off by default — the
+  /// paper's algorithms route P2P via the host when no direct link exists.
+  void SetMultihopP2p(bool enabled) { multihop_p2p_ = enabled; }
+  bool multihop_p2p() const { return multihop_p2p_; }
+
+  // ---- typed node handles --------------------------------------------------
+
+  NodeId CpuNode(int socket) const;
+  NodeId GpuNode(int gpu) const;
+  NodeId MemoryNode(int socket) const;
+
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  int num_sockets() const { return static_cast<int>(cpu_nodes_.size()); }
+  const GpuSpec& gpu_spec(int gpu) const { return gpus_[gpu].spec; }
+  int gpu_socket(int gpu) const { return gpus_[gpu].socket; }
+  const CpuSpec& cpu_spec() const { return cpu_spec_; }
+
+  // ---- compilation & routing ----------------------------------------------
+
+  /// Creates the capacity resources in `net`. Must be called once before
+  /// `CopyPath`. Validates connectivity of all endpoints.
+  Status Compile(sim::FlowNetwork* net);
+
+  bool compiled() const { return compiled_; }
+
+  /// Builds the flow path for one copy. For kDeviceLocal, `src` and `dst`
+  /// must name the same GPU.
+  Result<std::vector<sim::PathHop>> CopyPath(CopyKind kind, Endpoint src,
+                                             Endpoint dst) const;
+
+  /// Sum of hop latencies along a copy's route (seconds).
+  Result<double> CopyLatency(CopyKind kind, Endpoint src, Endpoint dst) const;
+
+  /// Path for a host-side memory-bandwidth-bound compute phase on `socket`
+  /// (e.g. the CPU multiway merge): consumes `amplification` bytes of
+  /// memory traffic per logical byte, plus the CPU merge-engine budget.
+  Result<std::vector<sim::PathHop>> CpuMemoryWorkPath(
+      int socket, double amplification) const;
+
+  /// True if two GPUs are connected without traversing a CPU-CPU link
+  /// (used by GPU-set selection, Section 5.4).
+  Result<bool> IsDirectP2p(int gpu_a, int gpu_b) const;
+
+  /// Single-flow steady-state bandwidth for a copy (bytes/s), from the path
+  /// alone — used for topology dumps and GPU-set scoring without running a
+  /// simulation.
+  Result<double> LoneFlowBandwidth(CopyKind kind, Endpoint src,
+                                   Endpoint dst) const;
+
+  /// Effective capacity of a compiled resource (bytes/s). Infinity for
+  /// unknown ids. Lets callers run static what-if rate analyses (GPU-set
+  /// selection) without a live flow network.
+  double ResourceCapacity(sim::ResourceId id) const;
+
+  /// Human-readable topology dump (Table 1-style).
+  std::string Describe() const;
+
+  /// Human-readable route of a copy, e.g.
+  /// "GPU0 -[pcie-dn]-> plx0 -[pcie-up]-> CPU0 <- MEM0". For debugging
+  /// calibrations and the topology_explorer example.
+  Result<std::string> DescribeRoute(CopyKind kind, Endpoint src,
+                                    Endpoint dst) const;
+
+ private:
+  struct Node {
+    NodeKind kind;
+    std::string name;
+    int index;  // socket / gpu index; -1 for switches
+  };
+  struct Gpu {
+    GpuSpec spec;
+    int socket;
+    NodeId node;
+    sim::ResourceId hbm = -1;  // device memory resource
+  };
+  struct Link {
+    NodeId a;
+    NodeId b;
+    LinkSpec spec;
+    sim::ResourceId res_ab = -1;
+    sim::ResourceId res_ba = -1;
+    sim::ResourceId res_duplex = -1;
+  };
+
+  struct RouteStep {
+    int link_index;
+    bool forward;  // payload travels a->b
+  };
+
+  Result<std::vector<RouteStep>> Route(NodeId from, NodeId to,
+                                       bool p2p_class) const;
+  Result<std::vector<sim::PathHop>> BuildPath(
+      const std::vector<RouteStep>& route, CopyKind kind, Endpoint src,
+      Endpoint dst) const;
+  NodeId EndpointNode(const Endpoint& e) const;
+  bool RouteCrossesCpuLink(const std::vector<RouteStep>& route) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> cpu_nodes_;
+  std::vector<NodeId> memory_nodes_;  // per socket
+  std::vector<Gpu> gpus_;
+  std::vector<Link> links_;
+  CpuSpec cpu_spec_;
+  sim::ResourceId cpu_merge_engine_ = -1;
+  bool compiled_ = false;
+  bool multihop_p2p_ = false;
+};
+
+}  // namespace mgs::topo
+
+#endif  // MGS_TOPO_TOPOLOGY_H_

@@ -1,0 +1,116 @@
+#include "topo/transfer_probe.h"
+
+#include <algorithm>
+
+namespace mgs::topo {
+
+TransferProbe::TransferProbe(std::unique_ptr<Topology> topology)
+    : topology_(std::move(topology)) {
+  CheckOk(topology_->Compile(&network_));
+}
+
+Result<ProbeResult> TransferProbe::Run(const std::vector<TransferOp>& ops) {
+  ProbeResult result;
+  result.op_durations.assign(ops.size(), 0.0);
+  const double start = simulator_.Now();
+  network_.ResetTraffic();
+  double total_bytes = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    MGS_ASSIGN_OR_RETURN(auto path,
+                         topology_->CopyPath(op.kind, op.src, op.dst));
+    MGS_ASSIGN_OR_RETURN(const double latency,
+                         topology_->CopyLatency(op.kind, op.src, op.dst));
+    total_bytes += op.bytes;
+    network_.StartFlow(
+        op.bytes, std::move(path),
+        [this, &result, i, start] {
+          result.op_durations[i] = simulator_.Now() - start;
+        },
+        latency);
+  }
+  simulator_.Run();
+  result.makespan_seconds =
+      *std::max_element(result.op_durations.begin(),
+                        result.op_durations.end());
+  result.aggregate_throughput =
+      result.makespan_seconds > 0 ? total_bytes / result.makespan_seconds : 0;
+  auto [name, utilization] = network_.BusiestResource(start);
+  result.bottleneck = std::move(name);
+  result.bottleneck_utilization = utilization;
+  return result;
+}
+
+TransferOp TransferProbe::HtoD(int gpu, double bytes, int numa) {
+  return TransferOp{CopyKind::kHostToDevice, Endpoint::HostMemory(numa),
+                    Endpoint::Gpu(gpu), bytes};
+}
+
+TransferOp TransferProbe::DtoH(int gpu, double bytes, int numa) {
+  return TransferOp{CopyKind::kDeviceToHost, Endpoint::Gpu(gpu),
+                    Endpoint::HostMemory(numa), bytes};
+}
+
+TransferOp TransferProbe::PtoP(int src_gpu, int dst_gpu, double bytes) {
+  return TransferOp{CopyKind::kPeerToPeer, Endpoint::Gpu(src_gpu),
+                    Endpoint::Gpu(dst_gpu), bytes};
+}
+
+TransferOp TransferProbe::DtoD(int gpu, double bytes) {
+  return TransferOp{CopyKind::kDeviceLocal, Endpoint::Gpu(gpu),
+                    Endpoint::Gpu(gpu), bytes};
+}
+
+std::vector<TransferOp> TransferProbe::Bidirectional(
+    const std::vector<int>& gpus, double bytes_per_direction, int numa) {
+  std::vector<TransferOp> ops;
+  for (int g : gpus) {
+    ops.push_back(HtoD(g, bytes_per_direction, numa));
+    ops.push_back(DtoH(g, bytes_per_direction, numa));
+  }
+  return ops;
+}
+
+std::vector<TransferOp> TransferProbe::Broadcast(int root,
+                                                 const std::vector<int>& gpus,
+                                                 double bytes) {
+  std::vector<TransferOp> ops;
+  for (int g : gpus) {
+    if (g != root) ops.push_back(PtoP(root, g, bytes));
+  }
+  return ops;
+}
+
+std::vector<TransferOp> TransferProbe::Gather(int root,
+                                              const std::vector<int>& gpus,
+                                              double bytes) {
+  std::vector<TransferOp> ops;
+  for (int g : gpus) {
+    if (g != root) ops.push_back(PtoP(g, root, bytes));
+  }
+  return ops;
+}
+
+std::vector<TransferOp> TransferProbe::AllToAll(const std::vector<int>& gpus,
+                                                double bytes_per_pair) {
+  std::vector<TransferOp> ops;
+  for (int a : gpus) {
+    for (int b : gpus) {
+      if (a != b) ops.push_back(PtoP(a, b, bytes_per_pair));
+    }
+  }
+  return ops;
+}
+
+std::vector<TransferOp> TransferProbe::P2pRing(const std::vector<int>& gpus,
+                                               double bytes_per_direction) {
+  std::vector<TransferOp> ops;
+  const std::size_t g = gpus.size();
+  for (std::size_t i = 0; i < g / 2; ++i) {
+    ops.push_back(PtoP(gpus[i], gpus[g - 1 - i], bytes_per_direction));
+    ops.push_back(PtoP(gpus[g - 1 - i], gpus[i], bytes_per_direction));
+  }
+  return ops;
+}
+
+}  // namespace mgs::topo

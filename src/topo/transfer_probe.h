@@ -1,0 +1,93 @@
+// Flow-level transfer benchmarking: reproduces the paper's Section 4
+// methodology (serial / parallel / bidirectional copy scenarios, aggregate
+// throughput = total bytes / makespan).
+
+#ifndef MGS_TOPO_TRANSFER_PROBE_H_
+#define MGS_TOPO_TRANSFER_PROBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace mgs::topo {
+
+/// One copy in a scenario.
+struct TransferOp {
+  CopyKind kind;
+  Endpoint src;
+  Endpoint dst;
+  double bytes;
+};
+
+/// Scenario outcome. The paper reports aggregate throughput: all ops start
+/// together; throughput = sum(bytes) / time of last completion.
+struct ProbeResult {
+  double makespan_seconds = 0;
+  double aggregate_throughput = 0;          // bytes/s
+  std::vector<double> op_durations;         // per op, seconds
+  /// The saturated resource over the scenario and its utilization in
+  /// [0, 1] (identifies *why* a scenario is slow: "xbus=", "pcie-up=",
+  /// host memory, ...).
+  std::string bottleneck;
+  double bottleneck_utilization = 0;
+};
+
+/// Owns a topology compiled into a private simulator + flow network and
+/// runs copy scenarios against it.
+class TransferProbe {
+ public:
+  /// Compiles `topology`; dies on modeling errors (presets are validated).
+  explicit TransferProbe(std::unique_ptr<Topology> topology);
+
+  const Topology& topology() const { return *topology_; }
+
+  /// Runs all ops concurrently from a common start instant.
+  Result<ProbeResult> Run(const std::vector<TransferOp>& ops);
+
+  // -- scenario builders matching the paper's experiments -----------------
+
+  /// Serial HtoD / DtoH copy of `bytes` between NUMA node 0 and one GPU.
+  static TransferOp HtoD(int gpu, double bytes, int numa = 0);
+  static TransferOp DtoH(int gpu, double bytes, int numa = 0);
+  static TransferOp PtoP(int src_gpu, int dst_gpu, double bytes);
+  static TransferOp DtoD(int gpu, double bytes);
+
+  /// Bidirectional CPU-GPU copy: one HtoD + one DtoH per listed GPU.
+  static std::vector<TransferOp> Bidirectional(const std::vector<int>& gpus,
+                                               double bytes_per_direction,
+                                               int numa = 0);
+
+  /// The paper's parallel P2P pattern for a GPU set (Section 4.3):
+  /// GPU_0 <-> GPU_{g-1}, GPU_1 <-> GPU_{g-2}, ... (bidirectional).
+  static std::vector<TransferOp> P2pRing(const std::vector<int>& gpus,
+                                         double bytes_per_direction);
+
+  // -- collective patterns (Li et al.-style extension) ---------------------
+
+  /// Root GPU sends a copy of `bytes` to every other GPU in the set.
+  static std::vector<TransferOp> Broadcast(int root,
+                                           const std::vector<int>& gpus,
+                                           double bytes);
+
+  /// Every non-root GPU sends `bytes` to the root.
+  static std::vector<TransferOp> Gather(int root,
+                                        const std::vector<int>& gpus,
+                                        double bytes);
+
+  /// Every ordered pair (i, j), i != j, transfers `bytes` concurrently
+  /// (the RDX sort's exchange pattern).
+  static std::vector<TransferOp> AllToAll(const std::vector<int>& gpus,
+                                          double bytes_per_pair);
+
+ private:
+  std::unique_ptr<Topology> topology_;
+  sim::Simulator simulator_;
+  sim::FlowNetwork network_{&simulator_};
+};
+
+}  // namespace mgs::topo
+
+#endif  // MGS_TOPO_TRANSFER_PROBE_H_

@@ -1,0 +1,182 @@
+#include "util/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mgs {
+
+const char* DistributionToString(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kSorted:
+      return "sorted";
+    case Distribution::kReverseSorted:
+      return "reverse-sorted";
+    case Distribution::kNearlySorted:
+      return "nearly-sorted";
+    case Distribution::kZipf:
+      return "zipf";
+  }
+  return "unknown";
+}
+
+Result<Distribution> DistributionFromString(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "normal") return Distribution::kNormal;
+  if (name == "sorted") return Distribution::kSorted;
+  if (name == "reverse-sorted") return Distribution::kReverseSorted;
+  if (name == "nearly-sorted") return Distribution::kNearlySorted;
+  if (name == "zipf") return Distribution::kZipf;
+  return Status::Invalid("unknown distribution: " + name);
+}
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+std::size_t DataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+namespace {
+
+// Maps a raw 64-bit random value to a key of type T spanning (most of) its
+// domain. Floats get finite values in [-1e9, 1e9].
+template <typename T>
+T ToKey(std::uint64_t bits) {
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(bits);
+  } else if constexpr (std::is_same_v<T, std::int64_t>) {
+    return static_cast<std::int64_t>(bits);
+  } else {
+    const double unit =
+        static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    return static_cast<T>((unit - 0.5) * 2e9);
+  }
+}
+
+// Monotone key for the sorted/reverse-sorted generators: rank i of n mapped
+// into the type's domain, with duplicates when n exceeds the domain.
+template <typename T>
+T RankKey(std::int64_t i, std::int64_t n) {
+  const double unit = n <= 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    return static_cast<std::int32_t>(unit * 4.0e9 - 2.0e9);
+  } else if constexpr (std::is_same_v<T, std::int64_t>) {
+    return static_cast<std::int64_t>(unit * 1.8e18 - 9.0e17);
+  } else {
+    return static_cast<T>((unit - 0.5) * 2e9);
+  }
+}
+
+template <typename T>
+void FillUniform(std::int64_t n, std::uint64_t seed, std::vector<T>* out) {
+  SplitMix64 rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) (*out)[i] = ToKey<T>(rng.Next());
+}
+
+template <typename T>
+void FillNormal(std::int64_t n, std::uint64_t seed, std::vector<T>* out) {
+  // Box-Muller on SplitMix64; mean 0, sigma covering ~1/8 of the domain so
+  // that duplicates stay rare for 64-bit types and realistic for 32-bit.
+  SplitMix64 rng(seed);
+  const double sigma = std::is_same_v<T, std::int32_t> ? 2.5e8 : 1.0e8;
+  for (std::int64_t i = 0; i < n; i += 2) {
+    double u1 = rng.NextDouble();
+    double u2 = rng.NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double z0 = r * std::cos(2.0 * M_PI * u2);
+    const double z1 = r * std::sin(2.0 * M_PI * u2);
+    (*out)[i] = static_cast<T>(z0 * sigma);
+    if (i + 1 < n) (*out)[i + 1] = static_cast<T>(z1 * sigma);
+  }
+}
+
+template <typename T>
+void FillZipf(std::int64_t n, double theta, std::uint64_t seed,
+              std::vector<T>* out) {
+  // Approximate Zipf over 1e6 distinct values via the inverse-CDF power
+  // method: rank = N * u^(1/(1-theta)) biases toward small ranks.
+  SplitMix64 rng(seed);
+  constexpr double kDomain = 1e6;
+  const double exponent = 1.0 / (1.0 - std::min(theta, 0.999));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    const double rank = kDomain * std::pow(u, exponent);
+    (*out)[i] = static_cast<T>(rank);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void GenerateKeys(std::int64_t n, const DataGenOptions& options,
+                  std::vector<T>* out) {
+  out->resize(static_cast<std::size_t>(n));
+  if (n == 0) return;
+  switch (options.distribution) {
+    case Distribution::kUniform:
+      FillUniform<T>(n, options.seed, out);
+      break;
+    case Distribution::kNormal:
+      FillNormal<T>(n, options.seed, out);
+      break;
+    case Distribution::kSorted:
+      for (std::int64_t i = 0; i < n; ++i) (*out)[i] = RankKey<T>(i, n);
+      break;
+    case Distribution::kReverseSorted:
+      for (std::int64_t i = 0; i < n; ++i) {
+        (*out)[i] = RankKey<T>(n - 1 - i, n);
+      }
+      break;
+    case Distribution::kNearlySorted: {
+      for (std::int64_t i = 0; i < n; ++i) (*out)[i] = RankKey<T>(i, n);
+      SplitMix64 rng(options.seed);
+      const auto swaps = static_cast<std::int64_t>(
+          static_cast<double>(n) * options.nearly_sorted_noise);
+      for (std::int64_t s = 0; s < swaps; ++s) {
+        const auto a = static_cast<std::int64_t>(rng.Next() % n);
+        const auto b = static_cast<std::int64_t>(rng.Next() % n);
+        std::swap((*out)[a], (*out)[b]);
+      }
+      break;
+    }
+    case Distribution::kZipf:
+      FillZipf<T>(n, options.zipf_theta, options.seed, out);
+      break;
+  }
+}
+
+template void GenerateKeys<std::int32_t>(std::int64_t, const DataGenOptions&,
+                                         std::vector<std::int32_t>*);
+template void GenerateKeys<std::int64_t>(std::int64_t, const DataGenOptions&,
+                                         std::vector<std::int64_t>*);
+template void GenerateKeys<float>(std::int64_t, const DataGenOptions&,
+                                  std::vector<float>*);
+template void GenerateKeys<double>(std::int64_t, const DataGenOptions&,
+                                   std::vector<double>*);
+
+}  // namespace mgs

@@ -1,0 +1,106 @@
+#include "util/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace mgs {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void ReportTable::Print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), cells[c].c_str(),
+                  c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 != columns_.size()) rule += "  ";
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+namespace {
+std::string Slug(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::optional<std::string> ReportTable::WriteCsv(const std::string& dir) const {
+  const std::string path = dir + "/" + Slug(title_) + ".csv";
+  std::ofstream f(path);
+  if (!f) return std::nullopt;
+  auto write_row = [&f](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      f << CsvEscape(cells[c]) << (c + 1 == cells.size() ? "\n" : ",");
+    }
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  return path;
+}
+
+void ReportTable::Emit() const {
+  Print();
+  if (const char* dir = std::getenv("MGS_BENCH_CSV_DIR")) {
+    if (auto path = WriteCsv(dir)) {
+      std::printf("[csv] %s\n", path->c_str());
+    }
+  }
+}
+
+void PrintBanner(const std::string& text) {
+  std::string rule(text.size() + 4, '=');
+  std::printf("%s\n| %s |\n%s\n", rule.c_str(), text.c_str(), rule.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace mgs

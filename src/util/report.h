@@ -1,0 +1,47 @@
+// Benchmark reporting: aligned console tables reproducing the paper's rows
+// and series, plus optional CSV dumps (set MGS_BENCH_CSV_DIR).
+
+#ifndef MGS_UTIL_REPORT_H_
+#define MGS_UTIL_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mgs {
+
+/// One experiment table: fixed columns, string cells, auto-aligned printing.
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells.
+  static std::string Num(double v, int precision = 2);
+
+  /// Prints an aligned table to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV to `<dir>/<slug(title)>.csv`.
+  /// Returns the path written, or nullopt on failure.
+  std::optional<std::string> WriteCsv(const std::string& dir) const;
+
+  /// Prints, and writes CSV when the MGS_BENCH_CSV_DIR env var is set.
+  void Emit() const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner for a bench binary.
+void PrintBanner(const std::string& text);
+
+}  // namespace mgs
+
+#endif  // MGS_UTIL_REPORT_H_

@@ -1,0 +1,52 @@
+// Small statistics helpers used by the benchmark harness.
+
+#ifndef MGS_UTIL_STATS_H_
+#define MGS_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mgs {
+
+/// Accumulates samples; exposes mean / min / max / stddev.
+class RunningStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = Mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace mgs
+
+#endif  // MGS_UTIL_STATS_H_

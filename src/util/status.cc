@@ -1,0 +1,63 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgs {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<State>(State{code, std::move(message)});
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code());
+  s += ": ";
+  s += message();
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+namespace internal {
+void DieOnBadResult(const Status& st) {
+  std::fprintf(stderr, "Result accessed with error status: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+void CheckOk(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "Fatal status: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace mgs

@@ -1,0 +1,165 @@
+// Status / Result error model, in the style of Apache Arrow and Abseil.
+//
+// Library code in this project does not throw exceptions across public API
+// boundaries; fallible operations return `Status` or `Result<T>`.
+
+#ifndef MGS_UTIL_STATUS_H_
+#define MGS_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mgs {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+  kFailedPrecondition,
+};
+
+/// Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// An OK status carries no allocation; error states allocate a small state
+/// block. `Status` is cheap to move and to test for `ok()`.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& st);
+
+/// Either a value of type T or an error `Status`.
+///
+/// Accessing the value of an errored result aborts (programming error);
+/// callers must check `ok()` or use the ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const;
+  std::variant<T, Status> v_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& st);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadResult(status());
+}
+
+#define MGS_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::mgs::Status _st = (expr);                      \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define MGS_CONCAT_IMPL(a, b) a##b
+#define MGS_CONCAT(a, b) MGS_CONCAT_IMPL(a, b)
+
+#define MGS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto MGS_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!MGS_CONCAT(_res_, __LINE__).ok())                       \
+    return MGS_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MGS_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+/// Aborts the process if `st` is not OK. For use at the edges (main, tests).
+void CheckOk(const Status& st);
+
+template <typename T>
+T CheckOk(Result<T> result) {
+  CheckOk(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace mgs
+
+#endif  // MGS_UTIL_STATUS_H_

@@ -1,0 +1,60 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// The CPU sorting substrate (PARADIS, multiway merge) is genuinely parallel
+// code; this pool is its execution engine. It is also used to speed up the
+// functional layer of the GPU simulator.
+
+#ifndef MGS_UTIL_THREAD_POOL_H_
+#define MGS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mgs {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 → hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(begin, end) over `num_threads` contiguous shards of [0, n) and
+  /// waits. Runs inline when n is small or the pool has one thread.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn,
+                   std::int64_t min_shard = 1024);
+
+  /// Process-wide default pool (hardware concurrency).
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mgs
+
+#endif  // MGS_UTIL_THREAD_POOL_H_

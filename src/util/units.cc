@@ -1,0 +1,53 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mgs {
+
+namespace {
+std::string Format(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  if (bytes >= kGB) return Format("%.2f %s", bytes / kGB, "GB");
+  if (bytes >= kMB) return Format("%.2f %s", bytes / kMB, "MB");
+  if (bytes >= kKB) return Format("%.2f %s", bytes / kKB, "KB");
+  return Format("%.0f %s", bytes, "B");
+}
+
+std::string FormatThroughput(double bytes_per_sec) {
+  if (bytes_per_sec >= kGB) {
+    return Format("%.1f %s", bytes_per_sec / kGB, "GB/s");
+  }
+  if (bytes_per_sec >= kMB) {
+    return Format("%.1f %s", bytes_per_sec / kMB, "MB/s");
+  }
+  return Format("%.1f %s", bytes_per_sec / kKB, "KB/s");
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= 1.0) return Format("%.3f %s", seconds, "s");
+  if (seconds >= 1e-3) return Format("%.2f %s", seconds * 1e3, "ms");
+  if (seconds >= 1e-6) return Format("%.2f %s", seconds * 1e6, "us");
+  return Format("%.1f %s", seconds * 1e9, "ns");
+}
+
+std::string FormatKeys(std::int64_t keys) {
+  if (keys >= kGiga) {
+    return Format("%.2f%s keys", static_cast<double>(keys) / kGiga, "B");
+  }
+  if (keys >= kMega) {
+    return Format("%.1f%s keys", static_cast<double>(keys) / kMega, "M");
+  }
+  if (keys >= kKilo) {
+    return Format("%.1f%s keys", static_cast<double>(keys) / kKilo, "K");
+  }
+  return Format("%.0f%s keys", static_cast<double>(keys), "");
+}
+
+}  // namespace mgs

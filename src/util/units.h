@@ -1,0 +1,39 @@
+// Byte / throughput / key-count unit helpers.
+//
+// Conventions used throughout this project (matching the paper):
+//   * "GB" means 1e9 bytes (decimal), as interconnect bandwidths are quoted
+//     in GB/s decimal.
+//   * Throughput is bytes per (simulated) second, durations are seconds.
+//   * "B keys" in the paper means 1e9 (billion) keys.
+
+#ifndef MGS_UTIL_UNITS_H_
+#define MGS_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mgs {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr std::int64_t kKilo = 1'000;
+inline constexpr std::int64_t kMega = 1'000'000;
+inline constexpr std::int64_t kGiga = 1'000'000'000;
+
+/// Bytes → "X.Y GB" style human string.
+std::string FormatBytes(double bytes);
+
+/// Bytes/second → "X.Y GB/s" style human string.
+std::string FormatThroughput(double bytes_per_sec);
+
+/// Seconds → "123.4 ms" / "1.23 s" style human string.
+std::string FormatDuration(double seconds);
+
+/// Key count → "2.0B keys" / "512M keys" style human string.
+std::string FormatKeys(std::int64_t keys);
+
+}  // namespace mgs
+
+#endif  // MGS_UTIL_UNITS_H_

@@ -1,0 +1,118 @@
+// Host and device buffers for the virtual GPU runtime.
+//
+// Device memory is host memory in this simulator; what makes a buffer a
+// *device* buffer is (a) capacity accounting against the owning GPU's HBM
+// size and (b) the rule that host logic never touches device contents
+// directly — only kernels and copies do (tests assert on host buffers).
+//
+// Scale model: a buffer stores `size()` real ("actual") elements but
+// represents `size() * scale` logical elements; the timing layer bills
+// logical bytes. Tests and examples run at scale 1 where the two coincide.
+
+#ifndef MGS_VGPU_BUFFER_H_
+#define MGS_VGPU_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::vgpu {
+
+class Device;
+
+namespace internal {
+/// Untyped backing store with device registration; DeviceBuffer<T> wraps it.
+class DeviceAllocation {
+ public:
+  DeviceAllocation() = default;
+  DeviceAllocation(Device* device, std::int64_t bytes_actual);
+  ~DeviceAllocation();
+  DeviceAllocation(DeviceAllocation&& other) noexcept;
+  DeviceAllocation& operator=(DeviceAllocation&& other) noexcept;
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+
+  Device* device() const { return device_; }
+  std::int64_t bytes_actual() const { return bytes_actual_; }
+
+ private:
+  void Free();
+  Device* device_ = nullptr;
+  std::int64_t bytes_actual_ = 0;
+};
+}  // namespace internal
+
+/// A typed device-memory buffer of fixed element capacity. Created via
+/// Device::Allocate<T>(). Move-only; frees its capacity on destruction.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+  int device_id() const;
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  friend class Device;
+  DeviceBuffer(internal::DeviceAllocation allocation, std::int64_t count)
+      : allocation_(std::move(allocation)),
+        data_(static_cast<std::size_t>(count)) {}
+
+  internal::DeviceAllocation allocation_;
+  std::vector<T> data_;
+};
+
+/// Pinned (page-locked) host memory on a NUMA node. Pageable buffers model
+/// the CUDA driver's staging penalty via a bandwidth weight on all copies.
+template <typename T>
+class HostBuffer {
+ public:
+  HostBuffer() = default;
+  explicit HostBuffer(std::int64_t count, int numa_node = 0,
+                      bool pinned = true)
+      : data_(static_cast<std::size_t>(count)),
+        numa_node_(numa_node),
+        pinned_(pinned) {}
+  explicit HostBuffer(std::vector<T> data, int numa_node = 0,
+                      bool pinned = true)
+      : data_(std::move(data)), numa_node_(numa_node), pinned_(pinned) {}
+
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  int numa_node() const { return numa_node_; }
+  bool pinned() const { return pinned_; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  std::vector<T>& vector() { return data_; }
+  const std::vector<T>& vector() const { return data_; }
+
+ private:
+  std::vector<T> data_;
+  int numa_node_ = 0;
+  bool pinned_ = true;
+};
+
+}  // namespace mgs::vgpu
+
+#endif  // MGS_VGPU_BUFFER_H_

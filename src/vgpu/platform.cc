@@ -1,0 +1,176 @@
+#include "vgpu/platform.h"
+
+#include <utility>
+
+namespace mgs::vgpu {
+
+namespace internal {
+
+DeviceAllocation::DeviceAllocation(Device* device, std::int64_t bytes_actual)
+    : device_(device), bytes_actual_(bytes_actual) {
+  device_->used_logical_bytes_ +=
+      static_cast<double>(bytes_actual_) * device_->platform()->scale();
+}
+
+DeviceAllocation::~DeviceAllocation() { Free(); }
+
+DeviceAllocation::DeviceAllocation(DeviceAllocation&& other) noexcept
+    : device_(std::exchange(other.device_, nullptr)),
+      bytes_actual_(std::exchange(other.bytes_actual_, 0)) {}
+
+DeviceAllocation& DeviceAllocation::operator=(
+    DeviceAllocation&& other) noexcept {
+  if (this != &other) {
+    Free();
+    device_ = std::exchange(other.device_, nullptr);
+    bytes_actual_ = std::exchange(other.bytes_actual_, 0);
+  }
+  return *this;
+}
+
+void DeviceAllocation::Free() {
+  if (device_) {
+    device_->used_logical_bytes_ -=
+        static_cast<double>(bytes_actual_) * device_->platform()->scale();
+    device_ = nullptr;
+    bytes_actual_ = 0;
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Stream
+// ---------------------------------------------------------------------------
+
+Stream::Stream(Platform* platform, Device* device, int id)
+    : platform_(platform), device_(device), id_(id) {}
+
+void Stream::Enqueue(std::function<sim::Task<void>()> op) {
+  ++ops_enqueued_;
+  // The runner keeps `op` (and thus any closure state) alive in its frame
+  // until the op's task completes.
+  auto run = [](sim::JoinerPtr prev,
+                std::function<sim::Task<void>()> op) -> sim::Task<void> {
+    if (prev) co_await *prev;
+    co_await op();
+  };
+  tail_ = sim::Spawn(run(tail_, std::move(op)));
+}
+
+void Stream::LaunchAsync(double duration_seconds, std::function<void()> body,
+                         std::string label) {
+  auto* device = device_;
+  auto* platform = platform_;
+  Enqueue([device, platform, duration_seconds, body = std::move(body),
+           label = std::move(label)]() -> sim::Task<void> {
+    auto& engine = device->compute_engine();
+    co_await engine.Acquire();
+    const double begin = platform->simulator().Now();
+    co_await sim::Delay{platform->simulator(), duration_seconds};
+    body();
+    engine.Release();
+    if (auto* trace = platform->trace()) {
+      trace->AddSpan("GPU" + std::to_string(device->id()) + ":compute",
+                     label, begin, platform->simulator().Now());
+    }
+  });
+}
+
+sim::Task<void> Stream::Synchronize() {
+  auto tail = tail_;
+  if (tail) co_await *tail;
+}
+
+std::shared_ptr<sim::Trigger> Stream::RecordEvent() {
+  auto event = std::make_shared<sim::Trigger>();
+  Enqueue([event]() -> sim::Task<void> {
+    event->Fire();
+    co_return;
+  });
+  return event;
+}
+
+void Stream::WaitEvent(std::shared_ptr<sim::Trigger> event) {
+  Enqueue([event]() -> sim::Task<void> { co_await event->Wait(); });
+}
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+
+Device::Device(Platform* platform, int id) : platform_(platform), id_(id) {}
+
+const topo::GpuSpec& Device::spec() const {
+  return platform_->topology().gpu_spec(id_);
+}
+
+int Device::numa_socket() const {
+  return platform_->topology().gpu_socket(id_);
+}
+
+double Device::memory_capacity() const {
+  return spec().memory_capacity_bytes;
+}
+
+double Device::memory_free() const {
+  return memory_capacity() - used_logical_bytes_;
+}
+
+Stream& Device::stream(int i) {
+  while (static_cast<int>(streams_.size()) <= i) {
+    streams_.push_back(std::make_unique<Stream>(
+        platform_, this, static_cast<int>(streams_.size())));
+  }
+  return *streams_[static_cast<std::size_t>(i)];
+}
+
+// ---------------------------------------------------------------------------
+// Platform
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Platform>> Platform::Create(
+    std::unique_ptr<topo::Topology> topology, PlatformOptions options) {
+  if (options.scale < 1.0) {
+    return Status::Invalid("scale must be >= 1");
+  }
+  if (topology == nullptr) return Status::Invalid("null topology");
+  auto platform = std::unique_ptr<Platform>(
+      new Platform(std::move(topology), options));
+  MGS_RETURN_IF_ERROR(platform->topology_->Compile(&platform->network_));
+  for (int g = 0; g < platform->topology_->num_gpus(); ++g) {
+    platform->devices_.push_back(
+        std::make_unique<Device>(platform.get(), g));
+  }
+  return platform;
+}
+
+sim::Task<void> Platform::CpuBusy(double seconds) {
+  const double begin = simulator_.Now();
+  co_await sim::Delay{simulator_, seconds};
+  if (trace_) trace_->AddSpan("CPU", "cpu-busy", begin, simulator_.Now());
+}
+
+sim::Task<void> Platform::CpuMemoryWork(int socket, double logical_bytes,
+                                        double amplification,
+                                        double engine_weight) {
+  auto path = CheckOk(topology_->CpuMemoryWorkPath(socket, amplification));
+  // The merge engine is the last hop; scale its weight for k-way penalty.
+  if (engine_weight != 1.0 && !path.empty()) {
+    path.back().weight *= engine_weight;
+  }
+  const double begin = simulator_.Now();
+  co_await network_.Transfer(logical_bytes, std::move(path));
+  if (trace_) {
+    trace_->AddSpan("CPU", "cpu-merge " + FormatBytes(logical_bytes), begin,
+                    simulator_.Now());
+  }
+}
+
+Result<double> Platform::Run(sim::Task<void> root) {
+  const double start = simulator_.Now();
+  MGS_RETURN_IF_ERROR(sim::RunToCompletion(&simulator_, std::move(root)));
+  return simulator_.Now() - start;
+}
+
+}  // namespace mgs::vgpu

@@ -1,0 +1,347 @@
+// The virtual GPU runtime: a CUDA-like host API (devices, streams, events,
+// async copies, kernel launches) over the discrete-event simulator.
+//
+// Functional layer: copies really move bytes between host-resident arrays
+// and kernels really execute (the sort primitives in src/gpusort are real
+// algorithms), so results are verifiably correct. Timing layer: copies
+// become flows across the calibrated topology and kernels take durations
+// from the GPU cost model. Reported times are simulated seconds.
+//
+// Semantics mirror CUDA where it matters to the paper's algorithms:
+//  * ops enqueued on one stream execute FIFO; different streams overlap;
+//  * each GPU has separate in/out/local copy engines and a compute queue,
+//    so HtoD, DtoH and kernels can overlap (the 3n pipeline of Fig. 10);
+//  * events provide cross-stream ordering;
+//  * copies snapshot their source when the transfer starts and materialize
+//    at the destination when it completes (so the paper's "in-place data
+//    transfer swap" on one buffer behaves like real DMA).
+
+#ifndef MGS_VGPU_PLATFORM_H_
+#define MGS_VGPU_PLATFORM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/trace.h"
+#include "topo/topology.h"
+#include "util/status.h"
+#include "vgpu/buffer.h"
+#include "vgpu/sim_mutex.h"
+
+namespace mgs::vgpu {
+
+class Platform;
+class Device;
+
+/// Effective-bandwidth penalty for copies from/to pageable (non-pinned)
+/// host memory: the CUDA driver stages them through an internal pinned
+/// buffer (Section 4.2 motivates pinned memory).
+inline constexpr double kPageableCopyWeight = 1.6;
+
+/// Fixed per-copy setup cost (cudaMemcpyAsync launch + DMA descriptor):
+/// irrelevant for the paper's 4 GB blocks, dominant below ~100 KB.
+inline constexpr double kCopyLaunchOverhead = 5e-6;
+
+/// A CUDA-like stream: FIFO queue of async ops.
+class Stream {
+ public:
+  Stream(Platform* platform, Device* device, int id);
+
+  int id() const { return id_; }
+  Device* device() const { return device_; }
+
+  /// Copies `count` elements host->device. Buffers must outlive the op.
+  template <typename T>
+  void MemcpyHtoDAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                       const HostBuffer<T>& src, std::int64_t src_offset,
+                       std::int64_t count);
+
+  /// Copies `count` elements device->host.
+  template <typename T>
+  void MemcpyDtoHAsync(HostBuffer<T>& dst, std::int64_t dst_offset,
+                       const DeviceBuffer<T>& src, std::int64_t src_offset,
+                       std::int64_t count);
+
+  /// Copies `count` elements between two GPUs (P2P DMA).
+  template <typename T>
+  void MemcpyPeerAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                       const DeviceBuffer<T>& src, std::int64_t src_offset,
+                       std::int64_t count);
+
+  /// Device-local copy within one GPU's memory.
+  template <typename T>
+  void MemcpyDtoDAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                       const DeviceBuffer<T>& src, std::int64_t src_offset,
+                       std::int64_t count);
+
+  /// Enqueues a kernel: occupies this device's compute queue for
+  /// `duration_seconds` (simulated), then runs `body` (the functional
+  /// effect). `label` is for diagnostics.
+  void LaunchAsync(double duration_seconds, std::function<void()> body,
+                   std::string label = "kernel");
+
+  /// Suspends until every op enqueued so far has completed.
+  sim::Task<void> Synchronize();
+
+  /// Records an event after the currently-enqueued ops.
+  std::shared_ptr<sim::Trigger> RecordEvent();
+
+  /// Makes subsequent ops on this stream wait for `event`.
+  void WaitEvent(std::shared_ptr<sim::Trigger> event);
+
+  /// Number of ops enqueued over the stream's lifetime.
+  std::int64_t ops_enqueued() const { return ops_enqueued_; }
+
+ private:
+  void Enqueue(std::function<sim::Task<void>()> op);
+
+  template <typename T>
+  void EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
+                   topo::Endpoint dst_ep, T* dst, const T* src,
+                   std::int64_t count, double extra_weight, SimMutex* engine,
+                   std::string track);
+
+  Platform* platform_;
+  Device* device_;
+  int id_;
+  sim::JoinerPtr tail_;
+  std::int64_t ops_enqueued_ = 0;
+};
+
+/// One simulated GPU.
+class Device {
+ public:
+  Device(Platform* platform, int id);
+
+  int id() const { return id_; }
+  Platform* platform() const { return platform_; }
+  const topo::GpuSpec& spec() const;
+  int numa_socket() const;
+
+  /// Logical memory capacity / free bytes (scale-independent).
+  double memory_capacity() const;
+  double memory_free() const;
+  double memory_used() const { return used_logical_bytes_; }
+
+  /// Allocates a device buffer of `actual_count` elements (logical size is
+  /// actual_count * scale * sizeof(T)); fails if the GPU is out of memory.
+  template <typename T>
+  Result<DeviceBuffer<T>> Allocate(std::int64_t actual_count);
+
+  /// Largest per-buffer actual element count such that `num_buffers` equal
+  /// buffers fit into this GPU's free memory.
+  template <typename T>
+  std::int64_t MaxBufferElements(int num_buffers) const;
+
+  /// Stream `i` (created on first use).
+  Stream& stream(int i);
+
+  SimMutex& in_engine() { return in_engine_; }
+  SimMutex& out_engine() { return out_engine_; }
+  SimMutex& local_engine() { return local_engine_; }
+  SimMutex& compute_engine() { return compute_engine_; }
+
+ private:
+  friend class internal::DeviceAllocation;
+  Platform* platform_;
+  int id_;
+  double used_logical_bytes_ = 0;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  SimMutex in_engine_, out_engine_, local_engine_, compute_engine_;
+};
+
+struct PlatformOptions {
+  /// Logical-to-actual scale factor (see DESIGN.md "Scale model"): buffers
+  /// hold n/scale real elements, timings bill n logical elements.
+  double scale = 1.0;
+};
+
+/// A simulated multi-GPU machine: topology + simulator + devices.
+class Platform {
+ public:
+  static Result<std::unique_ptr<Platform>> Create(
+      std::unique_ptr<topo::Topology> topology, PlatformOptions options = {});
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::FlowNetwork& network() { return network_; }
+  const topo::Topology& topology() const { return *topology_; }
+  double scale() const { return options_.scale; }
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Device& device(int id) { return *devices_.at(static_cast<std::size_t>(id)); }
+
+  /// Fixed-duration modeled CPU work (e.g. a calibrated PARADIS run).
+  sim::Task<void> CpuBusy(double seconds);
+
+  /// Memory-bandwidth-bound CPU work on `socket` (the multiway merge):
+  /// processes `logical_bytes` of output, consuming `amplification` bytes
+  /// of memory traffic per output byte plus the CPU merge-engine budget
+  /// (weighted by `engine_weight` >= 1 to model k-way degradation).
+  sim::Task<void> CpuMemoryWork(int socket, double logical_bytes,
+                                double amplification, double engine_weight);
+
+  /// Runs `root` to completion on this platform's simulator and returns the
+  /// simulated seconds it took.
+  Result<double> Run(sim::Task<void> root);
+
+  /// Attaches a trace recorder: every copy, kernel, and CPU phase records a
+  /// span (see sim/trace.h). Pass nullptr to detach. Not owned.
+  void SetTrace(sim::TraceRecorder* trace) { trace_ = trace; }
+  sim::TraceRecorder* trace() const { return trace_; }
+
+ private:
+  Platform(std::unique_ptr<topo::Topology> topology, PlatformOptions options)
+      : topology_(std::move(topology)), options_(options) {}
+
+  std::unique_ptr<topo::Topology> topology_;
+  PlatformOptions options_;
+  sim::Simulator simulator_;
+  sim::FlowNetwork network_{&simulator_};
+  std::vector<std::unique_ptr<Device>> devices_;
+  sim::TraceRecorder* trace_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// inline / template implementations
+// ---------------------------------------------------------------------------
+
+template <typename T>
+int DeviceBuffer<T>::device_id() const {
+  return allocation_.device() ? allocation_.device()->id() : -1;
+}
+
+template <typename T>
+Result<DeviceBuffer<T>> Device::Allocate(std::int64_t actual_count) {
+  if (actual_count < 0) return Status::Invalid("negative allocation");
+  const double bytes_actual =
+      static_cast<double>(actual_count) * sizeof(T);
+  const double bytes_logical = bytes_actual * platform_->scale();
+  if (bytes_logical > memory_free()) {
+    return Status::OutOfMemory(
+        "device " + std::to_string(id_) + ": allocation of " +
+        FormatBytes(bytes_logical) + " exceeds free " +
+        FormatBytes(memory_free()));
+  }
+  return DeviceBuffer<T>(
+      internal::DeviceAllocation(this,
+                                 static_cast<std::int64_t>(bytes_actual)),
+      actual_count);
+}
+
+template <typename T>
+std::int64_t Device::MaxBufferElements(int num_buffers) const {
+  const double per_buffer_logical =
+      memory_free() / static_cast<double>(num_buffers);
+  const double per_buffer_actual = per_buffer_logical / platform_->scale();
+  return static_cast<std::int64_t>(per_buffer_actual / sizeof(T));
+}
+
+template <typename T>
+void Stream::EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
+                         topo::Endpoint dst_ep, T* dst, const T* src,
+                         std::int64_t count, double extra_weight,
+                         SimMutex* engine, std::string track) {
+  auto path = CheckOk(platform_->topology().CopyPath(kind, src_ep, dst_ep));
+  if (extra_weight != 1.0) {
+    for (auto& hop : path) hop.weight *= extra_weight;
+  }
+  const double latency =
+      kCopyLaunchOverhead +
+      CheckOk(platform_->topology().CopyLatency(kind, src_ep, dst_ep));
+  const double logical_bytes =
+      static_cast<double>(count) * sizeof(T) * platform_->scale();
+  auto* platform = platform_;
+  std::string label = std::string(topo::CopyKindToString(kind)) + " " +
+                      FormatBytes(logical_bytes);
+  Enqueue([platform, path = std::move(path), logical_bytes, latency, dst,
+           src, count, engine, track = std::move(track),
+           label = std::move(label)]() -> sim::Task<void> {
+    co_await engine->Acquire();
+    const double begin = platform->simulator().Now();
+    // Snapshot the source as the DMA starts; materialize at completion.
+    std::vector<T> staging(src, src + count);
+    co_await platform->network().Transfer(logical_bytes, path, latency);
+    std::copy(staging.begin(), staging.end(), dst);
+    engine->Release();
+    if (auto* trace = platform->trace()) {
+      trace->AddSpan(track, label, begin, platform->simulator().Now());
+    }
+  });
+}
+
+template <typename T>
+void Stream::MemcpyHtoDAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                             const HostBuffer<T>& src, std::int64_t src_offset,
+                             std::int64_t count) {
+  CheckOk(src_offset >= 0 && dst_offset >= 0 && count >= 0 &&
+                  src_offset + count <= src.size() &&
+                  dst_offset + count <= dst.size()
+              ? Status::OK()
+              : Status::Invalid("MemcpyHtoDAsync: range out of bounds"));
+  EnqueueCopy(topo::CopyKind::kHostToDevice,
+              topo::Endpoint::HostMemory(src.numa_node()),
+              topo::Endpoint::Gpu(dst.device_id()), dst.data() + dst_offset,
+              src.data() + src_offset, count,
+              src.pinned() ? 1.0 : kPageableCopyWeight, &device_->in_engine(),
+              "GPU" + std::to_string(device_->id()) + ":in");
+}
+
+template <typename T>
+void Stream::MemcpyDtoHAsync(HostBuffer<T>& dst, std::int64_t dst_offset,
+                             const DeviceBuffer<T>& src,
+                             std::int64_t src_offset, std::int64_t count) {
+  CheckOk(src_offset >= 0 && dst_offset >= 0 && count >= 0 &&
+                  src_offset + count <= src.size() &&
+                  dst_offset + count <= dst.size()
+              ? Status::OK()
+              : Status::Invalid("MemcpyDtoHAsync: range out of bounds"));
+  EnqueueCopy(topo::CopyKind::kDeviceToHost,
+              topo::Endpoint::Gpu(src.device_id()),
+              topo::Endpoint::HostMemory(dst.numa_node()),
+              dst.data() + dst_offset, src.data() + src_offset, count,
+              dst.pinned() ? 1.0 : kPageableCopyWeight, &device_->out_engine(),
+              "GPU" + std::to_string(device_->id()) + ":out");
+}
+
+template <typename T>
+void Stream::MemcpyPeerAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                             const DeviceBuffer<T>& src,
+                             std::int64_t src_offset, std::int64_t count) {
+  CheckOk(src_offset >= 0 && dst_offset >= 0 && count >= 0 &&
+                  src_offset + count <= src.size() &&
+                  dst_offset + count <= dst.size() &&
+                  src.device_id() != dst.device_id()
+              ? Status::OK()
+              : Status::Invalid("MemcpyPeerAsync: bad ranges or same device"));
+  // P2P DMA is driven by the source GPU's copy engine.
+  EnqueueCopy(topo::CopyKind::kPeerToPeer, topo::Endpoint::Gpu(src.device_id()),
+              topo::Endpoint::Gpu(dst.device_id()), dst.data() + dst_offset,
+              src.data() + src_offset, count, 1.0,
+              &platform_->device(src.device_id()).out_engine(),
+              "GPU" + std::to_string(src.device_id()) + ":out");
+}
+
+template <typename T>
+void Stream::MemcpyDtoDAsync(DeviceBuffer<T>& dst, std::int64_t dst_offset,
+                             const DeviceBuffer<T>& src,
+                             std::int64_t src_offset, std::int64_t count) {
+  CheckOk(src_offset >= 0 && dst_offset >= 0 && count >= 0 &&
+                  src_offset + count <= src.size() &&
+                  dst_offset + count <= dst.size() &&
+                  src.device_id() == dst.device_id()
+              ? Status::OK()
+              : Status::Invalid("MemcpyDtoDAsync: bad ranges or devices"));
+  EnqueueCopy(topo::CopyKind::kDeviceLocal, topo::Endpoint::Gpu(src.device_id()),
+              topo::Endpoint::Gpu(dst.device_id()), dst.data() + dst_offset,
+              src.data() + src_offset, count, 1.0, &device_->local_engine(),
+              "GPU" + std::to_string(device_->id()) + ":local");
+}
+
+}  // namespace mgs::vgpu
+
+#endif  // MGS_VGPU_PLATFORM_H_

@@ -1,0 +1,55 @@
+// A coroutine mutex for simulated hardware engines (copy engines, compute
+// queues): ops acquire the engine FIFO and hold it for their duration.
+
+#ifndef MGS_VGPU_SIM_MUTEX_H_
+#define MGS_VGPU_SIM_MUTEX_H_
+
+#include <coroutine>
+#include <deque>
+
+namespace mgs::vgpu {
+
+class SimMutex {
+ public:
+  SimMutex() = default;
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  bool locked() const { return locked_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// Awaitable acquisition; FIFO among waiters.
+  auto Acquire() {
+    struct Awaiter {
+      SimMutex* mutex;
+      bool await_ready() const noexcept { return !mutex->locked_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        mutex->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept { mutex->locked_ = true; }
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases the mutex; resumes the next waiter (which re-locks it).
+  void Release() {
+    locked_ = false;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      h.resume();  // its await_resume sets locked_ = true
+    }
+  }
+
+ private:
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII-ish helper: co_await lock.Hold() inside a scope is not possible with
+/// plain RAII (release must happen in coroutine context), so ops call
+/// Acquire()/Release() explicitly.
+
+}  // namespace mgs::vgpu
+
+#endif  // MGS_VGPU_SIM_MUTEX_H_

@@ -1,0 +1,89 @@
+#include "benchsuite/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mgs::bench {
+namespace {
+
+TEST(BenchSuiteTest, AlgoNames) {
+  EXPECT_STREQ(AlgoToString(Algo::kP2p), "P2P sort");
+  EXPECT_STREQ(AlgoToString(Algo::kHet2nEager), "HET sort (2n+EM)");
+  EXPECT_STREQ(AlgoToString(Algo::kCpuParadis), "PARADIS (CPU)");
+}
+
+TEST(BenchSuiteTest, EnvKnobs) {
+  setenv("MGS_BENCH_ACTUAL_KEYS", "12345", 1);
+  EXPECT_EQ(ActualKeyCap(), 12345);
+  unsetenv("MGS_BENCH_ACTUAL_KEYS");
+  EXPECT_EQ(ActualKeyCap(), 2'000'000);
+  setenv("MGS_BENCH_REPEATS", "7", 1);
+  EXPECT_EQ(Repeats(), 7);
+  unsetenv("MGS_BENCH_REPEATS");
+  EXPECT_EQ(Repeats(), 3);
+}
+
+TEST(BenchSuiteTest, RunOnceP2p) {
+  SortConfig config;
+  config.system = "dgx-a100";
+  config.algo = Algo::kP2p;
+  config.gpus = 2;
+  config.logical_keys = 2'000'000'000;
+  auto stats = RunOnce(config);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // Fig. 14a: ~0.38 s for 2e9 keys on two DGX GPUs.
+  EXPECT_NEAR(stats->total_seconds, 0.38, 0.08);
+}
+
+TEST(BenchSuiteTest, RunOnceAllAlgosAllTypes) {
+  for (Algo algo : {Algo::kP2p, Algo::kHet2n, Algo::kHet3n,
+                    Algo::kCpuParadis}) {
+    for (DataType type : {DataType::kInt32, DataType::kFloat64}) {
+      SortConfig config;
+      config.system = "ac922";
+      config.algo = algo;
+      config.gpus = 2;
+      config.logical_keys = 100'000'000;
+      config.type = type;
+      auto stats = RunOnce(config);
+      ASSERT_TRUE(stats.ok())
+          << AlgoToString(algo) << "/" << DataTypeToString(type) << ": "
+          << stats.status();
+      EXPECT_GT(stats->total_seconds, 0);
+    }
+  }
+}
+
+TEST(BenchSuiteTest, RunManyAveragesRepeats) {
+  setenv("MGS_BENCH_REPEATS", "2", 1);
+  SortConfig config;
+  config.system = "delta-d22x";
+  config.algo = Algo::kHet2n;
+  config.gpus = 4;
+  config.logical_keys = 500'000'000;
+  core::SortStats last;
+  auto stats = RunMany(config, &last);
+  unsetenv("MGS_BENCH_REPEATS");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->count(), 2u);
+  EXPECT_EQ(last.num_gpus, 4);
+}
+
+TEST(BenchSuiteTest, KeysLabelFormat) {
+  EXPECT_EQ(KeysLabel(2'000'000'000), "2");
+  EXPECT_EQ(KeysLabel(500'000'000), "0.5");
+  EXPECT_EQ(KeysLabel(16'000'000'000), "16");
+}
+
+TEST(BenchSuiteTest, UnknownSystemFails) {
+  SortConfig config;
+  config.system = "dgx-h100";
+  config.algo = Algo::kP2p;
+  config.gpus = 2;
+  config.logical_keys = 1000;
+  EXPECT_FALSE(RunOnce(config).ok());
+}
+
+}  // namespace
+}  // namespace mgs::bench

@@ -1,0 +1,504 @@
+// Correctness tests for the CPU sorting substrate: radix traits, LSB radix
+// sort, PARADIS-style in-place radix sort, merge sort, loser tree, and
+// parallel multiway merge. Parameterized sweeps act as property tests
+// against std::sort / std::merge oracles.
+
+#include "cpusort/cpusort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "util/datagen.h"
+#include "util/thread_pool.h"
+
+namespace mgs::cpusort {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RadixTraits
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class RadixTraitsTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<std::int32_t, std::int64_t, float, double,
+                                  std::uint32_t, std::uint64_t>;
+TYPED_TEST_SUITE(RadixTraitsTest, KeyTypes);
+
+TYPED_TEST(RadixTraitsTest, EncodePreservesOrder) {
+  using T = TypeParam;
+  DataGenOptions opt;
+  opt.seed = 11;
+  std::vector<T> keys;
+  if constexpr (std::is_same_v<T, std::uint32_t>) {
+    SplitMix64 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+      keys.push_back(static_cast<std::uint32_t>(rng.Next()));
+    }
+  } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+    SplitMix64 rng(2);
+    for (int i = 0; i < 2000; ++i) keys.push_back(rng.Next());
+  } else {
+    keys = GenerateKeys<T>(2000, opt);
+  }
+  keys.push_back(std::numeric_limits<T>::max());
+  keys.push_back(std::numeric_limits<T>::lowest());
+  keys.push_back(T{0});
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      const bool lt = keys[i] < keys[j];
+      const bool enc_lt = RadixTraits<T>::Encode(keys[i]) <
+                          RadixTraits<T>::Encode(keys[j]);
+      EXPECT_EQ(lt, enc_lt) << keys[i] << " vs " << keys[j];
+    }
+  }
+}
+
+TYPED_TEST(RadixTraitsTest, DecodeInvertsEncode) {
+  using T = TypeParam;
+  DataGenOptions opt;
+  opt.seed = 3;
+  std::vector<T> keys;
+  if constexpr (std::is_same_v<T, std::uint32_t> ||
+                std::is_same_v<T, std::uint64_t>) {
+    SplitMix64 rng(3);
+    for (int i = 0; i < 1000; ++i) keys.push_back(static_cast<T>(rng.Next()));
+  } else {
+    keys = GenerateKeys<T>(1000, opt);
+  }
+  for (T k : keys) {
+    EXPECT_EQ(RadixTraits<T>::Decode(RadixTraits<T>::Encode(k)), k);
+  }
+}
+
+TEST(RadixDigitTest, ExtractsBytesOfEncodedKey) {
+  // 0 encodes to 0x80000000 for int32.
+  EXPECT_EQ(RadixDigit(std::int32_t{0}, 3), 0x80u);
+  EXPECT_EQ(RadixDigit(std::int32_t{0}, 0), 0x00u);
+  EXPECT_EQ(RadixDigit(std::int32_t{0x01020304}, 0), 0x04u);
+  EXPECT_EQ(RadixDigit(std::int32_t{0x01020304}, 2), 0x02u);
+}
+
+// ---------------------------------------------------------------------------
+// Sorting algorithms: property sweep over sizes x distributions x types
+// ---------------------------------------------------------------------------
+
+enum class CpuAlgo { kLsbRadix, kParadis, kMergeSort };
+
+const char* AlgoName(CpuAlgo a) {
+  switch (a) {
+    case CpuAlgo::kLsbRadix:
+      return "lsb_radix";
+    case CpuAlgo::kParadis:
+      return "paradis";
+    case CpuAlgo::kMergeSort:
+      return "merge_sort";
+  }
+  return "?";
+}
+
+struct SortCase {
+  CpuAlgo algo;
+  Distribution dist;
+  std::int64_t n;
+  int threads;  // 0 = no pool
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SortCase>& info) {
+  const auto& c = info.param;
+  std::string s = AlgoName(c.algo);
+  s += "_";
+  for (char ch : std::string(DistributionToString(c.dist))) {
+    s += ch == '-' ? '_' : ch;
+  }
+  s += "_n" + std::to_string(c.n) + "_t" + std::to_string(c.threads);
+  return s;
+}
+
+template <typename T>
+void RunSort(CpuAlgo algo, T* data, std::int64_t n, ThreadPool* pool) {
+  std::vector<T> aux(static_cast<std::size_t>(n));
+  switch (algo) {
+    case CpuAlgo::kLsbRadix:
+      LsbRadixSort(data, aux.data(), n, pool);
+      break;
+    case CpuAlgo::kParadis:
+      ParadisSort(data, n, pool);
+      break;
+    case CpuAlgo::kMergeSort:
+      MergeSort(data, aux.data(), n, pool);
+      break;
+  }
+}
+
+class CpuSortSweep : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(CpuSortSweep, MatchesStdSortInt32) {
+  const auto& c = GetParam();
+  DataGenOptions opt;
+  opt.distribution = c.dist;
+  opt.seed = static_cast<std::uint64_t>(c.n) * 31 + 7;
+  auto data = GenerateKeys<std::int32_t>(c.n, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  std::unique_ptr<ThreadPool> pool;
+  if (c.threads > 0) pool = std::make_unique<ThreadPool>(c.threads);
+  RunSort(c.algo, data.data(), c.n, pool.get());
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(CpuSortSweep, MatchesStdSortFloat64) {
+  const auto& c = GetParam();
+  DataGenOptions opt;
+  opt.distribution = c.dist;
+  opt.seed = static_cast<std::uint64_t>(c.n) * 13 + 1;
+  auto data = GenerateKeys<double>(c.n, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  std::unique_ptr<ThreadPool> pool;
+  if (c.threads > 0) pool = std::make_unique<ThreadPool>(c.threads);
+  RunSort(c.algo, data.data(), c.n, pool.get());
+  EXPECT_EQ(data, expected);
+}
+
+std::vector<SortCase> MakeSortCases() {
+  std::vector<SortCase> cases;
+  const Distribution dists[] = {
+      Distribution::kUniform, Distribution::kNormal, Distribution::kSorted,
+      Distribution::kReverseSorted, Distribution::kNearlySorted,
+      Distribution::kZipf};
+  for (CpuAlgo algo :
+       {CpuAlgo::kLsbRadix, CpuAlgo::kParadis, CpuAlgo::kMergeSort}) {
+    for (Distribution d : dists) {
+      for (std::int64_t n : {0, 1, 2, 100, 4096, 100'000}) {
+        for (int threads : {0, 4}) {
+          cases.push_back(SortCase{algo, d, n, threads});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpuSortSweep,
+                         ::testing::ValuesIn(MakeSortCases()), CaseName);
+
+TEST(CpuSortEdgeTest, AllDuplicates) {
+  std::vector<std::int32_t> data(10000, 42);
+  ParadisSort(data.data(), 10000);
+  EXPECT_TRUE(std::all_of(data.begin(), data.end(),
+                          [](std::int32_t v) { return v == 42; }));
+  std::vector<std::int32_t> aux(10000);
+  LsbRadixSort(data.data(), aux.data(), 10000);
+  EXPECT_EQ(data[0], 42);
+}
+
+TEST(CpuSortEdgeTest, TwoDistinctValues) {
+  std::vector<std::int32_t> data;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 50000; ++i) data.push_back(rng.Next() % 2 ? 1 : -1);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  ThreadPool pool(4);
+  ParadisSort(data.data(), static_cast<std::int64_t>(data.size()), &pool);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(CpuSortEdgeTest, ExtremesAndZeros) {
+  std::vector<std::int64_t> data = {
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+      0,
+      -1,
+      1,
+      std::numeric_limits<std::int64_t>::min() + 1,
+      std::numeric_limits<std::int64_t>::max() - 1};
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  ParadisSort(data.data(), static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(data, expected);
+}
+
+TEST(CpuSortEdgeTest, NegativeAndPositiveFloats) {
+  std::vector<float> data = {-0.0f, 0.0f, -1e30f, 1e30f, -1.5f,
+                             1.5f,  -1e-30f, 1e-30f};
+  std::vector<float> aux(data.size());
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  LsbRadixSort(data.data(), aux.data(),
+               static_cast<std::int64_t>(data.size()));
+  // -0.0 == 0.0 compares equal; compare bitwise-insensitive via values.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], expected[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LoserTree
+// ---------------------------------------------------------------------------
+
+TEST(LoserTreeTest, MergesThreeSources) {
+  std::vector<int> a{1, 4, 7}, b{2, 5, 8}, c{3, 6, 9};
+  std::vector<LoserTree<int>::Source> sources{
+      {a.data(), a.data() + a.size()},
+      {b.data(), b.data() + b.size()},
+      {c.data(), c.data() + c.size()}};
+  LoserTree<int> tree(std::move(sources));
+  std::vector<int> out;
+  while (!tree.Empty()) {
+    out.push_back(tree.Top());
+    tree.Pop();
+  }
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(LoserTreeTest, SingleSource) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<LoserTree<int>::Source> sources{{a.data(), a.data() + 3}};
+  LoserTree<int> tree(std::move(sources));
+  std::vector<int> out;
+  while (!tree.Empty()) {
+    out.push_back(tree.Top());
+    tree.Pop();
+  }
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LoserTreeTest, EmptySources) {
+  std::vector<int> a;
+  LoserTree<int> tree({{a.data(), a.data()}, {a.data(), a.data()}});
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(LoserTreeTest, SkewedSizes) {
+  std::vector<int> a{5}, b;
+  for (int i = 0; i < 100; ++i) b.push_back(i);
+  LoserTree<int> tree(
+      {{a.data(), a.data() + 1}, {b.data(), b.data() + 100}});
+  std::vector<int> out;
+  while (!tree.Empty()) {
+    out.push_back(tree.Top());
+    tree.Pop();
+  }
+  EXPECT_EQ(out.size(), 101u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(LoserTreeTest, StableOnTies) {
+  // Equal keys must come from lower-indexed sources first.
+  std::vector<std::pair<int, int>> a{{1, 0}}, b{{1, 1}}, c{{1, 2}};
+  LoserTree<std::pair<int, int>> tree({{a.data(), a.data() + 1},
+                                       {b.data(), b.data() + 1},
+                                       {c.data(), c.data() + 1}});
+  std::vector<int> sources;
+  while (!tree.Empty()) {
+    sources.push_back(tree.Top().second);
+    tree.Pop();
+  }
+  EXPECT_EQ(sources, (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// MultiwayMerge
+// ---------------------------------------------------------------------------
+
+struct MergeCase {
+  int k;
+  std::int64_t per_list;
+  int threads;
+  Distribution dist;
+};
+
+std::string MergeCaseName(const ::testing::TestParamInfo<MergeCase>& info) {
+  const auto& c = info.param;
+  std::string s = "k" + std::to_string(c.k) + "_n" +
+                  std::to_string(c.per_list) + "_t" +
+                  std::to_string(c.threads) + "_";
+  for (char ch : std::string(DistributionToString(c.dist))) {
+    s += ch == '-' ? '_' : ch;
+  }
+  return s;
+}
+
+class MultiwayMergeSweep : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MultiwayMergeSweep, ProducesGloballySortedOutput) {
+  const auto& c = GetParam();
+  DataGenOptions opt;
+  opt.distribution = c.dist;
+  std::vector<std::vector<std::int64_t>> lists(
+      static_cast<std::size_t>(c.k));
+  std::vector<std::int64_t> expected;
+  for (int i = 0; i < c.k; ++i) {
+    opt.seed = static_cast<std::uint64_t>(i) * 101 + 9;
+    // Vary sizes a little across lists.
+    const std::int64_t n = c.per_list + (i % 3) * 7;
+    lists[static_cast<std::size_t>(i)] =
+        GenerateKeys<std::int64_t>(n, opt);
+    std::sort(lists[static_cast<std::size_t>(i)].begin(),
+              lists[static_cast<std::size_t>(i)].end());
+    expected.insert(expected.end(), lists[static_cast<std::size_t>(i)].begin(),
+                    lists[static_cast<std::size_t>(i)].end());
+  }
+  std::sort(expected.begin(), expected.end());
+
+  std::unique_ptr<ThreadPool> pool;
+  if (c.threads > 0) pool = std::make_unique<ThreadPool>(c.threads);
+  std::vector<std::int64_t> out;
+  MultiwayMerge(lists, &out, pool.get());
+  EXPECT_EQ(out, expected);
+}
+
+std::vector<MergeCase> MakeMergeCases() {
+  std::vector<MergeCase> cases;
+  for (int k : {1, 2, 3, 4, 8, 16, 33}) {
+    for (std::int64_t n : {0, 1, 50, 5000}) {
+      for (int threads : {0, 4}) {
+        cases.push_back(MergeCase{k, n, threads, Distribution::kUniform});
+      }
+    }
+  }
+  // Duplicate-heavy workloads exercise the multisequence selection's
+  // equal-key distribution logic.
+  for (int k : {2, 4, 8}) {
+    cases.push_back(MergeCase{k, 10000, 4, Distribution::kZipf});
+    cases.push_back(MergeCase{k, 10000, 4, Distribution::kSorted});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiwayMergeSweep,
+                         ::testing::ValuesIn(MakeMergeCases()), MergeCaseName);
+
+TEST(MultiwayMergeTest, EmptyInputs) {
+  std::vector<std::vector<int>> lists;
+  std::vector<int> out{1, 2, 3};
+  MultiwayMerge(lists, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MultiwayMergeTest, AllDuplicatesAcrossManyLists) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> lists(8, std::vector<int>(5000, 7));
+  std::vector<int> out;
+  MultiwayMerge(lists, &out, &pool);
+  EXPECT_EQ(out.size(), 40000u);
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](int v) { return v == 7; }));
+}
+
+TEST(MultiwayMergeTest, RawPointerInterface) {
+  std::vector<int> a{1, 3, 5}, b{2, 4, 6};
+  std::vector<int> out(6);
+  std::vector<MergeInput<int>> inputs{{a.data(), a.data() + 3},
+                                      {b.data(), b.data() + 3}};
+  MultiwayMerge(inputs, out.data());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MultisequenceSelectTest, SplitsAtExactRank) {
+  std::vector<int> a{1, 3, 5, 7}, b{2, 4, 6, 8};
+  std::vector<MergeInput<int>> inputs{{a.data(), a.data() + 4},
+                                      {b.data(), b.data() + 4}};
+  for (std::int64_t rank = 0; rank <= 8; ++rank) {
+    auto splits = multiway_internal::MultisequenceSelect(inputs, rank);
+    EXPECT_EQ(splits[0] + splits[1], rank) << "rank " << rank;
+    // Every key below a split must be <= every key above any split.
+    int max_below = std::numeric_limits<int>::min();
+    int min_above = std::numeric_limits<int>::max();
+    for (int i = 0; i < 2; ++i) {
+      const auto& in = inputs[static_cast<std::size_t>(i)];
+      if (splits[static_cast<std::size_t>(i)] > 0) {
+        max_below = std::max(
+            max_below, in.begin[splits[static_cast<std::size_t>(i)] - 1]);
+      }
+      if (splits[static_cast<std::size_t>(i)] < in.size()) {
+        min_above = std::min(
+            min_above, in.begin[splits[static_cast<std::size_t>(i)]]);
+      }
+    }
+    EXPECT_LE(max_below, min_above) << "rank " << rank;
+  }
+}
+
+TEST(MultisequenceSelectTest, HeavyDuplicates) {
+  std::vector<int> a(100, 5), b(100, 5), c{1, 5, 9};
+  std::vector<MergeInput<int>> inputs{{a.data(), a.data() + 100},
+                                      {b.data(), b.data() + 100},
+                                      {c.data(), c.data() + 3}};
+  for (std::int64_t rank : {0, 1, 50, 101, 150, 202, 203}) {
+    auto splits = multiway_internal::MultisequenceSelect(inputs, rank);
+    EXPECT_EQ(splits[0] + splits[1] + splits[2], rank) << "rank " << rank;
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// SampleSort (gnu_parallel / TBB-class library baseline)
+// ---------------------------------------------------------------------------
+
+class SampleSortSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleSortSweep, MatchesStdSort) {
+  const std::int64_t n = 1000 * GetParam() * GetParam() + GetParam();
+  DataGenOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  opt.distribution =
+      GetParam() % 2 ? Distribution::kUniform : Distribution::kZipf;
+  auto data = GenerateKeys<std::int64_t>(n, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::int64_t> aux(data.size());
+  ThreadPool pool(4);
+  SampleSort(data.data(), aux.data(), n, &pool);
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SampleSortSweep, ::testing::Range(1, 12));
+
+TEST(SampleSortTest, SmallInputsRunSequentially) {
+  std::vector<int> data{3, 1, 2};
+  std::vector<int> aux(3);
+  ThreadPool pool(4);
+  SampleSort(data.data(), aux.data(), 3, &pool);
+  EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SampleSortTest, NullPoolFallsBackToStableSort) {
+  DataGenOptions opt;
+  auto data = GenerateKeys<std::int32_t>(20000, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::int32_t> aux(data.size());
+  SampleSort(data.data(), aux.data(), 20000, nullptr);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(SampleSortTest, StabilityPreserved) {
+  // Stable across equal keys: pairs compared by first only.
+  struct P {
+    int key;
+    int tag;
+    bool operator<(const P& o) const { return key < o.key; }
+    bool operator==(const P& o) const { return key == o.key && tag == o.tag; }
+  };
+  std::vector<P> data;
+  SplitMix64 rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(P{static_cast<int>(rng.Next() % 50), i});
+  }
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  std::vector<P> aux(data.size());
+  ThreadPool pool(4);
+  SampleSort(data.data(), aux.data(),
+             static_cast<std::int64_t>(data.size()), &pool);
+  EXPECT_EQ(data, expected);
+}
+
+}  // namespace
+}  // namespace mgs::cpusort

@@ -1,0 +1,128 @@
+#include "util/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mgs {
+namespace {
+
+TEST(DataGenTest, UniformIsDeterministicForSeed) {
+  DataGenOptions opt;
+  opt.seed = 7;
+  auto a = GenerateKeys<std::int32_t>(1000, opt);
+  auto b = GenerateKeys<std::int32_t>(1000, opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 8;
+  auto c = GenerateKeys<std::int32_t>(1000, opt);
+  EXPECT_NE(a, c);
+}
+
+TEST(DataGenTest, SortedIsSorted) {
+  DataGenOptions opt;
+  opt.distribution = Distribution::kSorted;
+  auto v = GenerateKeys<std::int32_t>(10000, opt);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_LT(v.front(), v.back());
+}
+
+TEST(DataGenTest, ReverseSortedIsReverseSorted) {
+  DataGenOptions opt;
+  opt.distribution = Distribution::kReverseSorted;
+  auto v = GenerateKeys<std::int32_t>(10000, opt);
+  EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+TEST(DataGenTest, NearlySortedIsMostlySorted) {
+  DataGenOptions opt;
+  opt.distribution = Distribution::kNearlySorted;
+  opt.nearly_sorted_noise = 0.01;
+  auto v = GenerateKeys<std::int32_t>(100000, opt);
+  std::int64_t inversions_adjacent = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] > v[i]) ++inversions_adjacent;
+  }
+  EXPECT_GT(inversions_adjacent, 0) << "must not be fully sorted";
+  EXPECT_LT(inversions_adjacent, 4000) << "must be mostly sorted";
+}
+
+TEST(DataGenTest, UniformCoversDomainBroadly) {
+  DataGenOptions opt;
+  auto v = GenerateKeys<std::int32_t>(100000, opt);
+  const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  EXPECT_LT(*mn, -1'800'000'000);
+  EXPECT_GT(*mx, 1'800'000'000);
+}
+
+TEST(DataGenTest, NormalIsCentered) {
+  DataGenOptions opt;
+  opt.distribution = Distribution::kNormal;
+  auto v = GenerateKeys<std::int64_t>(100000, opt);
+  const double mean =
+      std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+  EXPECT_LT(std::abs(mean), 5e6) << "mean should be near zero (sigma 1e8)";
+}
+
+TEST(DataGenTest, ZipfIsSkewed) {
+  DataGenOptions opt;
+  opt.distribution = Distribution::kZipf;
+  auto v = GenerateKeys<std::int32_t>(100000, opt);
+  // Strong skew toward small ranks: the median must be far below the max.
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LT(sorted[sorted.size() / 2], sorted.back() / 10);
+  EXPECT_GE(sorted.front(), 0);
+}
+
+TEST(DataGenTest, FloatKeysAreFinite) {
+  DataGenOptions opt;
+  auto v = GenerateKeys<float>(10000, opt);
+  for (float f : v) EXPECT_TRUE(std::isfinite(f));
+  auto d = GenerateKeys<double>(10000, opt);
+  for (double f : d) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(DataGenTest, EmptyAndSingle) {
+  DataGenOptions opt;
+  EXPECT_TRUE(GenerateKeys<std::int32_t>(0, opt).empty());
+  EXPECT_EQ(GenerateKeys<std::int32_t>(1, opt).size(), 1u);
+}
+
+TEST(DataGenTest, DistributionRoundTrip) {
+  for (auto d : {Distribution::kUniform, Distribution::kNormal,
+                 Distribution::kSorted, Distribution::kReverseSorted,
+                 Distribution::kNearlySorted, Distribution::kZipf}) {
+    auto r = DistributionFromString(DistributionToString(d));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, d);
+  }
+  EXPECT_FALSE(DistributionFromString("bogus").ok());
+}
+
+TEST(DataGenTest, DataTypeSizes) {
+  EXPECT_EQ(DataTypeSize(DataType::kInt32), 4u);
+  EXPECT_EQ(DataTypeSize(DataType::kFloat32), 4u);
+  EXPECT_EQ(DataTypeSize(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeSize(DataType::kFloat64), 8u);
+}
+
+TEST(DataGenTest, SplitMixIsReproducible) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(DataGenTest, SplitMixDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mgs

@@ -1,0 +1,219 @@
+#include "sim/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace mgs::sim {
+namespace {
+
+class FlowNetworkTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  FlowNetwork net_{&sim_};
+};
+
+TEST_F(FlowNetworkTest, SingleFlowUsesFullCapacity) {
+  ResourceId link = net_.AddResource("link", 10.0);  // 10 B/s
+  double done_at = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { done_at = sim_.Now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST_F(FlowNetworkTest, ZeroByteFlowCompletesImmediately) {
+  bool done = false;
+  net_.StartFlow(0.0, {}, [&] { done = true; });
+  EXPECT_FALSE(done) << "completion must be asynchronous";
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim_.Now(), 0.0);
+}
+
+TEST_F(FlowNetworkTest, TwoFlowsShareBottleneckFairly) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double a = -1, b = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { a = sim_.Now(); });
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { b = sim_.Now(); });
+  sim_.Run();
+  // Both at 5 B/s -> 20 s.
+  EXPECT_DOUBLE_EQ(a, 20.0);
+  EXPECT_DOUBLE_EQ(b, 20.0);
+}
+
+TEST_F(FlowNetworkTest, RatesRiseWhenAFlowFinishes) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double small = -1, large = -1;
+  net_.StartFlow(50.0, {{link, 1.0}}, [&] { small = sim_.Now(); });
+  net_.StartFlow(150.0, {{link, 1.0}}, [&] { large = sim_.Now(); });
+  sim_.Run();
+  // Share 5/5 until t=10 (small done, large has 100 left), then large runs
+  // at 10 B/s for 10 more seconds.
+  EXPECT_DOUBLE_EQ(small, 10.0);
+  EXPECT_DOUBLE_EQ(large, 20.0);
+}
+
+TEST_F(FlowNetworkTest, LateArrivalSplitsRemainingWork) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double first = -1, second = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { first = sim_.Now(); });
+  sim_.Schedule(5.0, [&] {
+    net_.StartFlow(25.0, {{link, 1.0}}, [&] { second = sim_.Now(); });
+  });
+  sim_.Run();
+  // First: 50 bytes by t=5, then 5 B/s. Second: 5 B/s, done at t=10.
+  EXPECT_DOUBLE_EQ(second, 10.0);
+  // First resumes 10 B/s with 25 left at t=10 -> done 12.5.
+  EXPECT_DOUBLE_EQ(first, 12.5);
+}
+
+TEST_F(FlowNetworkTest, MultiResourcePathTakesTightestBottleneck) {
+  ResourceId wide = net_.AddResource("wide", 100.0);
+  ResourceId narrow = net_.AddResource("narrow", 4.0);
+  double done = -1;
+  net_.StartFlow(40.0, {{wide, 1.0}, {narrow, 1.0}}, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST_F(FlowNetworkTest, WeightedFlowConsumesMoreCapacity) {
+  ResourceId link = net_.AddResource("link", 12.0);
+  double done = -1;
+  // Weight 1.5: effective bandwidth 12/1.5 = 8 B/s.
+  net_.StartFlow(80.0, {{link, 1.5}}, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST_F(FlowNetworkTest, WeightedMaxMinSharing) {
+  // Two flows, weights 1 and 3, on a 12 B/s link: progressive filling gives
+  // each rate 3 (fair share = 12/4), so the weighted flow effectively gets
+  // a quarter of the capacity per unit weight.
+  ResourceId link = net_.AddResource("link", 12.0);
+  double a = -1, b = -1;
+  net_.StartFlow(30.0, {{link, 1.0}}, [&] { a = sim_.Now(); });
+  net_.StartFlow(30.0, {{link, 3.0}}, [&] { b = sim_.Now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(a, 10.0);
+  EXPECT_DOUBLE_EQ(b, 10.0);
+}
+
+TEST_F(FlowNetworkTest, UnconstrainedFlowElsewhereGetsLeftover) {
+  // Flow A crosses r1 only; flows B and C cross r1 and r2. r2 is the
+  // bottleneck for B and C; A picks up the slack on r1.
+  ResourceId r1 = net_.AddResource("r1", 10.0);
+  ResourceId r2 = net_.AddResource("r2", 4.0);
+  net_.StartFlow(1000.0, {{r1, 1.0}}, [] {});
+  net_.StartFlow(1000.0, {{r1, 1.0}, {r2, 1.0}}, [] {});
+  net_.StartFlow(1000.0, {{r1, 1.0}, {r2, 1.0}}, [] {});
+  auto rates = net_.CurrentRates();
+  ASSERT_EQ(rates.size(), 3u);
+  // B and C frozen at 2 (r2 share), A gets 10 - 4 = 6.
+  EXPECT_DOUBLE_EQ(rates[0].second, 6.0);
+  EXPECT_DOUBLE_EQ(rates[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(rates[2].second, 2.0);
+}
+
+TEST_F(FlowNetworkTest, DuplexResourceModelsBidirectionalOverhead) {
+  // Two directions of 72 each, duplex budget 127: concurrent bidirectional
+  // flows each get 63.5.
+  ResourceId fwd = net_.AddResource("fwd", 72.0);
+  ResourceId bwd = net_.AddResource("bwd", 72.0);
+  ResourceId duplex = net_.AddResource("duplex", 127.0);
+  net_.StartFlow(1000.0, {{fwd, 1.0}, {duplex, 1.0}}, [] {});
+  net_.StartFlow(1000.0, {{bwd, 1.0}, {duplex, 1.0}}, [] {});
+  auto rates = net_.CurrentRates();
+  EXPECT_DOUBLE_EQ(rates[0].second, 63.5);
+  EXPECT_DOUBLE_EQ(rates[1].second, 63.5);
+}
+
+TEST_F(FlowNetworkTest, TransferAwaitable) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double done_at = -1;
+  std::vector<PathHop> path{{link, 1.0}};
+  auto body = [&]() -> Task<void> {
+    co_await net_.Transfer(100.0, path);
+    done_at = sim_.Now();
+  };
+  CheckOk(RunToCompletion(&sim_, body()));
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST_F(FlowNetworkTest, CompletionCallbackMayStartNewFlow) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double second_done = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] {
+    net_.StartFlow(100.0, {{link, 1.0}}, [&] { second_done = sim_.Now(); });
+  });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(second_done, 20.0);
+}
+
+TEST_F(FlowNetworkTest, ActiveFlowCount) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  net_.StartFlow(100.0, {{link, 1.0}}, [] {});
+  net_.StartFlow(200.0, {{link, 1.0}}, [] {});
+  EXPECT_EQ(net_.active_flows(), 2u);
+  sim_.Run();
+  EXPECT_EQ(net_.active_flows(), 0u);
+}
+
+TEST_F(FlowNetworkTest, ManyFlowsAggregateThroughput) {
+  // Eight bidirectional pairs over a non-blocking fabric: per-GPU duplex
+  // 530 caps each pair at 530 total (the DGX Fig. 7 structure).
+  std::vector<ResourceId> duplex;
+  for (int g = 0; g < 8; ++g) {
+    duplex.push_back(net_.AddResource("gpu" + std::to_string(g), 530.0));
+  }
+  // Pairs (0,7), (1,6), (2,5), (3,4), both directions.
+  for (int i = 0; i < 4; ++i) {
+    int a = i, b = 7 - i;
+    net_.StartFlow(1e6, {{duplex[a], 1.0}, {duplex[b], 1.0}}, [] {});
+    net_.StartFlow(1e6, {{duplex[b], 1.0}, {duplex[a], 1.0}}, [] {});
+  }
+  double total = 0;
+  for (auto& [id, rate] : net_.CurrentRates()) total += rate;
+  EXPECT_NEAR(total, 8 * 265.0, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, TrafficAccountingCountsWeightedBytes) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  ResourceId heavy = net_.AddResource("heavy", 10.0);
+  net_.StartFlow(100.0, {{link, 1.0}, {heavy, 2.0}}, [] {});
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(net_.ResourceTraffic(link), 100.0);
+  EXPECT_DOUBLE_EQ(net_.ResourceTraffic(heavy), 200.0);
+  net_.ResetTraffic();
+  EXPECT_DOUBLE_EQ(net_.ResourceTraffic(link), 0.0);
+}
+
+TEST_F(FlowNetworkTest, TrafficConservedAcrossConcurrentFlows) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  net_.StartFlow(30.0, {{link, 1.0}}, [] {});
+  net_.StartFlow(70.0, {{link, 1.0}}, [] {});
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(net_.ResourceTraffic(link), 100.0)
+      << "every byte crosses the link exactly once";
+}
+
+TEST_F(FlowNetworkTest, BusiestResourceIdentifiesBottleneck) {
+  ResourceId wide = net_.AddResource("wide", 100.0);
+  ResourceId narrow = net_.AddResource("narrow", 10.0);
+  const double start = sim_.Now();
+  net_.StartFlow(100.0, {{wide, 1.0}, {narrow, 1.0}}, [] {});
+  sim_.Run();
+  auto [name, utilization] = net_.BusiestResource(start);
+  EXPECT_EQ(name, "narrow");
+  EXPECT_NEAR(utilization, 1.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, BusiestResourceWithoutElapsedTime) {
+  net_.AddResource("r", 1.0);
+  auto [name, utilization] = net_.BusiestResource(sim_.Now());
+  EXPECT_EQ(name, "");
+  EXPECT_DOUBLE_EQ(utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace mgs::sim

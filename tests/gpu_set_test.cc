@@ -1,0 +1,100 @@
+// Tests for GPU-set selection and ordering (Section 5.4 / 6).
+
+#include "core/gpu_set.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "topo/systems.h"
+
+namespace mgs::core {
+namespace {
+
+std::unique_ptr<topo::Topology> Compiled(
+    std::unique_ptr<topo::Topology> topo, sim::FlowNetwork* net) {
+  CheckOk(topo->Compile(net));
+  return topo;
+}
+
+class GpuSetTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  sim::FlowNetwork net_{&sim_};
+};
+
+TEST_F(GpuSetTest, DgxPrefersDistinctPcieSwitches) {
+  auto topo = Compiled(topo::MakeDgxA100(), &net_);
+  // Section 6: "GPU pair (0, 2) achieves higher CPU-GPU copy throughput
+  // than (0, 1) on the DGX A100."
+  auto two = CheckOk(ChooseGpuSet(*topo, 2, true));
+  std::sort(two.begin(), two.end());
+  EXPECT_NE(two, (std::vector<int>{0, 1})) << "must avoid a shared switch";
+  auto four = CheckOk(ChooseGpuSet(*topo, 4, true));
+  std::sort(four.begin(), four.end());
+  EXPECT_EQ(four, (std::vector<int>{0, 2, 4, 6}));
+  auto eight = CheckOk(ChooseGpuSet(*topo, 8, true));
+  EXPECT_EQ(eight.size(), 8u);
+}
+
+TEST_F(GpuSetTest, Ac922PrefersLocalNvlinkPair) {
+  auto topo = Compiled(topo::MakeAc922(), &net_);
+  auto two = CheckOk(ChooseGpuSet(*topo, 2, true));
+  std::sort(two.begin(), two.end());
+  // NVLink-local pair on node 0 has 141 GB/s aggregate vs ~113 for (0,2).
+  EXPECT_EQ(two, (std::vector<int>{0, 1}));
+}
+
+TEST_F(GpuSetTest, Ac922OrderPairsNvlinkNeighbors) {
+  auto topo = Compiled(topo::MakeAc922(), &net_);
+  auto four = CheckOk(ChooseGpuSet(*topo, 4, true));
+  // Section 5.4: (0,1,2,3) is the best order — pairwise merges stay on
+  // NVLink; (0,2,1,3) would put X-Bus hops in the leaf stages.
+  ASSERT_EQ(four.size(), 4u);
+  auto pair_ok = [](int a, int b) {
+    return (a == 0 && b == 1) || (a == 1 && b == 0) || (a == 2 && b == 3) ||
+           (a == 3 && b == 2);
+  };
+  EXPECT_TRUE(pair_ok(four[0], four[1])) << four[0] << "," << four[1];
+  EXPECT_TRUE(pair_ok(four[2], four[3])) << four[2] << "," << four[3];
+}
+
+TEST_F(GpuSetTest, Ac922OrderCostRanksCorrectly) {
+  auto topo = Compiled(topo::MakeAc922(), &net_);
+  const double good = CheckOk(P2pOrderCost(*topo, {0, 1, 2, 3}));
+  const double bad = CheckOk(P2pOrderCost(*topo, {0, 2, 1, 3}));
+  EXPECT_LT(good, bad)
+      << "Section 5.4: GPU set (0,2,1,3) performs worse for P2P sort";
+}
+
+TEST_F(GpuSetTest, DeltaAnyPairWorks) {
+  auto topo = Compiled(topo::MakeDeltaD22x(), &net_);
+  auto two = CheckOk(ChooseGpuSet(*topo, 2, true));
+  EXPECT_EQ(two.size(), 2u);
+  auto four = CheckOk(ChooseGpuSet(*topo, 4, true));
+  // The chosen order must place directly-NVLinked pairs in the leaves.
+  EXPECT_TRUE(*topo->IsDirectP2p(four[0], four[1]));
+  EXPECT_TRUE(*topo->IsDirectP2p(four[2], four[3]));
+}
+
+TEST_F(GpuSetTest, RejectsBadCounts) {
+  auto topo = Compiled(topo::MakeAc922(), &net_);
+  EXPECT_FALSE(ChooseGpuSet(*topo, 0, true).ok());
+  EXPECT_FALSE(ChooseGpuSet(*topo, 5, true).ok());
+}
+
+TEST_F(GpuSetTest, UncompiledTopologyRejected) {
+  auto topo = topo::MakeAc922();
+  EXPECT_EQ(ChooseGpuSet(*topo, 2, true).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GpuSetTest, SingleGpuSelectionIsLocal) {
+  auto topo = Compiled(topo::MakeAc922(), &net_);
+  auto one = CheckOk(ChooseGpuSet(*topo, 1, false));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(topo->gpu_socket(one[0]), 0) << "data lives on NUMA node 0";
+}
+
+}  // namespace
+}  // namespace mgs::core

@@ -1,0 +1,138 @@
+// Tests for the single-GPU sort/merge primitives: cost model ratios
+// (Table 2) and functional correctness on the simulated device.
+
+#include "gpusort/device_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::gpusort {
+namespace {
+
+topo::GpuSpec A100() { return topo::MakeDgxA100()->gpu_spec(0); }
+topo::GpuSpec V100() { return topo::MakeAc922()->gpu_spec(0); }
+
+TEST(CostModelTest, Table2ThrustSorts1BKeysIn36ms) {
+  EXPECT_NEAR(SortDuration(A100(), SortAlgo::kThrustRadix, 1e9, 4), 36e-3,
+              0.5e-3);
+}
+
+TEST(CostModelTest, Table2CubEqualsThrust) {
+  EXPECT_DOUBLE_EQ(SortDuration(A100(), SortAlgo::kCubRadix, 1e9, 4),
+                   SortDuration(A100(), SortAlgo::kThrustRadix, 1e9, 4));
+}
+
+TEST(CostModelTest, Table2Stehle57ms) {
+  EXPECT_NEAR(SortDuration(A100(), SortAlgo::kStehleMsb, 1e9, 4), 57e-3,
+              2e-3);
+}
+
+TEST(CostModelTest, Table2Mgpu200ms) {
+  EXPECT_NEAR(SortDuration(A100(), SortAlgo::kMgpuMerge, 1e9, 4), 200e-3,
+              5e-3);
+}
+
+TEST(CostModelTest, V100IsAlmostHalfTheA100) {
+  const double a100 = SortDuration(A100(), SortAlgo::kThrustRadix, 1e9, 4);
+  const double v100 = SortDuration(V100(), SortAlgo::kThrustRadix, 1e9, 4);
+  EXPECT_NEAR(v100 / a100, 1.78, 0.05);
+}
+
+TEST(CostModelTest, DataTypeRatiosSection63) {
+  // A100: equal byte volumes sort within ~95%: 2e9 int64 vs 4e9 int32.
+  const double w32 = SortDuration(A100(), SortAlgo::kThrustRadix, 4e9, 4);
+  const double w64 = SortDuration(A100(), SortAlgo::kThrustRadix, 2e9, 8);
+  EXPECT_NEAR(w32 / w64, 0.95, 0.03);
+  // V100: 32-bit runs take 83-88% of the 64-bit time.
+  const double v32 = SortDuration(V100(), SortAlgo::kThrustRadix, 4e9, 4);
+  const double v64 = SortDuration(V100(), SortAlgo::kThrustRadix, 2e9, 8);
+  EXPECT_GE(v32 / v64, 0.80);
+  EXPECT_LE(v32 / v64, 0.90);
+}
+
+TEST(CostModelTest, MergeIsFasterThanSort) {
+  EXPECT_LT(MergeDuration(A100(), 1e9, 4),
+            SortDuration(A100(), SortAlgo::kThrustRadix, 1e9, 4));
+}
+
+TEST(CostModelTest, MgpuScalesSuperlinearly) {
+  const double small = SortDuration(A100(), SortAlgo::kMgpuMerge, 1e6, 4);
+  const double large = SortDuration(A100(), SortAlgo::kMgpuMerge, 1e9, 4);
+  EXPECT_GT(large / small, 1000.0) << "n log n growth";
+}
+
+// ---------------------------------------------------------------------------
+// Functional execution on the simulated device
+// ---------------------------------------------------------------------------
+
+class DeviceSortTest : public ::testing::TestWithParam<SortAlgo> {};
+
+TEST_P(DeviceSortTest, SortsOnDevice) {
+  auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  auto& dev = p->device(0);
+  const std::int64_t n = 50'000;
+  DataGenOptions opt;
+  opt.seed = 99;
+  auto keys = GenerateKeys<std::int32_t>(n, opt);
+  vgpu::HostBuffer<std::int32_t> h_in(keys), h_out(n);
+  auto data = CheckOk(dev.Allocate<std::int32_t>(n));
+  auto aux = CheckOk(dev.Allocate<std::int32_t>(n));
+  auto& s = dev.stream(0);
+  s.MemcpyHtoDAsync(data, 0, h_in, 0, n);
+  SortAsync(s, data, 0, n, aux, GetParam());
+  s.MemcpyDtoHAsync(h_out, 0, data, 0, n);
+  auto root = [&]() -> sim::Task<void> { co_await s.Synchronize(); };
+  CheckOk(p->Run(root()).status());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), h_out.data()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DeviceSortTest,
+                         ::testing::Values(SortAlgo::kThrustRadix,
+                                           SortAlgo::kCubRadix,
+                                           SortAlgo::kStehleMsb,
+                                           SortAlgo::kMgpuMerge),
+                         [](const auto& info) {
+                           return SortAlgoToString(info.param);
+                         });
+
+TEST(DeviceSortTest, SortDurationUsesComputeQueue) {
+  auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100(),
+                                          vgpu::PlatformOptions{1e6}));
+  auto& dev = p->device(0);
+  auto data = CheckOk(dev.Allocate<std::int32_t>(1000));
+  auto aux = CheckOk(dev.Allocate<std::int32_t>(1000));
+  auto& s = dev.stream(0);
+  // 1e9 logical keys: 36 ms on the A100.
+  SortAsync(s, data, 0, 1000, aux);
+  auto root = [&]() -> sim::Task<void> { co_await s.Synchronize(); };
+  EXPECT_NEAR(CheckOk(p->Run(root())), 36e-3, 1e-3);
+}
+
+TEST(DeviceMergeTest, MergesTwoRunsOnDevice) {
+  auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  auto& dev = p->device(0);
+  const std::int64_t n = 10'000;
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(n, opt);
+  std::sort(keys.begin(), keys.begin() + n / 4);           // run A
+  std::sort(keys.begin() + n / 4, keys.end());             // run B
+  vgpu::HostBuffer<std::int32_t> h_in(keys), h_out(n);
+  auto data = CheckOk(dev.Allocate<std::int32_t>(n));
+  auto aux = CheckOk(dev.Allocate<std::int32_t>(n));
+  auto& s = dev.stream(0);
+  s.MemcpyHtoDAsync(data, 0, h_in, 0, n);
+  MergeLocalAsync(s, aux, 0, data, 0, n / 4, n / 4, n - n / 4);
+  s.MemcpyDtoHAsync(h_out, 0, aux, 0, n);
+  auto root = [&]() -> sim::Task<void> { co_await s.Synchronize(); };
+  CheckOk(p->Run(root()).status());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), h_out.data()));
+}
+
+}  // namespace
+}  // namespace mgs::gpusort

@@ -1,0 +1,212 @@
+// Correctness and timing tests for the heterogeneous multi-GPU sort.
+
+#include "core/het_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cpu_baseline.h"
+#include "core/gpu_set.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+struct HetCase {
+  std::string system;
+  int gpus;
+  std::int64_t n;
+  BufferScheme scheme;
+  bool eager;
+  double budget;  // per-GPU memory budget (0 = all)
+};
+
+std::string CaseName(const ::testing::TestParamInfo<HetCase>& info) {
+  const auto& c = info.param;
+  std::string s = c.system + "_g" + std::to_string(c.gpus) + "_n" +
+                  std::to_string(c.n) + "_" +
+                  BufferSchemeToString(c.scheme) + (c.eager ? "_eager" : "");
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+class HetSortSweep : public ::testing::TestWithParam<HetCase> {};
+
+TEST_P(HetSortSweep, SortsCorrectly) {
+  const auto& c = GetParam();
+  auto platform =
+      CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem(c.system))));
+  DataGenOptions opt;
+  opt.seed = static_cast<std::uint64_t>(c.n) * 3 + c.gpus;
+  auto keys = GenerateKeys<std::int32_t>(c.n, opt);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  HetOptions options;
+  options.gpu_set = CheckOk(
+      ChooseGpuSet(platform->topology(), c.gpus, /*for_p2p_merge=*/false));
+  options.scheme = c.scheme;
+  options.eager_merge = c.eager;
+  options.gpu_memory_budget = c.budget;
+  auto stats = HetSort(platform.get(), &data, options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(data.vector(), expected);
+}
+
+std::vector<HetCase> MakeCases() {
+  std::vector<HetCase> cases;
+  for (const char* sys : {"ac922", "delta-d22x", "dgx-a100"}) {
+    for (int g : {1, 2, 3, 4}) {
+      for (auto scheme : {BufferScheme::k2n, BufferScheme::k3n}) {
+        cases.push_back(HetCase{sys, g, 50'000, scheme, false, 0});
+      }
+    }
+  }
+  // Out-of-core: budget forces many chunk groups (chunk = budget/2or3).
+  for (auto scheme : {BufferScheme::k2n, BufferScheme::k3n}) {
+    for (bool eager : {false, true}) {
+      cases.push_back(
+          HetCase{"dgx-a100", 8, 200'000, scheme, eager, 40'000.0});
+      cases.push_back(HetCase{"ac922", 2, 120'000, scheme, eager, 24'000.0});
+    }
+  }
+  // Ragged chunk boundaries.
+  cases.push_back(
+      HetCase{"dgx-a100", 3, 99'991, BufferScheme::k2n, true, 24'000.0});
+  cases.push_back(HetCase{"ac922", 4, 1, BufferScheme::k3n, false, 0});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HetSortSweep, ::testing::ValuesIn(MakeCases()),
+                         CaseName);
+
+TEST(HetSortTest, OtherKeyTypes) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  HetOptions options;
+  options.gpu_set = {0, 2};
+  {
+    DataGenOptions opt;
+    auto keys = GenerateKeys<float>(20'000, opt);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    vgpu::HostBuffer<float> data(std::move(keys));
+    CheckOk(HetSort(platform.get(), &data, options).status());
+    EXPECT_EQ(data.vector(), expected);
+  }
+}
+
+TEST(HetSortTest, StatsReportChunkGroups) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(120'000, opt);
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  HetOptions options;
+  options.gpu_set = {0, 2};
+  options.gpu_memory_budget = 80'000;  // chunk = 10'000 keys
+  auto stats = CheckOk(HetSort(platform.get(), &data, options));
+  EXPECT_EQ(stats.chunk_groups, 6);
+  EXPECT_EQ(stats.final_merge_sublists, 12);
+  EXPECT_TRUE(std::is_sorted(data.vector().begin(), data.vector().end()));
+}
+
+TEST(HetSortTest, EagerMergingReducesFinalFanIn) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(120'000, opt);
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  HetOptions options;
+  options.gpu_set = {0, 2};
+  options.gpu_memory_budget = 80'000;
+  options.eager_merge = true;
+  auto stats = CheckOk(HetSort(platform.get(), &data, options));
+  // 6 groups of 2 chunks: eager merges 5 groups -> 5 runs + last group's 2.
+  EXPECT_EQ(stats.final_merge_sublists, 7);
+  EXPECT_TRUE(std::is_sorted(data.vector().begin(), data.vector().end()));
+}
+
+TEST(HetSortTest, SingleGpuSingleChunkSkipsMerge) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(10'000, opt);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  HetOptions options;
+  options.gpu_set = {0};
+  auto stats = CheckOk(HetSort(platform.get(), &data, options));
+  EXPECT_EQ(data.vector(), expected);
+  EXPECT_DOUBLE_EQ(stats.phases.merge, 0);
+}
+
+TEST(HetSortTest, RejectsDataExceedingHostMemory) {
+  // The AC922 has 512 GB of DRAM (Table 1a); HET sort needs 2x the data
+  // size for the out-of-place merge, so 300 GB of keys must be rejected.
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeAc922(),
+                                                 vgpu::PlatformOptions{1e8}));
+  vgpu::HostBuffer<std::int32_t> data(750);  // 300 GB logical
+  HetOptions options;
+  options.gpu_set = {0, 1};
+  EXPECT_EQ(HetSort(platform.get(), &data, options).status().code(),
+            StatusCode::kOutOfMemory);
+}
+
+TEST(HetSortTest, RejectsBadGpuIds) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  vgpu::HostBuffer<std::int32_t> data(100);
+  HetOptions options;
+  options.gpu_set = {0, 12};
+  EXPECT_FALSE(HetSort(platform.get(), &data, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Timing against the paper
+// ---------------------------------------------------------------------------
+
+double RunFig1Het(int gpus) {
+  auto platform = CheckOk(vgpu::Platform::Create(
+      topo::MakeDgxA100(), vgpu::PlatformOptions{4'000'000.0}));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(1000, opt);  // 4e9 logical
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  HetOptions options;
+  options.gpu_set = CheckOk(
+      ChooseGpuSet(platform->topology(), gpus, /*for_p2p_merge=*/false));
+  return CheckOk(HetSort(platform.get(), &data, options)).total_seconds;
+}
+
+TEST(HetSortPaperTest, Figure1TwoGpus) {
+  // Paper: 1.09 s for 4e9 keys with two GPUs on the DGX A100.
+  EXPECT_NEAR(RunFig1Het(2), 1.09, 0.12);
+}
+
+TEST(HetSortPaperTest, Figure1FourGpus) {
+  // Paper: 0.75 s with four GPUs.
+  EXPECT_NEAR(RunFig1Het(4), 0.75, 0.10);
+}
+
+TEST(HetSortPaperTest, Figure1CpuBaseline) {
+  // Paper: PARADIS sorts 4e9 keys in 2.25 s on the DGX host.
+  auto platform = CheckOk(vgpu::Platform::Create(
+      topo::MakeDgxA100(), vgpu::PlatformOptions{4'000'000.0}));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(1000, opt);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  auto stats = CheckOk(CpuSortBaseline(platform.get(), &data));
+  EXPECT_NEAR(stats.total_seconds, 2.25, 0.05);
+  EXPECT_EQ(data.vector(), expected) << "functional PARADIS must sort";
+}
+
+TEST(HetSortPaperTest, P2pBeatsHetOnNvswitch) {
+  // Abstract: "P2P sort outperforms HET sort by up to 1.65x" on the DGX.
+  const double het2 = RunFig1Het(2);
+  // From the P2P test: ~0.75 s for 2 GPUs.
+  EXPECT_GT(het2 / 0.75, 1.3);
+  EXPECT_LT(het2 / 0.75, 1.8);
+}
+
+}  // namespace
+}  // namespace mgs::core

@@ -1,0 +1,216 @@
+// Cross-cutting invariant and metamorphic tests over the whole library:
+// algorithm agreement, determinism, scale-model invariance, phase
+// accounting, and idempotence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchsuite/suite.h"
+#include "core/radix_partition_sort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs {
+namespace {
+
+using bench::Algo;
+using bench::RunOnce;
+using bench::SortConfig;
+
+TEST(InvariantsTest, AllAlgorithmsProduceIdenticalOutput) {
+  DataGenOptions gen;
+  gen.seed = 77;
+  const auto input = GenerateKeys<std::int32_t>(50'000, gen);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+
+  // P2P.
+  {
+    auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+    vgpu::HostBuffer<std::int32_t> data(input);
+    core::SortOptions options;
+    options.gpu_set = {0, 2, 4, 6};
+    CheckOk(core::P2pSort(p.get(), &data, options).status());
+    EXPECT_EQ(data.vector(), expected);
+  }
+  // HET.
+  {
+    auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+    vgpu::HostBuffer<std::int32_t> data(input);
+    core::HetOptions options;
+    options.gpu_set = {0, 2, 4, 6};
+    CheckOk(core::HetSort(p.get(), &data, options).status());
+    EXPECT_EQ(data.vector(), expected);
+  }
+  // RDX.
+  {
+    auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+    vgpu::HostBuffer<std::int32_t> data(input);
+    core::RadixPartitionOptions options;
+    options.gpu_set = {0, 2, 4, 6};
+    CheckOk(core::RadixPartitionSort(p.get(), &data, options).status());
+    EXPECT_EQ(data.vector(), expected);
+  }
+  // CPU.
+  {
+    auto p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+    vgpu::HostBuffer<std::int32_t> data(input);
+    CheckOk(core::CpuSortBaseline(p.get(), &data).status());
+    EXPECT_EQ(data.vector(), expected);
+  }
+}
+
+TEST(InvariantsTest, SimulationIsDeterministic) {
+  SortConfig config;
+  config.system = "ac922";
+  config.algo = Algo::kP2p;
+  config.gpus = 4;
+  config.logical_keys = 1'000'000'000;
+  const auto a = CheckOk(RunOnce(config));
+  const auto b = CheckOk(RunOnce(config));
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.phases.merge, b.phases.merge);
+  EXPECT_DOUBLE_EQ(a.p2p_bytes, b.p2p_bytes);
+}
+
+TEST(InvariantsTest, ScaleModelInvariance) {
+  // The same logical experiment must report (nearly) the same simulated
+  // duration regardless of how many actual keys represent it: pivot
+  // fractions of uniform data are scale-invariant.
+  auto run = [](std::int64_t actual) {
+    vgpu::PlatformOptions popts;
+    popts.scale = 2e9 / static_cast<double>(actual);
+    auto p = CheckOk(vgpu::Platform::Create(topo::MakeAc922(), popts));
+    DataGenOptions gen;
+    auto keys = GenerateKeys<std::int32_t>(actual, gen);
+    vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+    core::SortOptions options;
+    options.gpu_set = {0, 1};
+    return CheckOk(core::P2pSort(p.get(), &data, options)).total_seconds;
+  };
+  const double coarse = run(50'000);
+  const double fine = run(500'000);
+  EXPECT_NEAR(coarse, fine, fine * 0.02);
+}
+
+TEST(InvariantsTest, PhasesSumToTotalForP2p) {
+  SortConfig config;
+  config.system = "dgx-a100";
+  config.algo = Algo::kP2p;
+  config.gpus = 8;
+  config.logical_keys = 2'000'000'000;
+  const auto stats = CheckOk(RunOnce(config));
+  EXPECT_NEAR(stats.phases.total(), stats.total_seconds,
+              stats.total_seconds * 1e-9);
+}
+
+TEST(InvariantsTest, PhasesSumToTotalForHet) {
+  SortConfig config;
+  config.system = "ac922";
+  config.algo = Algo::kHet2n;
+  config.gpus = 2;
+  config.logical_keys = 2'000'000'000;
+  const auto stats = CheckOk(RunOnce(config));
+  EXPECT_NEAR(stats.phases.total(), stats.total_seconds,
+              stats.total_seconds * 1e-6);
+}
+
+TEST(InvariantsTest, SortingIsIdempotent) {
+  DataGenOptions gen;
+  auto input = GenerateKeys<std::int32_t>(40'000, gen);
+  auto p1 = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  vgpu::HostBuffer<std::int32_t> data(std::move(input));
+  core::SortOptions options;
+  options.gpu_set = {0, 1};
+  CheckOk(core::P2pSort(p1.get(), &data, options).status());
+  const auto once = data.vector();
+  auto p2 = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  auto stats = CheckOk(core::P2pSort(p2.get(), &data, options));
+  EXPECT_EQ(data.vector(), once);
+  EXPECT_DOUBLE_EQ(stats.p2p_bytes, 0)
+      << "re-sorting sorted data must skip every swap";
+}
+
+TEST(InvariantsTest, Het2nEquals3nForInMemoryData) {
+  // Section 6.1: when the data fits in one chunk group, the pipelining
+  // strategies do not apply and 2n == 3n (same chunk size).
+  auto run = [](Algo algo) {
+    SortConfig config;
+    config.system = "dgx-a100";
+    config.algo = algo;
+    config.gpus = 4;
+    config.logical_keys = 2'000'000'000;
+    return CheckOk(RunOnce(config)).total_seconds;
+  };
+  const double two = run(Algo::kHet2n);
+  const double three = run(Algo::kHet3n);
+  EXPECT_NEAR(two, three, two * 0.05);
+}
+
+TEST(InvariantsTest, MoreGpusNeverSlowerOnDgx) {
+  // On the DGX the paper measures monotone improvement with GPU count
+  // (Fig. 14a) for P2P sort.
+  double prev = 1e18;
+  for (int g : {1, 2, 4, 8}) {
+    SortConfig config;
+    config.system = "dgx-a100";
+    config.algo = Algo::kP2p;
+    config.gpus = g;
+    config.logical_keys = 2'000'000'000;
+    const double t = CheckOk(RunOnce(config)).total_seconds;
+    EXPECT_LE(t, prev * 1.05) << "g=" << g;
+    prev = t;
+  }
+}
+
+TEST(InvariantsTest, RightmostPivotStillSortsEverything) {
+  for (auto dist : {Distribution::kUniform, Distribution::kZipf,
+                    Distribution::kReverseSorted}) {
+    SortConfig config;
+    config.system = "ac922";
+    config.algo = Algo::kP2p;
+    config.gpus = 4;
+    config.logical_keys = 500'000'000;
+    config.distribution = dist;
+    config.pivot_policy = core::PivotPolicy::kRightmost;
+    // RunOnce verifies sortedness and the permutation fingerprint.
+    CheckOk(RunOnce(config));
+  }
+}
+
+TEST(InvariantsTest, RightmostNeverMovesFewerBytesThanLeftmost) {
+  for (auto dist : {Distribution::kUniform, Distribution::kZipf,
+                    Distribution::kNearlySorted}) {
+    SortConfig config;
+    config.system = "ac922";
+    config.algo = Algo::kP2p;
+    config.gpus = 2;
+    config.logical_keys = 500'000'000;
+    config.distribution = dist;
+    config.pivot_policy = core::PivotPolicy::kLeftmost;
+    const auto left = CheckOk(RunOnce(config));
+    config.pivot_policy = core::PivotPolicy::kRightmost;
+    const auto right = CheckOk(RunOnce(config));
+    EXPECT_GE(right.p2p_bytes, left.p2p_bytes)
+        << DistributionToString(dist);
+  }
+}
+
+TEST(InvariantsTest, ThroughputScalesWithDataSizeLinearly) {
+  // Figs. 12-14 (top): both algorithms scale linearly with the key count.
+  auto run = [](std::int64_t keys) {
+    SortConfig config;
+    config.system = "delta-d22x";
+    config.algo = Algo::kP2p;
+    config.gpus = 2;
+    config.logical_keys = keys;
+    return CheckOk(RunOnce(config)).total_seconds;
+  };
+  const double t1 = run(1'000'000'000);
+  const double t4 = run(4'000'000'000);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.4);
+}
+
+}  // namespace
+}  // namespace mgs

@@ -1,0 +1,123 @@
+// Odds-and-ends coverage: CSV emission via the env knob, trigger re-fire,
+// merge-sort stability, zipf skew knob, and device-buffer move semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "cpusort/cpusort.h"
+#include "sim/task.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+#include "util/report.h"
+#include "vgpu/platform.h"
+
+namespace mgs {
+namespace {
+
+TEST(ReportEmitTest, WritesCsvWhenEnvSet) {
+  const auto dir = std::filesystem::temp_directory_path() / "mgs_emit_test";
+  std::filesystem::create_directories(dir);
+  setenv("MGS_BENCH_CSV_DIR", dir.c_str(), 1);
+  ReportTable t("Emit Env Test", {"a", "b"});
+  t.AddRow({"1", "2"});
+  t.Emit();
+  unsetenv("MGS_BENCH_CSV_DIR");
+  std::ifstream f(dir / "emit_env_test.csv");
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TriggerTest, RefireIsNoOp) {
+  sim::Trigger trigger;
+  int resumed = 0;
+  auto waiter = [&]() -> sim::Task<void> {
+    co_await trigger.Wait();
+    ++resumed;
+  };
+  auto j = sim::Spawn(waiter());
+  trigger.Fire();
+  trigger.Fire();  // must not double-resume
+  EXPECT_EQ(resumed, 1);
+  EXPECT_TRUE(j->done());
+}
+
+TEST(MergeSortTest, IsStable) {
+  struct P {
+    int key;
+    int tag;
+    bool operator<(const P& o) const { return key < o.key; }
+    bool operator==(const P& o) const {
+      return key == o.key && tag == o.tag;
+    }
+  };
+  std::vector<P> data;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(P{static_cast<int>(rng.Next() % 20), i});
+  }
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  std::vector<P> aux(data.size());
+  cpusort::MergeSort(data.data(), aux.data(),
+                     static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(data, expected);
+}
+
+TEST(DataGenTest, ZipfThetaControlsSkew) {
+  DataGenOptions mild;
+  mild.distribution = Distribution::kZipf;
+  mild.zipf_theta = 0.5;
+  DataGenOptions heavy = mild;
+  heavy.zipf_theta = 0.99;
+  auto count_most_common = [](std::vector<std::int32_t> v) {
+    std::sort(v.begin(), v.end());
+    std::int64_t best = 0, run = 1;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      run = v[i] == v[i - 1] ? run + 1 : 1;
+      best = std::max(best, run);
+    }
+    return best;
+  };
+  const auto mild_peak =
+      count_most_common(GenerateKeys<std::int32_t>(50'000, mild));
+  const auto heavy_peak =
+      count_most_common(GenerateKeys<std::int32_t>(50'000, heavy));
+  EXPECT_GT(heavy_peak, mild_peak * 2)
+      << "higher theta must concentrate mass on the head";
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  auto p = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  auto& dev = p->device(0);
+  const double before = dev.memory_free();
+  auto a = CheckOk(dev.Allocate<std::int32_t>(1000));
+  auto b = std::move(a);
+  EXPECT_EQ(b.size(), 1000);
+  EXPECT_EQ(b.device_id(), 0);
+  EXPECT_DOUBLE_EQ(dev.memory_free(), before - 4000)
+      << "moving must not double-free or leak the accounting";
+  {
+    vgpu::DeviceBuffer<std::int32_t> c;
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 1000);
+  }
+  EXPECT_DOUBLE_EQ(dev.memory_free(), before);
+}
+
+TEST(StreamOpsCountTest, CountsEnqueues) {
+  auto p = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  auto& s = p->device(0).stream(0);
+  EXPECT_EQ(s.ops_enqueued(), 0);
+  s.LaunchAsync(0.0, [] {});
+  s.RecordEvent();
+  EXPECT_EQ(s.ops_enqueued(), 2);
+}
+
+}  // namespace
+}  // namespace mgs

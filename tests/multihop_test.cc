@@ -1,0 +1,103 @@
+// Tests for multi-hop P2P routing (Section 7 future work): P2P transfers
+// forwarded through intermediate GPUs instead of the host.
+
+#include <gtest/gtest.h>
+
+#include "core/p2p_sort.h"
+#include "topo/systems.h"
+#include "topo/transfer_probe.h"
+#include "util/datagen.h"
+#include "util/units.h"
+
+namespace mgs::topo {
+namespace {
+
+TEST(MultihopTest, DeltaHostTraversalWithoutMultihop) {
+  TransferProbe probe(MakeDeltaD22x());
+  auto r = CheckOk(probe.Run({TransferProbe::PtoP(0, 3, 4 * kGB)}));
+  EXPECT_NEAR(r.aggregate_throughput / kGB, 9, 1.5);
+}
+
+TEST(MultihopTest, DeltaMultihopRoutesOverNvlink) {
+  auto topology = MakeDeltaD22x();
+  topology->SetMultihopP2p(true);
+  TransferProbe probe(std::move(topology));
+  // 0 -> 3 via GPU 2 (two 2x-NVLink hops at 48 GB/s each, plus GPU 2's
+  // HBM store-and-forward): ~5x faster than the PCIe 3.0 host route.
+  auto r = CheckOk(probe.Run({TransferProbe::PtoP(0, 3, 4 * kGB)}));
+  EXPECT_NEAR(r.aggregate_throughput / kGB, 48, 5);
+}
+
+TEST(MultihopTest, Ac922GainsNothing) {
+  // No GPU-GPU links cross the socket boundary on the AC922: the best
+  // multi-hop route still uses the X-Bus.
+  auto topology = MakeAc922();
+  topology->SetMultihopP2p(true);
+  TransferProbe probe(std::move(topology));
+  auto r = CheckOk(probe.Run({TransferProbe::PtoP(0, 2, 4 * kGB)}));
+  EXPECT_NEAR(r.aggregate_throughput / kGB, 32, 5);
+}
+
+TEST(MultihopTest, DgxUnchanged) {
+  // NVSwitch already connects all pairs directly.
+  auto topology = MakeDgxA100();
+  topology->SetMultihopP2p(true);
+  TransferProbe probe(std::move(topology));
+  auto r = CheckOk(probe.Run({TransferProbe::PtoP(0, 7, 4 * kGB)}));
+  EXPECT_NEAR(r.aggregate_throughput / kGB, 279, 10);
+}
+
+TEST(MultihopTest, IntermediateHbmIsCharged) {
+  auto topology = MakeDeltaD22x();
+  topology->SetMultihopP2p(true);
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  CheckOk(topology->Compile(&net));
+  auto path = CheckOk(topology->CopyPath(
+      CopyKind::kPeerToPeer, Endpoint::Gpu(0), Endpoint::Gpu(3)));
+  // Expect a weight-2 HBM hop for the forwarding GPU.
+  int heavy_hbm_hops = 0;
+  for (const auto& hop : path) {
+    if (hop.weight == 2.0) ++heavy_hbm_hops;
+  }
+  EXPECT_EQ(heavy_hbm_hops, 1);
+}
+
+TEST(MultihopTest, P2pSortStillCorrectWithMultihop) {
+  auto topology = MakeDeltaD22x();
+  topology->SetMultihopP2p(true);
+  auto platform = CheckOk(vgpu::Platform::Create(std::move(topology)));
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(40'000, opt);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  core::SortOptions options;
+  options.gpu_set = {0, 1, 2, 3};
+  CheckOk(core::P2pSort(platform.get(), &data, options).status());
+  EXPECT_EQ(data.vector(), expected);
+}
+
+TEST(MultihopTest, P2pSortFasterOnDeltaWithMultihop) {
+  auto run = [](bool multihop) {
+    auto topology = MakeDeltaD22x();
+    topology->SetMultihopP2p(multihop);
+    auto platform = CheckOk(vgpu::Platform::Create(
+        std::move(topology), vgpu::PlatformOptions{2000.0}));
+    DataGenOptions opt;
+    auto keys = GenerateKeys<std::int32_t>(1'000'000, opt);  // 2e9 logical
+    vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+    core::SortOptions options;
+    options.gpu_set = {0, 1, 2, 3};
+    return CheckOk(core::P2pSort(platform.get(), &data, options))
+        .total_seconds;
+  };
+  const double baseline = run(false);
+  const double multihop = run(true);
+  EXPECT_LT(multihop, baseline)
+      << "the global merge stage's host-traversing swaps dominate on the "
+         "DELTA (Fig. 13a); routing them over NVLink must help";
+}
+
+}  // namespace
+}  // namespace mgs::topo

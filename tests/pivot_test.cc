@@ -1,0 +1,126 @@
+// Tests for leftmost pivot selection (Algorithm 1).
+
+#include "core/pivot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+PivotResult Select(const std::vector<int>& a, const std::vector<int>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  KeyReader<int> ra = [&a](std::int64_t i) { return a[static_cast<std::size_t>(i)]; };
+  KeyReader<int> rb = [&b](std::int64_t i) { return b[static_cast<std::size_t>(i)]; };
+  return SelectPivot<int>(ra, rb, static_cast<std::int64_t>(a.size()));
+}
+
+// Checks p is valid: after swapping the last p of A with the first p of B,
+// max over new-A <= min over new-B.
+void ExpectValid(const std::vector<int>& a, const std::vector<int>& b,
+                 std::int64_t p) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  int max_a = std::numeric_limits<int>::min();
+  int min_b = std::numeric_limits<int>::max();
+  for (std::int64_t i = 0; i < n - p; ++i) max_a = std::max(max_a, a[static_cast<std::size_t>(i)]);
+  for (std::int64_t i = 0; i < p; ++i) max_a = std::max(max_a, b[static_cast<std::size_t>(i)]);
+  for (std::int64_t i = n - p; i < n; ++i) min_b = std::min(min_b, a[static_cast<std::size_t>(i)]);
+  for (std::int64_t i = p; i < n; ++i) min_b = std::min(min_b, b[static_cast<std::size_t>(i)]);
+  EXPECT_LE(max_a, min_b) << "pivot " << p << " is not valid";
+}
+
+TEST(PivotTest, PaperFigure8Example) {
+  // A = [7,11,12,16], B = [2,9,13,15]: the paper swaps two keys.
+  const PivotResult r = Select({7, 11, 12, 16}, {2, 9, 13, 15});
+  EXPECT_EQ(r.pivot, 2);
+}
+
+TEST(PivotTest, AlreadyOrderedHalvesNeedNoSwap) {
+  const PivotResult r = Select({1, 2, 3, 4}, {5, 6, 7, 8});
+  EXPECT_EQ(r.pivot, 0) << "leftmost pivot skips the swap entirely";
+}
+
+TEST(PivotTest, FullyReversedHalvesSwapEverything) {
+  const PivotResult r = Select({5, 6, 7, 8}, {1, 2, 3, 4});
+  EXPECT_EQ(r.pivot, 4);
+}
+
+TEST(PivotTest, AllEqualKeysNeedNoSwap) {
+  const PivotResult r = Select({7, 7, 7, 7}, {7, 7, 7, 7});
+  EXPECT_EQ(r.pivot, 0)
+      << "duplicates must not be exchanged (minimal-transfer guarantee)";
+}
+
+TEST(PivotTest, InterleavedHalves) {
+  const PivotResult r = Select({1, 3, 5, 7}, {2, 4, 6, 8});
+  ExpectValid({1, 3, 5, 7}, {2, 4, 6, 8}, r.pivot);
+}
+
+TEST(PivotTest, EmptyArrays) {
+  const PivotResult r = Select({}, {});
+  EXPECT_EQ(r.pivot, 0);
+}
+
+TEST(PivotTest, SingleElement) {
+  EXPECT_EQ(Select({5}, {3}).pivot, 1);
+  EXPECT_EQ(Select({3}, {5}).pivot, 0);
+  EXPECT_EQ(Select({4}, {4}).pivot, 0);
+}
+
+TEST(PivotTest, LogarithmicReadCount) {
+  const std::int64_t n = 1 << 20;
+  std::vector<int> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<int>(2 * i + 1);
+    b[static_cast<std::size_t>(i)] = static_cast<int>(2 * i);
+  }
+  const PivotResult r = Select(a, b);
+  ExpectValid(a, b, r.pivot);
+  EXPECT_LE(r.reads, 2 * 21) << "binary search: at most 2 reads per step";
+}
+
+class PivotPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PivotPropertyTest, LeftmostValidPivotOnRandomHalves) {
+  DataGenOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const std::int64_t n = 200 + GetParam() * 37;
+  auto all = GenerateKeys<std::int32_t>(2 * n, opt);
+  std::vector<int> a(all.begin(), all.begin() + n);
+  std::vector<int> b(all.begin() + n, all.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const PivotResult r = Select(a, b);
+  ExpectValid(a, b, r.pivot);
+  if (r.pivot > 0) {
+    // Leftmost: p-1 must NOT be valid. Validity of p-1 requires
+    // a[n-p] <= b[p-1]; r.pivot's minimality means that fails.
+    const std::int64_t p = r.pivot;
+    EXPECT_GT(a[static_cast<std::size_t>(n - p)],
+              b[static_cast<std::size_t>(p - 1)])
+        << "pivot is not leftmost";
+  }
+}
+
+TEST_P(PivotPropertyTest, DuplicateHeavyHalves) {
+  DataGenOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) + 77;
+  opt.distribution = Distribution::kZipf;
+  const std::int64_t n = 500;
+  auto all = GenerateKeys<std::int32_t>(2 * n, opt);
+  std::vector<int> a(all.begin(), all.begin() + n);
+  std::vector<int> b(all.begin() + n, all.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const PivotResult r = Select(a, b);
+  ExpectValid(a, b, r.pivot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PivotPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mgs::core

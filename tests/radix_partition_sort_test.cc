@@ -1,0 +1,144 @@
+// Tests for the radix-partitioning multi-GPU sort (the Section 7
+// future-work algorithm).
+
+#include "core/radix_partition_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/p2p_sort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+struct RdxCase {
+  std::string system;
+  int gpus;
+  std::int64_t n;
+  Distribution dist;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<RdxCase>& info) {
+  const auto& c = info.param;
+  std::string s = c.system + "_g" + std::to_string(c.gpus) + "_n" +
+                  std::to_string(c.n) + "_";
+  for (char ch : std::string(DistributionToString(c.dist))) {
+    s += ch == '-' ? '_' : ch;
+  }
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+class RdxSortSweep : public ::testing::TestWithParam<RdxCase> {};
+
+TEST_P(RdxSortSweep, SortsCorrectly) {
+  const auto& c = GetParam();
+  auto platform =
+      CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem(c.system))));
+  DataGenOptions opt;
+  opt.distribution = c.dist;
+  opt.seed = static_cast<std::uint64_t>(c.n) * 7 + c.gpus;
+  auto keys = GenerateKeys<std::int32_t>(c.n, opt);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  vgpu::HostBuffer<std::int32_t> data(std::move(keys));
+  RadixPartitionOptions options;
+  for (int i = 0; i < c.gpus; ++i) options.gpu_set.push_back(i);
+  auto stats = RadixPartitionSort(platform.get(), &data, options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(data.vector(), expected);
+}
+
+std::vector<RdxCase> MakeCases() {
+  std::vector<RdxCase> cases;
+  const Distribution dists[] = {Distribution::kUniform, Distribution::kNormal,
+                                Distribution::kSorted,
+                                Distribution::kReverseSorted};
+  for (const char* sys : {"ac922", "dgx-a100"}) {
+    // Any GPU count works — including the non-power-of-two 3.
+    for (int g : {1, 2, 3, 4}) {
+      for (Distribution d : dists) {
+        cases.push_back(RdxCase{sys, g, 60'000, d});
+      }
+    }
+  }
+  cases.push_back(RdxCase{"dgx-a100", 8, 160'000, Distribution::kUniform});
+  cases.push_back(RdxCase{"dgx-a100", 8, 160'001, Distribution::kNormal});
+  cases.push_back(RdxCase{"dgx-a100", 5, 1, Distribution::kUniform});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RdxSortSweep, ::testing::ValuesIn(MakeCases()),
+                         CaseName);
+
+TEST(RdxSortTest, SkewOverflowReportsOutOfMemory) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  // All-duplicate data: every key lands in one partition.
+  vgpu::HostBuffer<std::int32_t> data(
+      std::vector<std::int32_t>(50'000, 7));
+  RadixPartitionOptions options;
+  options.gpu_set = {0, 1, 2, 3};
+  options.slack = 1.1;
+  auto stats = RadixPartitionSort(platform.get(), &data, options);
+  EXPECT_EQ(stats.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(RdxSortTest, SingleExchangeMovesLessThanP2pMerge) {
+  // Uniform data, 8 GPUs: RDX moves ~ (g-1)/g * n keys once; the P2P merge
+  // phase moves ~ n/2 per stage across log2(g) stage levels.
+  const std::int64_t n = 160'000;
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(n, opt);
+
+  auto p_rdx = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  vgpu::HostBuffer<std::int32_t> d1(keys);
+  RadixPartitionOptions rdx;
+  auto rdx_stats = CheckOk(RadixPartitionSort(p_rdx.get(), &d1, rdx));
+
+  auto p_p2p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  vgpu::HostBuffer<std::int32_t> d2(keys);
+  SortOptions p2p;
+  auto p2p_stats = CheckOk(P2pSort(p_p2p.get(), &d2, p2p));
+
+  EXPECT_LT(rdx_stats.p2p_bytes, p2p_stats.p2p_bytes)
+      << "one all-to-all must move fewer bytes than the recursive merge";
+  EXPECT_EQ(rdx_stats.merge_stages, 1);
+}
+
+TEST(RdxSortTest, FasterThanP2pSortOnEightNvswitchGpus) {
+  // The Section 7 hypothesis: on the DGX A100 the single all-to-all beats
+  // the log-depth merge phase end to end.
+  const std::int64_t logical = 2'000'000'000;
+  vgpu::PlatformOptions popts{/*scale=*/2000.0};
+  DataGenOptions opt;
+  auto keys = GenerateKeys<std::int32_t>(1'000'000, opt);
+
+  auto p_rdx = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100(), popts));
+  vgpu::HostBuffer<std::int32_t> d1(keys);
+  RadixPartitionOptions rdx;
+  auto rdx_stats = CheckOk(RadixPartitionSort(p_rdx.get(), &d1, rdx));
+
+  auto p_p2p = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100(), popts));
+  vgpu::HostBuffer<std::int32_t> d2(keys);
+  SortOptions p2p;
+  auto p2p_stats = CheckOk(P2pSort(p_p2p.get(), &d2, p2p));
+
+  EXPECT_LT(rdx_stats.total_seconds, p2p_stats.total_seconds * 1.05)
+      << "RDX should be at least competitive on NVSwitch";
+  (void)logical;
+}
+
+TEST(RdxSortTest, EmptyInput) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  vgpu::HostBuffer<std::int32_t> data(0);
+  RadixPartitionOptions options;
+  auto stats = RadixPartitionSort(platform.get(), &data, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->total_seconds, 0);
+}
+
+}  // namespace
+}  // namespace mgs::core

@@ -1,0 +1,179 @@
+// Randomized-topology property tests: generate arbitrary (connected)
+// platforms and verify the whole stack — routing, flow allocation, and all
+// three multi-GPU sorting algorithms — behaves correctly on them. This is
+// the "will it work on *my* machine?" guarantee for downstream users with
+// topologies unlike the three presets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/api.h"
+#include "core/radix_partition_sort.h"
+#include "util/datagen.h"
+#include "util/units.h"
+#include "vgpu/platform.h"
+
+namespace mgs {
+namespace {
+
+// Deterministic random platform: 1-2 sockets, 2-8 GPUs, random link
+// capacities, random extra P2P links; always connected (every GPU gets a
+// CPU uplink).
+std::unique_ptr<topo::Topology> MakeRandomTopology(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  auto topo_ptr =
+      std::make_unique<topo::Topology>("random-" + std::to_string(seed));
+  auto& t = *topo_ptr;
+
+  const int sockets = 1 + static_cast<int>(rng.Next() % 2);
+  const int gpus = 2 + static_cast<int>(rng.Next() % 7);
+
+  topo::CpuSpec cpu;
+  cpu.model = "random CPU";
+  cpu.sockets = sockets;
+  cpu.cores = 32;
+  cpu.paradis_rate_32 = 0.3e9 + rng.NextDouble() * 1.5e9;
+  cpu.multiway_merge_bw = (20 + rng.NextDouble() * 60) * kGB;
+  t.SetCpuSpec(cpu);
+
+  for (int s = 0; s < sockets; ++s) {
+    t.AddCpuSocket();
+    const double read = (50 + rng.NextDouble() * 150) * kGB;
+    CheckOk(t.AttachHostMemory(s, read, read * 0.8, read * 1.2,
+                               1.0 + rng.NextDouble() * 0.3));
+  }
+  if (sockets == 2) {
+    topo::LinkSpec cpu_link;
+    cpu_link.name = "cpu-link";
+    cpu_link.kind = topo::LinkKind::kUpi;
+    cpu_link.cap_ab = (20 + rng.NextDouble() * 80) * kGB;
+    cpu_link.duplex_cap = cpu_link.cap_ab * 1.5;
+    CheckOk(t.Connect(t.CpuNode(0), t.CpuNode(1), cpu_link));
+  }
+
+  topo::GpuSpec gpu;
+  gpu.model = "random GPU";
+  gpu.memory_capacity_bytes = (8 + rng.NextDouble() * 72) * kGB;
+  gpu.memory_bandwidth = (400 + rng.NextDouble() * 1600) * kGB;
+  gpu.sort_rate_32 = 5e9 + rng.NextDouble() * 30e9;
+  gpu.sort_rate_64 = gpu.sort_rate_32 / 2;
+  gpu.merge_rate_32 = gpu.sort_rate_32 * 4;
+  for (int g = 0; g < gpus; ++g) {
+    const int socket = static_cast<int>(rng.Next() % sockets);
+    t.AddGpu(gpu, socket);
+    topo::LinkSpec uplink;
+    uplink.name = "up" + std::to_string(g);
+    uplink.kind = rng.Next() % 2 ? topo::LinkKind::kPcie4
+                                 : topo::LinkKind::kNvlink2;
+    uplink.cap_ab = (8 + rng.NextDouble() * 70) * kGB;
+    uplink.duplex_cap = uplink.cap_ab * (1.3 + rng.NextDouble() * 0.7);
+    CheckOk(t.Connect(t.CpuNode(socket), t.GpuNode(g), uplink));
+  }
+  // Random P2P links (possibly none).
+  const int extra = static_cast<int>(rng.Next() % (gpus + 1));
+  for (int e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng.Next() % gpus);
+    const int b = static_cast<int>(rng.Next() % gpus);
+    if (a == b) continue;
+    topo::LinkSpec p2p;
+    p2p.name = "p2p" + std::to_string(e);
+    p2p.kind = topo::LinkKind::kNvlink3;
+    p2p.cap_ab = (20 + rng.NextDouble() * 280) * kGB;
+    p2p.duplex_cap = p2p.cap_ab * 1.9;
+    CheckOk(t.Connect(t.GpuNode(a), t.GpuNode(b), p2p));
+  }
+  return topo_ptr;
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTopologyTest, EveryPairRoutesWithPositiveBandwidth) {
+  auto topo = MakeRandomTopology(static_cast<std::uint64_t>(GetParam()));
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  for (int a = 0; a < topo->num_gpus(); ++a) {
+    auto htod = topo->LoneFlowBandwidth(topo::CopyKind::kHostToDevice,
+                                        topo::Endpoint::HostMemory(0),
+                                        topo::Endpoint::Gpu(a));
+    ASSERT_TRUE(htod.ok());
+    EXPECT_GT(*htod, 0);
+    for (int b = 0; b < topo->num_gpus(); ++b) {
+      if (a == b) continue;
+      auto p2p = topo->LoneFlowBandwidth(topo::CopyKind::kPeerToPeer,
+                                         topo::Endpoint::Gpu(a),
+                                         topo::Endpoint::Gpu(b));
+      ASSERT_TRUE(p2p.ok());
+      EXPECT_GT(*p2p, 0);
+    }
+  }
+}
+
+TEST_P(RandomTopologyTest, AllAlgorithmsSortCorrectly) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  DataGenOptions gen;
+  gen.seed = seed;
+  gen.distribution =
+      GetParam() % 2 ? Distribution::kUniform : Distribution::kZipf;
+  const auto input = GenerateKeys<std::int32_t>(30'000, gen);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+
+  // P2P needs 2^k GPUs: use the largest power of two available.
+  {
+    auto platform =
+        CheckOk(vgpu::Platform::Create(MakeRandomTopology(seed)));
+    int g = 1;
+    while (2 * g <= platform->num_devices()) g *= 2;
+    core::SortOptions options;
+    options.gpu_set = CheckOk(
+        core::ChooseGpuSet(platform->topology(), g, /*for_p2p_merge=*/true));
+    vgpu::HostBuffer<std::int32_t> data(input);
+    auto stats = core::P2pSort(platform.get(), &data, options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(data.vector(), expected);
+  }
+  // HET on all GPUs.
+  {
+    auto platform =
+        CheckOk(vgpu::Platform::Create(MakeRandomTopology(seed)));
+    core::HetOptions options;
+    vgpu::HostBuffer<std::int32_t> data(input);
+    auto stats = core::HetSort(platform.get(), &data, options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(data.vector(), expected);
+  }
+  // RDX on all GPUs (skew-heavy seeds may overflow: accept the documented
+  // kOutOfMemory, never a wrong answer).
+  {
+    auto platform =
+        CheckOk(vgpu::Platform::Create(MakeRandomTopology(seed)));
+    core::RadixPartitionOptions options;
+    options.slack = 1.5;
+    vgpu::HostBuffer<std::int32_t> data(input);
+    auto stats = core::RadixPartitionSort(platform.get(), &data, options);
+    if (stats.ok()) {
+      EXPECT_EQ(data.vector(), expected);
+    } else {
+      EXPECT_EQ(stats.status().code(), StatusCode::kOutOfMemory);
+    }
+  }
+}
+
+TEST_P(RandomTopologyTest, GpuSetChooserWorks) {
+  auto topo = MakeRandomTopology(static_cast<std::uint64_t>(GetParam()));
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  for (int g = 1; g <= topo->num_gpus(); g *= 2) {
+    auto set = core::ChooseGpuSet(*topo, g, true);
+    ASSERT_TRUE(set.ok()) << set.status();
+    EXPECT_EQ(static_cast<int>(set->size()), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mgs

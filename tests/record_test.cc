@@ -1,0 +1,141 @@
+// Tests for key-value record sorting across the whole stack.
+
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/het_sort.h"
+#include "core/p2p_sort.h"
+#include "core/radix_partition_sort.h"
+#include "cpusort/cpusort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+template <typename R>
+std::vector<R> MakeRecords(std::int64_t n, std::uint64_t seed) {
+  DataGenOptions opt;
+  opt.seed = seed;
+  auto keys = GenerateKeys<decltype(R{}.key)>(n, opt);
+  std::vector<R> records(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    records[static_cast<std::size_t>(i)] = {
+        keys[static_cast<std::size_t>(i)],
+        static_cast<decltype(R{}.value)>(i)};
+  }
+  return records;
+}
+
+// The value must always travel with its key: validate against a stable
+// oracle (equal keys may permute their values between each other only if
+// the values' multiset per key is preserved).
+template <typename R>
+void ExpectValidSort(const std::vector<R>& input,
+                     const std::vector<R>& output) {
+  ASSERT_EQ(input.size(), output.size());
+  EXPECT_TRUE(std::is_sorted(output.begin(), output.end()));
+  auto in_sorted = input;
+  auto out_sorted = output;
+  auto full_less = [](const R& a, const R& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  };
+  std::sort(in_sorted.begin(), in_sorted.end(), full_less);
+  std::sort(out_sorted.begin(), out_sorted.end(), full_less);
+  EXPECT_EQ(in_sorted, out_sorted) << "output must be a permutation";
+}
+
+TEST(RecordTest, OrderingAndTraits) {
+  IndexEntry32 a{1, 100}, b{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(cpusort::RadixTraits<IndexEntry32>::Encode(a),
+            cpusort::RadixTraits<std::int32_t>::Encode(1));
+  EXPECT_EQ((SortableLimits<IndexEntry32>::Max().key),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(RecordTest, LsbRadixSortsRecords) {
+  auto records = MakeRecords<IndexEntry32>(20'000, 1);
+  auto input = records;
+  std::vector<IndexEntry32> aux(records.size());
+  cpusort::LsbRadixSort(records.data(), aux.data(),
+                        static_cast<std::int64_t>(records.size()));
+  ExpectValidSort(input, records);
+}
+
+TEST(RecordTest, ParadisSortsRecords) {
+  auto records = MakeRecords<IndexEntry64>(20'000, 2);
+  auto input = records;
+  cpusort::ParadisSort(records.data(),
+                       static_cast<std::int64_t>(records.size()));
+  ExpectValidSort(input, records);
+}
+
+TEST(RecordTest, MultiwayMergeMergesRecords) {
+  std::vector<std::vector<IndexEntry32>> lists(4);
+  std::vector<IndexEntry32> all;
+  for (int i = 0; i < 4; ++i) {
+    lists[static_cast<std::size_t>(i)] =
+        MakeRecords<IndexEntry32>(5'000, static_cast<std::uint64_t>(i));
+    std::sort(lists[static_cast<std::size_t>(i)].begin(),
+              lists[static_cast<std::size_t>(i)].end());
+    all.insert(all.end(), lists[static_cast<std::size_t>(i)].begin(),
+               lists[static_cast<std::size_t>(i)].end());
+  }
+  std::vector<IndexEntry32> out;
+  cpusort::MultiwayMerge(lists, &out);
+  ExpectValidSort(all, out);
+}
+
+TEST(RecordTest, P2pSortSortsRecords) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  auto records = MakeRecords<IndexEntry32>(40'000, 3);
+  auto input = records;
+  vgpu::HostBuffer<IndexEntry32> data(std::move(records));
+  SortOptions options;
+  options.gpu_set = {0, 2, 4, 6};
+  CheckOk(P2pSort(platform.get(), &data, options).status());
+  ExpectValidSort(input, data.vector());
+}
+
+TEST(RecordTest, P2pSortSortsRecordsWithPadding) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  auto records = MakeRecords<IndexEntry64>(9'999, 4);  // ragged
+  auto input = records;
+  vgpu::HostBuffer<IndexEntry64> data(std::move(records));
+  SortOptions options;
+  options.gpu_set = {0, 1};
+  CheckOk(P2pSort(platform.get(), &data, options).status());
+  ExpectValidSort(input, data.vector());
+}
+
+TEST(RecordTest, HetSortSortsRecordsOutOfCore) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  auto records = MakeRecords<IndexEntry32>(100'000, 5);
+  auto input = records;
+  vgpu::HostBuffer<IndexEntry32> data(std::move(records));
+  HetOptions options;
+  options.gpu_set = {0, 2};
+  options.gpu_memory_budget = 200'000;  // force several chunk groups
+  auto stats = CheckOk(HetSort(platform.get(), &data, options));
+  EXPECT_GT(stats.chunk_groups, 1);
+  ExpectValidSort(input, data.vector());
+}
+
+TEST(RecordTest, RdxSortSortsRecords) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  auto records = MakeRecords<IndexEntry32>(60'000, 6);
+  auto input = records;
+  vgpu::HostBuffer<IndexEntry32> data(std::move(records));
+  RadixPartitionOptions options;
+  options.gpu_set = {0, 2, 4};
+  CheckOk(RadixPartitionSort(platform.get(), &data, options).status());
+  ExpectValidSort(input, data.vector());
+}
+
+}  // namespace
+}  // namespace mgs::core

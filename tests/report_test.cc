@@ -1,0 +1,58 @@
+#include "util/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace mgs {
+namespace {
+
+TEST(ReportTest, NumFormatsPrecision) {
+  EXPECT_EQ(ReportTable::Num(1.234567), "1.23");
+  EXPECT_EQ(ReportTable::Num(1.2, 3), "1.200");
+  EXPECT_EQ(ReportTable::Num(72, 0), "72");
+}
+
+TEST(ReportTest, RowsArePaddedToColumnCount) {
+  ReportTable t("t", {"a", "b", "c"});
+  t.AddRow({"1"});
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+}
+
+TEST(ReportTest, WriteCsvRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "mgs_report_test";
+  std::filesystem::create_directories(dir);
+  ReportTable t("Fig 2a: CPU-GPU serial", {"gpu", "HtoD [GB/s]"});
+  t.AddRow({"{0,1}", "72.0"});
+  t.AddRow({"{2,3}", "41.0"});
+  auto path = t.WriteCsv(dir.string());
+  ASSERT_TRUE(path.has_value());
+  std::ifstream f(*path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "gpu,HtoD [GB/s]");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"{0,1}\",72.0");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportTest, WriteCsvToBadDirFails) {
+  ReportTable t("x", {"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent/dir/zzz").has_value());
+}
+
+TEST(ReportTest, TitleSlugInPath) {
+  const auto dir = std::filesystem::temp_directory_path() / "mgs_report_slug";
+  std::filesystem::create_directories(dir);
+  ReportTable t("Figure 12 (a): P2P sort!", {"a"});
+  auto path = t.WriteCsv(dir.string());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_NE(path->find("figure_12_a_p2p_sort.csv"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mgs

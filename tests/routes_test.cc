@@ -1,0 +1,108 @@
+// Route-composition tests: the exact interconnect sequences every copy
+// takes on the three preset platforms (hop-by-hop fidelity to Table 1).
+
+#include <gtest/gtest.h>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "topo/systems.h"
+
+namespace mgs::topo {
+namespace {
+
+class RoutesTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Topology> Compiled(std::unique_ptr<Topology> topo) {
+    CheckOk(topo->Compile(&net_));
+    return topo;
+  }
+  std::string Route(const Topology& topo, CopyKind kind, Endpoint src,
+                    Endpoint dst) {
+    return CheckOk(topo.DescribeRoute(kind, src, dst));
+  }
+  sim::Simulator sim_;
+  sim::FlowNetwork net_{&sim_};
+};
+
+TEST_F(RoutesTest, Ac922LocalHtoDUsesNvlinkOnly) {
+  auto topo = Compiled(MakeAc922());
+  const auto route = Route(*topo, CopyKind::kHostToDevice,
+                           Endpoint::HostMemory(0), Endpoint::Gpu(0));
+  EXPECT_EQ(route, "MEM0 -[membus0]-> CPU0 -[nvl]-> GPU0");
+}
+
+TEST_F(RoutesTest, Ac922RemoteHtoDCrossesXbus) {
+  auto topo = Compiled(MakeAc922());
+  const auto route = Route(*topo, CopyKind::kHostToDevice,
+                           Endpoint::HostMemory(0), Endpoint::Gpu(3));
+  EXPECT_EQ(route, "MEM0 -[membus0]-> CPU0 -[xbus]-> CPU1 -[nvl]-> GPU3");
+}
+
+TEST_F(RoutesTest, Ac922P2pDirectAndHostTraversing) {
+  auto topo = Compiled(MakeAc922());
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(1)),
+            "GPU0 -[nvl-p2p]-> GPU1");
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(2)),
+            "GPU0 -[nvl]-> CPU0 -[xbus]-> CPU1 -[nvl]-> GPU2");
+}
+
+TEST_F(RoutesTest, DeltaP2pPrefersNvlinkMesh) {
+  auto topo = Compiled(MakeDeltaD22x());
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(2)),
+            "GPU0 -[nvl-x2]-> GPU2");
+  // (0,3) has no direct link: PCIe up, UPI across, PCIe down.
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(3)),
+            "GPU0 -[pcie]-> CPU0 -[upi]-> CPU1 -[pcie]-> GPU3");
+}
+
+TEST_F(RoutesTest, DeltaMultihopReroutesThroughGpu2) {
+  auto raw = MakeDeltaD22x();
+  raw->SetMultihopP2p(true);
+  auto topo = Compiled(std::move(raw));
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(3)),
+            "GPU0 -[nvl-x2]-> GPU2 -[nvl-x2]-> GPU3");
+}
+
+TEST_F(RoutesTest, DgxHtoDGoesThroughPairSwitch) {
+  auto topo = Compiled(MakeDgxA100());
+  EXPECT_EQ(Route(*topo, CopyKind::kHostToDevice, Endpoint::HostMemory(0),
+                  Endpoint::Gpu(1)),
+            "MEM0 -[membus0]-> CPU0 -[pcie-up]-> plx0 -[pcie-dn]-> GPU1");
+  EXPECT_EQ(Route(*topo, CopyKind::kHostToDevice, Endpoint::HostMemory(0),
+                  Endpoint::Gpu(6)),
+            "MEM0 -[membus0]-> CPU0 -[inf-fabric]-> CPU1 -[pcie-up]-> plx3 "
+            "-[pcie-dn]-> GPU6");
+}
+
+TEST_F(RoutesTest, DgxP2pAlwaysUsesNvswitch) {
+  auto topo = Compiled(MakeDgxA100());
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(1)),
+            "GPU0 -[nvl12]-> nvswitch -[nvl12]-> GPU1")
+      << "P2P must not take the equally-short PCIe-switch route";
+  EXPECT_EQ(Route(*topo, CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                  Endpoint::Gpu(7)),
+            "GPU0 -[nvl12]-> nvswitch -[nvl12]-> GPU7");
+}
+
+TEST_F(RoutesTest, DeviceLocalRoute) {
+  auto topo = Compiled(MakeDgxA100());
+  EXPECT_EQ(Route(*topo, CopyKind::kDeviceLocal, Endpoint::Gpu(3),
+                  Endpoint::Gpu(3)),
+            "GPU3 (device-local)");
+}
+
+TEST_F(RoutesTest, UncompiledTopologyRejected) {
+  auto topo = MakeAc922();
+  EXPECT_FALSE(topo->DescribeRoute(CopyKind::kHostToDevice,
+                                   Endpoint::HostMemory(0), Endpoint::Gpu(0))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mgs::topo

@@ -1,0 +1,73 @@
+#include "vgpu/sim_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace mgs::vgpu {
+namespace {
+
+using sim::Delay;
+using sim::Simulator;
+using sim::Spawn;
+using sim::Task;
+
+TEST(SimMutexTest, UncontendedAcquireIsImmediate) {
+  Simulator sim;
+  SimMutex mutex;
+  bool acquired = false;
+  auto body = [&]() -> Task<void> {
+    co_await mutex.Acquire();
+    acquired = true;
+    mutex.Release();
+  };
+  Spawn(body());
+  EXPECT_TRUE(acquired);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(SimMutexTest, SerializesHolders) {
+  Simulator sim;
+  SimMutex mutex;
+  std::vector<std::pair<int, double>> events;
+  auto worker = [&](int id, double hold) -> Task<void> {
+    co_await mutex.Acquire();
+    events.emplace_back(id, sim.Now());
+    co_await Delay{sim, hold};
+    mutex.Release();
+  };
+  Spawn(worker(1, 2.0));
+  Spawn(worker(2, 3.0));
+  Spawn(worker(3, 1.0));
+  sim.Run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], std::make_pair(1, 0.0));
+  EXPECT_EQ(events[1], std::make_pair(2, 2.0)) << "FIFO order";
+  EXPECT_EQ(events[2], std::make_pair(3, 5.0));
+}
+
+TEST(SimMutexTest, WaiterCountTracksQueue) {
+  Simulator sim;
+  SimMutex mutex;
+  auto holder = [&]() -> Task<void> {
+    co_await mutex.Acquire();
+    co_await Delay{sim, 1.0};
+    mutex.Release();
+  };
+  auto waiter = [&]() -> Task<void> {
+    co_await mutex.Acquire();
+    mutex.Release();
+  };
+  Spawn(holder());
+  Spawn(waiter());
+  Spawn(waiter());
+  EXPECT_TRUE(mutex.locked());
+  EXPECT_EQ(mutex.waiters(), 2u);
+  sim.Run();
+  EXPECT_FALSE(mutex.locked());
+  EXPECT_EQ(mutex.waiters(), 0u);
+}
+
+}  // namespace
+}  // namespace mgs::vgpu

@@ -1,0 +1,113 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgs::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RunsEventAtScheduledTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.Schedule(2.5, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EqualTimesFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  double done_at = -1;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(1.0, [&] { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(-5.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0) << "cancelled event should not move time";
+}
+
+TEST(SimulatorTest, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  EventId id = sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(5.0, [&] { order.push_back(5); });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.ScheduleAt(4.0, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+}  // namespace
+}  // namespace mgs::sim

@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mgs {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(2.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 2.5);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0) << "stddev undefined for n<2 -> 0";
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+}
+
+TEST(RunningStatsTest, SampleStdDev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  // Known example: population sigma = 2, sample stddev = sqrt(32/7).
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), -3.0);
+}
+
+}  // namespace
+}  // namespace mgs

@@ -1,0 +1,117 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mgs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad arg");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arg");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad arg");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("a"), Status::Invalid("a"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::Invalid("b"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("gpu 9");
+  EXPECT_EQ(os.str(), "Not found: gpu 9");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace macros {
+Status Fails() { return Status::Internal("inner"); }
+Status Caller() {
+  MGS_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+Result<int> Source(bool ok) {
+  if (ok) return 5;
+  return Status::Invalid("no value");
+}
+Result<int> Chained(bool ok) {
+  MGS_ASSIGN_OR_RETURN(int v, Source(ok));
+  return v * 2;
+}
+}  // namespace macros
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(macros::Caller().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  auto r = macros::Chained(true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(ResultTest, AssignOrReturnErrorPath) {
+  auto r = macros::Chained(false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, CheckOkReturnsValue) {
+  EXPECT_EQ(CheckOk(Result<int>(3)), 3);
+}
+
+}  // namespace
+}  // namespace mgs

@@ -1,0 +1,345 @@
+// Calibration regression tests: the three preset platforms must reproduce
+// the paper's Section 4 measurements (Figures 2-7) within tolerance.
+
+#include "topo/systems.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/transfer_probe.h"
+#include "util/units.h"
+
+namespace mgs::topo {
+namespace {
+
+constexpr double kCopyBytes = 4 * kGB;  // the paper copies 4 GB blocks
+
+// Asserts the aggregate throughput of a scenario is within rel_tol of the
+// paper's reported GB/s.
+void ExpectThroughput(TransferProbe& probe, std::vector<TransferOp> ops,
+                      double paper_gbs, double rel_tol = 0.15) {
+  auto result = probe.Run(ops);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const double got = result->aggregate_throughput / kGB;
+  EXPECT_NEAR(got, paper_gbs, paper_gbs * rel_tol)
+      << "paper: " << paper_gbs << " GB/s, simulated: " << got << " GB/s";
+}
+
+// ---------------------------------------------------------------------------
+// IBM AC922 (Figs. 2 & 5)
+// ---------------------------------------------------------------------------
+
+class Ac922Test : public ::testing::Test {
+ protected:
+  TransferProbe probe_{MakeAc922()};
+};
+
+TEST_F(Ac922Test, SerialHtoDLocal72) {
+  ExpectThroughput(probe_, {TransferProbe::HtoD(0, kCopyBytes)}, 72);
+}
+
+TEST_F(Ac922Test, SerialDtoHLocal72) {
+  ExpectThroughput(probe_, {TransferProbe::DtoH(0, kCopyBytes)}, 72);
+}
+
+TEST_F(Ac922Test, SerialHtoDRemote41) {
+  ExpectThroughput(probe_, {TransferProbe::HtoD(2, kCopyBytes)}, 41);
+}
+
+TEST_F(Ac922Test, SerialDtoHRemote35) {
+  ExpectThroughput(probe_, {TransferProbe::DtoH(2, kCopyBytes)}, 35);
+}
+
+TEST_F(Ac922Test, SerialBidiLocal127) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({0}, kCopyBytes), 127);
+}
+
+TEST_F(Ac922Test, ParallelHtoDLocalPair141) {
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::HtoD(0, kCopyBytes), TransferProbe::HtoD(1, kCopyBytes)},
+      141);
+}
+
+TEST_F(Ac922Test, ParallelDtoHLocalPair109) {
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::DtoH(0, kCopyBytes), TransferProbe::DtoH(1, kCopyBytes)},
+      109);
+}
+
+TEST_F(Ac922Test, ParallelBidiLocalPair136) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({0, 1}, kCopyBytes),
+                   136);
+}
+
+TEST_F(Ac922Test, ParallelHtoDRemotePair39) {
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::HtoD(2, kCopyBytes), TransferProbe::HtoD(3, kCopyBytes)},
+      39);
+}
+
+TEST_F(Ac922Test, ParallelDtoHRemotePair30) {
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::DtoH(2, kCopyBytes), TransferProbe::DtoH(3, kCopyBytes)},
+      30, 0.20);
+}
+
+TEST_F(Ac922Test, ParallelBidiRemotePair54) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({2, 3}, kCopyBytes),
+                   54);
+}
+
+TEST_F(Ac922Test, ParallelHtoDAllFour74) {
+  std::vector<TransferOp> ops;
+  for (int g = 0; g < 4; ++g) ops.push_back(TransferProbe::HtoD(g, kCopyBytes));
+  ExpectThroughput(probe_, ops, 74, 0.20);
+}
+
+TEST_F(Ac922Test, SerialP2pDirect72) {
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 1, kCopyBytes)}, 72);
+}
+
+TEST_F(Ac922Test, SerialP2pRemote32) {
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 2, kCopyBytes)}, 32);
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 3, kCopyBytes)}, 33);
+}
+
+TEST_F(Ac922Test, ParallelP2pDirectPair145) {
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 1}, kCopyBytes), 145);
+  ExpectThroughput(probe_, TransferProbe::P2pRing({2, 3}, kCopyBytes), 145);
+}
+
+TEST_F(Ac922Test, ParallelP2pCrossSocket53) {
+  // 0<->3 and 1<->2, all traversing the X-Bus.
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes),
+                   53);
+}
+
+TEST_F(Ac922Test, DeviceLocalCopyFasterThanP2p) {
+  // Section 5.2: device-local copies are ~5x faster than 3x NVLink 2.0.
+  auto local = probe_.Run({TransferProbe::DtoD(0, kCopyBytes)});
+  auto p2p = probe_.Run({TransferProbe::PtoP(0, 1, kCopyBytes)});
+  ASSERT_TRUE(local.ok() && p2p.ok());
+  const double ratio =
+      local->aggregate_throughput / p2p->aggregate_throughput;
+  EXPECT_NEAR(ratio, 5.0, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// DELTA D22x (Figs. 3 & 6)
+// ---------------------------------------------------------------------------
+
+class DeltaTest : public ::testing::Test {
+ protected:
+  TransferProbe probe_{MakeDeltaD22x()};
+};
+
+TEST_F(DeltaTest, SerialHtoD12) {
+  ExpectThroughput(probe_, {TransferProbe::HtoD(0, kCopyBytes)}, 12);
+  ExpectThroughput(probe_, {TransferProbe::HtoD(2, kCopyBytes)}, 12);
+}
+
+TEST_F(DeltaTest, SerialDtoH13) {
+  ExpectThroughput(probe_, {TransferProbe::DtoH(0, kCopyBytes)}, 13);
+}
+
+TEST_F(DeltaTest, SerialBidi20) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({0}, kCopyBytes), 20);
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({2}, kCopyBytes), 20);
+}
+
+TEST_F(DeltaTest, ParallelScalesLinearly) {
+  std::vector<TransferOp> htod4, dtoh4;
+  for (int g = 0; g < 4; ++g) {
+    htod4.push_back(TransferProbe::HtoD(g, kCopyBytes));
+    dtoh4.push_back(TransferProbe::DtoH(g, kCopyBytes));
+  }
+  ExpectThroughput(probe_, htod4, 49);
+  ExpectThroughput(probe_, dtoh4, 51);
+  ExpectThroughput(probe_,
+                   TransferProbe::Bidirectional({0, 1, 2, 3}, kCopyBytes), 79);
+}
+
+TEST_F(DeltaTest, SerialP2pDirect48) {
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 1, kCopyBytes)}, 48);
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 2, kCopyBytes)}, 48);
+}
+
+TEST_F(DeltaTest, SerialP2pHostTraversing9) {
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 3, kCopyBytes)}, 9);
+}
+
+TEST_F(DeltaTest, ParallelP2pDirectPair97) {
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 1}, kCopyBytes), 97);
+  ExpectThroughput(probe_, TransferProbe::P2pRing({2, 3}, kCopyBytes), 97);
+}
+
+TEST_F(DeltaTest, ParallelP2pFourGpus30) {
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes),
+                   30, 0.25);
+}
+
+TEST_F(DeltaTest, DirectP2pDetection) {
+  EXPECT_TRUE(*probe_.topology().IsDirectP2p(0, 1));
+  EXPECT_TRUE(*probe_.topology().IsDirectP2p(0, 2));
+  EXPECT_TRUE(*probe_.topology().IsDirectP2p(1, 3));
+  EXPECT_FALSE(*probe_.topology().IsDirectP2p(0, 3));
+  EXPECT_FALSE(*probe_.topology().IsDirectP2p(1, 2));
+}
+
+// ---------------------------------------------------------------------------
+// NVIDIA DGX A100 (Figs. 4 & 7)
+// ---------------------------------------------------------------------------
+
+class DgxTest : public ::testing::Test {
+ protected:
+  TransferProbe probe_{MakeDgxA100()};
+};
+
+TEST_F(DgxTest, SerialHtoD24) {
+  ExpectThroughput(probe_, {TransferProbe::HtoD(0, kCopyBytes)}, 24);
+  ExpectThroughput(probe_, {TransferProbe::HtoD(5, kCopyBytes)}, 24);
+}
+
+TEST_F(DgxTest, SerialBidiLocal39) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({0}, kCopyBytes), 39);
+}
+
+TEST_F(DgxTest, SerialBidiRemote32) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({4}, kCopyBytes), 32);
+}
+
+TEST_F(DgxTest, PairSharingOneSwitch25) {
+  // GPUs (0,1) share a PCIe switch: no scaling.
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::HtoD(0, kCopyBytes), TransferProbe::HtoD(1, kCopyBytes)},
+      25);
+}
+
+TEST_F(DgxTest, PairOnDistinctSwitches49) {
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::HtoD(0, kCopyBytes), TransferProbe::HtoD(2, kCopyBytes)},
+      49);
+  ExpectThroughput(
+      probe_,
+      {TransferProbe::HtoD(4, kCopyBytes), TransferProbe::HtoD(6, kCopyBytes)},
+      47);
+}
+
+TEST_F(DgxTest, QuadDistinctSwitches87) {
+  std::vector<TransferOp> ops;
+  for (int g : {0, 2, 4, 6}) ops.push_back(TransferProbe::HtoD(g, kCopyBytes));
+  ExpectThroughput(probe_, ops, 87, 0.20);
+}
+
+TEST_F(DgxTest, EightGpusNoFurtherScaling) {
+  std::vector<TransferOp> quad, octet;
+  for (int g : {0, 2, 4, 6}) quad.push_back(TransferProbe::HtoD(g, kCopyBytes));
+  for (int g = 0; g < 8; ++g) octet.push_back(TransferProbe::HtoD(g, kCopyBytes));
+  auto q = probe_.Run(quad);
+  auto o = probe_.Run(octet);
+  ASSERT_TRUE(q.ok() && o.ok());
+  EXPECT_LT(o->aggregate_throughput / q->aggregate_throughput, 1.25)
+      << "Fig. 4: throughput must not scale from 4 to 8 GPUs";
+}
+
+TEST_F(DgxTest, RemoteBidiPair61) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({4, 6}, kCopyBytes),
+                   61, 0.20);
+}
+
+TEST_F(DgxTest, LocalBidiPair82) {
+  ExpectThroughput(probe_, TransferProbe::Bidirectional({0, 2}, kCopyBytes),
+                   82, 0.20);
+}
+
+TEST_F(DgxTest, EightGpuBidi111) {
+  std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7};
+  ExpectThroughput(probe_, TransferProbe::Bidirectional(all, kCopyBytes), 111,
+                   0.25);
+}
+
+TEST_F(DgxTest, SerialP2p279) {
+  ExpectThroughput(probe_, {TransferProbe::PtoP(0, 1, kCopyBytes)}, 279);
+  ExpectThroughput(probe_, {TransferProbe::PtoP(3, 6, kCopyBytes)}, 279);
+}
+
+TEST_F(DgxTest, ParallelP2pPair530) {
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 1}, kCopyBytes), 530);
+}
+
+TEST_F(DgxTest, ParallelP2pQuad1060) {
+  ExpectThroughput(probe_, TransferProbe::P2pRing({0, 2, 4, 6}, kCopyBytes),
+                   1060);
+}
+
+TEST_F(DgxTest, ParallelP2pAllEight2116) {
+  std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7};
+  ExpectThroughput(probe_, TransferProbe::P2pRing(all, kCopyBytes), 2116);
+}
+
+TEST_F(DgxTest, AllPairsAreDirectP2p) {
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_TRUE(*probe_.topology().IsDirectP2p(a, b))
+          << "NVSwitch connects all pairs directly (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_F(DgxTest, DeviceLocalCopy3xFasterThanNvswitchP2p) {
+  auto local = probe_.Run({TransferProbe::DtoD(0, kCopyBytes)});
+  auto p2p = probe_.Run({TransferProbe::PtoP(0, 1, kCopyBytes)});
+  ASSERT_TRUE(local.ok() && p2p.ok());
+  EXPECT_NEAR(local->aggregate_throughput / p2p->aggregate_throughput, 3.0,
+              0.7);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-system claims (abstract / Section 4 conclusions)
+// ---------------------------------------------------------------------------
+
+TEST(CrossSystemTest, NvswitchBeatsPcie3By35xForFourGpuP2p) {
+  TransferProbe dgx(MakeDgxA100());
+  TransferProbe delta(MakeDeltaD22x());
+  auto fast = dgx.Run(TransferProbe::P2pRing({0, 2, 4, 6}, kCopyBytes));
+  auto slow = delta.Run(TransferProbe::P2pRing({0, 1, 2, 3}, kCopyBytes));
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  const double ratio =
+      fast->aggregate_throughput / slow->aggregate_throughput;
+  EXPECT_NEAR(ratio, 35.3, 35.3 * 0.25);
+}
+
+TEST(CrossSystemTest, Nvlink2AcceleratesCpuGpu6xOverPcie3) {
+  TransferProbe ac922(MakeAc922());
+  TransferProbe delta(MakeDeltaD22x());
+  auto fast = ac922.Run({TransferProbe::HtoD(0, kCopyBytes)});
+  auto slow = delta.Run({TransferProbe::HtoD(0, kCopyBytes)});
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_NEAR(fast->aggregate_throughput / slow->aggregate_throughput, 6.0,
+              1.0);
+}
+
+TEST(CrossSystemTest, MakeSystemRegistry) {
+  for (const auto& name : SystemNames()) {
+    auto topo = MakeSystem(name);
+    ASSERT_TRUE(topo.ok()) << name;
+    EXPECT_GT((*topo)->num_gpus(), 0);
+  }
+  EXPECT_FALSE(MakeSystem("dgx-h100").ok());
+}
+
+TEST(CrossSystemTest, SystemShapes) {
+  EXPECT_EQ(MakeAc922()->num_gpus(), 4);
+  EXPECT_EQ(MakeDeltaD22x()->num_gpus(), 4);
+  EXPECT_EQ(MakeDgxA100()->num_gpus(), 8);
+  EXPECT_EQ(MakeDgxA100()->gpu_socket(3), 0);
+  EXPECT_EQ(MakeDgxA100()->gpu_socket(4), 1);
+}
+
+}  // namespace
+}  // namespace mgs::topo

@@ -1,0 +1,174 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace mgs::sim {
+namespace {
+
+TEST(TaskTest, SimpleTaskRunsToCompletion) {
+  Simulator sim;
+  bool ran = false;
+  auto body = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  CheckOk(RunToCompletion(&sim, body()));
+  EXPECT_TRUE(ran);
+}
+
+TEST(TaskTest, TaskIsLazyUntilSpawned) {
+  bool ran = false;
+  auto body = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  {
+    Task<void> t = body();
+    EXPECT_FALSE(ran) << "lazy task must not start on construction";
+  }
+  EXPECT_FALSE(ran) << "destroying an unstarted task must not run it";
+}
+
+TEST(TaskTest, DelaySuspendsForSimulatedTime) {
+  Simulator sim;
+  double resumed_at = -1;
+  auto body = [&]() -> Task<void> {
+    co_await Delay{sim, 3.5};
+    resumed_at = sim.Now();
+  };
+  CheckOk(RunToCompletion(&sim, body()));
+  EXPECT_DOUBLE_EQ(resumed_at, 3.5);
+}
+
+TEST(TaskTest, NestedAwaitsAccumulateTime) {
+  Simulator sim;
+  auto inner = [&](double d) -> Task<void> { co_await Delay{sim, d}; };
+  auto outer = [&]() -> Task<void> {
+    co_await inner(1.0);
+    co_await inner(2.0);
+  };
+  CheckOk(RunToCompletion(&sim, outer()));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(TaskTest, ValueTaskReturnsValue) {
+  Simulator sim;
+  int got = 0;
+  auto produce = [&]() -> Task<int> {
+    co_await Delay{sim, 1.0};
+    co_return 42;
+  };
+  auto consume = [&]() -> Task<void> {
+    got = co_await produce();
+  };
+  CheckOk(RunToCompletion(&sim, consume()));
+  EXPECT_EQ(got, 42);
+}
+
+TEST(TaskTest, SpawnRunsEagerlyUntilFirstSuspension) {
+  Simulator sim;
+  int stage = 0;
+  auto body = [&]() -> Task<void> {
+    stage = 1;
+    co_await Delay{sim, 1.0};
+    stage = 2;
+  };
+  auto joiner = Spawn(body());
+  EXPECT_EQ(stage, 1) << "spawn must run to the first suspension point";
+  EXPECT_FALSE(joiner->done());
+  sim.Run();
+  EXPECT_EQ(stage, 2);
+  EXPECT_TRUE(joiner->done());
+}
+
+TEST(TaskTest, WhenAllWaitsForAllTasks) {
+  Simulator sim;
+  auto sleeper = [&](double d) -> Task<void> { co_await Delay{sim, d}; };
+  std::vector<Task<void>> tasks;
+  tasks.push_back(sleeper(1.0));
+  tasks.push_back(sleeper(5.0));
+  tasks.push_back(sleeper(3.0));
+  CheckOk(RunToCompletion(&sim, WhenAll(std::move(tasks))));
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0) << "tasks must run concurrently";
+}
+
+TEST(TaskTest, WhenAllOfJoiners) {
+  Simulator sim;
+  auto sleeper = [&](double d) -> Task<void> { co_await Delay{sim, d}; };
+  std::vector<JoinerPtr> joiners;
+  joiners.push_back(Spawn(sleeper(2.0)));
+  joiners.push_back(Spawn(sleeper(4.0)));
+  CheckOk(RunToCompletion(&sim, WhenAll(std::move(joiners))));
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+}
+
+TEST(TaskTest, TriggerReleasesWaiters) {
+  Simulator sim;
+  Trigger trigger;
+  int released = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await trigger.Wait();
+    ++released;
+  };
+  auto j1 = Spawn(waiter());
+  auto j2 = Spawn(waiter());
+  EXPECT_EQ(released, 0);
+  trigger.Fire();
+  EXPECT_EQ(released, 2);
+  EXPECT_TRUE(j1->done());
+  EXPECT_TRUE(j2->done());
+}
+
+TEST(TaskTest, AwaitOnFiredTriggerCompletesImmediately) {
+  Simulator sim;
+  Trigger trigger;
+  trigger.Fire();
+  bool done = false;
+  auto body = [&]() -> Task<void> {
+    co_await trigger.Wait();
+    done = true;
+  };
+  Spawn(body());
+  EXPECT_TRUE(done);
+}
+
+TEST(TaskTest, DeadlockIsReported) {
+  Simulator sim;
+  Trigger never;
+  auto body = [&]() -> Task<void> { co_await never.Wait(); };
+  Status st = RunToCompletion(&sim, body());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(TaskTest, JoinerAwaitableDirectly) {
+  Simulator sim;
+  auto sleeper = [&]() -> Task<void> { co_await Delay{sim, 1.0}; };
+  auto joiner = Spawn(sleeper());
+  double joined_at = -1;
+  auto body = [&]() -> Task<void> {
+    co_await *joiner;
+    joined_at = sim.Now();
+  };
+  CheckOk(RunToCompletion(&sim, body()));
+  EXPECT_DOUBLE_EQ(joined_at, 1.0);
+}
+
+TEST(TaskTest, ManyConcurrentSpawns) {
+  Simulator sim;
+  int completed = 0;
+  auto sleeper = [&](double d) -> Task<void> {
+    co_await Delay{sim, d};
+    ++completed;
+  };
+  std::vector<JoinerPtr> joiners;
+  for (int i = 0; i < 100; ++i) {
+    joiners.push_back(Spawn(sleeper(0.01 * (i % 10 + 1))));
+  }
+  CheckOk(RunToCompletion(&sim, WhenAll(std::move(joiners))));
+  EXPECT_EQ(completed, 100);
+}
+
+}  // namespace
+}  // namespace mgs::sim

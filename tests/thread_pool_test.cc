@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mgs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(10000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(
+      10, [&](std::int64_t b, std::int64_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 10);
+      },
+      1024);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelSum) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> data(100000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(static_cast<std::int64_t>(data.size()),
+                   [&](std::int64_t b, std::int64_t e) {
+                     std::int64_t local = 0;
+                     for (std::int64_t i = b; i < e; ++i) local += data[i];
+                     total.fetch_add(local);
+                   });
+  EXPECT_EQ(total.load(), 100000LL * 99999 / 2);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    pool.Submit([&] { count.fetch_add(1); });
+  });
+  // Wait may need two rounds: loop until stable.
+  for (int i = 0; i < 10 && count.load() < 2; ++i) pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultPoolSingleton) {
+  EXPECT_EQ(ThreadPool::Default(), ThreadPool::Default());
+}
+
+}  // namespace
+}  // namespace mgs

@@ -1,0 +1,189 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace mgs::topo {
+namespace {
+
+// A toy platform: one socket, memory, two GPUs on PCIe, a direct P2P link.
+std::unique_ptr<Topology> MakeToy() {
+  auto topo = std::make_unique<Topology>("toy");
+  const int cpu0 = topo->AddCpuSocket();
+  CheckOk(topo->AttachHostMemory(cpu0, 100 * kGB, 80 * kGB, 120 * kGB));
+  GpuSpec gpu;
+  gpu.model = "toy-gpu";
+  gpu.memory_capacity_bytes = 8 * kGB;
+  gpu.memory_bandwidth = 500 * kGB;
+  topo->AddGpu(gpu, cpu0);
+  topo->AddGpu(gpu, cpu0);
+  LinkSpec pcie;
+  pcie.name = "pcie";
+  pcie.cap_ab = 10 * kGB;
+  pcie.cap_ba = 12 * kGB;
+  pcie.duplex_cap = 18 * kGB;
+  CheckOk(topo->Connect(topo->CpuNode(0), topo->GpuNode(0), pcie));
+  CheckOk(topo->Connect(topo->CpuNode(0), topo->GpuNode(1), pcie));
+  LinkSpec nvlink;
+  nvlink.name = "nvlink";
+  nvlink.cap_ab = 50 * kGB;
+  CheckOk(topo->Connect(topo->GpuNode(0), topo->GpuNode(1), nvlink));
+  return topo;
+}
+
+TEST(TopologyTest, BuildAndCompile) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  EXPECT_TRUE(topo->compiled());
+  EXPECT_GT(net.num_resources(), 0u);
+}
+
+TEST(TopologyTest, CompileTwiceFails) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  EXPECT_EQ(topo->Compile(&net).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TopologyTest, CompileWithoutMemoryFails) {
+  Topology topo("bad");
+  topo.AddCpuSocket();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  EXPECT_EQ(topo.Compile(&net).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TopologyTest, ConnectValidation) {
+  Topology topo("t");
+  const int cpu0 = topo.AddCpuSocket();
+  LinkSpec spec;
+  spec.cap_ab = kGB;
+  EXPECT_EQ(topo.Connect(topo.CpuNode(cpu0), topo.CpuNode(cpu0), spec).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(topo.Connect(topo.CpuNode(cpu0), 999, spec).code(),
+            StatusCode::kInvalidArgument);
+  LinkSpec zero;
+  zero.cap_ab = 0;
+  GpuSpec gpu;
+  const int g = topo.AddGpu(gpu, cpu0);
+  EXPECT_EQ(topo.Connect(topo.CpuNode(cpu0), topo.GpuNode(g), zero).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, AttachMemoryTwiceFails) {
+  Topology topo("t");
+  const int cpu0 = topo.AddCpuSocket();
+  ASSERT_TRUE(topo.AttachHostMemory(cpu0, kGB, kGB, kGB).ok());
+  EXPECT_EQ(topo.AttachHostMemory(cpu0, kGB, kGB, kGB).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(topo.AttachHostMemory(7, kGB, kGB, kGB).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, LoneFlowBandwidthHtoDLimitedByPcie) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  auto bw = topo->LoneFlowBandwidth(CopyKind::kHostToDevice,
+                                    Endpoint::HostMemory(0), Endpoint::Gpu(0));
+  ASSERT_TRUE(bw.ok());
+  EXPECT_DOUBLE_EQ(*bw, 10 * kGB);
+  auto back = topo->LoneFlowBandwidth(CopyKind::kDeviceToHost,
+                                      Endpoint::Gpu(0),
+                                      Endpoint::HostMemory(0));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(*back, 12 * kGB);
+}
+
+TEST(TopologyTest, P2pPrefersDirectLink) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  auto bw = topo->LoneFlowBandwidth(CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                                    Endpoint::Gpu(1));
+  ASSERT_TRUE(bw.ok());
+  EXPECT_DOUBLE_EQ(*bw, 50 * kGB);
+  auto direct = topo->IsDirectP2p(0, 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(*direct);
+}
+
+TEST(TopologyTest, DeviceLocalCopyBoundByHbm) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  auto bw = topo->LoneFlowBandwidth(CopyKind::kDeviceLocal, Endpoint::Gpu(0),
+                                    Endpoint::Gpu(0));
+  ASSERT_TRUE(bw.ok());
+  // Read + write within one HBM: 500/2 GB/s.
+  EXPECT_DOUBLE_EQ(*bw, 250 * kGB);
+}
+
+TEST(TopologyTest, CopyPathKindValidation) {
+  auto topo = MakeToy();
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  // HtoD with two GPUs is invalid.
+  EXPECT_FALSE(topo->CopyPath(CopyKind::kHostToDevice, Endpoint::Gpu(0),
+                              Endpoint::Gpu(1))
+                   .ok());
+  // P2P with identical GPUs is invalid.
+  EXPECT_FALSE(topo->CopyPath(CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                              Endpoint::Gpu(0))
+                   .ok());
+  // DtoD with different GPUs is invalid.
+  EXPECT_FALSE(topo->CopyPath(CopyKind::kDeviceLocal, Endpoint::Gpu(0),
+                              Endpoint::Gpu(1))
+                   .ok());
+  // Path requests before Compile are rejected.
+  auto fresh = MakeToy();
+  EXPECT_EQ(fresh
+                ->CopyPath(CopyKind::kHostToDevice, Endpoint::HostMemory(0),
+                           Endpoint::Gpu(0))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TopologyTest, CpuMemoryWorkPathHasMergeHops) {
+  auto topo = MakeToy();
+  CpuSpec cpu;
+  cpu.multiway_merge_bw = 40 * kGB;
+  topo->SetCpuSpec(cpu);
+  sim::Simulator sim;
+  sim::FlowNetwork net(&sim);
+  ASSERT_TRUE(topo->Compile(&net).ok());
+  auto path = topo->CpuMemoryWorkPath(0, 2.0);
+  ASSERT_TRUE(path.ok());
+  // read + write + duplex + merge engine.
+  EXPECT_EQ(path->size(), 4u);
+}
+
+TEST(TopologyTest, DescribeMentionsEverything) {
+  auto topo = MakeToy();
+  const std::string desc = topo->Describe();
+  EXPECT_NE(desc.find("GPU0"), std::string::npos);
+  EXPECT_NE(desc.find("GPU1"), std::string::npos);
+  EXPECT_NE(desc.find("toy-gpu"), std::string::npos);
+  EXPECT_NE(desc.find("pcie"), std::string::npos);
+}
+
+TEST(TopologyTest, GpuSocketAssignment) {
+  auto topo = MakeToy();
+  EXPECT_EQ(topo->num_gpus(), 2);
+  EXPECT_EQ(topo->gpu_socket(0), 0);
+  EXPECT_EQ(topo->num_sockets(), 1);
+}
+
+}  // namespace
+}  // namespace mgs::topo

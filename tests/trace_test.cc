@@ -1,0 +1,95 @@
+// Tests for the execution tracer (sim/trace.h) and its vgpu integration.
+
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "topo/systems.h"
+#include "vgpu/platform.h"
+
+namespace mgs::sim {
+namespace {
+
+TEST(TraceTest, RecordsSpans) {
+  TraceRecorder trace;
+  trace.AddSpan("GPU0:in", "HtoD 4.00 GB", 0.0, 0.16);
+  trace.AddSpan("CPU", "cpu-merge", 0.16, 0.36);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.spans()[0].track, "GPU0:in");
+  EXPECT_DOUBLE_EQ(trace.spans()[1].end, 0.36);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceRecorder trace;
+  trace.AddSpan("t0", "op \"quoted\"", 1.0, 2.0);
+  const std::string json = trace.ToChromeTraceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1e+06"), std::string::npos);
+}
+
+TEST(TraceTest, WriteToFile) {
+  TraceRecorder trace;
+  trace.AddSpan("a", "x", 0, 1);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mgs_trace.json").string();
+  ASSERT_TRUE(trace.WriteChromeTrace(path).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, trace.ToChromeTraceJson());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(trace.WriteChromeTrace("/no/such/dir/t.json").ok());
+}
+
+TEST(TraceTest, PlatformRecordsCopyKernelAndCpuSpans) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeDgxA100()));
+  TraceRecorder trace;
+  platform->SetTrace(&trace);
+  auto& dev = platform->device(0);
+  vgpu::HostBuffer<std::int32_t> host(1024);
+  auto buf = CheckOk(dev.Allocate<std::int32_t>(1024));
+  auto& stream = dev.stream(0);
+  stream.MemcpyHtoDAsync(buf, 0, host, 0, 1024);
+  stream.LaunchAsync(0.01, [] {}, "my-kernel");
+  stream.MemcpyDtoHAsync(host, 0, buf, 0, 1024);
+  auto root = [&]() -> Task<void> {
+    co_await stream.Synchronize();
+    co_await platform->CpuBusy(0.5);
+    co_await platform->CpuMemoryWork(0, 1e9, 2.0, 1.0);
+  };
+  CheckOk(platform->Run(root()).status());
+  ASSERT_EQ(trace.size(), 5u);
+  std::vector<std::string> tracks;
+  for (const auto& span : trace.spans()) tracks.push_back(span.track);
+  EXPECT_EQ(tracks[0], "GPU0:in");
+  EXPECT_EQ(tracks[1], "GPU0:compute");
+  EXPECT_EQ(trace.spans()[1].name, "my-kernel");
+  EXPECT_EQ(tracks[2], "GPU0:out");
+  EXPECT_EQ(tracks[3], "CPU");
+  EXPECT_EQ(tracks[4], "CPU");
+  // Spans are ordered and non-negative.
+  for (const auto& span : trace.spans()) {
+    EXPECT_GE(span.end, span.begin);
+  }
+}
+
+TEST(TraceTest, DetachStopsRecording) {
+  auto platform = CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+  TraceRecorder trace;
+  platform->SetTrace(&trace);
+  platform->SetTrace(nullptr);
+  auto root = [&]() -> Task<void> { co_await platform->CpuBusy(0.1); };
+  CheckOk(platform->Run(root()).status());
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mgs::sim

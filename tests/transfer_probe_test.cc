@@ -1,0 +1,63 @@
+#include "topo/transfer_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/systems.h"
+#include "util/units.h"
+
+namespace mgs::topo {
+namespace {
+
+TEST(TransferProbeTest, ScenarioBuilders) {
+  auto op = TransferProbe::HtoD(3, 4 * kGB, 1);
+  EXPECT_EQ(op.kind, CopyKind::kHostToDevice);
+  EXPECT_EQ(op.src.kind, Endpoint::Kind::kHostMemory);
+  EXPECT_EQ(op.src.id, 1);
+  EXPECT_EQ(op.dst.id, 3);
+
+  auto bidi = TransferProbe::Bidirectional({0, 2}, kGB);
+  ASSERT_EQ(bidi.size(), 4u);
+  EXPECT_EQ(bidi[0].kind, CopyKind::kHostToDevice);
+  EXPECT_EQ(bidi[1].kind, CopyKind::kDeviceToHost);
+
+  auto ring = TransferProbe::P2pRing({0, 1, 2, 3}, kGB);
+  ASSERT_EQ(ring.size(), 4u);  // 0<->3 and 1<->2, both directions
+  EXPECT_EQ(ring[0].src.id, 0);
+  EXPECT_EQ(ring[0].dst.id, 3);
+  EXPECT_EQ(ring[2].src.id, 1);
+  EXPECT_EQ(ring[2].dst.id, 2);
+}
+
+TEST(TransferProbeTest, PerOpDurations) {
+  TransferProbe probe(MakeDeltaD22x());
+  auto result = CheckOk(probe.Run({TransferProbe::HtoD(0, 12 * kGB)}));
+  ASSERT_EQ(result.op_durations.size(), 1u);
+  EXPECT_NEAR(result.op_durations[0], 1.0, 1e-5);  // 12 GB at 12 GB/s (+latency)
+  EXPECT_NEAR(result.makespan_seconds, 1.0, 1e-5);
+}
+
+TEST(TransferProbeTest, MakespanIsSlowestOp) {
+  TransferProbe probe(MakeAc922());
+  // Local (72 GB/s) and remote (41 GB/s) HtoD of 4 GB each.
+  auto result = CheckOk(probe.Run(
+      {TransferProbe::HtoD(0, 4 * kGB), TransferProbe::HtoD(2, 4 * kGB)}));
+  EXPECT_GT(result.op_durations[1], result.op_durations[0]);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, result.op_durations[1]);
+}
+
+TEST(TransferProbeTest, ConsecutiveRunsAreIndependent) {
+  TransferProbe probe(MakeDgxA100());
+  auto first = CheckOk(probe.Run({TransferProbe::PtoP(0, 1, 4 * kGB)}));
+  auto second = CheckOk(probe.Run({TransferProbe::PtoP(0, 1, 4 * kGB)}));
+  EXPECT_DOUBLE_EQ(first.aggregate_throughput, second.aggregate_throughput);
+}
+
+TEST(TransferProbeTest, InvalidOpIsRejected) {
+  TransferProbe probe(MakeAc922());
+  auto bad = probe.Run({TransferOp{CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                                   Endpoint::Gpu(0), kGB}});
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace mgs::topo

@@ -1,0 +1,40 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace mgs {
+namespace {
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(4e9), "4.00 GB");
+  EXPECT_EQ(FormatBytes(1.5e6), "1.50 MB");
+  EXPECT_EQ(FormatBytes(2048), "2.05 KB");
+  EXPECT_EQ(FormatBytes(12), "12 B");
+}
+
+TEST(UnitsTest, FormatThroughput) {
+  EXPECT_EQ(FormatThroughput(72e9), "72.0 GB/s");
+  EXPECT_EQ(FormatThroughput(5.25e6), "5.2 MB/s");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(2.25), "2.250 s");
+  EXPECT_EQ(FormatDuration(0.036), "36.00 ms");
+  EXPECT_EQ(FormatDuration(42e-6), "42.00 us");
+  EXPECT_EQ(FormatDuration(15e-9), "15.0 ns");
+}
+
+TEST(UnitsTest, FormatKeys) {
+  EXPECT_EQ(FormatKeys(2'000'000'000), "2.00B keys");
+  EXPECT_EQ(FormatKeys(512'000'000), "512.0M keys");
+  EXPECT_EQ(FormatKeys(1'500), "1.5K keys");
+  EXPECT_EQ(FormatKeys(7), "7 keys");
+}
+
+TEST(UnitsTest, Constants) {
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+  EXPECT_EQ(kGiga, 1'000'000'000);
+}
+
+}  // namespace
+}  // namespace mgs
