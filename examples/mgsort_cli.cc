@@ -3,8 +3,8 @@
 //   mgsort_cli --system=dgx-a100 --algo=p2p --gpus=4 --keys=4e9
 //              --dist=uniform --type=int32 [--trace=out.json]
 //
-// Algorithms: p2p | het2n | het3n | het2n-eager | het3n-eager | cpu | rdx.
-// Prints the phase breakdown and writes an optional chrome trace.
+// Algorithms: p2p | het2n | het3n | het2n-eager | het3n-eager | hyb | cpu
+// | rdx. Prints the phase breakdown and writes an optional chrome trace.
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +12,7 @@
 #include <string>
 
 #include "benchsuite/suite.h"
+#include "core/hybrid_sort.h"
 #include "core/radix_partition_sort.h"
 #include "sim/trace.h"
 #include "util/units.h"
@@ -35,7 +36,7 @@ void Usage() {
   std::printf(
       "usage: mgsort_cli [--system=ac922|delta-d22x|dgx-a100]\n"
       "                  [--algo=p2p|het2n|het3n|het2n-eager|het3n-eager|"
-      "cpu|rdx]\n"
+      "hyb|cpu|rdx]\n"
       "                  [--gpus=N] [--keys=4e9]\n"
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
@@ -126,6 +127,12 @@ Result<core::SortStats> RunExperiment(const Args& args,
         core::ChooseGpuSet(platform->topology(), gpus, false));
     MGS_ASSIGN_OR_RETURN(
         stats, core::RadixPartitionSort(platform.get(), &data, options));
+  } else if (args.algo == "hyb") {
+    core::HybridOptions options;
+    MGS_ASSIGN_OR_RETURN(options.gpu_set,
+                         core::ChooseGpuSet(platform->topology(), gpus, true));
+    MGS_ASSIGN_OR_RETURN(stats,
+                         core::HybridSort(platform.get(), &data, options));
   } else if (args.algo.rfind("het", 0) == 0) {
     core::HetOptions options;
     options.scheme = args.algo.find("3n") != std::string::npos

@@ -11,9 +11,11 @@ namespace {
 
 // Static weighted max-min rate allocation over a set of paths (the same
 // progressive-filling rule as sim::FlowNetwork, but without a simulator):
-// returns the aggregate steady-state rate.
+// returns the aggregate steady-state rate of the first `scored` paths (the
+// remainder are background flows that contend but are not counted).
 double AggregateRate(const topo::Topology& topology,
-                     const std::vector<std::vector<sim::PathHop>>& paths) {
+                     const std::vector<std::vector<sim::PathHop>>& paths,
+                     std::size_t scored) {
   std::map<sim::ResourceId, double> remaining;
   for (const auto& path : paths) {
     for (const auto& hop : path) {
@@ -66,12 +68,15 @@ double AggregateRate(const topo::Topology& topology,
     if (!froze) break;
   }
   double total = 0;
-  for (double r : rate) total += r;
+  for (std::size_t i = 0; i < std::min(scored, rate.size()); ++i) {
+    total += rate[i];
+  }
   return total;
 }
 
 Result<double> HtoDAggregate(const topo::Topology& topology,
-                             const std::vector<int>& gpus) {
+                             const std::vector<int>& gpus,
+                             const std::vector<int>& busy) {
   std::vector<std::vector<sim::PathHop>> paths;
   for (int g : gpus) {
     MGS_ASSIGN_OR_RETURN(
@@ -81,7 +86,16 @@ Result<double> HtoDAggregate(const topo::Topology& topology,
                           topo::Endpoint::Gpu(g)));
     paths.push_back(std::move(path));
   }
-  return AggregateRate(topology, paths);
+  const std::size_t scored = paths.size();
+  for (int g : busy) {
+    MGS_ASSIGN_OR_RETURN(
+        auto path,
+        topology.CopyPath(topo::CopyKind::kHostToDevice,
+                          topo::Endpoint::HostMemory(0),
+                          topo::Endpoint::Gpu(g)));
+    paths.push_back(std::move(path));
+  }
+  return AggregateRate(topology, paths, scored);
 }
 
 Result<double> PairP2pBandwidth(const topo::Topology& topology, int a,
@@ -130,32 +144,51 @@ Result<double> P2pOrderCost(const topo::Topology& topology,
 
 Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
                                       bool for_p2p_merge) {
+  std::vector<int> all;
+  for (int id = 0; id < topology.num_gpus(); ++id) all.push_back(id);
+  return ChooseGpuSetConstrained(topology, g, for_p2p_merge, all, {});
+}
+
+Result<std::vector<int>> ChooseGpuSetConstrained(
+    const topo::Topology& topology, int g, bool for_p2p_merge,
+    const std::vector<int>& allowed, const std::vector<int>& busy) {
   const int total = topology.num_gpus();
-  if (g < 1 || g > total) {
+  std::vector<int> candidates = allowed;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (int id : candidates) {
+    if (id < 0 || id >= total) {
+      return Status::Invalid("no such GPU: " + std::to_string(id));
+    }
+  }
+  if (g < 1 || g > static_cast<int>(candidates.size())) {
     return Status::Invalid("requested " + std::to_string(g) + " GPUs of " +
-                           std::to_string(total));
+                           std::to_string(candidates.size()) + " allowed");
   }
   if (!topology.compiled()) {
     return Status::FailedPrecondition("topology not compiled");
   }
 
   // Step 1: the GPU combination with the best aggregate HtoD throughput
-  // (parallel copy from NUMA node 0), ties broken lexicographically.
+  // (parallel copy from NUMA node 0, sharing links with the busy GPUs'
+  // flows), ties broken lexicographically.
   std::vector<int> best_set;
   double best_rate = -1;
   std::vector<int> combo;
-  auto enumerate = [&](auto&& self, int next) -> Status {
+  auto enumerate = [&](auto&& self, std::size_t next) -> Status {
     if (static_cast<int>(combo.size()) == g) {
-      MGS_ASSIGN_OR_RETURN(const double rate, HtoDAggregate(topology, combo));
+      MGS_ASSIGN_OR_RETURN(const double rate,
+                           HtoDAggregate(topology, combo, busy));
       if (rate > best_rate * (1 + 1e-9)) {
         best_rate = rate;
         best_set = combo;
       }
       return Status::OK();
     }
-    for (int id = next; id < total; ++id) {
-      combo.push_back(id);
-      MGS_RETURN_IF_ERROR(self(self, id + 1));
+    for (std::size_t i = next; i < candidates.size(); ++i) {
+      combo.push_back(candidates[i]);
+      MGS_RETURN_IF_ERROR(self(self, i + 1));
       combo.pop_back();
     }
     return Status::OK();

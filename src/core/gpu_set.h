@@ -22,6 +22,21 @@ namespace mgs::core {
 Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
                                       bool for_p2p_merge);
 
+/// Like ChooseGpuSet, but restricted to the `allowed` GPU ids and aware of
+/// background load: candidate sets are scored by the aggregate HtoD rate
+/// the *candidate's own* flows would receive under weighted max-min sharing
+/// while every GPU in `busy` keeps one concurrent HtoD flow active (running
+/// tenants hold their host links). This is the scoring the topology-aware
+/// placer in src/sched uses: on a DGX A100 it steers a new job away from
+/// the PCIe switch of a running one. Ties break lexicographically, so the
+/// choice is deterministic. `allowed` must be non-empty; `busy` may overlap
+/// `allowed` (GPU sharing) or be empty, in which case this equals
+/// ChooseGpuSet restricted to `allowed`.
+Result<std::vector<int>> ChooseGpuSetConstrained(const topo::Topology& topology,
+                                                 int g, bool for_p2p_merge,
+                                                 const std::vector<int>& allowed,
+                                                 const std::vector<int>& busy);
+
 /// Estimated P2P merge-phase cost of a given GPU order (lower is better):
 /// the sum over merge stages of the slowest pairwise swap bandwidth's
 /// inverse. Exposed for the GPU-order ablation bench.

@@ -208,13 +208,19 @@ sim::Task<void> MergeChunks(MergeContext<T> ctx, int lo, int hi) {
 
 }  // namespace p2p_internal
 
-/// Sorts `data` (host memory, NUMA node 0 by convention) ascending using
-/// the P2P multi-GPU algorithm on `options.gpu_set`. The data must fit the
-/// combined memory of the selected GPUs (primary + auxiliary buffer per
-/// GPU). Returns phase-level timing statistics in simulated seconds.
+/// Reentrant coroutine form of P2pSort: validates, allocates, and runs the
+/// three phases on the platform's *shared* simulator without driving it, so
+/// several sorts may execute concurrently and genuinely contend in the flow
+/// network (the multi-tenant service in src/sched runs jobs this way). On
+/// completion `*out` holds the stats or the error; `total_seconds` and the
+/// phase breakdown span this call only — contention from co-running tenants
+/// shows up as longer phases, not as a separate term. Device buffers are
+/// allocated eagerly, before the first suspension point, so a caller that
+/// reserved memory may release the reservation immediately before awaiting.
 template <typename T>
-Result<SortStats> P2pSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
-                          const SortOptions& options) {
+sim::Task<void> P2pSortTask(vgpu::Platform* platform,
+                            vgpu::HostBuffer<T>* data, SortOptions options,
+                            Result<SortStats>* out) {
   using p2p_internal::Chunk;
   using p2p_internal::MergeContext;
 
@@ -224,12 +230,14 @@ Result<SortStats> P2pSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
   }
   const int g = static_cast<int>(gpus.size());
   if ((g & (g - 1)) != 0) {
-    return Status::Invalid("P2P sort requires a power-of-two GPU count, got " +
+    *out = Status::Invalid("P2P sort requires a power-of-two GPU count, got " +
                            std::to_string(g));
+    co_return;
   }
   for (int id : gpus) {
     if (id < 0 || id >= platform->num_devices()) {
-      return Status::Invalid("no such GPU: " + std::to_string(id));
+      *out = Status::Invalid("no such GPU: " + std::to_string(id));
+      co_return;
     }
   }
   const std::int64_t n = data->size();
@@ -238,96 +246,121 @@ Result<SortStats> P2pSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
   stats.num_gpus = g;
   stats.keys = static_cast<std::int64_t>(
       static_cast<double>(n) * platform->scale());
-  if (n == 0) return stats;
+  if (n == 0) {
+    *out = std::move(stats);
+    co_return;
+  }
 
   const std::int64_t m = (n + g - 1) / g;  // chunk size, last chunk padded
   std::vector<Chunk<T>> chunks(static_cast<std::size_t>(g));
   for (int i = 0; i < g; ++i) {
     auto& chunk = chunks[static_cast<std::size_t>(i)];
     chunk.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
-    MGS_ASSIGN_OR_RETURN(chunk.primary, chunk.device->template Allocate<T>(m));
-    MGS_ASSIGN_OR_RETURN(chunk.aux, chunk.device->template Allocate<T>(m));
+    auto primary = chunk.device->template Allocate<T>(m);
+    if (!primary.ok()) {
+      *out = primary.status();
+      co_return;
+    }
+    chunk.primary = std::move(*primary);
+    auto aux = chunk.device->template Allocate<T>(m);
+    if (!aux.ok()) {
+      *out = aux.status();
+      co_return;
+    }
+    chunk.aux = std::move(*aux);
   }
 
-  double t0 = 0, t_htod = 0, t_sort = 0, t_merge = 0;
-  auto root = [&]() -> sim::Task<void> {
-    t0 = platform->simulator().Now();
-    // Phase 1a: HtoD (pad the tail of the last chunk with +inf sentinels).
-    auto upload = [&](int i) -> sim::Task<void> {
-      auto& chunk = chunks[static_cast<std::size_t>(i)];
-      const std::int64_t begin = static_cast<std::int64_t>(i) * m;
-      const std::int64_t count = std::max<std::int64_t>(
-          0, std::min(m, n - begin));  // trailing chunks may be all padding
-      auto& stream = chunk.device->stream(0);
-      if (count > 0) {
-        stream.MemcpyHtoDAsync(chunk.primary, 0, *data, begin, count);
-      }
-      if (count < m) {
-        T* pad_begin = chunk.primary.data() + count;
-        const std::int64_t pad = m - count;
-        const double fill_time = static_cast<double>(pad) * sizeof(T) *
-                                 platform->scale() /
-                                 chunk.device->spec().memory_bandwidth;
-        stream.LaunchAsync(
-            fill_time,
-            [pad_begin, pad] {
-              std::fill(pad_begin, pad_begin + pad, SortableLimits<T>::Max());
-            },
-            "pad-fill");
-      }
-      co_await stream.Synchronize();
-    };
-    {
-      std::vector<sim::JoinerPtr> joins;
-      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(upload(i)));
-      co_await sim::WhenAll(std::move(joins));
+  const double t0 = platform->simulator().Now();
+  // Phase 1a: HtoD (pad the tail of the last chunk with +inf sentinels).
+  auto upload = [&](int i) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(i)];
+    const std::int64_t begin = static_cast<std::int64_t>(i) * m;
+    const std::int64_t count = std::max<std::int64_t>(
+        0, std::min(m, n - begin));  // trailing chunks may be all padding
+    auto& stream = chunk.device->stream(0);
+    if (count > 0) {
+      stream.MemcpyHtoDAsync(chunk.primary, 0, *data, begin, count);
     }
-    t_htod = platform->simulator().Now();
-
-    // Phase 1b: local chunk sorts.
-    auto sort_chunk = [&](int i) -> sim::Task<void> {
-      auto& chunk = chunks[static_cast<std::size_t>(i)];
-      auto& stream = chunk.device->stream(0);
-      gpusort::SortAsync(stream, chunk.primary, 0, m, chunk.aux,
-                         options.device_sort);
-      co_await stream.Synchronize();
-    };
-    {
-      std::vector<sim::JoinerPtr> joins;
-      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(sort_chunk(i)));
-      co_await sim::WhenAll(std::move(joins));
+    if (count < m) {
+      T* pad_begin = chunk.primary.data() + count;
+      const std::int64_t pad = m - count;
+      const double fill_time = static_cast<double>(pad) * sizeof(T) *
+                               platform->scale() /
+                               chunk.device->spec().memory_bandwidth;
+      stream.LaunchAsync(
+          fill_time,
+          [pad_begin, pad] {
+            std::fill(pad_begin, pad_begin + pad, SortableLimits<T>::Max());
+          },
+          "pad-fill");
     }
-    t_sort = platform->simulator().Now();
-
-    // Phase 2: recursive P2P merge.
-    MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
-    co_await p2p_internal::MergeChunks(ctx, 0, g);
-    t_merge = platform->simulator().Now();
-
-    // Phase 3: DtoH (sentinels at the global tail stay behind).
-    auto download = [&](int i) -> sim::Task<void> {
-      auto& chunk = chunks[static_cast<std::size_t>(i)];
-      const std::int64_t begin = static_cast<std::int64_t>(i) * m;
-      const std::int64_t count = std::max<std::int64_t>(
-          0, std::min(m, n - begin));
-      auto& stream = chunk.device->stream(0);
-      if (count > 0) {
-        stream.MemcpyDtoHAsync(*data, begin, chunk.primary, 0, count);
-      }
-      co_await stream.Synchronize();
-    };
-    {
-      std::vector<sim::JoinerPtr> joins;
-      for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
-      co_await sim::WhenAll(std::move(joins));
-    }
+    co_await stream.Synchronize();
   };
-  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(upload(i)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+  const double t_htod = platform->simulator().Now();
+
+  // Phase 1b: local chunk sorts.
+  auto sort_chunk = [&](int i) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(i)];
+    auto& stream = chunk.device->stream(0);
+    gpusort::SortAsync(stream, chunk.primary, 0, m, chunk.aux,
+                       options.device_sort);
+    co_await stream.Synchronize();
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(sort_chunk(i)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+  const double t_sort = platform->simulator().Now();
+
+  // Phase 2: recursive P2P merge.
+  MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
+  co_await p2p_internal::MergeChunks(ctx, 0, g);
+  const double t_merge = platform->simulator().Now();
+
+  // Phase 3: DtoH (sentinels at the global tail stay behind).
+  auto download = [&](int i) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(i)];
+    const std::int64_t begin = static_cast<std::int64_t>(i) * m;
+    const std::int64_t count = std::max<std::int64_t>(
+        0, std::min(m, n - begin));
+    auto& stream = chunk.device->stream(0);
+    if (count > 0) {
+      stream.MemcpyDtoHAsync(*data, begin, chunk.primary, 0, count);
+    }
+    co_await stream.Synchronize();
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+  stats.total_seconds = platform->simulator().Now() - t0;
   stats.phases.htod = t_htod - t0;
   stats.phases.sort = t_sort - t_htod;
   stats.phases.merge = t_merge - t_sort;
   stats.phases.dtoh = t0 + stats.total_seconds - t_merge;
-  return stats;
+  *out = std::move(stats);
+}
+
+/// Sorts `data` (host memory, NUMA node 0 by convention) ascending using
+/// the P2P multi-GPU algorithm on `options.gpu_set`. The data must fit the
+/// combined memory of the selected GPUs (primary + auxiliary buffer per
+/// GPU). Returns phase-level timing statistics in simulated seconds. Drives
+/// the platform's simulator to completion; for concurrent execution on a
+/// shared simulator use P2pSortTask.
+template <typename T>
+Result<SortStats> P2pSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
+                          const SortOptions& options) {
+  Result<SortStats> out = Status::Internal("P2P sort task never ran");
+  MGS_RETURN_IF_ERROR(
+      platform->Run(P2pSortTask(platform, data, options, &out)).status());
+  return out;
 }
 
 }  // namespace mgs::core

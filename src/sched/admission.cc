@@ -1,0 +1,105 @@
+#include "sched/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/units.h"
+
+namespace mgs::sched {
+
+namespace {
+
+bool IsPowerOfTwo(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Status AdmissionController::Admit(const JobSpec& spec, double per_gpu_bytes,
+                                  int queue_depth) const {
+  const int n = platform_->num_devices();
+  if (!IsPowerOfTwo(spec.gpus)) {
+    return Status::Invalid("job requests " + std::to_string(spec.gpus) +
+                           " GPUs; the P2P merge tree needs a power of two");
+  }
+  if (spec.gpus > n) {
+    return Status::Invalid("job requests " + std::to_string(spec.gpus) +
+                           " GPUs on a " + std::to_string(n) +
+                           "-GPU platform");
+  }
+  if (spec.logical_keys < 1) {
+    return Status::Invalid("job has no keys to sort");
+  }
+  if (!spec.pinned_gpus.empty()) {
+    if (static_cast<int>(spec.pinned_gpus.size()) != spec.gpus) {
+      return Status::Invalid("pinned GPU set has " +
+                             std::to_string(spec.pinned_gpus.size()) +
+                             " entries for a " + std::to_string(spec.gpus) +
+                             "-GPU job");
+    }
+    std::vector<int> sorted = spec.pinned_gpus;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::Invalid("pinned GPU set has duplicates");
+    }
+    for (int id : spec.pinned_gpus) {
+      if (id < 0 || id >= n) {
+        return Status::Invalid("pinned GPU " + std::to_string(id) +
+                               " does not exist");
+      }
+      if (platform_->device(id).memory_capacity() < per_gpu_bytes) {
+        return Status::OutOfMemory(
+            "job needs " + FormatBytes(per_gpu_bytes) + " per GPU; pinned GPU " +
+            std::to_string(id) + " has only " +
+            FormatBytes(platform_->device(id).memory_capacity()) +
+            " of capacity");
+      }
+    }
+  } else {
+    // Feasibility: enough devices whose *capacity* (not current free bytes —
+    // those may recover) can ever host the per-GPU working set.
+    int feasible = 0;
+    for (int g = 0; g < n; ++g) {
+      if (platform_->device(g).memory_capacity() >= per_gpu_bytes) ++feasible;
+    }
+    if (feasible < spec.gpus) {
+      return Status::OutOfMemory(
+          "job needs " + FormatBytes(per_gpu_bytes) + " on each of " +
+          std::to_string(spec.gpus) + " GPUs; only " +
+          std::to_string(feasible) + " device(s) are large enough");
+    }
+  }
+  if (options_.max_job_memory_fraction < 1.0) {
+    double fleet_capacity = 0;
+    for (int g = 0; g < n; ++g) {
+      fleet_capacity += platform_->device(g).memory_capacity();
+    }
+    const double total_need = per_gpu_bytes * spec.gpus;
+    if (total_need > options_.max_job_memory_fraction * fleet_capacity) {
+      return Status::FailedPrecondition(
+          "job would claim " + FormatBytes(total_need) + ", over the " +
+          std::to_string(options_.max_job_memory_fraction) +
+          " fleet-memory cap");
+    }
+  }
+  if (options_.max_queue_depth > 0 && queue_depth >= options_.max_queue_depth) {
+    return Status::FailedPrecondition(
+        "queue full (" + std::to_string(queue_depth) + " jobs waiting)");
+  }
+  if (options_.shed_at_pressure > 0 &&
+      FleetPressure() >= options_.shed_at_pressure) {
+    return Status::FailedPrecondition(
+        "shedding load: fleet memory pressure " +
+        std::to_string(FleetPressure()) + " >= " +
+        std::to_string(options_.shed_at_pressure));
+  }
+  return Status::OK();
+}
+
+double AdmissionController::FleetPressure() const {
+  const int n = platform_->num_devices();
+  if (n == 0) return 0;
+  double sum = 0;
+  for (int g = 0; g < n; ++g) sum += platform_->device(g).memory_pressure();
+  return sum / n;
+}
+
+}  // namespace mgs::sched

@@ -1,0 +1,50 @@
+// Admission control: refuse work the service can never run (malformed or
+// oversized jobs) or should not queue right now (backlog and memory
+// pressure), before it costs anything.
+//
+// Decisions gate on the per-device memory accounting of vgpu::Platform:
+// capacity for feasibility ("could this job *ever* be placed?"), and
+// used + reserved bytes for pressure shedding ("is the fleet already
+// committed past the shed threshold?").
+
+#ifndef MGS_SCHED_ADMISSION_H_
+#define MGS_SCHED_ADMISSION_H_
+
+#include "sched/job.h"
+#include "util/status.h"
+#include "vgpu/platform.h"
+
+namespace mgs::sched {
+
+struct AdmissionOptions {
+  /// Reject arrivals once this many jobs are already queued (0 = no limit).
+  int max_queue_depth = 256;
+  /// A job may claim at most this fraction of the fleet's total GPU memory
+  /// (caps whales that would monopolize the service).
+  double max_job_memory_fraction = 1.0;
+  /// > 0: shed new arrivals while mean device memory pressure
+  /// (used + reserved over capacity) is at or above this threshold.
+  double shed_at_pressure = 0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(vgpu::Platform* platform, AdmissionOptions options)
+      : platform_(platform), options_(options) {}
+
+  /// OK to enqueue, or the rejection reason. `per_gpu_bytes` is the job's
+  /// device-memory need per GPU; `queue_depth` the current backlog.
+  Status Admit(const JobSpec& spec, double per_gpu_bytes,
+               int queue_depth) const;
+
+  /// Mean memory pressure across all devices (the shedding signal).
+  double FleetPressure() const;
+
+ private:
+  vgpu::Platform* platform_;
+  AdmissionOptions options_;
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_ADMISSION_H_

@@ -1,0 +1,92 @@
+// Job model for the multi-tenant sort service: what a tenant submits
+// (JobSpec) and everything the server records about one job's life
+// (JobRecord) — arrival, queueing, placement, execution, completion.
+//
+// All times are simulated seconds on the shared platform clock.
+
+#ifndef MGS_SCHED_JOB_H_
+#define MGS_SCHED_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.h"
+#include "util/datagen.h"
+
+namespace mgs::sched {
+
+enum class JobState {
+  kPending,   // submitted, arrival event not fired yet
+  kQueued,    // admitted, waiting for placement
+  kRunning,   // placed; sort executing on its GPU set
+  kDone,      // completed, output verified sorted
+  kFailed,    // execution error (allocation failure, corrupt output)
+  kRejected,  // refused by admission control
+};
+
+inline const char* JobStateToString(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+/// One sort request. Logical sizes follow the platform scale model: the
+/// server generates ceil(logical_keys / scale) real keys and the timing
+/// layer bills the logical bytes.
+struct JobSpec {
+  std::string tenant = "default";
+  /// Open-loop arrival time (sim seconds); closed-loop clients stamp this
+  /// at submission.
+  double arrival_seconds = 0;
+  double logical_keys = 1e9;
+  DataType type = DataType::kInt32;
+  Distribution distribution = Distribution::kUniform;
+  std::uint64_t seed = 42;
+  /// GPUs requested; must be a power of two (P2P merge tree).
+  int gpus = 1;
+  /// Larger runs first under QueuePolicy::kPriority.
+  int priority = 0;
+  /// Non-empty: exact GPU set (ordered), bypassing the placer. The job
+  /// waits until every pinned GPU can host it.
+  std::vector<int> pinned_gpus;
+};
+
+/// Logical bytes a job moves through the system end to end (SJF ordering
+/// key and admission sizing).
+inline double JobBytes(const JobSpec& spec) {
+  return spec.logical_keys * static_cast<double>(DataTypeSize(spec.type));
+}
+
+/// Everything the server records about one job.
+struct JobRecord {
+  std::int64_t id = -1;
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  double arrival = 0;  // admission decision time
+  double start = 0;    // dispatch (placement) time
+  double finish = 0;   // completion time
+  std::vector<int> gpu_set;  // placement (ordered for the P2P merge)
+  core::SortStats sort;      // phase breakdown (valid when state == kDone)
+  std::string error;         // rejection / failure reason
+
+  double queue_delay() const { return start - arrival; }
+  double service_time() const { return finish - start; }
+  double latency() const { return finish - arrival; }
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_JOB_H_

@@ -1,0 +1,58 @@
+#include "sched/placement.h"
+
+#include <algorithm>
+
+#include "core/gpu_set.h"
+
+namespace mgs::sched {
+
+std::vector<int> Placer::CandidateGpus(
+    double per_gpu_bytes, const std::vector<int>& running_per_gpu) const {
+  std::vector<int> candidates;
+  for (int g = 0; g < platform_->num_devices(); ++g) {
+    const bool busy = running_per_gpu[static_cast<std::size_t>(g)] > 0;
+    if (busy && !allow_gpu_sharing_) continue;
+    if (platform_->device(g).memory_available() < per_gpu_bytes) continue;
+    candidates.push_back(g);
+  }
+  return candidates;
+}
+
+Result<std::optional<std::vector<int>>> Placer::Place(
+    const PlacementRequest& request,
+    const std::vector<int>& running_per_gpu) const {
+  if (request.gpus < 1 || request.gpus > platform_->num_devices()) {
+    return Status::Invalid("placement for " + std::to_string(request.gpus) +
+                           " GPUs on a " +
+                           std::to_string(platform_->num_devices()) +
+                           "-GPU platform");
+  }
+  const std::vector<int> candidates =
+      CandidateGpus(request.per_gpu_bytes, running_per_gpu);
+
+  if (!request.pinned.empty()) {
+    for (int id : request.pinned) {
+      if (std::find(candidates.begin(), candidates.end(), id) ==
+          candidates.end()) {
+        return std::optional<std::vector<int>>();  // pinned GPU not ready
+      }
+    }
+    return std::optional<std::vector<int>>(request.pinned);
+  }
+
+  if (static_cast<int>(candidates.size()) < request.gpus) {
+    return std::optional<std::vector<int>>();
+  }
+  std::vector<int> busy;
+  for (int g = 0; g < platform_->num_devices(); ++g) {
+    if (running_per_gpu[static_cast<std::size_t>(g)] > 0) busy.push_back(g);
+  }
+  MGS_ASSIGN_OR_RETURN(
+      auto set, core::ChooseGpuSetConstrained(platform_->topology(),
+                                              request.gpus,
+                                              /*for_p2p_merge=*/true,
+                                              candidates, busy));
+  return std::optional<std::vector<int>>(std::move(set));
+}
+
+}  // namespace mgs::sched

@@ -1,0 +1,55 @@
+// Topology-aware placement: which GPUs should a job run on, given what is
+// free, what other tenants hold, and how the interconnect is shared?
+//
+// Candidate GPUs are filtered by memory availability (vgpu reservations
+// included) and, unless GPU sharing is enabled, by exclusivity. Candidate
+// *sets* are then scored with core::ChooseGpuSetConstrained: the aggregate
+// HtoD rate the new job's flows would get under weighted max-min sharing
+// while running tenants keep their host links loaded. On a DGX A100 this
+// steers a 1-GPU job away from the PCIe switch of a running one — the
+// paper's Section 4 shared-switch plateau, used as a scheduling signal.
+
+#ifndef MGS_SCHED_PLACEMENT_H_
+#define MGS_SCHED_PLACEMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+#include "vgpu/platform.h"
+
+namespace mgs::sched {
+
+struct PlacementRequest {
+  int gpus = 1;
+  /// Logical bytes of device memory the job needs on each of its GPUs.
+  double per_gpu_bytes = 0;
+  /// Non-empty: exact (ordered) GPU set; the placer only checks it fits.
+  std::vector<int> pinned;
+};
+
+class Placer {
+ public:
+  Placer(vgpu::Platform* platform, bool allow_gpu_sharing)
+      : platform_(platform), allow_gpu_sharing_(allow_gpu_sharing) {}
+
+  /// GPUs that can host `per_gpu_bytes` more logical bytes right now.
+  /// `running_per_gpu[g]` is the number of jobs currently running on GPU g
+  /// (busy GPUs are excluded unless sharing is enabled).
+  std::vector<int> CandidateGpus(double per_gpu_bytes,
+                                 const std::vector<int>& running_per_gpu) const;
+
+  /// Chooses an ordered GPU set for the request, or nullopt when it cannot
+  /// run right now (it stays queued). Errors indicate a malformed request.
+  Result<std::optional<std::vector<int>>> Place(
+      const PlacementRequest& request,
+      const std::vector<int>& running_per_gpu) const;
+
+ private:
+  vgpu::Platform* platform_;
+  bool allow_gpu_sharing_;
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_PLACEMENT_H_

@@ -1,0 +1,62 @@
+#include "sched/queue.h"
+
+#include <algorithm>
+
+namespace mgs::sched {
+
+const char* QueuePolicyToString(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return "fifo";
+    case QueuePolicy::kSjfBytes:
+      return "sjf";
+    case QueuePolicy::kPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+Result<QueuePolicy> QueuePolicyFromString(const std::string& name) {
+  if (name == "fifo") return QueuePolicy::kFifo;
+  if (name == "sjf") return QueuePolicy::kSjfBytes;
+  if (name == "priority") return QueuePolicy::kPriority;
+  return Status::Invalid("unknown queue policy: " + name);
+}
+
+void JobQueue::Push(std::int64_t id, double estimated_bytes, int priority) {
+  entries_.push_back(Entry{id, estimated_bytes, priority, next_seq_++});
+}
+
+void JobQueue::Remove(std::int64_t id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::vector<std::int64_t> JobQueue::DispatchOrder() const {
+  std::vector<Entry> order = entries_;
+  switch (policy_) {
+    case QueuePolicy::kFifo:
+      std::sort(order.begin(), order.end(),
+                [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+      break;
+    case QueuePolicy::kSjfBytes:
+      std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+        if (a.bytes != b.bytes) return a.bytes < b.bytes;
+        return a.seq < b.seq;
+      });
+      break;
+    case QueuePolicy::kPriority:
+      std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+        if (a.priority != b.priority) return a.priority > b.priority;
+        return a.seq < b.seq;
+      });
+      break;
+  }
+  std::vector<std::int64_t> ids;
+  ids.reserve(order.size());
+  for (const auto& e : order) ids.push_back(e.id);
+  return ids;
+}
+
+}  // namespace mgs::sched

@@ -1,0 +1,64 @@
+// The pending-job queue with pluggable dispatch policies.
+//
+// The queue does not own JobRecords; it orders job ids by policy and the
+// server walks that order looking for the first job the placer can run.
+// FIFO is non-bypassing — arrival order is the contract, so a job that
+// cannot be placed blocks everything behind it (head-of-line blocking is a
+// *feature* to measure, not a bug). SJF and priority allow backfilling: a
+// small job may run while a bigger/earlier one waits for more GPUs.
+
+#ifndef MGS_SCHED_QUEUE_H_
+#define MGS_SCHED_QUEUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::sched {
+
+enum class QueuePolicy {
+  kFifo,      // arrival order, non-bypassing
+  kSjfBytes,  // shortest job first by estimated logical bytes
+  kPriority,  // higher JobSpec::priority first, FIFO within a level
+};
+
+const char* QueuePolicyToString(QueuePolicy policy);
+Result<QueuePolicy> QueuePolicyFromString(const std::string& name);
+
+class JobQueue {
+ public:
+  explicit JobQueue(QueuePolicy policy) : policy_(policy) {}
+
+  void Push(std::int64_t id, double estimated_bytes, int priority);
+  void Remove(std::int64_t id);
+
+  /// Queued job ids in dispatch-preference order (deterministic: ties
+  /// break by arrival sequence).
+  std::vector<std::int64_t> DispatchOrder() const;
+
+  /// Whether the dispatcher may skip an unplaceable job and try the next
+  /// one in DispatchOrder (false only for FIFO).
+  bool allows_bypass() const { return policy_ != QueuePolicy::kFifo; }
+
+  QueuePolicy policy() const { return policy_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::int64_t id;
+    double bytes;
+    int priority;
+    std::uint64_t seq;
+  };
+
+  QueuePolicy policy_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_QUEUE_H_

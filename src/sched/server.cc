@@ -1,0 +1,357 @@
+#include "sched/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/p2p_sort.h"
+
+namespace mgs::sched {
+
+SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
+    : platform_(platform),
+      options_(std::move(options)),
+      admission_(platform, options_.admission),
+      placer_(platform, options_.allow_gpu_sharing),
+      queue_(options_.policy),
+      running_per_gpu_(static_cast<std::size_t>(platform->num_devices()), 0) {}
+
+double SortServer::Now() const { return platform_->simulator().Now(); }
+
+double SortServer::PerGpuBytes(const JobSpec& spec) const {
+  const double scale = platform_->scale();
+  const double actual = std::max(1.0, std::ceil(spec.logical_keys / scale));
+  const double chunk = std::ceil(actual / spec.gpus);
+  return 2.0 * chunk * static_cast<double>(DataTypeSize(spec.type)) * scale;
+}
+
+std::int64_t SortServer::AddSlot(JobSpec spec) {
+  const std::int64_t id = static_cast<std::int64_t>(slots_.size());
+  auto slot = std::make_unique<JobSlot>();
+  slot->record.id = id;
+  slot->record.spec = std::move(spec);
+  slots_.push_back(std::move(slot));
+  ++unfinished_;
+  return id;
+}
+
+std::int64_t SortServer::Submit(JobSpec spec) {
+  return AddSlot(std::move(spec));
+}
+
+void SortServer::Submit(const std::vector<JobSpec>& specs) {
+  for (const JobSpec& spec : specs) Submit(spec);
+}
+
+void SortServer::AddClosedLoop(ClosedLoopOptions options) {
+  closed_loops_.push_back(std::move(options));
+}
+
+const JobRecord& SortServer::job(std::int64_t id) const {
+  return slots_.at(static_cast<std::size_t>(id))->record;
+}
+
+void SortServer::FinishTerminal(JobSlot& slot) {
+  completion_order_.push_back(slot.record.id);
+  slot.done->Fire();
+  --unfinished_;
+  MaybeFinish();
+}
+
+void SortServer::OnArrival(std::int64_t id) {
+  JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+  JobRecord& rec = slot.record;
+  rec.arrival = Now();
+  const Status admit = admission_.Admit(rec.spec, PerGpuBytes(rec.spec),
+                                        static_cast<int>(queue_.size()));
+  if (!admit.ok()) {
+    rec.state = JobState::kRejected;
+    rec.error = admit.ToString();
+    rec.start = rec.finish = rec.arrival;
+    FinishTerminal(slot);
+    return;
+  }
+  rec.state = JobState::kQueued;
+  queue_.Push(id, JobBytes(rec.spec), rec.spec.priority);
+  TryDispatch();
+}
+
+void SortServer::TryDispatch() {
+  bool dispatched = true;
+  while (dispatched) {
+    dispatched = false;
+    if (options_.max_concurrent_jobs > 0 &&
+        running_jobs_ >= options_.max_concurrent_jobs) {
+      return;
+    }
+    for (std::int64_t id : queue_.DispatchOrder()) {
+      JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+      JobRecord& rec = slot.record;
+      PlacementRequest request;
+      request.gpus = rec.spec.gpus;
+      request.per_gpu_bytes = PerGpuBytes(rec.spec);
+      request.pinned = rec.spec.pinned_gpus;
+      auto placed = placer_.Place(request, running_per_gpu_);
+      if (!placed.ok()) {
+        // Malformed beyond what admission caught; fail rather than wedge
+        // the queue.
+        queue_.Remove(id);
+        rec.state = JobState::kFailed;
+        rec.error = placed.status().ToString();
+        rec.start = rec.finish = Now();
+        FinishTerminal(slot);
+        dispatched = true;
+        break;
+      }
+      if (!placed->has_value()) {
+        if (!queue_.allows_bypass()) break;  // FIFO: head-of-line blocks
+        continue;
+      }
+      queue_.Remove(id);
+      rec.gpu_set = **placed;
+      // Claim the memory now so co-scheduled placements at this instant
+      // can't oversubscribe; RunJob hands the claim to the sort task.
+      for (int g : rec.gpu_set) {
+        CheckOk(platform_->device(g).Reserve(request.per_gpu_bytes));
+      }
+      sim::Spawn(RunJob(id));
+      dispatched = true;
+      break;
+    }
+  }
+}
+
+void SortServer::MaybeFinish() {
+  if (unfinished_ == 0 && live_clients_ == 0) all_done_.Fire();
+}
+
+sim::Task<void> SortServer::RunJob(std::int64_t id) {
+  JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+  JobRecord& rec = slot.record;
+  rec.state = JobState::kRunning;
+  rec.start = Now();
+  ++running_jobs_;
+  for (int g : rec.gpu_set) {
+    ++running_per_gpu_[static_cast<std::size_t>(g)];
+  }
+  if (auto* trace = platform_->trace()) {
+    if (rec.start > rec.arrival) {
+      trace->AddSpan("sched:queue", "job" + std::to_string(id) + " queued",
+                     rec.arrival, rec.start);
+    }
+  }
+
+  // Reservation handoff: release right before awaiting the sort task, which
+  // allocates eagerly (before its first suspension) — race-free in the
+  // single-threaded simulation.
+  const double per_gpu = PerGpuBytes(rec.spec);
+  for (int g : rec.gpu_set) platform_->device(g).Unreserve(per_gpu);
+  switch (rec.spec.type) {
+    case DataType::kInt32:
+      co_await ExecuteTyped<std::int32_t>(rec);
+      break;
+    case DataType::kInt64:
+      co_await ExecuteTyped<std::int64_t>(rec);
+      break;
+    case DataType::kFloat32:
+      co_await ExecuteTyped<float>(rec);
+      break;
+    case DataType::kFloat64:
+      co_await ExecuteTyped<double>(rec);
+      break;
+  }
+
+  rec.finish = Now();
+  --running_jobs_;
+  for (int g : rec.gpu_set) {
+    --running_per_gpu_[static_cast<std::size_t>(g)];
+  }
+  if (auto* trace = platform_->trace()) {
+    trace->AddSpan("sched:gpu" + std::to_string(rec.gpu_set.front()),
+                   rec.spec.tenant + "/job" + std::to_string(id) + " g=" +
+                       std::to_string(rec.spec.gpus),
+                   rec.start, rec.finish);
+  }
+  FinishTerminal(slot);
+  TryDispatch();
+}
+
+template <typename T>
+sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
+  DataGenOptions gen;
+  gen.distribution = rec.spec.distribution;
+  gen.seed = rec.spec.seed;
+  const double scale = platform_->scale();
+  const std::int64_t actual = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(rec.spec.logical_keys / scale)));
+  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
+
+  core::SortOptions sort_options;
+  sort_options.gpu_set = rec.gpu_set;
+  Result<core::SortStats> out = Status::Internal("sort task never ran");
+  co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
+  if (!out.ok()) {
+    rec.state = JobState::kFailed;
+    rec.error = out.status().ToString();
+    co_return;
+  }
+  if (options_.verify_sorted &&
+      !std::is_sorted(data.vector().begin(), data.vector().end())) {
+    rec.state = JobState::kFailed;
+    rec.error = "output not sorted";
+    co_return;
+  }
+  rec.sort = std::move(*out);
+  rec.state = JobState::kDone;
+}
+
+sim::Task<void> SortServer::ClientLoop(int client_index,
+                                       ClosedLoopOptions options,
+                                       std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (int j = 0; j < options.jobs_per_client; ++j) {
+    JobSpec spec = SampleJob(options.mix, rng);
+    spec.tenant = "client" + std::to_string(client_index);
+    spec.arrival_seconds = Now();
+    const std::int64_t id = AddSlot(std::move(spec));
+    auto done = slots_[static_cast<std::size_t>(id)]->done;
+    OnArrival(id);
+    co_await done->Wait();
+    if (options.think_seconds > 0) {
+      co_await sim::Delay{platform_->simulator(), options.think_seconds};
+    }
+  }
+  --live_clients_;
+  MaybeFinish();
+}
+
+sim::Task<void> SortServer::UtilizationSampler() {
+  const auto links = platform_->topology().LinkResources();
+  auto& network = platform_->network();
+  std::vector<double> last_traffic(network.num_resources(), 0);
+  double last_time = Now();
+  while (!stop_sampler_) {
+    co_await sim::Delay{platform_->simulator(),
+                        options_.utilization_sample_seconds};
+    const double now = Now();
+    const double dt = now - last_time;
+    if (dt <= 0) continue;
+    network.SettleTraffic();
+    for (const auto& link : links) {
+      const double traffic = network.ResourceTraffic(link.resource);
+      const double util =
+          (traffic - last_traffic[link.resource]) /
+          (network.capacity(link.resource) * dt);
+      platform_->trace()->AddCounter("link-util", link.name, now, util);
+      last_traffic[link.resource] = traffic;
+    }
+    last_time = now;
+  }
+}
+
+sim::Task<void> SortServer::ServiceRoot() {
+  service_start_ = Now();
+  platform_->network().ResetTraffic();
+
+  auto& simulator = platform_->simulator();
+  for (const auto& slot : slots_) {
+    const std::int64_t id = slot->record.id;
+    simulator.ScheduleAt(service_start_ + slot->record.spec.arrival_seconds,
+                         [this, id] { OnArrival(id); });
+  }
+  int client_index = 0;
+  for (const ClosedLoopOptions& loop : closed_loops_) {
+    SplitMix64 seeder(loop.seed);
+    for (int c = 0; c < loop.clients; ++c) {
+      ++live_clients_;
+      sim::Spawn(ClientLoop(client_index++, loop, seeder.Next()));
+    }
+  }
+  if (options_.utilization_sample_seconds > 0 && platform_->trace()) {
+    sim::Spawn(UtilizationSampler());
+  }
+  MaybeFinish();  // an empty service finishes immediately
+  co_await all_done_.Wait();
+  service_end_ = Now();
+  stop_sampler_ = true;
+}
+
+Result<ServiceReport> SortServer::Run() {
+  if (ran_) return Status::FailedPrecondition("SortServer::Run called twice");
+  ran_ = true;
+  MGS_RETURN_IF_ERROR(platform_->Run(ServiceRoot()).status());
+  return BuildReport();
+}
+
+ServiceReport SortServer::BuildReport() const {
+  ServiceReport report;
+  report.completion_order = completion_order_;
+
+  std::vector<double> latencies, queue_delays, service_times;
+  double first_arrival = 0, last_finish = 0;
+  bool any_terminal = false;
+  double completed_keys = 0;
+  int within_slo = 0;
+  for (const auto& slot : slots_) {
+    const JobRecord& rec = slot->record;
+    report.jobs.push_back(rec);
+    switch (rec.state) {
+      case JobState::kDone:
+        ++report.completed;
+        latencies.push_back(rec.latency());
+        queue_delays.push_back(rec.queue_delay());
+        service_times.push_back(rec.service_time());
+        completed_keys += rec.spec.logical_keys;
+        if (options_.slo_seconds > 0 &&
+            rec.latency() <= options_.slo_seconds) {
+          ++within_slo;
+        }
+        break;
+      case JobState::kFailed:
+        ++report.failed;
+        break;
+      case JobState::kRejected:
+        ++report.rejected;
+        break;
+      default:
+        break;
+    }
+    if (rec.state == JobState::kDone || rec.state == JobState::kFailed ||
+        rec.state == JobState::kRejected) {
+      if (!any_terminal || rec.arrival < first_arrival) {
+        first_arrival = any_terminal ? std::min(first_arrival, rec.arrival)
+                                     : rec.arrival;
+      }
+      last_finish = std::max(last_finish, rec.finish);
+      any_terminal = true;
+    }
+  }
+  if (any_terminal) report.makespan = last_finish - first_arrival;
+  report.latency = Summarize(latencies);
+  report.queue_delay = Summarize(queue_delays);
+  report.service_time = Summarize(service_times);
+  if (report.makespan > 0) {
+    report.aggregate_gkeys_per_sec = completed_keys / report.makespan / 1e9;
+  }
+  if (options_.slo_seconds > 0 && report.completed > 0) {
+    report.slo_attainment =
+        static_cast<double>(within_slo) / report.completed;
+  }
+
+  const auto utils = platform_->network().Utilizations(service_start_);
+  if (!utils.empty()) {
+    for (const auto& link : platform_->topology().LinkResources()) {
+      report.links.push_back(
+          LinkLoad{link.name, utils[link.resource].second});
+    }
+    std::sort(report.links.begin(), report.links.end(),
+              [](const LinkLoad& a, const LinkLoad& b) {
+                if (a.utilization != b.utilization) {
+                  return a.utilization > b.utilization;
+                }
+                return a.name < b.name;
+              });
+  }
+  return report;
+}
+
+}  // namespace mgs::sched

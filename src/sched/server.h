@@ -1,0 +1,151 @@
+// SortServer: a simulated multi-tenant sorting service on one shared
+// vgpu::Platform.
+//
+// Tenants submit JobSpecs (open-loop, pre-timed arrivals) or run as
+// closed-loop clients (submit, await completion, think, repeat). Each
+// arrival passes admission control (sched/admission.h), waits in a
+// policy-ordered queue (sched/queue.h), is placed on a GPU set by the
+// topology-aware placer (sched/placement.h), and then executes as a
+// core::P2pSortTask coroutine on the *shared* simulator — so concurrent
+// jobs genuinely contend for PCIe switches, UPI and NVLink in the flow
+// network, which is what the latency distribution measures.
+//
+// The service reports per-job latency percentiles, queueing delay vs
+// service time, aggregate throughput, SLO attainment and per-link
+// utilization; with a TraceRecorder attached, every job contributes
+// queue/run spans and sampled link-utilization counters to one Chrome
+// trace for the whole run.
+
+#ifndef MGS_SCHED_SERVER_H_
+#define MGS_SCHED_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/admission.h"
+#include "sched/job.h"
+#include "sched/metrics.h"
+#include "sched/placement.h"
+#include "sched/queue.h"
+#include "sched/workload.h"
+#include "sim/task.h"
+#include "vgpu/platform.h"
+
+namespace mgs::sched {
+
+struct ServerOptions {
+  QueuePolicy policy = QueuePolicy::kFifo;
+  AdmissionOptions admission;
+  /// Cap on co-running jobs (0 = bounded only by GPUs/memory).
+  int max_concurrent_jobs = 0;
+  /// Allow placing a job on a GPU that is already running another one
+  /// (memory permitting). Off by default: exclusive GPUs.
+  bool allow_gpu_sharing = false;
+  /// Check every job's output with std::is_sorted (functional layer).
+  bool verify_sorted = true;
+  /// > 0: report the fraction of completed jobs with latency <= this.
+  double slo_seconds = 0;
+  /// > 0: sample per-link utilization counters into the trace this often.
+  double utilization_sample_seconds = 0;
+};
+
+/// One interconnect link's mean utilization over the service run.
+struct LinkLoad {
+  std::string name;
+  double utilization = 0;  // in [0, 1]
+};
+
+struct ServiceReport {
+  /// Every job the service saw, in submission (id) order.
+  std::vector<JobRecord> jobs;
+  /// Job ids in completion order (deterministic for a fixed seed/config).
+  std::vector<std::int64_t> completion_order;
+  int completed = 0;
+  int failed = 0;
+  int rejected = 0;
+  /// Last completion minus first arrival (simulated seconds).
+  double makespan = 0;
+  LatencySummary latency;       // arrival -> finish, completed jobs
+  LatencySummary queue_delay;   // arrival -> dispatch
+  LatencySummary service_time;  // dispatch -> finish
+  /// Completed logical keys / makespan.
+  double aggregate_gkeys_per_sec = 0;
+  /// Fraction of completed jobs within ServerOptions::slo_seconds
+  /// (-1 when no SLO is configured).
+  double slo_attainment = -1;
+  /// Per-link mean utilization, busiest first.
+  std::vector<LinkLoad> links;
+};
+
+class SortServer {
+ public:
+  SortServer(vgpu::Platform* platform, ServerOptions options);
+
+  /// Queues an open-loop job for arrival at spec.arrival_seconds.
+  /// Call before Run(). Returns the job id.
+  std::int64_t Submit(JobSpec spec);
+  void Submit(const std::vector<JobSpec>& specs);
+
+  /// Adds a closed-loop client population (started by Run()).
+  void AddClosedLoop(ClosedLoopOptions options);
+
+  /// Runs the service to completion (all submitted jobs and all client
+  /// loops finished) and returns the report. Call once.
+  Result<ServiceReport> Run();
+
+  /// Record of a submitted job (valid after Run()).
+  const JobRecord& job(std::int64_t id) const;
+
+ private:
+  struct JobSlot {
+    JobRecord record;
+    std::shared_ptr<sim::Trigger> done = std::make_shared<sim::Trigger>();
+  };
+
+  double Now() const;
+  /// Per-GPU device memory a job needs, mirroring P2pSortTask's allocation
+  /// (primary + aux buffer of ceil(n/g) elements each, in logical bytes).
+  double PerGpuBytes(const JobSpec& spec) const;
+
+  std::int64_t AddSlot(JobSpec spec);
+  void OnArrival(std::int64_t id);
+  void FinishTerminal(JobSlot& slot);  // fire + bookkeeping for any terminal state
+  void TryDispatch();
+  void MaybeFinish();
+
+  sim::Task<void> ServiceRoot();
+  sim::Task<void> RunJob(std::int64_t id);
+  template <typename T>
+  sim::Task<void> ExecuteTyped(JobRecord& rec);
+  sim::Task<void> ClientLoop(int client_index, ClosedLoopOptions options,
+                             std::uint64_t seed);
+  sim::Task<void> UtilizationSampler();
+
+  ServiceReport BuildReport() const;
+
+  vgpu::Platform* platform_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  Placer placer_;
+  JobQueue queue_;
+
+  std::vector<std::unique_ptr<JobSlot>> slots_;  // job id == index
+  std::vector<ClosedLoopOptions> closed_loops_;
+
+  std::vector<int> running_per_gpu_;
+  int running_jobs_ = 0;
+  int unfinished_ = 0;    // slots not yet in a terminal state
+  int live_clients_ = 0;  // closed-loop clients still running
+  std::vector<std::int64_t> completion_order_;
+  sim::Trigger all_done_;
+  bool stop_sampler_ = false;
+  double service_start_ = 0;
+  double service_end_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_SERVER_H_

@@ -1,0 +1,45 @@
+#include "sched/workload.h"
+
+#include <cmath>
+
+namespace mgs::sched {
+
+JobSpec SampleJob(const JobMix& mix, SplitMix64& rng) {
+  JobSpec spec;
+  const double lo = std::log(mix.min_keys);
+  const double hi = std::log(mix.max_keys);
+  spec.logical_keys =
+      std::floor(std::exp(lo + (hi - lo) * rng.NextDouble()));
+  if (!mix.gpu_choices.empty()) {
+    spec.gpus = mix.gpu_choices[static_cast<std::size_t>(
+        rng.Next() % mix.gpu_choices.size())];
+  }
+  if (!mix.priority_choices.empty()) {
+    spec.priority = mix.priority_choices[static_cast<std::size_t>(
+        rng.Next() % mix.priority_choices.size())];
+  }
+  spec.type = mix.type;
+  spec.distribution = mix.distribution;
+  spec.seed = rng.Next();
+  return spec;
+}
+
+std::vector<JobSpec> MakePoissonWorkload(const JobMix& mix,
+                                         double arrival_rate_hz, int num_jobs,
+                                         std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(num_jobs));
+  double t = 0;
+  for (int i = 0; i < num_jobs; ++i) {
+    // Exponential gap via inverse transform; 1 - u keeps log() off zero.
+    t += -std::log(1.0 - rng.NextDouble()) / arrival_rate_hz;
+    JobSpec spec = SampleJob(mix, rng);
+    spec.arrival_seconds = t;
+    spec.tenant = "open" + std::to_string(i % 4);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace mgs::sched

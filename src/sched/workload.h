@@ -1,0 +1,59 @@
+// Workload generation for the sort service, in the util/datagen mold:
+// deterministic, seedable job streams.
+//
+// Two client models from the queueing literature:
+//  * open loop — Poisson arrivals at a fixed rate, independent of service
+//    progress (MakePoissonWorkload); this is what exposes queueing delay
+//    and tail latency under overload;
+//  * closed loop — N clients that each submit, wait for completion, think,
+//    and repeat (ClosedLoopOptions, executed by SortServer::AddClosedLoop);
+//    offered load self-regulates to service capacity.
+
+#ifndef MGS_SCHED_WORKLOAD_H_
+#define MGS_SCHED_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/job.h"
+#include "util/datagen.h"
+
+namespace mgs::sched {
+
+/// The population jobs are drawn from. Sizes are log-uniform between the
+/// bounds (sort services see orders-of-magnitude size spread; a linear
+/// draw would make every job "large").
+struct JobMix {
+  double min_keys = 2.5e8;
+  double max_keys = 2e9;
+  /// GPU counts to draw from, uniformly. Each must be a power of two.
+  std::vector<int> gpu_choices = {1, 2, 4};
+  /// Priorities to draw from, uniformly (only QueuePolicy::kPriority cares).
+  std::vector<int> priority_choices = {0};
+  DataType type = DataType::kInt32;
+  Distribution distribution = Distribution::kUniform;
+};
+
+/// Draws one job from the mix (arrival time left at 0 for the caller).
+JobSpec SampleJob(const JobMix& mix, SplitMix64& rng);
+
+/// Open-loop stream: `num_jobs` jobs with exponential inter-arrival gaps
+/// at `arrival_rate_hz` jobs/sec, sizes/shapes drawn from `mix`.
+/// Deterministic for a fixed seed.
+std::vector<JobSpec> MakePoissonWorkload(const JobMix& mix,
+                                         double arrival_rate_hz, int num_jobs,
+                                         std::uint64_t seed);
+
+/// Closed-loop client population (executed by SortServer::AddClosedLoop).
+struct ClosedLoopOptions {
+  int clients = 2;
+  int jobs_per_client = 4;
+  /// Idle time between a job completing and the client's next submission.
+  double think_seconds = 0;
+  JobMix mix;
+  std::uint64_t seed = 7;
+};
+
+}  // namespace mgs::sched
+
+#endif  // MGS_SCHED_WORKLOAD_H_

@@ -104,6 +104,20 @@ std::pair<std::string, double> FlowNetwork::BusiestResource(
   return best;
 }
 
+std::vector<std::pair<std::string, double>> FlowNetwork::Utilizations(
+    double since_seconds) const {
+  const double elapsed = simulator_->Now() - since_seconds;
+  std::vector<std::pair<std::string, double>> out;
+  if (elapsed <= 0) return out;
+  out.reserve(resources_.size());
+  for (const auto& r : resources_) {
+    const double utilization =
+        r.capacity > 0 ? r.traffic / (r.capacity * elapsed) : 0.0;
+    out.emplace_back(r.name, utilization);
+  }
+  return out;
+}
+
 void FlowNetwork::RecomputeRates() {
   // Weighted max-min fair allocation by progressive filling.
   const std::size_t n = flows_.size();
@@ -210,11 +224,19 @@ void FlowNetwork::ScheduleNextCompletion() {
 void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
   if (generation != generation_) return;  // superseded by a newer allocation
   AdvanceProgress();
+  // A flow is also done when its residual bytes cannot hold simulated time
+  // back by one representable tick: with time-to-completion below the ulp of
+  // Now(), the completion event would re-fire at the same instant forever
+  // (AdvanceProgress sees dt == 0 and delivers nothing).
+  const double now = simulator_->Now();
+  const double time_ulp =
+      std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
   // Collect finished flows, remove them, then fire callbacks (callbacks may
   // start new flows and re-enter the network).
   std::vector<std::function<void()>> callbacks;
   for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining_bytes <= kByteEpsilon) {
+    if (it->remaining_bytes <= kByteEpsilon ||
+        (it->rate > 0 && it->remaining_bytes <= it->rate * time_ulp)) {
       callbacks.push_back(std::move(it->on_complete));
       it = flows_.erase(it);
     } else {

@@ -84,12 +84,26 @@ class FlowNetwork {
 
   /// Cumulative weighted bytes that have crossed a resource since the last
   /// ResetTraffic() (utilization analysis: traffic / (capacity * elapsed)).
+  /// Progress is normally accrued lazily, when the flow set changes; call
+  /// SettleTraffic() first to read an up-to-the-instant value mid-flight.
   double ResourceTraffic(ResourceId id) const;
   void ResetTraffic();
+
+  /// Accrues all in-flight flows' progress up to Now() (rates unchanged),
+  /// so periodic samplers see smooth traffic instead of settlement lumps.
+  void SettleTraffic() { AdvanceProgress(); }
 
   /// Name of the resource with the highest utilization over [since, now]
   /// and that utilization in [0, 1]. Returns {"", 0} if no time elapsed.
   std::pair<std::string, double> BusiestResource(double since_seconds) const;
+
+  /// Utilization of every resource over [since, now]: cumulative weighted
+  /// traffic divided by capacity * elapsed. `since_seconds` must be the
+  /// time of the last ResetTraffic for the ratios to be true utilizations.
+  /// Empty if no time has elapsed. Resource order matches resource ids, so
+  /// callers (e.g. the src/sched utilization sampler) can diff snapshots.
+  std::vector<std::pair<std::string, double>> Utilizations(
+      double since_seconds) const;
 
  private:
   struct Resource {

@@ -10,6 +10,11 @@ void TraceRecorder::AddSpan(std::string track, std::string name,
   spans_.push_back(Span{std::move(track), std::move(name), begin, end});
 }
 
+void TraceRecorder::AddCounter(std::string track, std::string name,
+                               double time, double value) {
+  counters_.push_back(Counter{std::move(track), std::move(name), time, value});
+}
+
 namespace {
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -27,6 +32,9 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   for (const auto& span : spans_) {
     tids.emplace(span.track, static_cast<int>(tids.size()));
   }
+  for (const auto& counter : counters_) {
+    tids.emplace(counter.track, static_cast<int>(tids.size()));
+  }
   std::ostringstream os;
   os << "[";
   bool first = true;
@@ -42,6 +50,12 @@ std::string TraceRecorder::ToChromeTraceJson() const {
        << ",\"name\":\"" << JsonEscape(span.name) << "\",\"ts\":"
        << span.begin * 1e6 << ",\"dur\":" << (span.end - span.begin) * 1e6
        << "}";
+  }
+  for (const auto& counter : counters_) {
+    os << ",{\"ph\":\"C\",\"pid\":0,\"tid\":" << tids[counter.track]
+       << ",\"name\":\"" << JsonEscape(counter.name) << "\",\"ts\":"
+       << counter.time * 1e6 << ",\"args\":{\"value\":" << counter.value
+       << "}}";
   }
   os << "]";
   return os.str();

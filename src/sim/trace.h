@@ -24,13 +24,31 @@ class TraceRecorder {
     double end;
   };
 
+  /// A sampled gauge value (rendered as a Chrome counter event): the
+  /// multi-tenant service samples per-link utilization this way, so a whole
+  /// run's link load is visible next to the copy/kernel spans.
+  struct Counter {
+    std::string track;
+    std::string name;
+    double time;  // simulated seconds
+    double value;
+  };
+
   /// Records one completed span on `track` ("GPU0:in", "CPU", ...).
   void AddSpan(std::string track, std::string name, double begin,
                double end);
 
+  /// Records one counter sample on `track` (series `name`).
+  void AddCounter(std::string track, std::string name, double time,
+                  double value);
+
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Counter>& counters() const { return counters_; }
   std::size_t size() const { return spans_.size(); }
-  void Clear() { spans_.clear(); }
+  void Clear() {
+    spans_.clear();
+    counters_.clear();
+  }
 
   /// Serializes all spans in Chrome trace-event format (1 simulated second
   /// = 1e6 trace microseconds). Tracks become named threads.
@@ -41,6 +59,7 @@ class TraceRecorder {
 
  private:
   std::vector<Span> spans_;
+  std::vector<Counter> counters_;
 };
 
 }  // namespace mgs::sim

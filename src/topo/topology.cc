@@ -108,6 +108,24 @@ NodeId Topology::MemoryNode(int socket) const {
   return memory_nodes_.at(socket);
 }
 
+std::vector<Topology::LinkResource> Topology::LinkResources() const {
+  std::vector<LinkResource> out;
+  for (const auto& link : links_) {
+    const std::string base = link.spec.name + "(" + nodes_[link.a].name + "-" +
+                             nodes_[link.b].name + ")";
+    if (link.res_ab >= 0) {
+      out.push_back(LinkResource{base + ">", link.spec.kind, link.res_ab});
+    }
+    if (link.res_ba >= 0) {
+      out.push_back(LinkResource{base + "<", link.spec.kind, link.res_ba});
+    }
+    if (link.res_duplex >= 0) {
+      out.push_back(LinkResource{base + "=", link.spec.kind, link.res_duplex});
+    }
+  }
+  return out;
+}
+
 Status Topology::Compile(sim::FlowNetwork* net) {
   if (compiled_) return Status::FailedPrecondition("already compiled");
   for (int s = 0; s < num_sockets(); ++s) {

@@ -219,6 +219,22 @@ class Topology {
   /// selection) without a live flow network.
   double ResourceCapacity(sim::ResourceId id) const;
 
+  /// One compiled interconnect-link capacity resource (a link direction or
+  /// a duplex budget), for per-link utilization reporting.
+  struct LinkResource {
+    std::string name;          // flow-network resource name
+    LinkKind kind;             // physical link family
+    sim::ResourceId resource;  // id in the compiled flow network
+  };
+
+  /// Every compiled link resource, in link declaration order (directions
+  /// first, then the duplex budget where present). Excludes GPU HBM and the
+  /// CPU merge engine: those are endpoint budgets, not interconnect links.
+  /// The multi-tenant service (src/sched) reports link utilization by
+  /// pairing these ids with sim::FlowNetwork::ResourceTraffic. Only valid
+  /// after Compile.
+  std::vector<LinkResource> LinkResources() const;
+
   /// Human-readable topology dump (Table 1-style).
   std::string Describe() const;
 

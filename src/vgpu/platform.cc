@@ -1,5 +1,6 @@
 #include "vgpu/platform.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace mgs::vgpu {
@@ -115,6 +116,30 @@ double Device::memory_capacity() const {
 
 double Device::memory_free() const {
   return memory_capacity() - used_logical_bytes_;
+}
+
+Status Device::Reserve(double logical_bytes) {
+  if (logical_bytes < 0) return Status::Invalid("negative reservation");
+  if (logical_bytes > memory_available()) {
+    return Status::OutOfMemory(
+        "device " + std::to_string(id_) + ": reservation of " +
+        FormatBytes(logical_bytes) + " exceeds available " +
+        FormatBytes(memory_available()));
+  }
+  reserved_logical_bytes_ += logical_bytes;
+  return Status::OK();
+}
+
+void Device::Unreserve(double logical_bytes) {
+  reserved_logical_bytes_ =
+      std::max(0.0, reserved_logical_bytes_ - logical_bytes);
+}
+
+double Device::memory_pressure() const {
+  const double capacity = memory_capacity();
+  if (capacity <= 0) return 1.0;
+  return std::min(1.0,
+                  (used_logical_bytes_ + reserved_logical_bytes_) / capacity);
 }
 
 Stream& Device::stream(int i) {

@@ -128,6 +128,27 @@ class Device {
   double memory_free() const;
   double memory_used() const { return used_logical_bytes_; }
 
+  /// Scheduler-facing memory reservations (logical bytes): admission and
+  /// placement in src/sched claim a job's memory *before* its buffers are
+  /// allocated, so several placement decisions made at the same simulated
+  /// instant cannot oversubscribe a device. Reservations are bookkeeping
+  /// only — Allocate() checks used bytes, not reservations — so the holder
+  /// must release them right before allocating for real (P2pSortTask
+  /// allocates eagerly, before its first suspension, which makes that
+  /// handoff race-free in the single-threaded simulation).
+  Status Reserve(double logical_bytes);
+  void Unreserve(double logical_bytes);
+  double memory_reserved() const { return reserved_logical_bytes_; }
+
+  /// Free memory net of reservations: what a new job may claim now.
+  double memory_available() const {
+    return memory_free() - reserved_logical_bytes_;
+  }
+
+  /// Fraction of capacity committed (used + reserved), in [0, 1]: the
+  /// admission controller's load-shedding signal.
+  double memory_pressure() const;
+
   /// Allocates a device buffer of `actual_count` elements (logical size is
   /// actual_count * scale * sizeof(T)); fails if the GPU is out of memory.
   template <typename T>
@@ -151,6 +172,7 @@ class Device {
   Platform* platform_;
   int id_;
   double used_logical_bytes_ = 0;
+  double reserved_logical_bytes_ = 0;
   std::vector<std::unique_ptr<Stream>> streams_;
   SimMutex in_engine_, out_engine_, local_engine_, compute_engine_;
 };
