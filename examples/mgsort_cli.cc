@@ -2,9 +2,13 @@
 //
 //   mgsort_cli --system=dgx-a100 --algo=p2p --gpus=4 --keys=4e9
 //              --dist=uniform --type=int32 [--trace=out.json]
+//              [--explain] [--metrics-out=metrics.prom]
 //
 // Algorithms: p2p | het2n | het3n | het2n-eager | het3n-eager | hyb | cpu
 // | rdx. Prints the phase breakdown and writes an optional chrome trace.
+// --explain prints a bottleneck-attribution report (top saturated links,
+// transfer- vs compute-bound phases, per-GPU busy fractions);
+// --metrics-out snapshots the registry (.prom / .json / .csv by extension).
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +18,10 @@
 #include "benchsuite/suite.h"
 #include "core/hybrid_sort.h"
 #include "core/radix_partition_sort.h"
+#include "obs/explain.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
 #include "sim/trace.h"
 #include "util/units.h"
 
@@ -29,6 +37,8 @@ struct Args {
   std::string dist = "uniform";
   std::string type = "int32";
   std::string trace_path;
+  std::string metrics_path;
+  bool explain = false;
   bool multihop = false;
 };
 
@@ -41,7 +51,9 @@ void Usage() {
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
       "                  [--type=int32|int64|float32|float64]\n"
-      "                  [--multihop] [--trace=out.json]\n");
+      "                  [--multihop] [--trace=out.json]\n"
+      "                  [--explain] [--metrics-out=metrics.prom|.json|.csv]"
+      "\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -71,6 +83,10 @@ Result<Args> Parse(int argc, char** argv) {
       args.type = value;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       args.trace_path = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      args.metrics_path = value;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      args.explain = true;
     } else if (std::strcmp(argv[i], "--multihop") == 0) {
       args.multihop = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -93,7 +109,8 @@ Result<DataType> ParseType(const std::string& name) {
 
 template <typename T>
 Result<core::SortStats> RunExperiment(const Args& args,
-                                      sim::TraceRecorder* trace) {
+                                      sim::TraceRecorder* trace,
+                                      obs::MetricsRegistry* metrics) {
   const std::int64_t logical = static_cast<std::int64_t>(args.keys);
   const std::int64_t actual =
       std::max<std::int64_t>(1, std::min(logical, bench::ActualKeyCap()));
@@ -105,6 +122,7 @@ Result<core::SortStats> RunExperiment(const Args& args,
   MGS_ASSIGN_OR_RETURN(auto platform,
                        vgpu::Platform::Create(std::move(topology), popts));
   platform->SetTrace(trace);
+  platform->SetMetrics(metrics);
 
   DataGenOptions gen;
   MGS_ASSIGN_OR_RETURN(gen.distribution, DistributionFromString(args.dist));
@@ -150,6 +168,8 @@ Result<core::SortStats> RunExperiment(const Args& args,
   if (!std::is_sorted(data.vector().begin(), data.vector().end())) {
     return Status::Internal("output is not sorted");
   }
+  obs::SyncFlowMetrics(&platform->network(), platform->topology(),
+                       platform->simulator().Now(), metrics);
   return stats;
 }
 
@@ -167,6 +187,9 @@ int main(int argc, char** argv) {
   sim::TraceRecorder trace;
   sim::TraceRecorder* trace_ptr =
       args.trace_path.empty() ? nullptr : &trace;
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics_ptr =
+      (args.explain || !args.metrics_path.empty()) ? &registry : nullptr;
 
   auto type = ParseType(args.type);
   if (!type.ok()) {
@@ -176,16 +199,16 @@ int main(int argc, char** argv) {
   Result<core::SortStats> stats = Status::Internal("unreachable");
   switch (*type) {
     case DataType::kInt32:
-      stats = RunExperiment<std::int32_t>(args, trace_ptr);
+      stats = RunExperiment<std::int32_t>(args, trace_ptr, metrics_ptr);
       break;
     case DataType::kInt64:
-      stats = RunExperiment<std::int64_t>(args, trace_ptr);
+      stats = RunExperiment<std::int64_t>(args, trace_ptr, metrics_ptr);
       break;
     case DataType::kFloat32:
-      stats = RunExperiment<float>(args, trace_ptr);
+      stats = RunExperiment<float>(args, trace_ptr, metrics_ptr);
       break;
     case DataType::kFloat64:
-      stats = RunExperiment<double>(args, trace_ptr);
+      stats = RunExperiment<double>(args, trace_ptr, metrics_ptr);
       break;
   }
   if (!stats.ok()) {
@@ -205,6 +228,14 @@ int main(int argc, char** argv) {
   if (stats->p2p_bytes > 0) {
     std::printf("  P2P   : %s exchanged\n",
                 FormatBytes(stats->p2p_bytes).c_str());
+  }
+  if (args.explain) {
+    const obs::ExplainReport report = obs::BuildExplainReport(registry);
+    std::printf("%s", obs::RenderExplainReport(report).c_str());
+  }
+  if (!args.metrics_path.empty()) {
+    CheckOk(obs::WriteMetricsFile(registry, args.metrics_path));
+    std::printf("  metrics : %s\n", args.metrics_path.c_str());
   }
   if (trace_ptr) {
     CheckOk(trace.WriteChromeTrace(args.trace_path));

@@ -17,6 +17,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sched/server.h"
 #include "sim/trace.h"
 #include "topo/systems.h"
@@ -36,6 +38,7 @@ struct Args {
   std::uint64_t seed = 42;
   double slo = 5.0;
   std::string trace_path;
+  std::string metrics_path;
 };
 
 void Usage() {
@@ -43,7 +46,8 @@ void Usage() {
       "usage: sort_server [--system=ac922|delta-d22x|dgx-a100]\n"
       "                   [--jobs=N] [--rate=JOBS_PER_SEC]\n"
       "                   [--policy=fifo|sjf|priority] [--seed=N]\n"
-      "                   [--slo=SECONDS] [--trace=out.json]\n");
+      "                   [--slo=SECONDS] [--trace=out.json]\n"
+      "                   [--metrics-out=metrics.prom|.json|.csv]\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -73,6 +77,8 @@ Result<Args> Parse(int argc, char** argv) {
       args.slo = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       args.trace_path = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      args.metrics_path = value;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       std::exit(0);
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
 
   sim::TraceRecorder trace;
   if (!args.trace_path.empty()) platform->SetTrace(&trace);
+  obs::MetricsRegistry registry;
+  if (!args.metrics_path.empty()) platform->SetMetrics(&registry);
 
   ServerOptions options;
   auto policy = QueuePolicyFromString(args.policy);
@@ -119,7 +127,9 @@ int main(int argc, char** argv) {
   }
   options.policy = *policy;
   options.slo_seconds = args.slo;
-  if (!args.trace_path.empty()) options.utilization_sample_seconds = 0.05;
+  if (!args.trace_path.empty() || !args.metrics_path.empty()) {
+    options.utilization_sample_seconds = 0.05;
+  }
 
   SortServer server(platform.get(), options);
 
@@ -159,11 +169,13 @@ int main(int argc, char** argv) {
   }
 
   ReportTable latencies("sort_server: latency distributions [s]",
-                        {"metric", "p50", "p95", "p99", "mean", "max"});
+                        {"metric", "p50", "p95", "p99", "p99.9", "mean",
+                         "max"});
   const auto row = [](const char* name, const LatencySummary& s) {
     return std::vector<std::string>{name, ReportTable::Num(s.p50, 3),
                                     ReportTable::Num(s.p95, 3),
                                     ReportTable::Num(s.p99, 3),
+                                    ReportTable::Num(s.p999, 3),
                                     ReportTable::Num(s.mean, 3),
                                     ReportTable::Num(s.max, 3)};
   };
@@ -180,6 +192,11 @@ int main(int argc, char** argv) {
   }
   links.Emit();
 
+  if (!args.metrics_path.empty()) {
+    CheckOk(obs::WriteMetricsFile(registry, args.metrics_path));
+    std::printf("metrics   : %s (%zu families)\n", args.metrics_path.c_str(),
+                registry.families().size());
+  }
   if (!args.trace_path.empty()) {
     CheckOk(trace.WriteChromeTrace(args.trace_path));
     std::printf("trace     : %s (%zu spans; open in ui.perfetto.dev)\n",

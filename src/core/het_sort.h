@@ -378,6 +378,13 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
   stats.phases.htod = htod_end;
   stats.phases.sort = sort_end - htod_end;
   stats.phases.dtoh = gpu_phase - sort_end;
+  // Phases overlap under pipelining, so publish the post-hoc attribution
+  // rather than scoped registry deltas.
+  obs::RecordPhaseBreakdown(platform->metrics(), "het",
+                            {{"htod", stats.phases.htod},
+                             {"sort", stats.phases.sort},
+                             {"merge", stats.phases.merge},
+                             {"dtoh", stats.phases.dtoh}});
   return stats;
 }
 

@@ -83,8 +83,11 @@ Result<SortStats> HybridSort(vgpu::Platform* platform,
   }
 
   double t0 = 0, gpu_phase_end = 0;
+  obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
+                                  &platform->topology(), "hyb");
   auto root = [&]() -> sim::Task<void> {
     t0 = platform->simulator().Now();
+    phase_metrics.StartPhase("sort", t0);
     for (int r = 0; r < groups; ++r) {
       const std::int64_t group_begin = static_cast<std::int64_t>(r) * group_span;
       const std::int64_t group_count =
@@ -149,6 +152,7 @@ Result<SortStats> HybridSort(vgpu::Platform* platform,
       }
     }
     gpu_phase_end = platform->simulator().Now();
+    phase_metrics.StartPhase("merge", gpu_phase_end);
 
     // Final CPU multiway merge of the c group runs.
     if (groups > 1) {
@@ -169,6 +173,7 @@ Result<SortStats> HybridSort(vgpu::Platform* platform,
       cpusort::MultiwayMerge(inputs, result.data());
       data->vector() = std::move(result);
     }
+    phase_metrics.Finish(platform->simulator().Now());
   };
   MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
   // Coarse attribution: the streamed GPU phase (transfers + sorts + P2P

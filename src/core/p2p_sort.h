@@ -270,7 +270,10 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     chunk.aux = std::move(*aux);
   }
 
+  obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
+                                  &platform->topology(), "p2p");
   const double t0 = platform->simulator().Now();
+  phase_metrics.StartPhase("htod", t0);
   // Phase 1a: HtoD (pad the tail of the last chunk with +inf sentinels).
   auto upload = [&](int i) -> sim::Task<void> {
     auto& chunk = chunks[static_cast<std::size_t>(i)];
@@ -302,6 +305,7 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     co_await sim::WhenAll(std::move(joins));
   }
   const double t_htod = platform->simulator().Now();
+  phase_metrics.StartPhase("sort", t_htod);
 
   // Phase 1b: local chunk sorts.
   auto sort_chunk = [&](int i) -> sim::Task<void> {
@@ -317,11 +321,13 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     co_await sim::WhenAll(std::move(joins));
   }
   const double t_sort = platform->simulator().Now();
+  phase_metrics.StartPhase("merge", t_sort);
 
   // Phase 2: recursive P2P merge.
   MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
   co_await p2p_internal::MergeChunks(ctx, 0, g);
   const double t_merge = platform->simulator().Now();
+  phase_metrics.StartPhase("dtoh", t_merge);
 
   // Phase 3: DtoH (sentinels at the global tail stay behind).
   auto download = [&](int i) -> sim::Task<void> {
@@ -340,6 +346,7 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
     co_await sim::WhenAll(std::move(joins));
   }
+  phase_metrics.Finish(platform->simulator().Now());
   stats.total_seconds = platform->simulator().Now() - t0;
   stats.phases.htod = t_htod - t0;
   stats.phases.sort = t_sort - t_htod;

@@ -91,9 +91,12 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
 
   double t0 = 0, t_htod = 0, t_partition = 0, t_exchange = 0, t_sort = 0;
   std::vector<T> splitters;  // g-1 keys
+  obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
+                                  &platform->topology(), "rdx");
 
   auto root = [&]() -> sim::Task<void> {
     t0 = platform->simulator().Now();
+    phase_metrics.StartPhase("htod", t0);
     // Phase 1: HtoD.
     {
       std::vector<sim::JoinerPtr> joins;
@@ -112,6 +115,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
       co_await sim::WhenAll(std::move(joins));
     }
     t_htod = platform->simulator().Now();
+    phase_metrics.StartPhase("partition", t_htod);
 
     // Phase 2: splitter selection from per-GPU samples (host-side; the
     // device reads are modeled like the pivot-selection accesses).
@@ -198,6 +202,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
       co_await sim::WhenAll(std::move(joins));
     }
     t_partition = platform->simulator().Now();
+    phase_metrics.Finish(t_partition);
   };
 
   MGS_ASSIGN_OR_RETURN(double first_half, platform->Run(root()));
@@ -228,6 +233,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
   }
 
   auto second = [&]() -> sim::Task<void> {
+    phase_metrics.StartPhase("exchange", platform->simulator().Now());
     // Phase 4: single all-to-all exchange.
     for (int i = 0; i < g; ++i) {
       auto& src = state[static_cast<std::size_t>(i)];
@@ -261,6 +267,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
       co_await sim::WhenAll(std::move(joins));
     }
     t_exchange = platform->simulator().Now();
+    phase_metrics.StartPhase("sort", t_exchange);
 
     // Phase 5: local sorts of the received partitions (chunk is scratch).
     {
@@ -279,6 +286,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
       co_await sim::WhenAll(std::move(joins));
     }
     t_sort = platform->simulator().Now();
+    phase_metrics.StartPhase("dtoh", t_sort);
 
     // Phase 6: DtoH at global offsets.
     {
@@ -300,6 +308,7 @@ Result<SortStats> RadixPartitionSort(vgpu::Platform* platform,
       }
       co_await sim::WhenAll(std::move(joins));
     }
+    phase_metrics.Finish(platform->simulator().Now());
   };
   MGS_ASSIGN_OR_RETURN(double second_half, platform->Run(second()));
 

@@ -1,0 +1,200 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/phase.h"
+#include "util/units.h"
+
+namespace mgs::obs {
+
+namespace {
+
+std::string LabelValue(const Labels& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+/// Canonical execution order for known phase names; unknown phases sort
+/// after, alphabetically.
+int PhaseRank(const std::string& phase) {
+  static const char* kOrder[] = {"htod",  "partition", "sort",
+                                 "exchange", "merge",  "dtoh"};
+  for (std::size_t i = 0; i < std::size(kOrder); ++i) {
+    if (phase == kOrder[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(std::size(kOrder));
+}
+
+std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace
+
+ExplainReport BuildExplainReport(const MetricsRegistry& registry,
+                                 const ExplainOptions& options) {
+  ExplainReport report;
+  report.elapsed_seconds = registry.GaugeValue(kSimTimeSeconds);
+
+  // ---- links: join bytes / busy / saturated families on the link label.
+  if (const auto* bytes_family = registry.FindFamily(kLinkBytes)) {
+    for (const auto& [labels, counter] : bytes_family->counters) {
+      ExplainLink link;
+      link.name = LabelValue(labels, "link");
+      link.kind = LabelValue(labels, "kind");
+      link.bytes = counter->value();
+      link.busy_seconds = registry.CounterValue(kLinkBusySeconds, labels);
+      link.saturated_seconds =
+          registry.CounterValue(kLinkSaturatedSeconds, labels);
+      if (report.elapsed_seconds > 0) {
+        link.busy_fraction = link.busy_seconds / report.elapsed_seconds;
+        link.saturated_fraction =
+            link.saturated_seconds / report.elapsed_seconds;
+      }
+      report.links.push_back(std::move(link));
+    }
+  }
+  std::sort(report.links.begin(), report.links.end(),
+            [](const ExplainLink& a, const ExplainLink& b) {
+              if (a.saturated_seconds != b.saturated_seconds) {
+                return a.saturated_seconds > b.saturated_seconds;
+              }
+              if (a.busy_seconds != b.busy_seconds) {
+                return a.busy_seconds > b.busy_seconds;
+              }
+              return a.name < b.name;
+            });
+  if (options.top_k_links > 0 &&
+      report.links.size() > static_cast<std::size_t>(options.top_k_links)) {
+    report.links.resize(static_cast<std::size_t>(options.top_k_links));
+  }
+
+  // ---- phases: one entry per (algo, phase) of the duration histogram,
+  // attributed via the per-phase link/kernel delta counters.
+  if (const auto* phase_family = registry.FindFamily(kPhaseSeconds)) {
+    for (const auto& [labels, histogram] : phase_family->histograms) {
+      ExplainPhase phase;
+      phase.algo = LabelValue(labels, "algo");
+      phase.phase = LabelValue(labels, "phase");
+      phase.seconds = histogram->sum();
+      phase.runs = static_cast<int>(histogram->count());
+      phase.kernel_busy_seconds = registry.CounterValue(
+          kPhaseKernelBusySeconds,
+          {{"algo", phase.algo}, {"phase", phase.phase}});
+      report.phases.push_back(std::move(phase));
+    }
+  }
+  if (const auto* link_family = registry.FindFamily(kPhaseLinkBusySeconds)) {
+    for (auto& phase : report.phases) {
+      for (const auto& [labels, counter] : link_family->counters) {
+        if (LabelValue(labels, "algo") != phase.algo ||
+            LabelValue(labels, "phase") != phase.phase) {
+          continue;
+        }
+        if (counter->value() > phase.link_busy_seconds) {
+          phase.link_busy_seconds = counter->value();
+          phase.bottleneck_link = LabelValue(labels, "link");
+          phase.link_bytes = registry.CounterValue(kPhaseLinkBytes, labels);
+        }
+      }
+    }
+  }
+  for (auto& phase : report.phases) {
+    if (phase.seconds > 0) {
+      phase.link_busy_fraction = phase.link_busy_seconds / phase.seconds;
+      phase.kernel_busy_fraction = phase.kernel_busy_seconds / phase.seconds;
+    }
+    phase.transfer_bound =
+        phase.link_busy_seconds >= phase.kernel_busy_seconds;
+  }
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const ExplainPhase& a, const ExplainPhase& b) {
+              if (a.algo != b.algo) return a.algo < b.algo;
+              const int ra = PhaseRank(a.phase), rb = PhaseRank(b.phase);
+              if (ra != rb) return ra < rb;
+              return a.phase < b.phase;
+            });
+
+  // ---- per-GPU compute occupancy.
+  if (const auto* kernel_family = registry.FindFamily(kKernelBusySeconds)) {
+    for (const auto& [labels, counter] : kernel_family->counters) {
+      ExplainGpu gpu;
+      gpu.gpu = LabelValue(labels, "gpu");
+      gpu.kernel_busy_seconds = counter->value();
+      if (report.elapsed_seconds > 0) {
+        gpu.busy_fraction = gpu.kernel_busy_seconds / report.elapsed_seconds;
+      }
+      report.gpus.push_back(std::move(gpu));
+    }
+    std::sort(report.gpus.begin(), report.gpus.end(),
+              [](const ExplainGpu& a, const ExplainGpu& b) {
+                if (a.gpu.size() != b.gpu.size()) {
+                  return a.gpu.size() < b.gpu.size();  // "2" before "10"
+                }
+                return a.gpu < b.gpu;
+              });
+  }
+  return report;
+}
+
+std::string RenderExplainReport(const ExplainReport& report) {
+  std::ostringstream os;
+  os << "=== explain: bottleneck attribution over "
+     << FormatDuration(report.elapsed_seconds) << " simulated ===\n";
+
+  os << "top links (by saturation, then busy time):\n";
+  if (report.links.empty()) {
+    os << "  (no link traffic recorded)\n";
+  }
+  for (const auto& link : report.links) {
+    os << "  " << link.name << " [" << link.kind << "]  busy " << Pct(
+        link.busy_fraction)
+       << "  saturated " << Pct(link.saturated_fraction) << "  "
+       << FormatBytes(link.bytes) << "\n";
+  }
+
+  os << "phases:\n";
+  if (report.phases.empty()) {
+    os << "  (no phase instrumentation recorded)\n";
+  }
+  for (const auto& phase : report.phases) {
+    os << "  " << phase.algo << "/" << phase.phase << "  "
+       << FormatDuration(phase.seconds);
+    if (phase.runs > 1) os << " (" << phase.runs << " runs)";
+    if (!phase.bottleneck_link.empty() || phase.kernel_busy_seconds > 0) {
+      os << "  -> " << (phase.transfer_bound ? "transfer-bound" : "compute-bound");
+      if (phase.transfer_bound && !phase.bottleneck_link.empty()) {
+        os << " on " << phase.bottleneck_link << " (link busy "
+           << Pct(phase.link_busy_fraction) << ", "
+           << FormatBytes(phase.link_bytes) << ")";
+      } else if (!phase.transfer_bound) {
+        os << " (kernel busy " << Pct(phase.kernel_busy_fraction);
+        if (!phase.bottleneck_link.empty()) {
+          os << ", busiest link " << phase.bottleneck_link << " "
+             << Pct(phase.link_busy_fraction);
+        }
+        os << ")";
+      }
+    }
+    os << "\n";
+  }
+
+  os << "per-GPU compute busy fraction:\n";
+  if (report.gpus.empty()) {
+    os << "  (no kernel instrumentation recorded)\n";
+  }
+  for (const auto& gpu : report.gpus) {
+    os << "  GPU" << gpu.gpu << "  " << Pct(gpu.busy_fraction) << "  ("
+       << FormatDuration(gpu.kernel_busy_seconds) << " in kernels)\n";
+  }
+  return os.str();
+}
+
+}  // namespace mgs::obs

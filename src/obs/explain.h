@@ -1,0 +1,77 @@
+// Bottleneck-attribution "explain" report, computed from a MetricsRegistry
+// snapshot alone.
+//
+// Answers the paper's diagnostic questions (Figs. 12-14, Section 4) for any
+// instrumented run: which interconnect links saturated and for how long,
+// whether each sorter phase was transfer-bound or compute-bound (and on
+// which link / GPU), and how busy each GPU's compute engine was. Surfaced
+// by `mgsort_cli --explain`.
+
+#ifndef MGS_OBS_EXPLAIN_H_
+#define MGS_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mgs::obs {
+
+struct ExplainOptions {
+  /// Links listed in the saturation table.
+  int top_k_links = 5;
+};
+
+/// One interconnect link's whole-run load.
+struct ExplainLink {
+  std::string name;
+  std::string kind;               // physical family ("nvlink2", "pcie4", ...)
+  double bytes = 0;               // weighted bytes carried
+  double busy_seconds = 0;        // time with >= 1 flow
+  double saturated_seconds = 0;   // time allocated at capacity
+  double busy_fraction = 0;       // busy / elapsed
+  double saturated_fraction = 0;  // saturated / elapsed
+};
+
+/// One sorter phase's boundness attribution.
+struct ExplainPhase {
+  std::string algo;
+  std::string phase;
+  double seconds = 0;              // total across runs of this phase
+  int runs = 0;                    // histogram count
+  std::string bottleneck_link;     // busiest link during the phase ("" none)
+  double link_busy_seconds = 0;    // that link's in-phase busy time
+  double link_bytes = 0;           // that link's in-phase bytes
+  double link_busy_fraction = 0;   // link busy / phase seconds
+  double kernel_busy_seconds = 0;  // busiest GPU's in-phase kernel time
+  double kernel_busy_fraction = 0;
+  /// True when the busiest link outweighs the busiest GPU: the phase's
+  /// critical path ran through the interconnect, not compute.
+  bool transfer_bound = false;
+};
+
+/// One GPU's compute-engine occupancy.
+struct ExplainGpu {
+  std::string gpu;
+  double kernel_busy_seconds = 0;
+  double busy_fraction = 0;  // kernel busy / elapsed
+};
+
+struct ExplainReport {
+  double elapsed_seconds = 0;
+  std::vector<ExplainLink> links;    // top-k, most saturated/busiest first
+  std::vector<ExplainPhase> phases;  // execution order (htod, sort, ...)
+  std::vector<ExplainGpu> gpus;
+};
+
+/// Builds the report from registry contents (the metrics written by
+/// SyncFlowMetrics, PhaseTracker, and the vgpu kernel instrumentation).
+ExplainReport BuildExplainReport(const MetricsRegistry& registry,
+                                 const ExplainOptions& options = {});
+
+/// Renders the report as the CLI's human-readable text block.
+std::string RenderExplainReport(const ExplainReport& report);
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_EXPLAIN_H_

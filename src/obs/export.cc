@@ -1,0 +1,230 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace mgs::obs {
+
+namespace {
+
+/// Shortest decimal that round-trips the double exactly.
+std::string Num(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+/// `le` label value for a bucket bound: "+Inf" for the overflow bucket.
+std::string LeValue(double bound) {
+  if (bound == std::numeric_limits<double>::infinity()) return "+Inf";
+  return Num(bound);
+}
+
+/// Labels plus an extra pair appended (for `le` on histogram buckets).
+std::string LabelsWith(const Labels& labels, const std::string& key,
+                       const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return FormatLabels(all);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  for (const auto& [name, family] : registry.families()) {
+    if (!family.help.empty()) {
+      os << "# HELP " << name << " " << family.help << "\n";
+    }
+    os << "# TYPE " << name << " " << MetricKindToString(family.kind) << "\n";
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          os << name << FormatLabels(labels) << " " << Num(counter->value())
+             << "\n";
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          os << name << FormatLabels(labels) << " " << Num(gauge->value())
+             << "\n";
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          for (std::size_t b = 0; b <= histogram->num_buckets(); ++b) {
+            os << name << "_bucket"
+               << LabelsWith(labels, "le", LeValue(histogram->UpperBound(b)))
+               << " " << histogram->CumulativeCount(b) << "\n";
+          }
+          os << name << "_sum" << FormatLabels(labels) << " "
+             << Num(histogram->sum()) << "\n";
+          os << name << "_count" << FormatLabels(labels) << " "
+             << histogram->count() << "\n";
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"families\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : registry.families()) {
+    if (!first_family) os << ",";
+    first_family = false;
+    os << "{\"name\":\"" << JsonEscape(name) << "\",\"kind\":\""
+       << MetricKindToString(family.kind) << "\",\"help\":\""
+       << JsonEscape(family.help) << "\",\"metrics\":[";
+    bool first_metric = true;
+    const auto emit_labels = [&os](const Labels& labels) {
+      os << "\"labels\":{";
+      bool first = true;
+      for (const auto& [key, value] : labels) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+      }
+      os << "}";
+    };
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          if (!first_metric) os << ",";
+          first_metric = false;
+          os << "{";
+          emit_labels(labels);
+          os << ",\"value\":" << Num(counter->value()) << "}";
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          if (!first_metric) os << ",";
+          first_metric = false;
+          os << "{";
+          emit_labels(labels);
+          os << ",\"value\":" << Num(gauge->value()) << "}";
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          if (!first_metric) os << ",";
+          first_metric = false;
+          os << "{";
+          emit_labels(labels);
+          os << ",\"count\":" << histogram->count()
+             << ",\"sum\":" << Num(histogram->sum()) << ",\"buckets\":[";
+          for (std::size_t b = 0; b <= histogram->num_buckets(); ++b) {
+            if (b > 0) os << ",";
+            os << "{\"le\":";
+            const double bound = histogram->UpperBound(b);
+            if (bound == std::numeric_limits<double>::infinity()) {
+              os << "\"+Inf\"";
+            } else {
+              os << Num(bound);
+            }
+            os << ",\"count\":" << histogram->CumulativeCount(b) << "}";
+          }
+          os << "]}";
+        }
+        break;
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ToCsv(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "kind,name,labels,field,value\n";
+  for (const auto& [name, family] : registry.families()) {
+    const std::string kind = MetricKindToString(family.kind);
+    const auto row = [&](const Labels& labels, const std::string& field,
+                         const std::string& value) {
+      os << kind << "," << CsvEscape(name) << ","
+         << CsvEscape(FormatLabels(labels)) << "," << CsvEscape(field) << ","
+         << value << "\n";
+    };
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          row(labels, "value", Num(counter->value()));
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          row(labels, "value", Num(gauge->value()));
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          for (std::size_t b = 0; b <= histogram->num_buckets(); ++b) {
+            row(labels, "le=" + LeValue(histogram->UpperBound(b)),
+                std::to_string(histogram->CumulativeCount(b)));
+          }
+          row(labels, "sum", Num(histogram->sum()));
+          row(labels, "count", std::to_string(histogram->count()));
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::string body;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    body = ToJson(registry);
+  } else if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    body = ToCsv(registry);
+  } else {
+    body = ToPrometheusText(registry);
+  }
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot open metrics file: " + path);
+  f << body;
+  return f.good() ? Status::OK()
+                  : Status::Internal("failed writing metrics file: " + path);
+}
+
+}  // namespace mgs::obs

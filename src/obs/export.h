@@ -1,0 +1,42 @@
+// Registry exporters: Prometheus text exposition, JSON snapshot, CSV.
+//
+// All three render the same data; the JSON and CSV forms exist so offline
+// tooling (notebooks, spreadsheets) can consume a snapshot without a
+// Prometheus parser. Numbers are emitted with max_digits10 precision, so a
+// snapshot round-trips exactly.
+
+#ifndef MGS_OBS_EXPORT_H_
+#define MGS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace mgs::obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP` / `# TYPE`
+/// headers per family; histograms expand into `_bucket{le=...}`, `_sum`,
+/// `_count` series.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// JSON snapshot:
+///   {"families":[{"name":...,"kind":...,"help":...,"metrics":[
+///      {"labels":{...},"value":v} |
+///      {"labels":{...},"count":n,"sum":s,"buckets":[{"le":b,"count":c}..]}
+///   ]}]}
+std::string ToJson(const MetricsRegistry& registry);
+
+/// CSV with header `kind,name,labels,field,value`; histogram buckets become
+/// one row per bucket (field `le=<bound>`) plus `sum` and `count` rows.
+std::string ToCsv(const MetricsRegistry& registry);
+
+/// Writes the registry to `path`, choosing the format from the extension:
+/// `.json` -> JSON, `.csv` -> CSV, anything else (`.prom`, `.txt`, ...) ->
+/// Prometheus text.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_EXPORT_H_

@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mgs::obs {
+
+namespace {
+
+void NormalizeLabels(Labels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  for (char ch : value) {
+    if (ch == '\\' || ch == '"') out += '\\';
+    if (ch == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  CheckOk(options.first_bound > 0 && options.growth > 1 &&
+                  options.num_buckets > 0
+              ? Status::OK()
+              : Status::Invalid("histogram buckets must be positive and "
+                                "log-spaced (growth > 1)"));
+  bounds_.reserve(static_cast<std::size_t>(options.num_buckets));
+  double bound = options.first_bound;
+  for (int i = 0; i < options.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  // First finite bucket with UpperBound >= value (le semantics); overflow
+  // observations land in the +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  ++counts_[index];
+  sum_ += value;
+  ++count_;
+}
+
+double Histogram::UpperBound(std::size_t i) const {
+  if (i >= bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[i];
+}
+
+std::uint64_t Histogram::CumulativeCount(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) {
+    total += counts_[b];
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
+                                                    MetricKind kind,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.name = name;
+    family.kind = kind;
+    family.help = help;
+  } else {
+    CheckOk(family.kind == kind
+                ? Status::OK()
+                : Status::Invalid(
+                      "metric '" + name + "' registered as " +
+                      MetricKindToString(family.kind) + ", requested as " +
+                      MetricKindToString(kind)));
+    if (family.help.empty()) family.help = help;
+  }
+  return family;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, Labels labels,
+                                     const std::string& help) {
+  NormalizeLabels(&labels);
+  Family& family = GetFamily(name, MetricKind::kCounter, help);
+  auto& slot = family.counters[std::move(labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  NormalizeLabels(&labels);
+  Family& family = GetFamily(name, MetricKind::kGauge, help);
+  auto& slot = family.gauges[std::move(labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         const std::string& help,
+                                         HistogramOptions options) {
+  NormalizeLabels(&labels);
+  Family& family = GetFamily(name, MetricKind::kHistogram, help);
+  if (family.histograms.empty()) {
+    family.histogram_options = options;
+  } else {
+    CheckOk(family.histogram_options == options
+                ? Status::OK()
+                : Status::Invalid("metric '" + name +
+                                  "' re-registered with different histogram "
+                                  "buckets"));
+  }
+  auto& slot = family.histograms[std::move(labels)];
+  if (!slot) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+const MetricsRegistry::Family* MetricsRegistry::FindFamily(
+    const std::string& name) const {
+  const auto it = families_.find(name);
+  return it == families_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::CounterValue(const std::string& name,
+                                     Labels labels) const {
+  const Family* family = FindFamily(name);
+  if (family == nullptr || family->kind != MetricKind::kCounter) return 0;
+  NormalizeLabels(&labels);
+  const auto it = family->counters.find(labels);
+  return it == family->counters.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name,
+                                   Labels labels) const {
+  const Family* family = FindFamily(name);
+  if (family == nullptr || family->kind != MetricKind::kGauge) return 0;
+  NormalizeLabels(&labels);
+  const auto it = family->gauges.find(labels);
+  return it == family->gauges.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& shard) {
+  for (const auto& [name, family] : shard.families_) {
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          GetCounter(name, labels, family.help).Add(counter->value());
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          GetGauge(name, labels, family.help).Set(gauge->value());
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          Histogram& mine = GetHistogram(name, labels, family.help,
+                                         family.histogram_options);
+          for (std::size_t b = 0; b < histogram->counts_.size(); ++b) {
+            mine.counts_[b] += histogram->counts_[b];
+          }
+          mine.sum_ += histogram->sum_;
+          mine.count_ += histogram->count_;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace mgs::obs

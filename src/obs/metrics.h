@@ -1,0 +1,168 @@
+// Unified telemetry: a simulated-time-aware metrics registry with labeled
+// counters, gauges, and log-bucketed histograms.
+//
+// Every layer of the sort stack publishes through one MetricsRegistry —
+// vgpu copies (bytes/ops per link class and direction), flow-network links
+// (bytes / busy time / saturation), kernel launches (invocation histograms),
+// sorter phase breakdowns, and the multi-tenant scheduler (queue depth,
+// rejections, SLO burn). Exporters (obs/export.h) serialize a registry as
+// Prometheus text exposition, JSON, or CSV; the bottleneck-attribution
+// report (obs/explain.h) is computed from registry contents alone.
+//
+// Naming scheme (see docs/observability.md): all metrics are prefixed
+// `mgs_`, counters end in `_total`, time-valued metrics end in `_seconds`,
+// and label keys are lower-case snake. Metric handles returned by
+// GetCounter/GetGauge/GetHistogram are stable for the registry's lifetime,
+// so hot paths may cache them.
+//
+// The registry is deliberately clock-free: all durations observed into it
+// are *simulated* seconds supplied by the caller, which is what makes the
+// same metrics meaningful in unit tests, benches, and service runs.
+
+#ifndef MGS_OBS_METRICS_H_
+#define MGS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::obs {
+
+/// A label set: key/value pairs. Registries normalize label order, so
+/// {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders labels canonically: `{a="1",b="2"}` (empty string for none).
+std::string FormatLabels(const Labels& labels);
+
+/// Monotonically increasing value (bytes moved, ops executed). Negative
+/// deltas are ignored: counters never go down.
+class Counter {
+ public:
+  void Add(double delta) {
+    if (delta > 0) value_ += delta;
+  }
+  void Inc() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0;
+};
+
+/// Point-in-time value (queue depth, memory pressure).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log-spaced histogram buckets: finite upper bounds first_bound * growth^i
+/// for i in [0, num_buckets), plus an implicit +Inf overflow bucket. The
+/// defaults cover simulated durations from 1 µs to ~3 days.
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 4.0;
+  int num_buckets = 20;
+
+  bool operator==(const HistogramOptions&) const = default;
+};
+
+/// Cumulative histogram over log-spaced buckets (Prometheus `le` semantics:
+/// an observation lands in the first bucket whose upper bound is >= it).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void Observe(double value);
+
+  const HistogramOptions& options() const { return options_; }
+  /// Number of finite buckets (the +Inf bucket is index num_buckets()).
+  std::size_t num_buckets() const { return bounds_.size(); }
+  /// Upper bound of finite bucket i; +Inf for i == num_buckets().
+  double UpperBound(std::size_t i) const;
+  /// Observations in bucket i alone (i in [0, num_buckets()]).
+  std::uint64_t BucketCount(std::size_t i) const { return counts_[i]; }
+  /// Observations in buckets [0, i] (Prometheus-style cumulative count).
+  std::uint64_t CumulativeCount(std::size_t i) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramOptions options_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  double sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindToString(MetricKind kind);
+
+/// The registry: families of like-named metrics, each holding one series
+/// per label set. Lookups create on first use; re-registering a name with a
+/// different kind (or a histogram with different buckets) is a programming
+/// error and aborts.
+class MetricsRegistry {
+ public:
+  /// One family: every series sharing a metric name.
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    HistogramOptions histogram_options;
+    std::map<Labels, std::unique_ptr<Counter>> counters;
+    std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Counter& GetCounter(const std::string& name, Labels labels = {},
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, Labels labels = {},
+                  const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, Labels labels = {},
+                          const std::string& help = "",
+                          HistogramOptions options = {});
+
+  /// Current value of a counter series, 0 if it does not exist (does not
+  /// create the series — delta trackers poll with this).
+  double CounterValue(const std::string& name, Labels labels = {}) const;
+  /// Current value of a gauge series, 0 if absent.
+  double GaugeValue(const std::string& name, Labels labels = {}) const;
+
+  /// Families in name order (exporters iterate this).
+  const std::map<std::string, Family>& families() const { return families_; }
+  const Family* FindFamily(const std::string& name) const;
+
+  std::size_t num_families() const { return families_.size(); }
+
+  /// Merges a shard into this registry: counters and histograms accumulate,
+  /// gauges take the shard's value (last writer wins). Shards must agree on
+  /// metric kinds and histogram bucketing. Worker threads that record into
+  /// private registries are folded into the main one this way.
+  void MergeFrom(const MetricsRegistry& shard);
+
+  void Clear() { families_.clear(); }
+
+ private:
+  Family& GetFamily(const std::string& name, MetricKind kind,
+                    const std::string& help);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_METRICS_H_

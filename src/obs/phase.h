@@ -1,0 +1,100 @@
+// Phase/link attribution instrumentation on top of the metrics registry.
+//
+// SyncFlowMetrics mirrors the flow network's per-link accounting (bytes,
+// busy time, saturation time — see sim/flow_network.h) into registry
+// counters, so exporters and the explain report see live link state.
+//
+// PhaseTracker scopes a sorter's execution into named phases (htod / sort /
+// merge / dtoh, the paper's Section 6.1 breakdown) and, at each boundary,
+// records registry-delta attributions: per-phase duration histograms,
+// per-phase per-link byte/busy-time deltas, and the per-phase kernel busy
+// time of the busiest GPU. The explain report (obs/explain.h) turns these
+// into "the merge phase was bound on nvl-x1(GPU1-GPU3)" style claims.
+
+#ifndef MGS_OBS_PHASE_H_
+#define MGS_OBS_PHASE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/flow_network.h"
+#include "topo/topology.h"
+
+namespace mgs::obs {
+
+// Metric names shared by the instrumentation below, the vgpu layer, and
+// the explain report.
+inline constexpr char kLinkBytes[] = "mgs_link_bytes_total";
+inline constexpr char kLinkBusySeconds[] = "mgs_link_busy_seconds_total";
+inline constexpr char kLinkSaturatedSeconds[] =
+    "mgs_link_saturated_seconds_total";
+inline constexpr char kSimTimeSeconds[] = "mgs_sim_time_seconds";
+inline constexpr char kKernelBusySeconds[] = "mgs_kernel_busy_seconds_total";
+inline constexpr char kCopyBytes[] = "mgs_copy_bytes_total";
+inline constexpr char kCopyOps[] = "mgs_copy_ops_total";
+inline constexpr char kCopySeconds[] = "mgs_copy_seconds";
+inline constexpr char kKernelSeconds[] = "mgs_kernel_seconds";
+inline constexpr char kKernelInvocations[] = "mgs_kernel_invocations_total";
+inline constexpr char kCpuPhaseSeconds[] = "mgs_cpu_phase_seconds";
+inline constexpr char kCpuBytes[] = "mgs_cpu_bytes_total";
+inline constexpr char kPhaseSeconds[] = "mgs_sort_phase_seconds";
+inline constexpr char kPhaseLinkBytes[] = "mgs_sort_phase_link_bytes_total";
+inline constexpr char kPhaseLinkBusySeconds[] =
+    "mgs_sort_phase_link_busy_seconds_total";
+inline constexpr char kPhaseKernelBusySeconds[] =
+    "mgs_sort_phase_kernel_busy_seconds_total";
+
+/// Mirrors the flow network's cumulative per-link bytes / busy seconds /
+/// saturated seconds into `registry` (counters labeled by link name and
+/// physical kind) and stamps the `mgs_sim_time_seconds` gauge with
+/// `now_seconds`. Idempotent: counters advance to the network's current
+/// totals no matter how often it is called. Settles in-flight flows first.
+void SyncFlowMetrics(sim::FlowNetwork* net, const topo::Topology& topology,
+                     double now_seconds, MetricsRegistry* registry);
+
+/// Scoped phase attribution for one sorter run. All methods are no-ops when
+/// constructed with a null registry, so sorters call it unconditionally.
+///
+///   obs::PhaseTracker phases(reg, &net, &topo, "p2p");
+///   phases.StartPhase("htod", now);   // opens htod
+///   phases.StartPhase("sort", now);   // closes htod, opens sort
+///   phases.Finish(now);               // closes the last phase
+class PhaseTracker {
+ public:
+  PhaseTracker(MetricsRegistry* registry, sim::FlowNetwork* net,
+               const topo::Topology* topology, std::string algo);
+
+  /// Closes the currently-open phase (if any) at `now` and opens `name`.
+  void StartPhase(const std::string& name, double now);
+
+  /// Closes the open phase and records nothing further.
+  void Finish(double now);
+
+ private:
+  void Snapshot();
+  void ClosePhase(double now);
+
+  MetricsRegistry* registry_;  // nullptr = disabled
+  sim::FlowNetwork* net_;
+  const topo::Topology* topology_;
+  std::string algo_;
+  std::vector<topo::Topology::LinkResource> links_;
+  std::string phase_;  // currently open phase ("" = none)
+  double phase_begin_ = 0;
+  std::vector<double> link_bytes_;
+  std::vector<double> link_busy_;
+  std::vector<double> kernel_busy_;  // per GPU
+};
+
+/// Publishes an already-computed phase breakdown (name -> seconds) as
+/// phase-duration histogram observations, without link attribution. Sorters
+/// whose phases overlap under pipelining (HET sort) report this way.
+void RecordPhaseBreakdown(
+    MetricsRegistry* registry, const std::string& algo,
+    const std::vector<std::pair<std::string, double>>& phases);
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_PHASE_H_

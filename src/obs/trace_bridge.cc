@@ -1,0 +1,40 @@
+#include "obs/trace_bridge.h"
+
+namespace mgs::obs {
+
+TraceCounterBridge::TraceCounterBridge(const MetricsRegistry* registry,
+                                       sim::TraceRecorder* trace,
+                                       std::vector<std::string> family_prefixes)
+    : registry_(registry),
+      trace_(trace),
+      family_prefixes_(std::move(family_prefixes)) {}
+
+bool TraceCounterBridge::Tracked(const std::string& family_name) const {
+  if (family_prefixes_.empty()) return true;
+  for (const auto& prefix : family_prefixes_) {
+    if (family_name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void TraceCounterBridge::Sample(double now_seconds) {
+  const double dt = now_seconds - last_time_;
+  for (const auto& [name, family] : registry_->families()) {
+    if (family.kind != MetricKind::kCounter || !Tracked(name)) continue;
+    for (const auto& [labels, counter] : family.counters) {
+      const std::string key = name + FormatLabels(labels);
+      double& last = last_values_[key];
+      if (primed_ && dt > 0) {
+        const double rate = (counter->value() - last) / dt;
+        trace_->AddCounter("metrics:" + name,
+                           labels.empty() ? name : FormatLabels(labels),
+                           now_seconds, rate);
+      }
+      last = counter->value();
+    }
+  }
+  last_time_ = now_seconds;
+  primed_ = true;
+}
+
+}  // namespace mgs::obs

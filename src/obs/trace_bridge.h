@@ -1,0 +1,49 @@
+// Registry -> Chrome-trace bridge: periodic counter-delta tracks.
+//
+// A TraceCounterBridge samples a MetricsRegistry's counter families and
+// appends Chrome counter events (rates: delta / elapsed) to a
+// TraceRecorder, so registry-backed series — per-link bytes, copy volumes,
+// scheduler rejections — render as counter tracks next to the op spans in
+// ui.perfetto.dev. The multi-tenant service's utilization sampler drives
+// this once per sampling tick.
+
+#ifndef MGS_OBS_TRACE_BRIDGE_H_
+#define MGS_OBS_TRACE_BRIDGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace mgs::obs {
+
+class TraceCounterBridge {
+ public:
+  /// Samples every counter family whose name starts with one of
+  /// `family_prefixes` (empty = all counter families). One Chrome counter
+  /// track per family; one series per label set.
+  TraceCounterBridge(const MetricsRegistry* registry,
+                     sim::TraceRecorder* trace,
+                     std::vector<std::string> family_prefixes = {});
+
+  /// Emits one sample per tracked series: the counter's increase since the
+  /// previous Sample divided by the elapsed simulated time (a per-second
+  /// rate). The first call only establishes the baseline.
+  void Sample(double now_seconds);
+
+ private:
+  bool Tracked(const std::string& family_name) const;
+
+  const MetricsRegistry* registry_;
+  sim::TraceRecorder* trace_;
+  std::vector<std::string> family_prefixes_;
+  std::map<std::string, double> last_values_;  // family + labels -> value
+  double last_time_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_TRACE_BRIDGE_H_

@@ -1,53 +1,17 @@
-// Latency metrics for the sort service: percentiles and distribution
-// summaries over per-job samples.
+// Latency metrics for the sort service. The math lives in util/stats.h
+// (shared with the benchmark harness); these aliases keep the historical
+// sched-qualified names working.
 
 #ifndef MGS_SCHED_METRICS_H_
 #define MGS_SCHED_METRICS_H_
 
-#include <algorithm>
-#include <cmath>
-#include <cstddef>
-#include <vector>
+#include "util/stats.h"
 
 namespace mgs::sched {
 
-/// Nearest-rank percentile (p in [0, 100]) of `samples`; 0 for an empty
-/// input. Takes the samples by value because it sorts them.
-inline double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double clamped = std::min(100.0, std::max(0.0, p));
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
-  return samples[rank == 0 ? 0 : rank - 1];
-}
-
-/// The latency summary the server reports per distribution (end-to-end
-/// latency, queueing delay, service time).
-struct LatencySummary {
-  double p50 = 0;
-  double p95 = 0;
-  double p99 = 0;
-  double mean = 0;
-  double max = 0;
-  std::size_t count = 0;
-};
-
-inline LatencySummary Summarize(const std::vector<double>& samples) {
-  LatencySummary s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
-  s.p50 = Percentile(samples, 50);
-  s.p95 = Percentile(samples, 95);
-  s.p99 = Percentile(samples, 99);
-  double sum = 0;
-  for (double x : samples) {
-    sum += x;
-    s.max = std::max(s.max, x);
-  }
-  s.mean = sum / static_cast<double>(samples.size());
-  return s;
-}
+using ::mgs::LatencySummary;
+using ::mgs::Percentile;
+using ::mgs::Summarize;
 
 }  // namespace mgs::sched
 

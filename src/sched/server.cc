@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/p2p_sort.h"
+#include "obs/phase.h"
+#include "obs/trace_bridge.h"
 
 namespace mgs::sched {
+
+namespace {
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kRejected:
+      return "rejected";
+    default:
+      return "other";
+  }
+}
+}  // namespace
 
 SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
     : platform_(platform),
@@ -52,9 +70,51 @@ const JobRecord& SortServer::job(std::int64_t id) const {
 
 void SortServer::FinishTerminal(JobSlot& slot) {
   completion_order_.push_back(slot.record.id);
+  PublishJobOutcome(slot.record);
   slot.done->Fire();
   --unfinished_;
   MaybeFinish();
+}
+
+void SortServer::PublishQueueGauges() {
+  auto* registry = metrics();
+  if (registry == nullptr) return;
+  registry
+      ->GetGauge(kSchedQueueDepth, {},
+                 "Jobs admitted but not yet dispatched")
+      .Set(static_cast<double>(queue_.size()));
+  registry
+      ->GetGauge(kSchedRunningJobs, {}, "Jobs currently executing")
+      .Set(static_cast<double>(running_jobs_));
+}
+
+void SortServer::PublishJobOutcome(const JobRecord& rec) {
+  auto* registry = metrics();
+  if (registry == nullptr) return;
+  registry
+      ->GetCounter(kSchedJobs, {{"state", JobStateName(rec.state)}},
+                   "Jobs that reached a terminal state, by outcome")
+      .Inc();
+  if (rec.state != JobState::kDone) return;
+  registry
+      ->GetHistogram(kSchedJobLatencySeconds, {},
+                     "Completed-job latency (arrival to finish)")
+      .Observe(rec.latency());
+  registry
+      ->GetHistogram(kSchedQueueDelaySeconds, {},
+                     "Completed-job queueing delay (arrival to dispatch)")
+      .Observe(rec.queue_delay());
+  if (options_.slo_seconds > 0 && rec.latency() > options_.slo_seconds) {
+    registry
+        ->GetCounter(kSchedSloViolations, {},
+                     "Completed jobs that exceeded the latency SLO")
+        .Inc();
+    registry
+        ->GetCounter(kSchedSloBurnSeconds, {},
+                     "Cumulative latency in excess of the SLO across "
+                     "violating jobs")
+        .Add(rec.latency() - options_.slo_seconds);
+  }
 }
 
 void SortServer::OnArrival(std::int64_t id) {
@@ -67,11 +127,19 @@ void SortServer::OnArrival(std::int64_t id) {
     rec.state = JobState::kRejected;
     rec.error = admit.ToString();
     rec.start = rec.finish = rec.arrival;
+    if (auto* registry = metrics()) {
+      registry
+          ->GetCounter(kSchedRejections,
+                       {{"reason", StatusCodeToString(admit.code())}},
+                       "Admission-control rejections, by status code")
+          .Inc();
+    }
     FinishTerminal(slot);
     return;
   }
   rec.state = JobState::kQueued;
   queue_.Push(id, JobBytes(rec.spec), rec.spec.priority);
+  PublishQueueGauges();
   TryDispatch();
 }
 
@@ -114,6 +182,7 @@ void SortServer::TryDispatch() {
         CheckOk(platform_->device(g).Reserve(request.per_gpu_bytes));
       }
       sim::Spawn(RunJob(id));
+      PublishQueueGauges();
       dispatched = true;
       break;
     }
@@ -133,6 +202,7 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   for (int g : rec.gpu_set) {
     ++running_per_gpu_[static_cast<std::size_t>(g)];
   }
+  PublishQueueGauges();
   if (auto* trace = platform_->trace()) {
     if (rec.start > rec.arrival) {
       trace->AddSpan("sched:queue", "job" + std::to_string(id) + " queued",
@@ -165,6 +235,7 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   for (int g : rec.gpu_set) {
     --running_per_gpu_[static_cast<std::size_t>(g)];
   }
+  PublishQueueGauges();
   if (auto* trace = platform_->trace()) {
     trace->AddSpan("sched:gpu" + std::to_string(rec.gpu_set.front()),
                    rec.spec.tenant + "/job" + std::to_string(id) + " g=" +
@@ -229,6 +300,14 @@ sim::Task<void> SortServer::UtilizationSampler() {
   auto& network = platform_->network();
   std::vector<double> last_traffic(network.num_resources(), 0);
   double last_time = Now();
+  // With both a registry and a trace attached, mirror registry counter
+  // rates into the trace as counter tracks (obs/trace_bridge.h).
+  std::unique_ptr<obs::TraceCounterBridge> bridge;
+  if (metrics() != nullptr && platform_->trace() != nullptr) {
+    bridge = std::make_unique<obs::TraceCounterBridge>(metrics(),
+                                                       platform_->trace());
+    bridge->Sample(last_time);  // prime baselines at service start
+  }
   while (!stop_sampler_) {
     co_await sim::Delay{platform_->simulator(),
                         options_.utilization_sample_seconds};
@@ -236,14 +315,20 @@ sim::Task<void> SortServer::UtilizationSampler() {
     const double dt = now - last_time;
     if (dt <= 0) continue;
     network.SettleTraffic();
-    for (const auto& link : links) {
-      const double traffic = network.ResourceTraffic(link.resource);
-      const double util =
-          (traffic - last_traffic[link.resource]) /
-          (network.capacity(link.resource) * dt);
-      platform_->trace()->AddCounter("link-util", link.name, now, util);
-      last_traffic[link.resource] = traffic;
+    if (auto* trace = platform_->trace()) {
+      for (const auto& link : links) {
+        const double traffic = network.ResourceTraffic(link.resource);
+        const double util =
+            (traffic - last_traffic[link.resource]) /
+            (network.capacity(link.resource) * dt);
+        trace->AddCounter("link-util", link.name, now, util);
+        last_traffic[link.resource] = traffic;
+      }
     }
+    if (auto* registry = metrics()) {
+      obs::SyncFlowMetrics(&network, platform_->topology(), now, registry);
+    }
+    if (bridge) bridge->Sample(now);
     last_time = now;
   }
 }
@@ -266,13 +351,19 @@ sim::Task<void> SortServer::ServiceRoot() {
       sim::Spawn(ClientLoop(client_index++, loop, seeder.Next()));
     }
   }
-  if (options_.utilization_sample_seconds > 0 && platform_->trace()) {
+  if (options_.utilization_sample_seconds > 0 &&
+      (platform_->trace() != nullptr || metrics() != nullptr)) {
     sim::Spawn(UtilizationSampler());
   }
+  PublishQueueGauges();
   MaybeFinish();  // an empty service finishes immediately
   co_await all_done_.Wait();
   service_end_ = Now();
   stop_sampler_ = true;
+  if (auto* registry = metrics()) {
+    obs::SyncFlowMetrics(&platform_->network(), platform_->topology(),
+                         service_end_, registry);
+  }
 }
 
 Result<ServiceReport> SortServer::Run() {

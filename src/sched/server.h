@@ -35,6 +35,21 @@
 
 namespace mgs::sched {
 
+// Metric families the service publishes when the platform has a metrics
+// registry attached (vgpu::Platform::SetMetrics).
+inline constexpr char kSchedQueueDepth[] = "mgs_sched_queue_depth";
+inline constexpr char kSchedRunningJobs[] = "mgs_sched_running_jobs";
+inline constexpr char kSchedJobs[] = "mgs_sched_jobs_total";
+inline constexpr char kSchedRejections[] = "mgs_sched_rejections_total";
+inline constexpr char kSchedSloViolations[] =
+    "mgs_sched_slo_violations_total";
+inline constexpr char kSchedSloBurnSeconds[] =
+    "mgs_sched_slo_burn_seconds_total";
+inline constexpr char kSchedJobLatencySeconds[] =
+    "mgs_sched_job_latency_seconds";
+inline constexpr char kSchedQueueDelaySeconds[] =
+    "mgs_sched_queue_delay_seconds";
+
 struct ServerOptions {
   QueuePolicy policy = QueuePolicy::kFifo;
   AdmissionOptions admission;
@@ -105,6 +120,14 @@ class SortServer {
   };
 
   double Now() const;
+  /// The platform's registry, or nullptr when telemetry is off.
+  obs::MetricsRegistry* metrics() const { return platform_->metrics(); }
+  /// Refreshes the queue-depth / running-jobs gauges (no-op without a
+  /// registry). Called on every queue or dispatch transition.
+  void PublishQueueGauges();
+  /// Terminal-state accounting: jobs-by-state counter, latency/queue-delay
+  /// histograms, and SLO burn for completed jobs.
+  void PublishJobOutcome(const JobRecord& rec);
   /// Per-GPU device memory a job needs, mirroring P2pSortTask's allocation
   /// (primary + aux buffer of ceil(n/g) elements each, in logical bytes).
   double PerGpuBytes(const JobSpec& spec) const;

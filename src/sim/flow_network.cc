@@ -72,6 +72,10 @@ void FlowNetwork::AdvanceProgress() {
   const double dt = now - last_update_time_;
   last_update_time_ = now;
   if (dt <= 0) return;
+  // Rates are constant over [last_update, now] (they only change at flow
+  // start/finish, which both advance progress first), so the interval's
+  // per-resource load is simply the sum of rate * weight across its flows.
+  std::vector<double> load(resources_.size(), 0.0);
   for (auto& f : flows_) {
     const double delivered =
         std::min(f.remaining_bytes, f.rate * dt);
@@ -79,6 +83,16 @@ void FlowNetwork::AdvanceProgress() {
     for (const auto& hop : f.path) {
       resources_[static_cast<std::size_t>(hop.resource)].traffic +=
           delivered * hop.weight;
+      load[static_cast<std::size_t>(hop.resource)] += f.rate * hop.weight;
+    }
+  }
+  constexpr double kSaturationFraction = 0.999;
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    if (load[r] <= 0) continue;
+    resources_[r].busy_seconds += dt;
+    if (resources_[r].capacity > 0 &&
+        load[r] >= kSaturationFraction * resources_[r].capacity) {
+      resources_[r].saturated_seconds += dt;
     }
   }
 }
@@ -88,7 +102,19 @@ double FlowNetwork::ResourceTraffic(ResourceId id) const {
 }
 
 void FlowNetwork::ResetTraffic() {
-  for (auto& r : resources_) r.traffic = 0;
+  for (auto& r : resources_) {
+    r.traffic = 0;
+    r.busy_seconds = 0;
+    r.saturated_seconds = 0;
+  }
+}
+
+double FlowNetwork::ResourceBusySeconds(ResourceId id) const {
+  return resources_[static_cast<std::size_t>(id)].busy_seconds;
+}
+
+double FlowNetwork::ResourceSaturatedSeconds(ResourceId id) const {
+  return resources_[static_cast<std::size_t>(id)].saturated_seconds;
 }
 
 std::pair<std::string, double> FlowNetwork::BusiestResource(

@@ -89,6 +89,13 @@ class FlowNetwork {
   double ResourceTraffic(ResourceId id) const;
   void ResetTraffic();
 
+  /// Cumulative time (seconds) the resource carried any flow since the last
+  /// ResetTraffic(), and the portion of that time its allocated load was at
+  /// (>= 99.9% of) capacity — i.e. the resource was the active bottleneck.
+  /// Accrued lazily like traffic; SettleTraffic() brings both up to Now().
+  double ResourceBusySeconds(ResourceId id) const;
+  double ResourceSaturatedSeconds(ResourceId id) const;
+
   /// Accrues all in-flight flows' progress up to Now() (rates unchanged),
   /// so periodic samplers see smooth traffic instead of settlement lumps.
   void SettleTraffic() { AdvanceProgress(); }
@@ -109,7 +116,9 @@ class FlowNetwork {
   struct Resource {
     std::string name;
     double capacity;
-    double traffic = 0;  // cumulative weighted bytes
+    double traffic = 0;            // cumulative weighted bytes
+    double busy_seconds = 0;       // time with any allocated load
+    double saturated_seconds = 0;  // time with load >= ~capacity
   };
   struct Flow {
     FlowId id;

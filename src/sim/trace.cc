@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace mgs::sim {
@@ -36,6 +37,10 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     tids.emplace(counter.track, static_cast<int>(tids.size()));
   }
   std::ostringstream os;
+  // max_digits10 makes the microsecond timestamps round-trip exactly: the
+  // default 6 significant digits truncate any run past ~1 simulated second
+  // ("ts":1e+06), collapsing distinct events onto one tick in the viewer.
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << "[";
   bool first = true;
   for (const auto& [track, tid] : tids) {

@@ -47,6 +47,58 @@ class RunningStats {
   std::vector<double> samples_;
 };
 
+/// Nearest rank for percentile p of n samples, 1-based. The small slack
+/// before the ceiling absorbs binary-fraction error: 99.9% of 1000 must be
+/// rank 999, not ceil(999.0000000000001) = 1000.
+inline std::size_t PercentileRank(double p, std::size_t n) {
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double exact = clamped / 100.0 * static_cast<double>(n);
+  return static_cast<std::size_t>(std::ceil(exact - 1e-9));
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of `samples`; 0 for an empty
+/// input. Takes the samples by value because it sorts them.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = PercentileRank(p, samples.size());
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+/// Distribution summary over latency-like samples (used by the sort
+/// service for end-to-end latency, queueing delay, and service time).
+struct LatencySummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double mean = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank lookups on the one sorted copy (Percentile would re-sort).
+  auto at = [&sorted](double p) {
+    const std::size_t rank = PercentileRank(p, sorted.size());
+    return sorted[rank == 0 ? 0 : rank - 1];
+  };
+  s.p50 = at(50);
+  s.p95 = at(95);
+  s.p99 = at(99);
+  s.p999 = at(99.9);
+  s.max = sorted.back();
+  double sum = 0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(sorted.size());
+  return s;
+}
+
 }  // namespace mgs
 
 #endif  // MGS_UTIL_STATS_H_

@@ -71,9 +71,31 @@ void Stream::LaunchAsync(double duration_seconds, std::function<void()> body,
     co_await sim::Delay{platform->simulator(), duration_seconds};
     body();
     engine.Release();
+    const double end = platform->simulator().Now();
     if (auto* trace = platform->trace()) {
       trace->AddSpan("GPU" + std::to_string(device->id()) + ":compute",
-                     label, begin, platform->simulator().Now());
+                     label, begin, end);
+    }
+    if (auto* metrics = platform->metrics()) {
+      const std::string gpu = std::to_string(device->id());
+      // The queue-wait portion (begin..acquire) is not kernel time; what the
+      // Delay covered is. Busy time feeds per-GPU occupancy in the explain
+      // report; the histogram keys on the kernel label for cost-model work.
+      metrics
+          ->GetHistogram(obs::kKernelSeconds,
+                         {{"gpu", gpu}, {"kernel", label}},
+                         "Simulated kernel execution durations")
+          .Observe(duration_seconds);
+      metrics
+          ->GetCounter(obs::kKernelInvocations,
+                       {{"gpu", gpu}, {"kernel", label}},
+                       "Completed kernel launches")
+          .Inc();
+      metrics
+          ->GetCounter(obs::kKernelBusySeconds, {{"gpu", gpu}},
+                       "Simulated seconds a GPU's compute queue was executing "
+                       "kernels")
+          .Add(end - begin);
     }
   });
 }
@@ -174,6 +196,12 @@ sim::Task<void> Platform::CpuBusy(double seconds) {
   const double begin = simulator_.Now();
   co_await sim::Delay{simulator_, seconds};
   if (trace_) trace_->AddSpan("CPU", "cpu-busy", begin, simulator_.Now());
+  if (metrics_) {
+    metrics_
+        ->GetHistogram(obs::kCpuPhaseSeconds, {{"phase", "busy"}},
+                       "Simulated CPU phase durations")
+        .Observe(simulator_.Now() - begin);
+  }
 }
 
 sim::Task<void> Platform::CpuMemoryWork(int socket, double logical_bytes,
@@ -189,6 +217,16 @@ sim::Task<void> Platform::CpuMemoryWork(int socket, double logical_bytes,
   if (trace_) {
     trace_->AddSpan("CPU", "cpu-merge " + FormatBytes(logical_bytes), begin,
                     simulator_.Now());
+  }
+  if (metrics_) {
+    metrics_
+        ->GetHistogram(obs::kCpuPhaseSeconds, {{"phase", "merge"}},
+                       "Simulated CPU phase durations")
+        .Observe(simulator_.Now() - begin);
+    metrics_
+        ->GetCounter(obs::kCpuBytes, {{"phase", "merge"}},
+                     "Logical bytes processed by bandwidth-bound CPU work")
+        .Add(logical_bytes);
   }
 }
 

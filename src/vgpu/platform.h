@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/phase.h"
 #include "sim/flow_network.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -216,6 +218,13 @@ class Platform {
   void SetTrace(sim::TraceRecorder* trace) { trace_ = trace; }
   sim::TraceRecorder* trace() const { return trace_; }
 
+  /// Attaches a metrics registry: copies record per-direction byte/op
+  /// counters and duration histograms, kernels record invocation histograms
+  /// and per-GPU busy time, CPU phases record their own family (see
+  /// obs/phase.h for the metric names). Pass nullptr to detach. Not owned.
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   Platform(std::unique_ptr<topo::Topology> topology, PlatformOptions options)
       : topology_(std::move(topology)), options_(options) {}
@@ -226,6 +235,7 @@ class Platform {
   sim::FlowNetwork network_{&simulator_};
   std::vector<std::unique_ptr<Device>> devices_;
   sim::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -280,8 +290,8 @@ void Stream::EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
   auto* platform = platform_;
   std::string label = std::string(topo::CopyKindToString(kind)) + " " +
                       FormatBytes(logical_bytes);
-  Enqueue([platform, path = std::move(path), logical_bytes, latency, dst,
-           src, count, engine, track = std::move(track),
+  Enqueue([platform, kind, path = std::move(path), logical_bytes, latency,
+           dst, src, count, engine, track = std::move(track),
            label = std::move(label)]() -> sim::Task<void> {
     co_await engine->Acquire();
     const double begin = platform->simulator().Now();
@@ -290,8 +300,31 @@ void Stream::EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
     co_await platform->network().Transfer(logical_bytes, path, latency);
     std::copy(staging.begin(), staging.end(), dst);
     engine->Release();
+    const double end = platform->simulator().Now();
     if (auto* trace = platform->trace()) {
-      trace->AddSpan(track, label, begin, platform->simulator().Now());
+      trace->AddSpan(track, label, begin, end);
+    }
+    if (auto* metrics = platform->metrics()) {
+      // track is "GPU<id>:<direction>" (see the Memcpy*Async wrappers).
+      const std::size_t colon = track.find(':');
+      const std::string gpu = track.substr(3, colon - 3);
+      const std::string direction = track.substr(colon + 1);
+      const obs::Labels labels{{"gpu", gpu},
+                               {"direction", direction},
+                               {"kind", topo::CopyKindToString(kind)}};
+      metrics
+          ->GetCounter(obs::kCopyBytes, labels,
+                       "Logical bytes moved by vgpu copy operations")
+          .Add(logical_bytes);
+      metrics
+          ->GetCounter(obs::kCopyOps, labels,
+                       "Completed vgpu copy operations")
+          .Inc();
+      metrics
+          ->GetHistogram(obs::kCopySeconds,
+                         {{"kind", topo::CopyKindToString(kind)}},
+                         "Simulated duration of vgpu copy operations")
+          .Observe(end - begin);
     }
   });
 }

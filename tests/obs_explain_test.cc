@@ -1,0 +1,198 @@
+// Tests for the bottleneck-attribution report (obs/explain.h): report
+// construction from a hand-built registry, the rendered text block, and an
+// end-to-end partial-mesh run where the report must blame the right link.
+
+#include "obs/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/p2p_sort.h"
+#include "obs/phase.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::obs {
+namespace {
+
+// Builds the registry an instrumented run would leave behind: 10 simulated
+// seconds, two links, one two-phase sorter, two GPUs.
+MetricsRegistry TwoLinkRegistry() {
+  MetricsRegistry registry;
+  registry.GetGauge(kSimTimeSeconds).Set(10.0);
+
+  const Labels fast{{"link", "nvl(GPU0-GPU1)="}, {"kind", "nvlink2"}};
+  const Labels slow{{"link", "pcie(CPU0-GPU0)>"}, {"kind", "pcie3"}};
+  registry.GetCounter(kLinkBytes, fast).Add(8e9);
+  registry.GetCounter(kLinkBusySeconds, fast).Add(4.0);
+  registry.GetCounter(kLinkSaturatedSeconds, fast).Add(3.0);
+  registry.GetCounter(kLinkBytes, slow).Add(1e9);
+  registry.GetCounter(kLinkBusySeconds, slow).Add(6.0);
+  registry.GetCounter(kLinkSaturatedSeconds, slow).Add(1.0);
+
+  // Phase "sort": kernels dominate. Phase "merge": the nvl link dominates.
+  registry
+      .GetHistogram(kPhaseSeconds, {{"algo", "p2p"}, {"phase", "sort"}})
+      .Observe(5.0);
+  registry
+      .GetCounter(kPhaseKernelBusySeconds,
+                  {{"algo", "p2p"}, {"phase", "sort"}})
+      .Add(4.5);
+  registry
+      .GetHistogram(kPhaseSeconds, {{"algo", "p2p"}, {"phase", "merge"}})
+      .Observe(4.0);
+  registry
+      .GetCounter(kPhaseKernelBusySeconds,
+                  {{"algo", "p2p"}, {"phase", "merge"}})
+      .Add(1.0);
+  const Labels merge_nvl{
+      {"algo", "p2p"}, {"phase", "merge"}, {"link", "nvl(GPU0-GPU1)="}};
+  registry.GetCounter(kPhaseLinkBusySeconds, merge_nvl).Add(3.5);
+  registry.GetCounter(kPhaseLinkBytes, merge_nvl).Add(6e9);
+  const Labels merge_pcie{
+      {"algo", "p2p"}, {"phase", "merge"}, {"link", "pcie(CPU0-GPU0)>"}};
+  registry.GetCounter(kPhaseLinkBusySeconds, merge_pcie).Add(0.5);
+  registry.GetCounter(kPhaseLinkBytes, merge_pcie).Add(2e8);
+
+  registry.GetCounter(kKernelBusySeconds, {{"gpu", "0"}}).Add(6.0);
+  registry.GetCounter(kKernelBusySeconds, {{"gpu", "1"}}).Add(2.0);
+  return registry;
+}
+
+TEST(ExplainTest, LinksSortBySaturationThenBusyTime) {
+  const ExplainReport report = BuildExplainReport(TwoLinkRegistry());
+  EXPECT_DOUBLE_EQ(report.elapsed_seconds, 10.0);
+  ASSERT_EQ(report.links.size(), 2u);
+  // nvl saturated 3s beats pcie saturated 1s despite less busy time.
+  EXPECT_EQ(report.links[0].name, "nvl(GPU0-GPU1)=");
+  EXPECT_EQ(report.links[0].kind, "nvlink2");
+  EXPECT_DOUBLE_EQ(report.links[0].busy_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(report.links[0].saturated_fraction, 0.3);
+  EXPECT_EQ(report.links[1].name, "pcie(CPU0-GPU0)>");
+  EXPECT_DOUBLE_EQ(report.links[1].busy_fraction, 0.6);
+}
+
+TEST(ExplainTest, TopKLimitsTheLinkTable) {
+  ExplainOptions options;
+  options.top_k_links = 1;
+  const ExplainReport report =
+      BuildExplainReport(TwoLinkRegistry(), options);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_EQ(report.links[0].name, "nvl(GPU0-GPU1)=");
+}
+
+TEST(ExplainTest, PhasesAttributeTransferVsCompute) {
+  const ExplainReport report = BuildExplainReport(TwoLinkRegistry());
+  ASSERT_EQ(report.phases.size(), 2u);
+  // Execution order: sort before merge.
+  EXPECT_EQ(report.phases[0].phase, "sort");
+  EXPECT_EQ(report.phases[1].phase, "merge");
+
+  const ExplainPhase& sort = report.phases[0];
+  EXPECT_FALSE(sort.transfer_bound);  // kernel 4.5s, no in-phase link time
+  EXPECT_DOUBLE_EQ(sort.kernel_busy_seconds, 4.5);
+  EXPECT_DOUBLE_EQ(sort.kernel_busy_fraction, 0.9);
+
+  const ExplainPhase& merge = report.phases[1];
+  EXPECT_TRUE(merge.transfer_bound);  // link 3.5s > kernel 1.0s
+  EXPECT_EQ(merge.bottleneck_link, "nvl(GPU0-GPU1)=");
+  EXPECT_DOUBLE_EQ(merge.link_busy_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(merge.link_bytes, 6e9);
+  EXPECT_DOUBLE_EQ(merge.link_busy_fraction, 3.5 / 4.0);
+}
+
+TEST(ExplainTest, GpusListedInNumericOrderWithBusyFractions) {
+  const ExplainReport report = BuildExplainReport(TwoLinkRegistry());
+  ASSERT_EQ(report.gpus.size(), 2u);
+  EXPECT_EQ(report.gpus[0].gpu, "0");
+  EXPECT_DOUBLE_EQ(report.gpus[0].busy_fraction, 0.6);
+  EXPECT_EQ(report.gpus[1].gpu, "1");
+  EXPECT_DOUBLE_EQ(report.gpus[1].busy_fraction, 0.2);
+}
+
+TEST(ExplainTest, EmptyRegistryProducesEmptyReport) {
+  const ExplainReport report = BuildExplainReport(MetricsRegistry{});
+  EXPECT_DOUBLE_EQ(report.elapsed_seconds, 0.0);
+  EXPECT_TRUE(report.links.empty());
+  EXPECT_TRUE(report.phases.empty());
+  EXPECT_TRUE(report.gpus.empty());
+}
+
+TEST(ExplainRenderTest, MentionsBottlenecksAndPlaceholders) {
+  const std::string text =
+      RenderExplainReport(BuildExplainReport(TwoLinkRegistry()));
+  EXPECT_NE(text.find("=== explain: bottleneck attribution over"),
+            std::string::npos);
+  EXPECT_NE(text.find("p2p/merge"), std::string::npos);
+  EXPECT_NE(text.find("transfer-bound on nvl(GPU0-GPU1)="),
+            std::string::npos);
+  EXPECT_NE(text.find("p2p/sort"), std::string::npos);
+  EXPECT_NE(text.find("compute-bound"), std::string::npos);
+  EXPECT_NE(text.find("GPU0"), std::string::npos);
+
+  const std::string empty =
+      RenderExplainReport(BuildExplainReport(MetricsRegistry{}));
+  EXPECT_NE(empty.find("(no link traffic recorded)"), std::string::npos);
+  EXPECT_NE(empty.find("(no phase instrumentation recorded)"),
+            std::string::npos);
+  EXPECT_NE(empty.find("(no kernel instrumentation recorded)"),
+            std::string::npos);
+}
+
+// End-to-end on the DELTA partial mesh (Section 3.1.2): NVLink pairs
+// 0-1 / 0-2 / 2-3 are double-width ("nvl-x2"), pair 1-3 is single-width
+// ("nvl-x1"), and pairs 1-2 / 0-3 have no NVLink at all. With the GPU
+// order pinned to {2,0,1,3}, every P2P merge exchange rides NVLink
+// (stage 1: 2<->0 and 1<->3; stage 2: middle chunks on 0<->1), so the
+// half-bandwidth 1-3 link carries its exchange for the longest and the
+// explain report must blame it for the merge phase.
+TEST(ExplainEndToEndTest, DeltaPartialMeshMergeBlamesNarrowNvlink) {
+  auto platform =
+      CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem("delta-d22x"))));
+  MetricsRegistry registry;
+  platform->SetMetrics(&registry);
+
+  DataGenOptions gen;
+  gen.seed = 7;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(1 << 20, gen));
+  core::SortOptions options;
+  options.gpu_set = {2, 0, 1, 3};
+  auto stats = core::P2pSort(platform.get(), &data, options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(std::is_sorted(data.vector().begin(), data.vector().end()));
+
+  SyncFlowMetrics(&platform->network(), platform->topology(),
+                  platform->simulator().Now(), &registry);
+  ExplainOptions all_links;
+  all_links.top_k_links = 0;  // untruncated: host links outrank NVLink
+  const ExplainReport report = BuildExplainReport(registry, all_links);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  ASSERT_FALSE(report.links.empty());
+  ASSERT_EQ(report.gpus.size(), 4u);
+
+  const auto merge = std::find_if(
+      report.phases.begin(), report.phases.end(), [](const ExplainPhase& p) {
+        return p.algo == "p2p" && p.phase == "merge";
+      });
+  ASSERT_NE(merge, report.phases.end());
+  EXPECT_GT(merge->seconds, 0.0);
+  EXPECT_TRUE(merge->transfer_bound);
+  // The narrow nvl-x1 GPU1-GPU3 link is the merge-phase critical path.
+  EXPECT_NE(merge->bottleneck_link.find("nvl-x1"), std::string::npos)
+      << "bottleneck was " << merge->bottleneck_link;
+  EXPECT_GT(merge->link_bytes, 0.0);
+
+  // The same exchange traffic shows up in the whole-run link table.
+  const auto narrow = std::find_if(
+      report.links.begin(), report.links.end(), [](const ExplainLink& l) {
+        return l.name.find("nvl-x1") != std::string::npos;
+      });
+  ASSERT_NE(narrow, report.links.end());
+  EXPECT_GT(narrow->bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace mgs::obs

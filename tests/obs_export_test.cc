@@ -1,0 +1,119 @@
+// Tests for the registry exporters (obs/export.h): golden strings for the
+// Prometheus/JSON/CSV forms and file-extension dispatch.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mgs::obs {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+MetricsRegistry SmallRegistry() {
+  MetricsRegistry registry;
+  registry.GetCounter("mgs_bytes_total", {{"gpu", "0"}}, "Bytes moved")
+      .Add(1024);
+  registry.GetGauge("mgs_depth", {}, "Queue depth").Set(3);
+  Histogram& h = registry.GetHistogram("mgs_lat_seconds", {{"op", "copy"}},
+                                       "Latencies",
+                                       HistogramOptions{1.0, 2.0, 2});
+  h.Observe(0.5);  // bucket le=1
+  h.Observe(1.5);  // bucket le=2
+  h.Observe(9.0);  // +Inf
+  return registry;
+}
+
+TEST(PrometheusExportTest, GoldenText) {
+  const std::string text = ToPrometheusText(SmallRegistry());
+  const std::string expected =
+      "# HELP mgs_bytes_total Bytes moved\n"
+      "# TYPE mgs_bytes_total counter\n"
+      "mgs_bytes_total{gpu=\"0\"} 1024\n"
+      "# HELP mgs_depth Queue depth\n"
+      "# TYPE mgs_depth gauge\n"
+      "mgs_depth 3\n"
+      "# HELP mgs_lat_seconds Latencies\n"
+      "# TYPE mgs_lat_seconds histogram\n"
+      "mgs_lat_seconds_bucket{op=\"copy\",le=\"1\"} 1\n"
+      "mgs_lat_seconds_bucket{op=\"copy\",le=\"2\"} 2\n"
+      "mgs_lat_seconds_bucket{op=\"copy\",le=\"+Inf\"} 3\n"
+      "mgs_lat_seconds_sum{op=\"copy\"} 11\n"
+      "mgs_lat_seconds_count{op=\"copy\"} 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(JsonExportTest, GoldenText) {
+  const std::string json = ToJson(SmallRegistry());
+  const std::string expected =
+      "{\"families\":["
+      "{\"name\":\"mgs_bytes_total\",\"kind\":\"counter\","
+      "\"help\":\"Bytes moved\",\"metrics\":["
+      "{\"labels\":{\"gpu\":\"0\"},\"value\":1024}]},"
+      "{\"name\":\"mgs_depth\",\"kind\":\"gauge\","
+      "\"help\":\"Queue depth\",\"metrics\":["
+      "{\"labels\":{},\"value\":3}]},"
+      "{\"name\":\"mgs_lat_seconds\",\"kind\":\"histogram\","
+      "\"help\":\"Latencies\",\"metrics\":["
+      "{\"labels\":{\"op\":\"copy\"},\"count\":3,\"sum\":11,\"buckets\":["
+      "{\"le\":1,\"count\":1},{\"le\":2,\"count\":2},"
+      "{\"le\":\"+Inf\",\"count\":3}]}]}"
+      "]}";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(CsvExportTest, GoldenText) {
+  const std::string csv = ToCsv(SmallRegistry());
+  const std::string expected =
+      "kind,name,labels,field,value\n"
+      "counter,mgs_bytes_total,\"{gpu=\"\"0\"\"}\",value,1024\n"
+      "gauge,mgs_depth,,value,3\n"
+      "histogram,mgs_lat_seconds,\"{op=\"\"copy\"\"}\",le=1,1\n"
+      "histogram,mgs_lat_seconds,\"{op=\"\"copy\"\"}\",le=2,2\n"
+      "histogram,mgs_lat_seconds,\"{op=\"\"copy\"\"}\",le=+Inf,3\n"
+      "histogram,mgs_lat_seconds,\"{op=\"\"copy\"\"}\",sum,11\n"
+      "histogram,mgs_lat_seconds,\"{op=\"\"copy\"\"}\",count,3\n";
+  EXPECT_EQ(csv, expected);
+}
+
+TEST(ExportTest, NumbersRoundTripAtFullPrecision) {
+  MetricsRegistry registry;
+  const double value = 0.12345678901234567;
+  registry.GetCounter("c").Add(value);
+  const std::string text = ToPrometheusText(registry);
+  const auto at = text.rfind(' ');
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(std::stod(text.substr(at + 1)), value);
+}
+
+TEST(WriteMetricsFileTest, ExtensionDispatch) {
+  const MetricsRegistry registry = SmallRegistry();
+  const auto dir = std::filesystem::temp_directory_path();
+
+  const auto prom = (dir / "mgs_obs_test.prom").string();
+  ASSERT_TRUE(WriteMetricsFile(registry, prom).ok());
+  EXPECT_EQ(Slurp(prom), ToPrometheusText(registry));
+
+  const auto json = (dir / "mgs_obs_test.json").string();
+  ASSERT_TRUE(WriteMetricsFile(registry, json).ok());
+  EXPECT_EQ(Slurp(json), ToJson(registry));
+
+  const auto csv = (dir / "mgs_obs_test.csv").string();
+  ASSERT_TRUE(WriteMetricsFile(registry, csv).ok());
+  EXPECT_EQ(Slurp(csv), ToCsv(registry));
+
+  for (const auto& path : {prom, json, csv}) {
+    std::filesystem::remove(path);
+  }
+  EXPECT_FALSE(WriteMetricsFile(registry, "/no/such/dir/m.prom").ok());
+}
+
+}  // namespace
+}  // namespace mgs::obs

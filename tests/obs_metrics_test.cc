@@ -1,0 +1,164 @@
+// Tests for the metrics registry (obs/metrics.h): label normalization,
+// handle identity, histogram bucket semantics, shard merging.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mgs::obs {
+namespace {
+
+TEST(CounterTest, MonotoneAndIgnoresNegative) {
+  Counter c;
+  c.Add(2.5);
+  c.Inc();
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.Add(-10.0);  // counters never go down
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.Add(0.0);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_DOUBLE_EQ(g.value(), 4);
+  g.Set(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 0.5);
+}
+
+TEST(FormatLabelsTest, CanonicalForm) {
+  EXPECT_EQ(FormatLabels({}), "");
+  EXPECT_EQ(FormatLabels({{"gpu", "0"}}), "{gpu=\"0\"}");
+  EXPECT_EQ(FormatLabels({{"a", "x"}, {"b", "y"}}), "{a=\"x\",b=\"y\"}");
+}
+
+TEST(FormatLabelsTest, EscapesSpecialCharacters) {
+  const std::string out = FormatLabels({{"k", "a\"b\\c"}});
+  EXPECT_EQ(out, "{k=\"a\\\"b\\\\c\"}");
+}
+
+TEST(RegistryTest, LabelOrderNormalized) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("m", {{"x", "1"}, {"y", "2"}});
+  Counter& b = registry.GetCounter("m", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);  // same series regardless of label order
+  a.Inc();
+  EXPECT_DOUBLE_EQ(registry.CounterValue("m", {{"y", "2"}, {"x", "1"}}), 1);
+}
+
+TEST(RegistryTest, HandlesAreStable) {
+  MetricsRegistry registry;
+  Counter& first = registry.GetCounter("c", {{"k", "v"}});
+  for (int i = 0; i < 100; ++i) {
+    // Creating unrelated series must not invalidate earlier handles.
+    registry.GetCounter("c", {{"k", std::to_string(i)}});
+  }
+  EXPECT_EQ(&first, &registry.GetCounter("c", {{"k", "v"}}));
+}
+
+TEST(RegistryTest, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"gpu", "0"}}).Add(1);
+  registry.GetCounter("c", {{"gpu", "1"}}).Add(2);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("c", {{"gpu", "0"}}), 1);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("c", {{"gpu", "1"}}), 2);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("c", {{"gpu", "2"}}), 0);  // absent
+  const auto* family = registry.FindFamily("c");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->counters.size(), 2u);
+}
+
+TEST(RegistryTest, ValueLookupsDoNotCreateSeries) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.CounterValue("nope"), 0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("nope"), 0);
+  EXPECT_EQ(registry.num_families(), 0u);
+}
+
+TEST(RegistryTest, FamiliesIterateInNameOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("zzz");
+  registry.GetGauge("aaa");
+  registry.GetHistogram("mmm");
+  std::vector<std::string> names;
+  for (const auto& [name, family] : registry.families()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"aaa", "mmm", "zzz"}));
+}
+
+TEST(HistogramTest, LogSpacedBounds) {
+  Histogram h(HistogramOptions{1e-6, 4.0, 20});
+  ASSERT_EQ(h.num_buckets(), 20u);
+  EXPECT_DOUBLE_EQ(h.UpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.UpperBound(1), 4e-6);
+  EXPECT_DOUBLE_EQ(h.UpperBound(2), 1.6e-5);
+  EXPECT_EQ(h.UpperBound(20), std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, LeSemantics) {
+  // Prometheus `le` semantics: an observation lands in the first bucket
+  // whose upper bound is >= it.
+  Histogram h(HistogramOptions{1.0, 2.0, 3});  // bounds 1, 2, 4, +Inf
+  h.Observe(1.0);   // == bound 1 -> bucket 0
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // == bound 4 -> bucket 2
+  h.Observe(100.0); // overflow
+  h.Observe(0.0);   // below the first bound -> bucket 0
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.CumulativeCount(0), 2u);
+  EXPECT_EQ(h.CumulativeCount(2), 4u);
+  EXPECT_EQ(h.CumulativeCount(3), 5u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(RegistryTest, HistogramOptionsStickToFamily) {
+  MetricsRegistry registry;
+  HistogramOptions opts{0.001, 10.0, 5};
+  Histogram& h = registry.GetHistogram("h", {}, "", opts);
+  EXPECT_EQ(h.num_buckets(), 5u);
+  // A second lookup returns the same histogram.
+  EXPECT_EQ(&h, &registry.GetHistogram("h", {}, "", opts));
+}
+
+TEST(RegistryTest, MergeFromAccumulatesCountersAndHistograms) {
+  MetricsRegistry main;
+  main.GetCounter("c", {{"k", "a"}}).Add(1);
+  main.GetGauge("g").Set(10);
+  main.GetHistogram("h").Observe(0.5);
+
+  MetricsRegistry shard;
+  shard.GetCounter("c", {{"k", "a"}}).Add(2);
+  shard.GetCounter("c", {{"k", "b"}}).Add(5);
+  shard.GetGauge("g").Set(99);
+  shard.GetHistogram("h").Observe(0.25);
+  shard.GetHistogram("h").Observe(0.75);
+
+  main.MergeFrom(shard);
+  EXPECT_DOUBLE_EQ(main.CounterValue("c", {{"k", "a"}}), 3);
+  EXPECT_DOUBLE_EQ(main.CounterValue("c", {{"k", "b"}}), 5);
+  EXPECT_DOUBLE_EQ(main.GaugeValue("g"), 99);  // gauges: last writer wins
+  const Histogram& h = main.GetHistogram("h");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+}
+
+TEST(RegistryTest, ClearEmptiesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Inc();
+  registry.Clear();
+  EXPECT_EQ(registry.num_families(), 0u);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("c"), 0);
+}
+
+}  // namespace
+}  // namespace mgs::obs

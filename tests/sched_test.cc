@@ -9,6 +9,8 @@
 #include <algorithm>
 
 #include "core/p2p_sort.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
 #include "sim/trace.h"
 #include "topo/systems.h"
 
@@ -386,6 +388,62 @@ TEST(SortServerTest, UtilizationSamplerRecordsCounters) {
     if (s.track.rfind("sched:gpu", 0) == 0) saw_run_span = true;
   }
   EXPECT_TRUE(saw_run_span);
+}
+
+TEST(SortServerTest, PublishesJobTelemetryToRegistry) {
+  auto platform = MakeDgx();
+  obs::MetricsRegistry registry;
+  platform->SetMetrics(&registry);
+  ServerOptions options;
+  options.utilization_sample_seconds = 0.05;
+  SortServer server(platform.get(), options);
+  server.Submit(MakeJob(0, 2e9, 2));
+  server.Submit(MakeJob(0.01, 1e9, 1));
+  server.Submit(MakeJob(0.02, 1e9, 3));  // rejected: non-power-of-two GPUs
+  const auto report = CheckOk(server.Run());
+  ASSERT_EQ(report.completed, 2);
+  ASSERT_EQ(report.rejected, 1);
+
+  EXPECT_DOUBLE_EQ(registry.CounterValue(kSchedJobs, {{"state", "done"}}), 2);
+  // Rejection reasons carry the admission status code.
+  const auto* rejections = registry.FindFamily(kSchedRejections);
+  ASSERT_NE(rejections, nullptr);
+  double rejected_total = 0;
+  for (const auto& [labels, counter] : rejections->counters) {
+    rejected_total += counter->value();
+  }
+  EXPECT_DOUBLE_EQ(rejected_total, 1);
+
+  // Queue emptied out by the end; latency histograms saw every done job.
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(kSchedQueueDepth), 0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue(kSchedRunningJobs), 0);
+  const auto* latency = registry.FindFamily(kSchedJobLatencySeconds);
+  ASSERT_NE(latency, nullptr);
+  ASSERT_EQ(latency->histograms.size(), 1u);
+  EXPECT_EQ(latency->histograms.begin()->second->count(), 2u);
+
+  // The final flow sync mirrored link traffic into the registry.
+  const auto* link_bytes = registry.FindFamily(obs::kLinkBytes);
+  ASSERT_NE(link_bytes, nullptr);
+  double total_bytes = 0;
+  for (const auto& [labels, counter] : link_bytes->counters) {
+    total_bytes += counter->value();
+  }
+  EXPECT_GT(total_bytes, 0);
+}
+
+TEST(SortServerTest, PublishesSloBurnWhenLatencyExceedsTarget) {
+  auto platform = MakeDgx();
+  obs::MetricsRegistry registry;
+  platform->SetMetrics(&registry);
+  ServerOptions options;
+  options.slo_seconds = 1e-6;  // unattainable: every job burns SLO budget
+  SortServer server(platform.get(), options);
+  server.Submit(MakeJob(0, 2e9, 2));
+  const auto report = CheckOk(server.Run());
+  ASSERT_EQ(report.completed, 1);
+  EXPECT_DOUBLE_EQ(registry.CounterValue(kSchedSloViolations), 1);
+  EXPECT_GT(registry.CounterValue(kSchedSloBurnSeconds), 0);
 }
 
 TEST(SortServerTest, EmptyServiceFinishesImmediately) {

@@ -47,5 +47,46 @@ TEST(RunningStatsTest, NegativeValues) {
   EXPECT_DOUBLE_EQ(s.Min(), -3.0);
 }
 
+TEST(PercentileTest, NearestRankOnUnsortedInput) {
+  std::vector<double> samples;
+  for (int i = 1000; i >= 1; --i) samples.push_back(i);  // 1..1000, reversed
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 500);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 99), 990);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 99.9), 999);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 1000);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 1);
+  // The input is taken by value; the caller's vector stays unsorted.
+  EXPECT_DOUBLE_EQ(samples.front(), 1000);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 99.9), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 50), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 51), 2.0);
+}
+
+TEST(SummarizeTest, AllFieldsFromOneSortedPass) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(i);
+  const LatencySummary s = Summarize(samples);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.p50, 500);
+  EXPECT_DOUBLE_EQ(s.p95, 950);
+  EXPECT_DOUBLE_EQ(s.p99, 990);
+  EXPECT_DOUBLE_EQ(s.p999, 999);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000);
+}
+
+TEST(SummarizeTest, EmptyIsAllZero) {
+  const LatencySummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0);
+  EXPECT_DOUBLE_EQ(s.p999, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0);
+}
+
 }  // namespace
 }  // namespace mgs

@@ -32,7 +32,32 @@ TEST(TraceTest, ChromeJsonShape) {
   EXPECT_EQ(json.back(), ']');
   EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
-  EXPECT_NE(json.find("\"ts\":1e+06"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+}
+
+TEST(TraceTest, TimestampsRoundTripAtFullPrecision) {
+  // Regression: the default 6-significant-digit stream precision used to
+  // truncate microsecond timestamps ("ts":1e+06), collapsing events past
+  // ~1 simulated second onto coarse ticks. max_digits10 output must parse
+  // back to exactly the recorded value.
+  TraceRecorder trace;
+  const double begin = 1.2345678901234567;  // needs all 17 digits
+  const double end = begin + 1e-9;          // a 1 ns span
+  trace.AddSpan("t0", "op", begin, end);
+  const std::string json = trace.ToChromeTraceJson();
+
+  const std::string ts_key = "\"ts\":";
+  const auto at = json.find(ts_key);
+  ASSERT_NE(at, std::string::npos);
+  const double ts = std::stod(json.substr(at + ts_key.size()));
+  EXPECT_EQ(ts, begin * 1e6);
+
+  const std::string dur_key = "\"dur\":";
+  const auto dur_at = json.find(dur_key);
+  ASSERT_NE(dur_at, std::string::npos);
+  const double dur = std::stod(json.substr(dur_at + dur_key.size()));
+  EXPECT_EQ(dur, (end - begin) * 1e6);
+  EXPECT_GT(dur, 0);  // the span must not collapse to zero width
 }
 
 TEST(TraceTest, WriteToFile) {
