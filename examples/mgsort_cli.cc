@@ -13,9 +13,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "benchsuite/suite.h"
+#include "fault/injector.h"
+#include "fault/scenario.h"
 #include "core/hybrid_sort.h"
 #include "core/radix_partition_sort.h"
 #include "obs/explain.h"
@@ -36,8 +39,10 @@ struct Args {
   double keys = 2e9;
   std::string dist = "uniform";
   std::string type = "int32";
+  std::uint64_t seed = 42;
   std::string trace_path;
   std::string metrics_path;
+  std::string fault_plan;  // inline scenario, @file, or file path
   bool explain = false;
   bool multihop = false;
 };
@@ -51,8 +56,9 @@ void Usage() {
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
       "                  [--type=int32|int64|float32|float64]\n"
-      "                  [--multihop] [--trace=out.json]\n"
-      "                  [--explain] [--metrics-out=metrics.prom|.json|.csv]"
+      "                  [--seed=N] [--multihop] [--trace=out.json]\n"
+      "                  [--explain] [--metrics-out=metrics.prom|.json|.csv]\n"
+      "                  [--fault-plan='at=0.5 gpu=1 fail; ...'|@plan.json]"
       "\n");
 }
 
@@ -81,6 +87,10 @@ Result<Args> Parse(int argc, char** argv) {
       args.dist = value;
     } else if (ParseFlag(argv[i], "--type", &value)) {
       args.type = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
+      args.fault_plan = value;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       args.trace_path = value;
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
@@ -124,7 +134,17 @@ Result<core::SortStats> RunExperiment(const Args& args,
   platform->SetTrace(trace);
   platform->SetMetrics(metrics);
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!args.fault_plan.empty()) {
+    MGS_ASSIGN_OR_RETURN(auto scenario,
+                         fault::FaultScenario::Load(args.fault_plan));
+    injector = std::make_unique<fault::FaultInjector>(
+        platform.get(), std::move(scenario), args.seed);
+    MGS_RETURN_IF_ERROR(injector->Arm());
+  }
+
   DataGenOptions gen;
+  gen.seed = args.seed;
   MGS_ASSIGN_OR_RETURN(gen.distribution, DistributionFromString(args.dist));
   vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
   const int gpus =
@@ -167,6 +187,15 @@ Result<core::SortStats> RunExperiment(const Args& args,
 
   if (!std::is_sorted(data.vector().begin(), data.vector().end())) {
     return Status::Internal("output is not sorted");
+  }
+  if (injector != nullptr) {
+    const auto& faults = injector->stats();
+    std::printf(
+        "  faults: %d events fired, %lld transient copy errors injected, "
+        "%d GPU(s) failed\n",
+        faults.events_fired,
+        static_cast<long long>(faults.copy_errors_injected),
+        faults.gpus_failed);
   }
   obs::SyncFlowMetrics(&platform->network(), platform->topology(),
                        platform->simulator().Now(), metrics);

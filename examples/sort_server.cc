@@ -15,8 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "fault/injector.h"
+#include "fault/scenario.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "sched/server.h"
@@ -39,6 +42,7 @@ struct Args {
   double slo = 5.0;
   std::string trace_path;
   std::string metrics_path;
+  std::string fault_plan;  // inline scenario, @file, or file path
 };
 
 void Usage() {
@@ -47,7 +51,13 @@ void Usage() {
       "                   [--jobs=N] [--rate=JOBS_PER_SEC]\n"
       "                   [--policy=fifo|sjf|priority] [--seed=N]\n"
       "                   [--slo=SECONDS] [--trace=out.json]\n"
-      "                   [--metrics-out=metrics.prom|.json|.csv]\n");
+      "                   [--metrics-out=metrics.prom|.json|.csv]\n"
+      "                   [--fault-plan='at=0.5 gpu=1 fail; ...'|@plan.json]\n"
+      "\n"
+      "--fault-plan injects faults (GPU loss, link degradation/outage,\n"
+      "transient copy errors; see docs/fault_tolerance.md) and enables the\n"
+      "server's recovery policy: retries with backoff, health monitoring,\n"
+      "and HET fallback on degraded meshes.\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -79,6 +89,8 @@ Result<Args> Parse(int argc, char** argv) {
       args.trace_path = value;
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
       args.metrics_path = value;
+    } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
+      args.fault_plan = value;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       std::exit(0);
@@ -131,7 +143,31 @@ int main(int argc, char** argv) {
     options.utilization_sample_seconds = 0.05;
   }
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!args.fault_plan.empty()) {
+    auto scenario = fault::FaultScenario::Load(args.fault_plan);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    injector = std::make_unique<fault::FaultInjector>(
+        platform.get(), std::move(*scenario), args.seed);
+    // Faults are live: retry transient failures with backoff, monitor for
+    // unsatisfiable jobs, and reroute to HET when a mesh degrades badly.
+    options.recovery.max_retries = 3;
+    options.recovery.jitter_seed = args.seed;
+    options.recovery.health_check_seconds = 0.05;
+    options.recovery.het_fallback_below = 0.5;
+  }
+
   SortServer server(platform.get(), options);
+
+  if (injector != nullptr) {
+    if (Status armed = injector->Arm(); !armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 1;
+    }
+  }
 
   JobMix mix;
   if (platform->num_devices() < 4) mix.gpu_choices = {1, 2};
@@ -157,11 +193,32 @@ int main(int argc, char** argv) {
               ReportTable::Num(args.rate, 1) + "/s + 2x4 closed-loop, " +
               args.policy);
 
-  std::printf("jobs      : %d done, %d failed, %d rejected\n",
-              report.completed, report.failed, report.rejected);
+  std::printf(
+      "jobs      : %d done (%d recovered after retry), "
+      "%d failed permanently, %d rejected\n",
+      report.completed, report.recovered, report.failed, report.rejected);
   std::printf("makespan  : %s   throughput: %.2f Gkeys/s\n",
               FormatDuration(report.makespan).c_str(),
               report.aggregate_gkeys_per_sec);
+  if (injector != nullptr) {
+    const auto& faults = injector->stats();
+    std::printf(
+        "faults    : %d events fired, %lld copy errors injected, "
+        "%d GPU(s) failed\n",
+        faults.events_fired,
+        static_cast<long long>(faults.copy_errors_injected),
+        faults.gpus_failed);
+
+    ReportTable resilience("sort_server: resilience",
+                           {"recovered", "failed permanently", "retries",
+                            "MTTR [s]", "HET fallbacks"});
+    resilience.AddRow({std::to_string(report.recovered),
+                       std::to_string(report.failed),
+                       std::to_string(report.total_retries),
+                       ReportTable::Num(report.mttr_seconds, 3),
+                       std::to_string(report.het_fallbacks)});
+    resilience.Emit();
+  }
   if (report.slo_attainment >= 0) {
     std::printf("SLO       : %.0f%% of jobs within %s\n",
                 100 * report.slo_attainment,

@@ -78,22 +78,37 @@ struct GroupTracker {
 
 }  // namespace het_internal
 
-/// Sorts `data` ascending with the heterogeneous algorithm. Unlike P2P
-/// sort, the data may exceed the combined GPU memory (chunk groups) and any
-/// GPU count >= 1 works.
+/// Reentrant coroutine form of HetSort: runs on the platform's *shared*
+/// simulator without driving it, so the multi-tenant service (src/sched)
+/// can execute it concurrently with other jobs — notably as the graceful-
+/// degradation fallback when a job's P2P mesh is unhealthy. On completion
+/// `*out` holds the stats or the error. Device buffers are allocated
+/// eagerly, before the first suspension point (same reservation-handoff
+/// contract as P2pSortTask).
 template <typename T>
-Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
-                          const HetOptions& options) {
+sim::Task<void> HetSortTask(vgpu::Platform* platform,
+                            vgpu::HostBuffer<T>* data, HetOptions options,
+                            Result<SortStats>* out) {
   std::vector<int> gpus = options.gpu_set;
   if (gpus.empty()) {
     for (int g = 0; g < platform->num_devices(); ++g) gpus.push_back(g);
   }
   const int g = static_cast<int>(gpus.size());
-  if (g < 1) return Status::Invalid("need at least one GPU");
+  if (g < 1) {
+    *out = Status::Invalid("need at least one GPU");
+    co_return;
+  }
   for (int id : gpus) {
     if (id < 0 || id >= platform->num_devices()) {
-      return Status::Invalid("no such GPU: " + std::to_string(id));
+      *out = Status::Invalid("no such GPU: " + std::to_string(id));
+      co_return;
     }
+    if (platform->device(id).failed()) {
+      *out = platform->device(id).fail_status();
+      co_return;
+    }
+    // A fresh job must not inherit a previous tenant's sticky copy errors.
+    platform->device(id).ResetStreamErrors();
   }
   const std::int64_t n = data->size();
   // HET sort is out-of-place on the host: input regions + merged output
@@ -104,11 +119,12 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
     const double needed =
         2.0 * static_cast<double>(n) * sizeof(T) * platform->scale();
     if (needed > host_mem) {
-      return Status::OutOfMemory(
+      *out = Status::OutOfMemory(
           "HET sort needs " + FormatBytes(needed) +
           " of host memory (2x data for the out-of-place merge) but the "
           "platform has " +
           FormatBytes(host_mem));
+      co_return;
     }
   }
   SortStats stats;
@@ -118,7 +134,10 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
   stats.num_gpus = g;
   stats.keys = static_cast<std::int64_t>(
       static_cast<double>(n) * platform->scale());
-  if (n == 0) return stats;
+  if (n == 0) {
+    *out = std::move(stats);
+    co_return;
+  }
 
   // Chunk geometry: the buffer scheme divides each GPU's memory budget into
   // 2 or 3 equal buffers; the chunk size is one buffer, capped so a single
@@ -135,7 +154,10 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
         free / buffers_per_gpu / platform->scale() / sizeof(T));
     max_chunk = std::min(max_chunk, per_buffer);
   }
-  if (max_chunk < 1) return Status::OutOfMemory("GPU buffers too small");
+  if (max_chunk < 1) {
+    *out = Status::OutOfMemory("GPU buffers too small");
+    co_return;
+  }
   const std::int64_t per_gpu_ceiling = (n + g - 1) / g;
   const std::int64_t m = std::min(max_chunk, per_gpu_ceiling);
   const std::int64_t num_chunks = (n + m - 1) / m;
@@ -152,8 +174,12 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
     auto& s = state[static_cast<std::size_t>(i)];
     s.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
     for (int b = 0; b < buffers_per_gpu; ++b) {
-      MGS_ASSIGN_OR_RETURN(auto buf, s.device->template Allocate<T>(m));
-      s.buffers.push_back(std::move(buf));
+      auto buf = s.device->template Allocate<T>(m);
+      if (!buf.ok()) {
+        *out = buf.status();
+        co_return;
+      }
+      s.buffers.push_back(std::move(*buf));
     }
   }
 
@@ -301,6 +327,10 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
 
   // Eager merge worker: merges group r's sublists as soon as the group is
   // fully back in host memory (skipping the last group, Section 5.3).
+  // CPU-side failures park in `cpu_error`; the post-join health check
+  // surfaces them (group triggers still fire on a failed device because
+  // skipped ops drain the stream FIFO, so this worker cannot wedge).
+  Status cpu_error = Status::OK();
   auto eager_worker = [&]() -> sim::Task<void> {
     for (int r = 0; r < eager_groups; ++r) {
       co_await tracker.complete[static_cast<std::size_t>(r)]->Wait();
@@ -313,9 +343,13 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
         bytes += static_cast<double>(sub.count) * sizeof(T) *
                  platform->scale();
       }
-      co_await platform->CpuMemoryWork(
+      const Status st = co_await platform->CpuMemoryWork(
           0, bytes, platform->topology().cpu_spec().merge_memory_amplification,
           MergeEngineWeight(static_cast<int>(inputs.size())));
+      if (!st.ok()) {
+        cpu_error = st;
+        co_return;
+      }
       auto& run = eager_runs[static_cast<std::size_t>(r)];
       run.resize(0);
       std::int64_t total = 0;
@@ -325,48 +359,62 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
     }
   };
 
-  double merge_phase = 0;
-  auto root = [&]() -> sim::Task<void> {
-    t0 = platform->simulator().Now();
-    std::vector<sim::JoinerPtr> joins;
-    for (int i = 0; i < g; ++i) {
-      joins.push_back(sim::Spawn(options.scheme == BufferScheme::k2n
-                                     ? pipeline_2n(i)
-                                     : pipeline_3n(i)));
-    }
-    sim::JoinerPtr eager_join;
-    if (eager_groups > 0) eager_join = sim::Spawn(eager_worker());
-    co_await sim::WhenAll(std::move(joins));
-    if (eager_join) co_await *eager_join;
-    t_gpu_phase = platform->simulator().Now();
+  t0 = platform->simulator().Now();
+  std::vector<sim::JoinerPtr> joins;
+  for (int i = 0; i < g; ++i) {
+    joins.push_back(sim::Spawn(options.scheme == BufferScheme::k2n
+                                   ? pipeline_2n(i)
+                                   : pipeline_3n(i)));
+  }
+  sim::JoinerPtr eager_join;
+  if (eager_groups > 0) eager_join = sim::Spawn(eager_worker());
+  co_await sim::WhenAll(std::move(joins));
+  if (eager_join) co_await *eager_join;
+  t_gpu_phase = platform->simulator().Now();
 
-    // Final CPU multiway merge.
-    std::vector<cpusort::MergeInput<T>> inputs;
-    for (const auto& run : eager_runs) {
-      inputs.push_back(
-          cpusort::MergeInput<T>{run.data(), run.data() + run.size()});
+  // The pipelines above run to completion even when a device fails mid-way
+  // (its remaining ops are skipped with sticky errors); check health before
+  // trusting the sorted sublists.
+  for (auto& s : state) {
+    if (Status st = s.device->FirstError(); !st.ok()) {
+      *out = st;
+      co_return;
     }
-    for (const auto& sub : sublists) {
-      if (options.eager_merge && sub.group < eager_groups) continue;
-      inputs.push_back(cpusort::MergeInput<T>{
-          data->data() + sub.begin, data->data() + sub.begin + sub.count});
-    }
-    stats.final_merge_sublists = static_cast<int>(inputs.size());
-    if (inputs.size() > 1) {
-      const double out_bytes =
-          static_cast<double>(n) * sizeof(T) * platform->scale();
-      co_await platform->CpuMemoryWork(
-          0, out_bytes,
-          platform->topology().cpu_spec().merge_memory_amplification,
-          MergeEngineWeight(static_cast<int>(inputs.size())));
-      std::vector<T> result(static_cast<std::size_t>(n));
-      cpusort::MultiwayMerge(inputs, result.data());
-      data->vector() = std::move(result);
-    }
-    merge_phase = platform->simulator().Now() - t_gpu_phase;
-  };
+  }
+  if (!cpu_error.ok()) {
+    *out = cpu_error;
+    co_return;
+  }
 
-  MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
+  // Final CPU multiway merge.
+  std::vector<cpusort::MergeInput<T>> inputs;
+  for (const auto& run : eager_runs) {
+    inputs.push_back(
+        cpusort::MergeInput<T>{run.data(), run.data() + run.size()});
+  }
+  for (const auto& sub : sublists) {
+    if (options.eager_merge && sub.group < eager_groups) continue;
+    inputs.push_back(cpusort::MergeInput<T>{
+        data->data() + sub.begin, data->data() + sub.begin + sub.count});
+  }
+  stats.final_merge_sublists = static_cast<int>(inputs.size());
+  if (inputs.size() > 1) {
+    const double out_bytes =
+        static_cast<double>(n) * sizeof(T) * platform->scale();
+    const Status st = co_await platform->CpuMemoryWork(
+        0, out_bytes,
+        platform->topology().cpu_spec().merge_memory_amplification,
+        MergeEngineWeight(static_cast<int>(inputs.size())));
+    if (!st.ok()) {
+      *out = st;
+      co_return;
+    }
+    std::vector<T> result(static_cast<std::size_t>(n));
+    cpusort::MultiwayMerge(inputs, result.data());
+    data->vector() = std::move(result);
+  }
+  const double merge_phase = platform->simulator().Now() - t_gpu_phase;
+  stats.total_seconds = platform->simulator().Now() - t0;
 
   // Phase attribution (best effort under pipelining: boundaries follow the
   // last GPU completing each phase, matching the paper's definition).
@@ -385,7 +433,20 @@ Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
                              {"sort", stats.phases.sort},
                              {"merge", stats.phases.merge},
                              {"dtoh", stats.phases.dtoh}});
-  return stats;
+  *out = std::move(stats);
+}
+
+/// Sorts `data` ascending with the heterogeneous algorithm. Unlike P2P
+/// sort, the data may exceed the combined GPU memory (chunk groups) and any
+/// GPU count >= 1 works. Drives the platform's simulator to completion;
+/// use HetSortTask directly to compose with other work on a shared clock.
+template <typename T>
+Result<SortStats> HetSort(vgpu::Platform* platform, vgpu::HostBuffer<T>* data,
+                          const HetOptions& options) {
+  Result<SortStats> out = Status::Internal("HET sort task never ran");
+  MGS_RETURN_IF_ERROR(
+      platform->Run(HetSortTask(platform, data, options, &out)).status());
+  return out;
 }
 
 }  // namespace mgs::core

@@ -39,6 +39,19 @@ struct Chunk {
   vgpu::DeviceBuffer<T> aux;
 };
 
+/// First error across the chunk devices (fail-stop loss or a sticky stream
+/// error from a failed copy/kernel). The sort task polls this at phase
+/// barriers: between barriers ops fail soft (skipped, streams poisoned),
+/// and the barrier turns that into one Status for the whole job.
+template <typename T>
+Status ChunksHealth(const std::vector<Chunk<T>>& chunks) {
+  for (const auto& chunk : chunks) {
+    Status st = chunk.device->FirstError();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 template <typename T>
 struct MergeContext {
   vgpu::Platform* platform;
@@ -256,6 +269,12 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
   for (int i = 0; i < g; ++i) {
     auto& chunk = chunks[static_cast<std::size_t>(i)];
     chunk.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
+    if (chunk.device->failed()) {
+      *out = chunk.device->fail_status();
+      co_return;
+    }
+    // A fresh job must not inherit a previous tenant's sticky copy errors.
+    chunk.device->ResetStreamErrors();
     auto primary = chunk.device->template Allocate<T>(m);
     if (!primary.ok()) {
       *out = primary.status();
@@ -304,6 +323,10 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(upload(i)));
     co_await sim::WhenAll(std::move(joins));
   }
+  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+    *out = st;  // frame destruction frees the device buffers
+    co_return;
+  }
   const double t_htod = platform->simulator().Now();
   phase_metrics.StartPhase("sort", t_htod);
 
@@ -320,12 +343,20 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(sort_chunk(i)));
     co_await sim::WhenAll(std::move(joins));
   }
+  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
   const double t_sort = platform->simulator().Now();
   phase_metrics.StartPhase("merge", t_sort);
 
   // Phase 2: recursive P2P merge.
   MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
   co_await p2p_internal::MergeChunks(ctx, 0, g);
+  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
   const double t_merge = platform->simulator().Now();
   phase_metrics.StartPhase("dtoh", t_merge);
 
@@ -345,6 +376,10 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     std::vector<sim::JoinerPtr> joins;
     for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
     co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
   }
   phase_metrics.Finish(platform->simulator().Now());
   stats.total_seconds = platform->simulator().Now() - t0;

@@ -1,0 +1,142 @@
+#include "fault/injector.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/resilience.h"
+
+namespace mgs::fault {
+
+FaultInjector::FaultInjector(vgpu::Platform* platform, FaultScenario scenario,
+                             std::uint64_t seed_mix)
+    : platform_(platform),
+      scenario_(std::move(scenario)),
+      rng_(scenario_.seed ^ (seed_mix * 0x9e3779b97f4a7c15ULL)) {}
+
+FaultInjector::~FaultInjector() {
+  if (armed_ && platform_->fault_oracle() == this) {
+    platform_->SetFaultOracle(nullptr);
+  }
+}
+
+Status FaultInjector::Arm() {
+  if (armed_) return Status::FailedPrecondition("injector already armed");
+  for (const FaultEvent& ev : scenario_.events) {
+    switch (ev.kind) {
+      case FaultKind::kGpuFail:
+        if (ev.gpu < 0 || ev.gpu >= platform_->num_devices()) {
+          return Status::Invalid("fault scenario: no such GPU: " +
+                                 std::to_string(ev.gpu));
+        }
+        break;
+      case FaultKind::kLinkBandwidth:
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+        MGS_RETURN_IF_ERROR(
+            platform_->topology().LinkIsUp(ev.link).status());
+        break;
+      case FaultKind::kCopyErrorRate:
+        break;
+    }
+  }
+  armed_ = true;
+  platform_->SetFaultOracle(this);
+  for (const FaultEvent& ev : scenario_.events) {
+    platform_->simulator().Schedule(ev.at, [this, ev] { Fire(ev); });
+  }
+  PublishGauges();
+  return Status::OK();
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  ++stats_.events_fired;
+  Status applied = Status::OK();
+  std::string what;
+  switch (event.kind) {
+    case FaultKind::kGpuFail: {
+      what = "gpu" + std::to_string(event.gpu) + " fail-stop";
+      platform_->device(event.gpu)
+          .Fail(Status::Unavailable("fault injection: GPU " +
+                                    std::to_string(event.gpu) +
+                                    " fail-stop"));
+      ++stats_.gpus_failed;
+      break;
+    }
+    case FaultKind::kLinkBandwidth:
+      what = "link " + event.link + " factor=" + std::to_string(event.factor);
+      applied = platform_->mutable_topology().SetLinkBandwidthFactor(
+          event.link, event.factor, &platform_->network());
+      break;
+    case FaultKind::kLinkDown:
+      what = "link " + event.link + " down";
+      applied = platform_->mutable_topology().SetLinkUp(
+          event.link, false, &platform_->network());
+      break;
+    case FaultKind::kLinkUp:
+      what = "link " + event.link + " up";
+      applied = platform_->mutable_topology().SetLinkUp(
+          event.link, true, &platform_->network());
+      break;
+    case FaultKind::kCopyErrorRate:
+      what = "copy-error rate=" + std::to_string(event.rate);
+      copy_error_rate_ = event.rate;
+      copy_error_until_ = event.until;
+      break;
+  }
+  if (!applied.ok()) what += " [" + applied.ToString() + "]";
+  Note(what);
+  if (auto* metrics = platform_->metrics()) {
+    metrics
+        ->GetCounter(obs::kFaultEvents,
+                     {{"type", FaultKindToString(event.kind)}},
+                     "Scheduled fault events fired by the injector")
+        .Inc();
+  }
+  PublishGauges();
+}
+
+Status FaultInjector::OnCopyDelivered(const vgpu::CopyFaultContext& ctx) {
+  (void)ctx;
+  if (copy_error_rate_ <= 0) return Status::OK();
+  const double now = platform_->simulator().Now();
+  if (copy_error_until_ >= 0 && now > copy_error_until_) return Status::OK();
+  if (rng_.NextDouble() >= copy_error_rate_) return Status::OK();
+  ++stats_.copy_errors_injected;
+  if (auto* metrics = platform_->metrics()) {
+    metrics
+        ->GetCounter(obs::kFaultCopyErrors, {},
+                     "Transient copy errors injected by the fault oracle")
+        .Inc();
+  }
+  Note("transient copy error");
+  return Status::Unavailable("fault injection: transient copy error");
+}
+
+void FaultInjector::PublishGauges() {
+  auto* metrics = platform_->metrics();
+  if (metrics == nullptr) return;
+  int failed = 0;
+  for (int g = 0; g < platform_->num_devices(); ++g) {
+    if (platform_->device(g).failed()) ++failed;
+  }
+  metrics
+      ->GetGauge(obs::kFaultGpusFailed, {}, "GPUs currently failed")
+      .Set(failed);
+  const auto& topo = platform_->topology();
+  metrics
+      ->GetGauge(obs::kFaultLinksDegraded, {},
+                 "Links currently running below calibrated bandwidth")
+      .Set(topo.DegradedLinkCount());
+  metrics
+      ->GetGauge(obs::kFaultLinksDown, {}, "Links currently down")
+      .Set(topo.DownLinkCount());
+}
+
+void FaultInjector::Note(const std::string& what) {
+  if (auto* trace = platform_->trace()) {
+    trace->AddInstant("faults", what, platform_->simulator().Now());
+  }
+}
+
+}  // namespace mgs::fault

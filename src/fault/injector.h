@@ -1,0 +1,63 @@
+// Replays a FaultScenario against a live vgpu::Platform on the simulator
+// clock. Deterministic: events fire at their scheduled times, and transient
+// copy errors are Bernoulli draws from a SplitMix64 stream seeded by the
+// scenario — copies complete in deterministic simulator order, so two runs
+// with the same seed inject exactly the same faults.
+
+#ifndef MGS_FAULT_INJECTOR_H_
+#define MGS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fault/scenario.h"
+#include "util/datagen.h"
+#include "util/status.h"
+#include "vgpu/platform.h"
+
+namespace mgs::fault {
+
+class FaultInjector : public vgpu::FaultOracle {
+ public:
+  /// `seed_mix` folds an external seed (e.g. the CLI --seed) into the
+  /// scenario's own seed, so workload and fault randomness vary together.
+  FaultInjector(vgpu::Platform* platform, FaultScenario scenario,
+                std::uint64_t seed_mix = 0);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates the scenario against the platform (GPU ids, link names),
+  /// registers this injector as the platform's fault oracle, and schedules
+  /// every event at `Now() + event.at`. Call once, before running work.
+  Status Arm();
+
+  /// vgpu::FaultOracle: Bernoulli transient-error draw at copy delivery.
+  Status OnCopyDelivered(const vgpu::CopyFaultContext& ctx) override;
+
+  struct Stats {
+    int events_fired = 0;
+    int gpus_failed = 0;
+    std::int64_t copy_errors_injected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const FaultScenario& scenario() const { return scenario_; }
+
+ private:
+  void Fire(const FaultEvent& event);
+  void PublishGauges();
+  void Note(const std::string& what);
+
+  vgpu::Platform* platform_;
+  FaultScenario scenario_;
+  SplitMix64 rng_;
+  bool armed_ = false;
+  double copy_error_rate_ = 0;
+  double copy_error_until_ = -1;  // < 0 = open-ended window
+  Stats stats_;
+};
+
+}  // namespace mgs::fault
+
+#endif  // MGS_FAULT_INJECTOR_H_

@@ -1,0 +1,506 @@
+#include "fault/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace mgs::fault {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string FormatNumber(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+Result<double> ParseNumber(const std::string& token, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::Invalid("fault scenario: bad " + what + " '" + token + "'");
+  }
+  return v;
+}
+
+// ---- inline clause grammar -------------------------------------------------
+
+// One clause = whitespace-separated tokens; keyword tokens (fail/down/up/
+// copy-error) pick the event kind, key=value tokens fill fields.
+Status ParseClause(const std::string& clause, FaultScenario* scenario) {
+  std::istringstream in(clause);
+  FaultEvent ev;
+  bool saw_at = false, saw_gpu = false, saw_link = false, saw_fail = false;
+  bool saw_down = false, saw_up = false, saw_factor = false;
+  bool saw_copy_error = false, saw_rate = false, saw_seed = false;
+  std::string token;
+  while (in >> token) {
+    if (token == "fail") {
+      saw_fail = true;
+    } else if (token == "down") {
+      saw_down = true;
+    } else if (token == "up") {
+      saw_up = true;
+    } else if (token == "copy-error") {
+      saw_copy_error = true;
+    } else {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Status::Invalid("fault scenario: unknown token '" + token +
+                               "' in clause '" + clause + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "at") {
+        MGS_ASSIGN_OR_RETURN(ev.at, ParseNumber(value, "at"));
+        saw_at = true;
+      } else if (key == "gpu") {
+        MGS_ASSIGN_OR_RETURN(const double gpu, ParseNumber(value, "gpu"));
+        ev.gpu = static_cast<int>(gpu);
+        saw_gpu = true;
+      } else if (key == "link") {
+        ev.link = value;
+        saw_link = true;
+      } else if (key == "factor") {
+        MGS_ASSIGN_OR_RETURN(ev.factor, ParseNumber(value, "factor"));
+        saw_factor = true;
+      } else if (key == "rate") {
+        MGS_ASSIGN_OR_RETURN(ev.rate, ParseNumber(value, "rate"));
+        saw_rate = true;
+      } else if (key == "until") {
+        MGS_ASSIGN_OR_RETURN(ev.until, ParseNumber(value, "until"));
+      } else if (key == "seed") {
+        MGS_ASSIGN_OR_RETURN(const double seed, ParseNumber(value, "seed"));
+        scenario->seed = static_cast<std::uint64_t>(seed);
+        saw_seed = true;
+      } else {
+        return Status::Invalid("fault scenario: unknown key '" + key +
+                               "' in clause '" + clause + "'");
+      }
+    }
+  }
+  const int forms = (saw_gpu || saw_fail ? 1 : 0) + (saw_link ? 1 : 0) +
+                    (saw_copy_error ? 1 : 0);
+  if (forms == 0) {
+    if (saw_seed && !saw_at) return Status::OK();  // bare "seed=N" clause
+    return Status::Invalid("fault scenario: clause '" + clause +
+                           "' names no fault (expected gpu=, link=, or "
+                           "copy-error)");
+  }
+  if (forms > 1) {
+    return Status::Invalid("fault scenario: clause '" + clause +
+                           "' mixes fault forms");
+  }
+  if (saw_gpu || saw_fail) {
+    if (!saw_gpu || !saw_fail) {
+      return Status::Invalid("fault scenario: GPU loss needs both gpu=ID and "
+                             "'fail' in clause '" + clause + "'");
+    }
+    ev.kind = FaultKind::kGpuFail;
+  } else if (saw_link) {
+    const int actions = (saw_down ? 1 : 0) + (saw_up ? 1 : 0) +
+                        (saw_factor ? 1 : 0);
+    if (actions != 1) {
+      return Status::Invalid("fault scenario: link event needs exactly one "
+                             "of down/up/factor= in clause '" + clause + "'");
+    }
+    ev.kind = saw_down  ? FaultKind::kLinkDown
+              : saw_up  ? FaultKind::kLinkUp
+                        : FaultKind::kLinkBandwidth;
+    if (saw_factor && ev.factor <= 0) {
+      return Status::Invalid("fault scenario: factor must be > 0 (use 'down' "
+                             "for an outage) in clause '" + clause + "'");
+    }
+  } else {
+    if (!saw_rate) {
+      return Status::Invalid("fault scenario: copy-error needs rate= in "
+                             "clause '" + clause + "'");
+    }
+    if (ev.rate < 0 || ev.rate > 1) {
+      return Status::Invalid("fault scenario: rate must be in [0,1] in "
+                             "clause '" + clause + "'");
+    }
+    ev.kind = FaultKind::kCopyErrorRate;
+  }
+  if (ev.at < 0) {
+    return Status::Invalid("fault scenario: at= must be >= 0 in clause '" +
+                           clause + "'");
+  }
+  scenario->events.push_back(std::move(ev));
+  return Status::OK();
+}
+
+// ---- minimal JSON ----------------------------------------------------------
+
+// Hand-rolled recursive-descent parser for the small scenario documents
+// above; the toolchain ships no JSON library and the obs exporters only
+// *write* JSON.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields; // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    MGS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::Invalid("fault scenario JSON: " + msg + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNum();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWs();
+      MGS_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':'");
+      MGS_ASSIGN_OR_RETURN(JsonValue val, ParseValue());
+      v.fields.emplace_back(std::move(key.string), std::move(val));
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      MGS_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      v.items.push_back(std::move(item));
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            pos_ += 4;
+            c = '?';  // link/scenario names are ASCII; no codepoints needed
+            break;
+          default:
+            return Error("bad escape");
+        }
+      }
+      v.string.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    return Error("expected true/false");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) return Error("expected null");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  Result<JsonValue> ParseNum() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) return Error("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Result<double> NumberField(const JsonValue& obj, const std::string& key,
+                           double fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != JsonValue::Type::kNumber) {
+    return Status::Invalid("fault scenario JSON: '" + key +
+                           "' must be a number");
+  }
+  return v->number;
+}
+
+bool BoolField(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kBool && v->boolean;
+}
+
+Result<FaultEvent> EventFromJson(const JsonValue& obj) {
+  if (obj.type != JsonValue::Type::kObject) {
+    return Status::Invalid("fault scenario JSON: events must be objects");
+  }
+  FaultEvent ev;
+  MGS_ASSIGN_OR_RETURN(ev.at, NumberField(obj, "at", 0));
+  if (ev.at < 0) {
+    return Status::Invalid("fault scenario JSON: 'at' must be >= 0");
+  }
+  const JsonValue* gpu = obj.Find("gpu");
+  const JsonValue* link = obj.Find("link");
+  const JsonValue* rate = obj.Find("copy_error_rate");
+  const int forms = (gpu ? 1 : 0) + (link ? 1 : 0) + (rate ? 1 : 0);
+  if (forms != 1) {
+    return Status::Invalid("fault scenario JSON: each event needs exactly "
+                           "one of 'gpu', 'link', 'copy_error_rate'");
+  }
+  if (gpu != nullptr) {
+    if (gpu->type != JsonValue::Type::kNumber || !BoolField(obj, "fail")) {
+      return Status::Invalid("fault scenario JSON: GPU loss needs numeric "
+                             "'gpu' and \"fail\": true");
+    }
+    ev.kind = FaultKind::kGpuFail;
+    ev.gpu = static_cast<int>(gpu->number);
+  } else if (link != nullptr) {
+    if (link->type != JsonValue::Type::kString) {
+      return Status::Invalid("fault scenario JSON: 'link' must be a string");
+    }
+    ev.link = link->string;
+    const JsonValue* factor = obj.Find("factor");
+    const int actions = (factor ? 1 : 0) + (BoolField(obj, "down") ? 1 : 0) +
+                        (BoolField(obj, "up") ? 1 : 0);
+    if (actions != 1) {
+      return Status::Invalid("fault scenario JSON: link event needs exactly "
+                             "one of 'factor', \"down\": true, \"up\": true");
+    }
+    if (factor != nullptr) {
+      MGS_ASSIGN_OR_RETURN(ev.factor, NumberField(obj, "factor", 1.0));
+      if (ev.factor <= 0) {
+        return Status::Invalid("fault scenario JSON: factor must be > 0 "
+                               "(use \"down\" for an outage)");
+      }
+      ev.kind = FaultKind::kLinkBandwidth;
+    } else {
+      ev.kind = BoolField(obj, "down") ? FaultKind::kLinkDown
+                                       : FaultKind::kLinkUp;
+    }
+  } else {
+    if (rate->type != JsonValue::Type::kNumber || rate->number < 0 ||
+        rate->number > 1) {
+      return Status::Invalid("fault scenario JSON: 'copy_error_rate' must "
+                             "be a number in [0,1]");
+    }
+    ev.kind = FaultKind::kCopyErrorRate;
+    ev.rate = rate->number;
+    MGS_ASSIGN_OR_RETURN(ev.until, NumberField(obj, "until", -1));
+  }
+  return ev;
+}
+
+void SortEvents(FaultScenario* scenario) {
+  std::stable_sort(scenario->events.begin(), scenario->events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+}  // namespace
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGpuFail: return "gpu-fail";
+    case FaultKind::kLinkBandwidth: return "link-degrade";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kCopyErrorRate: return "copy-error-rate";
+  }
+  return "?";
+}
+
+Result<FaultScenario> FaultScenario::Parse(const std::string& spec) {
+  FaultScenario scenario;
+  std::istringstream lines(spec);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream clauses(line);
+    std::string clause;
+    while (std::getline(clauses, clause, ';')) {
+      clause = Trim(clause);
+      if (clause.empty()) continue;
+      MGS_RETURN_IF_ERROR(ParseClause(clause, &scenario));
+    }
+  }
+  SortEvents(&scenario);
+  return scenario;
+}
+
+Result<FaultScenario> FaultScenario::ParseJson(const std::string& json) {
+  MGS_ASSIGN_OR_RETURN(const JsonValue root, JsonParser(json).Parse());
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::Invalid("fault scenario JSON: top level must be an "
+                           "object");
+  }
+  FaultScenario scenario;
+  if (const JsonValue* seed = root.Find("seed")) {
+    if (seed->type != JsonValue::Type::kNumber) {
+      return Status::Invalid("fault scenario JSON: 'seed' must be a number");
+    }
+    scenario.seed = static_cast<std::uint64_t>(seed->number);
+  }
+  if (const JsonValue* events = root.Find("events")) {
+    if (events->type != JsonValue::Type::kArray) {
+      return Status::Invalid("fault scenario JSON: 'events' must be an "
+                             "array");
+    }
+    for (const JsonValue& item : events->items) {
+      MGS_ASSIGN_OR_RETURN(FaultEvent ev, EventFromJson(item));
+      scenario.events.push_back(std::move(ev));
+    }
+  }
+  SortEvents(&scenario);
+  return scenario;
+}
+
+Result<FaultScenario> FaultScenario::Load(const std::string& spec_or_path) {
+  std::string text = Trim(spec_or_path);
+  std::string path;
+  if (!text.empty() && text[0] == '@') {
+    path = text.substr(1);
+  } else if (text.find_first_of("=;{\n") == std::string::npos) {
+    // No grammar characters: only plausible as a file path.
+    path = text;
+  }
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("fault scenario file not found: " + path);
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    text = Trim(content.str());
+  }
+  if (!text.empty() && text[0] == '{') return ParseJson(text);
+  return Parse(text);
+}
+
+std::string FaultScenario::ToString() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (const FaultEvent& ev : events) {
+    out << "; at=" << FormatNumber(ev.at);
+    switch (ev.kind) {
+      case FaultKind::kGpuFail:
+        out << " gpu=" << ev.gpu << " fail";
+        break;
+      case FaultKind::kLinkBandwidth:
+        out << " link=" << ev.link << " factor=" << FormatNumber(ev.factor);
+        break;
+      case FaultKind::kLinkDown:
+        out << " link=" << ev.link << " down";
+        break;
+      case FaultKind::kLinkUp:
+        out << " link=" << ev.link << " up";
+        break;
+      case FaultKind::kCopyErrorRate:
+        out << " copy-error rate=" << FormatNumber(ev.rate);
+        if (ev.until >= 0) out << " until=" << FormatNumber(ev.until);
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mgs::fault

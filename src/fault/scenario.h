@@ -1,0 +1,80 @@
+// Declarative fault scenarios: a seeded, time-ordered list of fault events
+// replayed on the simulator clock by the injector (src/fault/injector.h).
+//
+// Two interchangeable surface syntaxes:
+//
+//  * an inline spec — clauses separated by ';' or newlines, '#' comments:
+//
+//        seed=7;
+//        at=0.3 link=nvl12(GPU6-nvswitch) factor=0.2;   # degrade to 20%
+//        at=0.8 link=nvl12(GPU6-nvswitch) factor=1;     # restore
+//        at=1.0 link=nvl-x1 down; at=1.6 link=nvl-x1 up # flap
+//        at=1.1 gpu=3 fail;                             # fail-stop loss
+//        at=0 copy-error rate=0.002 until=2.0           # transient errors
+//
+//  * a JSON document with the same vocabulary:
+//
+//        {"seed": 7, "events": [
+//          {"at": 0.3, "link": "nvl12(GPU6-nvswitch)", "factor": 0.2},
+//          {"at": 1.1, "gpu": 3, "fail": true},
+//          {"at": 1.0, "link": "nvl-x1", "down": true},
+//          {"at": 0.0, "copy_error_rate": 0.002, "until": 2.0}]}
+//
+// Link names accept both the bare spec name (applies to every link sharing
+// it) and the qualified "name(NodeA-NodeB)" form (see topo::Topology).
+
+#ifndef MGS_FAULT_SCENARIO_H_
+#define MGS_FAULT_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mgs::fault {
+
+enum class FaultKind {
+  kGpuFail,        // fail-stop device loss
+  kLinkBandwidth,  // degrade (factor < 1) or restore (factor == 1)
+  kLinkDown,       // link outage: abort crossing flows, exclude from routing
+  kLinkUp,         // bring a downed link back
+  kCopyErrorRate,  // Bernoulli transient copy errors at delivery time
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+struct FaultEvent {
+  double at = 0;  // simulator seconds (relative to arming the injector)
+  FaultKind kind = FaultKind::kGpuFail;
+  int gpu = -1;           // kGpuFail
+  std::string link;       // kLinkBandwidth / kLinkDown / kLinkUp
+  double factor = 1.0;    // kLinkBandwidth
+  double rate = 0;        // kCopyErrorRate: P(error) per copy delivery
+  double until = -1;      // kCopyErrorRate window end; < 0 = open-ended
+};
+
+struct FaultScenario {
+  /// Sorted by `at` (stable: ties keep declaration order).
+  std::vector<FaultEvent> events;
+  /// Seeds the injector's Bernoulli draws for transient copy errors.
+  std::uint64_t seed = 42;
+
+  /// Parses the inline clause grammar above.
+  static Result<FaultScenario> Parse(const std::string& spec);
+
+  /// Parses the JSON document form.
+  static Result<FaultScenario> ParseJson(const std::string& json);
+
+  /// Resolves a CLI-facing value: "@path" (or a bare path naming a readable
+  /// file) loads the file, anything else parses inline. File or inline
+  /// content whose first character is '{' parses as JSON.
+  static Result<FaultScenario> Load(const std::string& spec_or_path);
+
+  /// Canonical inline-grammar rendering (round-trips through Parse).
+  std::string ToString() const;
+};
+
+}  // namespace mgs::fault
+
+#endif  // MGS_FAULT_SCENARIO_H_

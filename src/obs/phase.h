@@ -34,6 +34,7 @@ inline constexpr char kSimTimeSeconds[] = "mgs_sim_time_seconds";
 inline constexpr char kKernelBusySeconds[] = "mgs_kernel_busy_seconds_total";
 inline constexpr char kCopyBytes[] = "mgs_copy_bytes_total";
 inline constexpr char kCopyOps[] = "mgs_copy_ops_total";
+inline constexpr char kCopyErrors[] = "mgs_copy_errors_total";
 inline constexpr char kCopySeconds[] = "mgs_copy_seconds";
 inline constexpr char kKernelSeconds[] = "mgs_kernel_seconds";
 inline constexpr char kKernelInvocations[] = "mgs_kernel_invocations_total";

@@ -1,0 +1,44 @@
+// Metric names for the fault-injection and resilience layer. The injector
+// (src/fault) publishes the fault-side series; the multi-tenant service
+// (src/sched) publishes the recovery-side series. Kept here — like
+// obs/phase.h — so exporters, the explain report, and tests share one
+// vocabulary.
+
+#ifndef MGS_OBS_RESILIENCE_H_
+#define MGS_OBS_RESILIENCE_H_
+
+namespace mgs::obs {
+
+// ---- fault injector (src/fault) -------------------------------------------
+
+/// Scheduled fault events fired, labeled {type=gpu-fail|link-degrade|
+/// link-down|link-up|copy-error-rate}.
+inline constexpr char kFaultEvents[] = "mgs_fault_events_total";
+/// Transient copy errors injected by the oracle (a subset of
+/// mgs_copy_errors_total, which also counts downstream sticky failures).
+inline constexpr char kFaultCopyErrors[] = "mgs_fault_copy_errors_total";
+/// Point-in-time fault state of the platform.
+inline constexpr char kFaultGpusFailed[] = "mgs_fault_gpus_failed";
+inline constexpr char kFaultLinksDegraded[] = "mgs_fault_links_degraded";
+inline constexpr char kFaultLinksDown[] = "mgs_fault_links_down";
+
+// ---- scheduler recovery (src/sched) ---------------------------------------
+
+/// Retry dispatches after a retryable (kUnavailable) failure.
+inline constexpr char kSchedRetries[] = "mgs_sched_job_retries_total";
+/// Jobs that finished successfully after at least one retry.
+inline constexpr char kSchedRecovered[] = "mgs_sched_jobs_recovered_total";
+/// Jobs rerouted from the P2P sorter to the HET (via-host) sorter because
+/// their mesh was degraded.
+inline constexpr char kSchedHetFallbacks[] = "mgs_sched_het_fallbacks_total";
+/// Healthy (non-failed) GPUs and their fraction of the fleet, sampled by
+/// the health monitor.
+inline constexpr char kSchedHealthyGpus[] = "mgs_sched_healthy_gpus";
+inline constexpr char kSchedAvailability[] = "mgs_sched_gpu_availability";
+/// Mean time to repair: per-job seconds between first failure and eventual
+/// success, observed when a retried job completes.
+inline constexpr char kSchedMttrSeconds[] = "mgs_sched_job_mttr_seconds";
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_RESILIENCE_H_

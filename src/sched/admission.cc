@@ -45,6 +45,10 @@ Status AdmissionController::Admit(const JobSpec& spec, double per_gpu_bytes,
         return Status::Invalid("pinned GPU " + std::to_string(id) +
                                " does not exist");
       }
+      if (platform_->device(id).failed()) {
+        return Status::Unavailable("pinned GPU " + std::to_string(id) +
+                                   " has failed");
+      }
       if (platform_->device(id).memory_capacity() < per_gpu_bytes) {
         return Status::OutOfMemory(
             "job needs " + FormatBytes(per_gpu_bytes) + " per GPU; pinned GPU " +
@@ -58,13 +62,14 @@ Status AdmissionController::Admit(const JobSpec& spec, double per_gpu_bytes,
     // those may recover) can ever host the per-GPU working set.
     int feasible = 0;
     for (int g = 0; g < n; ++g) {
+      if (platform_->device(g).failed()) continue;  // fail-stop loss
       if (platform_->device(g).memory_capacity() >= per_gpu_bytes) ++feasible;
     }
     if (feasible < spec.gpus) {
       return Status::OutOfMemory(
           "job needs " + FormatBytes(per_gpu_bytes) + " on each of " +
           std::to_string(spec.gpus) + " GPUs; only " +
-          std::to_string(feasible) + " device(s) are large enough");
+          std::to_string(feasible) + " healthy device(s) are large enough");
     }
   }
   if (options_.max_job_memory_fraction < 1.0) {

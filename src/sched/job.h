@@ -17,12 +17,14 @@
 namespace mgs::sched {
 
 enum class JobState {
-  kPending,   // submitted, arrival event not fired yet
-  kQueued,    // admitted, waiting for placement
-  kRunning,   // placed; sort executing on its GPU set
-  kDone,      // completed, output verified sorted
-  kFailed,    // execution error (allocation failure, corrupt output)
-  kRejected,  // refused by admission control
+  kPending,       // submitted, arrival event not fired yet
+  kQueued,        // admitted, waiting for placement
+  kRunning,       // placed; sort executing on its GPU set
+  kRetryBackoff,  // failed retryably; waiting out the backoff before requeue
+  kDone,          // completed, output verified sorted
+  kFailed,        // permanent execution error (retry budget exhausted,
+                  // allocation failure, corrupt output)
+  kRejected,      // refused by admission control
 };
 
 inline const char* JobStateToString(JobState s) {
@@ -33,6 +35,8 @@ inline const char* JobStateToString(JobState s) {
       return "queued";
     case JobState::kRunning:
       return "running";
+    case JobState::kRetryBackoff:
+      return "retry-backoff";
     case JobState::kDone:
       return "done";
     case JobState::kFailed:
@@ -80,11 +84,24 @@ struct JobRecord {
   double finish = 0;   // completion time
   std::vector<int> gpu_set;  // placement (ordered for the P2P merge)
   core::SortStats sort;      // phase breakdown (valid when state == kDone)
-  std::string error;         // rejection / failure reason
+  std::string error;         // rejection / (last) failure reason
+  StatusCode error_code = StatusCode::kOk;  // code behind `error`
+
+  // Resilience bookkeeping (see ServerOptions::recovery).
+  int attempts = 0;            // dispatches, including the first
+  int retries = 0;             // attempts - 1 for jobs that ever failed
+  double first_failure = -1;   // time of the first failed attempt (< 0: none)
+  bool het_fallback = false;   // last attempt ran the HET (via-host) sorter
 
   double queue_delay() const { return start - arrival; }
   double service_time() const { return finish - start; }
   double latency() const { return finish - arrival; }
+  /// Completed only after retrying — the job survived a fault.
+  bool recovered() const { return state == JobState::kDone && retries > 0; }
+  /// Time from first failure to eventual completion (the job's TTR).
+  double recovery_seconds() const {
+    return first_failure >= 0 ? finish - first_failure : 0;
+  }
 };
 
 }  // namespace mgs::sched

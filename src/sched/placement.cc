@@ -10,6 +10,7 @@ std::vector<int> Placer::CandidateGpus(
     double per_gpu_bytes, const std::vector<int>& running_per_gpu) const {
   std::vector<int> candidates;
   for (int g = 0; g < platform_->num_devices(); ++g) {
+    if (platform_->device(g).failed()) continue;  // fail-stop loss
     const bool busy = running_per_gpu[static_cast<std::size_t>(g)] > 0;
     if (busy && !allow_gpu_sharing_) continue;
     if (platform_->device(g).memory_available() < per_gpu_bytes) continue;

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <memory>
 
+#include "core/het_sort.h"
 #include "core/p2p_sort.h"
 #include "obs/phase.h"
+#include "obs/resilience.h"
 #include "obs/trace_bridge.h"
 
 namespace mgs::sched {
@@ -31,7 +33,24 @@ SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
       admission_(platform, options_.admission),
       placer_(platform, options_.allow_gpu_sharing),
       queue_(options_.policy),
-      running_per_gpu_(static_cast<std::size_t>(platform->num_devices()), 0) {}
+      running_per_gpu_(static_cast<std::size_t>(platform->num_devices()), 0),
+      jitter_rng_(options_.recovery.jitter_seed) {
+  if (options_.recovery.het_fallback_below > 0) {
+    // Baseline pairwise P2P bandwidth on the healthy topology; injected
+    // faults only fire once the simulator runs, so this sees full rates.
+    const int n = platform_->num_devices();
+    p2p_baseline_.assign(static_cast<std::size_t>(n) * n, -1.0);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const auto bw = platform_->topology().LoneFlowBandwidth(
+            topo::CopyKind::kPeerToPeer, topo::Endpoint::Gpu(a),
+            topo::Endpoint::Gpu(b));
+        if (bw.ok()) p2p_baseline_[static_cast<std::size_t>(a) * n + b] = *bw;
+      }
+    }
+  }
+}
 
 double SortServer::Now() const { return platform_->simulator().Now(); }
 
@@ -197,14 +216,16 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
   JobRecord& rec = slot.record;
   rec.state = JobState::kRunning;
-  rec.start = Now();
+  if (rec.attempts == 0) rec.start = Now();
+  ++rec.attempts;
+  const double attempt_start = Now();
   ++running_jobs_;
   for (int g : rec.gpu_set) {
     ++running_per_gpu_[static_cast<std::size_t>(g)];
   }
   PublishQueueGauges();
   if (auto* trace = platform_->trace()) {
-    if (rec.start > rec.arrival) {
+    if (rec.attempts == 1 && rec.start > rec.arrival) {
       trace->AddSpan("sched:queue", "job" + std::to_string(id) + " queued",
                      rec.arrival, rec.start);
     }
@@ -237,13 +258,105 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   }
   PublishQueueGauges();
   if (auto* trace = platform_->trace()) {
+    const std::string attempt =
+        rec.attempts > 1 ? " try" + std::to_string(rec.attempts) : "";
     trace->AddSpan("sched:gpu" + std::to_string(rec.gpu_set.front()),
                    rec.spec.tenant + "/job" + std::to_string(id) + " g=" +
-                       std::to_string(rec.spec.gpus),
-                   rec.start, rec.finish);
+                       std::to_string(rec.spec.gpus) + attempt,
+                   attempt_start, rec.finish);
+  }
+
+  if (rec.state == JobState::kFailed) {
+    if (rec.first_failure < 0) rec.first_failure = Now();
+    // Retry only the transient class: device loss, link outage, injected
+    // copy errors. Deterministic failures (bad spec, OOM, corrupt output)
+    // would fail again identically.
+    if (rec.error_code == StatusCode::kUnavailable &&
+        rec.retries < options_.recovery.max_retries) {
+      ++rec.retries;
+      rec.state = JobState::kRetryBackoff;
+      double backoff = options_.recovery.backoff_base_seconds *
+                       std::pow(options_.recovery.backoff_multiplier,
+                                rec.retries - 1);
+      backoff *= 1.0 + options_.recovery.backoff_jitter *
+                           (2.0 * jitter_rng_.NextDouble() - 1.0);
+      if (auto* registry = metrics()) {
+        registry
+            ->GetCounter(obs::kSchedRetries, {},
+                         "Retry dispatches after retryable failures")
+            .Inc();
+      }
+      if (auto* trace = platform_->trace()) {
+        trace->AddInstant("sched:queue",
+                          "job" + std::to_string(id) + " retry " +
+                              std::to_string(rec.retries) + ": " + rec.error,
+                          Now());
+      }
+      platform_->simulator().Schedule(std::max(0.0, backoff),
+                                      [this, id] { RequeueJob(id); });
+      TryDispatch();
+      co_return;  // not terminal: the job lives on in backoff
+    }
+  } else if (rec.recovered()) {
+    if (auto* registry = metrics()) {
+      registry
+          ->GetCounter(obs::kSchedRecovered, {},
+                       "Jobs completed after at least one retry")
+          .Inc();
+      registry
+          ->GetHistogram(obs::kSchedMttrSeconds, {},
+                         "Time from a job's first failure to its eventual "
+                         "completion")
+          .Observe(rec.recovery_seconds());
+    }
+    if (auto* trace = platform_->trace()) {
+      trace->AddInstant("sched:queue",
+                        "job" + std::to_string(id) + " recovered after " +
+                            std::to_string(rec.retries) + " retr" +
+                            (rec.retries == 1 ? "y" : "ies"),
+                        Now());
+    }
   }
   FinishTerminal(slot);
   TryDispatch();
+}
+
+void SortServer::RequeueJob(std::int64_t id) {
+  JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+  JobRecord& rec = slot.record;
+  if (rec.state != JobState::kRetryBackoff) return;
+  rec.state = JobState::kQueued;
+  queue_.Push(id, JobBytes(rec.spec), rec.spec.priority);
+  PublishQueueGauges();
+  TryDispatch();
+}
+
+int SortServer::HealthyGpus() const {
+  int healthy = 0;
+  for (int g = 0; g < platform_->num_devices(); ++g) {
+    if (!platform_->device(g).failed()) ++healthy;
+  }
+  return healthy;
+}
+
+bool SortServer::ShouldFallBackToHet(const JobRecord& rec) const {
+  const double frac = options_.recovery.het_fallback_below;
+  if (frac <= 0 || rec.gpu_set.size() < 2 || p2p_baseline_.empty()) {
+    return false;
+  }
+  const int n = platform_->num_devices();
+  for (std::size_t i = 0; i < rec.gpu_set.size(); ++i) {
+    for (std::size_t j = i + 1; j < rec.gpu_set.size(); ++j) {
+      const int a = rec.gpu_set[i], b = rec.gpu_set[j];
+      const double base = p2p_baseline_[static_cast<std::size_t>(a) * n + b];
+      if (base <= 0) continue;  // never routable; P2P sort routes via host
+      const auto bw = platform_->topology().LoneFlowBandwidth(
+          topo::CopyKind::kPeerToPeer, topo::Endpoint::Gpu(a),
+          topo::Endpoint::Gpu(b));
+      if (!bw.ok() || *bw < frac * base) return true;
+    }
+  }
+  return false;
 }
 
 template <typename T>
@@ -256,23 +369,50 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
       std::max(1.0, std::ceil(rec.spec.logical_keys / scale)));
   vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
 
-  core::SortOptions sort_options;
-  sort_options.gpu_set = rec.gpu_set;
   Result<core::SortStats> out = Status::Internal("sort task never ran");
-  co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
+  if (ShouldFallBackToHet(rec)) {
+    // Graceful degradation: the mesh between these GPUs is sick, so stage
+    // through host memory (HET) instead of streaming peer-to-peer.
+    rec.het_fallback = true;
+    if (auto* registry = metrics()) {
+      registry
+          ->GetCounter(obs::kSchedHetFallbacks, {},
+                       "Jobs rerouted to the HET sorter because their P2P "
+                       "mesh was degraded")
+          .Inc();
+    }
+    if (auto* trace = platform_->trace()) {
+      trace->AddInstant("sched:queue",
+                        "job" + std::to_string(rec.id) +
+                            " HET fallback (degraded mesh)",
+                        Now());
+    }
+    core::HetOptions het_options;
+    het_options.gpu_set = rec.gpu_set;
+    het_options.gpu_memory_budget = PerGpuBytes(rec.spec);
+    co_await core::HetSortTask<T>(platform_, &data, het_options, &out);
+  } else {
+    core::SortOptions sort_options;
+    sort_options.gpu_set = rec.gpu_set;
+    co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
+  }
   if (!out.ok()) {
     rec.state = JobState::kFailed;
     rec.error = out.status().ToString();
+    rec.error_code = out.status().code();
     co_return;
   }
   if (options_.verify_sorted &&
       !std::is_sorted(data.vector().begin(), data.vector().end())) {
     rec.state = JobState::kFailed;
     rec.error = "output not sorted";
+    rec.error_code = StatusCode::kInternal;
     co_return;
   }
   rec.sort = std::move(*out);
   rec.state = JobState::kDone;
+  rec.error.clear();
+  rec.error_code = StatusCode::kOk;
 }
 
 sim::Task<void> SortServer::ClientLoop(int client_index,
@@ -333,6 +473,55 @@ sim::Task<void> SortServer::UtilizationSampler() {
   }
 }
 
+sim::Task<void> SortServer::HealthMonitor() {
+  const int n = platform_->num_devices();
+  while (!stop_sampler_) {
+    co_await sim::Delay{platform_->simulator(),
+                        options_.recovery.health_check_seconds};
+    if (stop_sampler_) break;
+    const int healthy = HealthyGpus();
+    if (auto* registry = metrics()) {
+      registry
+          ->GetGauge(obs::kSchedHealthyGpus, {},
+                     "GPUs currently healthy (not failed)")
+          .Set(healthy);
+      registry
+          ->GetGauge(obs::kSchedAvailability, {},
+                     "Healthy fraction of the GPU fleet")
+          .Set(n > 0 ? static_cast<double>(healthy) / n : 0);
+    }
+    // Permanently fail queued jobs that device loss made unsatisfiable;
+    // left alone they would wait forever and wedge the service.
+    std::vector<std::int64_t> doomed;
+    for (std::int64_t id : queue_.DispatchOrder()) {
+      const JobRecord& rec = slots_[static_cast<std::size_t>(id)]->record;
+      bool dead_pin = false;
+      for (int g : rec.spec.pinned_gpus) {
+        if (platform_->device(g).failed()) dead_pin = true;
+      }
+      if (rec.spec.gpus > healthy || dead_pin) doomed.push_back(id);
+    }
+    for (std::int64_t id : doomed) {
+      JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+      JobRecord& rec = slot.record;
+      queue_.Remove(id);
+      rec.state = JobState::kFailed;
+      rec.error = "unsatisfiable after device loss: needs " +
+                  std::to_string(rec.spec.gpus) + " GPUs, " +
+                  std::to_string(healthy) + " healthy";
+      rec.error_code = StatusCode::kUnavailable;
+      if (rec.attempts == 0) rec.start = Now();
+      rec.finish = Now();
+      if (rec.first_failure < 0) rec.first_failure = Now();
+      FinishTerminal(slot);
+    }
+    if (!doomed.empty()) {
+      PublishQueueGauges();
+      TryDispatch();
+    }
+  }
+}
+
 sim::Task<void> SortServer::ServiceRoot() {
   service_start_ = Now();
   platform_->network().ResetTraffic();
@@ -354,6 +543,9 @@ sim::Task<void> SortServer::ServiceRoot() {
   if (options_.utilization_sample_seconds > 0 &&
       (platform_->trace() != nullptr || metrics() != nullptr)) {
     sim::Spawn(UtilizationSampler());
+  }
+  if (options_.recovery.health_check_seconds > 0) {
+    sim::Spawn(HealthMonitor());
   }
   PublishQueueGauges();
   MaybeFinish();  // an empty service finishes immediately
@@ -382,12 +574,19 @@ ServiceReport SortServer::BuildReport() const {
   bool any_terminal = false;
   double completed_keys = 0;
   int within_slo = 0;
+  double recovery_sum = 0;
   for (const auto& slot : slots_) {
     const JobRecord& rec = slot->record;
     report.jobs.push_back(rec);
+    report.total_retries += rec.retries;
+    if (rec.het_fallback) ++report.het_fallbacks;
     switch (rec.state) {
       case JobState::kDone:
         ++report.completed;
+        if (rec.recovered()) {
+          ++report.recovered;
+          recovery_sum += rec.recovery_seconds();
+        }
         latencies.push_back(rec.latency());
         queue_delays.push_back(rec.queue_delay());
         service_times.push_back(rec.service_time());
@@ -417,6 +616,9 @@ ServiceReport SortServer::BuildReport() const {
     }
   }
   if (any_terminal) report.makespan = last_finish - first_arrival;
+  if (report.recovered > 0) {
+    report.mttr_seconds = recovery_sum / report.recovered;
+  }
   report.latency = Summarize(latencies);
   report.queue_delay = Summarize(queue_delays);
   report.service_time = Summarize(service_times);

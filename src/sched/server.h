@@ -50,9 +50,37 @@ inline constexpr char kSchedJobLatencySeconds[] =
 inline constexpr char kSchedQueueDelaySeconds[] =
     "mgs_sched_queue_delay_seconds";
 
+/// Recovery policy under injected faults (src/fault). Defaults preserve the
+/// fail-fast seed behavior: no retries, no health monitor, no fallback.
+struct RecoveryOptions {
+  /// Retry budget per job for retryable (kUnavailable) failures: transient
+  /// copy errors, device loss mid-run, link outages. 0 = fail on first
+  /// error.
+  int max_retries = 0;
+  /// Exponential backoff before requeueing a failed attempt:
+  /// base * multiplier^(retry-1), +/- jitter fraction (seeded, so runs with
+  /// the same seed back off identically).
+  double backoff_base_seconds = 0.25;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.25;
+  std::uint64_t jitter_seed = 42;
+  /// > 0: before dispatching on a multi-GPU set, compare each pair's lone
+  /// P2P bandwidth against its healthy-topology baseline; if any pair is
+  /// below this fraction (or unroutable), run the HET (via-host) sorter
+  /// instead of the P2P sorter — graceful degradation around sick meshes.
+  double het_fallback_below = 0;
+  /// > 0: run a periodic health monitor that publishes availability gauges
+  /// and permanently fails queued jobs that can no longer be satisfied
+  /// (more GPUs requested than remain healthy, or a pinned GPU died) —
+  /// without it such jobs would wait forever. Enable whenever faults are
+  /// injected.
+  double health_check_seconds = 0;
+};
+
 struct ServerOptions {
   QueuePolicy policy = QueuePolicy::kFifo;
   AdmissionOptions admission;
+  RecoveryOptions recovery;
   /// Cap on co-running jobs (0 = bounded only by GPUs/memory).
   int max_concurrent_jobs = 0;
   /// Allow placing a job on a GPU that is already running another one
@@ -78,8 +106,19 @@ struct ServiceReport {
   /// Job ids in completion order (deterministic for a fixed seed/config).
   std::vector<std::int64_t> completion_order;
   int completed = 0;
+  /// Permanent failures only; attempts that were retried successfully count
+  /// under `recovered`, not here.
   int failed = 0;
   int rejected = 0;
+  /// Completed jobs that needed at least one retry.
+  int recovered = 0;
+  /// Retry dispatches across all jobs.
+  std::int64_t total_retries = 0;
+  /// Jobs that ran on the HET fallback path instead of P2P.
+  int het_fallbacks = 0;
+  /// Mean time to repair: average of finish - first_failure over recovered
+  /// jobs (0 when none recovered).
+  double mttr_seconds = 0;
   /// Last completion minus first arrival (simulated seconds).
   double makespan = 0;
   LatencySummary latency;       // arrival -> finish, completed jobs
@@ -137,6 +176,13 @@ class SortServer {
   void FinishTerminal(JobSlot& slot);  // fire + bookkeeping for any terminal state
   void TryDispatch();
   void MaybeFinish();
+  /// Backoff expiry: puts a kRetryBackoff job back in the queue.
+  void RequeueJob(std::int64_t id);
+  /// True when the job's P2P mesh is degraded below the fallback threshold
+  /// (see RecoveryOptions::het_fallback_below).
+  bool ShouldFallBackToHet(const JobRecord& rec) const;
+  /// Healthy (non-failed) device count.
+  int HealthyGpus() const;
 
   sim::Task<void> ServiceRoot();
   sim::Task<void> RunJob(std::int64_t id);
@@ -145,6 +191,7 @@ class SortServer {
   sim::Task<void> ClientLoop(int client_index, ClosedLoopOptions options,
                              std::uint64_t seed);
   sim::Task<void> UtilizationSampler();
+  sim::Task<void> HealthMonitor();
 
   ServiceReport BuildReport() const;
 
@@ -163,6 +210,12 @@ class SortServer {
   int live_clients_ = 0;  // closed-loop clients still running
   std::vector<std::int64_t> completion_order_;
   sim::Trigger all_done_;
+  SplitMix64 jitter_rng_;
+  /// Healthy-topology lone P2P bandwidth per GPU pair (flattened n*n; -1 =
+  /// unroutable). Captured at construction, before any injected fault, so
+  /// ShouldFallBackToHet has an undegraded baseline. Empty unless
+  /// recovery.het_fallback_below > 0.
+  std::vector<double> p2p_baseline_;
   bool stop_sampler_ = false;
   double service_start_ = 0;
   double service_end_ = 0;

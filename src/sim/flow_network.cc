@@ -20,13 +20,14 @@ ResourceId FlowNetwork::AddResource(std::string name,
 }
 
 FlowId FlowNetwork::StartFlow(double bytes, std::vector<PathHop> path,
-                              std::function<void()> on_complete,
-                              double lead_latency) {
+                              FlowCallback on_complete, double lead_latency) {
   const FlowId id = next_flow_id_++;
   if (bytes <= kByteEpsilon) {
     // Zero-byte transfers complete after the wire latency but still
     // asynchronously, preserving event ordering for callers.
-    simulator_->Schedule(lead_latency, std::move(on_complete));
+    simulator_->Schedule(lead_latency, [on_complete = std::move(on_complete)] {
+      on_complete(Status::OK());
+    });
     return id;
   }
   if (lead_latency > 0) {
@@ -46,11 +47,65 @@ FlowId FlowNetwork::StartFlow(double bytes, std::vector<PathHop> path,
   return id;
 }
 
-Task<void> FlowNetwork::Transfer(double bytes, std::vector<PathHop> path,
-                                 double lead_latency) {
+FlowId FlowNetwork::StartFlow(double bytes, std::vector<PathHop> path,
+                              std::function<void()> on_complete,
+                              double lead_latency) {
+  return StartFlow(
+      bytes, std::move(path),
+      FlowCallback([on_complete = std::move(on_complete)](const Status&) {
+        on_complete();
+      }),
+      lead_latency);
+}
+
+Task<Status> FlowNetwork::Transfer(double bytes, std::vector<PathHop> path,
+                                   double lead_latency) {
   Trigger done;
-  StartFlow(bytes, std::move(path), [&done] { done.Fire(); }, lead_latency);
+  Status result;
+  StartFlow(
+      bytes, std::move(path),
+      FlowCallback([&done, &result](const Status& st) {
+        result = st;
+        done.Fire();
+      }),
+      lead_latency);
   co_await done.Wait();
+  co_return result;
+}
+
+void FlowNetwork::SetResourceCapacity(ResourceId id,
+                                      double capacity_bytes_per_sec) {
+  auto& resource = resources_[static_cast<std::size_t>(id)];
+  if (resource.capacity == capacity_bytes_per_sec) return;
+  // Settle in-flight progress at the old rates before the capacity change
+  // takes effect, then re-run progressive filling under the new capacity.
+  AdvanceProgress();
+  resource.capacity = capacity_bytes_per_sec;
+  RecomputeRates();
+  ScheduleNextCompletion();
+}
+
+int FlowNetwork::AbortFlowsCrossing(ResourceId resource, const Status& status) {
+  AdvanceProgress();
+  std::vector<FlowCallback> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    const bool crosses =
+        std::any_of(it->path.begin(), it->path.end(), [&](const PathHop& hop) {
+          return hop.resource == resource;
+        });
+    if (crosses) {
+      callbacks.push_back(std::move(it->on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (callbacks.empty()) return 0;
+  RecomputeRates();
+  ScheduleNextCompletion();
+  // Fire last: callbacks may start new flows and re-enter the network.
+  for (auto& cb : callbacks) cb(status);
+  return static_cast<int>(callbacks.size());
 }
 
 double FlowNetwork::FlowRate(FlowId id) const {
@@ -259,7 +314,7 @@ void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
       std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
   // Collect finished flows, remove them, then fire callbacks (callbacks may
   // start new flows and re-enter the network).
-  std::vector<std::function<void()>> callbacks;
+  std::vector<FlowCallback> callbacks;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->remaining_bytes <= kByteEpsilon ||
         (it->rate > 0 && it->remaining_bytes <= it->rate * time_ulp)) {
@@ -271,7 +326,7 @@ void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
   }
   RecomputeRates();
   ScheduleNextCompletion();
-  for (auto& cb : callbacks) cb();
+  for (auto& cb : callbacks) cb(Status::OK());
 }
 
 }  // namespace mgs::sim

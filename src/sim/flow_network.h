@@ -59,18 +59,43 @@ class FlowNetwork {
   }
   std::size_t num_resources() const { return resources_.size(); }
 
+  /// Completion callback of a flow. The status is OK when the last byte
+  /// arrived, or the abort reason when the flow was torn down mid-flight
+  /// (e.g. a link went down or a device failed; see AbortFlowsCrossing).
+  using FlowCallback = std::function<void(const Status&)>;
+
   /// Starts a flow of `bytes` across `path`; `on_complete` fires (as a
   /// simulator event) when the last byte arrives. Zero-byte flows complete
   /// immediately. `lead_latency` delays the flow's first byte (wire +
   /// setup latency; it neither consumes nor contends for bandwidth).
   /// Returns the flow id.
   FlowId StartFlow(double bytes, std::vector<PathHop> path,
+                   FlowCallback on_complete, double lead_latency = 0.0);
+
+  /// Convenience overload for callers that cannot fail (or do not care):
+  /// the callback fires on completion *and* on abort.
+  FlowId StartFlow(double bytes, std::vector<PathHop> path,
                    std::function<void()> on_complete,
                    double lead_latency = 0.0);
 
-  /// Coroutine-friendly transfer: suspends until the flow completes.
-  Task<void> Transfer(double bytes, std::vector<PathHop> path,
-                      double lead_latency = 0.0);
+  /// Coroutine-friendly transfer: suspends until the flow completes and
+  /// returns its delivery status (OK, or the abort reason).
+  Task<Status> Transfer(double bytes, std::vector<PathHop> path,
+                        double lead_latency = 0.0);
+
+  /// Changes a resource's capacity at runtime (link degradation or
+  /// restoration). In-flight flows are settled at their old rates first,
+  /// then every rate is recomputed against the new capacity — the flow-level
+  /// analogue of a link renegotiating its width mid-transfer. A capacity of
+  /// zero freezes flows crossing the resource (abort them explicitly if the
+  /// outage is fail-stop).
+  void SetResourceCapacity(ResourceId id, double capacity_bytes_per_sec);
+
+  /// Tears down every in-flight flow crossing `resource` and fires each
+  /// victim's callback with `status` (which must be non-OK). Flows still in
+  /// their lead-latency window are not yet in flight and are unaffected.
+  /// Returns the number of flows aborted.
+  int AbortFlowsCrossing(ResourceId resource, const Status& status);
 
   /// Current allocated rate of an active flow (bytes/sec); 0 if unknown.
   double FlowRate(FlowId id) const;
@@ -124,7 +149,7 @@ class FlowNetwork {
     FlowId id;
     double remaining_bytes;
     std::vector<PathHop> path;
-    std::function<void()> on_complete;
+    FlowCallback on_complete;
     double rate = 0.0;
   };
 

@@ -16,6 +16,11 @@ void TraceRecorder::AddCounter(std::string track, std::string name,
   counters_.push_back(Counter{std::move(track), std::move(name), time, value});
 }
 
+void TraceRecorder::AddInstant(std::string track, std::string name,
+                               double time) {
+  instants_.push_back(Instant{std::move(track), std::move(name), time});
+}
+
 namespace {
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -35,6 +40,9 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   }
   for (const auto& counter : counters_) {
     tids.emplace(counter.track, static_cast<int>(tids.size()));
+  }
+  for (const auto& instant : instants_) {
+    tids.emplace(instant.track, static_cast<int>(tids.size()));
   }
   std::ostringstream os;
   // max_digits10 makes the microsecond timestamps round-trip exactly: the
@@ -61,6 +69,12 @@ std::string TraceRecorder::ToChromeTraceJson() const {
        << ",\"name\":\"" << JsonEscape(counter.name) << "\",\"ts\":"
        << counter.time * 1e6 << ",\"args\":{\"value\":" << counter.value
        << "}}";
+  }
+  for (const auto& instant : instants_) {
+    // Scope "t": a thread-scoped tick mark on the instant's own track.
+    os << ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":"
+       << tids[instant.track] << ",\"name\":\"" << JsonEscape(instant.name)
+       << "\",\"ts\":" << instant.time * 1e6 << "}";
   }
   os << "]";
   return os.str();

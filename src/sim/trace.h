@@ -34,6 +34,15 @@ class TraceRecorder {
     double value;
   };
 
+  /// A point event with no duration (rendered as a Chrome instant event):
+  /// fault injections and recovery decisions are marked this way so "GPU2
+  /// died here" lines up against the spans it kills.
+  struct Instant {
+    std::string track;
+    std::string name;
+    double time;  // simulated seconds
+  };
+
   /// Records one completed span on `track` ("GPU0:in", "CPU", ...).
   void AddSpan(std::string track, std::string name, double begin,
                double end);
@@ -42,12 +51,17 @@ class TraceRecorder {
   void AddCounter(std::string track, std::string name, double time,
                   double value);
 
+  /// Records one instant event on `track` at `time`.
+  void AddInstant(std::string track, std::string name, double time);
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Counter>& counters() const { return counters_; }
+  const std::vector<Instant>& instants() const { return instants_; }
   std::size_t size() const { return spans_.size(); }
   void Clear() {
     spans_.clear();
     counters_.clear();
+    instants_.clear();
   }
 
   /// Serializes all spans in Chrome trace-event format (1 simulated second
@@ -60,6 +74,7 @@ class TraceRecorder {
  private:
   std::vector<Span> spans_;
   std::vector<Counter> counters_;
+  std::vector<Instant> instants_;
 };
 
 }  // namespace mgs::sim

@@ -199,6 +199,7 @@ Result<std::vector<Topology::RouteStep>> Topology::Route(
     changed = false;
     for (std::size_t li = 0; li < links_.size(); ++li) {
       const Link& link = links_[li];
+      if (!link.up) continue;  // down links carry no routes
       for (int dir = 0; dir < 2; ++dir) {
         const NodeId cur = dir == 0 ? link.a : link.b;
         const NodeId next = dir == 0 ? link.b : link.a;
@@ -214,7 +215,10 @@ Result<std::vector<Topology::RouteStep>> Topology::Route(
               nodes_[cur].kind == NodeKind::kGpu)) {
           continue;
         }
-        const double cap = forward ? link.spec.cap_ab : link.spec.cap_ba;
+        // Widest tie-break uses the *effective* (possibly degraded)
+        // capacity, so equal-hop alternatives avoid throttled links.
+        const double cap =
+            (forward ? link.spec.cap_ab : link.spec.cap_ba) * link.factor;
         const int hops = labels[cur].hops + 1;
         const double bn = std::min(labels[cur].bottleneck, cap);
         if (better(hops, bn, labels[next])) {
@@ -397,9 +401,13 @@ Result<bool> Topology::IsDirectP2p(int gpu_a, int gpu_b) const {
 
 double Topology::ResourceCapacity(sim::ResourceId res) const {
   for (const auto& link : links_) {
-    if (link.res_ab == res) return link.spec.cap_ab;
-    if (link.res_ba == res) return link.spec.cap_ba;
-    if (link.res_duplex == res) return link.spec.duplex_cap;
+    // Effective values: a degraded or down link reports its runtime
+    // capacity, so static what-if analyses (GPU-set scoring, mesh-health
+    // checks) see the faulted fabric, not the calibrated one.
+    const double f = link.up ? link.factor : 0.0;
+    if (link.res_ab == res) return link.spec.cap_ab * f;
+    if (link.res_ba == res) return link.spec.cap_ba * f;
+    if (link.res_duplex == res) return link.spec.duplex_cap * f;
   }
   for (const auto& gpu : gpus_) {
     if (gpu.hbm == res) return gpu.spec.memory_bandwidth;
@@ -419,6 +427,114 @@ Result<double> Topology::LoneFlowBandwidth(CopyKind kind, Endpoint src,
     rate = std::min(rate, ResourceCapacity(hop.resource) / hop.weight);
   }
   return rate;
+}
+
+std::string Topology::QualifiedLinkName(const Link& link) const {
+  return link.spec.name + "(" + nodes_[link.a].name + "-" +
+         nodes_[link.b].name + ")";
+}
+
+std::vector<int> Topology::MatchLinks(const std::string& name) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].spec.name == name || QualifiedLinkName(links_[i]) == name) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+void Topology::ApplyLinkState(const Link& link, sim::FlowNetwork* net) {
+  const double f = link.up ? link.factor : 0.0;
+  net->SetResourceCapacity(link.res_ab, link.spec.cap_ab * f);
+  net->SetResourceCapacity(link.res_ba, link.spec.cap_ba * f);
+  if (link.res_duplex >= 0) {
+    net->SetResourceCapacity(link.res_duplex, link.spec.duplex_cap * f);
+  }
+}
+
+Status Topology::SetLinkBandwidthFactor(const std::string& name, double factor,
+                                        sim::FlowNetwork* net) {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (!(factor > 0)) {
+    return Status::Invalid(
+        "bandwidth factor must be > 0 (use SetLinkUp(false) for an outage)");
+  }
+  const auto matches = MatchLinks(name);
+  if (matches.empty()) return Status::NotFound("no such link: " + name);
+  for (int i : matches) {
+    links_[i].factor = factor;
+    ApplyLinkState(links_[i], net);
+  }
+  return Status::OK();
+}
+
+Status Topology::SetLinkUp(const std::string& name, bool up,
+                           sim::FlowNetwork* net) {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  const auto matches = MatchLinks(name);
+  if (matches.empty()) return Status::NotFound("no such link: " + name);
+  for (int i : matches) {
+    Link& link = links_[i];
+    if (link.up == up) continue;
+    link.up = up;
+    if (!up) {
+      // Fail-stop outage: in-flight flows cannot be left to starve on a
+      // zero-capacity resource (the network would wedge); tear them down.
+      const Status reason = Status::Unavailable(
+          "link " + QualifiedLinkName(link) + " is down");
+      net->AbortFlowsCrossing(link.res_ab, reason);
+      net->AbortFlowsCrossing(link.res_ba, reason);
+      if (link.res_duplex >= 0) {
+        net->AbortFlowsCrossing(link.res_duplex, reason);
+      }
+    }
+    ApplyLinkState(link, net);
+  }
+  return Status::OK();
+}
+
+Result<double> Topology::LinkBandwidthFactor(const std::string& name) const {
+  const auto matches = MatchLinks(name);
+  if (matches.empty()) return Status::NotFound("no such link: " + name);
+  return links_[matches.front()].factor;
+}
+
+Result<bool> Topology::LinkIsUp(const std::string& name) const {
+  const auto matches = MatchLinks(name);
+  if (matches.empty()) return Status::NotFound("no such link: " + name);
+  return links_[matches.front()].up;
+}
+
+std::vector<std::string> Topology::LinkNames() const {
+  std::vector<std::string> out;
+  out.reserve(links_.size());
+  for (const auto& link : links_) out.push_back(QualifiedLinkName(link));
+  return out;
+}
+
+int Topology::DegradedLinkCount() const {
+  int n = 0;
+  for (const auto& link : links_) {
+    if (link.up && link.factor != 1.0) ++n;
+  }
+  return n;
+}
+
+int Topology::DownLinkCount() const {
+  int n = 0;
+  for (const auto& link : links_) {
+    if (!link.up) ++n;
+  }
+  return n;
+}
+
+Result<sim::ResourceId> Topology::GpuHbmResource(int gpu) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (gpu < 0 || gpu >= num_gpus()) {
+    return Status::Invalid("no such GPU: " + std::to_string(gpu));
+  }
+  return gpus_[gpu].hbm;
 }
 
 Result<std::string> Topology::DescribeRoute(CopyKind kind, Endpoint src,

@@ -235,6 +235,41 @@ class Topology {
   /// after Compile.
   std::vector<LinkResource> LinkResources() const;
 
+  // ---- runtime link state (fault injection) --------------------------------
+
+  /// Degrades (factor < 1) or restores (factor == 1) a link's bandwidth at
+  /// runtime: every compiled resource of the link (both directions and the
+  /// duplex budget) gets capacity `spec * factor`, and in-flight flows
+  /// re-settle at the new rates. `link` is either a bare spec name
+  /// ("nvl-x1"), which applies to every link sharing that name, or the
+  /// qualified "name(NODEA-NODEB)" form naming exactly one link. Requires a
+  /// compiled topology; `net` must be the network it compiled into.
+  Status SetLinkBandwidthFactor(const std::string& link, double factor,
+                                sim::FlowNetwork* net);
+
+  /// Takes a link down — aborting every in-flight flow crossing it with
+  /// kUnavailable and zeroing its capacities — or brings it back up. Down
+  /// links are excluded from routing, so copies issued afterwards re-route
+  /// around the outage (or fail with kNotFound when no alternative exists).
+  Status SetLinkUp(const std::string& link, bool up, sim::FlowNetwork* net);
+
+  /// Runtime state of the first link matching `link` (see above for the
+  /// accepted name forms).
+  Result<double> LinkBandwidthFactor(const std::string& link) const;
+  Result<bool> LinkIsUp(const std::string& link) const;
+
+  /// Qualified names of all links ("nvl-x1(GPU1-GPU3)"), declaration order.
+  std::vector<std::string> LinkNames() const;
+
+  /// Number of links currently degraded (up, factor != 1) / down.
+  int DegradedLinkCount() const;
+  int DownLinkCount() const;
+
+  /// The compiled HBM resource of a GPU. Every copy touching the GPU
+  /// crosses its HBM, so aborting flows over this resource models fail-stop
+  /// device loss. Only valid after Compile.
+  Result<sim::ResourceId> GpuHbmResource(int gpu) const;
+
   /// Human-readable topology dump (Table 1-style).
   std::string Describe() const;
 
@@ -263,6 +298,10 @@ class Topology {
     sim::ResourceId res_ab = -1;
     sim::ResourceId res_ba = -1;
     sim::ResourceId res_duplex = -1;
+    // Runtime state (fault injection): current bandwidth fraction of the
+    // calibrated spec, and whether the link is up at all.
+    double factor = 1.0;
+    bool up = true;
   };
 
   struct RouteStep {
@@ -272,6 +311,9 @@ class Topology {
 
   Result<std::vector<RouteStep>> Route(NodeId from, NodeId to,
                                        bool p2p_class) const;
+  std::string QualifiedLinkName(const Link& link) const;
+  std::vector<int> MatchLinks(const std::string& name) const;
+  void ApplyLinkState(const Link& link, sim::FlowNetwork* net);
   Result<std::vector<sim::PathHop>> BuildPath(
       const std::vector<RouteStep>& route, CopyKind kind, Endpoint src,
       Endpoint dst) const;

@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kFailedPrecondition:
       return "Failed precondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

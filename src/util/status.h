@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kFailedPrecondition,
+  kUnavailable,  // transient/retryable: lost device, downed link, flaky copy
 };
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -60,6 +61,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

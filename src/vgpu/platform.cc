@@ -63,18 +63,33 @@ void Stream::LaunchAsync(double duration_seconds, std::function<void()> body,
                          std::string label) {
   auto* device = device_;
   auto* platform = platform_;
-  Enqueue([device, platform, duration_seconds, body = std::move(body),
+  auto* stream = this;
+  Enqueue([stream, device, platform, duration_seconds, body = std::move(body),
            label = std::move(label)]() -> sim::Task<void> {
+    // Sticky-error semantics: kernels on an errored stream or a failed
+    // device do not launch.
+    if (!stream->status().ok() || device->failed()) {
+      stream->RecordError(device->failed() ? device->fail_status()
+                                           : stream->status());
+      co_return;
+    }
     auto& engine = device->compute_engine();
     co_await engine.Acquire();
     const double begin = platform->simulator().Now();
     co_await sim::Delay{platform->simulator(), duration_seconds};
-    body();
+    // A fail-stop loss mid-kernel kills it: the time elapsed but the
+    // functional effect never lands.
+    const bool ok = !device->failed();
+    if (ok) body();
     engine.Release();
     const double end = platform->simulator().Now();
     if (auto* trace = platform->trace()) {
       trace->AddSpan("GPU" + std::to_string(device->id()) + ":compute",
-                     label, begin, end);
+                     ok ? label : label + " [failed]", begin, end);
+    }
+    if (!ok) {
+      stream->RecordError(device->fail_status());
+      co_return;
     }
     if (auto* metrics = platform->metrics()) {
       const std::string gpu = std::to_string(device->id());
@@ -116,6 +131,36 @@ std::shared_ptr<sim::Trigger> Stream::RecordEvent() {
 
 void Stream::WaitEvent(std::shared_ptr<sim::Trigger> event) {
   Enqueue([event]() -> sim::Task<void> { co_await event->Wait(); });
+}
+
+Status Stream::Preflight(topo::Endpoint src, topo::Endpoint dst) {
+  if (!status_.ok()) return status_;
+  for (const auto& ep : {src, dst}) {
+    if (ep.kind != topo::Endpoint::Kind::kGpu) continue;
+    const Device& device = platform_->device(ep.id);
+    if (device.failed()) return device.fail_status();
+  }
+  return Status::OK();
+}
+
+void Stream::NoteCopyError(const Status& st, topo::CopyKind kind,
+                           const std::string& track) {
+  RecordError(st);
+  if (auto* trace = platform_->trace()) {
+    trace->AddInstant(track, "copy-error: " + st.ToString(),
+                      platform_->simulator().Now());
+  }
+  if (auto* metrics = platform_->metrics()) {
+    // track is "GPU<id>:<direction>" (see the Memcpy*Async wrappers).
+    const std::size_t colon = track.find(':');
+    const obs::Labels labels{{"gpu", track.substr(3, colon - 3)},
+                             {"direction", track.substr(colon + 1)},
+                             {"kind", topo::CopyKindToString(kind)}};
+    metrics
+        ->GetCounter(obs::kCopyErrors, labels,
+                     "vgpu copy operations that failed")
+        .Inc();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -172,6 +217,34 @@ Stream& Device::stream(int i) {
   return *streams_[static_cast<std::size_t>(i)];
 }
 
+void Device::Fail(Status reason) {
+  if (failed()) return;
+  fail_status_ = reason.ok()
+                     ? Status::Unavailable("GPU " + std::to_string(id_) +
+                                           " failed")
+                     : std::move(reason);
+  // DMA engines on a dead device stop mid-burst: tear down every in-flight
+  // flow touching its HBM (all copies to/from this GPU cross that
+  // resource), so counterpart devices see their copies fail now rather
+  // than hang on a zero-rate flow.
+  const auto hbm = platform_->topology().GpuHbmResource(id_);
+  if (hbm.ok()) {
+    platform_->network().AbortFlowsCrossing(*hbm, fail_status_);
+  }
+}
+
+Status Device::FirstError() const {
+  if (failed()) return fail_status_;
+  for (const auto& stream : streams_) {
+    if (!stream->status().ok()) return stream->status();
+  }
+  return Status::OK();
+}
+
+void Device::ResetStreamErrors() {
+  for (auto& stream : streams_) stream->ResetStatus();
+}
+
 // ---------------------------------------------------------------------------
 // Platform
 // ---------------------------------------------------------------------------
@@ -204,19 +277,22 @@ sim::Task<void> Platform::CpuBusy(double seconds) {
   }
 }
 
-sim::Task<void> Platform::CpuMemoryWork(int socket, double logical_bytes,
-                                        double amplification,
-                                        double engine_weight) {
+sim::Task<Status> Platform::CpuMemoryWork(int socket, double logical_bytes,
+                                          double amplification,
+                                          double engine_weight) {
   auto path = CheckOk(topology_->CpuMemoryWorkPath(socket, amplification));
   // The merge engine is the last hop; scale its weight for k-way penalty.
   if (engine_weight != 1.0 && !path.empty()) {
     path.back().weight *= engine_weight;
   }
   const double begin = simulator_.Now();
-  co_await network_.Transfer(logical_bytes, std::move(path));
+  const Status st =
+      co_await network_.Transfer(logical_bytes, std::move(path));
   if (trace_) {
-    trace_->AddSpan("CPU", "cpu-merge " + FormatBytes(logical_bytes), begin,
-                    simulator_.Now());
+    trace_->AddSpan("CPU",
+                    "cpu-merge " + FormatBytes(logical_bytes) +
+                        (st.ok() ? "" : " [failed]"),
+                    begin, simulator_.Now());
   }
   if (metrics_) {
     metrics_
@@ -228,6 +304,11 @@ sim::Task<void> Platform::CpuMemoryWork(int socket, double logical_bytes,
                      "Logical bytes processed by bandwidth-bound CPU work")
         .Add(logical_bytes);
   }
+  co_return st;
+}
+
+Status Platform::ConsultCopyOracle(const CopyFaultContext& ctx) {
+  return fault_oracle_ ? fault_oracle_->OnCopyDelivered(ctx) : Status::OK();
 }
 
 Result<double> Platform::Run(sim::Task<void> root) {

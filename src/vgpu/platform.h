@@ -49,6 +49,24 @@ inline constexpr double kPageableCopyWeight = 1.6;
 /// irrelevant for the paper's 4 GB blocks, dominant below ~100 KB.
 inline constexpr double kCopyLaunchOverhead = 5e-6;
 
+/// Context handed to the fault oracle when a copy's data movement finishes.
+struct CopyFaultContext {
+  topo::CopyKind kind;
+  topo::Endpoint src;
+  topo::Endpoint dst;
+  double logical_bytes = 0;
+};
+
+/// Fault hook consulted by the runtime (implemented by src/fault's
+/// injector): returning a non-OK status fails the copy as if the hardware
+/// reported a DMA error — the destination is not written and the stream
+/// records the error.
+class FaultOracle {
+ public:
+  virtual ~FaultOracle() = default;
+  virtual Status OnCopyDelivered(const CopyFaultContext& ctx) = 0;
+};
+
 /// A CUDA-like stream: FIFO queue of async ops.
 class Stream {
  public:
@@ -99,8 +117,28 @@ class Stream {
   /// Number of ops enqueued over the stream's lifetime.
   std::int64_t ops_enqueued() const { return ops_enqueued_; }
 
+  /// Sticky error state, CUDA-style: the first failed op poisons the
+  /// stream and subsequent ops are skipped (no functional effect, no
+  /// simulated time) until ResetStatus(). OK = healthy.
+  const Status& status() const { return status_; }
+  void ResetStatus() { status_ = Status::OK(); }
+
+  /// Records `st` as the stream's sticky error if it is the first (no-op
+  /// for OK statuses).
+  void RecordError(const Status& st) {
+    if (status_.ok() && !st.ok()) status_ = st;
+  }
+
  private:
   void Enqueue(std::function<sim::Task<void>()> op);
+
+  /// Pre-dispatch health check for an op touching `src`/`dst`: the sticky
+  /// stream error, or the fail-stop status of either endpoint device.
+  Status Preflight(topo::Endpoint src, topo::Endpoint dst);
+
+  /// Records a failed copy: sticky error + error counter + trace instant.
+  void NoteCopyError(const Status& st, topo::CopyKind kind,
+                     const std::string& track);
 
   template <typename T>
   void EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
@@ -113,6 +151,7 @@ class Stream {
   int id_;
   sim::JoinerPtr tail_;
   std::int64_t ops_enqueued_ = 0;
+  Status status_;
 };
 
 /// One simulated GPU.
@@ -169,6 +208,23 @@ class Device {
   SimMutex& local_engine() { return local_engine_; }
   SimMutex& compute_engine() { return compute_engine_; }
 
+  /// Fail-stop device loss: marks the GPU failed with `reason` (must be
+  /// non-OK; defaults to kUnavailable) and tears down every in-flight flow
+  /// touching its HBM, so counterpart GPUs see their copies fail too.
+  /// Irreversible — a failed device never dispatches another op.
+  void Fail(Status reason);
+  bool failed() const { return !fail_status_.ok(); }
+  const Status& fail_status() const { return fail_status_; }
+
+  /// The device's fail-stop status, or the first sticky error on any of
+  /// its streams. OK = healthy. Sort tasks poll this at phase barriers.
+  Status FirstError() const;
+
+  /// Clears sticky stream errors (a new job starting on this device must
+  /// not inherit a previous job's copy failures). Does not clear a
+  /// fail-stop device failure.
+  void ResetStreamErrors();
+
  private:
   friend class internal::DeviceAllocation;
   Platform* platform_;
@@ -177,6 +233,7 @@ class Device {
   double reserved_logical_bytes_ = 0;
   std::vector<std::unique_ptr<Stream>> streams_;
   SimMutex in_engine_, out_engine_, local_engine_, compute_engine_;
+  Status fail_status_;  // OK = healthy
 };
 
 struct PlatformOptions {
@@ -194,6 +251,9 @@ class Platform {
   sim::Simulator& simulator() { return simulator_; }
   sim::FlowNetwork& network() { return network_; }
   const topo::Topology& topology() const { return *topology_; }
+  /// Mutable topology access for runtime link mutation (fault injection):
+  /// pair Topology::SetLinkBandwidthFactor / SetLinkUp with network().
+  topo::Topology& mutable_topology() { return *topology_; }
   double scale() const { return options_.scale; }
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
@@ -206,8 +266,10 @@ class Platform {
   /// processes `logical_bytes` of output, consuming `amplification` bytes
   /// of memory traffic per output byte plus the CPU merge-engine budget
   /// (weighted by `engine_weight` >= 1 to model k-way degradation).
-  sim::Task<void> CpuMemoryWork(int socket, double logical_bytes,
-                                double amplification, double engine_weight);
+  /// Returns non-OK if the underlying flow was aborted (e.g. the memory
+  /// bus was taken down by fault injection).
+  sim::Task<Status> CpuMemoryWork(int socket, double logical_bytes,
+                                  double amplification, double engine_weight);
 
   /// Runs `root` to completion on this platform's simulator and returns the
   /// simulated seconds it took.
@@ -225,6 +287,14 @@ class Platform {
   void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attaches a fault oracle consulted when each copy's data movement
+  /// completes (see FaultOracle). Pass nullptr to detach. Not owned.
+  void SetFaultOracle(FaultOracle* oracle) { fault_oracle_ = oracle; }
+  FaultOracle* fault_oracle() const { return fault_oracle_; }
+
+  /// OK without an oracle; otherwise the oracle's verdict for this copy.
+  Status ConsultCopyOracle(const CopyFaultContext& ctx);
+
  private:
   Platform(std::unique_ptr<topo::Topology> topology, PlatformOptions options)
       : topology_(std::move(topology)), options_(options) {}
@@ -236,6 +306,7 @@ class Platform {
   std::vector<std::unique_ptr<Device>> devices_;
   sim::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  FaultOracle* fault_oracle_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -278,33 +349,56 @@ void Stream::EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
                          topo::Endpoint dst_ep, T* dst, const T* src,
                          std::int64_t count, double extra_weight,
                          SimMutex* engine, std::string track) {
-  auto path = CheckOk(platform_->topology().CopyPath(kind, src_ep, dst_ep));
-  if (extra_weight != 1.0) {
-    for (auto& hop : path) hop.weight *= extra_weight;
-  }
-  const double latency =
-      kCopyLaunchOverhead +
-      CheckOk(platform_->topology().CopyLatency(kind, src_ep, dst_ep));
   const double logical_bytes =
       static_cast<double>(count) * sizeof(T) * platform_->scale();
   auto* platform = platform_;
+  auto* stream = this;
   std::string label = std::string(topo::CopyKindToString(kind)) + " " +
                       FormatBytes(logical_bytes);
-  Enqueue([platform, kind, path = std::move(path), logical_bytes, latency,
-           dst, src, count, engine, track = std::move(track),
+  Enqueue([platform, stream, kind, src_ep, dst_ep, extra_weight,
+           logical_bytes, dst, src, count, engine, track = std::move(track),
            label = std::move(label)]() -> sim::Task<void> {
+    // Sticky-error semantics: an op on an errored stream, or touching a
+    // failed device, is skipped (no functional effect, no simulated time).
+    if (Status pre = stream->Preflight(src_ep, dst_ep); !pre.ok()) {
+      stream->NoteCopyError(pre, kind, track);
+      co_return;
+    }
+    // The route resolves at execution time, not enqueue time, so copies
+    // issued before a fault pick up the post-fault topology (re-routing
+    // around links that have since gone down).
+    auto path_or = platform->topology().CopyPath(kind, src_ep, dst_ep);
+    auto wire_or = platform->topology().CopyLatency(kind, src_ep, dst_ep);
+    if (!path_or.ok() || !wire_or.ok()) {
+      stream->NoteCopyError(
+          !path_or.ok() ? path_or.status() : wire_or.status(), kind, track);
+      co_return;
+    }
+    auto path = std::move(*path_or);
+    if (extra_weight != 1.0) {
+      for (auto& hop : path) hop.weight *= extra_weight;
+    }
+    const double latency = kCopyLaunchOverhead + *wire_or;
     co_await engine->Acquire();
     const double begin = platform->simulator().Now();
     // Snapshot the source as the DMA starts; materialize at completion.
     std::vector<T> staging(src, src + count);
-    co_await platform->network().Transfer(logical_bytes, path, latency);
-    std::copy(staging.begin(), staging.end(), dst);
+    Status st = co_await platform->network().Transfer(logical_bytes,
+                                                      std::move(path),
+                                                      latency);
+    if (st.ok()) {
+      st = platform->ConsultCopyOracle(
+          CopyFaultContext{kind, src_ep, dst_ep, logical_bytes});
+    }
+    if (st.ok()) std::copy(staging.begin(), staging.end(), dst);
     engine->Release();
     const double end = platform->simulator().Now();
     if (auto* trace = platform->trace()) {
-      trace->AddSpan(track, label, begin, end);
+      trace->AddSpan(track, st.ok() ? label : label + " [failed]", begin,
+                     end);
     }
-    if (auto* metrics = platform->metrics()) {
+    if (st.ok() && platform->metrics() != nullptr) {
+      auto* metrics = platform->metrics();
       // track is "GPU<id>:<direction>" (see the Memcpy*Async wrappers).
       const std::size_t colon = track.find(':');
       const std::string gpu = track.substr(3, colon - 3);
@@ -326,6 +420,7 @@ void Stream::EnqueueCopy(topo::CopyKind kind, topo::Endpoint src_ep,
                          "Simulated duration of vgpu copy operations")
           .Observe(end - begin);
     }
+    if (!st.ok()) stream->NoteCopyError(st, kind, track);
   });
 }
 

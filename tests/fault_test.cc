@@ -1,0 +1,503 @@
+// Tests for the fault-injection and resilience subsystem: scenario parsing,
+// runtime link mutation in the flow network and topology, fail-stop device
+// loss, transient copy errors, and the sort server's recovery policy
+// (retry with backoff, requeue after device loss, HET fallback).
+
+#include "fault/injector.h"
+#include "fault/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/p2p_sort.h"
+#include "sched/server.h"
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::fault {
+namespace {
+
+// Same scale model as sched_test: 2e9 logical keys -> 1000 actual keys.
+constexpr double kScale = 2e6;
+
+std::unique_ptr<vgpu::Platform> MakePlatform(const std::string& system) {
+  return CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem(system)),
+                                        vgpu::PlatformOptions{kScale}));
+}
+
+sched::JobSpec MakeJob(double arrival, double keys, int gpus,
+                       std::vector<int> pinned = {}) {
+  sched::JobSpec spec;
+  spec.arrival_seconds = arrival;
+  spec.logical_keys = keys;
+  spec.gpus = gpus;
+  spec.pinned_gpus = std::move(pinned);
+  spec.seed = static_cast<std::uint64_t>(keys) + gpus;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario parsing
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioTest, ParsesInlineGrammar) {
+  auto sc = FaultScenario::Parse(
+      "seed=7;\n"
+      "at=0.8 link=nvl12(GPU6-nvswitch) factor=1   # restore\n"
+      "at=0.3 link=nvl12(GPU6-nvswitch) factor=0.2;"
+      "at=1.1 gpu=3 fail; at=1.0 link=nvl-x1 down; at=1.6 link=nvl-x1 up;"
+      "at=0 copy-error rate=0.002 until=2.0");
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  EXPECT_EQ(sc->seed, 7u);
+  ASSERT_EQ(sc->events.size(), 6u);
+  // Sorted by time.
+  EXPECT_DOUBLE_EQ(sc->events[0].at, 0);
+  EXPECT_EQ(sc->events[0].kind, FaultKind::kCopyErrorRate);
+  EXPECT_DOUBLE_EQ(sc->events[0].rate, 0.002);
+  EXPECT_DOUBLE_EQ(sc->events[0].until, 2.0);
+  EXPECT_EQ(sc->events[1].kind, FaultKind::kLinkBandwidth);
+  EXPECT_DOUBLE_EQ(sc->events[1].factor, 0.2);
+  EXPECT_EQ(sc->events[1].link, "nvl12(GPU6-nvswitch)");
+  EXPECT_EQ(sc->events[2].kind, FaultKind::kLinkBandwidth);
+  EXPECT_DOUBLE_EQ(sc->events[2].factor, 1.0);
+  EXPECT_EQ(sc->events[3].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sc->events[3].link, "nvl-x1");
+  EXPECT_EQ(sc->events[4].kind, FaultKind::kGpuFail);
+  EXPECT_EQ(sc->events[4].gpu, 3);
+  EXPECT_EQ(sc->events[5].kind, FaultKind::kLinkUp);
+}
+
+TEST(ScenarioTest, ParsesJson) {
+  auto sc = FaultScenario::ParseJson(
+      R"({"seed": 9, "events": [
+            {"at": 0.3, "link": "nvl12", "factor": 0.2},
+            {"at": 1.1, "gpu": 3, "fail": true},
+            {"at": 1.0, "link": "nvl-x1", "down": true},
+            {"at": 0.0, "copy_error_rate": 0.002, "until": 2.0}]})");
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  EXPECT_EQ(sc->seed, 9u);
+  ASSERT_EQ(sc->events.size(), 4u);
+  EXPECT_EQ(sc->events[0].kind, FaultKind::kCopyErrorRate);
+  EXPECT_EQ(sc->events[1].kind, FaultKind::kLinkBandwidth);
+  EXPECT_EQ(sc->events[2].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sc->events[3].kind, FaultKind::kGpuFail);
+  EXPECT_EQ(sc->events[3].gpu, 3);
+}
+
+TEST(ScenarioTest, RoundTripsThroughToString) {
+  auto sc = FaultScenario::Parse(
+      "seed=5; at=0.5 gpu=1 fail; at=0.2 link=pcie factor=0.5;"
+      "at=0.9 link=pcie down; at=1.4 link=pcie up;"
+      "at=0 copy-error rate=0.01 until=3");
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  auto again = FaultScenario::Parse(sc->ToString());
+  ASSERT_TRUE(again.ok()) << again.status() << "\nspec: " << sc->ToString();
+  EXPECT_EQ(again->seed, sc->seed);
+  ASSERT_EQ(again->events.size(), sc->events.size());
+  for (std::size_t i = 0; i < sc->events.size(); ++i) {
+    EXPECT_EQ(again->events[i].kind, sc->events[i].kind) << i;
+    EXPECT_DOUBLE_EQ(again->events[i].at, sc->events[i].at) << i;
+    EXPECT_EQ(again->events[i].gpu, sc->events[i].gpu) << i;
+    EXPECT_EQ(again->events[i].link, sc->events[i].link) << i;
+    EXPECT_DOUBLE_EQ(again->events[i].factor, sc->events[i].factor) << i;
+    EXPECT_DOUBLE_EQ(again->events[i].rate, sc->events[i].rate) << i;
+    EXPECT_DOUBLE_EQ(again->events[i].until, sc->events[i].until) << i;
+  }
+}
+
+TEST(ScenarioTest, RejectsMalformedClauses) {
+  EXPECT_FALSE(FaultScenario::Parse("at=0.5 gpu=1").ok());         // no fault
+  EXPECT_FALSE(FaultScenario::Parse("at=-1 gpu=1 fail").ok());     // at < 0
+  EXPECT_FALSE(FaultScenario::Parse("at=0 link=x").ok());          // no action
+  EXPECT_FALSE(FaultScenario::Parse("at=0 link=x factor=0").ok()); // use down
+  EXPECT_FALSE(FaultScenario::Parse("at=0 link=x down up").ok());  // both
+  EXPECT_FALSE(FaultScenario::Parse("at=0 copy-error rate=1.5").ok());
+  EXPECT_FALSE(FaultScenario::Parse("at=0 gpu=1 fail link=x down").ok());
+  EXPECT_FALSE(FaultScenario::ParseJson("{\"events\": 3}").ok());
+  EXPECT_FALSE(FaultScenario::ParseJson("{notjson").ok());
+}
+
+TEST(ScenarioTest, LoadsFilesAndInlineSpecs) {
+  const std::string path = ::testing::TempDir() + "/fault_plan.json";
+  {
+    std::ofstream out(path);
+    out << R"({"seed": 3, "events": [{"at": 0.1, "gpu": 0, "fail": true}]})";
+  }
+  auto from_at = FaultScenario::Load("@" + path);
+  ASSERT_TRUE(from_at.ok()) << from_at.status();
+  EXPECT_EQ(from_at->seed, 3u);
+  ASSERT_EQ(from_at->events.size(), 1u);
+
+  auto from_bare = FaultScenario::Load(path);  // bare readable path
+  ASSERT_TRUE(from_bare.ok()) << from_bare.status();
+  EXPECT_EQ(from_bare->events.size(), 1u);
+
+  auto inline_spec = FaultScenario::Load("at=0.1 gpu=0 fail");
+  ASSERT_TRUE(inline_spec.ok()) << inline_spec.status();
+  EXPECT_EQ(inline_spec->events[0].kind, FaultKind::kGpuFail);
+
+  EXPECT_FALSE(FaultScenario::Load("@/no/such/fault_plan").ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-network link mutation (satellite: degrade mid-transfer, abort)
+// ---------------------------------------------------------------------------
+
+class FlowFaultTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  sim::FlowNetwork net_{&sim_};
+};
+
+TEST_F(FlowFaultTest, DegradeMidTransferStretchesCompletion) {
+  sim::ResourceId link = net_.AddResource("link", 10.0);  // 10 B/s
+  double done_at = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { done_at = sim_.Now(); });
+  // Halve the capacity at t=5: 50 bytes remain, now at 5 B/s -> +10 s.
+  sim_.Schedule(5.0, [&] { net_.SetResourceCapacity(link, 5.0); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done_at, 15.0);
+}
+
+TEST_F(FlowFaultTest, RestoreMidTransferSpeedsCompletion) {
+  sim::ResourceId link = net_.AddResource("link", 5.0);
+  double done_at = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { done_at = sim_.Now(); });
+  // 25 bytes by t=5, then 75 remaining at 10 B/s -> done at 12.5.
+  sim_.Schedule(5.0, [&] { net_.SetResourceCapacity(link, 10.0); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done_at, 12.5);
+}
+
+TEST_F(FlowFaultTest, AbortCrossingFlowsFiresErrorCallbacks) {
+  sim::ResourceId bad = net_.AddResource("bad", 10.0);
+  sim::ResourceId good = net_.AddResource("good", 10.0);
+  Status victim_status = Status::OK();
+  double victim_at = -1, survivor_at = -1;
+  net_.StartFlow(100.0, {{bad, 1.0}}, [&](const Status& s) {
+    victim_status = s;
+    victim_at = sim_.Now();
+  });
+  net_.StartFlow(100.0, {{good, 1.0}},
+                 [&](const Status& s) {
+                   ASSERT_TRUE(s.ok());
+                   survivor_at = sim_.Now();
+                 });
+  sim_.Schedule(4.0, [&] {
+    EXPECT_EQ(net_.AbortFlowsCrossing(bad, Status::Unavailable("link down")),
+              1);
+  });
+  sim_.Run();
+  EXPECT_EQ(victim_status.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(victim_at, 4.0);
+  EXPECT_DOUBLE_EQ(survivor_at, 10.0);  // unaffected
+}
+
+// ---------------------------------------------------------------------------
+// Topology-level link state
+// ---------------------------------------------------------------------------
+
+TEST(TopoFaultTest, BandwidthFactorAndLinkStateRoundTrip) {
+  auto platform = MakePlatform("delta-d22x");
+  auto& topo = platform->mutable_topology();
+  auto* net = &platform->network();
+
+  ASSERT_TRUE(topo.SetLinkBandwidthFactor("nvl-x1", 0.25, net).ok());
+  EXPECT_EQ(topo.DegradedLinkCount(), 1);
+  EXPECT_DOUBLE_EQ(CheckOk(topo.LinkBandwidthFactor("nvl-x1")), 0.25);
+
+  ASSERT_TRUE(topo.SetLinkUp("nvl-x1", false, net).ok());
+  EXPECT_EQ(topo.DownLinkCount(), 1);
+  EXPECT_FALSE(CheckOk(topo.LinkIsUp("nvl-x1")));
+
+  ASSERT_TRUE(topo.SetLinkUp("nvl-x1", true, net).ok());
+  ASSERT_TRUE(topo.SetLinkBandwidthFactor("nvl-x1", 1.0, net).ok());
+  EXPECT_EQ(topo.DownLinkCount(), 0);
+  EXPECT_EQ(topo.DegradedLinkCount(), 0);
+
+  EXPECT_FALSE(topo.SetLinkUp("no-such-link", false, net).ok());
+  EXPECT_FALSE(topo.SetLinkBandwidthFactor("nvl-x1", -0.5, net).ok());
+}
+
+// Dropping the GPU1-GPU3 single-NVLink on the DELTA partial mesh mid-merge
+// must either re-route the exchange (output still sorted) or fail the sort
+// with a clean retryable Status — never wedge or corrupt.
+TEST(TopoFaultTest, DropDeltaWeakLinkMidMergeFailsCleanlyOrReroutes) {
+  DataGenOptions gen;
+  gen.seed = 11;
+  auto keys = GenerateKeys<std::int32_t>(1000, gen);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  // Baseline run to locate the merge phase in time.
+  double merge_mid;
+  {
+    auto platform = MakePlatform("delta-d22x");
+    vgpu::HostBuffer<std::int32_t> data(keys);
+    core::SortOptions options;
+    options.gpu_set = {1, 3};  // the pair joined by "nvl-x1"
+    auto stats = core::P2pSort(platform.get(), &data, options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    merge_mid = stats->phases.htod + stats->phases.sort +
+                0.5 * stats->phases.merge;
+    ASSERT_GT(stats->phases.merge, 0);
+  }
+
+  auto platform = MakePlatform("delta-d22x");
+  platform->simulator().Schedule(merge_mid, [&] {
+    CheckOk(platform->mutable_topology().SetLinkUp("nvl-x1", false,
+                                                   &platform->network()));
+  });
+  vgpu::HostBuffer<std::int32_t> data(keys);
+  core::SortOptions options;
+  options.gpu_set = {1, 3};
+  auto stats = core::P2pSort(platform.get(), &data, options);
+  if (stats.ok()) {
+    EXPECT_EQ(data.vector(), expected);  // re-routed exchange
+  } else {
+    EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable)
+        << stats.status();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injector
+// ---------------------------------------------------------------------------
+
+TEST(InjectorTest, ArmValidatesGpuIdsAndLinkNames) {
+  {
+    auto platform = MakePlatform("delta-d22x");  // 4 GPUs
+    FaultInjector bad_gpu(platform.get(),
+                          CheckOk(FaultScenario::Parse("at=0 gpu=9 fail")));
+    EXPECT_FALSE(bad_gpu.Arm().ok());
+  }
+  {
+    auto platform = MakePlatform("delta-d22x");
+    FaultInjector bad_link(
+        platform.get(),
+        CheckOk(FaultScenario::Parse("at=0 link=nvl99 down")));
+    EXPECT_FALSE(bad_link.Arm().ok());
+  }
+  {
+    auto platform = MakePlatform("delta-d22x");
+    FaultInjector ok(platform.get(),
+                     CheckOk(FaultScenario::Parse("at=0 link=nvl-x1 down")));
+    EXPECT_TRUE(ok.Arm().ok());
+  }
+}
+
+TEST(InjectorTest, GpuFailStopSurfacesRetryableStatus) {
+  auto platform = MakePlatform("dgx-a100");
+  FaultInjector injector(platform.get(),
+                         CheckOk(FaultScenario::Parse("at=0.01 gpu=0 fail")));
+  ASSERT_TRUE(injector.Arm().ok());
+
+  DataGenOptions gen;
+  gen.seed = 13;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(1000, gen));
+  core::SortOptions options;
+  options.gpu_set = {0, 1};
+  auto stats = core::P2pSort(platform.get(), &data, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable)
+      << stats.status();
+  EXPECT_TRUE(platform->device(0).failed());
+  EXPECT_EQ(injector.stats().gpus_failed, 1);
+  EXPECT_EQ(injector.stats().events_fired, 1);
+  // No leaked device memory even on the failure path.
+  for (int g = 0; g < platform->num_devices(); ++g) {
+    EXPECT_DOUBLE_EQ(platform->device(g).memory_used(), 0) << "gpu" << g;
+  }
+}
+
+TEST(InjectorTest, CopyErrorsAreDeterministicPerSeed) {
+  auto run = [&](std::uint64_t seed_mix) {
+    auto platform = MakePlatform("dgx-a100");
+    FaultInjector injector(
+        platform.get(),
+        CheckOk(FaultScenario::Parse("at=0 copy-error rate=0.35")), seed_mix);
+    CheckOk(injector.Arm());
+    DataGenOptions gen;
+    gen.seed = 17;
+    vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(1000, gen));
+    core::SortOptions options;
+    options.gpu_set = {0, 1, 2, 3};
+    auto stats = core::P2pSort(platform.get(), &data, options);
+    return std::make_pair(injector.stats().copy_errors_injected,
+                          stats.ok() ? StatusCode::kOk : stats.status().code());
+  };
+  const auto a = run(5);
+  const auto b = run(5);
+  EXPECT_EQ(a, b);                  // identical outcome for identical seeds
+  EXPECT_GT(a.first, 0);            // rate 0.35 must actually inject
+  EXPECT_EQ(a.second, StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// SortServer recovery
+// ---------------------------------------------------------------------------
+
+sched::ServerOptions RecoveryOptionsForTest() {
+  sched::ServerOptions options;
+  options.recovery.max_retries = 3;
+  options.recovery.backoff_base_seconds = 0.5;
+  options.recovery.backoff_jitter = 0;  // exact timings in assertions
+  options.recovery.health_check_seconds = 0.05;
+  return options;
+}
+
+// A GPU dies while jobs run: the victim job is requeued on the remaining
+// GPUs, completes with sorted output, and every reservation is released.
+TEST(RecoveryTest, GpuLossRequeuesJobOnRemainingGpus) {
+  auto platform = MakePlatform("dgx-a100");
+  FaultInjector injector(platform.get(),
+                         CheckOk(FaultScenario::Parse("at=0.05 gpu=2 fail")));
+  sched::SortServer server(platform.get(), RecoveryOptionsForTest());
+  ASSERT_TRUE(injector.Arm().ok());
+
+  // Fill all 8 GPUs so one job is certainly running on GPU2 at t=0.05.
+  for (int i = 0; i < 8; ++i) server.Submit(MakeJob(0, 4e9, 1));
+  auto report = server.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->completed, 8);
+  EXPECT_EQ(report->failed, 0);
+  EXPECT_GE(report->recovered, 1);
+  EXPECT_GE(report->total_retries, 1);
+  EXPECT_GT(report->mttr_seconds, 0);
+
+  bool saw_retry = false;
+  for (const auto& job : report->jobs) {
+    EXPECT_EQ(job.state, sched::JobState::kDone) << job.error;
+    if (job.retries > 0) {
+      saw_retry = true;
+      // The retry must have landed on a healthy device.
+      EXPECT_EQ(std::find(job.gpu_set.begin(), job.gpu_set.end(), 2),
+                job.gpu_set.end());
+      EXPECT_EQ(job.error_code, StatusCode::kOk) << job.error;
+      EXPECT_TRUE(job.recovered());
+      EXPECT_GT(job.recovery_seconds(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+
+  // Reservations and allocations fully released, failed GPU included.
+  for (int g = 0; g < platform->num_devices(); ++g) {
+    EXPECT_DOUBLE_EQ(platform->device(g).memory_used(), 0) << "gpu" << g;
+    EXPECT_DOUBLE_EQ(platform->device(g).memory_reserved(), 0) << "gpu" << g;
+  }
+  EXPECT_TRUE(platform->device(2).failed());
+}
+
+// Device loss can strand a job that now needs more GPUs than exist; the
+// health monitor must fail it cleanly instead of wedging the service.
+TEST(RecoveryTest, UnsatisfiableJobFailsCleanlyAfterDeviceLoss) {
+  auto platform = MakePlatform("dgx-a100");
+  FaultInjector injector(platform.get(),
+                         CheckOk(FaultScenario::Parse("at=0.05 gpu=3 fail")));
+  sched::SortServer server(platform.get(), RecoveryOptionsForTest());
+  ASSERT_TRUE(injector.Arm().ok());
+
+  const std::int64_t big = server.Submit(MakeJob(0, 8e9, 8));  // all 8 GPUs
+  auto report = server.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->failed, 1);
+  EXPECT_EQ(report->completed, 0);
+  const auto& rec = server.job(big);
+  EXPECT_EQ(rec.state, sched::JobState::kFailed);
+  EXPECT_EQ(rec.error_code, StatusCode::kUnavailable) << rec.error;
+  EXPECT_FALSE(rec.error.empty());
+  for (int g = 0; g < platform->num_devices(); ++g) {
+    EXPECT_DOUBLE_EQ(platform->device(g).memory_used(), 0) << "gpu" << g;
+    EXPECT_DOUBLE_EQ(platform->device(g).memory_reserved(), 0) << "gpu" << g;
+  }
+}
+
+// A transient copy-error window fails the first attempt; the backoff retry
+// lands after the window closes and succeeds.
+TEST(RecoveryTest, TransientCopyErrorWindowRecoveredByRetry) {
+  auto platform = MakePlatform("dgx-a100");
+  FaultInjector injector(
+      platform.get(),
+      CheckOk(FaultScenario::Parse("at=0 copy-error rate=1 until=1.0")));
+  sched::ServerOptions options = RecoveryOptionsForTest();
+  options.recovery.backoff_base_seconds = 2.0;  // retry after the window
+  sched::SortServer server(platform.get(), options);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  const std::int64_t id = server.Submit(MakeJob(0, 4e9, 2));
+  auto report = server.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->completed, 1);
+  EXPECT_EQ(report->failed, 0);
+  EXPECT_EQ(report->recovered, 1);
+  const auto& rec = server.job(id);
+  EXPECT_TRUE(rec.recovered());
+  EXPECT_GE(rec.retries, 1);
+  EXPECT_GT(injector.stats().copy_errors_injected, 0);
+}
+
+// A P2P mesh degraded below the fallback threshold routes new jobs through
+// the HET (via-host) sorter instead of the crippled direct path.
+TEST(RecoveryTest, DegradedMeshTriggersHetFallback) {
+  auto platform = MakePlatform("dgx-a100");
+  FaultInjector injector(
+      platform.get(),
+      CheckOk(FaultScenario::Parse("at=0 link=nvl12 factor=0.05")));
+  sched::ServerOptions options = RecoveryOptionsForTest();
+  options.recovery.het_fallback_below = 0.5;
+  sched::SortServer server(platform.get(), options);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  const std::int64_t id = server.Submit(MakeJob(0.1, 4e9, 2));
+  auto report = server.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->completed, 1);
+  EXPECT_EQ(report->failed, 0);
+  EXPECT_GE(report->het_fallbacks, 1);
+  EXPECT_TRUE(server.job(id).het_fallback);
+  EXPECT_EQ(server.job(id).state, sched::JobState::kDone);
+}
+
+// Two runs with the same seed produce identical schedules, fault draws,
+// retries, and completion orders.
+TEST(RecoveryTest, ChaosRunsAreDeterministicPerSeed) {
+  const char* kPlan =
+      "at=0.2 link=nvl12 factor=0.3; at=0.6 link=nvl12 factor=1;"
+      "at=0.4 gpu=5 fail; at=0 copy-error rate=0.05 until=1.5";
+  auto run = [&] {
+    auto platform = MakePlatform("dgx-a100");
+    FaultInjector injector(platform.get(),
+                           CheckOk(FaultScenario::Parse(kPlan)), /*seed=*/7);
+    sched::ServerOptions options = RecoveryOptionsForTest();
+    options.recovery.het_fallback_below = 0.5;
+    sched::SortServer server(platform.get(), options);
+    CheckOk(injector.Arm());
+    server.Submit(sched::MakePoissonWorkload(sched::JobMix{}, /*rate=*/4.0,
+                                             /*jobs=*/10, /*seed=*/7));
+    auto report = CheckOk(server.Run());
+    report.jobs.clear();  // compare scalar fields + order below
+    return std::make_tuple(report.completion_order, report.completed,
+                           report.failed, report.recovered,
+                           report.total_retries, report.het_fallbacks,
+                           report.makespan,
+                           injector.stats().copy_errors_injected);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::get<1>(a) + std::get<2>(a), 10);  // every job terminal
+}
+
+}  // namespace
+}  // namespace mgs::fault
