@@ -47,13 +47,16 @@ BENCHMARK(BM_CoroutineSpawnJoin)->Arg(256)->Arg(4096);
 
 void BM_FlowNetworkContention(benchmark::State& state) {
   // N flows over a shared chain of resources: every arrival/completion
-  // triggers a full max-min recomputation.
+  // triggers a max-min resettling. The 4096-flow arg is the perf-gate
+  // workload for the incremental allocator (BENCH_sim.json in CI).
   for (auto _ : state) {
     sim::Simulator sim;
     sim::FlowNetwork net(&sim);
     std::vector<sim::ResourceId> chain;
     for (int r = 0; r < 8; ++r) {
-      chain.push_back(net.AddResource("r" + std::to_string(r), 100.0));
+      std::string name("r");
+      name += std::to_string(r);
+      chain.push_back(net.AddResource(std::move(name), 100.0));
     }
     for (int f = 0; f < state.range(0); ++f) {
       std::vector<sim::PathHop> path;
@@ -64,7 +67,8 @@ void BM_FlowNetworkContention(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_FlowNetworkContention)->Arg(16)->Arg(128);
+BENCHMARK(BM_FlowNetworkContention)->Arg(16)->Arg(128)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndP2pSort(benchmark::State& state) {
   // Whole-stack cost: one simulated 8-GPU P2P sort per iteration

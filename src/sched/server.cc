@@ -630,6 +630,10 @@ ServiceReport SortServer::BuildReport() const {
         static_cast<double>(within_slo) / report.completed;
   }
 
+  // Progress accrues lazily (at flow start/finish); settle up to Now() so
+  // the utilization window [service_start_, Now()] counts every delivered
+  // byte, including flows still in flight when the report is generated.
+  platform_->network().SettleTraffic();
   const auto utils = platform_->network().Utilizations(service_start_);
   if (!utils.empty()) {
     for (const auto& link : platform_->topology().LinkResources()) {

@@ -11,39 +11,37 @@ namespace {
 // Completion epsilon: flows within this many bytes of done are done
 // (guards against floating-point drift never quite reaching zero).
 constexpr double kByteEpsilon = 1e-3;
+// Bottleneck tie tolerance: resources whose fair share is within one part
+// in 1e12 of the round minimum freeze together.
+constexpr double kRelTol = 1.0 + 1e-12;
+// Rate given to flows that cross no capacity resource (a modeling error):
+// effectively infinite, so they complete at their start instant.
+constexpr double kUnconstrainedRate = 1e18;
 }  // namespace
 
 ResourceId FlowNetwork::AddResource(std::string name,
                                     double capacity_bytes_per_sec) {
-  resources_.push_back(Resource{std::move(name), capacity_bytes_per_sec});
+  Resource resource;
+  resource.name = std::move(name);
+  resource.capacity = capacity_bytes_per_sec;
+  resources_.push_back(std::move(resource));
+  load_scratch_.push_back(0.0);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
 FlowId FlowNetwork::StartFlow(double bytes, std::vector<PathHop> path,
                               FlowCallback on_complete, double lead_latency) {
   const FlowId id = next_flow_id_++;
-  if (bytes <= kByteEpsilon) {
-    // Zero-byte transfers complete after the wire latency but still
-    // asynchronously, preserving event ordering for callers.
-    simulator_->Schedule(lead_latency, [on_complete = std::move(on_complete)] {
-      on_complete(Status::OK());
-    });
-    return id;
-  }
   if (lead_latency > 0) {
-    // The first byte arrives after the latency; bandwidth is contended
-    // only once bytes are in flight.
-    simulator_->Schedule(
-        lead_latency, [this, bytes, path = std::move(path),
-                       on_complete = std::move(on_complete)]() mutable {
-          StartFlow(bytes, std::move(path), std::move(on_complete), 0.0);
-        });
+    // The first byte arrives after the latency; bandwidth is contended only
+    // once bytes are in flight. The flow keeps its id across the deferral
+    // and is abortable while it waits (see AbortFlowsCrossing).
+    pending_.emplace(
+        id, PendingFlow{bytes, std::move(path), std::move(on_complete)});
+    simulator_->Schedule(lead_latency, [this, id] { ActivateDeferred(id); });
     return id;
   }
-  AdvanceProgress();
-  flows_.push_back(Flow{id, bytes, std::move(path), std::move(on_complete)});
-  RecomputeRates();
-  ScheduleNextCompletion();
+  Activate(id, bytes, std::move(path), std::move(on_complete));
   return id;
 }
 
@@ -73,6 +71,53 @@ Task<Status> FlowNetwork::Transfer(double bytes, std::vector<PathHop> path,
   co_return result;
 }
 
+void FlowNetwork::ActivateDeferred(FlowId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // aborted during its latency window
+  PendingFlow pending = std::move(it->second);
+  pending_.erase(it);
+  Activate(id, pending.bytes, std::move(pending.path),
+           std::move(pending.on_complete));
+}
+
+void FlowNetwork::Activate(FlowId id, double bytes, std::vector<PathHop> path,
+                           FlowCallback on_complete) {
+  AdvanceProgress();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+    flows_cold_.emplace_back();
+  }
+  Flow& f = flows_[slot];
+  FlowCold& cold = flows_cold_[slot];
+  f.id = id;
+  f.remaining_bytes = std::max(bytes, 0.0);
+  cold.path = std::move(path);
+  cold.on_complete = std::move(on_complete);
+  f.rate = 0.0;
+  f.order_pos = static_cast<std::uint32_t>(order_.size());
+  f.in_heap = false;
+  order_.push_back(slot);
+  flow_index_.emplace(id, slot);
+  for (const auto& hop : cold.path) {
+    Resource& res = resources_[static_cast<std::size_t>(hop.resource)];
+    res.members.push_back(Member{slot, hop.weight});
+    // Appending on the right extends the cached sum exactly as a fresh
+    // left-to-right rescan would, keeping the denominator bitwise faithful.
+    res.live_denom += hop.weight;
+    if (!res.in_active_list) {
+      res.in_active_list = true;
+      active_resources_.push_back(hop.resource);
+    }
+  }
+  RecomputeRates();
+  ScheduleNextCompletion();
+}
+
 void FlowNetwork::SetResourceCapacity(ResourceId id,
                                       double capacity_bytes_per_sec) {
   auto& resource = resources_[static_cast<std::size_t>(id)];
@@ -87,38 +132,65 @@ void FlowNetwork::SetResourceCapacity(ResourceId id,
 
 int FlowNetwork::AbortFlowsCrossing(ResourceId resource, const Status& status) {
   AdvanceProgress();
-  std::vector<FlowCallback> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    const bool crosses =
-        std::any_of(it->path.begin(), it->path.end(), [&](const PathHop& hop) {
-          return hop.resource == resource;
-        });
-    if (crosses) {
-      callbacks.push_back(std::move(it->on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  // In-flight victims come straight off the resource's adjacency list (no
+  // full flow scan); dedupe via the scratch mark and tear them down in
+  // activation order, like completions.
+  std::vector<std::uint32_t> victims;
+  for (const Member& m :
+       resources_[static_cast<std::size_t>(resource)].members) {
+    Flow& f = flows_[m.slot];
+    if (!f.marked) {
+      f.marked = true;
+      victims.push_back(m.slot);
     }
   }
-  if (callbacks.empty()) return 0;
-  RecomputeRates();
-  ScheduleNextCompletion();
+  std::sort(victims.begin(), victims.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return flows_[a].order_pos < flows_[b].order_pos;
+            });
+  std::vector<FlowCallback> callbacks;
+  callbacks.reserve(victims.size());
+  for (std::uint32_t slot : victims) {
+    flows_[slot].marked = false;
+    callbacks.push_back(std::move(flows_cold_[slot].on_complete));
+  }
+  if (!victims.empty()) {
+    EraseFlows(victims);
+    RecomputeRates();
+    ScheduleNextCompletion();
+  }
+  // Flows still inside their lead-latency window cross the resource just as
+  // surely — a dead link must not let them slip through and complete OK.
+  std::vector<FlowId> pending_victims;
+  for (const auto& [id, pending] : pending_) {
+    const bool crosses = std::any_of(
+        pending.path.begin(), pending.path.end(),
+        [&](const PathHop& hop) { return hop.resource == resource; });
+    if (crosses) pending_victims.push_back(id);
+  }
+  std::sort(pending_victims.begin(), pending_victims.end());
+  for (FlowId id : pending_victims) {
+    auto it = pending_.find(id);
+    callbacks.push_back(std::move(it->second.on_complete));
+    pending_.erase(it);
+  }
   // Fire last: callbacks may start new flows and re-enter the network.
   for (auto& cb : callbacks) cb(status);
   return static_cast<int>(callbacks.size());
 }
 
 double FlowNetwork::FlowRate(FlowId id) const {
-  for (const auto& f : flows_) {
-    if (f.id == id) return f.rate;
-  }
-  return 0.0;
+  auto it = flow_index_.find(id);
+  if (it == flow_index_.end()) return 0.0;
+  return flows_[it->second].rate;
 }
 
 std::vector<std::pair<FlowId, double>> FlowNetwork::CurrentRates() const {
   std::vector<std::pair<FlowId, double>> out;
-  out.reserve(flows_.size());
-  for (const auto& f : flows_) out.emplace_back(f.id, f.rate);
+  out.reserve(order_.size());
+  for (std::uint32_t slot : order_) {
+    out.emplace_back(flows_[slot].id, flows_[slot].rate);
+  }
   return out;
 }
 
@@ -128,26 +200,46 @@ void FlowNetwork::AdvanceProgress() {
   last_update_time_ = now;
   if (dt <= 0) return;
   // Rates are constant over [last_update, now] (they only change at flow
-  // start/finish, which both advance progress first), so the interval's
-  // per-resource load is simply the sum of rate * weight across its flows.
-  std::vector<double> load(resources_.size(), 0.0);
-  for (auto& f : flows_) {
-    const double delivered =
-        std::min(f.remaining_bytes, f.rate * dt);
-    f.remaining_bytes -= delivered;
-    for (const auto& hop : f.path) {
-      resources_[static_cast<std::size_t>(hop.resource)].traffic +=
-          delivered * hop.weight;
-      load[static_cast<std::size_t>(hop.resource)] += f.rate * hop.weight;
+  // start/finish, which both advance progress first), so per-resource load
+  // is the cached allocated_load built by the last settling pass — no
+  // per-hop walk needed. Load is billed at the *delivered* rate: when a
+  // flow's remaining bytes run out mid-interval (e.g. a same-instant
+  // capacity change settles past its finish), the clamped average — not the
+  // full allocated rate — counts toward traffic, busy, and saturation time,
+  // so occupancy attribution cannot exceed what was actually carried. Only
+  // such exhausted flows pay a per-hop correction walk.
+  touched_scratch_.clear();  // resources owed a clamp correction
+  for (std::uint32_t slot : order_) {
+    Flow& f = flows_[slot];
+    const double full = f.rate * dt;
+    if (full <= 0) continue;  // parked (zero rate)
+    if (f.remaining_bytes >= full) {
+      f.remaining_bytes -= full;
+      continue;
+    }
+    const double delivered = f.remaining_bytes;
+    f.remaining_bytes = 0;
+    const double shortfall_rate = f.rate - delivered / dt;
+    for (const auto& hop : flows_cold_[slot].path) {
+      const auto r = static_cast<std::size_t>(hop.resource);
+      if (load_scratch_[r] == 0) touched_scratch_.push_back(hop.resource);
+      load_scratch_[r] += shortfall_rate * hop.weight;
     }
   }
   constexpr double kSaturationFraction = 0.999;
-  for (std::size_t r = 0; r < resources_.size(); ++r) {
-    if (load[r] <= 0) continue;
-    resources_[r].busy_seconds += dt;
-    if (resources_[r].capacity > 0 &&
-        load[r] >= kSaturationFraction * resources_[r].capacity) {
-      resources_[r].saturated_seconds += dt;
+  for (ResourceId id : active_resources_) {
+    const auto r = static_cast<std::size_t>(id);
+    Resource& res = resources_[r];
+    double load = res.allocated_load;
+    if (load_scratch_[r] != 0) {
+      load -= load_scratch_[r];
+      load_scratch_[r] = 0;
+    }
+    if (load <= 0) continue;
+    res.traffic += load * dt;
+    res.busy_seconds += dt;
+    if (res.capacity > 0 && load >= kSaturationFraction * res.capacity) {
+      res.saturated_seconds += dt;
     }
   }
 }
@@ -200,8 +292,287 @@ std::vector<std::pair<std::string, double>> FlowNetwork::Utilizations(
 }
 
 void FlowNetwork::RecomputeRates() {
-  // Weighted max-min fair allocation by progressive filling.
-  const std::size_t n = flows_.size();
+  repush_scratch_.clear();
+  // Every settling pass rebuilds the per-resource allocated load from the
+  // freeze loop; zero it first (covers resources that just lost their last
+  // member and are about to be compacted out of the active list).
+  for (ResourceId id : active_resources_) {
+    resources_[static_cast<std::size_t>(id)].allocated_load = 0;
+  }
+  if (use_reference_allocator_) {
+    RecomputeRatesReference();
+  } else {
+    RecomputeRatesIncremental();
+  }
+  RefreshHeap();
+}
+
+void FlowNetwork::AssignRate(Flow& flow, double rate) {
+  if (rate == flow.rate && flow.in_heap) return;  // projection still valid
+  flow.rate = rate;
+  ++flow.heap_seq;  // invalidate any previous heap entry
+  flow.in_heap = false;
+  repush_scratch_.push_back(
+      static_cast<std::uint32_t>(&flow - flows_.data()));
+}
+
+void FlowNetwork::RefreshHeap() {
+  // Under heavy contention a resettling changes almost every rate; one
+  // push_heap per flow (plus the stale entries left behind) would swamp the
+  // allocator's own savings. Rebuild wholesale instead, which also compacts
+  // lazily-deleted entries so the heap stays O(live flows).
+  const bool rebuild =
+      2 * repush_scratch_.size() >= order_.size() ||
+      heap_.size() > 2 * order_.size() + 64;
+  if (rebuild) {
+    heap_.clear();
+    const double now = simulator_->Now();
+    for (std::uint32_t slot : order_) {
+      Flow& f = flows_[slot];
+      if (f.rate <= 0) continue;
+      heap_.push_back(
+          HeapEntry{now + f.remaining_bytes / f.rate, f.id, f.heap_seq});
+      f.in_heap = true;
+    }
+    // Only the front matters until the next rebuild (scheduling and top
+    // validation both look at heap_.front() alone): swap the minimum to the
+    // front and defer full heapification until a sparse push or a pop
+    // actually needs the invariant.
+    if (heap_.size() > 1) {
+      std::size_t min_i = 0;
+      for (std::size_t i = 1; i < heap_.size(); ++i) {
+        if (heap_[i].finish < heap_[min_i].finish) min_i = i;
+      }
+      std::swap(heap_[0], heap_[min_i]);
+    }
+    heap_ordered_ = heap_.size() <= 1;
+    return;
+  }
+  for (std::uint32_t slot : repush_scratch_) {
+    Flow& f = flows_[slot];
+    if (f.rate > 0 && !f.in_heap) PushHeapEntry(f);
+  }
+}
+
+void FlowNetwork::PushHeapEntry(Flow& flow) {
+  EnsureHeapOrdered();
+  // Projected absolute finish: AdvanceProgress ran at the top of the
+  // current reallocation, so remaining_bytes is fresh as of Now().
+  const double finish =
+      simulator_->Now() + flow.remaining_bytes / flow.rate;
+  heap_.push_back(HeapEntry{finish, flow.id, flow.heap_seq});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return a.finish > b.finish;
+                 });
+  flow.in_heap = true;
+}
+
+void FlowNetwork::EnsureHeapOrdered() {
+  if (heap_ordered_) return;
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return a.finish > b.finish;
+                 });
+  heap_ordered_ = true;
+}
+
+void FlowNetwork::CleanHeapTop() {
+  auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.finish > b.finish;
+  };
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    auto it = flow_index_.find(top.flow);
+    if (it != flow_index_.end() && flows_[it->second].heap_seq == top.seq) {
+      return;  // live entry
+    }
+    if (!heap_ordered_) {
+      // Popping needs the full invariant; heapifying may surface a
+      // different (possibly live) front, so re-examine it.
+      EnsureHeapOrdered();
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+// The incremental weighted max-min allocator. Identical allocation to the
+// reference implementation below (same progressive-filling rounds, same
+// freeze order, same floating-point operation order for every denominator,
+// share, and capacity update — enforced bitwise by the randomized A/B test)
+// but scans only resources crossed by live flows, reuses cached unfrozen
+// denominators between rounds, and re-sums a denominator fresh only when
+// that resource's unfrozen membership actually changed.
+void FlowNetwork::RecomputeRatesIncremental() {
+  const std::size_t n = order_.size();
+  if (n == 0) return;
+  // A flow is frozen this settling iff its freeze_epoch matches; bumping
+  // the epoch unfreezes everything without an O(flows) reset pass.
+  const std::uint64_t epoch = ++settle_epoch_;
+  // Compact the active-resource list (dropping resources whose last member
+  // left) and seed the round state from the live cached denominators.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active_resources_.size(); ++i) {
+    const ResourceId id = active_resources_[i];
+    Resource& res = resources_[static_cast<std::size_t>(id)];
+    if (res.members.empty()) {
+      res.in_active_list = false;
+      continue;
+    }
+    active_resources_[kept++] = id;
+    res.round_denom = res.live_denom;
+    res.round_unfrozen = static_cast<std::int32_t>(res.members.size());
+    res.remaining_cap = res.capacity;
+    res.denom_dirty = false;
+  }
+  active_resources_.resize(kept);
+
+  std::size_t num_frozen = 0;
+  std::uint32_t round = 0;
+  while (num_frozen < n) {
+    ++round;
+    // Fair share on each resource still crossed by an unfrozen flow.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (ResourceId id : active_resources_) {
+      const Resource& res = resources_[static_cast<std::size_t>(id)];
+      if (res.round_unfrozen <= 0 || res.round_denom <= 0) continue;
+      bottleneck_share =
+          std::min(bottleneck_share,
+                   std::max(0.0, res.remaining_cap) / res.round_denom);
+    }
+    if (!std::isfinite(bottleneck_share)) {
+      // Remaining flows cross no capacity resource: unconstrained. This is
+      // a modeling error; give them a huge rate so they complete
+      // immediately.
+      for (std::uint32_t slot : order_) {
+        Flow& f = flows_[slot];
+        if (f.freeze_epoch != epoch) {
+          AssignRate(f, kUnconstrainedRate);
+          f.freeze_epoch = epoch;
+          ++num_frozen;
+        }
+      }
+      break;
+    }
+
+    // Collect every unfrozen flow crossing a bottleneck resource (share
+    // within kRelTol of the minimum), then freeze them in activation order
+    // so every capacity subtraction happens in the reference order.
+    candidate_scratch_.clear();
+    for (ResourceId id : active_resources_) {
+      Resource& res = resources_[static_cast<std::size_t>(id)];
+      if (res.round_unfrozen <= 0 || res.round_denom <= 0) continue;
+      if (std::max(0.0, res.remaining_cap) / res.round_denom <=
+          bottleneck_share * kRelTol) {
+        for (const Member& m : res.members) {
+          Flow& f = flows_[m.slot];
+          if (f.freeze_epoch != epoch && !f.marked) {
+            f.marked = true;
+            candidate_scratch_.push_back(m.slot);
+          }
+        }
+      }
+    }
+    const bool froze_any = !candidate_scratch_.empty();
+    touched_scratch_.clear();
+    if (8 * candidate_scratch_.size() < order_.size()) {
+      // Sparse round: sort the few candidates into activation order and
+      // apply each one's per-hop capacity updates directly off its path.
+      std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return flows_[a].order_pos < flows_[b].order_pos;
+                });
+      for (std::uint32_t slot : candidate_scratch_) {
+        Flow& f = flows_[slot];
+        f.marked = false;
+        AssignRate(f, bottleneck_share);
+        f.freeze_epoch = epoch;
+        f.freeze_round = round;
+        ++num_frozen;
+        for (const auto& hop : flows_cold_[slot].path) {
+          Resource& res = resources_[static_cast<std::size_t>(hop.resource)];
+          const double alloc = bottleneck_share * hop.weight;
+          res.remaining_cap -= alloc;
+          res.allocated_load += alloc;
+          res.round_unfrozen -= 1;
+          if (!res.denom_dirty) {
+            res.denom_dirty = true;
+            touched_scratch_.push_back(hop.resource);
+          }
+        }
+      }
+    } else {
+      // Dense round (most flows freezing): one pass over the activation
+      // order stamps the rates, then one contiguous pass over each active
+      // resource's member list applies the capacity updates. Per resource
+      // the freezing members surface in activation order — the exact
+      // floating-point update sequence of the per-flow walk — without
+      // chasing every flow's separately-allocated path.
+      for (std::uint32_t slot : order_) {
+        Flow& f = flows_[slot];
+        if (!f.marked) continue;
+        f.marked = false;
+        AssignRate(f, bottleneck_share);
+        f.freeze_epoch = epoch;
+        f.freeze_round = round;
+        ++num_frozen;
+      }
+      for (ResourceId id : active_resources_) {
+        Resource& res = resources_[static_cast<std::size_t>(id)];
+        if (res.round_unfrozen <= 0) continue;  // nothing left to freeze
+        double cap = res.remaining_cap;
+        double load = res.allocated_load;
+        std::int32_t unfrozen = res.round_unfrozen;
+        for (const Member& m : res.members) {
+          const Flow& f = flows_[m.slot];
+          if (f.freeze_epoch == epoch && f.freeze_round == round) {
+            const double alloc = bottleneck_share * m.weight;
+            cap -= alloc;
+            load += alloc;
+            unfrozen -= 1;
+          }
+        }
+        if (unfrozen != res.round_unfrozen) {
+          res.remaining_cap = cap;
+          res.allocated_load = load;
+          res.round_unfrozen = unfrozen;
+          if (!res.denom_dirty) {
+            res.denom_dirty = true;
+            touched_scratch_.push_back(id);
+          }
+        }
+      }
+    }
+    // Fresh left-to-right resummation for every resource whose unfrozen
+    // membership changed; untouched resources keep their cached value,
+    // which is bitwise what a rescan would produce. A fully frozen resource
+    // sums nothing — skip the member walk.
+    for (ResourceId id : touched_scratch_) {
+      Resource& res = resources_[static_cast<std::size_t>(id)];
+      res.denom_dirty = false;
+      if (res.round_unfrozen <= 0) {
+        res.round_denom = 0;
+        continue;
+      }
+      double denom = 0;
+      for (const Member& m : res.members) {
+        if (flows_[m.slot].freeze_epoch != epoch) denom += m.weight;
+      }
+      res.round_denom = denom;
+    }
+    // Progress guarantee: the bottleneck always freezes at least one flow.
+    assert(froze_any);
+    if (!froze_any) break;  // defensive in release builds
+  }
+}
+
+// Reference progressive-filling implementation: full rescan of every
+// resource x flow x hop per round. Kept verbatim (modulo the slot
+// indirection) as the test-only A/B oracle for the incremental allocator.
+void FlowNetwork::RecomputeRatesReference() {
+  const std::size_t n = order_.size();
   if (n == 0) return;
   std::vector<double> remaining_cap(resources_.size());
   for (std::size_t r = 0; r < resources_.size(); ++r) {
@@ -217,7 +588,7 @@ void FlowNetwork::RecomputeRates() {
       double denom = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (frozen[i]) continue;
-        for (const auto& hop : flows_[i].path) {
+        for (const auto& hop : flows_cold_[order_[i]].path) {
           if (static_cast<std::size_t>(hop.resource) == r) {
             denom += hop.weight;
           }
@@ -229,11 +600,9 @@ void FlowNetwork::RecomputeRates() {
       }
     }
     if (!std::isfinite(bottleneck_share)) {
-      // Remaining flows cross no capacity resource: unconstrained. This is a
-      // modeling error; give them a huge rate so they complete immediately.
       for (std::size_t i = 0; i < n; ++i) {
         if (!frozen[i]) {
-          flows_[i].rate = 1e18;
+          AssignRate(flows_[order_[i]], kUnconstrainedRate);
           frozen[i] = true;
           ++num_frozen;
         }
@@ -243,20 +612,20 @@ void FlowNetwork::RecomputeRates() {
 
     // Find the bottleneck resource(s): those whose share equals the minimum,
     // and freeze every unfrozen flow crossing one of them at that share.
-    constexpr double kRelTol = 1.0 + 1e-12;
     std::vector<bool> is_bottleneck(resources_.size(), false);
     for (std::size_t r = 0; r < resources_.size(); ++r) {
       double denom = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (frozen[i]) continue;
-        for (const auto& hop : flows_[i].path) {
+        for (const auto& hop : flows_cold_[order_[i]].path) {
           if (static_cast<std::size_t>(hop.resource) == r) {
             denom += hop.weight;
           }
         }
       }
       if (denom > 0 &&
-          std::max(0.0, remaining_cap[r]) / denom <= bottleneck_share * kRelTol) {
+          std::max(0.0, remaining_cap[r]) / denom <=
+              bottleneck_share * kRelTol) {
         is_bottleneck[r] = true;
       }
     }
@@ -264,42 +633,91 @@ void FlowNetwork::RecomputeRates() {
     bool froze_any = false;
     for (std::size_t i = 0; i < n; ++i) {
       if (frozen[i]) continue;
+      Flow& f = flows_[order_[i]];
       bool on_bottleneck = false;
-      for (const auto& hop : flows_[i].path) {
+      for (const auto& hop : flows_cold_[order_[i]].path) {
         if (is_bottleneck[static_cast<std::size_t>(hop.resource)]) {
           on_bottleneck = true;
           break;
         }
       }
       if (!on_bottleneck) continue;
-      flows_[i].rate = bottleneck_share;
+      AssignRate(f, bottleneck_share);
       frozen[i] = true;
       ++num_frozen;
       froze_any = true;
-      for (const auto& hop : flows_[i].path) {
-        remaining_cap[static_cast<std::size_t>(hop.resource)] -=
-            bottleneck_share * hop.weight;
+      for (const auto& hop : flows_cold_[order_[i]].path) {
+        const double alloc = bottleneck_share * hop.weight;
+        remaining_cap[static_cast<std::size_t>(hop.resource)] -= alloc;
+        resources_[static_cast<std::size_t>(hop.resource)].allocated_load +=
+            alloc;
       }
     }
-    // Progress guarantee: the bottleneck always freezes at least one flow.
     assert(froze_any);
     if (!froze_any) break;  // defensive in release builds
   }
 }
 
-void FlowNetwork::ScheduleNextCompletion() {
-  ++generation_;
-  if (flows_.empty()) return;
-  double earliest = std::numeric_limits<double>::infinity();
-  for (const auto& f : flows_) {
-    if (f.rate > 0) {
-      earliest = std::min(earliest, f.remaining_bytes / f.rate);
+void FlowNetwork::EraseFlows(const std::vector<std::uint32_t>& slots) {
+  touched_scratch_.clear();
+  for (std::uint32_t slot : slots) {
+    Flow& f = flows_[slot];
+    f.erased = true;
+    flow_index_.erase(f.id);
+    for (const auto& hop : flows_cold_[slot].path) {
+      Resource& res = resources_[static_cast<std::size_t>(hop.resource)];
+      if (!res.denom_dirty) {
+        res.denom_dirty = true;
+        touched_scratch_.push_back(hop.resource);
+      }
     }
   }
-  if (!std::isfinite(earliest)) return;  // all rates zero: stalled network
+  for (ResourceId id : touched_scratch_) {
+    Resource& res = resources_[static_cast<std::size_t>(id)];
+    res.denom_dirty = false;
+    // Single fused pass: compact out erased members and resum the surviving
+    // weights left-to-right, keeping the cached denominator bitwise equal
+    // to a from-scratch rescan.
+    double denom = 0;
+    std::size_t kept = 0;
+    for (const Member& m : res.members) {
+      if (flows_[m.slot].erased) continue;
+      res.members[kept++] = m;
+      denom += m.weight;
+    }
+    res.members.resize(kept);
+    res.live_denom = denom;
+    // Empty resources are compacted out of active_resources_ lazily, at the
+    // next incremental recompute.
+  }
+  {
+    std::size_t kept = 0;
+    for (std::uint32_t slot : order_) {
+      if (flows_[slot].erased) continue;
+      flows_[slot].order_pos = static_cast<std::uint32_t>(kept);
+      order_[kept++] = slot;
+    }
+    order_.resize(kept);
+  }
+  for (std::uint32_t slot : slots) {
+    Flow& f = flows_[slot];
+    f.erased = false;
+    f.in_heap = false;
+    f.rate = 0.0;
+    flows_cold_[slot].path.clear();
+    flows_cold_[slot].on_complete = nullptr;
+    free_slots_.push_back(slot);
+  }
+}
+
+void FlowNetwork::ScheduleNextCompletion() {
+  ++generation_;  // supersede any outstanding completion event
+  CleanHeapTop();
+  if (heap_.empty()) return;  // no flow with a positive rate: stalled
   const std::uint64_t gen = generation_;
-  simulator_->Schedule(earliest, [this, gen] { OnCompletionEvent(gen); });
-  completion_scheduled_ = true;
+  // ScheduleAt clamps a projection that drifted below Now() to Now().
+  simulator_->ScheduleAt(heap_.front().finish,
+                         [this, gen] { OnCompletionEvent(gen); });
 }
 
 void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
@@ -308,22 +726,39 @@ void FlowNetwork::OnCompletionEvent(std::uint64_t generation) {
   // A flow is also done when its residual bytes cannot hold simulated time
   // back by one representable tick: with time-to-completion below the ulp of
   // Now(), the completion event would re-fire at the same instant forever
-  // (AdvanceProgress sees dt == 0 and delivers nothing).
+  // (AdvanceProgress sees dt == 0 and delivers nothing). Both doneness
+  // tests require a positive rate: a flow parked on a zero-capacity
+  // resource (even a zero-byte one) must not complete across a dead link.
   const double now = simulator_->Now();
   const double time_ulp =
       std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
   // Collect finished flows, remove them, then fire callbacks (callbacks may
   // start new flows and re-enter the network).
+  std::vector<std::uint32_t> finished;
   std::vector<FlowCallback> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining_bytes <= kByteEpsilon ||
-        (it->rate > 0 && it->remaining_bytes <= it->rate * time_ulp)) {
-      callbacks.push_back(std::move(it->on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  for (std::uint32_t slot : order_) {
+    Flow& f = flows_[slot];
+    if (f.rate > 0 && (f.remaining_bytes <= kByteEpsilon ||
+                       f.remaining_bytes <= f.rate * time_ulp)) {
+      finished.push_back(slot);
+      callbacks.push_back(std::move(flows_cold_[slot].on_complete));
     }
   }
+  if (finished.empty()) {
+    // Spurious wake-up: the projection undershot the true finish by a
+    // floating-point hair. Re-project the triggering flow from its fresh
+    // remaining bytes (strictly in the future now) and rearm.
+    CleanHeapTop();
+    if (!heap_.empty()) {
+      Flow& f = flows_[flow_index_.at(heap_.front().flow)];
+      ++f.heap_seq;
+      CleanHeapTop();  // drop the now-stale entry we just invalidated
+      PushHeapEntry(f);
+    }
+    ScheduleNextCompletion();
+    return;
+  }
+  EraseFlows(finished);
   RecomputeRates();
   ScheduleNextCompletion();
   for (auto& cb : callbacks) cb(Status::OK());

@@ -16,6 +16,18 @@
 // max-min allocation. Rates are recomputed whenever a flow starts or
 // finishes, which is exactly when the allocation can change.
 //
+// The allocator is *incremental*: each resource keeps an adjacency list of
+// the live flow hops crossing it plus a cached unfrozen-weight denominator,
+// so a settling round only touches resources actually crossed by live flows
+// instead of rescanning every resource x every flow x every hop. The cached
+// denominators are maintained so that they stay bitwise identical to a
+// from-scratch rescan (appends extend the sum on the right; removals trigger
+// a fresh left-to-right resummation), which keeps the allocation — order,
+// rates, and kRelTol tie-breaking — byte-exact with the original
+// progressive-filling implementation. That original remains available as a
+// test-only oracle (set_use_reference_allocator_for_testing) and the
+// equivalence is enforced by a randomized A/B test.
+//
 // This mechanism is what reproduces the paper's Section 4 phenomena: shared
 // PCIe-switch plateaus (Fig. 4), X-Bus-bound remote copies (Fig. 2, 5),
 // bidirectional overheads, and the eager-merge memory-bandwidth contention
@@ -66,9 +78,13 @@ class FlowNetwork {
 
   /// Starts a flow of `bytes` across `path`; `on_complete` fires (as a
   /// simulator event) when the last byte arrives. Zero-byte flows complete
-  /// immediately. `lead_latency` delays the flow's first byte (wire +
-  /// setup latency; it neither consumes nor contends for bandwidth).
-  /// Returns the flow id.
+  /// at their start instant (after `lead_latency`) but still asynchronously
+  /// — and only if every resource they cross has capacity; over a
+  /// zero-capacity resource they park like any other flow until the
+  /// capacity returns or they are aborted. `lead_latency` delays the flow's
+  /// first byte (wire + setup latency; it neither consumes nor contends for
+  /// bandwidth). The returned id identifies the flow for its whole life,
+  /// including the latency window.
   FlowId StartFlow(double bytes, std::vector<PathHop> path,
                    FlowCallback on_complete, double lead_latency = 0.0);
 
@@ -91,20 +107,23 @@ class FlowNetwork {
   /// outage is fail-stop).
   void SetResourceCapacity(ResourceId id, double capacity_bytes_per_sec);
 
-  /// Tears down every in-flight flow crossing `resource` and fires each
-  /// victim's callback with `status` (which must be non-OK). Flows still in
-  /// their lead-latency window are not yet in flight and are unaffected.
-  /// Returns the number of flows aborted.
+  /// Tears down every flow crossing `resource` — in flight *or* still
+  /// inside its lead-latency window — and fires each victim's callback with
+  /// `status` (which must be non-OK). Returns the number of flows aborted.
   int AbortFlowsCrossing(ResourceId resource, const Status& status);
 
-  /// Current allocated rate of an active flow (bytes/sec); 0 if unknown.
+  /// Current allocated rate of an active flow (bytes/sec); 0 if unknown or
+  /// still inside its lead-latency window.
   double FlowRate(FlowId id) const;
 
-  /// Number of in-flight flows.
-  std::size_t active_flows() const { return flows_.size(); }
+  /// Number of in-flight flows (excludes flows in their latency window).
+  std::size_t active_flows() const { return order_.size(); }
+
+  /// Number of flows still inside their lead-latency window.
+  std::size_t pending_flows() const { return pending_.size(); }
 
   /// Recomputed on every change; exposed for tests: the rate each active
-  /// flow would get right now.
+  /// flow would get right now, in flow activation order.
   std::vector<std::pair<FlowId, double>> CurrentRates() const;
 
   /// Cumulative weighted bytes that have crossed a resource since the last
@@ -115,9 +134,12 @@ class FlowNetwork {
   void ResetTraffic();
 
   /// Cumulative time (seconds) the resource carried any flow since the last
-  /// ResetTraffic(), and the portion of that time its allocated load was at
+  /// ResetTraffic(), and the portion of that time its delivered load was at
   /// (>= 99.9% of) capacity — i.e. the resource was the active bottleneck.
-  /// Accrued lazily like traffic; SettleTraffic() brings both up to Now().
+  /// Billing uses the clamped delivered rate, so a flow that runs out of
+  /// bytes mid-interval cannot be billed at its full allocated rate for the
+  /// whole interval. Accrued lazily like traffic; SettleTraffic() brings
+  /// both up to Now().
   double ResourceBusySeconds(ResourceId id) const;
   double ResourceSaturatedSeconds(ResourceId id) const;
 
@@ -127,44 +149,164 @@ class FlowNetwork {
 
   /// Name of the resource with the highest utilization over [since, now]
   /// and that utilization in [0, 1]. Returns {"", 0} if no time elapsed.
+  /// `since_seconds` must be the time of the last ResetTraffic(), else the
+  /// ratio is not a true utilization and can exceed 1.0.
   std::pair<std::string, double> BusiestResource(double since_seconds) const;
 
   /// Utilization of every resource over [since, now]: cumulative weighted
   /// traffic divided by capacity * elapsed. `since_seconds` must be the
-  /// time of the last ResetTraffic for the ratios to be true utilizations.
-  /// Empty if no time has elapsed. Resource order matches resource ids, so
-  /// callers (e.g. the src/sched utilization sampler) can diff snapshots.
+  /// time of the last ResetTraffic for the ratios to be true utilizations
+  /// (a stale window start inflates them past 1.0). Empty if no time has
+  /// elapsed. Resource order matches resource ids, so callers (e.g. the
+  /// src/sched utilization sampler) can diff snapshots.
   std::vector<std::pair<std::string, double>> Utilizations(
       double since_seconds) const;
 
+  /// Testing hook: route every settling round through the original
+  /// O(R·F·H)-per-round reference progressive-filling implementation
+  /// instead of the incremental allocator. The two must produce bitwise
+  /// identical allocations; a randomized A/B test enforces this.
+  void set_use_reference_allocator_for_testing(bool use) {
+    use_reference_allocator_ = use;
+  }
+
  private:
+  /// One hop entry of a live flow crossing a resource, in activation order.
+  struct Member {
+    std::uint32_t slot;  // index into flows_
+    double weight;
+  };
   struct Resource {
     std::string name;
-    double capacity;
+    double capacity = 0;
     double traffic = 0;            // cumulative weighted bytes
-    double busy_seconds = 0;       // time with any allocated load
+    double busy_seconds = 0;       // time with any delivered load
     double saturated_seconds = 0;  // time with load >= ~capacity
+    // Incremental allocator state. `members` lists the live hop entries
+    // crossing this resource in (flow activation, hop) order; `live_denom`
+    // caches the sum of their weights, maintained bitwise equal to a fresh
+    // left-to-right resummation.
+    std::vector<Member> members;
+    double live_denom = 0;
+    // Sum of rate * weight across members, rebuilt by every settling pass;
+    // lets AdvanceProgress accrue traffic per resource instead of per hop.
+    double allocated_load = 0;
+    // Per-RecomputeRates scratch.
+    double round_denom = 0;    // unfrozen-weight denominator this round
+    double remaining_cap = 0;  // capacity minus frozen allocations
+    std::int32_t round_unfrozen = 0;  // unfrozen member entries left
+    bool denom_dirty = false;
+    bool in_active_list = false;
   };
+  /// Hot per-flow state: everything the per-event O(flows) walks (progress
+  /// accrual, completion scan, settling rounds, heap rebuild) touch. Kept
+  /// lean on purpose — the path and callback live in the parallel cold slab
+  /// below so these walks stream a compact array instead of chasing
+  /// per-flow heap allocations.
   struct Flow {
-    FlowId id;
-    double remaining_bytes;
+    FlowId id = 0;
+    double remaining_bytes = 0;
+    double rate = 0.0;
+    std::uint32_t order_pos = 0;    // position in order_ (activation order)
+    // Frozen-this-settling marker: the flow is frozen iff freeze_epoch
+    // equals the allocator's settle_epoch_ (no O(flows) reset pass between
+    // settlings); freeze_round further narrows to "frozen in the current
+    // progressive-filling round" for the dense member-walk freeze path.
+    std::uint32_t freeze_round = 0;
+    std::uint64_t freeze_epoch = 0;
+    std::uint64_t heap_seq = 0;     // invalidates stale heap entries
+    bool in_heap = false;           // has a live completion-heap entry
+    bool marked = false;            // scratch: candidate / victim dedup
+    bool erased = false;            // scratch: batch erase
+  };
+  /// Cold per-flow state, parallel to flows_ (indexed by slot): touched only
+  /// at activation, teardown, and rare clamp corrections.
+  struct FlowCold {
     std::vector<PathHop> path;
     FlowCallback on_complete;
-    double rate = 0.0;
+  };
+  /// A flow inside its lead-latency window: not yet contending for
+  /// bandwidth, but already addressable (by its final FlowId) and abortable
+  /// by AbortFlowsCrossing.
+  struct PendingFlow {
+    double bytes;
+    std::vector<PathHop> path;
+    FlowCallback on_complete;
+  };
+  /// Lazily-invalidated completion-heap entry: the projected absolute
+  /// finish time of `flow` computed when its rate last changed. Stale
+  /// entries (flow gone, or seq mismatch after a rate change) are discarded
+  /// when they surface at the top.
+  struct HeapEntry {
+    double finish;
+    FlowId flow;
+    std::uint64_t seq;
   };
 
+  void Activate(FlowId id, double bytes, std::vector<PathHop> path,
+                FlowCallback on_complete);
+  void ActivateDeferred(FlowId id);
   void AdvanceProgress();
   void RecomputeRates();
+  void RecomputeRatesIncremental();
+  void RecomputeRatesReference();
+  /// Records a freshly-allocated rate; when it changed, bumps the heap
+  /// sequence (invalidating the old projection) and queues the flow for
+  /// RefreshHeap().
+  void AssignRate(Flow& flow, double rate);
+  /// Re-projects queued flows into the completion heap: one push each when
+  /// few rates changed, a wholesale rebuild when most did (also compacts
+  /// accumulated stale entries, bounding the heap to O(live flows)).
+  void RefreshHeap();
+  void PushHeapEntry(Flow& flow);
+  /// Restores the heap invariant if a wholesale rebuild deferred it.
+  void EnsureHeapOrdered();
+  /// Pops stale heap entries until the top is live (or the heap is empty).
+  void CleanHeapTop();
+  /// Removes the given flow slots (callbacks must already be moved out):
+  /// purges resource adjacency lists (with fresh denominator resummation),
+  /// the activation-order list, and the id->slot index; recycles the slots.
+  void EraseFlows(const std::vector<std::uint32_t>& slots);
   void ScheduleNextCompletion();
   void OnCompletionEvent(std::uint64_t generation);
 
   Simulator* simulator_;
   std::vector<Resource> resources_;
+  // Slot-stable flow slabs (hot + cold, parallel) + free list; `order_`
+  // lists live slots in activation order (the order every allocation and
+  // callback pass uses).
   std::vector<Flow> flows_;
+  std::vector<FlowCold> flows_cold_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> order_;
+  // id -> slot for O(1) FlowRate and heap-entry validation.
+  std::unordered_map<FlowId, std::uint32_t> flow_index_;
+  std::unordered_map<FlowId, PendingFlow> pending_;
+  // Min-heap (via std::push_heap/pop_heap) on projected finish time. After
+  // a wholesale rebuild only the front is guaranteed minimal; the full heap
+  // invariant is restored lazily (heap_ordered_) when first needed.
+  std::vector<HeapEntry> heap_;
+  bool heap_ordered_ = true;
+  // Resources crossed by at least one live flow (may contain stale entries;
+  // compacted at the start of each incremental recompute).
+  std::vector<ResourceId> active_resources_;
+  // Scratch buffers reused across calls to avoid per-event allocation.
+  std::vector<double> load_scratch_;  // per-resource delivered load
+  std::vector<ResourceId> touched_scratch_;
+  std::vector<std::uint32_t> candidate_scratch_;
+  std::vector<std::uint32_t> repush_scratch_;  // slots queued for RefreshHeap
   FlowId next_flow_id_ = 1;
   double last_update_time_ = 0.0;
-  std::uint64_t generation_ = 0;  // invalidates stale completion events
-  bool completion_scheduled_ = false;
+  // Completion-event supersession protocol: exactly one completion event is
+  // outstanding at a time, tagged with the value of `generation_` at
+  // scheduling. Every reallocation (flow start/finish/abort, capacity
+  // change) bumps the counter, so a stale event that fires afterwards sees
+  // a mismatched tag and returns without touching anything. This replaces
+  // any need to track "is a completion scheduled" separately.
+  std::uint64_t generation_ = 0;
+  // Current settling pass; compared against Flow::freeze_epoch.
+  std::uint64_t settle_epoch_ = 0;
+  bool use_reference_allocator_ = false;
 };
 
 }  // namespace mgs::sim

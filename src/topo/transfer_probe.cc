@@ -13,6 +13,8 @@ Result<ProbeResult> TransferProbe::Run(const std::vector<TransferOp>& ops) {
   ProbeResult result;
   result.op_durations.assign(ops.size(), 0.0);
   const double start = simulator_.Now();
+  // Open a fresh utilization window: BusiestResource(start) below yields a
+  // true [0, 1] utilization only when traffic was reset at `start`.
   network_.ResetTraffic();
   double total_bytes = 0;
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -24,8 +26,9 @@ Result<ProbeResult> TransferProbe::Run(const std::vector<TransferOp>& ops) {
     total_bytes += op.bytes;
     network_.StartFlow(
         op.bytes, std::move(path),
-        [this, &result, i, start] {
+        [this, &result, i, start](const Status& status) {
           result.op_durations[i] = simulator_.Now() - start;
+          if (!status.ok()) ++result.failed_ops;
         },
         latency);
   }

@@ -28,9 +28,15 @@ struct ProbeResult {
   double makespan_seconds = 0;
   double aggregate_throughput = 0;          // bytes/s
   std::vector<double> op_durations;         // per op, seconds
+  /// Ops whose flow was torn down instead of delivered (a link went down or
+  /// a device failed mid-scenario). Their op_durations entry records the
+  /// abort instant, not a delivery time.
+  int failed_ops = 0;
   /// The saturated resource over the scenario and its utilization in
   /// [0, 1] (identifies *why* a scenario is slow: "xbus=", "pcie-up=",
-  /// host memory, ...).
+  /// host memory, ...). Utilization is measured against the window opened
+  /// by the probe's own ResetTraffic() at scenario start — the contract
+  /// FlowNetwork::BusiestResource requires to stay within [0, 1].
   std::string bottleneck;
   double bottleneck_utilization = 0;
 };

@@ -226,7 +226,10 @@ void Device::Fail(Status reason) {
   // DMA engines on a dead device stop mid-burst: tear down every in-flight
   // flow touching its HBM (all copies to/from this GPU cross that
   // resource), so counterpart devices see their copies fail now rather
-  // than hang on a zero-rate flow.
+  // than hang on a zero-rate flow. This also reaches copies still inside
+  // their launch-overhead latency window — AbortFlowsCrossing cancels
+  // pending deferred flows too, so a copy issued an instant before the
+  // failure cannot slip through and complete against a dead device.
   const auto hbm = platform_->topology().GpuHbmResource(id_);
   if (hbm.ok()) {
     platform_->network().AbortFlowsCrossing(*hbm, fail_status_);

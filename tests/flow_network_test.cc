@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <tuple>
+#include <vector>
+
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -213,6 +218,272 @@ TEST_F(FlowNetworkTest, BusiestResourceWithoutElapsedTime) {
   auto [name, utilization] = net_.BusiestResource(sim_.Now());
   EXPECT_EQ(name, "");
   EXPECT_DOUBLE_EQ(utilization, 0.0);
+}
+
+// Regression: a latency-deferred flow used to re-enter StartFlow and get a
+// fresh FlowId, so the id handed back to the caller reported rate 0 forever.
+TEST_F(FlowNetworkTest, FlowIdStableAcrossLatencyDeferral) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  double done_at = -1;
+  const FlowId id = net_.StartFlow(
+      100.0, {{link, 1.0}},
+      [&](const Status& st) {
+        EXPECT_TRUE(st.ok());
+        done_at = sim_.Now();
+      },
+      /*lead_latency=*/2.0);
+  EXPECT_EQ(net_.pending_flows(), 1u);
+  EXPECT_EQ(net_.active_flows(), 0u);
+  EXPECT_DOUBLE_EQ(net_.FlowRate(id), 0.0)
+      << "no bandwidth is contended during the latency window";
+  double mid_rate = -1;
+  bool listed = false;
+  sim_.Schedule(5.0, [&] {
+    mid_rate = net_.FlowRate(id);
+    for (const auto& [fid, rate] : net_.CurrentRates()) {
+      if (fid == id) listed = true;
+    }
+  });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(mid_rate, 10.0) << "the caller's id must stay attached";
+  EXPECT_TRUE(listed);
+  EXPECT_DOUBLE_EQ(done_at, 12.0);  // 2 s latency + 100 bytes at 10 B/s
+}
+
+// Regression: flows inside their lead-latency window were invisible to
+// AbortFlowsCrossing and sailed across a dead link unharmed.
+TEST_F(FlowNetworkTest, AbortDuringLatencyWindowFiresCallback) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  Status seen = Status::OK();
+  double done_at = -1;
+  net_.StartFlow(
+      100.0, {{link, 1.0}},
+      [&](const Status& st) {
+        seen = st;
+        done_at = sim_.Now();
+      },
+      /*lead_latency=*/5.0);
+  int aborted = -1;
+  sim_.Schedule(1.0, [&] {
+    aborted = net_.AbortFlowsCrossing(link, Status::Unavailable("link down"));
+  });
+  sim_.Run();
+  EXPECT_EQ(aborted, 1);
+  EXPECT_FALSE(seen.ok()) << "a dead link must not deliver the flow OK";
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+  EXPECT_EQ(net_.pending_flows(), 0u);
+  EXPECT_EQ(net_.active_flows(), 0u);
+}
+
+// Regression: zero-byte flows used to complete at their start instant even
+// when every resource they crossed had zero capacity (link down).
+TEST_F(FlowNetworkTest, ZeroByteFlowOverDownLinkParksUntilAborted) {
+  ResourceId link = net_.AddResource("link", 0.0);
+  Status seen = Status::OK();
+  bool fired = false;
+  net_.StartFlow(0.0, {{link, 1.0}}, [&](const Status& st) {
+    fired = true;
+    seen = st;
+  });
+  sim_.Run();
+  EXPECT_FALSE(fired) << "zero bytes still need a live link to arrive";
+  EXPECT_EQ(net_.active_flows(), 1u);
+  EXPECT_EQ(net_.AbortFlowsCrossing(link, Status::Unavailable("dead")), 1);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(seen.ok());
+}
+
+TEST_F(FlowNetworkTest, ZeroByteFlowOverLiveLinkCompletesImmediately) {
+  ResourceId link = net_.AddResource("link", 10.0);
+  bool fired = false;
+  net_.StartFlow(0.0, {{link, 1.0}}, [&] { fired = true; });
+  EXPECT_FALSE(fired) << "completion must be asynchronous";
+  sim_.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim_.Now(), 0.0);
+}
+
+TEST_F(FlowNetworkTest, FlowParkedOnDownLinkResumesWhenCapacityReturns) {
+  ResourceId link = net_.AddResource("link", 0.0);
+  double done_at = -1;
+  net_.StartFlow(100.0, {{link, 1.0}}, [&] { done_at = sim_.Now(); });
+  sim_.Schedule(3.0, [&] { net_.SetResourceCapacity(link, 10.0); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done_at, 13.0);
+}
+
+// A settling that lands exactly on a flow's floating-point finish instant
+// (fl(10/3) rounds up) crosses its last byte mid-interval: billing must use
+// the clamped delivered rate, so traffic and the derived link occupancy
+// never exceed what was actually carried.
+TEST_F(FlowNetworkTest, MidIntervalExhaustionBillsDeliveredRate) {
+  ResourceId link = net_.AddResource("link", 3.0);
+  ResourceId other = net_.AddResource("other", 5.0);
+  const double start = sim_.Now();
+  const double finish = 10.0 / 3.0;
+  bool done = false;
+  // Scheduled before StartFlow, so at t == finish this settles first
+  // (FIFO tie-break), before the completion event.
+  sim_.Schedule(finish, [&] { net_.SetResourceCapacity(other, 50.0); });
+  net_.StartFlow(10.0, {{link, 1.0}}, [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_LE(net_.ResourceTraffic(link), 10.0)
+      << "only delivered bytes count, not allocated rate x time";
+  EXPECT_NEAR(net_.ResourceTraffic(link), 10.0, 1e-9);
+  auto [name, utilization] = net_.BusiestResource(start);
+  EXPECT_EQ(name, "link");
+  EXPECT_LE(utilization, 1.0);
+  EXPECT_DOUBLE_EQ(net_.ResourceBusySeconds(link), finish);
+  EXPECT_DOUBLE_EQ(net_.ResourceSaturatedSeconds(link), finish);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized A/B equivalence: the incremental allocator must produce bitwise
+// identical rates, completion times, and statuses to the reference
+// progressive-filling oracle on arbitrary workloads.
+
+struct ScriptFlow {
+  double start;
+  double bytes;
+  double lead;
+  std::vector<PathHop> path;
+};
+struct ScriptCapChange {
+  double time;
+  ResourceId resource;
+  double capacity;
+};
+struct ScriptAbort {
+  double time;
+  ResourceId resource;
+};
+struct Script {
+  std::vector<double> capacities;
+  std::vector<ScriptFlow> flows;
+  std::vector<ScriptCapChange> cap_changes;
+  std::vector<ScriptAbort> aborts;
+  std::vector<double> probe_times;
+};
+
+struct RunLog {
+  // (script flow index, completion time, delivered OK)
+  std::vector<std::tuple<std::size_t, double, bool>> completions;
+  std::vector<std::vector<std::pair<FlowId, double>>> snapshots;
+};
+
+Script MakeRandomScript(std::mt19937& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  Script s;
+  const int num_resources = 1 + static_cast<int>(unit(rng) * 5.999);
+  for (int r = 0; r < num_resources; ++r) {
+    s.capacities.push_back(unit(rng) < 0.1 ? 0.0 : 0.5 + unit(rng) * 99.5);
+  }
+  const int num_flows = 1 + static_cast<int>(unit(rng) * 30);
+  std::vector<int> resource_ids(static_cast<std::size_t>(num_resources));
+  for (int r = 0; r < num_resources; ++r) {
+    resource_ids[static_cast<std::size_t>(r)] = r;
+  }
+  for (int f = 0; f < num_flows; ++f) {
+    ScriptFlow flow;
+    flow.start = unit(rng) * 20.0;
+    flow.bytes = unit(rng) < 0.05 ? 0.0 : unit(rng) * 400.0;
+    flow.lead = unit(rng) < 0.5 ? 0.0 : unit(rng) * 3.0;
+    std::shuffle(resource_ids.begin(), resource_ids.end(), rng);
+    const int hops =
+        1 + static_cast<int>(unit(rng) * (std::min(num_resources, 3) - 0.001));
+    for (int h = 0; h < hops; ++h) {
+      const double weight =
+          unit(rng) < 0.05 ? 0.0 : 0.25 + unit(rng) * 3.75;
+      flow.path.push_back(
+          {static_cast<ResourceId>(resource_ids[static_cast<std::size_t>(h)]),
+           weight});
+    }
+    s.flows.push_back(std::move(flow));
+  }
+  const int num_changes = static_cast<int>(unit(rng) * 4);
+  for (int c = 0; c < num_changes; ++c) {
+    s.cap_changes.push_back(
+        {unit(rng) * 25.0,
+         static_cast<ResourceId>(unit(rng) * (num_resources - 0.001)),
+         unit(rng) < 0.2 ? 0.0 : 0.5 + unit(rng) * 99.5});
+  }
+  const int num_aborts = static_cast<int>(unit(rng) * 2.5);
+  for (int a = 0; a < num_aborts; ++a) {
+    s.aborts.push_back(
+        {unit(rng) * 25.0,
+         static_cast<ResourceId>(unit(rng) * (num_resources - 0.001))});
+  }
+  for (int p = 0; p < 3; ++p) s.probe_times.push_back(unit(rng) * 30.0);
+  return s;
+}
+
+RunLog RunScript(const Script& script, bool use_reference) {
+  Simulator sim;
+  FlowNetwork net(&sim);
+  net.set_use_reference_allocator_for_testing(use_reference);
+  RunLog log;
+  for (std::size_t r = 0; r < script.capacities.size(); ++r) {
+    std::string name("r");
+    name += std::to_string(r);
+    net.AddResource(std::move(name), script.capacities[r]);
+  }
+  for (std::size_t i = 0; i < script.flows.size(); ++i) {
+    const ScriptFlow& f = script.flows[i];
+    sim.Schedule(f.start, [&net, &sim, &log, &f, i] {
+      net.StartFlow(
+          f.bytes, f.path,
+          [&sim, &log, i](const Status& st) {
+            log.completions.emplace_back(i, sim.Now(), st.ok());
+          },
+          f.lead);
+    });
+  }
+  for (const ScriptCapChange& c : script.cap_changes) {
+    sim.Schedule(c.time,
+                 [&net, &c] { net.SetResourceCapacity(c.resource, c.capacity); });
+  }
+  for (const ScriptAbort& a : script.aborts) {
+    sim.Schedule(a.time, [&net, &a] {
+      net.AbortFlowsCrossing(a.resource, Status::Unavailable("chaos"));
+    });
+  }
+  for (const double t : script.probe_times) {
+    sim.Schedule(t, [&net, &log] { log.snapshots.push_back(net.CurrentRates()); });
+  }
+  sim.Run();
+  return log;
+}
+
+TEST(FlowNetworkABTest, IncrementalMatchesReferenceBitwise) {
+  std::mt19937 rng(20260806u);
+  for (int scenario = 0; scenario < 30; ++scenario) {
+    SCOPED_TRACE("scenario " + std::to_string(scenario));
+    const Script script = MakeRandomScript(rng);
+    const RunLog incremental = RunScript(script, /*use_reference=*/false);
+    const RunLog reference = RunScript(script, /*use_reference=*/true);
+    ASSERT_EQ(incremental.completions.size(), reference.completions.size());
+    for (std::size_t i = 0; i < incremental.completions.size(); ++i) {
+      EXPECT_EQ(std::get<0>(incremental.completions[i]),
+                std::get<0>(reference.completions[i]));
+      // EXPECT_EQ on doubles: bitwise-identical completion instants.
+      EXPECT_EQ(std::get<1>(incremental.completions[i]),
+                std::get<1>(reference.completions[i]));
+      EXPECT_EQ(std::get<2>(incremental.completions[i]),
+                std::get<2>(reference.completions[i]));
+    }
+    ASSERT_EQ(incremental.snapshots.size(), reference.snapshots.size());
+    for (std::size_t p = 0; p < incremental.snapshots.size(); ++p) {
+      ASSERT_EQ(incremental.snapshots[p].size(), reference.snapshots[p].size());
+      for (std::size_t f = 0; f < incremental.snapshots[p].size(); ++f) {
+        EXPECT_EQ(incremental.snapshots[p][f].first,
+                  reference.snapshots[p][f].first);
+        EXPECT_EQ(incremental.snapshots[p][f].second,
+                  reference.snapshots[p][f].second)
+            << "rate diverged for flow " << incremental.snapshots[p][f].first;
+      }
+    }
+  }
 }
 
 }  // namespace
