@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diff Google-Benchmark JSON output against a committed baseline.
+
+Usage: compare.py BASELINE.json CURRENT.json [--tolerance PCT] [--metric M]
+
+Exits non-zero when any benchmark present in the baseline is slower than
+baseline * (1 + tolerance), or has disappeared from the current run (a
+silently dropped benchmark must not pass the gate). Benchmarks present only
+in the current run are reported but do not affect the verdict: they get a
+baseline entry on the next refresh (bench/refresh_baselines.sh).
+
+Tolerance defaults to 25% and can also be set via MGS_BENCH_TOLERANCE
+(a plain number, in percent). The compared metric defaults to cpu_time,
+which is less sensitive to scheduler noise and VM steal time than
+real_time.
+"""
+
+import argparse
+import json
+import os
+import signal
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: metric_dict} from a Google-Benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
+        # the gate compares the plain per-benchmark rows.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("MGS_BENCH_TOLERANCE", "25")),
+        help="allowed slowdown in percent (default 25, env MGS_BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="cpu_time",
+        choices=["cpu_time", "real_time"],
+        help="which Google-Benchmark time to compare (default cpu_time)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    if not base:
+        print(f"compare.py: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    band = 1.0 + args.tolerance / 100.0
+    regressions = []
+    missing = []
+    rows = []
+    for name in sorted(base):
+        b = base[name]
+        if name not in cur:
+            missing.append(name)
+            continue
+        c = cur[name]
+        if b.get("time_unit", "ns") != c.get("time_unit", "ns"):
+            print(f"compare.py: time_unit mismatch for {name}", file=sys.stderr)
+            return 2
+        bt = float(b[args.metric])
+        ct = float(c[args.metric])
+        ratio = ct / bt if bt > 0 else float("inf")
+        verdict = "OK"
+        if ratio > band:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 / band:
+            verdict = "faster"
+        rows.append((name, bt, ct, ratio, verdict))
+
+    unit = next(iter(base.values())).get("time_unit", "ns")
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'current':>12}  "
+          f"{'ratio':>6}  verdict   [{args.metric}, {unit}, "
+          f"tolerance {args.tolerance:g}%]")
+    for name, bt, ct, ratio, verdict in rows:
+        print(f"{name:<{width}}  {bt:12.0f}  {ct:12.0f}  {ratio:6.2f}  {verdict}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<{width}}  {'-':>12}  "
+              f"{float(cur[name][args.metric]):12.0f}  {'-':>6}  new")
+
+    ok = True
+    if missing:
+        ok = False
+        for name in missing:
+            print(f"compare.py: baseline benchmark missing from current run: "
+                  f"{name}", file=sys.stderr)
+    if regressions:
+        ok = False
+        print(f"compare.py: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:g}%: {', '.join(regressions)}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    # Die quietly when the output is piped into `head` and the pipe closes.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    sys.exit(main())

@@ -12,6 +12,10 @@
 #include "gpusort/primitives.h"
 #include "util/status.h"
 
+namespace mgs {
+class ThreadPool;
+}
+
 namespace mgs::core {
 
 /// End-to-end sort duration split into the four phases of Section 6.1
@@ -49,6 +53,11 @@ struct SortOptions {
   /// Pivot policy for the P2P merge phase (ablation knob; the paper's
   /// algorithm uses the minimal-transfer leftmost pivot).
   PivotPolicy pivot_policy = PivotPolicy::kLeftmost;
+  /// Thread pool for the host-side sorting work (HET / hybrid CPU multiway
+  /// merge, CPU baseline). Null runs those phases single-threaded; the
+  /// simulated durations are unaffected either way (they come from the
+  /// calibrated model, not wall time).
+  ThreadPool* host_pool = nullptr;
 };
 
 /// Largest value of a sortable element type, used as the device-side

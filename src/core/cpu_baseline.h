@@ -24,10 +24,13 @@ inline double ParadisDuration(const vgpu::Platform& platform,
   return logical_keys / rate;
 }
 
-/// Sorts `data` in place with PARADIS on the host CPUs.
+/// Sorts `data` in place with PARADIS on the host CPUs. `pool` parallelizes
+/// the functional sort; the simulated duration comes from the calibrated
+/// rate either way.
 template <typename T>
 Result<SortStats> CpuSortBaseline(vgpu::Platform* platform,
-                                  vgpu::HostBuffer<T>* data) {
+                                  vgpu::HostBuffer<T>* data,
+                                  ThreadPool* pool = nullptr) {
   SortStats stats;
   stats.algorithm = "PARADIS (CPU)";
   stats.num_gpus = 0;
@@ -38,7 +41,7 @@ Result<SortStats> CpuSortBaseline(vgpu::Platform* platform,
       *platform, static_cast<double>(stats.keys), sizeof(T));
   auto root = [&]() -> sim::Task<void> {
     co_await platform->CpuBusy(duration);
-    cpusort::ParadisSort(data->data(), n);
+    cpusort::ParadisSort(data->data(), n, pool);
   };
   MGS_ASSIGN_OR_RETURN(stats.total_seconds, platform->Run(root()));
   return stats;

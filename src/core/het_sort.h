@@ -355,7 +355,7 @@ sim::Task<void> HetSortTask(vgpu::Platform* platform,
       std::int64_t total = 0;
       for (const auto& in : inputs) total += in.size();
       run.resize(static_cast<std::size_t>(total));
-      cpusort::MultiwayMerge(inputs, run.data());
+      cpusort::MultiwayMerge(inputs, run.data(), options.host_pool);
     }
   };
 
@@ -410,7 +410,7 @@ sim::Task<void> HetSortTask(vgpu::Platform* platform,
       co_return;
     }
     std::vector<T> result(static_cast<std::size_t>(n));
-    cpusort::MultiwayMerge(inputs, result.data());
+    cpusort::MultiwayMerge(inputs, result.data(), options.host_pool);
     data->vector() = std::move(result);
   }
   const double merge_phase = platform->simulator().Now() - t_gpu_phase;

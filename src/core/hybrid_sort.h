@@ -170,7 +170,7 @@ Result<SortStats> HybridSort(vgpu::Platform* platform,
           platform->topology().cpu_spec().merge_memory_amplification,
           MergeEngineWeight(groups));
       std::vector<T> result(static_cast<std::size_t>(n));
-      cpusort::MultiwayMerge(inputs, result.data());
+      cpusort::MultiwayMerge(inputs, result.data(), options.host_pool);
       data->vector() = std::move(result);
     }
     phase_metrics.Finish(platform->simulator().Now());

@@ -1,20 +1,29 @@
 // Loser-tree (tournament tree) for k-way merging: exactly ceil(log2 k)
 // comparisons per extracted key, the property that makes gnu_parallel's
 // multiway_merge the best conceivable k-way merge (Section 5.3).
+//
+// Cache behavior: each internal node caches the *key* of its losing source
+// next to the source index, so a leaf-to-root replay touches only the tree
+// arrays (a few cache lines for any practical k) instead of chasing the k
+// run cursors through memory. Exhausted sources are folded to -1 on the
+// spot, which keeps the replay comparison to "index valid? key less?" with
+// no per-match end-pointer loads.
 
 #ifndef MGS_CPUSORT_LOSER_TREE_H_
 #define MGS_CPUSORT_LOSER_TREE_H_
 
 #include <cstdint>
-#include <limits>
+#include <utility>
 #include <vector>
 
 namespace mgs::cpusort {
 
 /// A loser tree over k input cursors. The tree stores, at each internal
-/// node, the *loser* of the comparison between the winners of its subtrees;
-/// the overall winner sits at the root. Replacing the winner and replaying
-/// its leaf-to-root path costs exactly the tree height in comparisons.
+/// node, the *loser* of the comparison between the winners of its subtrees
+/// (index and cached key); the overall winner sits at the root. Replacing
+/// the winner and replaying its leaf-to-root path costs exactly the tree
+/// height in comparisons. T must be copyable and default-constructible
+/// (default-constructed values pad empty nodes and are never compared).
 template <typename T>
 class LoserTree {
  public:
@@ -28,7 +37,8 @@ class LoserTree {
     k_ = static_cast<int>(sources_.size());
     size_ = 1;
     while (size_ < k_) size_ *= 2;
-    tree_.assign(static_cast<std::size_t>(2 * size_), -1);
+    loser_.assign(static_cast<std::size_t>(2 * size_), -1);
+    key_.assign(static_cast<std::size_t>(2 * size_), T{});
     Build();
   }
 
@@ -36,79 +46,86 @@ class LoserTree {
   bool Empty() const { return winner_ < 0; }
 
   /// Current smallest key across all sources. Precondition: !Empty().
-  const T& Top() const { return *sources_[winner_].begin; }
+  const T& Top() const { return winner_key_; }
 
   /// Index of the source holding the current smallest key.
   int TopSource() const { return winner_; }
 
   /// Advances past the current smallest key and replays the path.
   void Pop() {
-    ++sources_[winner_].begin;
-    Replay(winner_);
+    const int leaf = winner_;
+    Source& src = sources_[static_cast<std::size_t>(winner_)];
+    ++src.begin;
+    if (src.begin != src.end) {
+      winner_key_ = *src.begin;
+    } else {
+      winner_ = -1;  // exhausted: always loses from here on
+    }
+    Replay(leaf);
   }
 
  private:
-  // Winner of a match: the source with the smaller current key; exhausted
-  // sources always lose. Ties go to the lower index (stable merge).
-  int Winner(int a, int b) const {
-    if (a < 0) return b;
-    if (b < 0) return a;
-    const bool a_empty = sources_[a].begin == sources_[a].end;
-    const bool b_empty = sources_[b].begin == sources_[b].end;
-    if (a_empty) return b_empty ? -1 : b;
-    if (b_empty) return a;
-    const T& ka = *sources_[a].begin;
-    const T& kb = *sources_[b].begin;
-    if (kb < ka) return b;
-    if (ka < kb) return a;
-    return a < b ? a : b;  // equal keys: lower source index (stability)
+  // True if challenger (b, bk) beats incumbent (a, ak). Exhausted/absent
+  // sources (index < 0) always lose; ties go to the lower source index
+  // (stable merge).
+  static bool Beats(int b, const T& bk, int a, const T& ak) {
+    if (a < 0) return b >= 0;
+    if (b < 0) return false;
+    if (bk < ak) return true;
+    if (ak < bk) return false;
+    return b < a;
   }
 
   void Build() {
-    // Leaves at [size_, 2*size_): source i or -1 padding.
-    std::vector<int> winners(static_cast<std::size_t>(2 * size_), -1);
-    for (int i = 0; i < size_; ++i) {
-      winners[static_cast<std::size_t>(size_ + i)] = i < k_ ? i : -1;
+    // Leaves at [size_, 2*size_): source i (if non-empty) or -1 padding.
+    std::vector<int> wsrc(static_cast<std::size_t>(2 * size_), -1);
+    std::vector<T> wkey(static_cast<std::size_t>(2 * size_), T{});
+    for (int i = 0; i < k_; ++i) {
+      const auto& src = sources_[static_cast<std::size_t>(i)];
+      if (src.begin != src.end) {
+        wsrc[static_cast<std::size_t>(size_ + i)] = i;
+        wkey[static_cast<std::size_t>(size_ + i)] = *src.begin;
+      }
     }
     for (int node = size_ - 1; node >= 1; --node) {
-      const int a = winners[static_cast<std::size_t>(2 * node)];
-      const int b = winners[static_cast<std::size_t>(2 * node + 1)];
-      const int w = Winner(a, b);
-      winners[static_cast<std::size_t>(node)] = w;
-      tree_[static_cast<std::size_t>(node)] = (w == a) ? b : a;  // loser
-    }
-    winner_ = Normalize(winners[1]);
-  }
-
-  // An exhausted source can only be the overall winner when every source is
-  // exhausted (exhausted sources always lose matches): report tree-empty.
-  int Normalize(int winner) const {
-    if (winner >= 0 && sources_[winner].begin == sources_[winner].end) {
-      return -1;
-    }
-    return winner;
-  }
-
-  void Replay(int source) {
-    int node = (size_ + source) / 2;
-    int winner = source;
-    while (node >= 1) {
-      const int loser = tree_[static_cast<std::size_t>(node)];
-      const int w = Winner(winner, loser);
-      if (w != winner) {
-        tree_[static_cast<std::size_t>(node)] = winner;
-        winner = w;
+      const std::size_t l = static_cast<std::size_t>(2 * node);
+      const std::size_t r = l + 1;
+      const std::size_t n = static_cast<std::size_t>(node);
+      if (Beats(wsrc[r], wkey[r], wsrc[l], wkey[l])) {
+        wsrc[n] = wsrc[r];
+        wkey[n] = wkey[r];
+        loser_[n] = wsrc[l];
+        key_[n] = wkey[l];
+      } else {
+        wsrc[n] = wsrc[l];
+        wkey[n] = wkey[l];
+        loser_[n] = wsrc[r];
+        key_[n] = wkey[r];
       }
-      node /= 2;
     }
-    winner_ = Normalize(winner);
+    winner_ = wsrc[1];
+    if (winner_ >= 0) winner_key_ = wkey[1];
+  }
+
+  // Replays the path from `leaf` (the previous winner's leaf) to the root;
+  // winner_/winner_key_ hold the challenger on entry.
+  void Replay(int leaf) {
+    for (int node = (size_ + leaf) / 2; node >= 1; node /= 2) {
+      const std::size_t n = static_cast<std::size_t>(node);
+      if (Beats(loser_[n], key_[n], winner_, winner_key_)) {
+        std::swap(winner_, loser_[n]);
+        std::swap(winner_key_, key_[n]);
+      }
+    }
   }
 
   std::vector<Source> sources_;
   int k_ = 0;
-  int size_ = 1;        // number of leaves (power of two)
-  std::vector<int> tree_;  // tree_[node] = losing source index, -1 = none
+  int size_ = 1;           // number of leaves (power of two)
+  std::vector<int> loser_;  // loser_[node] = losing source index, -1 = none
+  std::vector<T> key_;      // key_[node] = cached key of loser_[node]
   int winner_ = -1;
+  T winner_key_{};
 };
 
 }  // namespace mgs::cpusort

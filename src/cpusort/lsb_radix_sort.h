@@ -3,6 +3,19 @@
 // histograms, a cross-thread prefix sum that assigns each thread a private
 // scatter window per bucket, and a stable scatter pass per 8-bit digit.
 //
+// Cache behavior:
+//  * the scatter goes through write-combining staging buffers — 256 small
+//    cache-resident tails flushed with one wide contiguous store each —
+//    instead of 256 random single-element write streams;
+//  * single-threaded, the histograms for *all* digits are fused into one
+//    read pass up front (global per-digit counts are permutation-invariant,
+//    so counting the input once is valid for every later pass; with
+//    multiple threads the per-shard counts change between passes, so the
+//    fused form is only used when threads == 1);
+//  * passes whose histogram has a single occupied bucket are identity
+//    permutations and are skipped outright (common for low-entropy keys
+//    and for the high bytes of small-range integers).
+//
 // This is also the functional body of the Thrust/CUB device radix sort in
 // the GPU simulator (src/gpusort).
 
@@ -21,6 +34,49 @@ namespace mgs::cpusort {
 
 inline constexpr int kRadixBuckets = 256;
 
+namespace lsb_internal {
+
+/// Below this the whole working set is L1/L2-resident and staging overhead
+/// costs more than the random stores it replaces.
+inline constexpr std::int64_t kBufferedScatterMinN = 1 << 14;
+
+/// ~1 KiB of staged entries per bucket, flushed with wide contiguous stores.
+template <typename T>
+constexpr std::int64_t ScatterBufEntries() {
+  constexpr std::int64_t entries = 1024 / static_cast<std::int64_t>(sizeof(T));
+  return entries < 32 ? 32 : entries;
+}
+
+/// Stable scatter of src[b, e) into dst through write-combining buffers.
+/// off[k] is the caller's private write cursor for bucket k and is left at
+/// its final position. buf must hold kRadixBuckets * ScatterBufEntries<T>()
+/// entries (caller-owned so parallel passes reuse one allocation).
+template <typename T>
+void BufferedScatter(const T* src, T* dst, std::int64_t b, std::int64_t e,
+                     int d, std::array<std::int64_t, kRadixBuckets>& off,
+                     T* buf) {
+  const std::int64_t w = ScatterBufEntries<T>();
+  std::array<std::int32_t, kRadixBuckets> fill{};
+  for (std::int64_t i = b; i < e; ++i) {
+    const T v = src[i];
+    const unsigned k = RadixDigit(v, d);
+    T* stage = buf + static_cast<std::int64_t>(k) * w;
+    stage[fill[k]++] = v;
+    if (fill[k] == static_cast<std::int32_t>(w)) {
+      std::copy(stage, stage + w, dst + off[k]);
+      off[k] += w;
+      fill[k] = 0;
+    }
+  }
+  for (int k = 0; k < kRadixBuckets; ++k) {
+    T* stage = buf + static_cast<std::int64_t>(k) * w;
+    std::copy(stage, stage + fill[k], dst + off[k]);
+    off[k] += fill[k];
+  }
+}
+
+}  // namespace lsb_internal
+
 /// Sorts data[0, n) ascending using aux[0, n) as scratch. After return the
 /// sorted result is in data (an extra copy pass is made if the final
 /// ping-pong parity lands in aux). `pool` may be null for single-threaded.
@@ -33,23 +89,60 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
 
   const int threads = pool ? std::max(1, pool->num_threads()) : 1;
   const std::int64_t shard = (n + threads - 1) / threads;
+  const bool buffered = n / threads >= lsb_internal::kBufferedScatterMinN;
+  const std::int64_t w = lsb_internal::ScatterBufEntries<T>();
+  std::vector<T> wc;
+  if (buffered) {
+    wc.resize(static_cast<std::size_t>(threads * kRadixBuckets * w));
+  }
+
+  // Single-threaded: one fused read pass counts every digit at once. The
+  // global counts hold for all passes because a stable scatter only permutes
+  // the keys. (Per-thread shard counts do NOT survive permutation, so the
+  // threaded path keeps one histogram pass per digit.)
+  std::vector<std::array<std::int64_t, kRadixBuckets>> fused;
+  if (threads == 1) {
+    fused.assign(static_cast<std::size_t>(digits), {});
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (int d = 0; d < digits; ++d) ++fused[static_cast<std::size_t>(d)]
+                                             [RadixDigit(src[i], d)];
+    }
+  }
 
   for (int d = 0; d < digits; ++d) {
     // Per-thread histograms.
     std::vector<std::array<std::int64_t, kRadixBuckets>> hist(
         static_cast<std::size_t>(threads));
-    auto histogram = [&](int t) {
-      auto& h = hist[static_cast<std::size_t>(t)];
-      h.fill(0);
-      const std::int64_t b = t * shard;
-      const std::int64_t e = std::min<std::int64_t>(b + shard, n);
-      for (std::int64_t i = b; i < e; ++i) ++h[RadixDigit(src[i], d)];
-    };
-    if (pool && threads > 1) {
-      for (int t = 0; t < threads; ++t) pool->Submit([&, t] { histogram(t); });
-      pool->Wait();
+    if (threads == 1) {
+      hist[0] = fused[static_cast<std::size_t>(d)];
     } else {
-      for (int t = 0; t < threads; ++t) histogram(t);
+      auto histogram = [&](int t) {
+        auto& h = hist[static_cast<std::size_t>(t)];
+        h.fill(0);
+        const std::int64_t b = t * shard;
+        const std::int64_t e = std::min<std::int64_t>(b + shard, n);
+        for (std::int64_t i = b; i < e; ++i) ++h[RadixDigit(src[i], d)];
+      };
+      if (pool) {
+        for (int t = 0; t < threads; ++t)
+          pool->Submit([&, t] { histogram(t); });
+        pool->Wait();
+      } else {
+        for (int t = 0; t < threads; ++t) histogram(t);
+      }
+    }
+
+    // Digit skip: a single occupied bucket makes this pass the identity
+    // permutation — don't touch the data (and don't flip the ping-pong).
+    {
+      int occupied = 0;
+      for (int b = 0; b < kRadixBuckets && occupied < 2; ++b) {
+        std::int64_t total = 0;
+        for (int t = 0; t < threads; ++t)
+          total += hist[static_cast<std::size_t>(t)][b];
+        occupied += total > 0;
+      }
+      if (occupied <= 1) continue;
     }
 
     // Column-major prefix sum: thread t's write cursor for bucket b starts
@@ -70,8 +163,14 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
       auto& off = offset[static_cast<std::size_t>(t)];
       const std::int64_t b = t * shard;
       const std::int64_t e = std::min<std::int64_t>(b + shard, n);
-      for (std::int64_t i = b; i < e; ++i) {
-        dst[off[RadixDigit(src[i], d)]++] = src[i];
+      if (buffered) {
+        lsb_internal::BufferedScatter(
+            src, dst, b, e, d, off,
+            wc.data() + static_cast<std::int64_t>(t) * kRadixBuckets * w);
+      } else {
+        for (std::int64_t i = b; i < e; ++i) {
+          dst[off[RadixDigit(src[i], d)]++] = src[i];
+        }
       }
     };
     if (pool && threads > 1) {

@@ -128,28 +128,289 @@ std::vector<std::int64_t> MultisequenceSelect(
   return splits;
 }
 
+// Cache-sized staging for the buffered tree merge: every run streams
+// through a small refillable input buffer (so the tournament's inner loop
+// reads L1-resident memory regardless of k or run placement) and winners
+// drain through a software-managed output buffer flushed in batches.
+inline constexpr std::int64_t kMergeRunBufferBytes = 2048;
+inline constexpr std::int64_t kMergeOutBufferBytes = 8192;
+
+template <typename T>
+constexpr std::int64_t MergeRunBufferEntries() {
+  constexpr std::int64_t entries =
+      kMergeRunBufferBytes / static_cast<std::int64_t>(sizeof(T));
+  return entries < 16 ? 16 : entries;
+}
+
+template <typename T>
+constexpr std::int64_t MergeOutBufferEntries() {
+  constexpr std::int64_t entries =
+      kMergeOutBufferBytes / static_cast<std::int64_t>(sizeof(T));
+  return entries < 16 ? 16 : entries;
+}
+
+/// Buffered k-way loser-tree merge. Instead of element-at-a-time tournament
+/// steps against the run cursors, the merge proceeds in guarded batches: a
+/// batch is bounded by the smallest input-buffer residue (and the output
+/// buffer's free space), so within a batch no run can drain and the inner
+/// loop needs no bounds checks beyond one predictable buffer-end compare.
+/// Exhausted runs drop out of the tournament entirely (the tree is rebuilt,
+/// which happens at most k times). Stable across inputs: ties go to the
+/// earlier input.
+template <typename T>
+void BufferedTreeMerge(const std::vector<MergeInput<T>>& inputs, T* out) {
+  struct Run {
+    const T* next;   // source refill cursor
+    const T* end;    // source end
+    T* buf_cur;      // consumption cursor within the staging buffer
+    T* buf_end;      // end of valid staged data
+    T* buf;          // staging buffer base
+  };
+  const std::int64_t buf_entries = MergeRunBufferEntries<T>();
+  std::vector<Run> runs;
+  runs.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    if (in.begin != in.end) runs.push_back(Run{in.begin, in.end, {}, {}, {}});
+  }
+  if (runs.empty()) return;
+  std::vector<T> storage(
+      static_cast<std::size_t>(static_cast<std::int64_t>(runs.size()) *
+                                   buf_entries +
+                               MergeOutBufferEntries<T>()));
+  // Tops the staging buffer back up to capacity (or to the source's
+  // remainder), sliding any unconsumed residue to the front first. The
+  // tournament caches keys by value and tracks runs by index, so moving
+  // staged elements is invisible to it.
+  auto refill = [buf_entries](Run& r) {
+    const std::int64_t left = r.buf_end - r.buf_cur;
+    if (left > 0 && r.buf_cur != r.buf) {
+      std::copy(r.buf_cur, r.buf_end, r.buf);  // dst precedes src: well-defined
+    }
+    const std::int64_t m =
+        std::min<std::int64_t>(buf_entries - left, r.end - r.next);
+    std::copy(r.next, r.next + m, r.buf + left);
+    r.next += m;
+    r.buf_cur = r.buf;
+    r.buf_end = r.buf + left + m;
+  };
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].buf = storage.data() + static_cast<std::int64_t>(i) * buf_entries;
+    refill(runs[i]);
+  }
+  T* const out_buf =
+      storage.data() + static_cast<std::int64_t>(runs.size()) * buf_entries;
+  T* const out_buf_end = out_buf + MergeOutBufferEntries<T>();
+  T* out_cur = out_buf;
+
+  // Loser tree over the active runs with keys cached in the nodes; ties go
+  // to the lower run index, which (runs keep their relative order as
+  // exhausted ones are erased) is the original input order.
+  int size = 1;
+  std::vector<int> loser;
+  std::vector<T> lkey;
+  int winner = -1;
+  T wkey{};
+  auto beats = [](int b, const T& bk, int a, const T& ak) {
+    if (a < 0) return b >= 0;
+    if (b < 0) return false;
+    if (bk < ak) return true;
+    if (ak < bk) return false;
+    return b < a;
+  };
+  auto build = [&] {
+    const int k = static_cast<int>(runs.size());
+    size = 1;
+    while (size < k) size *= 2;
+    loser.assign(static_cast<std::size_t>(2 * size), -1);
+    lkey.assign(static_cast<std::size_t>(2 * size), T{});
+    std::vector<int> wsrc(static_cast<std::size_t>(2 * size), -1);
+    std::vector<T> wk(static_cast<std::size_t>(2 * size), T{});
+    for (int i = 0; i < k; ++i) {
+      wsrc[static_cast<std::size_t>(size + i)] = i;
+      wk[static_cast<std::size_t>(size + i)] =
+          *runs[static_cast<std::size_t>(i)].buf_cur;
+    }
+    for (int node = size - 1; node >= 1; --node) {
+      const std::size_t l = static_cast<std::size_t>(2 * node);
+      const std::size_t r = l + 1;
+      const std::size_t n = static_cast<std::size_t>(node);
+      if (beats(wsrc[r], wk[r], wsrc[l], wk[l])) {
+        wsrc[n] = wsrc[r];
+        wk[n] = wk[r];
+        loser[n] = wsrc[l];
+        lkey[n] = wk[l];
+      } else {
+        wsrc[n] = wsrc[l];
+        wk[n] = wk[l];
+        loser[n] = wsrc[r];
+        lkey[n] = wk[r];
+      }
+    }
+    winner = wsrc[1];
+    if (winner >= 0) wkey = wk[1];
+  };
+  auto replay = [&](int leaf) {
+    for (int node = (size + leaf) / 2; node >= 1; node /= 2) {
+      const std::size_t n = static_cast<std::size_t>(node);
+      if (beats(loser[n], lkey[n], winner, wkey)) {
+        std::swap(winner, loser[n]);
+        std::swap(wkey, lkey[n]);
+      }
+    }
+  };
+  auto flush_out = [&] {
+    out = std::copy(out_buf, out_cur, out);
+    out_cur = out_buf;
+  };
+
+  build();
+  while (runs.size() > 1) {
+    // Guarded batch: no buffer can drain mid-batch, and the output buffer
+    // cannot overflow, so the loop body is branch-light. A run that loses
+    // the tournament for a long stretch would otherwise pin the batch size
+    // at its dwindling residue, so low buffers are topped up first — the
+    // batch is then bounded by run exhaustion, not by buffer phase.
+    std::int64_t safe = out_buf_end - out_cur;
+    for (Run& r : runs) {
+      if (r.buf_end - r.buf_cur < buf_entries / 2 && r.next != r.end) {
+        refill(r);
+      }
+      safe = std::min<std::int64_t>(safe, r.buf_end - r.buf_cur);
+    }
+    for (std::int64_t j = 0; j < safe; ++j) {
+      *out_cur++ = wkey;
+      Run& r = runs[static_cast<std::size_t>(winner)];
+      ++r.buf_cur;
+      if (r.buf_cur == r.buf_end) [[unlikely]] {
+        // Only reachable on the batch's last pop (the guard guarantees it).
+        if (r.next != r.end) {
+          refill(r);
+        } else {
+          runs.erase(runs.begin() + winner);
+          build();
+          break;  // run indices shifted: recompute the batch
+        }
+      }
+      wkey = *r.buf_cur;
+      replay(winner);
+    }
+    if (out_cur == out_buf_end) flush_out();
+  }
+  flush_out();
+  // Single run left: drain its staged data, then bulk-copy the source tail.
+  Run& last = runs.front();
+  out = std::copy(last.buf_cur, last.buf_end, out);
+  std::copy(last.next, last.end, out);
+}
+
+/// Largest k handled by the branchless scan merge; beyond it the loser
+/// tree's log(k) comparisons beat the scan's k conditional moves (measured
+/// crossover on current hardware is around k = 32).
+inline constexpr int kScanMergeMaxK = 16;
+
+/// Guarded branchless merge for small k. The k head keys live in a stack
+/// array the compiler keeps in registers; each output key is selected by a
+/// linear conditional-move scan (no tree state, no branch mispredicts on
+/// the key comparisons, which are a coin flip on random runs). Batches are
+/// bounded by the smallest remaining run, so the scan loop performs no
+/// bounds checks; the final pop of each batch re-checks cursors and drops
+/// exhausted runs. Stable: the strict compare keeps the lowest input index
+/// on ties, and compaction preserves input order.
+template <typename T>
+void ScanMerge(const std::vector<MergeInput<T>>& inputs, T* out) {
+  const T* cur[kScanMergeMaxK];
+  const T* end[kScanMergeMaxK];
+  T key[kScanMergeMaxK];
+  int k = 0;
+  for (const auto& in : inputs) {
+    if (in.begin != in.end) {
+      cur[k] = in.begin;
+      end[k] = in.end;
+      key[k] = *in.begin;
+      ++k;
+    }
+  }
+  while (k > 2) {
+    std::int64_t safe = end[0] - cur[0];
+    for (int i = 1; i < k; ++i) {
+      safe = std::min<std::int64_t>(safe, end[i] - cur[i]);
+    }
+    // safe >= 1: exhausted runs were dropped at the end of the last batch.
+    for (std::int64_t j = 1; j < safe; ++j) {
+      int m = 0;
+      T km = key[0];
+      for (int i = 1; i < k; ++i) {
+        const bool lt = key[i] < km;
+        m = lt ? i : m;
+        km = lt ? key[i] : km;
+      }
+      *out++ = km;
+      key[m] = *++cur[m];  // cannot pass end[m]: j < safe <= its residue
+    }
+    {
+      // Boundary pop: the reload needs an end check here (and only here).
+      int m = 0;
+      T km = key[0];
+      for (int i = 1; i < k; ++i) {
+        const bool lt = key[i] < km;
+        m = lt ? i : m;
+        km = lt ? key[i] : km;
+      }
+      *out++ = km;
+      if (++cur[m] != end[m]) key[m] = *cur[m];
+    }
+    for (int i = 0; i < k;) {
+      if (cur[i] == end[i]) {
+        for (int j = i; j + 1 < k; ++j) {
+          cur[j] = cur[j + 1];
+          end[j] = end[j + 1];
+          key[j] = key[j + 1];
+        }
+        --k;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (k == 2) {
+    std::merge(cur[0], end[0], cur[1], end[1], out);
+  } else if (k == 1) {
+    std::copy(cur[0], end[0], out);
+  }
+}
+
 /// Sequential k-way merge of `inputs` into out[0, total).
 template <typename T>
 void SequentialMerge(const std::vector<MergeInput<T>>& inputs, T* out) {
-  if (inputs.size() == 2) {
-    // Two-way fast path.
-    std::merge(inputs[0].begin, inputs[0].end, inputs[1].begin, inputs[1].end,
-               out);
+  // Count the non-empty runs: one is a plain copy, two is std::merge.
+  const MergeInput<T>* a = nullptr;
+  const MergeInput<T>* b = nullptr;
+  int nonempty = 0;
+  for (const auto& in : inputs) {
+    if (in.begin == in.end) continue;
+    ++nonempty;
+    if (nonempty == 1) {
+      a = &in;
+    } else if (nonempty == 2) {
+      b = &in;
+    } else if (nonempty > kScanMergeMaxK) {
+      break;  // enough to pick the tree path
+    }
+  }
+  if (nonempty == 0) return;
+  if (nonempty == 1) {
+    std::copy(a->begin, a->end, out);
     return;
   }
-  typename LoserTree<T>::Source src;
-  std::vector<typename LoserTree<T>::Source> sources;
-  sources.reserve(inputs.size());
-  for (const auto& in : inputs) {
-    src.begin = in.begin;
-    src.end = in.end;
-    sources.push_back(src);
+  if (nonempty == 2) {
+    std::merge(a->begin, a->end, b->begin, b->end, out);
+    return;
   }
-  LoserTree<T> tree(std::move(sources));
-  while (!tree.Empty()) {
-    *out++ = tree.Top();
-    tree.Pop();
+  if (nonempty <= kScanMergeMaxK) {
+    ScanMerge(inputs, out);
+    return;
   }
+  BufferedTreeMerge(inputs, out);
 }
 
 }  // namespace multiway_internal

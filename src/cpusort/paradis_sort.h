@@ -35,6 +35,32 @@ namespace mgs::cpusort {
 namespace paradis_internal {
 
 inline constexpr std::int64_t kComparisonSortCutoff = 128;
+inline constexpr std::int64_t kInsertionSortCutoff = 32;
+
+/// Minimum region size for the write-combining permutation: below this the
+/// plain cycle chase is already cache-resident and staging overhead loses.
+inline constexpr std::int64_t kBufferedPlaceMinN = 1 << 16;
+
+/// Write-combining buffer geometry: ~1 KiB of staged entries per digit
+/// (256 cache-resident buffer tails), flushed with wide contiguous stores.
+template <typename T>
+constexpr std::int64_t WcBufEntries() {
+  constexpr std::int64_t entries = 1024 / static_cast<std::int64_t>(sizeof(T));
+  return entries < 32 ? 32 : entries;
+}
+
+template <typename T>
+void InsertionSort(T* a, std::int64_t n) {
+  for (std::int64_t i = 1; i < n; ++i) {
+    T v = a[i];
+    std::int64_t j = i - 1;
+    while (j >= 0 && v < a[j]) {
+      a[j + 1] = a[j];
+      --j;
+    }
+    a[j + 1] = v;
+  }
+}
 
 /// One speculative round over the unresolved regions of all 256 buckets,
 /// executed by a single thread on its private stripes.
@@ -59,6 +85,111 @@ void SpeculativePermute(T* a, int digit,
       if (k == static_cast<unsigned>(b) && pos == head[b]) {
         ++head[b];
       }
+    }
+  }
+}
+
+/// One buffered speculative round over this worker's stripe windows, using
+/// write-combining digit buffers. The scan vacuums every stripe element
+/// into a per-digit staging buffer; a full buffer is flushed with one wide
+/// contiguous store to the destination digit's stripe head (the permanent
+/// placement). Flushing over territory the scan has not reached yet
+/// displaces the window's occupants into a spill queue that drains through
+/// the same classifier, so displaced elements keep their placement chance
+/// within the round; the dependent load-chase of the classic cycle
+/// placement never happens. Elements the round cannot house (partial
+/// buffers, spill overflow) are parked in vacated hole space as speculation
+/// misses. On return [orig_head[b], head[b]) are correctly placed and every
+/// miss lies inside some [head[b], tail[b]) window; no element leaves the
+/// union of the windows.
+template <typename T>
+void BufferedSpeculativePermute(T* a, int digit,
+                                std::array<std::int64_t, 256>& head,
+                                const std::array<std::int64_t, 256>& tail) {
+  const std::int64_t w = WcBufEntries<T>();
+  std::vector<T> buf(static_cast<std::size_t>(256 * w));
+  std::array<std::int32_t, 256> fill{};
+  std::vector<T> spill;     // displaced occupants awaiting classification
+  std::vector<T> homeless;  // misses waiting for hole space
+  std::array<std::int64_t, 256> dump = tail;  // miss cursor, from the tail
+  int cur = 0;         // digit whose stripe is being scanned
+  std::int64_t pos = 0;  // scan cursor within stripe `cur`
+
+  // Parks a miss in vacated hole space ([head[k], dump[k]) of a finished
+  // stripe). The current stripe's holes stay reserved for its own flushes.
+  auto park = [&](const T& v) {
+    for (int k = 0; k < cur; ++k) {
+      if (dump[k] > head[k]) {
+        a[--dump[k]] = v;
+        return;
+      }
+    }
+    homeless.push_back(v);
+  };
+
+  // Classifies one element into its digit's staging buffer, flushing first
+  // if the buffer is full. Flush targets, in order of preference: pure hole
+  // windows (scanned stripes), then unscanned territory with displacement.
+  auto classify = [&](T v) {
+    const int m = static_cast<int>(RadixDigit(v, digit));
+    T* stage = buf.data() + static_cast<std::int64_t>(m) * w;
+    if (fill[m] == static_cast<std::int32_t>(w)) {
+      const bool hole_window =
+          m < cur ? head[m] + w <= dump[m]
+                  : (m == cur ? head[m] + w <= pos : false);
+      if (hole_window) {
+        std::copy(stage, stage + w, a + head[m]);
+        head[m] += w;
+        fill[m] = 0;
+      } else if (m > cur && head[m] + w <= tail[m]) {
+        spill.insert(spill.end(), a + head[m], a + head[m] + w);
+        std::copy(stage, stage + w, a + head[m]);
+        head[m] += w;
+        fill[m] = 0;
+      } else {
+        park(v);
+        return;
+      }
+    }
+    stage[fill[m]++] = v;
+  };
+
+  for (cur = 0; cur < 256; ++cur) {
+    // Flushes from earlier stripes may have advanced head[cur] already;
+    // everything behind it is placed.
+    for (pos = head[cur]; pos < tail[cur]; ++pos) {
+      classify(a[pos]);
+      while (!spill.empty()) {
+        const T v = spill.back();
+        spill.pop_back();
+        classify(v);
+      }
+    }
+    // The stripe is fully vacated: its leftover holes can absorb parked
+    // misses that found no space earlier.
+    while (!homeless.empty() && dump[cur] > head[cur]) {
+      a[--dump[cur]] = homeless.back();
+      homeless.pop_back();
+    }
+  }
+
+  // Leftovers: each digit's partial buffer flushes into its own hole space
+  // first (correct placements); the rest parks as misses. Conservation
+  // (holes created == elements staged) guarantees everything fits.
+  cur = 256;  // every stripe now counts as finished for park()
+  for (int m = 0; m < 256; ++m) {
+    T* stage = buf.data() + static_cast<std::int64_t>(m) * w;
+    const std::int64_t take =
+        std::min<std::int64_t>(fill[m], dump[m] - head[m]);
+    std::copy(stage, stage + take, a + head[m]);
+    head[m] += take;
+    for (std::int64_t i = take; i < fill[m]; ++i) park(stage[i]);
+    fill[m] = 0;
+  }
+  for (int k = 0; k < 256 && !homeless.empty(); ++k) {
+    while (!homeless.empty() && dump[k] > head[k]) {
+      a[--dump[k]] = homeless.back();
+      homeless.pop_back();
     }
   }
 }
@@ -115,6 +246,10 @@ void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
                ThreadPool* pool, bool parallel) {
   const std::int64_t n = hi - lo;
   if (n <= 1) return;
+  if (n <= kInsertionSortCutoff) {
+    InsertionSort(a + lo, n);
+    return;
+  }
   if (n <= kComparisonSortCutoff) {
     std::sort(a + lo, a + hi);
     return;
@@ -144,6 +279,15 @@ void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
     for (std::int64_t i = lo; i < hi; ++i) ++count[RadixDigit(a[i], digit)];
   }
 
+  // Digit skip: a level with one occupied bucket permutes nothing — every
+  // element already agrees on this digit, so descend directly.
+  int occupied = 0;
+  for (int b = 0; b < 256 && occupied < 2; ++b) occupied += count[b] > 0;
+  if (occupied == 1) {
+    if (digit > 0) SortLevel(a, lo, hi, digit - 1, pool, parallel);
+    return;
+  }
+
   std::array<std::int64_t, 257> bounds{};
   bounds[0] = lo;
   for (int b = 0; b < 256; ++b) bounds[b + 1] = bounds[b] + count[b];
@@ -167,6 +311,11 @@ void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
   std::int64_t remaining = unresolved();
   while (remaining > 0) {
     if (threads == 1) {
+      // Write-combining pass does the bulk of the placement with streaming
+      // stores; the cycle chase only mops up its speculation misses.
+      if (n >= kBufferedPlaceMinN) {
+        BufferedSpeculativePermute(a, digit, gh, gt);
+      }
       SerialCyclePlace(a, digit, gh, gt);
       break;
     }
@@ -186,11 +335,19 @@ void SortLevel(T* a, std::int64_t lo, std::int64_t hi, int digit,
         start += part;
       }
     }
-    // Speculative permutation: threads work on disjoint stripes.
+    // Speculative permutation: threads work on disjoint stripes. Large
+    // stripes use the write-combining variant (same miss contract).
+    const bool buffered = n / threads >= kBufferedPlaceMinN;
     for (int t = 0; t < threads; ++t) {
-      pool->Submit([&, t] {
-        SpeculativePermute(a, digit, head[static_cast<std::size_t>(t)],
-                           tail[static_cast<std::size_t>(t)]);
+      pool->Submit([&, t, buffered] {
+        if (buffered) {
+          BufferedSpeculativePermute(a, digit,
+                                     head[static_cast<std::size_t>(t)],
+                                     tail[static_cast<std::size_t>(t)]);
+        } else {
+          SpeculativePermute(a, digit, head[static_cast<std::size_t>(t)],
+                             tail[static_cast<std::size_t>(t)]);
+        }
       });
     }
     pool->Wait();

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Selftest for bench/compare.py: the perf gate must pass on identical
+numbers, fail on a >tolerance regression (tampered baseline), fail on a
+dropped benchmark, and tolerate improvements and new benchmarks."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def bench_doc(times):
+    return {
+        "context": {"executable": "selftest"},
+        "benchmarks": [
+            {"name": n, "run_type": "iteration", "cpu_time": t,
+             "real_time": t, "time_unit": "ns"}
+            for n, t in times.items()
+        ],
+    }
+
+
+def run(compare, base, cur, extra=None):
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        cp = os.path.join(d, "cur.json")
+        json.dump(bench_doc(base), open(bp, "w"))
+        json.dump(bench_doc(cur), open(cp, "w"))
+        argv = [sys.executable, compare, bp, cp] + (extra or [])
+        return subprocess.run(argv, capture_output=True, text=True).returncode
+
+
+def main():
+    compare = sys.argv[1]
+    base = {"BM_A/1": 100.0, "BM_B/2": 2000.0}
+    failures = []
+
+    def check(name, got, want):
+        if got != want:
+            failures.append(f"{name}: exit {got}, want {want}")
+
+    check("identical numbers pass", run(compare, base, dict(base)), 0)
+    # +30% on one entry trips the default 25% band (the "tampered baseline"
+    # acceptance case, driven from the current side of the diff).
+    check("30% slowdown fails",
+          run(compare, base, {"BM_A/1": 130.0, "BM_B/2": 2000.0}), 1)
+    check("30% slowdown passes at 40% tolerance",
+          run(compare, base, {"BM_A/1": 130.0, "BM_B/2": 2000.0},
+              ["--tolerance", "40"]), 0)
+    check("within-band jitter passes",
+          run(compare, base, {"BM_A/1": 115.0, "BM_B/2": 1900.0}), 0)
+    check("improvement passes",
+          run(compare, base, {"BM_A/1": 10.0, "BM_B/2": 200.0}), 0)
+    check("dropped benchmark fails",
+          run(compare, base, {"BM_A/1": 100.0}), 1)
+    check("new benchmark passes",
+          run(compare, base,
+              {"BM_A/1": 100.0, "BM_B/2": 2000.0, "BM_C/3": 5.0}), 0)
+    check("empty baseline is an error", run(compare, {}, base), 2)
+
+    for f in failures:
+        print("FAIL:", f)
+    print(f"{8 - len(failures)}/8 checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -500,5 +500,178 @@ TEST(SampleSortTest, StabilityPreserved) {
   EXPECT_EQ(data, expected);
 }
 
+// ---------------------------------------------------------------------------
+// Buffer-boundary properties of the cache-conscious substrate: run lengths
+// straddling the staging-buffer geometry, empty runs, all-equal keys, and
+// single-occupied-digit inputs (the digit-skip path).
+// ---------------------------------------------------------------------------
+
+// Merges `lens` runs of std::int32_t (seeded deterministic contents) and
+// checks against the sort-everything oracle. Exercises both kernels: k <=
+// multiway_internal::kScanMergeMaxK dispatches to the scan merge, larger k
+// to the buffered loser tree.
+void CheckMergeAgainstOracle(const std::vector<std::int64_t>& lens,
+                             std::uint64_t seed) {
+  std::vector<std::vector<std::int32_t>> lists;
+  std::vector<std::int32_t> oracle;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    DataGenOptions opt;
+    opt.seed = seed + i;
+    auto run = GenerateKeys<std::int32_t>(lens[i], opt);
+    std::sort(run.begin(), run.end());
+    oracle.insert(oracle.end(), run.begin(), run.end());
+    lists.push_back(std::move(run));
+  }
+  std::sort(oracle.begin(), oracle.end());
+  std::vector<std::int32_t> out;
+  MultiwayMerge(lists, &out);
+  EXPECT_EQ(out, oracle);
+}
+
+TEST(MergeBoundaryTest, RunLengthsAroundStagingBufferSize) {
+  // The tree path (k > kScanMergeMaxK) stages each run through a buffer of
+  // this many entries; lengths of B-1 / B / B+1 hit the refill edges.
+  const std::int64_t b =
+      multiway_internal::MergeRunBufferEntries<std::int32_t>();
+  for (std::int64_t len : {b - 1, b, b + 1, 2 * b, 2 * b + 1}) {
+    CheckMergeAgainstOracle(
+        std::vector<std::int64_t>(multiway_internal::kScanMergeMaxK + 2, len),
+        static_cast<std::uint64_t>(len));
+  }
+}
+
+TEST(MergeBoundaryTest, EqualLengthRunsDrainTogetherOnScanPath) {
+  // All runs hit their last element in the same guarded batch.
+  for (int k : {3, 4, 7, 16}) {
+    CheckMergeAgainstOracle(std::vector<std::int64_t>(k, 1000), 7);
+  }
+}
+
+TEST(MergeBoundaryTest, EmptyRunsInterleaved) {
+  for (int k : {5, 20}) {
+    std::vector<std::int64_t> lens;
+    for (int i = 0; i < k; ++i) lens.push_back(i % 2 == 0 ? 0 : 700 + i);
+    CheckMergeAgainstOracle(lens, 13);
+  }
+  // All runs empty.
+  CheckMergeAgainstOracle({0, 0, 0, 0}, 17);
+  // Exactly one non-empty.
+  CheckMergeAgainstOracle({0, 0, 512, 0}, 19);
+}
+
+TEST(MergeBoundaryTest, SkewedSingletonAgainstLongRuns) {
+  // A length-1 run forces the smallest possible guarded batches.
+  CheckMergeAgainstOracle({1, 100000, 1, 100000, 1}, 23);
+  CheckMergeAgainstOracle({100000, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                           1, 1, 1, 1, 1},
+                          29);
+}
+
+TEST(MergeBoundaryTest, AllEqualKeysStayStableAcrossInputs) {
+  struct Tagged {
+    std::int32_t key;
+    int src;
+    bool operator<(const Tagged& o) const { return key < o.key; }
+  };
+  for (int k : {4, 20}) {  // scan path and tree path
+    std::vector<std::vector<Tagged>> lists(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      lists[static_cast<std::size_t>(i)].assign(
+          1500, Tagged{42, i});
+    }
+    std::vector<MergeInput<Tagged>> inputs;
+    for (const auto& l : lists) {
+      inputs.push_back(MergeInput<Tagged>{l.data(), l.data() + l.size()});
+    }
+    std::vector<Tagged> out(static_cast<std::size_t>(k) * 1500);
+    MultiwayMerge(inputs, out.data());
+    // Stability: equal keys must appear in input order, each input's block
+    // contiguous and in ascending source index.
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1].src, out[i].src) << "at " << i << " (k=" << k
+                                            << ")";
+    }
+  }
+}
+
+TEST(ParadisBoundaryTest, LargeInputUsesWriteCombiningPermute) {
+  // Above paradis_internal::kBufferedPlaceMinN the serial path runs the
+  // write-combining permutation before the cycle-place mop-up.
+  const std::int64_t n = paradis_internal::kBufferedPlaceMinN + 4097;
+  DataGenOptions opt;
+  opt.seed = 31;
+  auto data = GenerateKeys<std::int32_t>(n, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  ParadisSort(data.data(), n);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(ParadisBoundaryTest, SingleOccupiedDigitLevelsAreSkipped) {
+  // Keys spanning one low byte leave every higher radix level with a single
+  // occupied bucket: the level must recurse without a permutation pass and
+  // still sort (also covers the all-equal input).
+  const std::int64_t n = paradis_internal::kBufferedPlaceMinN * 2;
+  std::mt19937 rng(37);
+  std::vector<std::int32_t> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<std::int32_t>(rng() % 256);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  ParadisSort(data.data(), n);
+  EXPECT_EQ(data, expected);
+
+  std::vector<std::int32_t> equal(static_cast<std::size_t>(n), -7);
+  ParadisSort(equal.data(), n);
+  EXPECT_TRUE(std::all_of(equal.begin(), equal.end(),
+                          [](std::int32_t v) { return v == -7; }));
+}
+
+TEST(ParadisBoundaryTest, ParallelBufferedStripes) {
+  ThreadPool pool(4);
+  const std::int64_t n = paradis_internal::kBufferedPlaceMinN * 8;
+  DataGenOptions opt;
+  opt.seed = 41;
+  auto data = GenerateKeys<std::int32_t>(n, opt);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  ParadisSort(data.data(), n, &pool);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(LsbRadixBoundaryTest, SingleOccupiedDigitPassesAreSkipped) {
+  // Low-byte-only keys skip three of four passes (identity permutations);
+  // the ping-pong parity bookkeeping must still return the result in data.
+  const std::int64_t n = 1 << 15;  // above the buffered-scatter threshold
+  std::mt19937 rng(43);
+  std::vector<std::int32_t> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<std::int32_t>(rng() % 256);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::int32_t> aux(static_cast<std::size_t>(n));
+  LsbRadixSort(data.data(), aux.data(), n);
+  EXPECT_EQ(data, expected);
+
+  // All-equal: every pass skips.
+  std::vector<std::int32_t> equal(static_cast<std::size_t>(n), 99);
+  LsbRadixSort(equal.data(), aux.data(), n);
+  EXPECT_TRUE(std::all_of(equal.begin(), equal.end(),
+                          [](std::int32_t v) { return v == 99; }));
+}
+
+TEST(LsbRadixBoundaryTest, BufferedScatterAtThresholdEdges) {
+  for (std::int64_t n : {lsb_internal::kBufferedScatterMinN - 1,
+                         lsb_internal::kBufferedScatterMinN,
+                         lsb_internal::kBufferedScatterMinN + 1}) {
+    DataGenOptions opt;
+    opt.seed = static_cast<std::uint64_t>(n);
+    auto data = GenerateKeys<std::int32_t>(n, opt);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::int32_t> aux(static_cast<std::size_t>(n));
+    LsbRadixSort(data.data(), aux.data(), n);
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
 }  // namespace
 }  // namespace mgs::cpusort
