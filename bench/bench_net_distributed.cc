@@ -1,0 +1,82 @@
+// Native google-benchmark coverage of the multi-node subsystem (src/net):
+// wall-clock cost of building + compiling a cluster fabric and of driving
+// the distributed sort end to end. cpu_time feeds the CI perf gate
+// (BENCH_net.json vs bench/baselines/net.json); the sim_* counters record
+// the *simulated* node-scaling story — throughput grows with nodes at full
+// bisection and degrades once the spine is oversubscribed.
+
+#include <benchmark/benchmark.h>
+
+#include "net/cluster.h"
+#include "net/distributed_sort.h"
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "util/datagen.h"
+#include "vgpu/platform.h"
+
+using namespace mgs;
+
+namespace {
+
+net::ClusterOptions DeltaCluster(int nodes, int oversub) {
+  net::ClusterOptions options;
+  options.node_system = "delta-d22x";
+  options.nodes = nodes;
+  options.nodes_per_rack = 2;
+  options.oversubscription = static_cast<double>(oversub);
+  return options;
+}
+
+void BM_ClusterBuildCompile(benchmark::State& state) {
+  // Fabric construction cost: N node systems + leaf/spine, compiled into a
+  // fresh flow network (route validation over every GPU pair).
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cluster = CheckOk(net::BuildCluster(DeltaCluster(nodes, 2)));
+    sim::Simulator simulator;
+    sim::FlowNetwork network(&simulator);
+    CheckOk(cluster.topology->Compile(&network));
+    benchmark::DoNotOptimize(cluster.info.total_gpus());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ClusterBuildCompile)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedSort(benchmark::State& state) {
+  // One simulated cluster sort per iteration: node-local P2P sorts, sampled
+  // splitters, windowed all-to-all shuffle over NICs/leaf/spine, final
+  // node-local merges. Args: {nodes, oversubscription}.
+  const int nodes = static_cast<int>(state.range(0));
+  const int oversub = static_cast<int>(state.range(1));
+  const std::int64_t actual = 1 << 14;  // functional keys
+  const double logical = 4e9;           // billed keys (scale model)
+  DataGenOptions gen;
+  const auto keys = GenerateKeys<std::int32_t>(actual, gen);
+  double sim_seconds = 0;
+  for (auto _ : state) {
+    auto cluster = CheckOk(net::BuildCluster(DeltaCluster(nodes, oversub)));
+    auto platform = CheckOk(vgpu::Platform::Create(
+        std::move(cluster.topology),
+        vgpu::PlatformOptions{logical / static_cast<double>(actual)}));
+    vgpu::HostBuffer<std::int32_t> data(keys);
+    auto stats = CheckOk(net::DistributedSort<std::int32_t>(
+        platform.get(), cluster.info, &data, net::DistSortOptions{}));
+    sim_seconds = stats.total_seconds;
+    benchmark::ClobberMemory();
+  }
+  state.counters["sim_seconds"] = sim_seconds;
+  state.counters["sim_gkeys_per_s"] = logical / sim_seconds / 1e9;
+  state.SetItemsProcessed(state.iterations() * actual);
+}
+BENCHMARK(BM_DistributedSort)
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

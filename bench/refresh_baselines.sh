@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Refreshes bench/baselines/*.json after an intentional performance change.
 # One command: ./bench/refresh_baselines.sh [build-dir]
-# Builds the two native benchmarks in Release mode and overwrites the
+# Builds the three native benchmarks in Release mode and overwrites the
 # committed baselines with fresh measurements from this machine. Commit the
 # result together with the change that moved the numbers.
 set -euo pipefail
@@ -11,7 +11,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
-  bench_native_simulator
+  bench_native_simulator bench_net_distributed
 
 # Older libbenchmark releases only accept a plain double for
 # --benchmark_min_time; newer ones also take a "0.4s" suffix form. The
@@ -22,5 +22,8 @@ cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
 "./$BUILD/bench/bench_native_simulator" \
   --benchmark_min_time=0.4 \
   --benchmark_out=bench/baselines/sim.json --benchmark_out_format=json
+"./$BUILD/bench/bench_net_distributed" \
+  --benchmark_min_time=0.4 \
+  --benchmark_out=bench/baselines/net.json --benchmark_out_format=json
 
-echo "Refreshed bench/baselines/{cpu,sim}.json — review and commit."
+echo "Refreshed bench/baselines/{cpu,sim,net}.json — review and commit."

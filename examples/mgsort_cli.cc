@@ -5,7 +5,11 @@
 //              [--explain] [--metrics-out=metrics.prom]
 //
 // Algorithms: p2p | het2n | het3n | het2n-eager | het3n-eager | hyb | cpu
-// | rdx. Prints the phase breakdown and writes an optional chrome trace.
+// | rdx | dist. Prints the phase breakdown and writes an optional chrome
+// trace. --algo=dist sorts across a multi-node cluster (--nodes node
+// systems of --system joined by a leaf/spine RDMA fabric, --oversub
+// cross-rack oversubscription; src/net); --nodes > 1 with any other
+// algorithm runs it on the cluster topology instead of a single machine.
 // --explain prints a bottleneck-attribution report (top saturated links,
 // transfer- vs compute-bound phases, per-GPU busy fractions);
 // --metrics-out snapshots the registry (.prom / .json / .csv by extension).
@@ -21,6 +25,7 @@
 #include "fault/scenario.h"
 #include "core/hybrid_sort.h"
 #include "core/radix_partition_sort.h"
+#include "net/distributed_sort.h"
 #include "obs/explain.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -40,6 +45,9 @@ struct Args {
   std::string dist = "uniform";
   std::string type = "int32";
   std::uint64_t seed = 42;
+  int nodes = 1;        // > 1 (or --algo=dist): multi-node cluster
+  int rack_size = 2;    // nodes per rack
+  double oversub = 1.0; // cross-rack oversubscription factor
   std::string trace_path;
   std::string metrics_path;
   std::string fault_plan;  // inline scenario, @file, or file path
@@ -51,8 +59,9 @@ void Usage() {
   std::printf(
       "usage: mgsort_cli [--system=ac922|delta-d22x|dgx-a100]\n"
       "                  [--algo=p2p|het2n|het3n|het2n-eager|het3n-eager|"
-      "hyb|cpu|rdx]\n"
+      "hyb|cpu|rdx|dist]\n"
       "                  [--gpus=N] [--keys=4e9]\n"
+      "                  [--nodes=N] [--rack-size=N] [--oversub=F]\n"
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
       "                  [--type=int32|int64|float32|float64]\n"
@@ -89,6 +98,12 @@ Result<Args> Parse(int argc, char** argv) {
       args.type = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--nodes", &value)) {
+      args.nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--rack-size", &value)) {
+      args.rack_size = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--oversub", &value)) {
+      args.oversub = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
       args.fault_plan = value;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
@@ -127,7 +142,20 @@ Result<core::SortStats> RunExperiment(const Args& args,
   vgpu::PlatformOptions popts;
   popts.scale =
       std::max(1.0, static_cast<double>(logical) / static_cast<double>(actual));
-  MGS_ASSIGN_OR_RETURN(auto topology, topo::MakeSystem(args.system));
+  std::unique_ptr<topo::Topology> topology;
+  net::ClusterInfo cluster_info;
+  if (args.algo == "dist" || args.nodes > 1) {
+    net::ClusterOptions copt;
+    copt.node_system = args.system;
+    copt.nodes = std::max(1, args.nodes);
+    copt.nodes_per_rack = args.rack_size;
+    copt.oversubscription = args.oversub;
+    MGS_ASSIGN_OR_RETURN(auto cluster, net::BuildCluster(copt));
+    topology = std::move(cluster.topology);
+    cluster_info = cluster.info;
+  } else {
+    MGS_ASSIGN_OR_RETURN(topology, topo::MakeSystem(args.system));
+  }
   topology->SetMultihopP2p(args.multihop);
   MGS_ASSIGN_OR_RETURN(auto platform,
                        vgpu::Platform::Create(std::move(topology), popts));
@@ -151,7 +179,11 @@ Result<core::SortStats> RunExperiment(const Args& args,
       args.gpus > 0 ? args.gpus : platform->num_devices();
 
   core::SortStats stats;
-  if (args.algo == "cpu") {
+  if (args.algo == "dist") {
+    MGS_ASSIGN_OR_RETURN(
+        stats, net::DistributedSort<T>(platform.get(), cluster_info, &data,
+                                       net::DistSortOptions{}));
+  } else if (args.algo == "cpu") {
     MGS_ASSIGN_OR_RETURN(stats, core::CpuSortBaseline(platform.get(), &data));
   } else if (args.algo == "p2p") {
     core::SortOptions options;
@@ -257,6 +289,13 @@ int main(int argc, char** argv) {
   if (stats->p2p_bytes > 0) {
     std::printf("  P2P   : %s exchanged\n",
                 FormatBytes(stats->p2p_bytes).c_str());
+  }
+  if (stats->nodes > 1) {
+    std::printf("  nodes : %d (%d GPUs each)\n", stats->nodes,
+                stats->num_gpus / stats->nodes);
+    std::printf("  shuffle : %s between GPUs (%s crossing node NICs)\n",
+                FormatBytes(stats->shuffle_bytes).c_str(),
+                FormatBytes(stats->cross_node_bytes).c_str());
   }
   if (args.explain) {
     const obs::ExplainReport report = obs::BuildExplainReport(registry);

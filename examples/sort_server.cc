@@ -20,6 +20,7 @@
 
 #include "fault/injector.h"
 #include "fault/scenario.h"
+#include "net/cluster.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "sched/server.h"
@@ -35,6 +36,9 @@ namespace {
 
 struct Args {
   std::string system = "dgx-a100";
+  int nodes = 1;        // > 1: multi-node cluster (src/net)
+  int rack_size = 2;    // nodes per rack
+  double oversub = 1.0; // cross-rack oversubscription factor
   int jobs = 32;
   double rate = 2.0;  // Poisson arrivals per second
   std::string policy = "sjf";
@@ -48,6 +52,7 @@ struct Args {
 void Usage() {
   std::printf(
       "usage: sort_server [--system=ac922|delta-d22x|dgx-a100]\n"
+      "                   [--nodes=N] [--rack-size=N] [--oversub=F]\n"
       "                   [--jobs=N] [--rate=JOBS_PER_SEC]\n"
       "                   [--policy=fifo|sjf|priority] [--seed=N]\n"
       "                   [--slo=SECONDS] [--trace=out.json]\n"
@@ -57,7 +62,12 @@ void Usage() {
       "--fault-plan injects faults (GPU loss, link degradation/outage,\n"
       "transient copy errors; see docs/fault_tolerance.md) and enables the\n"
       "server's recovery policy: retries with backoff, health monitoring,\n"
-      "and HET fallback on degraded meshes.\n");
+      "and HET fallback on degraded meshes.\n"
+      "\n"
+      "--nodes > 1 runs the service on a multi-node cluster (--nodes node\n"
+      "systems of --system joined by a leaf/spine RDMA fabric; src/net);\n"
+      "every fourth open-loop job then spans two whole nodes via the\n"
+      "distributed sorter, shuffling across NICs and switches.\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -75,6 +85,12 @@ Result<Args> Parse(int argc, char** argv) {
     std::string value;
     if (ParseFlag(argv[i], "--system", &value)) {
       args.system = value;
+    } else if (ParseFlag(argv[i], "--nodes", &value)) {
+      args.nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--rack-size", &value)) {
+      args.rack_size = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--oversub", &value)) {
+      args.oversub = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
       args.jobs = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--rate", &value)) {
@@ -118,13 +134,31 @@ int main(int argc, char** argv) {
   // Paper-scale logical keys over a small functional array (scale model).
   vgpu::PlatformOptions popts;
   popts.scale = 2e6;
-  auto topology = topo::MakeSystem(args.system);
-  if (!topology.ok()) {
-    std::fprintf(stderr, "%s\n", topology.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<topo::Topology> topology;
+  net::ClusterInfo cluster_info;
+  if (args.nodes > 1) {
+    net::ClusterOptions copt;
+    copt.node_system = args.system;
+    copt.nodes = args.nodes;
+    copt.nodes_per_rack = args.rack_size;
+    copt.oversubscription = args.oversub;
+    auto cluster = net::BuildCluster(copt);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+      return 1;
+    }
+    topology = std::move(cluster->topology);
+    cluster_info = cluster->info;
+  } else {
+    auto single = topo::MakeSystem(args.system);
+    if (!single.ok()) {
+      std::fprintf(stderr, "%s\n", single.status().ToString().c_str());
+      return 1;
+    }
+    topology = std::move(*single);
   }
   auto platform =
-      CheckOk(vgpu::Platform::Create(std::move(*topology), popts));
+      CheckOk(vgpu::Platform::Create(std::move(topology), popts));
 
   sim::TraceRecorder trace;
   if (!args.trace_path.empty()) platform->SetTrace(&trace);
@@ -139,6 +173,7 @@ int main(int argc, char** argv) {
   }
   options.policy = *policy;
   options.slo_seconds = args.slo;
+  if (args.nodes > 1) options.cluster = &cluster_info;
   if (!args.trace_path.empty() || !args.metrics_path.empty()) {
     options.utilization_sample_seconds = 0.05;
   }
@@ -171,7 +206,16 @@ int main(int argc, char** argv) {
 
   JobMix mix;
   if (platform->num_devices() < 4) mix.gpu_choices = {1, 2};
-  server.Submit(MakePoissonWorkload(mix, args.rate, args.jobs, args.seed));
+  auto jobs = MakePoissonWorkload(mix, args.rate, args.jobs, args.seed);
+  if (args.nodes > 1) {
+    // Every fourth open-loop job spans two whole nodes via the distributed
+    // sorter, so NICs and leaf/spine switches carry real shuffle traffic.
+    for (std::size_t j = 0; j < jobs.size(); j += 4) {
+      jobs[j].nodes = 2;
+      jobs[j].gpus = 1;  // derived (nodes x gpus-per-node) by the server
+    }
+  }
+  server.Submit(jobs);
 
   ClosedLoopOptions loop;
   loop.clients = 2;

@@ -40,6 +40,9 @@ struct SortStats {
   int merge_stages = 0;                // P2P merge stages executed
   int chunk_groups = 1;                // HET: number of chunk groups
   int final_merge_sublists = 0;        // HET: k of the final CPU merge
+  int nodes = 1;                       // DIST: cluster nodes participating
+  double shuffle_bytes = 0;            // DIST: all-to-all shuffle bytes
+  double cross_node_bytes = 0;         // DIST: shuffle bytes over the fabric
   std::string algorithm;
 };
 

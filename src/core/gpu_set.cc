@@ -76,13 +76,13 @@ double AggregateRate(const topo::Topology& topology,
 
 Result<double> HtoDAggregate(const topo::Topology& topology,
                              const std::vector<int>& gpus,
-                             const std::vector<int>& busy) {
+                             const std::vector<int>& busy, int host_numa) {
   std::vector<std::vector<sim::PathHop>> paths;
   for (int g : gpus) {
     MGS_ASSIGN_OR_RETURN(
         auto path,
         topology.CopyPath(topo::CopyKind::kHostToDevice,
-                          topo::Endpoint::HostMemory(0),
+                          topo::Endpoint::HostMemory(host_numa),
                           topo::Endpoint::Gpu(g)));
     paths.push_back(std::move(path));
   }
@@ -91,7 +91,7 @@ Result<double> HtoDAggregate(const topo::Topology& topology,
     MGS_ASSIGN_OR_RETURN(
         auto path,
         topology.CopyPath(topo::CopyKind::kHostToDevice,
-                          topo::Endpoint::HostMemory(0),
+                          topo::Endpoint::HostMemory(host_numa),
                           topo::Endpoint::Gpu(g)));
     paths.push_back(std::move(path));
   }
@@ -151,7 +151,8 @@ Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
 
 Result<std::vector<int>> ChooseGpuSetConstrained(
     const topo::Topology& topology, int g, bool for_p2p_merge,
-    const std::vector<int>& allowed, const std::vector<int>& busy) {
+    const std::vector<int>& allowed, const std::vector<int>& busy,
+    int host_numa) {
   const int total = topology.num_gpus();
   std::vector<int> candidates = allowed;
   std::sort(candidates.begin(), candidates.end());
@@ -171,7 +172,7 @@ Result<std::vector<int>> ChooseGpuSetConstrained(
   }
 
   // Step 1: the GPU combination with the best aggregate HtoD throughput
-  // (parallel copy from NUMA node 0, sharing links with the busy GPUs'
+  // (parallel copy from `host_numa`, sharing links with the busy GPUs'
   // flows), ties broken lexicographically.
   std::vector<int> best_set;
   double best_rate = -1;
@@ -179,7 +180,7 @@ Result<std::vector<int>> ChooseGpuSetConstrained(
   auto enumerate = [&](auto&& self, std::size_t next) -> Status {
     if (static_cast<int>(combo.size()) == g) {
       MGS_ASSIGN_OR_RETURN(const double rate,
-                           HtoDAggregate(topology, combo, busy));
+                           HtoDAggregate(topology, combo, busy, host_numa));
       if (rate > best_rate * (1 + 1e-9)) {
         best_rate = rate;
         best_set = combo;

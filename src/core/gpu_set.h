@@ -31,11 +31,14 @@ Result<std::vector<int>> ChooseGpuSet(const topo::Topology& topology, int g,
 /// the PCIe switch of a running one. Ties break lexicographically, so the
 /// choice is deterministic. `allowed` must be non-empty; `busy` may overlap
 /// `allowed` (GPU sharing) or be empty, in which case this equals
-/// ChooseGpuSet restricted to `allowed`.
+/// ChooseGpuSet restricted to `allowed`. `host_numa` is the memory node the
+/// candidate's HtoD flows stage from (multi-node clusters score from the
+/// job's own node's socket; the default is the single-machine MEM0).
 Result<std::vector<int>> ChooseGpuSetConstrained(const topo::Topology& topology,
                                                  int g, bool for_p2p_merge,
                                                  const std::vector<int>& allowed,
-                                                 const std::vector<int>& busy);
+                                                 const std::vector<int>& busy,
+                                                 int host_numa = 0);
 
 /// Estimated P2P merge-phase cost of a given GPU order (lower is better):
 /// the sum over merge stages of the slowest pairwise swap bandwidth's

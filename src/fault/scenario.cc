@@ -43,6 +43,7 @@ Status ParseClause(const std::string& clause, FaultScenario* scenario) {
   bool saw_at = false, saw_gpu = false, saw_link = false, saw_fail = false;
   bool saw_down = false, saw_up = false, saw_factor = false;
   bool saw_copy_error = false, saw_rate = false, saw_seed = false;
+  int rack = -1;  // rack= sugar: expands to leaf<r> + spine<r> link events
   std::string token;
   while (in >> token) {
     if (token == "fail") {
@@ -70,6 +71,16 @@ Status ParseClause(const std::string& clause, FaultScenario* scenario) {
         saw_gpu = true;
       } else if (key == "link") {
         ev.link = value;
+        saw_link = true;
+      } else if (key == "nic") {
+        // Cluster sugar (src/net): nic=2 names node 2's NIC attach links.
+        MGS_ASSIGN_OR_RETURN(const double node, ParseNumber(value, "nic"));
+        ev.link = "nic" + std::to_string(static_cast<int>(node));
+        saw_link = true;
+      } else if (key == "rack") {
+        // Cluster sugar: rack=1 hits rack 1's leaf switch and spine uplink.
+        MGS_ASSIGN_OR_RETURN(const double r, ParseNumber(value, "rack"));
+        rack = static_cast<int>(r);
         saw_link = true;
       } else if (key == "factor") {
         MGS_ASSIGN_OR_RETURN(ev.factor, ParseNumber(value, "factor"));
@@ -135,6 +146,16 @@ Status ParseClause(const std::string& clause, FaultScenario* scenario) {
   if (ev.at < 0) {
     return Status::Invalid("fault scenario: at= must be >= 0 in clause '" +
                            clause + "'");
+  }
+  if (rack >= 0) {
+    if (!ev.link.empty()) {
+      return Status::Invalid("fault scenario: clause '" + clause +
+                             "' mixes rack= with link=/nic=");
+    }
+    FaultEvent leaf = ev;
+    leaf.link = "leaf" + std::to_string(rack);
+    scenario->events.push_back(std::move(leaf));
+    ev.link = "spine" + std::to_string(rack);
   }
   scenario->events.push_back(std::move(ev));
   return Status::OK();

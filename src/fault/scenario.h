@@ -11,6 +11,13 @@
 //        at=1.0 link=nvl-x1 down; at=1.6 link=nvl-x1 up # flap
 //        at=1.1 gpu=3 fail;                             # fail-stop loss
 //        at=0 copy-error rate=0.002 until=2.0           # transient errors
+//        at=2.0 nic=1 down; at=2.5 nic=1 up             # node 1 NIC loss
+//        at=3.0 rack=0 down; at=3.4 rack=0 up           # rack outage
+//
+//    `nic=<i>` is sugar for `link=nic<i>` (a cluster node's NIC attach
+//    links; src/net/cluster.h) and `rack=<r>` expands to two link events,
+//    `leaf<r>` and `spine<r>` — the rack's leaf switch ports and its spine
+//    uplink. Both round-trip through ToString as plain link events.
 //
 //  * a JSON document with the same vocabulary:
 //

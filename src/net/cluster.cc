@@ -1,0 +1,109 @@
+#include "net/cluster.h"
+
+#include <utility>
+
+namespace mgs::net {
+
+ClusterInfo::ClusterInfo(ClusterOptions options,
+                         std::vector<topo::SystemNodeHandles> handles)
+    : options_(std::move(options)), handles_(std::move(handles)) {
+  if (!handles_.empty()) gpus_per_node_ = handles_.front().num_gpus;
+  racks_ = (nodes() + options_.nodes_per_rack - 1) / options_.nodes_per_rack;
+}
+
+std::vector<int> ClusterInfo::NodeGpus(int node) const {
+  std::vector<int> gpus;
+  gpus.reserve(static_cast<std::size_t>(gpus_per_node_));
+  for (int k = 0; k < gpus_per_node_; ++k) {
+    gpus.push_back(handles_[static_cast<std::size_t>(node)].first_gpu + k);
+  }
+  return gpus;
+}
+
+std::string ClusterInfo::NicLinkName(int node) {
+  return "nic" + std::to_string(node);
+}
+
+std::string ClusterInfo::LeafLinkName(int rack) {
+  return "leaf" + std::to_string(rack);
+}
+
+std::string ClusterInfo::SpineLinkName(int rack) {
+  return "spine" + std::to_string(rack);
+}
+
+Result<Cluster> BuildCluster(const ClusterOptions& options) {
+  if (options.nodes < 1) return Status::Invalid("cluster needs >= 1 node");
+  if (options.nodes_per_rack < 1) {
+    return Status::Invalid("nodes_per_rack must be >= 1");
+  }
+  if (options.oversubscription < 1.0) {
+    return Status::Invalid(
+        "oversubscription must be >= 1 (1 = full bisection bandwidth)");
+  }
+  if (options.nic_bandwidth <= 0) {
+    return Status::Invalid("nic_bandwidth must be positive");
+  }
+
+  auto topology = std::make_unique<topo::Topology>(
+      options.node_system + " x" + std::to_string(options.nodes) +
+      " cluster");
+  std::vector<topo::SystemNodeHandles> handles;
+  handles.reserve(static_cast<std::size_t>(options.nodes));
+  for (int i = 0; i < options.nodes; ++i) {
+    auto node = topo::AppendSystemNode(topology.get(), options.node_system);
+    MGS_RETURN_IF_ERROR(node.status());
+    handles.push_back(*node);
+  }
+  ClusterInfo info(options, handles);
+
+  // Spine and one leaf switch per rack. The uplink capacity encodes the
+  // oversubscription ratio; leaving it un-duplex-capped models a
+  // full-duplex switch port pair.
+  const topo::NodeId spine = topology->AddSwitch("spine");
+  std::vector<topo::NodeId> leaves;
+  for (int r = 0; r < info.racks(); ++r) {
+    const topo::NodeId leaf =
+        topology->AddSwitch("leaf-sw" + std::to_string(r));
+    topo::LinkSpec up;
+    up.name = ClusterInfo::SpineLinkName(r);
+    up.kind = topo::LinkKind::kInfiniband;
+    up.cap_ab = options.nodes_per_rack * options.nic_bandwidth /
+                options.oversubscription;
+    up.latency = options.spine_latency;
+    MGS_RETURN_IF_ERROR(topology->Connect(leaf, spine, up));
+    leaves.push_back(leaf);
+  }
+
+  // Per-node NIC: attach links from the host (and, where the preset has
+  // one, the GPU fabric switch — the GPUDirect-style path that bypasses
+  // the CPU), then the NIC port itself as the leaf downlink. The port link
+  // carries the duplex cap: send + receive share the HCA.
+  for (int i = 0; i < info.nodes(); ++i) {
+    const auto& h = handles[static_cast<std::size_t>(i)];
+    const topo::NodeId nic =
+        topology->AddSwitch("nic-sw" + std::to_string(i));
+    topo::LinkSpec attach;
+    attach.name = ClusterInfo::NicLinkName(i);
+    attach.kind = topo::LinkKind::kInfiniband;
+    attach.cap_ab = options.nic_bandwidth;
+    attach.latency = options.nic_latency;
+    MGS_RETURN_IF_ERROR(topology->Connect(h.host_attach, nic, attach));
+    if (h.fabric_attach != topo::kInvalidNode) {
+      MGS_RETURN_IF_ERROR(topology->Connect(h.fabric_attach, nic, attach));
+    }
+
+    topo::LinkSpec port;
+    port.name = ClusterInfo::LeafLinkName(info.RackOfNode(i));
+    port.kind = topo::LinkKind::kInfiniband;
+    port.cap_ab = options.nic_bandwidth;
+    port.duplex_cap = options.nic_duplex_cap;
+    port.latency = options.leaf_latency;
+    MGS_RETURN_IF_ERROR(topology->Connect(
+        nic, leaves[static_cast<std::size_t>(info.RackOfNode(i))], port));
+  }
+
+  return Cluster{std::move(topology), std::move(info)};
+}
+
+}  // namespace mgs::net

@@ -1,0 +1,102 @@
+// Multi-node cluster fabric: N instances of one single-node preset
+// (src/topo/systems.h) wired into a shared topology through per-node
+// RDMA-class NICs, per-rack leaf switches, and a spine with configurable
+// cross-rack oversubscription. The whole fabric compiles into the same
+// FlowNetwork as the intra-node links, so NVLink/PCIe flows and inter-node
+// RDMA flows contend in one max-min settler — incast, stragglers, and
+// spine congestion emerge from the flow model rather than being scripted.
+//
+// Link naming (all LinkKind::kInfiniband, usable in fault plans):
+//   nic<i>    node i's NIC attach links (host side, and NVSwitch side on
+//             presets with a GPU fabric). `link=nic2 down` severs node 2.
+//   leaf<r>   the NIC->leaf downlinks of every node in rack r (the NIC
+//             port itself: directed cap = NIC bandwidth, duplex-capped).
+//             `link=leaf0 down` takes out rack 0's leaf switch.
+//   spine<r>  rack r's leaf->spine uplink. Its capacity is
+//             nodes_per_rack * nic_bandwidth / oversubscription, so
+//             oversubscription > 1 makes cross-rack all-to-all incast-bound
+//             on the spine.
+
+#ifndef MGS_NET_CLUSTER_H_
+#define MGS_NET_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/systems.h"
+#include "topo/topology.h"
+#include "util/units.h"
+
+namespace mgs::net {
+
+struct ClusterOptions {
+  /// Single-node preset appended per node ("ac922" | "delta-d22x" |
+  /// "dgx-a100").
+  std::string node_system = "dgx-a100";
+  int nodes = 2;
+  /// Nodes per rack (one leaf switch per rack; last rack may be partial).
+  int nodes_per_rack = 2;
+  /// Spine uplink capacity divisor: rack uplink carries
+  /// nodes_per_rack * nic_bandwidth / oversubscription. 1 = full bisection.
+  double oversubscription = 1.0;
+  /// Per-direction effective NIC payload bandwidth (HDR InfiniBand-class,
+  /// ~200 Gb/s raw => ~24 GB/s effective).
+  double nic_bandwidth = 24 * kGB;
+  /// Cap on the sum of both NIC directions (full duplex is slightly below
+  /// 2x unidirectional on real HCAs).
+  double nic_duplex_cap = 44 * kGB;
+  double nic_latency = 1.3e-6;    // host/fabric -> NIC hop
+  double leaf_latency = 3e-7;     // NIC -> leaf hop
+  double spine_latency = 5e-7;    // leaf -> spine hop
+};
+
+/// Copyable description of a built cluster: where each node's sockets and
+/// GPUs live in the shared topology, and the fabric link names.
+class ClusterInfo {
+ public:
+  ClusterInfo() = default;
+  ClusterInfo(ClusterOptions options,
+              std::vector<topo::SystemNodeHandles> handles);
+
+  int nodes() const { return static_cast<int>(handles_.size()); }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int total_gpus() const { return nodes() * gpus_per_node_; }
+  int racks() const { return racks_; }
+  int nodes_per_rack() const { return options_.nodes_per_rack; }
+  double oversubscription() const { return options_.oversubscription; }
+  const ClusterOptions& options() const { return options_; }
+
+  int NodeOfGpu(int gpu) const { return gpu / gpus_per_node_; }
+  int RackOfNode(int node) const { return node / options_.nodes_per_rack; }
+  int FirstGpu(int node) const { return handles_[node].first_gpu; }
+  int FirstSocket(int node) const { return handles_[node].first_socket; }
+  /// The node's GPU ids, in device order.
+  std::vector<int> NodeGpus(int node) const;
+
+  static std::string NicLinkName(int node);
+  static std::string LeafLinkName(int rack);
+  static std::string SpineLinkName(int rack);
+
+ private:
+  ClusterOptions options_;
+  std::vector<topo::SystemNodeHandles> handles_;
+  int gpus_per_node_ = 0;
+  int racks_ = 0;
+};
+
+struct Cluster {
+  std::unique_ptr<topo::Topology> topology;
+  ClusterInfo info;
+};
+
+/// Builds the shared-topology cluster. The result's topology is not yet
+/// compiled; hand it to vgpu::Platform::Create (which compiles it into the
+/// platform's FlowNetwork) or Compile it into a bare network for route
+/// probing. Single-rack clusters still get a spine uplink; it just never
+/// carries traffic.
+Result<Cluster> BuildCluster(const ClusterOptions& options);
+
+}  // namespace mgs::net
+
+#endif  // MGS_NET_CLUSTER_H_

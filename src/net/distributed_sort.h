@@ -1,0 +1,665 @@
+// Distributed multi-node sort over the cluster fabric (src/net/cluster.h):
+// node-local P2P sort, sampled splitter selection, an RDMA-style all-to-all
+// cross-node shuffle with a bounded per-NIC in-flight window, and a final
+// node-local multiway merge.
+//
+// Phases (PhaseTracker algo "dist"):
+//   htod        each node uploads its slice from node-local host memory
+//   sort        per-GPU chunk sorts
+//   local-merge per-node recursive P2P merge (reuses core::p2p_internal)
+//   split       sampled splitters + per-node balanced binary search
+//   shuffle     all-to-all fragment exchange; cross-node pieces acquire an
+//               egress slot on the source NIC and an ingress slot on the
+//               destination NIC, so incast presses on the bounded window
+//               and the NIC/leaf/spine capacities — stragglers and spine
+//               congestion emerge from the flow settler
+//   merge       per-GPU iterative pairwise merge of the received runs
+//   dtoh        download to node-local host staging
+//
+// Splitters use balanced equal-range splitting: each node clamps its
+// lower/upper-bound range for a splitter toward the proportional position,
+// so duplicate-heavy inputs still spread across destinations instead of
+// funneling into one receiver. Shuffle transfers retry transient failures
+// (injected copy errors, links down mid-flight) with deterministic
+// exponential backoff; fail-stop device loss aborts the job as in the
+// single-node paths.
+//
+// Input/output convention: `data` is the logical global array. The model
+// treats it as pre-partitioned across node host memories (slice j staged in
+// a host buffer on node j's first NUMA node) and re-assembles the sorted
+// result functionally — only intra-node and fabric traffic is simulated,
+// matching a distributed system whose data is born node-local.
+
+#ifndef MGS_NET_DISTRIBUTED_SORT_H_
+#define MGS_NET_DISTRIBUTED_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/common.h"
+#include "core/p2p_sort.h"
+#include "gpusort/device_sort.h"
+#include "net/cluster.h"
+#include "obs/phase.h"
+#include "sim/semaphore.h"
+#include "vgpu/platform.h"
+
+namespace mgs::net {
+
+struct DistSortOptions {
+  /// Node-local sort knobs (device_sort, pivot_policy). gpu_set is ignored;
+  /// the node set below picks the devices.
+  core::SortOptions local;
+  /// Cluster nodes participating (indices into the ClusterInfo). Empty =
+  /// all nodes.
+  std::vector<int> node_set;
+  /// Cross-node transfers concurrently in flight per NIC, each direction
+  /// (the RDMA queue-depth analogue; shuffle incast presses on this window
+  /// before it presses on the wire).
+  int max_inflight_per_nic = 4;
+  /// Receive-buffer headroom over the perfectly-balanced share. Partition
+  /// skew beyond this fails the job with kOutOfMemory.
+  double skew_slack = 1.5;
+  /// Splitter sample keys taken per GPU chunk.
+  int samples_per_gpu = 64;
+  /// Transient shuffle-transfer failures retried per piece before the job
+  /// fails; backoff doubles from `retry_backoff_seconds` (capped at 64x).
+  int max_transfer_retries = 10;
+  double retry_backoff_seconds = 0.02;
+};
+
+namespace dist_internal {
+
+/// One contiguous shuffle transfer: never crosses a source-chunk boundary,
+/// lands in the destination GPU's receive buffer.
+struct Piece {
+  int src_chunk = 0;
+  int dst_chunk = 0;
+  std::int64_t src_off = 0;
+  std::int64_t dst_off = 0;
+  std::int64_t len = 0;
+  int src_node = 0;  // node_set-relative indices
+  int dst_node = 0;
+};
+
+}  // namespace dist_internal
+
+/// Reentrant coroutine form (the sched server runs dist jobs this way; see
+/// core::P2pSortTask for the contract). Device buffers are allocated
+/// eagerly before the first suspension point. On completion `*out` holds
+/// the stats or the error.
+template <typename T>
+sim::Task<void> DistributedSortTask(vgpu::Platform* platform,
+                                    const ClusterInfo& cluster,
+                                    vgpu::HostBuffer<T>* data,
+                                    DistSortOptions options,
+                                    Result<core::SortStats>* out) {
+  using core::p2p_internal::Chunk;
+  using core::p2p_internal::ChunksHealth;
+  using core::p2p_internal::MergeContext;
+  using dist_internal::Piece;
+
+  std::vector<int> node_set = options.node_set;
+  if (node_set.empty()) {
+    for (int i = 0; i < cluster.nodes(); ++i) node_set.push_back(i);
+  }
+  const int num_nodes = static_cast<int>(node_set.size());
+  const int g = cluster.gpus_per_node();
+  for (int node : node_set) {
+    if (node < 0 || node >= cluster.nodes()) {
+      *out = Status::Invalid("no such cluster node: " + std::to_string(node));
+      co_return;
+    }
+  }
+  if (g < 1 || (g & (g - 1)) != 0) {
+    *out = Status::Invalid(
+        "distributed sort requires a power-of-two GPU count per node, got " +
+        std::to_string(g));
+    co_return;
+  }
+  const int total_gpus = num_nodes * g;
+
+  const std::int64_t n = data->size();
+  core::SortStats stats;
+  stats.algorithm = "DIST sort";
+  stats.num_gpus = total_gpus;
+  stats.nodes = num_nodes;
+  stats.keys = static_cast<std::int64_t>(
+      static_cast<double>(n) * platform->scale());
+  if (n == 0) {
+    *out = std::move(stats);
+    co_return;
+  }
+
+  // Node slices and chunk geometry. Node j (node_set order) owns the
+  // logical range [j*n_node, min(n, (j+1)*n_node)); its GPUs each hold one
+  // m-element chunk, sentinel-padded past the slice end.
+  const std::int64_t n_node = (n + num_nodes - 1) / num_nodes;
+  const std::int64_t m = (n_node + g - 1) / g;
+  std::vector<std::int64_t> valid(static_cast<std::size_t>(num_nodes));
+  for (int j = 0; j < num_nodes; ++j) {
+    const std::int64_t begin = static_cast<std::int64_t>(j) * n_node;
+    valid[static_cast<std::size_t>(j)] =
+        std::max<std::int64_t>(0, std::min(n_node, n - begin));
+  }
+  // Receive capacity: balanced share plus skew slack.
+  const std::int64_t avg = (n + total_gpus - 1) / total_gpus;
+  const std::int64_t recv_cap = std::max<std::int64_t>(
+      16, static_cast<std::int64_t>(options.skew_slack *
+                                    static_cast<double>(avg)) + 16);
+
+  // Eager allocation: chunks in node-major order (chunk j*g + k = node j's
+  // k-th GPU) plus per-chunk receive ping-pong buffers.
+  std::vector<Chunk<T>> chunks(static_cast<std::size_t>(total_gpus));
+  std::vector<vgpu::DeviceBuffer<T>> recv(
+      static_cast<std::size_t>(total_gpus));
+  std::vector<vgpu::DeviceBuffer<T>> recv_aux(
+      static_cast<std::size_t>(total_gpus));
+  for (int q = 0; q < total_gpus; ++q) {
+    const int node = node_set[static_cast<std::size_t>(q / g)];
+    const int gpu = cluster.FirstGpu(node) + q % g;
+    auto& chunk = chunks[static_cast<std::size_t>(q)];
+    chunk.device = &platform->device(gpu);
+    if (chunk.device->failed()) {
+      *out = chunk.device->fail_status();
+      co_return;
+    }
+    chunk.device->ResetStreamErrors();
+    auto primary = chunk.device->template Allocate<T>(m);
+    if (!primary.ok()) {
+      *out = primary.status();
+      co_return;
+    }
+    chunk.primary = std::move(*primary);
+    auto aux = chunk.device->template Allocate<T>(m);
+    if (!aux.ok()) {
+      *out = aux.status();
+      co_return;
+    }
+    chunk.aux = std::move(*aux);
+    auto rx = chunk.device->template Allocate<T>(recv_cap);
+    if (!rx.ok()) {
+      *out = rx.status();
+      co_return;
+    }
+    recv[static_cast<std::size_t>(q)] = std::move(*rx);
+    auto rx_aux = chunk.device->template Allocate<T>(recv_cap);
+    if (!rx_aux.ok()) {
+      *out = rx_aux.status();
+      co_return;
+    }
+    recv_aux[static_cast<std::size_t>(q)] = std::move(*rx_aux);
+  }
+
+  // Node-local host staging for the input slices (pinned, on the node's
+  // first NUMA socket). Populating it from `data` is functional-only: the
+  // slice is born node-local.
+  std::vector<vgpu::HostBuffer<T>> in_stage;
+  in_stage.reserve(static_cast<std::size_t>(num_nodes));
+  for (int j = 0; j < num_nodes; ++j) {
+    const std::int64_t begin = static_cast<std::int64_t>(j) * n_node;
+    const std::int64_t len = valid[static_cast<std::size_t>(j)];
+    std::vector<T> slice(data->data() + begin, data->data() + begin + len);
+    in_stage.emplace_back(std::move(slice),
+                          cluster.FirstSocket(node_set[
+                              static_cast<std::size_t>(j)]),
+                          /*pinned=*/true);
+  }
+
+  obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
+                                  &platform->topology(), "dist");
+  const double t0 = platform->simulator().Now();
+  phase_metrics.StartPhase("htod", t0);
+
+  // ---- htod: upload each node slice; sentinel-pad past the slice end.
+  auto upload = [&](int q) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(q)];
+    const int j = q / g;
+    const std::int64_t begin = static_cast<std::int64_t>(q % g) * m;
+    const std::int64_t count = std::max<std::int64_t>(
+        0,
+        std::min(m, valid[static_cast<std::size_t>(j)] - begin));
+    auto& stream = chunk.device->stream(0);
+    if (count > 0) {
+      stream.MemcpyHtoDAsync(chunk.primary, 0,
+                             in_stage[static_cast<std::size_t>(j)], begin,
+                             count);
+    }
+    if (count < m) {
+      T* pad_begin = chunk.primary.data() + count;
+      const std::int64_t pad = m - count;
+      const double fill_time = static_cast<double>(pad) * sizeof(T) *
+                               platform->scale() /
+                               chunk.device->spec().memory_bandwidth;
+      stream.LaunchAsync(
+          fill_time,
+          [pad_begin, pad] {
+            std::fill(pad_begin, pad_begin + pad,
+                      core::SortableLimits<T>::Max());
+          },
+          "pad-fill");
+    }
+    co_await stream.Synchronize();
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int q = 0; q < total_gpus; ++q) joins.push_back(sim::Spawn(upload(q)));
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  const double t_htod = platform->simulator().Now();
+  phase_metrics.StartPhase("sort", t_htod);
+
+  // ---- sort: per-GPU chunk sorts.
+  auto sort_chunk = [&](int q) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(q)];
+    auto& stream = chunk.device->stream(0);
+    gpusort::SortAsync(stream, chunk.primary, 0, m, chunk.aux,
+                       options.local.device_sort);
+    co_await stream.Synchronize();
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int q = 0; q < total_gpus; ++q) {
+      joins.push_back(sim::Spawn(sort_chunk(q)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  const double t_sort = platform->simulator().Now();
+  phase_metrics.StartPhase("local-merge", t_sort);
+
+  // ---- local-merge: each node's g chunks into one node-sorted run,
+  // reusing the single-node recursive P2P merge (nodes run concurrently;
+  // their NVLink traffic contends only inside each node).
+  MergeContext<T> merge_ctx{platform, &chunks, m, &stats,
+                            options.local.pivot_policy};
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int j = 0; j < num_nodes; ++j) {
+      joins.push_back(
+          sim::Spawn(core::p2p_internal::MergeChunks(merge_ctx, j * g,
+                                                     (j + 1) * g)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  const double t_local_merge = platform->simulator().Now();
+  phase_metrics.StartPhase("split", t_local_merge);
+
+  // ---- split: sample each node's sorted slice, pick global splitters at
+  // even quantiles, then binary-search per-node cut positions with
+  // balanced equal-range splitting (duplicates spread proportionally).
+  // Reads model RDMA gather/binary-search accesses, charged per node.
+  const auto node_read = [&](int j, std::int64_t pos) -> T {
+    return chunks[static_cast<std::size_t>(j * g + static_cast<int>(pos / m))]
+        .primary[pos % m];
+  };
+  std::vector<T> samples;
+  std::vector<std::int64_t> split_reads(static_cast<std::size_t>(num_nodes),
+                                        0);
+  for (int j = 0; j < num_nodes; ++j) {
+    const std::int64_t vj = valid[static_cast<std::size_t>(j)];
+    if (vj == 0) continue;
+    const std::int64_t sj = std::min<std::int64_t>(
+        vj, static_cast<std::int64_t>(options.samples_per_gpu) * g);
+    for (std::int64_t s = 0; s < sj; ++s) {
+      const std::int64_t pos = (2 * s + 1) * vj / (2 * sj);
+      samples.push_back(node_read(j, std::min(pos, vj - 1)));
+      split_reads[static_cast<std::size_t>(j)] += 1;
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<T> splitters;
+  for (int t = 1; t < total_gpus; ++t) {
+    const std::size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(t) * samples.size() /
+            static_cast<std::size_t>(total_gpus));
+    splitters.push_back(samples[idx]);
+  }
+
+  // cut[j][t] = first position of node j's slice belonging to destination
+  // >= t; cut[j][0] = 0, cut[j][total_gpus] = valid[j].
+  std::vector<std::vector<std::int64_t>> cut(
+      static_cast<std::size_t>(num_nodes),
+      std::vector<std::int64_t>(static_cast<std::size_t>(total_gpus) + 1, 0));
+  const auto bound = [&](int j, const T& key, bool upper) -> std::int64_t {
+    std::int64_t lo = 0, hi = valid[static_cast<std::size_t>(j)];
+    while (lo < hi) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      const T v = node_read(j, mid);
+      split_reads[static_cast<std::size_t>(j)] += 1;
+      if (upper ? !(key < v) : v < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  for (int j = 0; j < num_nodes; ++j) {
+    const std::int64_t vj = valid[static_cast<std::size_t>(j)];
+    auto& cj = cut[static_cast<std::size_t>(j)];
+    cj[static_cast<std::size_t>(total_gpus)] = vj;
+    for (int t = 1; t < total_gpus; ++t) {
+      const T& key = splitters[static_cast<std::size_t>(t - 1)];
+      const std::int64_t lo = bound(j, key, /*upper=*/false);
+      const std::int64_t hi = bound(j, key, /*upper=*/true);
+      // Balanced equal-range split: clamp the proportional position into
+      // the run of duplicates (any point inside keeps the global order).
+      const std::int64_t target =
+          static_cast<std::int64_t>(t) * vj / total_gpus;
+      cj[static_cast<std::size_t>(t)] = std::clamp(target, lo, hi);
+    }
+    // Cuts must be monotone even when clamping fought the duplicates.
+    for (int t = 1; t <= total_gpus; ++t) {
+      cj[static_cast<std::size_t>(t)] = std::max(
+          cj[static_cast<std::size_t>(t)], cj[static_cast<std::size_t>(t - 1)]);
+    }
+  }
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int j = 0; j < num_nodes; ++j) {
+      const double cost =
+          static_cast<double>(split_reads[static_cast<std::size_t>(j)]) *
+          core::kPivotRemoteReadLatency;
+      stats.pivot_seconds += cost;
+      joins.push_back(sim::Spawn([](vgpu::Platform* p,
+                                    double c) -> sim::Task<void> {
+        co_await sim::Delay{p->simulator(), c};
+      }(platform, cost)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+
+  // Destination run layout: dest GPU q receives run j (from node j) at
+  // run_off[q][j]; check the slack headroom before moving a byte.
+  std::vector<std::int64_t> recv_len(static_cast<std::size_t>(total_gpus), 0);
+  std::vector<std::vector<std::int64_t>> run_off(
+      static_cast<std::size_t>(total_gpus),
+      std::vector<std::int64_t>(static_cast<std::size_t>(num_nodes), 0));
+  for (int q = 0; q < total_gpus; ++q) {
+    std::int64_t off = 0;
+    for (int j = 0; j < num_nodes; ++j) {
+      run_off[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)] = off;
+      off += cut[static_cast<std::size_t>(j)][static_cast<std::size_t>(q + 1)] -
+             cut[static_cast<std::size_t>(j)][static_cast<std::size_t>(q)];
+    }
+    recv_len[static_cast<std::size_t>(q)] = off;
+    if (off > recv_cap) {
+      *out = Status::OutOfMemory(
+          "partition skew overflows the receive buffer of destination GPU " +
+          std::to_string(q) + " (" + std::to_string(off) + " > " +
+          std::to_string(recv_cap) +
+          " elements); raise DistSortOptions::skew_slack");
+      co_return;
+    }
+  }
+  const double t_split = platform->simulator().Now();
+  phase_metrics.StartPhase("shuffle", t_split);
+
+  // ---- shuffle: all-to-all fragment exchange, split at source-chunk
+  // boundaries. Cross-node pieces hold one egress slot on the source NIC
+  // and one ingress slot on the destination NIC for the whole transfer
+  // (including retries), bounding the in-flight window per HCA.
+  std::vector<Piece> pieces;
+  for (int j = 0; j < num_nodes; ++j) {
+    for (int q = 0; q < total_gpus; ++q) {
+      std::int64_t lo = cut[static_cast<std::size_t>(j)][
+          static_cast<std::size_t>(q)];
+      const std::int64_t hi = cut[static_cast<std::size_t>(j)][
+          static_cast<std::size_t>(q + 1)];
+      std::int64_t dst_off = run_off[static_cast<std::size_t>(q)][
+          static_cast<std::size_t>(j)];
+      while (lo < hi) {
+        const std::int64_t chunk_end = (lo / m + 1) * m;
+        const std::int64_t len = std::min(hi, chunk_end) - lo;
+        Piece piece;
+        piece.src_chunk = j * g + static_cast<int>(lo / m);
+        piece.dst_chunk = q;
+        piece.src_off = lo % m;
+        piece.dst_off = dst_off;
+        piece.len = len;
+        piece.src_node = j;
+        piece.dst_node = q / g;
+        pieces.push_back(piece);
+        lo += len;
+        dst_off += len;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<sim::Semaphore>> egress;
+  std::vector<std::unique_ptr<sim::Semaphore>> ingress;
+  for (int j = 0; j < num_nodes; ++j) {
+    egress.push_back(
+        std::make_unique<sim::Semaphore>(options.max_inflight_per_nic));
+    ingress.push_back(
+        std::make_unique<sim::Semaphore>(options.max_inflight_per_nic));
+  }
+  // Dedicated stream per piece (ids from 2; 0 and 1 belong to the sort and
+  // merge stages), assigned in deterministic spawn order.
+  std::vector<int> next_stream(static_cast<std::size_t>(
+                                   platform->num_devices()),
+                               2);
+  Status shuffle_error = Status::OK();
+
+  auto shuffle_piece = [&](Piece piece, int stream_id) -> sim::Task<void> {
+    auto& src = chunks[static_cast<std::size_t>(piece.src_chunk)];
+    auto& dst = chunks[static_cast<std::size_t>(piece.dst_chunk)];
+    auto& dst_recv = recv[static_cast<std::size_t>(piece.dst_chunk)];
+    const bool cross_node = piece.src_node != piece.dst_node;
+    if (!shuffle_error.ok()) co_return;  // fail fast, skip the window
+    if (cross_node) {
+      co_await egress[static_cast<std::size_t>(piece.src_node)]->Acquire();
+      co_await ingress[static_cast<std::size_t>(piece.dst_node)]->Acquire();
+    }
+    const double bytes =
+        static_cast<double>(piece.len) * sizeof(T) * platform->scale();
+    stats.shuffle_bytes += bytes;
+    if (cross_node) stats.cross_node_bytes += bytes;
+
+    Status last = Status::OK();
+    for (int attempt = 0;; ++attempt) {
+      if (!shuffle_error.ok()) break;
+      auto& stream = src.device->stream(stream_id);
+      if (src.device == dst.device) {
+        stream.MemcpyDtoDAsync(dst_recv, piece.dst_off, src.primary,
+                               piece.src_off, piece.len);
+      } else {
+        stream.MemcpyPeerAsync(dst_recv, piece.dst_off, src.primary,
+                               piece.src_off, piece.len);
+      }
+      co_await stream.Synchronize();
+      last = stream.status();
+      if (last.ok()) break;
+      // Fail-stop device loss is permanent; everything else (injected copy
+      // errors, a link down mid-flight) is worth retrying after backoff.
+      if (src.device->failed() || dst.device->failed()) break;
+      if (attempt >= options.max_transfer_retries) break;
+      stream.ResetStatus();
+      const double backoff =
+          options.retry_backoff_seconds *
+          static_cast<double>(std::int64_t{1} << std::min(attempt, 6));
+      co_await sim::Delay{platform->simulator(), backoff};
+    }
+    if (cross_node) {
+      ingress[static_cast<std::size_t>(piece.dst_node)]->Release();
+      egress[static_cast<std::size_t>(piece.src_node)]->Release();
+    }
+    if (!last.ok() && shuffle_error.ok()) shuffle_error = last;
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (const Piece& piece : pieces) {
+      const int dev =
+          chunks[static_cast<std::size_t>(piece.src_chunk)].device->id();
+      joins.push_back(sim::Spawn(
+          shuffle_piece(piece,
+                        next_stream[static_cast<std::size_t>(dev)]++)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (!shuffle_error.ok()) {
+    *out = shuffle_error;
+    co_return;
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  const double t_shuffle = platform->simulator().Now();
+  phase_metrics.StartPhase("merge", t_shuffle);
+
+  // ---- merge: per destination GPU, iterative pairwise merge of its
+  // received runs, ping-ponging between recv and recv_aux.
+  std::vector<vgpu::DeviceBuffer<T>*> final_buf(
+      static_cast<std::size_t>(total_gpus), nullptr);
+  std::vector<std::int64_t> final_off(static_cast<std::size_t>(total_gpus),
+                                      0);
+  auto merge_dest = [&](int q) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(q)];
+    std::vector<std::pair<std::int64_t, std::int64_t>> runs;  // (off, len)
+    for (int j = 0; j < num_nodes; ++j) {
+      const std::int64_t len =
+          cut[static_cast<std::size_t>(j)][static_cast<std::size_t>(q + 1)] -
+          cut[static_cast<std::size_t>(j)][static_cast<std::size_t>(q)];
+      if (len > 0) {
+        runs.emplace_back(run_off[static_cast<std::size_t>(q)][
+                              static_cast<std::size_t>(j)],
+                          len);
+      }
+    }
+    vgpu::DeviceBuffer<T>* cur = &recv[static_cast<std::size_t>(q)];
+    vgpu::DeviceBuffer<T>* other = &recv_aux[static_cast<std::size_t>(q)];
+    while (runs.size() > 1) {
+      std::vector<std::pair<std::int64_t, std::int64_t>> next;
+      std::int64_t out_off = 0;
+      std::size_t i = 0;
+      for (; i + 1 < runs.size(); i += 2) {
+        gpusort::MergeLocalAsync(chunk.device->stream(0), *other, out_off,
+                                 *cur, runs[i].first, runs[i].second,
+                                 runs[i + 1].first, runs[i + 1].second);
+        next.emplace_back(out_off, runs[i].second + runs[i + 1].second);
+        out_off += runs[i].second + runs[i + 1].second;
+      }
+      if (i < runs.size()) {  // odd run out: carry it over device-locally
+        chunk.device->stream(1).MemcpyDtoDAsync(*other, out_off, *cur,
+                                                runs[i].first,
+                                                runs[i].second);
+        next.emplace_back(out_off, runs[i].second);
+      }
+      co_await chunk.device->stream(0).Synchronize();
+      co_await chunk.device->stream(1).Synchronize();
+      std::swap(cur, other);
+      runs = std::move(next);
+    }
+    final_buf[static_cast<std::size_t>(q)] = cur;
+    final_off[static_cast<std::size_t>(q)] =
+        runs.empty() ? 0 : runs.front().first;
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int q = 0; q < total_gpus; ++q) {
+      joins.push_back(sim::Spawn(merge_dest(q)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  const double t_merge = platform->simulator().Now();
+  phase_metrics.StartPhase("dtoh", t_merge);
+
+  // ---- dtoh: download to node-local host staging, then assemble the
+  // global array functionally (destination ranges are contiguous in q).
+  std::vector<std::int64_t> out_begin(static_cast<std::size_t>(total_gpus) +
+                                      1,
+                                      0);
+  for (int q = 0; q < total_gpus; ++q) {
+    out_begin[static_cast<std::size_t>(q) + 1] =
+        out_begin[static_cast<std::size_t>(q)] +
+        recv_len[static_cast<std::size_t>(q)];
+  }
+  std::vector<vgpu::HostBuffer<T>> out_stage;
+  out_stage.reserve(static_cast<std::size_t>(num_nodes));
+  for (int j = 0; j < num_nodes; ++j) {
+    const std::int64_t len = out_begin[static_cast<std::size_t>((j + 1) * g)] -
+                             out_begin[static_cast<std::size_t>(j * g)];
+    out_stage.emplace_back(len,
+                           cluster.FirstSocket(node_set[
+                               static_cast<std::size_t>(j)]),
+                           /*pinned=*/true);
+  }
+  auto download = [&](int q) -> sim::Task<void> {
+    auto& chunk = chunks[static_cast<std::size_t>(q)];
+    const std::int64_t len = recv_len[static_cast<std::size_t>(q)];
+    if (len == 0) co_return;
+    const int j = q / g;
+    const std::int64_t local_off = out_begin[static_cast<std::size_t>(q)] -
+                                   out_begin[static_cast<std::size_t>(j * g)];
+    auto& stream = chunk.device->stream(0);
+    stream.MemcpyDtoHAsync(out_stage[static_cast<std::size_t>(j)], local_off,
+                           *final_buf[static_cast<std::size_t>(q)],
+                           final_off[static_cast<std::size_t>(q)], len);
+    co_await stream.Synchronize();
+  };
+  {
+    std::vector<sim::JoinerPtr> joins;
+    for (int q = 0; q < total_gpus; ++q) {
+      joins.push_back(sim::Spawn(download(q)));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  }
+  if (Status st = ChunksHealth(chunks); !st.ok()) {
+    *out = st;
+    co_return;
+  }
+  for (int j = 0; j < num_nodes; ++j) {
+    const auto& stage = out_stage[static_cast<std::size_t>(j)];
+    std::copy(stage.data(), stage.data() + stage.size(),
+              data->data() + out_begin[static_cast<std::size_t>(j * g)]);
+  }
+
+  phase_metrics.Finish(platform->simulator().Now());
+  stats.total_seconds = platform->simulator().Now() - t0;
+  stats.phases.htod = t_htod - t0;
+  stats.phases.sort = t_local_merge - t_htod;  // chunk sorts + local merge
+  stats.phases.merge = t_merge - t_local_merge;  // split + shuffle + merge
+  stats.phases.dtoh = t0 + stats.total_seconds - t_merge;
+  *out = std::move(stats);
+}
+
+/// Blocking wrapper: drives the platform's simulator to completion.
+template <typename T>
+Result<core::SortStats> DistributedSort(vgpu::Platform* platform,
+                                        const ClusterInfo& cluster,
+                                        vgpu::HostBuffer<T>* data,
+                                        const DistSortOptions& options) {
+  Result<core::SortStats> out =
+      Status::Internal("distributed sort task never ran");
+  MGS_RETURN_IF_ERROR(
+      platform->Run(DistributedSortTask(platform, cluster, data, options,
+                                        &out))
+          .status());
+  return out;
+}
+
+}  // namespace mgs::net
+
+#endif  // MGS_NET_DISTRIBUTED_SORT_H_

@@ -23,7 +23,8 @@ std::string LabelValue(const Labels& labels, const std::string& key) {
 /// after, alphabetically.
 int PhaseRank(const std::string& phase) {
   static const char* kOrder[] = {"htod",  "partition", "sort",
-                                 "exchange", "merge",  "dtoh"};
+                                 "local-merge", "split", "exchange",
+                                 "shuffle", "merge",  "dtoh"};
   for (std::size_t i = 0; i < std::size(kOrder); ++i) {
     if (phase == kOrder[i]) return static_cast<int>(i);
   }

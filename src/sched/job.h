@@ -61,6 +61,11 @@ struct JobSpec {
   std::uint64_t seed = 42;
   /// GPUs requested; must be a power of two (P2P merge tree).
   int gpus = 1;
+  /// > 1: a distributed job spanning this many whole cluster nodes (the
+  /// server must be configured with ServerOptions::cluster). `gpus` is then
+  /// derived as nodes x gpus-per-node, not requested, and the job runs the
+  /// net::DistributedSortTask instead of the single-node P2P sorter.
+  int nodes = 1;
   /// Larger runs first under QueuePolicy::kPriority.
   int priority = 0;
   /// Non-empty: exact GPU set (ordered), bypassing the placer. The job
@@ -83,6 +88,7 @@ struct JobRecord {
   double start = 0;    // dispatch (placement) time
   double finish = 0;   // completion time
   std::vector<int> gpu_set;  // placement (ordered for the P2P merge)
+  std::vector<int> node_set; // cluster nodes (distributed jobs only)
   core::SortStats sort;      // phase breakdown (valid when state == kDone)
   std::string error;         // rejection / (last) failure reason
   StatusCode error_code = StatusCode::kOk;  // code behind `error`

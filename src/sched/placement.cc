@@ -28,7 +28,7 @@ Result<std::optional<std::vector<int>>> Placer::Place(
                            std::to_string(platform_->num_devices()) +
                            "-GPU platform");
   }
-  const std::vector<int> candidates =
+  std::vector<int> candidates =
       CandidateGpus(request.per_gpu_bytes, running_per_gpu);
 
   if (!request.pinned.empty()) {
@@ -41,19 +41,110 @@ Result<std::optional<std::vector<int>>> Placer::Place(
     return std::optional<std::vector<int>>(request.pinned);
   }
 
+  int host_numa = 0;   // memory node the job's HtoD flows stage from
+  int confined = -1;   // cluster node the job is confined to
+  if (cluster_ != nullptr && cluster_->nodes() > 1) {
+    // On a cluster, a single-node job never straddles the fabric: its P2P
+    // merge tree would ride NICs and (possibly oversubscribed) spine
+    // uplinks and die with every fabric fault. Confine the candidates to
+    // the least-loaded node that can host the whole job; multi-node work
+    // goes through PlaceNodes instead.
+    if (request.gpus > cluster_->gpus_per_node()) {
+      return Status::Invalid(
+          "job wants " + std::to_string(request.gpus) + " GPUs but a node "
+          "has " + std::to_string(cluster_->gpus_per_node()) +
+          "; span nodes with JobSpec::nodes instead");
+    }
+    std::vector<bool> usable(
+        static_cast<std::size_t>(platform_->num_devices()), false);
+    for (int g : candidates) usable[static_cast<std::size_t>(g)] = true;
+    std::vector<int> best;
+    for (int node = 0; node < cluster_->nodes(); ++node) {
+      std::vector<int> in_node;
+      for (int g : cluster_->NodeGpus(node)) {
+        if (usable[static_cast<std::size_t>(g)]) in_node.push_back(g);
+      }
+      if (static_cast<int>(in_node.size()) >= request.gpus &&
+          in_node.size() > best.size()) {
+        best = std::move(in_node);  // most free GPUs = least interference
+        confined = node;
+      }
+    }
+    candidates = std::move(best);
+    // Score from the node's own socket: staging from MEM0 would route the
+    // scoring paths across the fabric, and a downed fabric link would make
+    // an intra-node placement look unroutable.
+    if (confined >= 0) host_numa = cluster_->FirstSocket(confined);
+  }
   if (static_cast<int>(candidates.size()) < request.gpus) {
     return std::optional<std::vector<int>>();
   }
   std::vector<int> busy;
   for (int g = 0; g < platform_->num_devices(); ++g) {
-    if (running_per_gpu[static_cast<std::size_t>(g)] > 0) busy.push_back(g);
+    if (running_per_gpu[static_cast<std::size_t>(g)] == 0) continue;
+    // Confined placements only contend with their own node's tenants; a
+    // busy GPU elsewhere shares no intra-node link (and its scoring path
+    // could cross downed fabric links).
+    if (confined >= 0 && cluster_->NodeOfGpu(g) != confined) continue;
+    busy.push_back(g);
   }
   MGS_ASSIGN_OR_RETURN(
       auto set, core::ChooseGpuSetConstrained(platform_->topology(),
                                               request.gpus,
                                               /*for_p2p_merge=*/true,
-                                              candidates, busy));
+                                              candidates, busy, host_numa));
   return std::optional<std::vector<int>>(std::move(set));
+}
+
+Result<std::optional<std::vector<int>>> Placer::PlaceNodes(
+    const net::ClusterInfo& cluster, int nodes, double per_gpu_bytes,
+    const std::vector<int>& running_per_gpu) const {
+  if (nodes < 1 || nodes > cluster.nodes()) {
+    return Status::Invalid("placement for " + std::to_string(nodes) +
+                           " nodes on a " + std::to_string(cluster.nodes()) +
+                           "-node cluster");
+  }
+  std::vector<bool> usable(
+      static_cast<std::size_t>(platform_->num_devices()), false);
+  for (int g : CandidateGpus(per_gpu_bytes, running_per_gpu)) {
+    usable[static_cast<std::size_t>(g)] = true;
+  }
+  // A node is available only when every one of its GPUs can host the job:
+  // distributed sorts occupy whole nodes.
+  std::vector<std::vector<int>> by_rack(
+      static_cast<std::size_t>(cluster.racks()));
+  int available = 0;
+  for (int node = 0; node < cluster.nodes(); ++node) {
+    bool all_usable = true;
+    for (int g : cluster.NodeGpus(node)) {
+      all_usable = all_usable && usable[static_cast<std::size_t>(g)];
+    }
+    if (!all_usable) continue;
+    by_rack[static_cast<std::size_t>(cluster.RackOfNode(node))].push_back(
+        node);
+    ++available;
+  }
+  if (available < nodes) return std::optional<std::vector<int>>();
+
+  // Fewest racks first: fill from the rack with the most available nodes
+  // (ties: lowest rack id), nodes in ascending id within each rack.
+  std::vector<int> rack_order(by_rack.size());
+  for (std::size_t r = 0; r < by_rack.size(); ++r) {
+    rack_order[r] = static_cast<int>(r);
+  }
+  std::stable_sort(rack_order.begin(), rack_order.end(), [&](int a, int b) {
+    return by_rack[static_cast<std::size_t>(a)].size() >
+           by_rack[static_cast<std::size_t>(b)].size();
+  });
+  std::vector<int> chosen;
+  for (int r : rack_order) {
+    for (int node : by_rack[static_cast<std::size_t>(r)]) {
+      if (static_cast<int>(chosen.size()) == nodes) break;
+      chosen.push_back(node);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return std::optional<std::vector<int>>(std::move(chosen));
 }
 
 }  // namespace mgs::sched

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/cluster.h"
 #include "util/status.h"
 #include "vgpu/platform.h"
 
@@ -30,8 +31,15 @@ struct PlacementRequest {
 
 class Placer {
  public:
-  Placer(vgpu::Platform* platform, bool allow_gpu_sharing)
-      : platform_(platform), allow_gpu_sharing_(allow_gpu_sharing) {}
+  /// `cluster` non-null: the platform is a multi-node cluster and
+  /// single-node placements are confined to one node (P2P across the
+  /// fabric is the distributed sorter's job, not a side effect of GPU
+  /// scoring).
+  Placer(vgpu::Platform* platform, bool allow_gpu_sharing,
+         const net::ClusterInfo* cluster = nullptr)
+      : platform_(platform),
+        allow_gpu_sharing_(allow_gpu_sharing),
+        cluster_(cluster) {}
 
   /// GPUs that can host `per_gpu_bytes` more logical bytes right now.
   /// `running_per_gpu[g]` is the number of jobs currently running on GPU g
@@ -45,9 +53,21 @@ class Placer {
       const PlacementRequest& request,
       const std::vector<int>& running_per_gpu) const;
 
+  /// Multi-node placement for distributed jobs: chooses `nodes` whole
+  /// cluster nodes, each of whose GPUs is healthy, unoccupied (unless
+  /// sharing is on) and can host `per_gpu_bytes`. Rack-aware: the selection
+  /// is packed into as few racks as possible so the cross-node shuffle
+  /// stays off the (possibly oversubscribed) spine uplinks; ties go to the
+  /// lowest rack / node ids, so placement is deterministic. Returns the
+  /// ascending node set, or nullopt when the job cannot run right now.
+  Result<std::optional<std::vector<int>>> PlaceNodes(
+      const net::ClusterInfo& cluster, int nodes, double per_gpu_bytes,
+      const std::vector<int>& running_per_gpu) const;
+
  private:
   vgpu::Platform* platform_;
   bool allow_gpu_sharing_;
+  const net::ClusterInfo* cluster_;
 };
 
 }  // namespace mgs::sched

@@ -6,6 +6,7 @@
 
 #include "core/het_sort.h"
 #include "core/p2p_sort.h"
+#include "net/distributed_sort.h"
 #include "obs/phase.h"
 #include "obs/resilience.h"
 #include "obs/trace_bridge.h"
@@ -31,7 +32,7 @@ SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
     : platform_(platform),
       options_(std::move(options)),
       admission_(platform, options_.admission),
-      placer_(platform, options_.allow_gpu_sharing),
+      placer_(platform, options_.allow_gpu_sharing, options_.cluster),
       queue_(options_.policy),
       running_per_gpu_(static_cast<std::size_t>(platform->num_devices()), 0),
       jitter_rng_(options_.recovery.jitter_seed) {
@@ -57,11 +58,29 @@ double SortServer::Now() const { return platform_->simulator().Now(); }
 double SortServer::PerGpuBytes(const JobSpec& spec) const {
   const double scale = platform_->scale();
   const double actual = std::max(1.0, std::ceil(spec.logical_keys / scale));
+  const double elem_bytes = static_cast<double>(DataTypeSize(spec.type)) * scale;
+  if (spec.nodes > 1 && options_.cluster != nullptr) {
+    // Mirrors net::DistributedSortTask's eager allocation: sort chunk
+    // (primary + aux of m = ceil(ceil(n/N)/g) elements) plus the receive
+    // ping-pong pair (2 x recv_cap, sized by skew_slack over the balanced
+    // share).
+    const double g = options_.cluster->gpus_per_node();
+    const double m = std::ceil(std::ceil(actual / spec.nodes) / g);
+    const double avg = std::ceil(actual / (spec.nodes * g));
+    const double recv_cap = std::max(
+        16.0, std::floor(net::DistSortOptions{}.skew_slack * avg) + 16.0);
+    return (2.0 * m + 2.0 * recv_cap) * elem_bytes;
+  }
   const double chunk = std::ceil(actual / spec.gpus);
-  return 2.0 * chunk * static_cast<double>(DataTypeSize(spec.type)) * scale;
+  return 2.0 * chunk * elem_bytes;
 }
 
 std::int64_t SortServer::AddSlot(JobSpec spec) {
+  if (spec.nodes > 1 && options_.cluster != nullptr) {
+    // A distributed job spans whole nodes; its GPU count is derived, so
+    // admission, sizing and the health monitor see the real footprint.
+    spec.gpus = spec.nodes * options_.cluster->gpus_per_node();
+  }
   const std::int64_t id = static_cast<std::int64_t>(slots_.size());
   auto slot = std::make_unique<JobSlot>();
   slot->record.id = id;
@@ -140,8 +159,24 @@ void SortServer::OnArrival(std::int64_t id) {
   JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
   JobRecord& rec = slot.record;
   rec.arrival = Now();
-  const Status admit = admission_.Admit(rec.spec, PerGpuBytes(rec.spec),
-                                        static_cast<int>(queue_.size()));
+  Status admit = Status::OK();
+  if (rec.spec.nodes > 1) {
+    if (options_.cluster == nullptr) {
+      admit = Status::Invalid("multi-node job on a server without a cluster");
+    } else if (rec.spec.nodes > options_.cluster->nodes()) {
+      admit = Status::Invalid(
+          "job spans " + std::to_string(rec.spec.nodes) + " nodes on a " +
+          std::to_string(options_.cluster->nodes()) + "-node cluster");
+    } else if (!rec.spec.pinned_gpus.empty()) {
+      admit = Status::Invalid(
+          "pinned_gpus is unsupported for multi-node jobs (they occupy "
+          "whole nodes)");
+    }
+  }
+  if (admit.ok()) {
+    admit = admission_.Admit(rec.spec, PerGpuBytes(rec.spec),
+                             static_cast<int>(queue_.size()));
+  }
   if (!admit.ok()) {
     rec.state = JobState::kRejected;
     rec.error = admit.ToString();
@@ -177,7 +212,11 @@ void SortServer::TryDispatch() {
       request.gpus = rec.spec.gpus;
       request.per_gpu_bytes = PerGpuBytes(rec.spec);
       request.pinned = rec.spec.pinned_gpus;
-      auto placed = placer_.Place(request, running_per_gpu_);
+      std::vector<int> node_set;
+      auto placed =
+          rec.spec.nodes > 1
+              ? PlaceDistributed(rec, request.per_gpu_bytes, &node_set)
+              : placer_.Place(request, running_per_gpu_);
       if (!placed.ok()) {
         // Malformed beyond what admission caught; fail rather than wedge
         // the queue.
@@ -195,6 +234,7 @@ void SortServer::TryDispatch() {
       }
       queue_.Remove(id);
       rec.gpu_set = **placed;
+      rec.node_set = std::move(node_set);
       // Claim the memory now so co-scheduled placements at this instant
       // can't oversubscribe; RunJob hands the claim to the sort task.
       for (int g : rec.gpu_set) {
@@ -206,6 +246,21 @@ void SortServer::TryDispatch() {
       break;
     }
   }
+}
+
+Result<std::optional<std::vector<int>>> SortServer::PlaceDistributed(
+    const JobRecord& rec, double per_gpu_bytes,
+    std::vector<int>* node_set) const {
+  MGS_ASSIGN_OR_RETURN(
+      auto nodes, placer_.PlaceNodes(*options_.cluster, rec.spec.nodes,
+                                     per_gpu_bytes, running_per_gpu_));
+  if (!nodes.has_value()) return std::optional<std::vector<int>>();
+  *node_set = std::move(*nodes);
+  std::vector<int> gpus;
+  for (int node : *node_set) {
+    for (int g : options_.cluster->NodeGpus(node)) gpus.push_back(g);
+  }
+  return std::optional<std::vector<int>>(std::move(gpus));
 }
 
 void SortServer::MaybeFinish() {
@@ -367,10 +422,27 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
   const double scale = platform_->scale();
   const std::int64_t actual = static_cast<std::int64_t>(
       std::max(1.0, std::ceil(rec.spec.logical_keys / scale)));
-  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
+  // On a cluster, stage the job's data on its own node's socket — numa 0 is
+  // node 0's memory, and HtoD from there would drag every other node's jobs
+  // across the fabric (and into every fabric fault).
+  const int numa =
+      options_.cluster != nullptr && !rec.gpu_set.empty()
+          ? options_.cluster->FirstSocket(
+                options_.cluster->NodeOfGpu(rec.gpu_set.front()))
+          : 0;
+  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen), numa,
+                           /*pinned=*/true);
 
   Result<core::SortStats> out = Status::Internal("sort task never ran");
-  if (ShouldFallBackToHet(rec)) {
+  if (rec.spec.nodes > 1) {
+    // Distributed job: node-local sorts plus the cross-node shuffle/merge.
+    // No HET fallback here — a sick intra-node mesh surfaces as a retryable
+    // transfer failure instead.
+    net::DistSortOptions dist;
+    dist.node_set = rec.node_set;
+    co_await net::DistributedSortTask<T>(platform_, *options_.cluster, &data,
+                                         dist, &out);
+  } else if (ShouldFallBackToHet(rec)) {
     // Graceful degradation: the mesh between these GPUs is sick, so stage
     // through host memory (HET) instead of streaming peer-to-peer.
     rec.het_fallback = true;

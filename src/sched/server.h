@@ -24,13 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "net/cluster.h"
 #include "sched/admission.h"
 #include "sched/job.h"
-#include "sched/metrics.h"
 #include "sched/placement.h"
 #include "sched/queue.h"
 #include "sched/workload.h"
 #include "sim/task.h"
+#include "util/stats.h"
 #include "vgpu/platform.h"
 
 namespace mgs::sched {
@@ -92,6 +93,12 @@ struct ServerOptions {
   double slo_seconds = 0;
   /// > 0: sample per-link utilization counters into the trace this often.
   double utilization_sample_seconds = 0;
+  /// Non-null: the platform is a multi-node cluster (net::BuildCluster) and
+  /// the server accepts distributed jobs (JobSpec::nodes > 1), placing them
+  /// on whole nodes rack-aware and running net::DistributedSortTask. Must
+  /// describe the same topology the platform was built from and outlive the
+  /// server. Single-node jobs are unaffected.
+  const net::ClusterInfo* cluster = nullptr;
 };
 
 /// One interconnect link's mean utilization over the service run.
@@ -173,6 +180,11 @@ class SortServer {
 
   std::int64_t AddSlot(JobSpec spec);
   void OnArrival(std::int64_t id);
+  /// Whole-node placement for a distributed job: fills `node_set` and
+  /// returns the flattened GPU set (or nullopt when it cannot run yet).
+  Result<std::optional<std::vector<int>>> PlaceDistributed(
+      const JobRecord& rec, double per_gpu_bytes,
+      std::vector<int>* node_set) const;
   void FinishTerminal(JobSlot& slot);  // fire + bookkeeping for any terminal state
   void TryDispatch();
   void MaybeFinish();

@@ -1,0 +1,54 @@
+// A counting semaphore for simulated resources with a bounded admission
+// window (e.g. the per-NIC in-flight transfer budget of the distributed
+// shuffle). Modeled on vgpu::SimMutex: coroutine awaiters queue FIFO, so
+// acquisition order — and therefore the whole simulation — stays
+// deterministic.
+
+#ifndef MGS_SIM_SEMAPHORE_H_
+#define MGS_SIM_SEMAPHORE_H_
+
+#include <coroutine>
+#include <deque>
+
+namespace mgs::sim {
+
+class Semaphore {
+ public:
+  explicit Semaphore(int limit) : available_(limit) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  int available() const { return available_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// Awaitable acquisition of one slot; FIFO among waiters.
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* semaphore;
+      bool await_ready() const noexcept { return semaphore->available_ > 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        semaphore->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept { --semaphore->available_; }
+    };
+    return Awaiter{this};
+  }
+
+  /// Returns one slot; resumes the next waiter (which re-claims it).
+  void Release() {
+    ++available_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      h.resume();  // its await_resume decrements available_ again
+    }
+  }
+
+ private:
+  int available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace mgs::sim
+
+#endif  // MGS_SIM_SEMAPHORE_H_

@@ -30,10 +30,12 @@ GpuSpec A100Spec() {
 
 void Must(const Status& st) { CheckOk(st); }
 
-}  // namespace
-
-std::unique_ptr<Topology> MakeAc922() {
-  auto topo = std::make_unique<Topology>("IBM Power System AC922");
+SystemNodeHandles AppendAc922Node(Topology* topo) {
+  SystemNodeHandles handles;
+  handles.first_socket = topo->num_sockets();
+  handles.first_gpu = topo->num_gpus();
+  handles.num_sockets = 2;
+  handles.num_gpus = 4;
 
   CpuSpec cpu;
   cpu.model = "2x IBM POWER9 (16 x 2.7 GHz)";
@@ -54,7 +56,8 @@ std::unique_ptr<Topology> MakeAc922() {
                               cal::kAc922MemWriteCap, cal::kAc922MemDuplex,
                               cal::kAc922MemWriteWeight));
 
-  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? 0 : 1);
+  const int g0 = handles.first_gpu;
+  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? cpu0 : cpu1);
 
   auto nvlink3x = [](std::string name) {
     LinkSpec spec;
@@ -67,13 +70,18 @@ std::unique_ptr<Topology> MakeAc922() {
   };
 
   // CPU-GPU: 3x NVLink 2.0 per GPU, to the local socket.
-  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(0), nvlink3x("nvl")));
-  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(1), nvlink3x("nvl")));
-  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(2), nvlink3x("nvl")));
-  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(3), nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(g0), nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(g0 + 1),
+                     nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(g0 + 2),
+                     nvlink3x("nvl")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(g0 + 3),
+                     nvlink3x("nvl")));
   // P2P: 3x NVLink 2.0 within each socket-local pair.
-  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(1), nvlink3x("nvl-p2p")));
-  Must(topo->Connect(topo->GpuNode(2), topo->GpuNode(3), nvlink3x("nvl-p2p")));
+  Must(topo->Connect(topo->GpuNode(g0), topo->GpuNode(g0 + 1),
+                     nvlink3x("nvl-p2p")));
+  Must(topo->Connect(topo->GpuNode(g0 + 2), topo->GpuNode(g0 + 3),
+                     nvlink3x("nvl-p2p")));
 
   LinkSpec xbus;
   xbus.name = "xbus";
@@ -85,11 +93,16 @@ std::unique_ptr<Topology> MakeAc922() {
   xbus.latency = cal::kCpuLinkLatency;
   Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), xbus));
 
-  return topo;
+  handles.host_attach = topo->CpuNode(cpu0);
+  return handles;
 }
 
-std::unique_ptr<Topology> MakeDeltaD22x() {
-  auto topo = std::make_unique<Topology>("DELTA System D22x M4 PS");
+SystemNodeHandles AppendDeltaD22xNode(Topology* topo) {
+  SystemNodeHandles handles;
+  handles.first_socket = topo->num_sockets();
+  handles.first_gpu = topo->num_gpus();
+  handles.num_sockets = 2;
+  handles.num_gpus = 4;
 
   CpuSpec cpu;
   cpu.model = "2x Intel Xeon Gold 6148 (20 x 2.4 GHz)";
@@ -110,7 +123,8 @@ std::unique_ptr<Topology> MakeDeltaD22x() {
                               cal::kDeltaMemWriteCap, cal::kDeltaMemDuplex,
                               cal::kDeltaMemWriteWeight));
 
-  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? 0 : 1);
+  const int g0 = handles.first_gpu;
+  for (int g = 0; g < 4; ++g) topo->AddGpu(V100Spec(), g < 2 ? cpu0 : cpu1);
 
   // CPU-GPU: PCIe 3.0 x16 with an exclusive switch per GPU; modeled as a
   // single calibrated link (the switch adds no sharing).
@@ -126,10 +140,13 @@ std::unique_ptr<Topology> MakeDeltaD22x() {
     spec.latency = cal::kPcieLatency;
     return spec;
   };
-  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(0), pcie3("pcie")));
-  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(1), pcie3("pcie")));
-  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(2), pcie3("pcie")));
-  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(3), pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(g0), pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu0), topo->GpuNode(g0 + 1),
+                     pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(g0 + 2),
+                     pcie3("pcie")));
+  Must(topo->Connect(topo->CpuNode(cpu1), topo->GpuNode(g0 + 3),
+                     pcie3("pcie")));
 
   // P2P NVLink 2.0 partial mesh (Table 1b): double links 0-1, 0-2, 2-3 and
   // a single link 1-3. Pairs (0,3) and (1,2) traverse the host via PCIe.
@@ -149,10 +166,13 @@ std::unique_ptr<Topology> MakeDeltaD22x() {
   nvlink1x.duplex_cap = cal::kDeltaNvlink1Duplex;
   nvlink1x.latency = cal::kNvlinkLatency;
 
-  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(1), nvlink2x("nvl-x2")));
-  Must(topo->Connect(topo->GpuNode(0), topo->GpuNode(2), nvlink2x("nvl-x2")));
-  Must(topo->Connect(topo->GpuNode(2), topo->GpuNode(3), nvlink2x("nvl-x2")));
-  Must(topo->Connect(topo->GpuNode(1), topo->GpuNode(3), nvlink1x));
+  Must(topo->Connect(topo->GpuNode(g0), topo->GpuNode(g0 + 1),
+                     nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(g0), topo->GpuNode(g0 + 2),
+                     nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(g0 + 2), topo->GpuNode(g0 + 3),
+                     nvlink2x("nvl-x2")));
+  Must(topo->Connect(topo->GpuNode(g0 + 1), topo->GpuNode(g0 + 3), nvlink1x));
 
   LinkSpec upi;
   upi.name = "upi";
@@ -162,11 +182,16 @@ std::unique_ptr<Topology> MakeDeltaD22x() {
   upi.latency = cal::kCpuLinkLatency;
   Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), upi));
 
-  return topo;
+  handles.host_attach = topo->CpuNode(cpu0);
+  return handles;
 }
 
-std::unique_ptr<Topology> MakeDgxA100() {
-  auto topo = std::make_unique<Topology>("NVIDIA DGX A100");
+SystemNodeHandles AppendDgxA100Node(Topology* topo) {
+  SystemNodeHandles handles;
+  handles.first_socket = topo->num_sockets();
+  handles.first_gpu = topo->num_gpus();
+  handles.num_sockets = 2;
+  handles.num_gpus = 8;
 
   CpuSpec cpu;
   cpu.model = "2x AMD EPYC 7742 (64 x 2.25 GHz)";
@@ -185,11 +210,13 @@ std::unique_ptr<Topology> MakeDgxA100() {
   Must(topo->AttachHostMemory(cpu1, cal::kDgxMemReadCap, cal::kDgxMemWriteCap,
                               cal::kDgxMemDuplex, cal::kDgxMemWriteWeight));
 
-  for (int g = 0; g < 8; ++g) topo->AddGpu(A100Spec(), g < 4 ? 0 : 1);
+  const int g0 = handles.first_gpu;
+  for (int g = 0; g < 8; ++g) topo->AddGpu(A100Spec(), g < 4 ? cpu0 : cpu1);
 
   // PCIe 4.0: one switch per GPU pair; both the GPU-switch and switch-CPU
   // hops are 25 GB/s effective with a 39 GB/s duplex budget, so the uplink
-  // is shared by the pair (Fig. 4 pair plateau).
+  // is shared by the pair (Fig. 4 pair plateau). Switch names continue the
+  // global pair numbering so appended nodes stay unambiguous.
   auto pcie4 = [](std::string name) {
     LinkSpec spec;
     spec.name = std::move(name);
@@ -201,17 +228,21 @@ std::unique_ptr<Topology> MakeDgxA100() {
     return spec;
   };
   for (int pair = 0; pair < 4; ++pair) {
-    const NodeId sw = topo->AddSwitch("plx" + std::to_string(pair));
+    const NodeId sw =
+        topo->AddSwitch("plx" + std::to_string(g0 / 2 + pair));
     const int socket = pair < 2 ? cpu0 : cpu1;
     Must(topo->Connect(topo->CpuNode(socket), sw, pcie4("pcie-up")));
-    Must(topo->Connect(sw, topo->GpuNode(2 * pair), pcie4("pcie-dn")));
-    Must(topo->Connect(sw, topo->GpuNode(2 * pair + 1), pcie4("pcie-dn")));
+    Must(topo->Connect(sw, topo->GpuNode(g0 + 2 * pair), pcie4("pcie-dn")));
+    Must(topo->Connect(sw, topo->GpuNode(g0 + 2 * pair + 1),
+                       pcie4("pcie-dn")));
   }
 
   // NVSwitch: every GPU has a 12x NVLink 3.0 port into a non-blocking
   // fabric; the fabric itself imposes no shared cap (Fig. 7 scales to
-  // 2116 GB/s on eight GPUs).
-  const NodeId nvswitch = topo->AddSwitch("nvswitch");
+  // 2116 GB/s on eight GPUs). The first node keeps the historical
+  // "nvswitch" name; appended nodes get an ordinal suffix.
+  const NodeId nvswitch = topo->AddSwitch(
+      g0 == 0 ? "nvswitch" : "nvswitch" + std::to_string(g0 / 8));
   for (int g = 0; g < 8; ++g) {
     LinkSpec spec;
     spec.name = "nvl12";
@@ -219,7 +250,7 @@ std::unique_ptr<Topology> MakeDgxA100() {
     spec.cap_ab = cal::kDgxNvlink3Cap;
     spec.duplex_cap = cal::kDgxNvlink3Duplex;
     spec.latency = cal::kNvswitchPortLatency;
-    Must(topo->Connect(topo->GpuNode(g), nvswitch, spec));
+    Must(topo->Connect(topo->GpuNode(g0 + g), nvswitch, spec));
   }
 
   LinkSpec fabric;
@@ -230,6 +261,28 @@ std::unique_ptr<Topology> MakeDgxA100() {
   fabric.latency = cal::kCpuLinkLatency;
   Must(topo->Connect(topo->CpuNode(cpu0), topo->CpuNode(cpu1), fabric));
 
+  handles.host_attach = topo->CpuNode(cpu0);
+  handles.fabric_attach = nvswitch;
+  return handles;
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> MakeAc922() {
+  auto topo = std::make_unique<Topology>("IBM Power System AC922");
+  AppendAc922Node(topo.get());
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDeltaD22x() {
+  auto topo = std::make_unique<Topology>("DELTA System D22x M4 PS");
+  AppendDeltaD22xNode(topo.get());
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDgxA100() {
+  auto topo = std::make_unique<Topology>("NVIDIA DGX A100");
+  AppendDgxA100Node(topo.get());
   return topo;
 }
 
@@ -241,6 +294,19 @@ Result<std::unique_ptr<Topology>> MakeSystem(const std::string& name) {
   if (name == "ac922") return MakeAc922();
   if (name == "delta-d22x") return MakeDeltaD22x();
   if (name == "dgx-a100") return MakeDgxA100();
+  return Status::NotFound("unknown system: " + name +
+                          " (expected ac922 | delta-d22x | dgx-a100)");
+}
+
+Result<SystemNodeHandles> AppendSystemNode(Topology* topo,
+                                           const std::string& name) {
+  if (topo->compiled()) {
+    return Status::FailedPrecondition(
+        "AppendSystemNode: topology already compiled");
+  }
+  if (name == "ac922") return AppendAc922Node(topo);
+  if (name == "delta-d22x") return AppendDeltaD22xNode(topo);
+  if (name == "dgx-a100") return AppendDgxA100Node(topo);
   return Status::NotFound("unknown system: " + name +
                           " (expected ac922 | delta-d22x | dgx-a100)");
 }

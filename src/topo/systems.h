@@ -32,6 +32,31 @@ std::vector<std::string> SystemNames();
 /// Builds a preset by name ("ac922", "delta-d22x", "dgx-a100").
 Result<std::unique_ptr<Topology>> MakeSystem(const std::string& name);
 
+/// Where one appended node's resources live in a shared topology, and where
+/// a cluster NIC plugs in (src/net builds N-node clusters by appending the
+/// same preset N times and wiring NICs to these attach points).
+struct SystemNodeHandles {
+  int first_socket = 0;
+  int num_sockets = 0;
+  int first_gpu = 0;
+  int num_gpus = 0;
+  /// Host-side NIC attach point: the node's first CPU socket node.
+  NodeId host_attach = kInvalidNode;
+  /// Switch-side attach point (the DGX NVSwitch) for GPUDirect-RDMA-style
+  /// paths that bypass the host CPU; kInvalidNode when the preset has no
+  /// such fabric.
+  NodeId fabric_attach = kInvalidNode;
+};
+
+/// Appends one instance of the named preset ("ac922" | "delta-d22x" |
+/// "dgx-a100") to an existing topology. Sockets, memories, and GPUs number
+/// globally in append order; internal switch names are suffixed so repeated
+/// appends stay unambiguous. The topology's CpuSpec is overwritten with the
+/// preset's (homogeneous clusters only). The first append into an empty
+/// topology produces exactly the single-node preset graph.
+Result<SystemNodeHandles> AppendSystemNode(Topology* topo,
+                                           const std::string& name);
+
 }  // namespace mgs::topo
 
 #endif  // MGS_TOPO_SYSTEMS_H_

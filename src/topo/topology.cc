@@ -27,6 +27,8 @@ const char* LinkKindToString(LinkKind kind) {
       return "Memory bus";
     case LinkKind::kNvswitchFabric:
       return "NVSwitch fabric";
+    case LinkKind::kInfiniband:
+      return "InfiniBand";
   }
   return "unknown";
 }

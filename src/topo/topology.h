@@ -51,6 +51,9 @@ enum class LinkKind {
   kInfinityFabric,
   kMemoryBus,
   kNvswitchFabric,
+  /// RDMA-capable cluster interconnect (InfiniBand-class NIC/leaf/spine
+  /// links between nodes; see src/net).
+  kInfiniband,
 };
 
 const char* LinkKindToString(LinkKind kind);

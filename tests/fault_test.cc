@@ -111,6 +111,44 @@ TEST(ScenarioTest, RoundTripsThroughToString) {
   }
 }
 
+TEST(ScenarioTest, ClusterSugarExpandsToLinkEvents) {
+  // nic=<i> is sugar for link=nic<i>; rack=<r> expands to the rack's leaf
+  // switch ports plus its spine uplink (see src/net/cluster.h link naming).
+  auto sc = FaultScenario::Parse(
+      "at=2.0 nic=1 down; at=2.5 nic=1 up; at=3.0 rack=0 down;"
+      "at=3.4 rack=0 factor=1");
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  ASSERT_EQ(sc->events.size(), 6u);
+  EXPECT_EQ(sc->events[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sc->events[0].link, "nic1");
+  EXPECT_EQ(sc->events[1].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(sc->events[1].link, "nic1");
+  // rack=0 down: one event per fabric stage, same time and action.
+  EXPECT_EQ(sc->events[2].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sc->events[2].link, "leaf0");
+  EXPECT_EQ(sc->events[3].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(sc->events[3].link, "spine0");
+  EXPECT_DOUBLE_EQ(sc->events[3].at, 3.0);
+  EXPECT_EQ(sc->events[4].kind, FaultKind::kLinkBandwidth);
+  EXPECT_EQ(sc->events[4].link, "leaf0");
+  EXPECT_DOUBLE_EQ(sc->events[4].factor, 1.0);
+  EXPECT_EQ(sc->events[5].link, "spine0");
+
+  // Round-trips through ToString as plain link events.
+  auto again = FaultScenario::Parse(sc->ToString());
+  ASSERT_TRUE(again.ok()) << again.status() << "\nspec: " << sc->ToString();
+  ASSERT_EQ(again->events.size(), sc->events.size());
+  for (std::size_t i = 0; i < sc->events.size(); ++i) {
+    EXPECT_EQ(again->events[i].link, sc->events[i].link) << i;
+    EXPECT_EQ(again->events[i].kind, sc->events[i].kind) << i;
+  }
+
+  // rack= names a whole fabric stage; mixing it with an explicit link is
+  // ambiguous and rejected.
+  EXPECT_FALSE(FaultScenario::Parse("at=0 rack=0 link=x down").ok());
+  EXPECT_FALSE(FaultScenario::Parse("at=0 rack=0 nic=1 down").ok());
+}
+
 TEST(ScenarioTest, RejectsMalformedClauses) {
   EXPECT_FALSE(FaultScenario::Parse("at=0.5 gpu=1").ok());         // no fault
   EXPECT_FALSE(FaultScenario::Parse("at=-1 gpu=1 fail").ok());     // at < 0

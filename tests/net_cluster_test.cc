@@ -1,0 +1,206 @@
+// Cluster fabric construction: N appended nodes, NICs, leaf/spine wiring,
+// oversubscription arithmetic, fault-plan-compatible link names, and route
+// sanity across the compiled flow network.
+
+#include "net/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "util/units.h"
+#include "vgpu/platform.h"
+
+namespace mgs::net {
+namespace {
+
+using topo::CopyKind;
+using topo::Endpoint;
+
+ClusterOptions SmallDgx(int nodes, double oversub) {
+  ClusterOptions options;
+  options.node_system = "dgx-a100";
+  options.nodes = nodes;
+  options.nodes_per_rack = 2;
+  options.oversubscription = oversub;
+  return options;
+}
+
+TEST(ClusterTest, BuildsAndCompiles) {
+  auto cluster = BuildCluster(SmallDgx(4, 2.0));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  EXPECT_EQ(cluster->info.nodes(), 4);
+  EXPECT_EQ(cluster->info.gpus_per_node(), 8);
+  EXPECT_EQ(cluster->info.total_gpus(), 32);
+  EXPECT_EQ(cluster->info.racks(), 2);
+  EXPECT_EQ(cluster->topology->num_gpus(), 32);
+  EXPECT_EQ(cluster->topology->num_sockets(), 8);
+
+  // Compile validates MEM0 -> every GPU and all GPU pairs P2P, i.e. the
+  // fabric makes every cross-node route exist.
+  sim::Simulator simulator;
+  sim::FlowNetwork net(&simulator);
+  ASSERT_TRUE(cluster->topology->Compile(&net).ok());
+}
+
+TEST(ClusterTest, InfoGeometry) {
+  auto cluster = BuildCluster(SmallDgx(5, 1.0));
+  ASSERT_TRUE(cluster.ok());
+  const ClusterInfo& info = cluster->info;
+  EXPECT_EQ(info.racks(), 3);  // 2 + 2 + 1
+  EXPECT_EQ(info.NodeOfGpu(0), 0);
+  EXPECT_EQ(info.NodeOfGpu(7), 0);
+  EXPECT_EQ(info.NodeOfGpu(8), 1);
+  EXPECT_EQ(info.NodeOfGpu(39), 4);
+  EXPECT_EQ(info.RackOfNode(0), 0);
+  EXPECT_EQ(info.RackOfNode(3), 1);
+  EXPECT_EQ(info.RackOfNode(4), 2);
+  EXPECT_EQ(info.FirstGpu(2), 16);
+  EXPECT_EQ(info.FirstSocket(2), 4);
+  EXPECT_EQ(info.NodeGpus(1), (std::vector<int>{8, 9, 10, 11, 12, 13, 14,
+                                                15}));
+}
+
+TEST(ClusterTest, FabricLinkNamesExist) {
+  auto cluster = BuildCluster(SmallDgx(4, 2.0));
+  ASSERT_TRUE(cluster.ok());
+  const auto names = cluster->topology->LinkNames();
+  const auto has_link = [&](const std::string& bare) {
+    return std::any_of(names.begin(), names.end(),
+                       [&](const std::string& qualified) {
+                         return qualified.rfind(bare + "(", 0) == 0;
+                       });
+  };
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(has_link(ClusterInfo::NicLinkName(i))) << "nic" << i;
+  }
+  EXPECT_TRUE(has_link(ClusterInfo::LeafLinkName(0)));
+  EXPECT_TRUE(has_link(ClusterInfo::LeafLinkName(1)));
+  EXPECT_TRUE(has_link(ClusterInfo::SpineLinkName(0)));
+  EXPECT_TRUE(has_link(ClusterInfo::SpineLinkName(1)));
+}
+
+TEST(ClusterTest, CrossNodeRoutesUseTheFabric) {
+  auto cluster = BuildCluster(SmallDgx(4, 1.0));
+  ASSERT_TRUE(cluster.ok());
+  sim::Simulator simulator;
+  sim::FlowNetwork net(&simulator);
+  ASSERT_TRUE(cluster->topology->Compile(&net).ok());
+
+  // Same-rack cross-node route goes NIC -> leaf -> NIC, no spine.
+  auto same_rack = cluster->topology->DescribeRoute(
+      CopyKind::kPeerToPeer, Endpoint::Gpu(0), Endpoint::Gpu(8));
+  ASSERT_TRUE(same_rack.ok());
+  EXPECT_NE(same_rack->find("nic0"), std::string::npos) << *same_rack;
+  EXPECT_NE(same_rack->find("leaf0"), std::string::npos) << *same_rack;
+  EXPECT_EQ(same_rack->find("spine"), std::string::npos) << *same_rack;
+
+  // Cross-rack route crosses the spine.
+  auto cross_rack = cluster->topology->DescribeRoute(
+      CopyKind::kPeerToPeer, Endpoint::Gpu(0), Endpoint::Gpu(16));
+  ASSERT_TRUE(cross_rack.ok());
+  EXPECT_NE(cross_rack->find("spine0"), std::string::npos) << *cross_rack;
+  EXPECT_NE(cross_rack->find("spine1"), std::string::npos) << *cross_rack;
+
+  // Intra-node routes stay off the fabric entirely.
+  auto local = cluster->topology->DescribeRoute(
+      CopyKind::kPeerToPeer, Endpoint::Gpu(0), Endpoint::Gpu(3));
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->find("nic"), std::string::npos) << *local;
+}
+
+TEST(ClusterTest, OversubscriptionCapsTheSpine) {
+  // With full bisection, cross-rack single-flow bandwidth equals the NIC
+  // rate; 4:1 oversubscription drops it to the spine share.
+  auto full = BuildCluster(SmallDgx(4, 1.0));
+  auto oversub = BuildCluster(SmallDgx(4, 4.0));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(oversub.ok());
+  sim::Simulator sim_a, sim_b;
+  sim::FlowNetwork net_a(&sim_a), net_b(&sim_b);
+  ASSERT_TRUE(full->topology->Compile(&net_a).ok());
+  ASSERT_TRUE(oversub->topology->Compile(&net_b).ok());
+
+  const auto lone = [](const Cluster& c, int a, int b) {
+    return *c.topology->LoneFlowBandwidth(CopyKind::kPeerToPeer,
+                                          Endpoint::Gpu(a),
+                                          Endpoint::Gpu(b));
+  };
+  const double nic_bw = full->info.options().nic_bandwidth;
+  // Same rack: NIC-limited either way.
+  EXPECT_DOUBLE_EQ(lone(*full, 0, 8), nic_bw);
+  EXPECT_DOUBLE_EQ(lone(*oversub, 0, 8), nic_bw);
+  // Cross rack: spine-limited only when oversubscribed.
+  EXPECT_DOUBLE_EQ(lone(*full, 0, 16), nic_bw);
+  EXPECT_DOUBLE_EQ(lone(*oversub, 0, 16), 2 * nic_bw / 4.0);
+}
+
+TEST(ClusterTest, WorksForEveryPreset) {
+  for (const std::string& system : {"ac922", "delta-d22x", "dgx-a100"}) {
+    ClusterOptions options;
+    options.node_system = system;
+    options.nodes = 2;
+    auto cluster = BuildCluster(options);
+    ASSERT_TRUE(cluster.ok()) << system << ": "
+                              << cluster.status().ToString();
+    sim::Simulator simulator;
+    sim::FlowNetwork net(&simulator);
+    ASSERT_TRUE(cluster->topology->Compile(&net).ok()) << system;
+    EXPECT_EQ(cluster->info.total_gpus(), cluster->topology->num_gpus());
+  }
+}
+
+TEST(ClusterTest, NicFaultSeversOneNode) {
+  auto cluster = BuildCluster(SmallDgx(4, 1.0));
+  ASSERT_TRUE(cluster.ok());
+  auto platform = vgpu::Platform::Create(std::move(cluster->topology));
+  ASSERT_TRUE(platform.ok());
+  topo::Topology& topology = (*platform)->mutable_topology();
+
+  ASSERT_TRUE(
+      topology.SetLinkUp("nic1", false, &(*platform)->network()).ok());
+  // Node 1 is unreachable from other nodes...
+  EXPECT_FALSE(topology
+                   .CopyPath(CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                             Endpoint::Gpu(8))
+                   .ok());
+  // ...but its intra-node routes and the rest of the fabric still work.
+  EXPECT_TRUE(topology
+                  .CopyPath(CopyKind::kPeerToPeer, Endpoint::Gpu(8),
+                            Endpoint::Gpu(9))
+                  .ok());
+  EXPECT_TRUE(topology
+                  .CopyPath(CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                            Endpoint::Gpu(16))
+                  .ok());
+  ASSERT_TRUE(
+      topology.SetLinkUp("nic1", true, &(*platform)->network()).ok());
+  EXPECT_TRUE(topology
+                  .CopyPath(CopyKind::kPeerToPeer, Endpoint::Gpu(0),
+                            Endpoint::Gpu(8))
+                  .ok());
+}
+
+TEST(ClusterTest, RejectsBadOptions) {
+  ClusterOptions options;
+  options.nodes = 0;
+  EXPECT_FALSE(BuildCluster(options).ok());
+  options = ClusterOptions();
+  options.oversubscription = 0.5;
+  EXPECT_FALSE(BuildCluster(options).ok());
+  options = ClusterOptions();
+  options.node_system = "no-such-system";
+  EXPECT_FALSE(BuildCluster(options).ok());
+  options = ClusterOptions();
+  options.nodes_per_rack = 0;
+  EXPECT_FALSE(BuildCluster(options).ok());
+}
+
+}  // namespace
+}  // namespace mgs::net

@@ -1,0 +1,286 @@
+// Distributed sort over the cluster fabric: end-to-end correctness, shuffle
+// volume, duplicate-heavy splitting, cross-node determinism under faults
+// (same seed + fault plan => bitwise-identical output and metrics), incast /
+// oversubscription invariants against the flow-settler oracle, and explain
+// attribution of an oversubscribed spine.
+
+#include "net/distributed_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/injector.h"
+#include "fault/scenario.h"
+#include "net/cluster.h"
+#include "obs/explain.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "sim/flow_network.h"
+#include "sim/simulator.h"
+#include "util/datagen.h"
+#include "vgpu/platform.h"
+
+namespace mgs::net {
+namespace {
+
+ClusterOptions SmallDelta(int nodes, double oversub) {
+  ClusterOptions options;
+  options.node_system = "delta-d22x";  // 4 GPUs/node keeps tests fast
+  options.nodes = nodes;
+  options.nodes_per_rack = 2;
+  options.oversubscription = oversub;
+  return options;
+}
+
+Result<std::unique_ptr<vgpu::Platform>> MakeClusterPlatform(
+    const ClusterOptions& options, ClusterInfo* info, double scale = 1.0) {
+  auto cluster = BuildCluster(options);
+  MGS_RETURN_IF_ERROR(cluster.status());
+  *info = cluster->info;
+  vgpu::PlatformOptions popts;
+  popts.scale = scale;
+  return vgpu::Platform::Create(std::move(cluster->topology), popts);
+}
+
+TEST(DistributedSortTest, EndToEndSorted) {
+  ClusterInfo info;
+  auto platform = MakeClusterPlatform(SmallDelta(4, 2.0), &info);
+  ASSERT_TRUE(platform.ok()) << platform.status().ToString();
+
+  const std::int64_t n = 200'000;
+  DataGenOptions gen;
+  gen.seed = 7;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(n, gen));
+
+  auto stats = DistributedSort((*platform).get(), info, &data,
+                               DistSortOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(std::is_sorted(data.data(), data.data() + n));
+  EXPECT_EQ(stats->nodes, 4);
+  EXPECT_EQ(stats->num_gpus, 16);
+  EXPECT_EQ(stats->keys, n);
+  EXPECT_EQ(stats->algorithm, "DIST sort");
+  EXPECT_GT(stats->total_seconds, 0);
+  EXPECT_GT(stats->phases.htod, 0);
+  EXPECT_GT(stats->phases.sort, 0);
+  EXPECT_GT(stats->phases.merge, 0);
+  EXPECT_GT(stats->phases.dtoh, 0);
+
+  // Shuffle moves everything except what stays put; with 4 nodes the
+  // cross-node share should be close to (N-1)/N = 75% of the data.
+  const double total_bytes = static_cast<double>(n) * sizeof(std::int32_t);
+  EXPECT_GT(stats->shuffle_bytes, 0.85 * total_bytes);
+  EXPECT_LE(stats->shuffle_bytes, 1.0001 * total_bytes);
+  EXPECT_GT(stats->cross_node_bytes, 0.60 * total_bytes);
+  EXPECT_LT(stats->cross_node_bytes, 0.90 * total_bytes);
+}
+
+TEST(DistributedSortTest, NodeSubsetAndScale) {
+  ClusterInfo info;
+  auto platform = MakeClusterPlatform(SmallDelta(4, 1.0), &info,
+                                      /*scale=*/100.0);
+  ASSERT_TRUE(platform.ok());
+
+  const std::int64_t n = 50'000;
+  DataGenOptions gen;
+  gen.seed = 3;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(n, gen));
+
+  DistSortOptions options;
+  options.node_set = {0, 2};  // non-adjacent nodes, different racks
+  auto stats = DistributedSort((*platform).get(), info, &data, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(std::is_sorted(data.data(), data.data() + n));
+  EXPECT_EQ(stats->nodes, 2);
+  EXPECT_EQ(stats->num_gpus, 8);
+  EXPECT_EQ(stats->keys, n * 100);
+}
+
+TEST(DistributedSortTest, DuplicateHeavyInputStaysBalanced) {
+  ClusterInfo info;
+  auto platform = MakeClusterPlatform(SmallDelta(2, 1.0), &info);
+  ASSERT_TRUE(platform.ok());
+
+  // All-equal keys: value-based splitting alone would funnel everything
+  // into one receiver; balanced equal-range splitting must spread it.
+  const std::int64_t n = 64'000;
+  vgpu::HostBuffer<std::int32_t> data(
+      std::vector<std::int32_t>(static_cast<std::size_t>(n), 42));
+  auto stats = DistributedSort((*platform).get(), info, &data,
+                               DistSortOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(std::is_sorted(data.data(), data.data() + n));
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(data[i], 42);
+}
+
+// Satellite: cross-node determinism. The same seed and fault plan over a
+// 4-node cluster must produce bitwise-identical sorted output and identical
+// metric counters across two fresh runs.
+TEST(DistributedSortTest, DeterministicUnderFaults) {
+  const char* kPlan =
+      "at=0.0005 link=nic1 down; at=0.004 link=nic1 up; "
+      "at=0.0002 copy-error rate=0.05 until=0.006; "
+      "at=0.001 link=spine0 factor=0.5; at=0.005 link=spine0 factor=1.0";
+
+  auto run = [&](std::vector<std::int32_t>* out_keys,
+                 std::string* out_metrics, double* out_seconds) {
+    ClusterInfo info;
+    auto platform = MakeClusterPlatform(SmallDelta(4, 2.0), &info);
+    ASSERT_TRUE(platform.ok());
+    obs::MetricsRegistry registry;
+    (*platform)->SetMetrics(&registry);
+
+    auto scenario = fault::FaultScenario::Parse(kPlan);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    fault::FaultInjector injector((*platform).get(), std::move(*scenario),
+                                  /*seed_mix=*/5);
+    ASSERT_TRUE(injector.Arm().ok());
+
+    const std::int64_t n = 120'000;
+    DataGenOptions gen;
+    gen.seed = 11;
+    vgpu::HostBuffer<std::int32_t> data(
+        GenerateKeys<std::int32_t>(n, gen));
+    auto stats = DistributedSort((*platform).get(), info, &data,
+                                 DistSortOptions{});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(std::is_sorted(data.data(), data.data() + n));
+
+    obs::SyncFlowMetrics(&(*platform)->network(), (*platform)->topology(),
+                         (*platform)->simulator().Now(), &registry);
+    *out_keys = data.vector();
+    *out_metrics = obs::ToPrometheusText(registry);
+    *out_seconds = stats->total_seconds;
+  };
+
+  std::vector<std::int32_t> keys_a, keys_b;
+  std::string metrics_a, metrics_b;
+  double seconds_a = 0, seconds_b = 0;
+  run(&keys_a, &metrics_a, &seconds_a);
+  run(&keys_b, &metrics_b, &seconds_b);
+
+  EXPECT_EQ(keys_a, keys_b);
+  EXPECT_EQ(seconds_a, seconds_b);  // exact: same event sequence
+  EXPECT_EQ(metrics_a, metrics_b);
+}
+
+// Satellite: incast invariant. A 2:1-oversubscribed spine must never exceed
+// 100% occupancy — max-min fairness shares it, it does not overcommit.
+TEST(DistributedSortTest, OversubscribedSpineNeverExceedsCapacity) {
+  ClusterInfo info;
+  auto platform = MakeClusterPlatform(SmallDelta(4, 2.0), &info);
+  ASSERT_TRUE(platform.ok());
+
+  const std::int64_t n = 100'000;
+  DataGenOptions gen;
+  gen.seed = 23;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(n, gen));
+  auto stats = DistributedSort((*platform).get(), info, &data,
+                               DistSortOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto& net = (*platform)->network();
+  net.SettleTraffic();
+  for (const auto& [name, utilization] :
+       net.Utilizations(/*since_seconds=*/0.0)) {
+    EXPECT_LE(utilization, 1.0 + 1e-9) << name;
+  }
+}
+
+// Satellite: the incremental flow settler and the reference progressive-
+// filling oracle must agree on a randomized 8-node cluster: identical
+// shuffle completion order and finish times.
+TEST(DistributedSortTest, ShuffleCompletionMatchesFlowOracle) {
+  const auto run_flows = [](bool use_reference)
+      -> std::vector<std::pair<int, double>> {
+    ClusterOptions options;
+    options.node_system = "delta-d22x";
+    options.nodes = 8;
+    options.nodes_per_rack = 3;
+    options.oversubscription = 2.0;
+    auto cluster = BuildCluster(options);
+    EXPECT_TRUE(cluster.ok());
+    sim::Simulator simulator;
+    sim::FlowNetwork net(&simulator);
+    net.set_use_reference_allocator_for_testing(use_reference);
+    EXPECT_TRUE(cluster->topology->Compile(&net).ok());
+
+    // Deterministic pseudo-random all-to-all flow set between node pairs.
+    std::vector<std::pair<int, double>> completions;  // (flow idx, time)
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    const auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    int idx = 0;
+    for (int a = 0; a < 8; ++a) {
+      for (int b = 0; b < 8; ++b) {
+        if (a == b) continue;
+        const int src = cluster->info.FirstGpu(a) +
+                        static_cast<int>(next() % 4);
+        const int dst = cluster->info.FirstGpu(b) +
+                        static_cast<int>(next() % 4);
+        auto path = cluster->topology->CopyPath(
+            topo::CopyKind::kPeerToPeer, topo::Endpoint::Gpu(src),
+            topo::Endpoint::Gpu(dst));
+        EXPECT_TRUE(path.ok());
+        const double bytes = 1e6 + static_cast<double>(next() % 1000) * 1e5;
+        const int flow = idx++;
+        net.StartFlow(bytes, *path, [flow, &completions, &simulator] {
+          completions.emplace_back(flow, simulator.Now());
+        });
+      }
+    }
+    simulator.Run();
+    return completions;
+  };
+
+  const auto incremental = run_flows(false);
+  const auto reference = run_flows(true);
+  ASSERT_EQ(incremental.size(), 56u);
+  EXPECT_EQ(incremental, reference);
+}
+
+// Acceptance: at oversubscription >= 2:1 the explain report must blame a
+// spine uplink as the top saturated link.
+TEST(DistributedSortTest, ExplainBlamesOversubscribedSpine) {
+  // DGX nodes: the NIC hangs off the NVSwitch (GPUDirect-style), so the
+  // shuffle bypasses PCIe and the spine is the only scarce fabric stage.
+  ClusterOptions copts;
+  copts.node_system = "dgx-a100";
+  copts.nodes = 4;
+  copts.nodes_per_rack = 2;
+  copts.oversubscription = 4.0;
+  ClusterInfo info;
+  auto platform = MakeClusterPlatform(copts, &info);
+  ASSERT_TRUE(platform.ok());
+  obs::MetricsRegistry registry;
+  (*platform)->SetMetrics(&registry);
+
+  const std::int64_t n = 150'000;
+  DataGenOptions gen;
+  gen.seed = 31;
+  vgpu::HostBuffer<std::int32_t> data(GenerateKeys<std::int32_t>(n, gen));
+  auto stats = DistributedSort((*platform).get(), info, &data,
+                               DistSortOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  obs::SyncFlowMetrics(&(*platform)->network(), (*platform)->topology(),
+                       (*platform)->simulator().Now(), &registry);
+  auto report = obs::BuildExplainReport(registry, {});
+  ASSERT_FALSE(report.links.empty());
+  EXPECT_NE(report.links.front().name.find("spine"), std::string::npos)
+      << "top link was " << report.links.front().name;
+}
+
+}  // namespace
+}  // namespace mgs::net

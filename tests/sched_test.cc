@@ -500,5 +500,138 @@ TEST(ConcurrentSortTest, TwoTasksShareTheSimulatorAndBothSortCorrectly) {
   EXPECT_GT(out_b->total_seconds, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-node placement and distributed jobs (src/net cluster)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<vgpu::Platform> MakeCluster(int nodes, int nodes_per_rack,
+                                            net::ClusterInfo* info) {
+  net::ClusterOptions copt;
+  copt.node_system = "delta-d22x";
+  copt.nodes = nodes;
+  copt.nodes_per_rack = nodes_per_rack;
+  auto cluster = CheckOk(net::BuildCluster(copt));
+  *info = cluster.info;
+  return CheckOk(vgpu::Platform::Create(std::move(cluster.topology),
+                                        vgpu::PlatformOptions{kScale}));
+}
+
+TEST(PlacementTest, PlaceNodesPacksIntoOneRack) {
+  net::ClusterInfo info;
+  auto platform = MakeCluster(/*nodes=*/4, /*nodes_per_rack=*/2, &info);
+  Placer placer(platform.get(), /*allow_gpu_sharing=*/false);
+  std::vector<int> running(
+      static_cast<std::size_t>(platform->num_devices()), 0);
+
+  // Empty cluster: lowest rack, lowest node ids.
+  auto placed = CheckOk(placer.PlaceNodes(info, 2, 1.0, running));
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{0, 1}));
+
+  // One GPU of node 1 busy: rack 1 is now the only whole rack, so a 2-node
+  // job goes there instead of straddling the spine with {0, 2}.
+  running[static_cast<std::size_t>(info.FirstGpu(1))] = 1;
+  placed = CheckOk(placer.PlaceNodes(info, 2, 1.0, running));
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{2, 3}));
+
+  // Three nodes can't avoid the spine; the fuller rack contributes first
+  // and the selection comes back sorted.
+  placed = CheckOk(placer.PlaceNodes(info, 3, 1.0, running));
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, (std::vector<int>{0, 2, 3}));
+
+  // More nodes than are whole right now: queued, not an error.
+  placed = CheckOk(placer.PlaceNodes(info, 4, 1.0, running));
+  EXPECT_FALSE(placed.has_value());
+  EXPECT_FALSE(placer.PlaceNodes(info, 5, 1.0, running).ok());
+}
+
+TEST(DistributedJobTest, RunsAcrossNodesAndReportsShuffle) {
+  net::ClusterInfo info;
+  auto platform = MakeCluster(/*nodes=*/2, /*nodes_per_rack=*/2, &info);
+  ServerOptions options;
+  options.cluster = &info;
+  SortServer server(platform.get(), options);
+
+  JobSpec spec = MakeJob(/*arrival=*/0, /*keys=*/4e8, /*gpus=*/1);
+  spec.nodes = 2;
+  const std::int64_t id = server.Submit(spec);
+  auto report = CheckOk(server.Run());
+  ASSERT_EQ(report.failed, 0);
+  EXPECT_EQ(report.completed, 1);
+
+  const JobRecord& rec = server.job(id);
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_EQ(rec.node_set, (std::vector<int>{0, 1}));
+  // Whole nodes: gpus was normalized to nodes x gpus-per-node.
+  EXPECT_EQ(rec.spec.gpus, 2 * info.gpus_per_node());
+  EXPECT_EQ(static_cast<int>(rec.gpu_set.size()), rec.spec.gpus);
+  EXPECT_EQ(rec.sort.nodes, 2);
+  EXPECT_EQ(rec.sort.algorithm, "DIST sort");
+  EXPECT_GT(rec.sort.shuffle_bytes, 0);
+  EXPECT_GT(rec.sort.cross_node_bytes, 0);
+}
+
+TEST(DistributedJobTest, MixesWithSingleNodeTenantsAndSerializes) {
+  net::ClusterInfo info;
+  auto platform = MakeCluster(/*nodes=*/2, /*nodes_per_rack=*/2, &info);
+  ServerOptions options;
+  options.cluster = &info;
+  SortServer server(platform.get(), options);
+
+  // The distributed job needs both nodes, so it must wait for the
+  // single-node jobs that arrived first to drain.
+  const std::int64_t small_a = server.Submit(MakeJob(0, 1e8, 2));
+  const std::int64_t small_b = server.Submit(MakeJob(0, 1e8, 2));
+  JobSpec dist = MakeJob(/*arrival=*/0.001, /*keys=*/4e8, /*gpus=*/1);
+  dist.nodes = 2;
+  const std::int64_t big = server.Submit(dist);
+
+  auto report = CheckOk(server.Run());
+  EXPECT_EQ(report.completed, 3);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(server.job(big).state, JobState::kDone);
+  EXPECT_GE(server.job(big).start, server.job(small_a).start);
+  EXPECT_GT(server.job(big).queue_delay(), 0);
+  EXPECT_EQ(server.job(small_a).sort.nodes, 1);
+  EXPECT_EQ(server.job(small_b).sort.nodes, 1);
+}
+
+TEST(DistributedJobTest, RejectsJobsTheClusterCannotExpress) {
+  net::ClusterInfo info;
+  auto platform = MakeCluster(/*nodes=*/2, /*nodes_per_rack=*/2, &info);
+
+  {
+    // nodes > cluster size and pinned multi-node jobs are rejected up
+    // front; valid work on the same server still runs.
+    ServerOptions options;
+    options.cluster = &info;
+    SortServer server(platform.get(), options);
+    JobSpec too_big = MakeJob(0, 1e8, 1);
+    too_big.nodes = 3;
+    JobSpec pinned = MakeJob(0, 1e8, 1, /*pinned=*/{0});
+    pinned.nodes = 2;
+    const auto id_big = server.Submit(too_big);
+    const auto id_pin = server.Submit(pinned);
+    const auto id_ok = server.Submit(MakeJob(0, 1e8, 1));
+    auto report = CheckOk(server.Run());
+    EXPECT_EQ(server.job(id_big).state, JobState::kRejected);
+    EXPECT_EQ(server.job(id_pin).state, JobState::kRejected);
+    EXPECT_EQ(server.job(id_ok).state, JobState::kDone);
+    EXPECT_EQ(report.rejected, 2);
+  }
+  {
+    // A multi-node job on a server with no cluster configured is rejected
+    // rather than wedging the queue.
+    SortServer server(platform.get(), ServerOptions{});
+    JobSpec spec = MakeJob(0, 1e8, 1);
+    spec.nodes = 2;
+    const auto id = server.Submit(spec);
+    CheckOk(server.Run());
+    EXPECT_EQ(server.job(id).state, JobState::kRejected);
+  }
+}
+
 }  // namespace
 }  // namespace mgs::sched
