@@ -1,0 +1,91 @@
+// Native benchmark for the task-graph executor (src/exec): single-tenant
+// parity and multi-tenant overlap.
+//
+// Each benchmark runs the full multi-tenant sort service on a simulated
+// DGX A100 twice — once with the phase-barrier oracle, once with the graph
+// executor — and reports the *simulated* makespans as counters:
+//
+//   makespan_phase   barrier-path makespan (simulated seconds)
+//   makespan_graph   graph-path makespan (simulated seconds)
+//   overlap_gain     makespan_phase / makespan_graph
+//
+// The measured wall time gates executor overhead like every other native
+// bench (bench/compare.py vs bench/baselines/exec.json); the CI perf gate
+// additionally asserts overlap_gain >= 1.15 at 4 concurrent tenants — the
+// acceptance bar for retiring the phase barriers (ISSUE 8).
+
+#include <benchmark/benchmark.h>
+
+#include "sched/server.h"
+#include "topo/systems.h"
+#include "vgpu/platform.h"
+
+using namespace mgs;
+
+namespace {
+
+// 2e9 logical keys per tenant at scale 2e6 -> 1000 actual keys: big enough
+// that copies dominate (the regime where barriers hurt), small enough that
+// one benchmark iteration stays in the milliseconds.
+constexpr double kScale = 2e6;
+
+double RunService(core::ExecMode mode, int tenants) {
+  auto platform = CheckOk(vgpu::Platform::Create(
+      topo::MakeDgxA100(), vgpu::PlatformOptions{kScale}));
+  sched::ServerOptions options;
+  options.exec_mode = mode;
+  options.allow_gpu_sharing = true;
+  sched::SortServer server(platform.get(), options);
+  for (int i = 0; i < tenants; ++i) {
+    sched::JobSpec spec;
+    // Near-simultaneous arrivals: all tenants contend for the same pair.
+    spec.arrival_seconds = 0.002 * i;
+    spec.logical_keys = 2e9;
+    spec.gpus = 2;
+    spec.pinned_gpus = {0, 1};
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    server.Submit(spec);
+  }
+  return CheckOk(server.Run()).makespan;
+}
+
+void ReportMakespans(benchmark::State& state, double phase, double graph) {
+  state.counters["makespan_phase"] = phase;
+  state.counters["makespan_graph"] = graph;
+  state.counters["overlap_gain"] = graph > 0 ? phase / graph : 0;
+}
+
+// One tenant: no cross-job overlap exists, so graph execution must match
+// the barrier path (gain ~1.0). Guards against the executor itself adding
+// latency.
+void BM_ExecSingleTenantParity(benchmark::State& state) {
+  double phase = 0, graph = 0;
+  for (auto _ : state) {
+    phase = RunService(core::ExecMode::kPhased, 1);
+    graph = RunService(core::ExecMode::kGraph, 1);
+    benchmark::DoNotOptimize(graph);
+  }
+  ReportMakespans(state, phase, graph);
+}
+BENCHMARK(BM_ExecSingleTenantParity);
+
+// N tenants sharing one GPU pair: the barrier path funnels every tenant
+// through the same per-device streams 0-2, so one tenant's queued op
+// head-of-line blocks the next tenant's independent work; the graph path
+// gives each job a disjoint stream range and interleaves ready nodes
+// work-conserving across all tenants.
+void BM_ExecOverlapTenants(benchmark::State& state) {
+  const int tenants = static_cast<int>(state.range(0));
+  double phase = 0, graph = 0;
+  for (auto _ : state) {
+    phase = RunService(core::ExecMode::kPhased, tenants);
+    graph = RunService(core::ExecMode::kGraph, tenants);
+    benchmark::DoNotOptimize(graph);
+  }
+  ReportMakespans(state, phase, graph);
+}
+BENCHMARK(BM_ExecOverlapTenants)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

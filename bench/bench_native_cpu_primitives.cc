@@ -44,6 +44,19 @@ void BM_LsbRadixSort(benchmark::State& state) {
 }
 BENCHMARK(BM_LsbRadixSort)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_LsbRadixSortPooled(benchmark::State& state) {
+  const auto base = MakeKeys(state.range(0), Distribution::kUniform);
+  std::vector<std::int32_t> aux(base.size());
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::LsbRadixSort(data.data(), aux.data(), state.range(0), &pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LsbRadixSortPooled)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_ParadisSort(benchmark::State& state) {
   const auto base = MakeKeys(state.range(0), Distribution::kUniform);
   ThreadPool pool;

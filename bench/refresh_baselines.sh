@@ -11,7 +11,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
-  bench_native_simulator bench_net_distributed
+  bench_native_simulator bench_net_distributed bench_exec_overlap
 
 # Older libbenchmark releases only accept a plain double for
 # --benchmark_min_time; newer ones also take a "0.4s" suffix form. The
@@ -25,5 +25,8 @@ cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
 "./$BUILD/bench/bench_net_distributed" \
   --benchmark_min_time=0.4 \
   --benchmark_out=bench/baselines/net.json --benchmark_out_format=json
+"./$BUILD/bench/bench_exec_overlap" \
+  --benchmark_min_time=0.4 \
+  --benchmark_out=bench/baselines/exec.json --benchmark_out_format=json
 
-echo "Refreshed bench/baselines/{cpu,sim,net}.json — review and commit."
+echo "Refreshed bench/baselines/{cpu,sim,net,exec}.json — review and commit."

@@ -13,6 +13,9 @@
 // --explain prints a bottleneck-attribution report (top saturated links,
 // transfer- vs compute-bound phases, per-GPU busy fractions);
 // --metrics-out snapshots the registry (.prom / .json / .csv by extension).
+// --exec=graph runs p2p/het through the task-graph executor (src/exec)
+// instead of phase barriers; with --explain it also prints the executor's
+// critical path (the dependency chain that set the makespan).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "benchsuite/suite.h"
+#include "exec/executor.h"
 #include "fault/injector.h"
 #include "fault/scenario.h"
 #include "core/hybrid_sort.h"
@@ -51,6 +55,7 @@ struct Args {
   std::string trace_path;
   std::string metrics_path;
   std::string fault_plan;  // inline scenario, @file, or file path
+  core::ExecMode exec_mode = core::ExecMode::kPhased;
   bool explain = false;
   bool multihop = false;
 };
@@ -65,7 +70,8 @@ void Usage() {
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
       "                  [--type=int32|int64|float32|float64]\n"
-      "                  [--seed=N] [--multihop] [--trace=out.json]\n"
+      "                  [--seed=N] [--multihop] [--exec=phase|graph]\n"
+      "                  [--trace=out.json]\n"
       "                  [--explain] [--metrics-out=metrics.prom|.json|.csv]\n"
       "                  [--fault-plan='at=0.5 gpu=1 fail; ...'|@plan.json]"
       "\n");
@@ -106,6 +112,14 @@ Result<Args> Parse(int argc, char** argv) {
       args.oversub = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
       args.fault_plan = value;
+    } else if (ParseFlag(argv[i], "--exec", &value)) {
+      if (value == "graph") {
+        args.exec_mode = core::ExecMode::kGraph;
+      } else if (value == "phase") {
+        args.exec_mode = core::ExecMode::kPhased;
+      } else {
+        return Status::Invalid("unknown exec mode: " + value);
+      }
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       args.trace_path = value;
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
@@ -135,7 +149,8 @@ Result<DataType> ParseType(const std::string& name) {
 template <typename T>
 Result<core::SortStats> RunExperiment(const Args& args,
                                       sim::TraceRecorder* trace,
-                                      obs::MetricsRegistry* metrics) {
+                                      obs::MetricsRegistry* metrics,
+                                      exec::ExecReport* exec_report) {
   const std::int64_t logical = static_cast<std::int64_t>(args.keys);
   const std::int64_t actual =
       std::max<std::int64_t>(1, std::min(logical, bench::ActualKeyCap()));
@@ -187,6 +202,8 @@ Result<core::SortStats> RunExperiment(const Args& args,
     MGS_ASSIGN_OR_RETURN(stats, core::CpuSortBaseline(platform.get(), &data));
   } else if (args.algo == "p2p") {
     core::SortOptions options;
+    options.exec_mode = args.exec_mode;
+    options.exec_report = exec_report;
     MGS_ASSIGN_OR_RETURN(options.gpu_set,
                          core::ChooseGpuSet(platform->topology(), gpus, true));
     MGS_ASSIGN_OR_RETURN(stats, core::P2pSort(platform.get(), &data, options));
@@ -209,6 +226,8 @@ Result<core::SortStats> RunExperiment(const Args& args,
                          ? core::BufferScheme::k3n
                          : core::BufferScheme::k2n;
     options.eager_merge = args.algo.find("eager") != std::string::npos;
+    options.exec_mode = args.exec_mode;
+    options.exec_report = exec_report;
     MGS_ASSIGN_OR_RETURN(
         options.gpu_set,
         core::ChooseGpuSet(platform->topology(), gpus, false));
@@ -257,19 +276,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", type.status().ToString().c_str());
     return 1;
   }
+  exec::ExecReport exec_report;
   Result<core::SortStats> stats = Status::Internal("unreachable");
   switch (*type) {
     case DataType::kInt32:
-      stats = RunExperiment<std::int32_t>(args, trace_ptr, metrics_ptr);
+      stats = RunExperiment<std::int32_t>(args, trace_ptr, metrics_ptr,
+                                          &exec_report);
       break;
     case DataType::kInt64:
-      stats = RunExperiment<std::int64_t>(args, trace_ptr, metrics_ptr);
+      stats = RunExperiment<std::int64_t>(args, trace_ptr, metrics_ptr,
+                                          &exec_report);
       break;
     case DataType::kFloat32:
-      stats = RunExperiment<float>(args, trace_ptr, metrics_ptr);
+      stats = RunExperiment<float>(args, trace_ptr, metrics_ptr, &exec_report);
       break;
     case DataType::kFloat64:
-      stats = RunExperiment<double>(args, trace_ptr, metrics_ptr);
+      stats = RunExperiment<double>(args, trace_ptr, metrics_ptr, &exec_report);
       break;
   }
   if (!stats.ok()) {
@@ -300,6 +322,9 @@ int main(int argc, char** argv) {
   if (args.explain) {
     const obs::ExplainReport report = obs::BuildExplainReport(registry);
     std::printf("%s", obs::RenderExplainReport(report).c_str());
+    if (!exec_report.nodes.empty()) {
+      std::printf("%s", exec::RenderCriticalPath(exec_report).c_str());
+    }
   }
   if (!args.metrics_path.empty()) {
     CheckOk(obs::WriteMetricsFile(registry, args.metrics_path));

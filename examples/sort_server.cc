@@ -42,6 +42,7 @@ struct Args {
   int jobs = 32;
   double rate = 2.0;  // Poisson arrivals per second
   std::string policy = "sjf";
+  std::string exec = "phase";
   std::uint64_t seed = 42;
   double slo = 5.0;
   std::string trace_path;
@@ -55,6 +56,7 @@ void Usage() {
       "                   [--nodes=N] [--rack-size=N] [--oversub=F]\n"
       "                   [--jobs=N] [--rate=JOBS_PER_SEC]\n"
       "                   [--policy=fifo|sjf|priority] [--seed=N]\n"
+      "                   [--exec=phase|graph]\n"
       "                   [--slo=SECONDS] [--trace=out.json]\n"
       "                   [--metrics-out=metrics.prom|.json|.csv]\n"
       "                   [--fault-plan='at=0.5 gpu=1 fail; ...'|@plan.json]\n"
@@ -97,6 +99,11 @@ Result<Args> Parse(int argc, char** argv) {
       args.rate = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--policy", &value)) {
       args.policy = value;
+    } else if (ParseFlag(argv[i], "--exec", &value)) {
+      if (value != "phase" && value != "graph") {
+        return Status::Invalid("unknown exec mode: " + value);
+      }
+      args.exec = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--slo", &value)) {
@@ -172,6 +179,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   options.policy = *policy;
+  options.exec_mode = args.exec == "graph" ? core::ExecMode::kGraph
+                                           : core::ExecMode::kPhased;
   options.slo_seconds = args.slo;
   if (args.nodes > 1) options.cluster = &cluster_info;
   if (!args.trace_path.empty() || !args.metrics_path.empty()) {

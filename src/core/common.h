@@ -16,7 +16,28 @@ namespace mgs {
 class ThreadPool;
 }
 
+namespace mgs::exec {
+class GraphExecutor;
+struct ExecReport;
+}  // namespace mgs::exec
+
 namespace mgs::core {
+
+/// How a sorter drives its pipeline (see docs/executor.md).
+enum class ExecMode {
+  /// The seed behavior: coarse phases with global barriers; every GPU
+  /// waits for the slowest peer at each phase boundary. Kept as the test
+  /// oracle for the graph path.
+  kPhased,
+  /// Emit a task graph and let exec::GraphExecutor drain nodes as their
+  /// data dependencies resolve — no global barriers, and concurrent jobs
+  /// sharing one executor interleave at node granularity.
+  kGraph,
+};
+
+inline const char* ExecModeToString(ExecMode mode) {
+  return mode == ExecMode::kGraph ? "graph" : "phase";
+}
 
 /// End-to-end sort duration split into the four phases of Section 6.1
 /// ("we define a phase to end when the last GPU completes executing it").
@@ -61,6 +82,22 @@ struct SortOptions {
   /// simulated durations are unaffected either way (they come from the
   /// calibrated model, not wall time).
   ThreadPool* host_pool = nullptr;
+  /// Phase-barrier oracle (default) or task-graph execution.
+  ExecMode exec_mode = ExecMode::kPhased;
+  /// Non-null under kGraph: submit to this (typically server-owned, shared
+  /// across tenants) executor instead of a job-private one, so concurrent
+  /// jobs interleave at node level.
+  exec::GraphExecutor* executor = nullptr;
+  /// Node-dispatch priority under kGraph (larger overtakes queued nodes of
+  /// lower-priority jobs at every lane decision).
+  int exec_priority = 0;
+  /// Non-null under kGraph: receives the per-node timeline and critical
+  /// path of this sort's graph.
+  exec::ExecReport* exec_report = nullptr;
+  /// First stream index the sorter may use on each of its devices. Jobs
+  /// sharing a GPU get disjoint stream ranges so their ops do not
+  /// serialize through one FIFO (each sorter uses at most 3 streams).
+  int stream_base = 0;
 };
 
 /// Largest value of a sortable element type, used as the device-side

@@ -24,6 +24,7 @@
 
 #include "core/common.h"
 #include "cpusort/multiway_merge.h"
+#include "exec/executor.h"
 #include "gpusort/device_sort.h"
 #include "vgpu/platform.h"
 
@@ -76,6 +77,306 @@ struct GroupTracker {
   }
 };
 
+template <typename T>
+struct GpuState {
+  vgpu::Device* device = nullptr;
+  std::vector<vgpu::DeviceBuffer<T>> buffers;
+};
+
+/// Sorted sublists land back in the host buffer in place; these views
+/// describe them for the final merge.
+struct Sublist {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;
+  int group = 0;
+};
+
+[[gnu::noinline]] inline sim::Task<void> MarkDoneOn(std::shared_ptr<sim::Trigger> ev,
+                                  GroupTracker* tracker, int group) {
+  co_await ev->Wait();
+  tracker->MarkChunkDone(group);
+}
+
+/// Everything the per-GPU pipelines and graph step bodies need. Pointer
+/// fields refer into HetSortTask's coroutine frame, which outlives every
+/// step (the task joins all pipelines / the executor before returning).
+///
+/// These live at namespace scope rather than as lambdas inside HetSortTask:
+/// a coroutine lambda nested in a function template shares the enclosing
+/// instantiation's COMDAT group, and when the linker picks another TU's
+/// group the lambda's frame helpers can be discarded while local data still
+/// references them ("defined in discarded section"). A namespace-scope
+/// template coroutine owns its group, so selection stays self-consistent.
+template <typename T>
+struct HetContext {
+  vgpu::Platform* platform = nullptr;
+  vgpu::HostBuffer<T>* data = nullptr;
+  std::vector<GpuState<T>>* state = nullptr;
+  const std::vector<Sublist>* sublists = nullptr;
+  GroupTracker* tracker = nullptr;
+  gpusort::SortAlgo device_sort = gpusort::SortAlgo::kThrustRadix;
+  int sb = 0;  // first stream index (SortOptions::stream_base)
+  int g = 1;
+  std::int64_t num_chunks = 0;
+  double* htod_busy = nullptr;
+  double* sort_busy = nullptr;
+  double* dtoh_busy = nullptr;
+
+  double Now() const { return platform->simulator().Now(); }
+  GpuState<T>& gpu(int i) const {
+    return (*state)[static_cast<std::size_t>(i)];
+  }
+  const Sublist& sub(std::int64_t c) const {
+    return (*sublists)[static_cast<std::size_t>(c)];
+  }
+};
+
+/// One GPU's 2n pipeline over its chunk sequence (chunks i, i+g, ...).
+template <typename T>
+[[gnu::noinline]] sim::Task<void> Pipeline2n(HetContext<T> ctx, int i) {
+  auto& s = ctx.gpu(i);
+  auto& in = s.device->stream(ctx.sb);
+  auto& out = s.device->stream(ctx.sb + 1);
+  int cur = 0;  // buffer holding the chunk being sorted
+  bool first = true;
+  for (std::int64_t c = i; c < ctx.num_chunks; c += ctx.g) {
+    const auto& sub = ctx.sub(c);
+    auto& buf = s.buffers[static_cast<std::size_t>(cur)];
+    auto& aux = s.buffers[static_cast<std::size_t>(1 - cur)];
+    if (first) {
+      in.MemcpyHtoDAsync(buf, 0, *ctx.data, sub.begin, sub.count);
+      first = false;
+    }
+    // Sort blocks all copies: both buffers must be free.
+    co_await in.Synchronize();
+    co_await out.Synchronize();
+    *ctx.htod_busy = std::max(*ctx.htod_busy, ctx.Now());
+    gpusort::SortAsync(in, buf, 0, sub.count, aux, ctx.device_sort);
+    co_await in.Synchronize();
+    *ctx.sort_busy = std::max(*ctx.sort_busy, ctx.Now());
+    // Copy the sorted chunk back while the next chunk streams in.
+    out.MemcpyDtoHAsync(*ctx.data, sub.begin, buf, 0, sub.count);
+    sim::Spawn(MarkDoneOn(out.RecordEvent(), ctx.tracker, sub.group));
+    if (c + ctx.g < ctx.num_chunks) {
+      const auto& next = ctx.sub(c + ctx.g);
+      in.MemcpyHtoDAsync(aux, 0, *ctx.data, next.begin, next.count);
+      cur = 1 - cur;
+    }
+  }
+  co_await in.Synchronize();
+  co_await out.Synchronize();
+  *ctx.dtoh_busy = std::max(*ctx.dtoh_busy, ctx.Now());
+}
+
+/// One GPU's 3n pipeline: copies of chunks k-1 / k+1 overlap the sort of
+/// chunk k via the rotating transfer buffer (Fig. 10).
+template <typename T>
+[[gnu::noinline]] sim::Task<void> Pipeline3n(HetContext<T> ctx, int i) {
+  auto& s = ctx.gpu(i);
+  auto& in = s.device->stream(ctx.sb);
+  auto& out = s.device->stream(ctx.sb + 1);
+  auto& compute = s.device->stream(ctx.sb + 2);
+  // Buffer roles: sort / aux / transfer, rotating each iteration.
+  int sort_buf = 0, aux_buf = 1, xfer_buf = 2;
+  std::vector<std::int64_t> mine;
+  for (std::int64_t c = i; c < ctx.num_chunks; c += ctx.g) mine.push_back(c);
+  if (mine.empty()) co_return;
+
+  // Prime: chunk 0 into the sort buffer.
+  {
+    const auto& sub = ctx.sub(mine[0]);
+    in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(sort_buf)], 0,
+                       *ctx.data, sub.begin, sub.count);
+    co_await in.Synchronize();
+    *ctx.htod_busy = std::max(*ctx.htod_busy, ctx.Now());
+  }
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    const auto& sub = ctx.sub(mine[k]);
+    // Sort chunk k; concurrently the transfer buffer returns chunk k-1 and
+    // receives chunk k+1 (in-place transfer swap, Fig. 10).
+    gpusort::SortAsync(compute, s.buffers[static_cast<std::size_t>(sort_buf)],
+                       0, sub.count,
+                       s.buffers[static_cast<std::size_t>(aux_buf)],
+                       ctx.device_sort);
+    if (k > 0) {
+      const auto& prev = ctx.sub(mine[k - 1]);
+      out.MemcpyDtoHAsync(*ctx.data, prev.begin,
+                          s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                          prev.count);
+      sim::Spawn(MarkDoneOn(out.RecordEvent(), ctx.tracker, prev.group));
+    }
+    if (k + 1 < mine.size()) {
+      const auto& next = ctx.sub(mine[k + 1]);
+      in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                         *ctx.data, next.begin, next.count);
+    }
+    co_await compute.Synchronize();
+    *ctx.sort_busy = std::max(*ctx.sort_busy, ctx.Now());
+    co_await in.Synchronize();
+    co_await out.Synchronize();
+    *ctx.htod_busy = std::max(*ctx.htod_busy, ctx.Now());
+    std::swap(sort_buf, xfer_buf);  // transfer buffer now holds chunk k+1
+  }
+  // Return the final sorted chunk.
+  {
+    const auto& last = ctx.sub(mine.back());
+    out.MemcpyDtoHAsync(*ctx.data, last.begin,
+                        s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
+                        last.count);
+    sim::Spawn(MarkDoneOn(out.RecordEvent(), ctx.tracker, last.group));
+    co_await out.Synchronize();
+    *ctx.dtoh_busy = std::max(*ctx.dtoh_busy, ctx.Now());
+  }
+}
+
+// Graph-mode step bodies: the same per-chunk steps the pipelines above
+// fuse, as single-node coroutines (docs/executor.md).
+
+/// 2n/3n upload of chunk c into buffer `cur` on the in-stream.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepHtoD(HetContext<T> ctx, int i, std::int64_t c, int cur) {
+  auto& s = ctx.gpu(i);
+  const auto& sub = ctx.sub(c);
+  auto& in = s.device->stream(ctx.sb);
+  in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(cur)], 0, *ctx.data,
+                     sub.begin, sub.count);
+  co_await in.Synchronize();
+  *ctx.htod_busy = std::max(*ctx.htod_busy, ctx.Now());
+}
+
+/// 2n sort of chunk c in buffer `cur` (the other buffer is scratch, which
+/// is why the 2n scheme's sorts block its copies).
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepSort2n(HetContext<T> ctx, int i, std::int64_t c,
+                           int cur) {
+  auto& s = ctx.gpu(i);
+  const auto& sub = ctx.sub(c);
+  auto& in = s.device->stream(ctx.sb);
+  gpusort::SortAsync(in, s.buffers[static_cast<std::size_t>(cur)], 0,
+                     sub.count, s.buffers[static_cast<std::size_t>(1 - cur)],
+                     ctx.device_sort);
+  co_await in.Synchronize();
+  *ctx.sort_busy = std::max(*ctx.sort_busy, ctx.Now());
+}
+
+/// 2n download of sorted chunk c from buffer `cur` on the out-stream.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepDtoH(HetContext<T> ctx, int i, std::int64_t c, int cur) {
+  auto& s = ctx.gpu(i);
+  const auto& sub = ctx.sub(c);
+  auto& out = s.device->stream(ctx.sb + 1);
+  out.MemcpyDtoHAsync(*ctx.data, sub.begin,
+                      s.buffers[static_cast<std::size_t>(cur)], 0, sub.count);
+  co_await out.Synchronize();
+  ctx.tracker->MarkChunkDone(sub.group);
+  *ctx.dtoh_busy = std::max(*ctx.dtoh_busy, ctx.Now());
+}
+
+/// 3n sort of chunk c in `sort_buf` (scratch is always buffer 1) on the
+/// dedicated compute stream.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepSort3n(HetContext<T> ctx, int i, std::int64_t c,
+                           int sort_buf) {
+  auto& s = ctx.gpu(i);
+  const auto& sub = ctx.sub(c);
+  auto& compute = s.device->stream(ctx.sb + 2);
+  gpusort::SortAsync(compute, s.buffers[static_cast<std::size_t>(sort_buf)],
+                     0, sub.count, s.buffers[1], ctx.device_sort);
+  co_await compute.Synchronize();
+  *ctx.sort_busy = std::max(*ctx.sort_busy, ctx.Now());
+}
+
+/// 3n in-place transfer swap on buffer `xfer`: return sorted chunk prev_c
+/// (out-stream) while chunk next_c streams in (in-stream). Either side may
+/// be absent at the ends of the chunk sequence.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepXfer3n(HetContext<T> ctx, int i, std::int64_t prev_c,
+                           std::int64_t next_c, int xfer) {
+  auto& s = ctx.gpu(i);
+  auto& in = s.device->stream(ctx.sb);
+  auto& out = s.device->stream(ctx.sb + 1);
+  if (prev_c >= 0) {
+    const auto& prev = ctx.sub(prev_c);
+    out.MemcpyDtoHAsync(*ctx.data, prev.begin,
+                        s.buffers[static_cast<std::size_t>(xfer)], 0,
+                        prev.count);
+  }
+  if (next_c >= 0) {
+    const auto& next = ctx.sub(next_c);
+    in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(xfer)], 0,
+                       *ctx.data, next.begin, next.count);
+  }
+  co_await out.Synchronize();
+  if (prev_c >= 0) {
+    ctx.tracker->MarkChunkDone(ctx.sub(prev_c).group);
+    *ctx.dtoh_busy = std::max(*ctx.dtoh_busy, ctx.Now());
+  }
+  co_await in.Synchronize();
+  *ctx.htod_busy = std::max(*ctx.htod_busy, ctx.Now());
+}
+
+/// 3n final download of the last sorted chunk from buffer `buf`.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> StepFinal3n(HetContext<T> ctx, int i, std::int64_t c,
+                            int buf) {
+  auto& s = ctx.gpu(i);
+  const auto& sub = ctx.sub(c);
+  auto& out = s.device->stream(ctx.sb + 1);
+  out.MemcpyDtoHAsync(*ctx.data, sub.begin,
+                      s.buffers[static_cast<std::size_t>(buf)], 0, sub.count);
+  co_await out.Synchronize();
+  ctx.tracker->MarkChunkDone(sub.group);
+  *ctx.dtoh_busy = std::max(*ctx.dtoh_busy, ctx.Now());
+}
+
+/// Eager merge worker: merges group r's sublists as soon as the group is
+/// fully back in host memory (skipping the last group, Section 5.3).
+/// CPU-side failures park in *cpu_error; HetSortTask's post-join health
+/// check surfaces them (group triggers still fire on a failed device
+/// because skipped ops drain the stream FIFO, so this worker cannot wedge).
+template <typename T>
+struct EagerContext {
+  vgpu::Platform* platform = nullptr;
+  vgpu::HostBuffer<T>* data = nullptr;
+  const std::vector<Sublist>* sublists = nullptr;
+  GroupTracker* tracker = nullptr;
+  std::vector<std::vector<T>>* eager_runs = nullptr;
+  Status* cpu_error = nullptr;
+  ThreadPool* host_pool = nullptr;
+  int eager_groups = 0;
+};
+
+template <typename T>
+[[gnu::noinline]] sim::Task<void> EagerWorker(EagerContext<T> ctx) {
+  for (int r = 0; r < ctx.eager_groups; ++r) {
+    co_await ctx.tracker->complete[static_cast<std::size_t>(r)]->Wait();
+    std::vector<cpusort::MergeInput<T>> inputs;
+    double bytes = 0;
+    for (const auto& sub : *ctx.sublists) {
+      if (sub.group != r) continue;
+      inputs.push_back(cpusort::MergeInput<T>{
+          ctx.data->data() + sub.begin,
+          ctx.data->data() + sub.begin + sub.count});
+      bytes += static_cast<double>(sub.count) * sizeof(T) *
+               ctx.platform->scale();
+    }
+    const Status st = co_await ctx.platform->CpuMemoryWork(
+        0, bytes,
+        ctx.platform->topology().cpu_spec().merge_memory_amplification,
+        MergeEngineWeight(static_cast<int>(inputs.size())));
+    if (!st.ok()) {
+      *ctx.cpu_error = st;
+      co_return;
+    }
+    auto& run = (*ctx.eager_runs)[static_cast<std::size_t>(r)];
+    run.resize(0);
+    std::int64_t total = 0;
+    for (const auto& in : inputs) total += in.size();
+    run.resize(static_cast<std::size_t>(total));
+    cpusort::MultiwayMerge(inputs, run.data(), ctx.host_pool);
+  }
+}
+
 }  // namespace het_internal
 
 /// Reentrant coroutine form of HetSort: runs on the platform's *shared*
@@ -86,7 +387,7 @@ struct GroupTracker {
 /// eagerly, before the first suspension point (same reservation-handoff
 /// contract as P2pSortTask).
 template <typename T>
-sim::Task<void> HetSortTask(vgpu::Platform* platform,
+[[gnu::noinline]] sim::Task<void> HetSortTask(vgpu::Platform* platform,
                             vgpu::HostBuffer<T>* data, HetOptions options,
                             Result<SortStats>* out) {
   std::vector<int> gpus = options.gpu_set;
@@ -165,11 +466,7 @@ sim::Task<void> HetSortTask(vgpu::Platform* platform,
   stats.chunk_groups = groups;
 
   // Allocate buffers.
-  struct GpuState {
-    vgpu::Device* device;
-    std::vector<vgpu::DeviceBuffer<T>> buffers;
-  };
-  std::vector<GpuState> state(static_cast<std::size_t>(g));
+  std::vector<het_internal::GpuState<T>> state(static_cast<std::size_t>(g));
   for (int i = 0; i < g; ++i) {
     auto& s = state[static_cast<std::size_t>(i)];
     s.device = &platform->device(gpus[static_cast<std::size_t>(i)]);
@@ -183,18 +480,11 @@ sim::Task<void> HetSortTask(vgpu::Platform* platform,
     }
   }
 
-  // Sorted sublists land back in the host buffer in place; these views
-  // describe them for the final merge.
-  struct Sublist {
-    std::int64_t begin;
-    std::int64_t count;
-    int group;
-  };
-  std::vector<Sublist> sublists;
+  std::vector<het_internal::Sublist> sublists;
   for (std::int64_t c = 0; c < num_chunks; ++c) {
     const std::int64_t begin = c * m;
-    sublists.push_back(Sublist{begin, std::min(m, n - begin),
-                               static_cast<int>(c / g)});
+    sublists.push_back(het_internal::Sublist{begin, std::min(m, n - begin),
+                                             static_cast<int>(c / g)});
   }
 
   het_internal::GroupTracker tracker;
@@ -207,168 +497,175 @@ sim::Task<void> HetSortTask(vgpu::Platform* platform,
 
   double t0 = 0, t_gpu_phase = 0;
   double htod_busy = 0, sort_busy = 0, dtoh_busy = 0;  // phase attribution
+  const int sb = options.stream_base;
 
-  // One GPU's pipeline over its chunk sequence (chunk indices i, i+g, ...).
-  auto pipeline_2n = [&](int i) -> sim::Task<void> {
-    auto& s = state[static_cast<std::size_t>(i)];
-    auto& in = s.device->stream(0);
-    auto& out = s.device->stream(1);
-    int cur = 0;  // buffer holding the chunk being sorted
-    bool first = true;
-    for (std::int64_t c = i; c < num_chunks; c += g) {
-      const auto& sub = sublists[static_cast<std::size_t>(c)];
-      auto& buf = s.buffers[static_cast<std::size_t>(cur)];
-      auto& aux = s.buffers[static_cast<std::size_t>(1 - cur)];
-      if (first) {
-        in.MemcpyHtoDAsync(buf, 0, *data, sub.begin, sub.count);
-        first = false;
-      }
-      // Sort blocks all copies: both buffers must be free.
-      const double before_sync = platform->simulator().Now();
-      co_await in.Synchronize();
-      co_await out.Synchronize();
-      htod_busy = std::max(htod_busy, platform->simulator().Now());
-      gpusort::SortAsync(in, buf, 0, sub.count, aux, options.device_sort);
-      co_await in.Synchronize();
-      sort_busy = std::max(sort_busy, platform->simulator().Now());
-      (void)before_sync;
-      // Copy the sorted chunk back while the next chunk streams in.
-      out.MemcpyDtoHAsync(*data, sub.begin, buf, 0, sub.count);
-      const int group = sub.group;
-      auto done = out.RecordEvent();
-      sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
-                    het_internal::GroupTracker* tracker,
-                    int group) -> sim::Task<void> {
-        co_await ev->Wait();
-        tracker->MarkChunkDone(group);
-      }(done, &tracker, group));
-      if (c + g < num_chunks) {
-        const auto& next = sublists[static_cast<std::size_t>(c + g)];
-        in.MemcpyHtoDAsync(aux, 0, *data, next.begin, next.count);
-        cur = 1 - cur;
-      }
-    }
-    co_await in.Synchronize();
-    co_await out.Synchronize();
-    dtoh_busy = std::max(dtoh_busy, platform->simulator().Now());
-  };
+  het_internal::HetContext<T> ctx;
+  ctx.platform = platform;
+  ctx.data = data;
+  ctx.state = &state;
+  ctx.sublists = &sublists;
+  ctx.tracker = &tracker;
+  ctx.device_sort = options.device_sort;
+  ctx.sb = sb;
+  ctx.g = g;
+  ctx.num_chunks = num_chunks;
+  ctx.htod_busy = &htod_busy;
+  ctx.sort_busy = &sort_busy;
+  ctx.dtoh_busy = &dtoh_busy;
 
-  auto pipeline_3n = [&](int i) -> sim::Task<void> {
-    auto& s = state[static_cast<std::size_t>(i)];
-    auto& in = s.device->stream(0);
-    auto& out = s.device->stream(1);
-    auto& compute = s.device->stream(2);
-    // Buffer roles: sort / aux / transfer, rotating each iteration.
-    int sort_buf = 0, aux_buf = 1, xfer_buf = 2;
-    std::vector<std::int64_t> mine;
-    for (std::int64_t c = i; c < num_chunks; c += g) mine.push_back(c);
-    if (mine.empty()) co_return;
-
-    // Prime: chunk 0 into the sort buffer.
-    {
-      const auto& sub = sublists[static_cast<std::size_t>(mine[0])];
-      in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(sort_buf)], 0,
-                         *data, sub.begin, sub.count);
-      co_await in.Synchronize();
-      htod_busy = std::max(htod_busy, platform->simulator().Now());
-    }
-    for (std::size_t k = 0; k < mine.size(); ++k) {
-      const auto& sub = sublists[static_cast<std::size_t>(mine[k])];
-      // Sort chunk k; concurrently the transfer buffer returns chunk k-1
-      // and receives chunk k+1 (in-place transfer swap, Fig. 10).
-      gpusort::SortAsync(compute, s.buffers[static_cast<std::size_t>(sort_buf)],
-                         0, sub.count,
-                         s.buffers[static_cast<std::size_t>(aux_buf)],
-                         options.device_sort);
-      if (k > 0) {
-        const auto& prev = sublists[static_cast<std::size_t>(mine[k - 1])];
-        out.MemcpyDtoHAsync(*data, prev.begin,
-                            s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
-                            prev.count);
-        const int group = prev.group;
-        auto done = out.RecordEvent();
-        sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
-                      het_internal::GroupTracker* tracker,
-                      int group) -> sim::Task<void> {
-          co_await ev->Wait();
-          tracker->MarkChunkDone(group);
-        }(done, &tracker, group));
-      }
-      if (k + 1 < mine.size()) {
-        const auto& next = sublists[static_cast<std::size_t>(mine[k + 1])];
-        in.MemcpyHtoDAsync(s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
-                           *data, next.begin, next.count);
-      }
-      co_await compute.Synchronize();
-      sort_busy = std::max(sort_busy, platform->simulator().Now());
-      co_await in.Synchronize();
-      co_await out.Synchronize();
-      htod_busy = std::max(htod_busy, platform->simulator().Now());
-      std::swap(sort_buf, xfer_buf);  // transfer buffer now holds chunk k+1
-    }
-    // Return the final sorted chunk.
-    {
-      const auto& last = sublists[static_cast<std::size_t>(mine.back())];
-      out.MemcpyDtoHAsync(*data, last.begin,
-                          s.buffers[static_cast<std::size_t>(xfer_buf)], 0,
-                          last.count);
-      const int group = last.group;
-      auto done = out.RecordEvent();
-      sim::Spawn([](std::shared_ptr<sim::Trigger> ev,
-                    het_internal::GroupTracker* tracker,
-                    int group) -> sim::Task<void> {
-        co_await ev->Wait();
-        tracker->MarkChunkDone(group);
-      }(done, &tracker, group));
-      co_await out.Synchronize();
-      dtoh_busy = std::max(dtoh_busy, platform->simulator().Now());
-    }
-  };
-
-  // Eager merge worker: merges group r's sublists as soon as the group is
-  // fully back in host memory (skipping the last group, Section 5.3).
-  // CPU-side failures park in `cpu_error`; the post-join health check
-  // surfaces them (group triggers still fire on a failed device because
-  // skipped ops drain the stream FIFO, so this worker cannot wedge).
   Status cpu_error = Status::OK();
-  auto eager_worker = [&]() -> sim::Task<void> {
-    for (int r = 0; r < eager_groups; ++r) {
-      co_await tracker.complete[static_cast<std::size_t>(r)]->Wait();
-      std::vector<cpusort::MergeInput<T>> inputs;
-      double bytes = 0;
-      for (const auto& sub : sublists) {
-        if (sub.group != r) continue;
-        inputs.push_back(cpusort::MergeInput<T>{
-            data->data() + sub.begin, data->data() + sub.begin + sub.count});
-        bytes += static_cast<double>(sub.count) * sizeof(T) *
-                 platform->scale();
-      }
-      const Status st = co_await platform->CpuMemoryWork(
-          0, bytes, platform->topology().cpu_spec().merge_memory_amplification,
-          MergeEngineWeight(static_cast<int>(inputs.size())));
-      if (!st.ok()) {
-        cpu_error = st;
-        co_return;
-      }
-      auto& run = eager_runs[static_cast<std::size_t>(r)];
-      run.resize(0);
-      std::int64_t total = 0;
-      for (const auto& in : inputs) total += in.size();
-      run.resize(static_cast<std::size_t>(total));
-      cpusort::MultiwayMerge(inputs, run.data(), options.host_pool);
-    }
-  };
+  het_internal::EagerContext<T> ectx;
+  ectx.platform = platform;
+  ectx.data = data;
+  ectx.sublists = &sublists;
+  ectx.tracker = &tracker;
+  ectx.eager_runs = &eager_runs;
+  ectx.cpu_error = &cpu_error;
+  ectx.host_pool = options.host_pool;
+  ectx.eager_groups = eager_groups;
 
   t0 = platform->simulator().Now();
-  std::vector<sim::JoinerPtr> joins;
-  for (int i = 0; i < g; ++i) {
-    joins.push_back(sim::Spawn(options.scheme == BufferScheme::k2n
-                                   ? pipeline_2n(i)
-                                   : pipeline_3n(i)));
-  }
   sim::JoinerPtr eager_join;
-  if (eager_groups > 0) eager_join = sim::Spawn(eager_worker());
-  co_await sim::WhenAll(std::move(joins));
+  if (options.exec_mode == ExecMode::kPhased) {
+    std::vector<sim::JoinerPtr> joins;
+    for (int i = 0; i < g; ++i) {
+      joins.push_back(sim::Spawn(options.scheme == BufferScheme::k2n
+                                     ? het_internal::Pipeline2n(ctx, i)
+                                     : het_internal::Pipeline3n(ctx, i)));
+    }
+    if (eager_groups > 0) {
+      eager_join = sim::Spawn(het_internal::EagerWorker(ectx));
+    }
+    co_await sim::WhenAll(std::move(joins));
+  } else {
+    // Graph mode: the same per-chunk steps as the pipelines above, as
+    // explicit nodes. Within one GPU the dependency edges reproduce the
+    // scheme's buffer discipline exactly; the win is cross-job: a shared
+    // executor interleaves this job's nodes with other tenants'.
+    exec::TaskGraph graph;
+    constexpr exec::BufferToken kHostToken = -1;
+    graph.AddInput(kHostToken);
+    // Chunk-level tokens: upload completed / sorted result available.
+    auto up_tok = [](std::int64_t c) -> exec::BufferToken {
+      return c * 2 + 2;
+    };
+    auto sorted_tok = [](std::int64_t c) -> exec::BufferToken {
+      return c * 2 + 3;
+    };
+
+    for (int i = 0; i < g; ++i) {
+      const int dev = gpus[static_cast<std::size_t>(i)];
+      std::vector<std::int64_t> mine;
+      for (std::int64_t c = i; c < num_chunks; c += g) mine.push_back(c);
+      if (mine.empty()) continue;
+      if (options.scheme == BufferScheme::k2n) {
+        exec::NodeId prev_sort = -1, prev_down = -1;
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          const std::int64_t c = mine[k];
+          const int cur = static_cast<int>(k % 2);
+          const exec::NodeId h = graph.AddNode(
+              exec::NodeKind::kHtoDCopy, dev,
+              [ctx, i, c, cur] {
+                return het_internal::StepHtoD(ctx, i, c, cur);
+              },
+              "htod" + std::to_string(c));
+          graph.Consumes(h, kHostToken);
+          graph.Produces(h, up_tok(c));
+          // The sort scratches the other buffer, so the next upload (into
+          // that buffer) and this chunk's sort both wait on the previous
+          // sort / download ("sort blocks copies").
+          if (prev_sort >= 0) graph.AddEdge(prev_sort, h);
+          const exec::NodeId sn = graph.AddNode(
+              exec::NodeKind::kChunkSort, dev,
+              [ctx, i, c, cur] {
+                return het_internal::StepSort2n(ctx, i, c, cur);
+              },
+              "sort" + std::to_string(c));
+          graph.AddEdge(h, sn);
+          if (prev_down >= 0) graph.AddEdge(prev_down, sn);
+          graph.Consumes(sn, up_tok(c));
+          graph.Produces(sn, sorted_tok(c));
+          const exec::NodeId dn = graph.AddNode(
+              exec::NodeKind::kDtoHCopy, dev,
+              [ctx, i, c, cur] {
+                return het_internal::StepDtoH(ctx, i, c, cur);
+              },
+              "dtoh" + std::to_string(c));
+          graph.AddEdge(sn, dn);
+          graph.Consumes(dn, sorted_tok(c));
+          prev_sort = sn;
+          prev_down = dn;
+        }
+      } else {
+        const std::size_t K = mine.size();
+        const exec::NodeId prime = graph.AddNode(
+            exec::NodeKind::kHtoDCopy, dev,
+            [ctx, i, c = mine[0]] {
+              return het_internal::StepHtoD(ctx, i, c, 0);
+            },
+            "htod" + std::to_string(mine[0]));
+        graph.Consumes(prime, kHostToken);
+        graph.Produces(prime, up_tok(mine[0]));
+        exec::NodeId prev_s = prime, prev_x = prime;
+        for (std::size_t k = 0; k < K; ++k) {
+          const std::int64_t c = mine[k];
+          const int sort_buf = k % 2 == 0 ? 0 : 2;
+          const int xfer = k % 2 == 0 ? 2 : 0;
+          const exec::NodeId sn = graph.AddNode(
+              exec::NodeKind::kChunkSort, dev,
+              [ctx, i, c, sort_buf] {
+                return het_internal::StepSort3n(ctx, i, c, sort_buf);
+              },
+              "sort" + std::to_string(c));
+          graph.AddEdge(prev_s, sn);
+          if (prev_x != prev_s) graph.AddEdge(prev_x, sn);
+          graph.Consumes(sn, up_tok(c));
+          graph.Produces(sn, sorted_tok(c));
+          const std::int64_t prev_c = k > 0 ? mine[k - 1] : -1;
+          const std::int64_t next_c = k + 1 < K ? mine[k + 1] : -1;
+          if (prev_c >= 0 || next_c >= 0) {
+            const exec::NodeId xn = graph.AddNode(
+                exec::NodeKind::kBlockSwap, dev,
+                [ctx, i, prev_c, next_c, xfer] {
+                  return het_internal::StepXfer3n(ctx, i, prev_c, next_c,
+                                                  xfer);
+                },
+                "xfer" + std::to_string(c));
+            graph.AddEdge(prev_s, xn);
+            if (prev_x != prev_s) graph.AddEdge(prev_x, xn);
+            if (prev_c >= 0) graph.Consumes(xn, sorted_tok(prev_c));
+            if (next_c >= 0) {
+              graph.Consumes(xn, kHostToken);
+              graph.Produces(xn, up_tok(next_c));
+            }
+            prev_x = xn;
+          }
+          prev_s = sn;
+        }
+        const exec::NodeId fn = graph.AddNode(
+            exec::NodeKind::kDtoHCopy, dev,
+            [ctx, i, c = mine.back(), buf = (K - 1) % 2 == 0 ? 0 : 2] {
+              return het_internal::StepFinal3n(ctx, i, c, buf);
+            },
+            "dtoh" + std::to_string(mine.back()));
+        graph.AddEdge(prev_s, fn);
+        if (prev_x != prev_s) graph.AddEdge(prev_x, fn);
+        graph.Consumes(fn, sorted_tok(mine.back()));
+      }
+    }
+
+    exec::GraphExecutor local_executor(platform);
+    exec::GraphExecutor* executor =
+        options.executor ? options.executor : &local_executor;
+    exec::GraphJobOptions job_options;
+    job_options.priority = options.exec_priority;
+    job_options.label = "het";
+    if (eager_groups > 0) {
+      eager_join = sim::Spawn(het_internal::EagerWorker(ectx));
+    }
+    co_await executor->Run(std::move(graph), std::move(job_options),
+                           options.exec_report);
+  }
   if (eager_join) co_await *eager_join;
   t_gpu_phase = platform->simulator().Now();
 

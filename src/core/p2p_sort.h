@@ -25,7 +25,9 @@
 
 #include "core/common.h"
 #include "core/pivot.h"
+#include "exec/executor.h"
 #include "gpusort/device_sort.h"
+#include "obs/phase.h"
 #include "vgpu/platform.h"
 
 namespace mgs::core {
@@ -59,17 +61,36 @@ struct MergeContext {
   std::int64_t m;  // chunk size (actual elements)
   SortStats* stats;
   PivotPolicy pivot_policy = PivotPolicy::kLeftmost;
+  /// First stream index to use (P2P/merge on +0, local copies on +1).
+  int stream_base = 0;
 };
 
-/// Swap + local-merge for the two sorted halves [lo, mid) and [mid, hi) of
-/// the chunk array, each half fully sorted across its chunks.
+/// Per-chunk record of what one merge stage's block swap deposited in the
+/// chunk's aux buffer: the local range [swap_begin, swap_end) was received
+/// from the remote half; the rest is the device-locally copied remainder.
+struct Touched {
+  bool any = false;
+  std::int64_t swap_begin = 0;
+  std::int64_t swap_end = 0;
+};
+
+/// Pivot selection + bidirectional block exchange for the two sorted
+/// halves [lo, mid) and [mid, hi), including the stage-wide stream barrier
+/// that guarantees every aux buffer is complete. Fills `touched[c]` for
+/// each chunk (relative index c in [0, hi-lo)); the per-chunk local merges
+/// (MergeChunkLocal) may then proceed independently — which is exactly the
+/// graph cut the executor path exploits.
 template <typename T>
-sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
+[[gnu::noinline]] sim::Task<void> SwapPhase(MergeContext<T> ctx, int lo, int hi,
+                          std::vector<Touched>* touched_out) {
   auto& chunks = *ctx.chunks;
   const int g = hi - lo;
   const int h = g / 2;
   const std::int64_t m = ctx.m;
   const std::int64_t half = static_cast<std::int64_t>(h) * m;
+  const int sb = ctx.stream_base;
+  touched_out->assign(static_cast<std::size_t>(g), Touched{});
+  std::vector<Touched>& touched = *touched_out;
 
   // Leftmost pivot across the concatenated halves. Reads of device memory
   // model the P2P/binary-search accesses of Algorithm 1.
@@ -95,13 +116,6 @@ sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
   // right half, segment by segment so no copy crosses a chunk boundary.
   // Swaps land in the aux buffers; the kept remainders are copied
   // device-locally (overlapped with the P2P transfers).
-  struct Touched {
-    bool any = false;
-    std::int64_t swap_begin = 0;  // local range [swap_begin, swap_end)
-    std::int64_t swap_end = 0;    // received from the remote half
-  };
-  std::vector<Touched> touched(static_cast<std::size_t>(g));
-
   std::int64_t j = 0;
   while (j < p) {
     const std::int64_t a_pos = half - p + j;  // in left half
@@ -115,10 +129,10 @@ sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
     auto& left = chunks[static_cast<std::size_t>(ci)];
     auto& right = chunks[static_cast<std::size_t>(cj)];
     // Bidirectional P2P copies, each driven by its source GPU.
-    left.device->stream(0).MemcpyPeerAsync(right.aux, b_off, left.primary,
-                                           a_off, len);
-    right.device->stream(0).MemcpyPeerAsync(left.aux, a_off, right.primary,
-                                            b_off, len);
+    left.device->stream(sb).MemcpyPeerAsync(right.aux, b_off, left.primary,
+                                            a_off, len);
+    right.device->stream(sb).MemcpyPeerAsync(left.aux, a_off, right.primary,
+                                             b_off, len);
     auto& tl = touched[static_cast<std::size_t>(ci - lo)];
     if (!tl.any) {
       tl.any = true;
@@ -140,20 +154,21 @@ sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
     j += len;
   }
 
-  // Device-local copies of the kept remainders into aux (stream 1: the
+  // Device-local copies of the kept remainders into aux (stream sb+1: the
   // local engine overlaps the P2P stream).
   for (int c = 0; c < g; ++c) {
     auto& t = touched[static_cast<std::size_t>(c)];
     if (!t.any) continue;
     auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
     if (t.swap_begin > 0) {
-      chunk.device->stream(1).MemcpyDtoDAsync(chunk.aux, 0, chunk.primary, 0,
-                                              t.swap_begin);
+      chunk.device->stream(sb + 1).MemcpyDtoDAsync(chunk.aux, 0,
+                                                   chunk.primary, 0,
+                                                   t.swap_begin);
     }
     if (t.swap_end < m) {
-      chunk.device->stream(1).MemcpyDtoDAsync(chunk.aux, t.swap_end,
-                                              chunk.primary, t.swap_end,
-                                              m - t.swap_end);
+      chunk.device->stream(sb + 1).MemcpyDtoDAsync(chunk.aux, t.swap_end,
+                                                   chunk.primary, t.swap_end,
+                                                   m - t.swap_end);
     }
   }
 
@@ -164,43 +179,132 @@ sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
     for (int c = 0; c < g; ++c) {
       if (!touched[static_cast<std::size_t>(c)].any) continue;
       auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
-      joins.push_back(sim::Spawn(chunk.device->stream(0).Synchronize()));
-      joins.push_back(sim::Spawn(chunk.device->stream(1).Synchronize()));
-    }
-    co_await sim::WhenAll(std::move(joins));
-  }
-
-  // Local merges: aux holds [kept][received] (left chunks) or
-  // [received][kept] (right chunks) — in both cases two sorted runs split
-  // at the swap boundary. Fully-swapped chunks (boundary at 0 or m) just
-  // exchange buffer roles.
-  for (int c = 0; c < g; ++c) {
-    auto& t = touched[static_cast<std::size_t>(c)];
-    if (!t.any) continue;
-    auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
-    const bool full_chunk_swap = t.swap_begin == 0 && t.swap_end == m;
-    if (full_chunk_swap) {
-      std::swap(chunk.primary, chunk.aux);
-      continue;
-    }
-    const std::int64_t split = c < h ? t.swap_begin : t.swap_end;
-    gpusort::MergeLocalAsync(chunk.device->stream(0), chunk.primary, 0,
-                             chunk.aux, 0, split, split, m - split);
-  }
-  {
-    std::vector<sim::JoinerPtr> joins;
-    for (int c = 0; c < g; ++c) {
-      if (!touched[static_cast<std::size_t>(c)].any) continue;
-      auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
-      joins.push_back(sim::Spawn(chunk.device->stream(0).Synchronize()));
+      joins.push_back(sim::Spawn(chunk.device->stream(sb).Synchronize()));
+      joins.push_back(
+          sim::Spawn(chunk.device->stream(sb + 1).Synchronize()));
     }
     co_await sim::WhenAll(std::move(joins));
   }
 }
 
+/// One chunk's local merge after SwapPhase: aux holds [kept][received]
+/// (left chunks) or [received][kept] (right chunks) — in both cases two
+/// sorted runs split at the swap boundary. Fully-swapped chunks (boundary
+/// at 0 or m) just exchange buffer roles. `c` is the chunk's relative
+/// index in [0, hi-lo).
+template <typename T>
+[[gnu::noinline]] sim::Task<void> MergeChunkLocal(MergeContext<T> ctx, int lo, int hi, int c,
+                                Touched t) {
+  auto& chunks = *ctx.chunks;
+  const int h = (hi - lo) / 2;
+  const std::int64_t m = ctx.m;
+  auto& chunk = chunks[static_cast<std::size_t>(lo + c)];
+  if (t.swap_begin == 0 && t.swap_end == m) {
+    std::swap(chunk.primary, chunk.aux);
+    co_return;
+  }
+  const std::int64_t split = c < h ? t.swap_begin : t.swap_end;
+  auto& stream = chunk.device->stream(ctx.stream_base);
+  gpusort::MergeLocalAsync(stream, chunk.primary, 0, chunk.aux, 0, split,
+                           split, m - split);
+  co_await stream.Synchronize();
+}
+
+/// Graph-node form of MergeChunkLocal: reads the stage's Touched vector
+/// (kept alive by the shared_ptr) at run time, after the swap node filled
+/// it, and no-ops for chunks the stage never touched.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> MergeChunkIfTouched(
+    MergeContext<T> ctx, int lo, int hi, int c,
+    std::shared_ptr<std::vector<Touched>> touched) {
+  const Touched t = (*touched)[static_cast<std::size_t>(c)];
+  if (!t.any) co_return;
+  co_await MergeChunkLocal(ctx, lo, hi, c, t);
+}
+
+/// Phase-barrier form of one merge stage (the oracle path): swap, then all
+/// per-chunk local merges concurrently.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> MergeStage(MergeContext<T> ctx, int lo, int hi) {
+  std::vector<Touched> touched;
+  co_await SwapPhase(ctx, lo, hi, &touched);
+  std::vector<sim::JoinerPtr> joins;
+  for (int c = 0; c < hi - lo; ++c) {
+    if (!touched[static_cast<std::size_t>(c)].any) continue;
+    joins.push_back(sim::Spawn(
+        MergeChunkLocal(ctx, lo, hi, c, touched[static_cast<std::size_t>(c)])));
+  }
+  co_await sim::WhenAll(std::move(joins));
+}
+
+/// Context for the per-chunk phase-1/3 steps, shared by the phased oracle
+/// and the graph node bodies. Namespace-scope coroutines (not lambdas in
+/// P2pSortTask) for the COMDAT-group reason documented on
+/// het_internal::HetContext.
+template <typename T>
+struct StepContext {
+  vgpu::Platform* platform = nullptr;
+  vgpu::HostBuffer<T>* data = nullptr;
+  std::vector<Chunk<T>>* chunks = nullptr;
+  std::int64_t m = 0;  // chunk size (last chunk padded)
+  std::int64_t n = 0;  // total keys
+  gpusort::SortAlgo device_sort = gpusort::SortAlgo::kThrustRadix;
+  int sb = 0;  // first stream index (SortOptions::stream_base)
+};
+
+/// HtoD of chunk i; pads the tail of the last chunk with +inf sentinels.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> UploadChunk(StepContext<T> ctx, int i) {
+  auto& chunk = (*ctx.chunks)[static_cast<std::size_t>(i)];
+  const std::int64_t begin = static_cast<std::int64_t>(i) * ctx.m;
+  const std::int64_t count = std::max<std::int64_t>(
+      0, std::min(ctx.m, ctx.n - begin));  // trailing chunks: all padding
+  auto& stream = chunk.device->stream(ctx.sb);
+  if (count > 0) {
+    stream.MemcpyHtoDAsync(chunk.primary, 0, *ctx.data, begin, count);
+  }
+  if (count < ctx.m) {
+    T* pad_begin = chunk.primary.data() + count;
+    const std::int64_t pad = ctx.m - count;
+    const double fill_time = static_cast<double>(pad) * sizeof(T) *
+                             ctx.platform->scale() /
+                             chunk.device->spec().memory_bandwidth;
+    stream.LaunchAsync(
+        fill_time,
+        [pad_begin, pad] {
+          std::fill(pad_begin, pad_begin + pad, SortableLimits<T>::Max());
+        },
+        "pad-fill");
+  }
+  co_await stream.Synchronize();
+}
+
+template <typename T>
+[[gnu::noinline]] sim::Task<void> SortChunk(StepContext<T> ctx, int i) {
+  auto& chunk = (*ctx.chunks)[static_cast<std::size_t>(i)];
+  auto& stream = chunk.device->stream(ctx.sb);
+  gpusort::SortAsync(stream, chunk.primary, 0, ctx.m, chunk.aux,
+                     ctx.device_sort);
+  co_await stream.Synchronize();
+}
+
+/// DtoH of chunk i; sentinels at the global tail stay behind.
+template <typename T>
+[[gnu::noinline]] sim::Task<void> DownloadChunk(StepContext<T> ctx, int i) {
+  auto& chunk = (*ctx.chunks)[static_cast<std::size_t>(i)];
+  const std::int64_t begin = static_cast<std::int64_t>(i) * ctx.m;
+  const std::int64_t count =
+      std::max<std::int64_t>(0, std::min(ctx.m, ctx.n - begin));
+  auto& stream = chunk.device->stream(ctx.sb);
+  if (count > 0) {
+    stream.MemcpyDtoHAsync(*ctx.data, begin, chunk.primary, 0, count);
+  }
+  co_await stream.Synchronize();
+}
+
 /// Algorithm 2: recursive merge of chunks [lo, hi).
 template <typename T>
-sim::Task<void> MergeChunks(MergeContext<T> ctx, int lo, int hi) {
+[[gnu::noinline]] sim::Task<void> MergeChunks(MergeContext<T> ctx, int lo, int hi) {
   const int g = hi - lo;
   if (g < 2) co_return;
   const int mid = lo + g / 2;
@@ -231,7 +335,7 @@ sim::Task<void> MergeChunks(MergeContext<T> ctx, int lo, int hi) {
 /// allocated eagerly, before the first suspension point, so a caller that
 /// reserved memory may release the reservation immediately before awaiting.
 template <typename T>
-sim::Task<void> P2pSortTask(vgpu::Platform* platform,
+[[gnu::noinline]] sim::Task<void> P2pSortTask(vgpu::Platform* platform,
                             vgpu::HostBuffer<T>* data, SortOptions options,
                             Result<SortStats>* out) {
   using p2p_internal::Chunk;
@@ -289,104 +393,230 @@ sim::Task<void> P2pSortTask(vgpu::Platform* platform,
     chunk.aux = std::move(*aux);
   }
 
-  obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
-                                  &platform->topology(), "p2p");
+  const int sb = options.stream_base;
+  p2p_internal::StepContext<T> sctx;
+  sctx.platform = platform;
+  sctx.data = data;
+  sctx.chunks = &chunks;
+  sctx.m = m;
+  sctx.n = n;
+  sctx.device_sort = options.device_sort;
+  sctx.sb = sb;
+  MergeContext<T> ctx{platform, &chunks, m,
+                      &stats,   options.pivot_policy, sb};
   const double t0 = platform->simulator().Now();
-  phase_metrics.StartPhase("htod", t0);
-  // Phase 1a: HtoD (pad the tail of the last chunk with +inf sentinels).
-  auto upload = [&](int i) -> sim::Task<void> {
-    auto& chunk = chunks[static_cast<std::size_t>(i)];
-    const std::int64_t begin = static_cast<std::int64_t>(i) * m;
-    const std::int64_t count = std::max<std::int64_t>(
-        0, std::min(m, n - begin));  // trailing chunks may be all padding
-    auto& stream = chunk.device->stream(0);
-    if (count > 0) {
-      stream.MemcpyHtoDAsync(chunk.primary, 0, *data, begin, count);
+
+  if (options.exec_mode == ExecMode::kPhased) {
+    obs::PhaseTracker phase_metrics(platform->metrics(), &platform->network(),
+                                    &platform->topology(), "p2p");
+    phase_metrics.StartPhase("htod", t0);
+    // Phase 1a: HtoD.
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        joins.push_back(sim::Spawn(p2p_internal::UploadChunk(sctx, i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
     }
-    if (count < m) {
-      T* pad_begin = chunk.primary.data() + count;
-      const std::int64_t pad = m - count;
-      const double fill_time = static_cast<double>(pad) * sizeof(T) *
-                               platform->scale() /
-                               chunk.device->spec().memory_bandwidth;
-      stream.LaunchAsync(
-          fill_time,
-          [pad_begin, pad] {
-            std::fill(pad_begin, pad_begin + pad, SortableLimits<T>::Max());
+    if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+      *out = st;  // frame destruction frees the device buffers
+      co_return;
+    }
+    const double t_htod = platform->simulator().Now();
+    phase_metrics.StartPhase("sort", t_htod);
+
+    // Phase 1b: local chunk sorts.
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        joins.push_back(sim::Spawn(p2p_internal::SortChunk(sctx, i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+      *out = st;
+      co_return;
+    }
+    const double t_sort = platform->simulator().Now();
+    phase_metrics.StartPhase("merge", t_sort);
+
+    // Phase 2: recursive P2P merge.
+    co_await p2p_internal::MergeChunks(ctx, 0, g);
+    if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+      *out = st;
+      co_return;
+    }
+    const double t_merge = platform->simulator().Now();
+    phase_metrics.StartPhase("dtoh", t_merge);
+
+    // Phase 3: DtoH.
+    {
+      std::vector<sim::JoinerPtr> joins;
+      for (int i = 0; i < g; ++i) {
+        joins.push_back(sim::Spawn(p2p_internal::DownloadChunk(sctx, i)));
+      }
+      co_await sim::WhenAll(std::move(joins));
+    }
+    if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
+      *out = st;
+      co_return;
+    }
+    phase_metrics.Finish(platform->simulator().Now());
+    stats.total_seconds = platform->simulator().Now() - t0;
+    stats.phases.htod = t_htod - t0;
+    stats.phases.sort = t_sort - t_htod;
+    stats.phases.merge = t_merge - t_sort;
+    stats.phases.dtoh = t0 + stats.total_seconds - t_merge;
+    *out = std::move(stats);
+    co_return;
+  }
+
+  // Graph mode: emit one node per pipeline step with explicit data
+  // dependencies and let the executor drain them — a chunk's sort starts
+  // the moment its own upload lands, a merge stage starts when its input
+  // chunks are ready, and downloads overlap still-running merges of other
+  // subtrees. Equivalence contract with the phased oracle: docs/executor.md
+  // (same data movement and results; faults are detected once at the end
+  // instead of at each barrier).
+  exec::TaskGraph graph;
+  constexpr exec::BufferToken kHostToken = -1000000;
+  graph.AddInput(kHostToken);
+  // Chunk c's primary buffer after its v-th writer; negative tokens mark
+  // whole-stage swap completion.
+  auto chunk_token = [](int c, int version) -> exec::BufferToken {
+    return static_cast<exec::BufferToken>(c) * 4096 + version;
+  };
+  std::vector<int> ver(static_cast<std::size_t>(g), 1);
+  std::vector<exec::NodeId> last(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    const int dev = gpus[static_cast<std::size_t>(i)];
+    const exec::NodeId h_node = graph.AddNode(
+        exec::NodeKind::kHtoDCopy, dev,
+        [sctx, i] { return p2p_internal::UploadChunk(sctx, i); },
+        "htod" + std::to_string(i));
+    graph.Consumes(h_node, kHostToken);
+    graph.Produces(h_node, chunk_token(i, 0));
+    const exec::NodeId s_node = graph.AddNode(
+        exec::NodeKind::kChunkSort, dev,
+        [sctx, i] { return p2p_internal::SortChunk(sctx, i); },
+        "sort" + std::to_string(i));
+    graph.AddEdge(h_node, s_node);
+    graph.Consumes(s_node, chunk_token(i, 0));
+    graph.Produces(s_node, chunk_token(i, 1));
+    last[static_cast<std::size_t>(i)] = s_node;
+  }
+
+  // Unroll the MergeChunks recursion into swap + per-chunk merge nodes.
+  // Each stage's Touched vector is filled by its swap node and read by its
+  // merge nodes (ordered by the swap->merge edges).
+  int stage_count = 0;
+  auto emit_stage = [&](int lo, int hi) {
+    auto touched = std::make_shared<std::vector<p2p_internal::Touched>>();
+    const exec::NodeId w = graph.AddNode(
+        exec::NodeKind::kBlockSwap, gpus[static_cast<std::size_t>(lo)],
+        [ctx, lo, hi, touched] {
+          return p2p_internal::SwapPhase(ctx, lo, hi, touched.get());
+        },
+        "swap[" + std::to_string(lo) + "," + std::to_string(hi) + ")");
+    const exec::BufferToken stage_token = -(++stage_count);
+    graph.Produces(w, stage_token);
+    for (int c = lo; c < hi; ++c) {
+      graph.AddEdge(last[static_cast<std::size_t>(c)], w);
+      graph.Consumes(w, chunk_token(c, ver[static_cast<std::size_t>(c)]));
+    }
+    for (int c = lo; c < hi; ++c) {
+      const int rel = c - lo;
+      const exec::NodeId m_node = graph.AddNode(
+          exec::NodeKind::kMergeStep, gpus[static_cast<std::size_t>(c)],
+          [ctx, lo, hi, rel, touched] {
+            return p2p_internal::MergeChunkIfTouched(ctx, lo, hi, rel,
+                                                     touched);
           },
-          "pad-fill");
+          "merge" + std::to_string(c));
+      graph.AddEdge(w, m_node);
+      graph.Consumes(m_node, stage_token);
+      ver[static_cast<std::size_t>(c)] += 1;
+      graph.Produces(m_node,
+                     chunk_token(c, ver[static_cast<std::size_t>(c)]));
+      last[static_cast<std::size_t>(c)] = m_node;
     }
-    co_await stream.Synchronize();
   };
-  {
-    std::vector<sim::JoinerPtr> joins;
-    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(upload(i)));
-    co_await sim::WhenAll(std::move(joins));
-  }
-  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
-    *out = st;  // frame destruction frees the device buffers
-    co_return;
-  }
-  const double t_htod = platform->simulator().Now();
-  phase_metrics.StartPhase("sort", t_htod);
-
-  // Phase 1b: local chunk sorts.
-  auto sort_chunk = [&](int i) -> sim::Task<void> {
-    auto& chunk = chunks[static_cast<std::size_t>(i)];
-    auto& stream = chunk.device->stream(0);
-    gpusort::SortAsync(stream, chunk.primary, 0, m, chunk.aux,
-                       options.device_sort);
-    co_await stream.Synchronize();
-  };
-  {
-    std::vector<sim::JoinerPtr> joins;
-    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(sort_chunk(i)));
-    co_await sim::WhenAll(std::move(joins));
-  }
-  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
-    *out = st;
-    co_return;
-  }
-  const double t_sort = platform->simulator().Now();
-  phase_metrics.StartPhase("merge", t_sort);
-
-  // Phase 2: recursive P2P merge.
-  MergeContext<T> ctx{platform, &chunks, m, &stats, options.pivot_policy};
-  co_await p2p_internal::MergeChunks(ctx, 0, g);
-  if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
-    *out = st;
-    co_return;
-  }
-  const double t_merge = platform->simulator().Now();
-  phase_metrics.StartPhase("dtoh", t_merge);
-
-  // Phase 3: DtoH (sentinels at the global tail stay behind).
-  auto download = [&](int i) -> sim::Task<void> {
-    auto& chunk = chunks[static_cast<std::size_t>(i)];
-    const std::int64_t begin = static_cast<std::int64_t>(i) * m;
-    const std::int64_t count = std::max<std::int64_t>(
-        0, std::min(m, n - begin));
-    auto& stream = chunk.device->stream(0);
-    if (count > 0) {
-      stream.MemcpyDtoHAsync(*data, begin, chunk.primary, 0, count);
+  auto emit_merge = [&](auto&& self, int lo, int hi) -> void {
+    const int span = hi - lo;
+    if (span < 2) return;
+    const int mid = lo + span / 2;
+    if (span > 2) {
+      self(self, lo, mid);
+      self(self, mid, hi);
     }
-    co_await stream.Synchronize();
+    emit_stage(lo, hi);
+    if (span > 2) {
+      self(self, lo, mid);
+      self(self, mid, hi);
+    }
   };
-  {
-    std::vector<sim::JoinerPtr> joins;
-    for (int i = 0; i < g; ++i) joins.push_back(sim::Spawn(download(i)));
-    co_await sim::WhenAll(std::move(joins));
+  emit_merge(emit_merge, 0, g);
+
+  for (int i = 0; i < g; ++i) {
+    const exec::NodeId d_node = graph.AddNode(
+        exec::NodeKind::kDtoHCopy, gpus[static_cast<std::size_t>(i)],
+        [sctx, i] { return p2p_internal::DownloadChunk(sctx, i); },
+        "dtoh" + std::to_string(i));
+    graph.AddEdge(last[static_cast<std::size_t>(i)], d_node);
+    graph.Consumes(d_node, chunk_token(i, ver[static_cast<std::size_t>(i)]));
   }
+
+  exec::GraphExecutor local_executor(platform);
+  exec::GraphExecutor* executor =
+      options.executor ? options.executor : &local_executor;
+  exec::GraphJobOptions job_options;
+  job_options.priority = options.exec_priority;
+  job_options.label = "p2p";
+  exec::ExecReport local_report;
+  exec::ExecReport* report =
+      options.exec_report ? options.exec_report : &local_report;
+  co_await executor->Run(std::move(graph), std::move(job_options), report);
+  // Single health poll: ops between barriers fail soft, so with the
+  // barriers gone the first error surfaces here (the chunk-order-first
+  // error, which may differ from the earliest-barrier error the phased
+  // path reports — same status code either way).
   if (Status st = p2p_internal::ChunksHealth(chunks); !st.ok()) {
     *out = st;
     co_return;
   }
-  phase_metrics.Finish(platform->simulator().Now());
+  // Post-hoc phase attribution from per-kind completion frontiers; phases
+  // overlap under graph execution, so later frontiers clamp monotonically
+  // (same convention as the HET pipeline).
+  double htod_end = t0, sort_end = t0, merge_end = t0, last_end = t0;
+  for (const exec::NodeRun& run : report->nodes) {
+    last_end = std::max(last_end, run.end);
+    switch (run.kind) {
+      case exec::NodeKind::kHtoDCopy:
+        htod_end = std::max(htod_end, run.end);
+        break;
+      case exec::NodeKind::kChunkSort:
+        sort_end = std::max(sort_end, run.end);
+        break;
+      case exec::NodeKind::kBlockSwap:
+      case exec::NodeKind::kMergeStep:
+        merge_end = std::max(merge_end, run.end);
+        break;
+      default:
+        break;
+    }
+  }
+  sort_end = std::max(sort_end, htod_end);
+  merge_end = std::max(merge_end, sort_end);
+  stats.phases.htod = htod_end - t0;
+  stats.phases.sort = sort_end - htod_end;
+  stats.phases.merge = merge_end - sort_end;
+  stats.phases.dtoh = last_end - merge_end;
   stats.total_seconds = platform->simulator().Now() - t0;
-  stats.phases.htod = t_htod - t0;
-  stats.phases.sort = t_sort - t_htod;
-  stats.phases.merge = t_merge - t_sort;
-  stats.phases.dtoh = t0 + stats.total_seconds - t_merge;
+  obs::RecordPhaseBreakdown(platform->metrics(), "p2p",
+                            {{"htod", stats.phases.htod},
+                             {"sort", stats.phases.sort},
+                             {"merge", stats.phases.merge},
+                             {"dtoh", stats.phases.dtoh}});
   *out = std::move(stats);
 }
 

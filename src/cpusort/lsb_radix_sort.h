@@ -7,11 +7,13 @@
 //  * the scatter goes through write-combining staging buffers — 256 small
 //    cache-resident tails flushed with one wide contiguous store each —
 //    instead of 256 random single-element write streams;
-//  * single-threaded, the histograms for *all* digits are fused into one
-//    read pass up front (global per-digit counts are permutation-invariant,
-//    so counting the input once is valid for every later pass; with
-//    multiple threads the per-shard counts change between passes, so the
-//    fused form is only used when threads == 1);
+//  * the histograms for *all* digits are fused into one read pass up front,
+//    sharded across the pool. Global per-digit counts are permutation-
+//    invariant, so the skip plan for every pass falls out of that single
+//    pass; the per-thread shard counts are only valid while the data is
+//    still unpermuted, so they also seed the first unskipped pass's
+//    histograms (and, summed, every pass when single-threaded). Later
+//    passes re-count their shards per digit as before;
 //  * passes whose histogram has a single occupied bucket are identity
 //    permutations and are skipped outright (common for low-entropy keys
 //    and for the high bytes of small-range integers).
@@ -96,25 +98,59 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
     wc.resize(static_cast<std::size_t>(threads * kRadixBuckets * w));
   }
 
-  // Single-threaded: one fused read pass counts every digit at once. The
-  // global counts hold for all passes because a stable scatter only permutes
-  // the keys. (Per-thread shard counts do NOT survive permutation, so the
-  // threaded path keeps one histogram pass per digit.)
-  std::vector<std::array<std::int64_t, kRadixBuckets>> fused;
-  if (threads == 1) {
-    fused.assign(static_cast<std::size_t>(digits), {});
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (int d = 0; d < digits; ++d) ++fused[static_cast<std::size_t>(d)]
-                                             [RadixDigit(src[i], d)];
+  // Fused all-digits histogram: one sharded read pass counts every digit of
+  // the input at once (thread t's rows live at fused[t * digits + d]). The
+  // global sums are permutation-invariant — a stable scatter only permutes
+  // the keys — so the digit-skip decision for *every* pass comes from this
+  // single pass. The per-thread rows additionally equal the per-shard
+  // histograms for as long as the data is unpermuted, i.e. up to and
+  // including the first unskipped pass.
+  std::vector<std::array<std::int64_t, kRadixBuckets>> fused(
+      static_cast<std::size_t>(threads * digits));
+  {
+    auto fused_count = [&](int t) {
+      auto* rows = fused.data() + static_cast<std::size_t>(t) * digits;
+      for (int d = 0; d < digits; ++d) rows[d].fill(0);
+      const std::int64_t b = t * shard;
+      const std::int64_t e = std::min<std::int64_t>(b + shard, n);
+      for (std::int64_t i = b; i < e; ++i) {
+        for (int d = 0; d < digits; ++d) ++rows[d][RadixDigit(src[i], d)];
+      }
+    };
+    if (pool && threads > 1) {
+      for (int t = 0; t < threads; ++t)
+        pool->Submit([&, t] { fused_count(t); });
+      pool->Wait();
+    } else {
+      for (int t = 0; t < threads; ++t) fused_count(t);
     }
   }
 
+  bool permuted = false;  // has any earlier pass rearranged the keys?
   for (int d = 0; d < digits; ++d) {
-    // Per-thread histograms.
+    // Digit skip: a single occupied bucket makes this pass the identity
+    // permutation — don't touch the data (and don't flip the ping-pong).
+    {
+      int occupied = 0;
+      for (int b = 0; b < kRadixBuckets && occupied < 2; ++b) {
+        std::int64_t total = 0;
+        for (int t = 0; t < threads; ++t)
+          total += fused[static_cast<std::size_t>(t) * digits + d][b];
+        occupied += total > 0;
+      }
+      if (occupied <= 1) continue;
+    }
+
+    // Per-thread histograms: free until the first scatter (the fused rows
+    // still describe the current layout; single-threaded the summed counts
+    // stay valid forever), one shard read pass per digit afterwards.
     std::vector<std::array<std::int64_t, kRadixBuckets>> hist(
         static_cast<std::size_t>(threads));
-    if (threads == 1) {
-      hist[0] = fused[static_cast<std::size_t>(d)];
+    if (threads == 1 || !permuted) {
+      for (int t = 0; t < threads; ++t) {
+        hist[static_cast<std::size_t>(t)] =
+            fused[static_cast<std::size_t>(t) * digits + d];
+      }
     } else {
       auto histogram = [&](int t) {
         auto& h = hist[static_cast<std::size_t>(t)];
@@ -130,19 +166,6 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
       } else {
         for (int t = 0; t < threads; ++t) histogram(t);
       }
-    }
-
-    // Digit skip: a single occupied bucket makes this pass the identity
-    // permutation — don't touch the data (and don't flip the ping-pong).
-    {
-      int occupied = 0;
-      for (int b = 0; b < kRadixBuckets && occupied < 2; ++b) {
-        std::int64_t total = 0;
-        for (int t = 0; t < threads; ++t)
-          total += hist[static_cast<std::size_t>(t)][b];
-        occupied += total > 0;
-      }
-      if (occupied <= 1) continue;
     }
 
     // Column-major prefix sum: thread t's write cursor for bucket b starts
@@ -181,6 +204,7 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
     }
 
     std::swap(src, dst);
+    permuted = true;
   }
 
   if (src != data) {

@@ -1,0 +1,143 @@
+// GraphExecutor: drains TaskGraph nodes onto the simulated platform,
+// work-conserving across every running job (docs/executor.md).
+//
+// One executor instance may have any number of graphs in flight at once —
+// sched::SortServer owns a single executor and submits each tenant's graph
+// to it, so when tenant A's GPU is waiting on a merge input, tenant B's
+// copy or sort runs in the gap instead of idling behind A's phase barrier.
+//
+// Dispatch model:
+//  - Every node kind maps to an engine lane on its device: htod copies to
+//    the `in` lane, dtoh copies to the `out` lane, chunk sorts and merge
+//    steps to the `compute` lane. Each (device, lane) admits one node at a
+//    time; further ready nodes queue.
+//  - Block-swap nodes (whole-stage P2P exchanges spanning several devices)
+//    and host nodes are not throttled by a lane — the underlying streams
+//    and flow network already serialize and price their work.
+//  - A queued lane picks the highest GraphJobOptions::priority first, then
+//    the oldest submission (a global ready sequence number), so dispatch is
+//    deterministic and the scheduler can preempt at node granularity: a
+//    high-priority job's nodes overtake lower-priority queued nodes at
+//    every lane decision, without cancelling work already on an engine.
+//
+// After a graph completes the executor reconstructs its critical path —
+// the dependency chain ending at the last-finishing node in which every
+// node waited on its latest-finishing dependency — which `--explain`
+// renders next to the per-link blame (RenderCriticalPath).
+
+#ifndef MGS_EXEC_EXECUTOR_H_
+#define MGS_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/task_graph.h"
+#include "sim/task.h"
+#include "vgpu/platform.h"
+
+namespace mgs::exec {
+
+// Metric families the executor publishes when the platform carries a
+// metrics registry (labels: kind = NodeKindToString).
+inline constexpr char kExecNodesTotal[] = "mgs_exec_nodes_total";
+inline constexpr char kExecNodeSeconds[] = "mgs_exec_node_seconds";
+inline constexpr char kExecWaitSeconds[] = "mgs_exec_ready_wait_seconds";
+inline constexpr char kExecJobsTotal[] = "mgs_exec_jobs_total";
+
+struct GraphJobOptions {
+  /// Larger wins every lane-dispatch decision against queued nodes of
+  /// lower-priority jobs.
+  int priority = 0;
+  /// Prefix for trace span names ("<label>/<node label>").
+  std::string label = "job";
+};
+
+/// Per-node execution record (times are simulated seconds).
+struct NodeRun {
+  NodeId id = -1;
+  NodeKind kind = NodeKind::kHost;
+  int device = -1;
+  std::string label;
+  double ready = -1;  // all dependencies satisfied
+  double start = -1;  // dispatched onto its lane
+  double end = -1;    // body completed
+  /// Latest-finishing dependency (-1 for roots): the edge that actually
+  /// gated this node, which is what chains into the critical path.
+  NodeId critical_dep = -1;
+
+  double duration() const { return end - start; }
+  /// Time spent ready but queued behind the lane (0 for unthrottled nodes).
+  double lane_wait() const { return start - ready; }
+};
+
+/// What one Run() call reports back.
+struct ExecReport {
+  std::string label;
+  std::vector<NodeRun> nodes;  // indexed by NodeId
+  /// Source-to-sink chain of NodeIds along latest-finishing dependencies.
+  std::vector<NodeId> critical_path;
+  /// Sum of node durations on the critical path.
+  double critical_seconds = 0;
+  /// Last node end minus graph submission time.
+  double makespan = 0;
+};
+
+/// Human-readable critical-path table for --explain. Lives here (not in
+/// obs) because obs sits below exec in the layer order.
+std::string RenderCriticalPath(const ExecReport& report);
+
+class GraphExecutor {
+ public:
+  explicit GraphExecutor(vgpu::Platform* platform) : platform_(platform) {}
+
+  GraphExecutor(const GraphExecutor&) = delete;
+  GraphExecutor& operator=(const GraphExecutor&) = delete;
+
+  /// Executes `graph` to completion on the shared platform; resolves when
+  /// every node has run. Concurrent Run() calls interleave at node level.
+  /// The graph must pass Validate() (aborts otherwise — emitting an invalid
+  /// graph is a programming error). `report`, when non-null, receives the
+  /// per-node timeline and critical path.
+  sim::Task<void> Run(TaskGraph graph, GraphJobOptions options = {},
+                      ExecReport* report = nullptr);
+
+  vgpu::Platform* platform() const { return platform_; }
+
+ private:
+  struct Job;
+
+  struct QueueEntry {
+    std::shared_ptr<Job> job;
+    NodeId node = -1;
+    int priority = 0;
+    std::uint64_t seq = 0;  // global ready order (tie-break: oldest first)
+  };
+
+  struct Lane {
+    bool busy = false;
+    std::vector<QueueEntry> queue;
+  };
+
+  double Now() const;
+  /// Lane index for a kind, or -1 for unthrottled kinds.
+  static int LaneOf(NodeKind kind);
+  void NodeReady(const std::shared_ptr<Job>& job, NodeId id);
+  void PumpLane(std::int64_t key);
+  void Dispatch(std::shared_ptr<Job> job, NodeId id, std::int64_t lane_key);
+  sim::Task<void> RunNode(std::shared_ptr<Job> job, NodeId id,
+                          std::int64_t lane_key);
+  void OnNodeDone(const std::shared_ptr<Job>& job, NodeId id,
+                  std::int64_t lane_key);
+  static void BuildReport(const Job& job, ExecReport* report);
+
+  vgpu::Platform* platform_;
+  std::map<std::int64_t, Lane> lanes_;  // key = device * 3 + lane
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mgs::exec
+
+#endif  // MGS_EXEC_EXECUTOR_H_

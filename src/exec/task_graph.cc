@@ -1,0 +1,141 @@
+#include "exec/task_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace mgs::exec {
+
+const char* NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHtoDCopy:
+      return "htod-copy";
+    case NodeKind::kChunkSort:
+      return "chunk-sort";
+    case NodeKind::kBlockSwap:
+      return "block-swap";
+    case NodeKind::kMergeStep:
+      return "merge-step";
+    case NodeKind::kDtoHCopy:
+      return "dtoh-copy";
+    case NodeKind::kHost:
+      return "host";
+  }
+  return "?";
+}
+
+NodeId TaskGraph::AddNode(NodeKind kind, int device,
+                          std::function<sim::Task<void>()> body,
+                          std::string label) {
+  Node n;
+  n.kind = kind;
+  n.device = device;
+  n.body = std::move(body);
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void TaskGraph::AddEdge(NodeId before, NodeId after) {
+  assert(before >= 0 && before < num_nodes());
+  assert(after >= 0 && after < num_nodes());
+  assert(before != after);
+  auto& succs = nodes_[static_cast<std::size_t>(before)].succs;
+  if (std::find(succs.begin(), succs.end(), after) != succs.end()) return;
+  succs.push_back(after);
+  nodes_[static_cast<std::size_t>(after)].deps.push_back(before);
+}
+
+void TaskGraph::Produces(NodeId node, BufferToken token) {
+  assert(node >= 0 && node < num_nodes());
+  nodes_[static_cast<std::size_t>(node)].produces.push_back(token);
+}
+
+void TaskGraph::Consumes(NodeId node, BufferToken token) {
+  assert(node >= 0 && node < num_nodes());
+  nodes_[static_cast<std::size_t>(node)].consumes.push_back(token);
+}
+
+void TaskGraph::AddInput(BufferToken token) { inputs_.push_back(token); }
+
+Status TaskGraph::Validate() const {
+  const int n = num_nodes();
+  // Kahn's algorithm; nodes are popped in (in-degree-0, lowest-id) order so
+  // the pass is deterministic, though only completeness matters here.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const Node& node : nodes_) {
+    for (NodeId s : node.succs) ++indegree[static_cast<std::size_t>(s)];
+  }
+  std::vector<NodeId> topo;
+  topo.reserve(static_cast<std::size_t>(n));
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+  while (!ready.empty()) {
+    NodeId id = ready.top();
+    ready.pop();
+    topo.push_back(id);
+    for (NodeId s : nodes_[static_cast<std::size_t>(id)].succs) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  if (static_cast<int>(topo.size()) != n) {
+    return Status(StatusCode::kInvalidArgument,
+                  "task graph contains a dependency cycle");
+  }
+
+  // Produce-before-consume: walk in topo order keeping, per node, the set of
+  // ancestors (inclusive) as a bitset; a consumed token must be produced by
+  // some ancestor, or be a declared graph input.
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> ancestors(static_cast<std::size_t>(n) * words, 0);
+  auto row = [&](NodeId id) {
+    return ancestors.data() + static_cast<std::size_t>(id) * words;
+  };
+  std::unordered_map<BufferToken, std::vector<NodeId>> producers;
+  for (NodeId id = 0; id < n; ++id) {
+    for (BufferToken t : nodes_[static_cast<std::size_t>(id)].produces) {
+      producers[t].push_back(id);
+    }
+  }
+  std::unordered_map<BufferToken, bool> is_input;
+  for (BufferToken t : inputs_) is_input[t] = true;
+
+  for (NodeId id : topo) {
+    std::uint64_t* self = row(id);
+    for (NodeId d : nodes_[static_cast<std::size_t>(id)].deps) {
+      const std::uint64_t* dep = row(d);
+      for (std::size_t w = 0; w < words; ++w) self[w] |= dep[w];
+    }
+    for (BufferToken t : nodes_[static_cast<std::size_t>(id)].consumes) {
+      if (is_input.count(t)) continue;
+      auto it = producers.find(t);
+      bool satisfied = false;
+      if (it != producers.end()) {
+        for (NodeId p : it->second) {
+          if (self[static_cast<std::size_t>(p) / 64] &
+              (std::uint64_t{1} << (static_cast<std::size_t>(p) % 64))) {
+            satisfied = true;
+            break;
+          }
+        }
+      }
+      if (!satisfied) {
+        return Status(StatusCode::kInvalidArgument,
+                      "node '" + nodes_[static_cast<std::size_t>(id)].label +
+                          "' consumes a buffer no dependency ancestor "
+                          "produces");
+      }
+    }
+    // Mark self visible to successors (strict ancestors of them).
+    self[static_cast<std::size_t>(id) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(id) % 64);
+  }
+  return Status::OK();
+}
+
+}  // namespace mgs::exec

@@ -1,0 +1,105 @@
+// Task graphs for the pipelined executor (docs/executor.md).
+//
+// A TaskGraph is a DAG of coarse device/host operations — the unit at which
+// the sorters used to place phase barriers: host-to-device copies, chunk
+// sorts, P2P block swaps, local merge steps, device-to-host copies. Edges
+// are explicit data dependencies ("this merge reads the buffers that swap
+// produced"), so a node becomes runnable the moment its inputs exist
+// instead of when the slowest GPU clears a global barrier.
+//
+// Each node carries a body: a coroutine factory invoked by the executor
+// when the node is dispatched. Bodies enqueue the real vgpu stream work and
+// co_await its completion; the graph layer never touches streams itself.
+//
+// Besides edges, nodes may declare the logical buffer versions they produce
+// and consume (opaque integer tokens). Validate() checks the two structural
+// invariants every sorter-emitted graph must satisfy: the graph is acyclic,
+// and every consumed token is produced by a dependency ancestor (or
+// declared as a graph input). The randomized A/B suite runs Validate() on
+// every emitted graph.
+
+#ifndef MGS_EXEC_TASK_GRAPH_H_
+#define MGS_EXEC_TASK_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace mgs::exec {
+
+/// Node granularity mirrors the sorters' phase vocabulary; the executor
+/// maps kinds onto per-device engine lanes (see executor.h).
+enum class NodeKind {
+  kHtoDCopy,   // host -> device chunk upload (may include a pad-fill kernel)
+  kChunkSort,  // on-GPU chunk sort
+  kBlockSwap,  // one P2P merge stage's pivot + bidirectional block exchange
+  kMergeStep,  // one chunk's local merge of the swapped runs
+  kDtoHCopy,   // device -> host download
+  kHost,       // host-side work (CPU merge, bookkeeping)
+};
+
+const char* NodeKindToString(NodeKind kind);
+
+using NodeId = int;
+
+/// Opaque logical-buffer-version token for produce/consume bookkeeping.
+using BufferToken = std::int64_t;
+
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  /// Device the node occupies (engine-lane key); -1 for host work.
+  int device = -1;
+  /// Coroutine factory run at dispatch. May be null (pure ordering node).
+  std::function<sim::Task<void>()> body;
+  std::string label;
+  std::vector<NodeId> deps;
+  std::vector<NodeId> succs;
+  std::vector<BufferToken> produces;
+  std::vector<BufferToken> consumes;
+};
+
+class TaskGraph {
+ public:
+  /// Adds a node and returns its id (dense, insertion-ordered).
+  NodeId AddNode(NodeKind kind, int device,
+                 std::function<sim::Task<void>()> body,
+                 std::string label = {});
+
+  /// Declares that `after` must not start before `before` completes.
+  /// Duplicate edges are deduplicated.
+  void AddEdge(NodeId before, NodeId after);
+
+  /// Declares that `node` writes / reads the buffer version `token`.
+  void Produces(NodeId node, BufferToken token);
+  void Consumes(NodeId node, BufferToken token);
+
+  /// Declares `token` available before the graph starts (external input,
+  /// e.g. the host array a htod copy reads).
+  void AddInput(BufferToken token);
+
+  /// Structural invariants: ids in range, the dependency graph is acyclic,
+  /// and every consumed token is produced by a strict ancestor of the
+  /// consumer (or is a declared input). O(V * E / 64).
+  Status Validate() const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<BufferToken>& inputs() const { return inputs_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<BufferToken> inputs_;
+};
+
+}  // namespace mgs::exec
+
+#endif  // MGS_EXEC_TASK_GRAPH_H_

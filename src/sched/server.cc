@@ -36,6 +36,9 @@ SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
       queue_(options_.policy),
       running_per_gpu_(static_cast<std::size_t>(platform->num_devices()), 0),
       jitter_rng_(options_.recovery.jitter_seed) {
+  if (options_.exec_mode == core::ExecMode::kGraph) {
+    executor_ = std::make_unique<exec::GraphExecutor>(platform_);
+  }
   if (options_.recovery.het_fallback_below > 0) {
     // Baseline pairwise P2P bandwidth on the healthy topology; injected
     // faults only fire once the simulator runs, so this sees full rates.
@@ -414,6 +417,26 @@ bool SortServer::ShouldFallBackToHet(const JobRecord& rec) const {
   return false;
 }
 
+void SortServer::ConfigureExec(const JobRecord& rec,
+                               core::SortOptions* options) const {
+  options->exec_mode = options_.exec_mode;
+  options->executor = executor_.get();
+  // Queue priority carries through to node dispatch: a high-priority job's
+  // ready nodes overtake lower-priority jobs' queued nodes at every engine
+  // lane, in either policy.
+  options->exec_priority = rec.spec.priority;
+  // Graph jobs sharing a GPU get disjoint stream ranges (each sorter uses
+  // at most 3 streams) so a shared executor can interleave co-tenants
+  // without serializing them through one stream FIFO. The barrier path
+  // keeps the fixed streams 0-2 it has always used: phase-grained jobs
+  // funnel through the same per-device FIFOs, which is exactly the
+  // head-of-line blocking the executor retires (bench_exec_overlap).
+  if (options_.allow_gpu_sharing &&
+      options_.exec_mode == core::ExecMode::kGraph) {
+    options->stream_base = 4 * static_cast<int>(rec.id % 8);
+  }
+}
+
 template <typename T>
 sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
   DataGenOptions gen;
@@ -462,10 +485,12 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
     core::HetOptions het_options;
     het_options.gpu_set = rec.gpu_set;
     het_options.gpu_memory_budget = PerGpuBytes(rec.spec);
+    ConfigureExec(rec, &het_options);
     co_await core::HetSortTask<T>(platform_, &data, het_options, &out);
   } else {
     core::SortOptions sort_options;
     sort_options.gpu_set = rec.gpu_set;
+    ConfigureExec(rec, &sort_options);
     co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
   }
   if (!out.ok()) {

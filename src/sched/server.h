@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.h"
 #include "net/cluster.h"
 #include "sched/admission.h"
 #include "sched/job.h"
@@ -87,6 +88,11 @@ struct ServerOptions {
   /// Allow placing a job on a GPU that is already running another one
   /// (memory permitting). Off by default: exclusive GPUs.
   bool allow_gpu_sharing = false;
+  /// How single-node sorts execute: phase barriers (the seed behavior) or
+  /// the task-graph executor. Under kGraph the server owns one shared
+  /// exec::GraphExecutor, so concurrent jobs interleave at node
+  /// granularity and JobSpec::priority extends to node dispatch.
+  core::ExecMode exec_mode = core::ExecMode::kPhased;
   /// Check every job's output with std::is_sorted (functional layer).
   bool verify_sorted = true;
   /// > 0: report the fraction of completed jobs with latency <= this.
@@ -196,6 +202,10 @@ class SortServer {
   /// Healthy (non-failed) device count.
   int HealthyGpus() const;
 
+  /// Threads the server's execution mode / shared executor / job priority /
+  /// per-job stream range into a sorter's options.
+  void ConfigureExec(const JobRecord& rec, core::SortOptions* options) const;
+
   sim::Task<void> ServiceRoot();
   sim::Task<void> RunJob(std::int64_t id);
   template <typename T>
@@ -209,6 +219,9 @@ class SortServer {
 
   vgpu::Platform* platform_;
   ServerOptions options_;
+  /// Shared node-level executor for all jobs (ServerOptions::exec_mode ==
+  /// kGraph only, null otherwise).
+  std::unique_ptr<exec::GraphExecutor> executor_;
   AdmissionController admission_;
   Placer placer_;
   JobQueue queue_;

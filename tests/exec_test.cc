@@ -1,0 +1,358 @@
+// Unit tests for the task-graph executor (src/exec): structural validation
+// of emitted graphs, engine-lane serialization, priority dispatch, and the
+// critical-path report.
+
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "exec/task_graph.h"
+#include "obs/metrics.h"
+#include "topo/systems.h"
+#include "vgpu/platform.h"
+
+namespace mgs::exec {
+namespace {
+
+std::unique_ptr<vgpu::Platform> MakePlatform() {
+  return CheckOk(vgpu::Platform::Create(topo::MakeAc922()));
+}
+
+/// Simulated-time interval a node body occupied.
+struct Span {
+  double start = -1;
+  double end = -1;
+
+  bool Overlaps(const Span& other) const {
+    return start < other.end && other.start < end;
+  }
+};
+
+sim::Task<void> TimedBody(sim::Simulator* sim, double seconds, Span* span) {
+  span->start = sim->Now();
+  co_await sim::Delay{*sim, seconds};
+  span->end = sim->Now();
+}
+
+/// Node body factory: occupies `seconds` of simulated time, records when.
+std::function<sim::Task<void>()> Body(vgpu::Platform* platform, double seconds,
+                                      Span* span) {
+  sim::Simulator* sim = &platform->simulator();
+  return [sim, seconds, span] { return TimedBody(sim, seconds, span); };
+}
+
+/// Spawns every (graph, options, report) tuple onto one executor at t=0 and
+/// waits for all of them — how the sort server drives concurrent tenants.
+struct JobSubmission {
+  TaskGraph graph;
+  GraphJobOptions options;
+  ExecReport* report = nullptr;
+};
+
+sim::Task<void> RunJobs(GraphExecutor* executor,
+                        std::vector<JobSubmission> jobs) {
+  std::vector<sim::JoinerPtr> joiners;
+  for (auto& job : jobs) {
+    joiners.push_back(sim::Spawn(
+        executor->Run(std::move(job.graph), job.options, job.report)));
+  }
+  co_await sim::WhenAll(std::move(joiners));
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph::Validate
+// ---------------------------------------------------------------------------
+
+TEST(TaskGraphTest, ValidatesLinearChain) {
+  TaskGraph graph;
+  NodeId a = graph.AddNode(NodeKind::kHtoDCopy, 0, nullptr, "a");
+  NodeId b = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "b");
+  NodeId c = graph.AddNode(NodeKind::kDtoHCopy, 0, nullptr, "c");
+  graph.AddEdge(a, b);
+  graph.AddEdge(b, c);
+  EXPECT_TRUE(graph.Validate().ok());
+  EXPECT_EQ(graph.num_nodes(), 3);
+}
+
+TEST(TaskGraphTest, RejectsCycle) {
+  TaskGraph graph;
+  NodeId a = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "a");
+  NodeId b = graph.AddNode(NodeKind::kMergeStep, 0, nullptr, "b");
+  graph.AddEdge(a, b);
+  graph.AddEdge(b, a);
+  EXPECT_EQ(graph.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaskGraphTest, RejectsSelfEdge) {
+  TaskGraph graph;
+  NodeId a = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "a");
+  graph.AddEdge(a, a);
+  EXPECT_EQ(graph.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaskGraphTest, RejectsConsumeWithoutProducer) {
+  TaskGraph graph;
+  NodeId a = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "a");
+  graph.Consumes(a, 42);
+  EXPECT_EQ(graph.Validate().code(), StatusCode::kInvalidArgument);
+
+  // Declaring the token as an external graph input makes it legal.
+  graph.AddInput(42);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+TEST(TaskGraphTest, RejectsProducerThatIsNotAnAncestor) {
+  TaskGraph graph;
+  NodeId producer = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "p");
+  NodeId consumer = graph.AddNode(NodeKind::kMergeStep, 0, nullptr, "c");
+  graph.Produces(producer, 7);
+  graph.Consumes(consumer, 7);
+  // Produced somewhere in the graph, but nothing orders it before the
+  // consumer — the executor could legally run the consumer first.
+  EXPECT_EQ(graph.Validate().code(), StatusCode::kInvalidArgument);
+
+  graph.AddEdge(producer, consumer);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+TEST(TaskGraphTest, DeduplicatesEdges) {
+  TaskGraph graph;
+  NodeId a = graph.AddNode(NodeKind::kHtoDCopy, 0, nullptr, "a");
+  NodeId b = graph.AddNode(NodeKind::kChunkSort, 0, nullptr, "b");
+  graph.AddEdge(a, b);
+  graph.AddEdge(a, b);
+  EXPECT_EQ(graph.node(b).deps.size(), 1u);
+  EXPECT_EQ(graph.node(a).succs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphExecutor dispatch
+// ---------------------------------------------------------------------------
+
+TEST(GraphExecutorTest, EmptyGraphCompletesImmediately) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  ExecReport report;
+  CheckOk(platform->Run(executor.Run(TaskGraph{}, {}, &report)));
+  EXPECT_TRUE(report.nodes.empty());
+  EXPECT_DOUBLE_EQ(report.makespan, 0);
+}
+
+TEST(GraphExecutorTest, RespectsDependencyOrder) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span sa, sb, sc;
+  NodeId a =
+      graph.AddNode(NodeKind::kHtoDCopy, 0, Body(platform.get(), 0.1, &sa));
+  NodeId b =
+      graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.2, &sb));
+  NodeId c =
+      graph.AddNode(NodeKind::kDtoHCopy, 0, Body(platform.get(), 0.1, &sc));
+  graph.AddEdge(a, b);
+  graph.AddEdge(b, c);
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  EXPECT_GE(sb.start, sa.end);
+  EXPECT_GE(sc.start, sb.end);
+  EXPECT_DOUBLE_EQ(sc.end, 0.4);
+}
+
+TEST(GraphExecutorTest, ComputeLaneSerializesOneDevice) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span s1, s2;
+  graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &s1));
+  graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &s2));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  // Same (device, lane): one at a time, in submission order.
+  EXPECT_FALSE(s1.Overlaps(s2));
+  EXPECT_GE(s2.start, s1.end);
+}
+
+TEST(GraphExecutorTest, ComputeLanesOfDistinctDevicesOverlap) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span s1, s2;
+  graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &s1));
+  graph.AddNode(NodeKind::kChunkSort, 1, Body(platform.get(), 0.1, &s2));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  EXPECT_TRUE(s1.Overlaps(s2));
+}
+
+TEST(GraphExecutorTest, CopyAndComputeLanesOverlapOnOneDevice) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span in, compute, out;
+  graph.AddNode(NodeKind::kHtoDCopy, 0, Body(platform.get(), 0.1, &in));
+  graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &compute));
+  graph.AddNode(NodeKind::kDtoHCopy, 0, Body(platform.get(), 0.1, &out));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  // Distinct engine lanes: all three run concurrently, like the dual copy
+  // engines plus SMs of a real GPU.
+  EXPECT_TRUE(in.Overlaps(compute));
+  EXPECT_TRUE(compute.Overlaps(out));
+}
+
+TEST(GraphExecutorTest, BlockSwapAndHostNodesAreUnthrottled) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span s1, s2, h1, h2;
+  graph.AddNode(NodeKind::kBlockSwap, 0, Body(platform.get(), 0.1, &s1));
+  graph.AddNode(NodeKind::kBlockSwap, 0, Body(platform.get(), 0.1, &s2));
+  graph.AddNode(NodeKind::kHost, -1, Body(platform.get(), 0.1, &h1));
+  graph.AddNode(NodeKind::kHost, -1, Body(platform.get(), 0.1, &h2));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  // The flow network prices contending swaps; the lane map must not add a
+  // second serialization on top.
+  EXPECT_TRUE(s1.Overlaps(s2));
+  EXPECT_TRUE(h1.Overlaps(h2));
+}
+
+TEST(GraphExecutorTest, HigherPriorityOvertakesQueuedNodes) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+
+  // Low-priority job: three ready compute nodes on device 0. The first
+  // occupies the lane; the rest queue.
+  TaskGraph low;
+  Span l1, l2, l3;
+  low.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &l1));
+  low.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &l2));
+  low.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &l3));
+
+  // High-priority job submitted second: its node must run as soon as the
+  // lane frees, ahead of the low job's queued nodes.
+  TaskGraph high;
+  Span h;
+  high.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &h));
+
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(low), {.priority = 0, .label = "low"}, nullptr});
+  jobs.push_back({std::move(high), {.priority = 5, .label = "high"}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+
+  EXPECT_LT(h.start, l2.start);
+  EXPECT_LT(h.start, l3.start);
+  EXPECT_GE(h.start, l1.end);  // no cancellation of work already running
+}
+
+TEST(GraphExecutorTest, EqualPriorityDispatchesOldestFirst) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph a, b;
+  Span sa, sb;
+  a.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &sa));
+  b.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &sb));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(a), {.priority = 1, .label = "first"}, nullptr});
+  jobs.push_back({std::move(b), {.priority = 1, .label = "second"}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  EXPECT_LT(sa.start, sb.start);
+}
+
+// ---------------------------------------------------------------------------
+// Report and critical path
+// ---------------------------------------------------------------------------
+
+TEST(GraphExecutorTest, ReportRecordsPerNodeTimeline) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span sa, sb, sc;
+  NodeId a =
+      graph.AddNode(NodeKind::kHtoDCopy, 0, Body(platform.get(), 0.1, &sa));
+  NodeId b =
+      graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.3, &sb));
+  NodeId c =
+      graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &sc));
+  graph.AddEdge(a, b);
+  graph.AddEdge(a, c);
+  ExecReport report;
+  std::vector<JobSubmission> jobs;
+  jobs.push_back(
+      {std::move(graph), {.priority = 0, .label = "job"}, &report});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+
+  ASSERT_EQ(report.nodes.size(), 3u);
+  for (const auto& run : report.nodes) {
+    EXPECT_GE(run.ready, 0) << run.label;
+    EXPECT_GE(run.start, run.ready) << run.label;
+    EXPECT_GE(run.end, run.start) << run.label;
+    EXPECT_GE(run.lane_wait(), 0) << run.label;
+  }
+  // b and c contend for the compute lane; one of them waited.
+  EXPECT_GT(report.nodes[static_cast<std::size_t>(b)].lane_wait() +
+                report.nodes[static_cast<std::size_t>(c)].lane_wait(),
+            0);
+  EXPECT_DOUBLE_EQ(report.makespan, 0.5);
+}
+
+TEST(GraphExecutorTest, CriticalPathFollowsLatestFinishingDependencies) {
+  auto platform = MakePlatform();
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span sa, sb, sc, sd;
+  // a -> {b(0.3), c(0.1)} -> d: b finishes last, so the critical path is
+  // a -> b -> d.
+  NodeId a =
+      graph.AddNode(NodeKind::kHtoDCopy, 0, Body(platform.get(), 0.1, &sa));
+  NodeId b =
+      graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.3, &sb));
+  NodeId c =
+      graph.AddNode(NodeKind::kChunkSort, 1, Body(platform.get(), 0.1, &sc));
+  NodeId d =
+      graph.AddNode(NodeKind::kDtoHCopy, 0, Body(platform.get(), 0.1, &sd));
+  graph.AddEdge(a, b);
+  graph.AddEdge(a, c);
+  graph.AddEdge(b, d);
+  graph.AddEdge(c, d);
+  ExecReport report;
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {.priority = 0, .label = "cp"}, &report});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+
+  EXPECT_EQ(report.critical_path, (std::vector<NodeId>{a, b, d}));
+  EXPECT_DOUBLE_EQ(report.critical_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(report.makespan, 0.5);
+
+  const std::string rendered = RenderCriticalPath(report);
+  EXPECT_NE(rendered.find("Critical path"), std::string::npos);
+  EXPECT_NE(rendered.find("chunk-sort"), std::string::npos);
+}
+
+TEST(GraphExecutorTest, PublishesMetricsWhenRegistryAttached) {
+  auto platform = MakePlatform();
+  obs::MetricsRegistry metrics;
+  platform->SetMetrics(&metrics);
+  GraphExecutor executor(platform.get());
+  TaskGraph graph;
+  Span s;
+  graph.AddNode(NodeKind::kChunkSort, 0, Body(platform.get(), 0.1, &s));
+  std::vector<JobSubmission> jobs;
+  jobs.push_back({std::move(graph), {}, nullptr});
+  CheckOk(platform->Run(RunJobs(&executor, std::move(jobs))));
+  EXPECT_DOUBLE_EQ(metrics.CounterValue(kExecJobsTotal), 1);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue(kExecNodesTotal, {{"kind", "chunk-sort"}}), 1);
+}
+
+}  // namespace
+}  // namespace mgs::exec
