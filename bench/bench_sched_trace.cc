@@ -1,0 +1,167 @@
+// Million-job trace throughput for the sort service (ISSUE 9).
+//
+// The service's unit of scale is jobs-per-wall-second of *simulation*: how
+// fast SortServer can chew through an open-loop trace of small jobs. Three
+// benchmarks on the DGX A100 model:
+//
+//   BM_ServiceTrace/100000   the CI smoke trace — 10^5 tiny jobs with batch
+//                            coalescing and the result cache on; counters
+//                            report sim_jobs_per_wall_sec plus the
+//                            completed/failed/rejected split (the CI gate
+//                            asserts failed == rejected == 0).
+//   BM_ServiceTraceSpeedup   the same workload (5 000 jobs so the slow side
+//                            stays affordable) through the pre-PR dispatch
+//                            path — legacy full-scan dispatch, no
+//                            coalescing, no dedupe — and through the new
+//                            path; `speedup` is legacy wall over new wall
+//                            (the CI gate asserts >= 3).
+//   BM_ServiceTraceMillion   the acceptance run: a full 10^6-job trace,
+//                            one iteration. Excluded from CI and from
+//                            bench/baselines/sched.json (both filter
+//                            -BM_ServiceTraceMillion); run it locally to
+//                            reproduce the acceptance numbers.
+//
+// Wall time gates regressions like every native bench (bench/compare.py vs
+// bench/baselines/sched.json).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "sched/server.h"
+#include "topo/systems.h"
+#include "vgpu/platform.h"
+
+using namespace mgs;
+using namespace mgs::sched;
+
+namespace {
+
+// 5e7-2e8 logical keys ride on 25-100 actual keys at this scale: the
+// tiny-job regime where per-job constant costs, not sorting, bound service
+// throughput.
+constexpr double kScale = 2e6;
+constexpr double kRateHz = 1e5;  // arrivals far outpace service: deep backlog
+
+JobMix TraceMix() {
+  JobMix mix;
+  mix.min_keys = 5e7;
+  mix.max_keys = 2e8;
+  mix.gpu_choices = {1};
+  mix.tenants = 8;
+  // Recurring datasets: tenants re-submitting the same inputs is what the
+  // result cache exploits; 1024 distinct identities over the trace.
+  mix.distinct_datasets = 1024;
+  return mix;
+}
+
+ServerOptions TraceOptions(bool pre_pr) {
+  ServerOptions options;
+  options.policy = QueuePolicy::kSjfBytes;
+  options.admission.max_queue_depth = 0;  // open loop: the backlog is the point
+  options.report_jobs = false;            // aggregates only at trace scale
+  if (pre_pr) {
+    options.legacy_scan_dispatch = true;  // full copy-and-sort per dispatch
+  } else {
+    options.coalesce.enabled = true;
+    options.dedupe.enabled = true;
+  }
+  return options;
+}
+
+ServiceReport RunTrace(const std::vector<JobSpec>& workload, bool pre_pr) {
+  auto platform = CheckOk(vgpu::Platform::Create(
+      topo::MakeDgxA100(), vgpu::PlatformOptions{kScale}));
+  SortServer server(platform.get(), TraceOptions(pre_pr));
+  server.Submit(workload);
+  return CheckOk(server.Run());
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void ReportTraceCounters(benchmark::State& state, const ServiceReport& report,
+                         std::int64_t jobs, double wall) {
+  state.counters["sim_jobs_per_wall_sec"] =
+      wall > 0 ? static_cast<double>(jobs) / wall : 0;
+  state.counters["completed"] = static_cast<double>(report.completed);
+  state.counters["failed"] = static_cast<double>(report.failed);
+  state.counters["rejected"] = static_cast<double>(report.rejected);
+  state.counters["dedup_hits"] = static_cast<double>(report.dedup_hits);
+  state.counters["coalesced_jobs"] =
+      static_cast<double>(report.coalesced_jobs);
+  state.counters["coalesced_batches"] =
+      static_cast<double>(report.coalesced_batches);
+}
+
+void RunTraceBench(benchmark::State& state, int jobs) {
+  const auto workload = MakePoissonWorkload(TraceMix(), kRateHz, jobs, 42);
+  double wall = 0;
+  std::int64_t ran = 0;
+  ServiceReport report;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    report = RunTrace(workload, /*pre_pr=*/false);
+    wall += SecondsSince(start);
+    ran += jobs;
+    benchmark::DoNotOptimize(report.completed);
+  }
+  if (report.completed + report.failed + report.rejected != jobs) {
+    state.SkipWithError("trace lost jobs");
+    return;
+  }
+  ReportTraceCounters(state, report, ran, wall);
+}
+
+void BM_ServiceTrace(benchmark::State& state) {
+  RunTraceBench(state, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_ServiceTrace)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceTraceMillion(benchmark::State& state) {
+  RunTraceBench(state, 1000000);
+}
+BENCHMARK(BM_ServiceTraceMillion)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceTraceSpeedup(benchmark::State& state) {
+  constexpr int kJobs = 5000;
+  const auto workload = MakePoissonWorkload(TraceMix(), kRateHz, kJobs, 42);
+  double legacy_wall = 0, modern_wall = 0;
+  bool consistent = true;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    const ServiceReport legacy = RunTrace(workload, /*pre_pr=*/true);
+    legacy_wall += SecondsSince(start);
+    start = std::chrono::steady_clock::now();
+    const ServiceReport modern = RunTrace(workload, /*pre_pr=*/false);
+    modern_wall += SecondsSince(start);
+    // Both paths must finish every job; the speedup is only meaningful if
+    // the work actually happened.
+    consistent = consistent && legacy.completed == kJobs &&
+                 modern.completed == kJobs && legacy.failed == 0 &&
+                 modern.failed == 0;
+    benchmark::DoNotOptimize(consistent);
+  }
+  if (!consistent) {
+    state.SkipWithError("legacy and new paths disagree on completions");
+    return;
+  }
+  state.counters["speedup"] =
+      modern_wall > 0 ? legacy_wall / modern_wall : 0;
+  state.counters["legacy_jobs_per_sec"] =
+      legacy_wall > 0 ? kJobs * state.iterations() / legacy_wall : 0;
+  state.counters["new_jobs_per_sec"] =
+      modern_wall > 0 ? kJobs * state.iterations() / modern_wall : 0;
+}
+BENCHMARK(BM_ServiceTraceSpeedup)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -11,7 +11,8 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
-  bench_native_simulator bench_net_distributed bench_exec_overlap
+  bench_native_simulator bench_net_distributed bench_exec_overlap \
+  bench_sched_trace
 
 # Older libbenchmark releases only accept a plain double for
 # --benchmark_min_time; newer ones also take a "0.4s" suffix form. The
@@ -28,5 +29,11 @@ cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
 "./$BUILD/bench/bench_exec_overlap" \
   --benchmark_min_time=0.4 \
   --benchmark_out=bench/baselines/exec.json --benchmark_out_format=json
+# The million-job run is excluded here and in CI: same code path as the
+# 10^5 smoke, 10x the wall time. Run it by hand for acceptance numbers.
+"./$BUILD/bench/bench_sched_trace" \
+  --benchmark_min_time=0.4 \
+  --benchmark_filter=-BM_ServiceTraceMillion \
+  --benchmark_out=bench/baselines/sched.json --benchmark_out_format=json
 
-echo "Refreshed bench/baselines/{cpu,sim,net,exec}.json — review and commit."
+echo "Refreshed bench/baselines/{cpu,sim,net,exec,sched}.json — review and commit."

@@ -541,8 +541,13 @@ template <typename T>
     // Graph mode: the same per-chunk steps as the pipelines above, as
     // explicit nodes. Within one GPU the dependency edges reproduce the
     // scheme's buffer discipline exactly; the win is cross-job: a shared
-    // executor interleaves this job's nodes with other tenants'.
-    exec::TaskGraph graph;
+    // executor interleaves this job's nodes with other tenants'. The
+    // executor is chosen before the build so the graph's node storage can
+    // come from its recycling pool.
+    exec::GraphExecutor local_executor(platform);
+    exec::GraphExecutor* executor =
+        options.executor ? options.executor : &local_executor;
+    exec::TaskGraph graph = executor->AcquireGraph();
     constexpr exec::BufferToken kHostToken = -1;
     graph.AddInput(kHostToken);
     // Chunk-level tokens: upload completed / sorted result available.
@@ -654,9 +659,6 @@ template <typename T>
       }
     }
 
-    exec::GraphExecutor local_executor(platform);
-    exec::GraphExecutor* executor =
-        options.executor ? options.executor : &local_executor;
     exec::GraphJobOptions job_options;
     job_options.priority = options.exec_priority;
     job_options.label = "het";

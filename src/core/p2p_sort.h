@@ -477,8 +477,12 @@ template <typename T>
   // chunks are ready, and downloads overlap still-running merges of other
   // subtrees. Equivalence contract with the phased oracle: docs/executor.md
   // (same data movement and results; faults are detected once at the end
-  // instead of at each barrier).
-  exec::TaskGraph graph;
+  // instead of at each barrier). The executor is chosen before the build so
+  // the graph's node storage can come from its recycling pool.
+  exec::GraphExecutor local_executor(platform);
+  exec::GraphExecutor* executor =
+      options.executor ? options.executor : &local_executor;
+  exec::TaskGraph graph = executor->AcquireGraph();
   constexpr exec::BufferToken kHostToken = -1000000;
   graph.AddInput(kHostToken);
   // Chunk c's primary buffer after its v-th writer; negative tokens mark
@@ -566,9 +570,6 @@ template <typename T>
     graph.Consumes(d_node, chunk_token(i, ver[static_cast<std::size_t>(i)]));
   }
 
-  exec::GraphExecutor local_executor(platform);
-  exec::GraphExecutor* executor =
-      options.executor ? options.executor : &local_executor;
   exec::GraphJobOptions job_options;
   job_options.priority = options.exec_priority;
   job_options.label = "p2p";

@@ -20,6 +20,53 @@ struct GraphExecutor::Job {
   sim::Trigger done;
 };
 
+struct GraphExecutor::JobPool {
+  /// Caps both free lists: beyond this, frames just deallocate. Sized for
+  /// the realistic co-running job count, not the trace length.
+  static constexpr std::size_t kMax = 64;
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<TaskGraph> graphs;
+};
+
+std::shared_ptr<GraphExecutor::Job> GraphExecutor::AcquireJob() {
+  if (!pool_) pool_ = std::make_shared<JobPool>();
+  std::unique_ptr<Job> job;
+  if (!pool_->jobs.empty()) {
+    job = std::move(pool_->jobs.back());
+    pool_->jobs.pop_back();
+  } else {
+    job = std::make_unique<Job>();
+  }
+  // The deleter owns a reference to the pool (not the executor), so a job
+  // frame still in flight when the executor dies parks itself harmlessly.
+  return std::shared_ptr<Job>(
+      job.release(), [pool = pool_](Job* raw) {
+        std::unique_ptr<Job> j(raw);
+        j->graph.Clear();  // parks node storage on the graph's free list
+        if (pool->graphs.size() < JobPool::kMax) {
+          pool->graphs.push_back(std::move(j->graph));
+        }
+        j->graph = TaskGraph{};
+        j->options = GraphJobOptions{};
+        j->runs.clear();     // keeps capacity for the next job
+        j->pending.clear();
+        j->remaining = 0;
+        j->submit = 0;
+        j->done = sim::Trigger{};
+        if (pool->jobs.size() < JobPool::kMax) {
+          pool->jobs.push_back(std::move(j));
+        }
+      });
+}
+
+TaskGraph GraphExecutor::AcquireGraph() {
+  if (!pool_) pool_ = std::make_shared<JobPool>();
+  if (pool_->graphs.empty()) return TaskGraph{};
+  TaskGraph graph = std::move(pool_->graphs.back());
+  pool_->graphs.pop_back();
+  return graph;
+}
+
 double GraphExecutor::Now() const {
   return platform_->simulator().Now();
 }
@@ -43,14 +90,15 @@ int GraphExecutor::LaneOf(NodeKind kind) {
 sim::Task<void> GraphExecutor::Run(TaskGraph graph, GraphJobOptions options,
                                    ExecReport* report) {
   CheckOk(graph.Validate());
-  auto job = std::make_shared<Job>();
+  auto job = AcquireJob();
   job->graph = std::move(graph);
   job->options = std::move(options);
   job->submit = Now();
   const int n = job->graph.num_nodes();
   job->remaining = n;
-  job->runs.resize(static_cast<std::size_t>(n));
-  job->pending.resize(static_cast<std::size_t>(n));
+  // assign(), not resize(): a recycled frame's vectors hold stale values.
+  job->runs.assign(static_cast<std::size_t>(n), NodeRun{});
+  job->pending.assign(static_cast<std::size_t>(n), 0);
   for (NodeId id = 0; id < n; ++id) {
     const Node& node = job->graph.node(id);
     NodeRun& run = job->runs[static_cast<std::size_t>(id)];

@@ -104,10 +104,24 @@ class GraphExecutor {
   sim::Task<void> Run(TaskGraph graph, GraphJobOptions options = {},
                       ExecReport* report = nullptr);
 
+  /// An empty TaskGraph recycled from a finished job when one is pooled
+  /// (freshly constructed otherwise). A recycled graph's node storage is
+  /// retained, so emitters that build a similar-shaped graph allocate
+  /// nothing — worth ~two dozen vector allocations per sort job, which is
+  /// the difference under a million-job trace. Pass the built graph to
+  /// Run() as usual; it returns to the pool when the job completes.
+  TaskGraph AcquireGraph();
+
   vgpu::Platform* platform() const { return platform_; }
 
  private:
   struct Job;
+  /// Recycled Job frames and cleared TaskGraphs (bounded). Held by
+  /// shared_ptr because in-flight jobs return to it from their deleter,
+  /// which may outlive the executor.
+  struct JobPool;
+
+  std::shared_ptr<Job> AcquireJob();
 
   struct QueueEntry {
     std::shared_ptr<Job> job;
@@ -136,6 +150,7 @@ class GraphExecutor {
   vgpu::Platform* platform_;
   std::map<std::int64_t, Lane> lanes_;  // key = device * 3 + lane
   std::uint64_t next_seq_ = 0;
+  std::shared_ptr<JobPool> pool_;  // lazily created on first acquire
 };
 
 }  // namespace mgs::exec

@@ -31,12 +31,33 @@ NodeId TaskGraph::AddNode(NodeKind kind, int device,
                           std::function<sim::Task<void>()> body,
                           std::string label) {
   Node n;
+  if (!spare_.empty()) {
+    // Recycle a cleared node: its deps/succs/produces/consumes keep their
+    // heap capacity across the move, so a rebuilt graph of similar shape
+    // allocates nothing.
+    n = std::move(spare_.back());
+    spare_.pop_back();
+    n.deps.clear();
+    n.succs.clear();
+    n.produces.clear();
+    n.consumes.clear();
+  }
   n.kind = kind;
   n.device = device;
   n.body = std::move(body);
   n.label = std::move(label);
   nodes_.push_back(std::move(n));
   return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void TaskGraph::Clear() {
+  for (Node& n : nodes_) {
+    n.body = nullptr;  // release captured state now, not at reuse
+    n.label.clear();
+    spare_.push_back(std::move(n));
+  }
+  nodes_.clear();
+  inputs_.clear();
 }
 
 void TaskGraph::AddEdge(NodeId before, NodeId after) {

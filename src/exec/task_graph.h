@@ -69,6 +69,11 @@ class TaskGraph {
                  std::function<sim::Task<void>()> body,
                  std::string label = {});
 
+  /// Empties the graph but parks its Node storage on an internal free list,
+  /// so a recycled graph rebuilds without reallocating per-node vectors —
+  /// the per-job constant cost GraphExecutor::AcquireGraph exists to cut.
+  void Clear();
+
   /// Declares that `after` must not start before `before` completes.
   /// Duplicate edges are deduplicated.
   void AddEdge(NodeId before, NodeId after);
@@ -98,6 +103,8 @@ class TaskGraph {
  private:
   std::vector<Node> nodes_;
   std::vector<BufferToken> inputs_;
+  /// Cleared nodes waiting for reuse; their inner vectors keep capacity.
+  std::vector<Node> spare_;
 };
 
 }  // namespace mgs::exec

@@ -1,0 +1,23 @@
+// Metric-name vocabulary for the service throughput path (batch
+// coalescing and the result cache), in the resilience.h mold: the names
+// live here so the server, tests and dashboards agree on spelling.
+//
+// Counters (monotonic):
+//   mgs_sched_coalesced_batches_total  device passes that carried > 1 job
+//   mgs_sched_coalesced_jobs_total     jobs that rode such a pass
+//   mgs_sched_dedup_hits_total         jobs completed from a twin's result
+
+#ifndef MGS_OBS_SERVICE_H_
+#define MGS_OBS_SERVICE_H_
+
+namespace mgs::obs {
+
+inline constexpr const char* kSchedCoalescedBatches =
+    "mgs_sched_coalesced_batches_total";
+inline constexpr const char* kSchedCoalescedJobs =
+    "mgs_sched_coalesced_jobs_total";
+inline constexpr const char* kSchedDedupHits = "mgs_sched_dedup_hits_total";
+
+}  // namespace mgs::obs
+
+#endif  // MGS_OBS_SERVICE_H_

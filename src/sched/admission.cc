@@ -73,8 +73,12 @@ Status AdmissionController::Admit(const JobSpec& spec, double per_gpu_bytes,
     }
   }
   if (options_.max_job_memory_fraction < 1.0) {
+    // Only healthy devices back the cap: counting failed (fail-stop)
+    // capacity would let a whale claim a fraction of memory the fleet no
+    // longer has.
     double fleet_capacity = 0;
     for (int g = 0; g < n; ++g) {
+      if (platform_->device(g).failed()) continue;
       fleet_capacity += platform_->device(g).memory_capacity();
     }
     const double total_need = per_gpu_bytes * spec.gpus;
@@ -100,11 +104,22 @@ Status AdmissionController::Admit(const JobSpec& spec, double per_gpu_bytes,
 }
 
 double AdmissionController::FleetPressure() const {
+  // Failed devices are excluded: they report zero pressure forever, which
+  // would dilute the mean and keep the shed threshold from firing exactly
+  // when capacity was lost. A fleet with no healthy devices is fully
+  // committed (pressure 1), so shedding stays active; an empty platform
+  // has nothing to protect and reports 0.
   const int n = platform_->num_devices();
   if (n == 0) return 0;
   double sum = 0;
-  for (int g = 0; g < n; ++g) sum += platform_->device(g).memory_pressure();
-  return sum / n;
+  int healthy = 0;
+  for (int g = 0; g < n; ++g) {
+    if (platform_->device(g).failed()) continue;
+    sum += platform_->device(g).memory_pressure();
+    ++healthy;
+  }
+  if (healthy == 0) return 1.0;
+  return sum / healthy;
 }
 
 }  // namespace mgs::sched

@@ -37,7 +37,9 @@ class AdmissionController {
   Status Admit(const JobSpec& spec, double per_gpu_bytes,
                int queue_depth) const;
 
-  /// Mean memory pressure across all devices (the shedding signal).
+  /// Mean memory pressure across *healthy* devices (the shedding signal).
+  /// 1.0 when every device has failed (a dead fleet is fully committed);
+  /// 0 on an empty platform.
   double FleetPressure() const;
 
  private:

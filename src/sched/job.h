@@ -8,6 +8,7 @@
 #define MGS_SCHED_JOB_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,53 @@ inline double JobBytes(const JobSpec& spec) {
   return spec.logical_keys * static_cast<double>(DataTypeSize(spec.type));
 }
 
+/// Content identity of the dataset a spec describes: everything that
+/// determines the generated keys — and therefore the sorted output — at a
+/// fixed platform scale. (The generator's remaining knobs, noise fraction
+/// and zipf theta, are compile-time defaults in the server.) Two specs with
+/// equal identities are dedupe twins: sorting either yields bit-identical
+/// output, regardless of tenant, GPU count or priority. Used as the result
+/// cache key (exact field equality, so hash collisions cannot alias
+/// results).
+struct DatasetKey {
+  DataType type = DataType::kInt32;
+  Distribution distribution = Distribution::kUniform;
+  std::uint64_t seed = 0;
+  double logical_keys = 0;
+
+  friend bool operator==(const DatasetKey&, const DatasetKey&) = default;
+};
+
+inline DatasetKey DatasetIdentity(const JobSpec& spec) {
+  return DatasetKey{spec.type, spec.distribution, spec.seed,
+                    spec.logical_keys};
+}
+
+/// FNV-1a content hash of a dataset identity (the dedupe cache's hasher).
+inline std::uint64_t DatasetFingerprint(const DatasetKey& key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(key.type));
+  mix(static_cast<std::uint64_t>(key.distribution));
+  mix(key.seed);
+  std::uint64_t key_bits = 0;
+  static_assert(sizeof(key_bits) == sizeof(key.logical_keys));
+  std::memcpy(&key_bits, &key.logical_keys, sizeof(key_bits));
+  mix(key_bits);
+  return h;
+}
+
+struct DatasetKeyHash {
+  std::size_t operator()(const DatasetKey& key) const {
+    return static_cast<std::size_t>(DatasetFingerprint(key));
+  }
+};
+
 /// Everything the server records about one job.
 struct JobRecord {
   std::int64_t id = -1;
@@ -98,6 +146,16 @@ struct JobRecord {
   int retries = 0;             // attempts - 1 for jobs that ever failed
   double first_failure = -1;   // time of the first failed attempt (< 0: none)
   bool het_fallback = false;   // last attempt ran the HET (via-host) sorter
+
+  // Throughput-path bookkeeping (coalescing and dedupe; docs/service.md).
+  int batch_jobs = 1;          // members in the device pass that ran this job
+  std::int64_t batch_leader = -1;  // leader job id when batch_jobs > 1
+  bool dedup_hit = false;      // completed by reusing a twin's result
+  std::int64_t dedup_origin = -1;  // the twin whose result was reused
+  /// FNV-1a hash of the sorted output bytes (completed jobs). Dedupe twins
+  /// and coalesced batch members hash identically to a solo run of the
+  /// same spec, which is what the property tests assert.
+  std::uint64_t result_hash = 0;
 
   double queue_delay() const { return start - arrival; }
   double service_time() const { return finish - start; }

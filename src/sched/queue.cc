@@ -23,39 +23,101 @@ Result<QueuePolicy> QueuePolicyFromString(const std::string& name) {
   return Status::Invalid("unknown queue policy: " + name);
 }
 
+bool JobQueue::Before(const Entry& a, const Entry& b) const {
+  switch (policy_) {
+    case QueuePolicy::kFifo:
+      break;
+    case QueuePolicy::kSjfBytes:
+      if (a.bytes != b.bytes) return a.bytes < b.bytes;
+      break;
+    case QueuePolicy::kPriority:
+      if (a.priority != b.priority) return a.priority > b.priority;
+      break;
+  }
+  return a.seq < b.seq;
+}
+
+void JobQueue::Place(std::size_t i, Entry entry) {
+  index_[entry.id] = i;
+  heap_[i] = entry;
+}
+
+void JobQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    Entry tmp = heap_[parent];
+    Place(parent, heap_[i]);
+    Place(i, tmp);
+    i = parent;
+  }
+}
+
+void JobQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && Before(heap_[l], heap_[best])) best = l;
+    if (r < n && Before(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    Entry tmp = heap_[best];
+    Place(best, heap_[i]);
+    Place(i, tmp);
+    i = best;
+  }
+}
+
+void JobQueue::Insert(Entry entry) {
+  heap_.push_back(entry);
+  index_[entry.id] = heap_.size() - 1;
+  SiftUp(heap_.size() - 1);
+}
+
 void JobQueue::Push(std::int64_t id, double estimated_bytes, int priority) {
-  entries_.push_back(Entry{id, estimated_bytes, priority, next_seq_++});
+  Insert(Entry{id, estimated_bytes, priority, next_seq_++});
 }
 
 void JobQueue::Remove(std::int64_t id) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [id](const Entry& e) { return e.id == id; }),
-                 entries_.end());
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::size_t slot = it->second;
+  index_.erase(it);
+  const std::size_t last = heap_.size() - 1;
+  if (slot != last) {
+    Place(slot, heap_[last]);
+    heap_.pop_back();
+    // The moved entry may violate either direction relative to its new
+    // neighborhood; at most one of these does any work.
+    SiftUp(slot);
+    SiftDown(slot);
+  } else {
+    heap_.pop_back();
+  }
 }
 
+JobQueue::Entry JobQueue::PopBest() {
+  Entry best = heap_.front();
+  Remove(best.id);
+  return best;
+}
+
+void JobQueue::Restore(const Entry& entry) { Insert(entry); }
+
 std::vector<std::int64_t> JobQueue::DispatchOrder() const {
-  std::vector<Entry> order = entries_;
-  switch (policy_) {
-    case QueuePolicy::kFifo:
-      std::sort(order.begin(), order.end(),
-                [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
-      break;
-    case QueuePolicy::kSjfBytes:
-      std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
-        if (a.bytes != b.bytes) return a.bytes < b.bytes;
-        return a.seq < b.seq;
-      });
-      break;
-    case QueuePolicy::kPriority:
-      std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
-        if (a.priority != b.priority) return a.priority > b.priority;
-        return a.seq < b.seq;
-      });
-      break;
-  }
+  std::vector<Entry> order = heap_;
+  std::sort(order.begin(), order.end(),
+            [this](const Entry& a, const Entry& b) { return Before(a, b); });
   std::vector<std::int64_t> ids;
   ids.reserve(order.size());
   for (const auto& e : order) ids.push_back(e.id);
+  return ids;
+}
+
+std::vector<std::int64_t> JobQueue::QueuedIds() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(heap_.size());
+  for (const auto& e : heap_) ids.push_back(e.id);
   return ids;
 }
 

@@ -6,12 +6,21 @@
 // cannot be placed blocks everything behind it (head-of-line blocking is a
 // *feature* to measure, not a bug). SJF and priority allow backfilling: a
 // small job may run while a bigger/earlier one waits for more GPUs.
+//
+// Internally the queue is an indexed binary heap over the policy's total
+// order (ties always break by arrival sequence, so the order is strict and
+// deterministic): Push / PopBest / Remove are O(log Q) and PeekBest is
+// O(1), which is what lets the dispatcher handle million-job traces —
+// the old implementation copy-and-sorted the whole queue on every dispatch
+// event (O(Q log Q) per event). DispatchOrder() keeps the full sorted
+// listing for cold paths (health scans, tests).
 
 #ifndef MGS_SCHED_QUEUE_H_
 #define MGS_SCHED_QUEUE_H_
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -29,24 +38,10 @@ Result<QueuePolicy> QueuePolicyFromString(const std::string& name);
 
 class JobQueue {
  public:
-  explicit JobQueue(QueuePolicy policy) : policy_(policy) {}
-
-  void Push(std::int64_t id, double estimated_bytes, int priority);
-  void Remove(std::int64_t id);
-
-  /// Queued job ids in dispatch-preference order (deterministic: ties
-  /// break by arrival sequence).
-  std::vector<std::int64_t> DispatchOrder() const;
-
-  /// Whether the dispatcher may skip an unplaceable job and try the next
-  /// one in DispatchOrder (false only for FIFO).
-  bool allows_bypass() const { return policy_ != QueuePolicy::kFifo; }
-
-  QueuePolicy policy() const { return policy_; }
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-
- private:
+  /// A queued job's ordering key. `seq` is assigned at Push and defines the
+  /// deterministic tie-break (and FIFO order) for the job's whole stay in
+  /// the queue — Restore() re-inserts with the original seq, so a bypass
+  /// scan that pops, fails to place, and restores does not reorder anyone.
   struct Entry {
     std::int64_t id;
     double bytes;
@@ -54,9 +49,50 @@ class JobQueue {
     std::uint64_t seq;
   };
 
+  explicit JobQueue(QueuePolicy policy) : policy_(policy) {}
+
+  /// `id` must not already be queued.
+  void Push(std::int64_t id, double estimated_bytes, int priority);
+  /// No-op if `id` is not queued.
+  void Remove(std::int64_t id);
+  bool Contains(std::int64_t id) const { return index_.count(id) > 0; }
+
+  /// The next job in dispatch-preference order. Queue must be non-empty.
+  std::int64_t PeekBest() const { return heap_.front().id; }
+  /// Removes and returns the best entry (for Restore after a failed
+  /// placement attempt). Queue must be non-empty.
+  Entry PopBest();
+  /// Re-inserts an entry previously returned by PopBest, keeping its
+  /// original arrival sequence.
+  void Restore(const Entry& entry);
+
+  /// Queued job ids in dispatch-preference order (deterministic: ties
+  /// break by arrival sequence). O(Q log Q) — cold paths only.
+  std::vector<std::int64_t> DispatchOrder() const;
+  /// Queued job ids in unspecified (but deterministic) order, O(Q).
+  std::vector<std::int64_t> QueuedIds() const;
+
+  /// Whether the dispatcher may skip an unplaceable job and try the next
+  /// one in DispatchOrder (false only for FIFO).
+  bool allows_bypass() const { return policy_ != QueuePolicy::kFifo; }
+
+  QueuePolicy policy() const { return policy_; }
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  /// Strict total order: does `a` dispatch before `b` under the policy?
+  bool Before(const Entry& a, const Entry& b) const;
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  /// Writes `entry` into heap slot `i` and updates the id index.
+  void Place(std::size_t i, Entry entry);
+  void Insert(Entry entry);
+
   QueuePolicy policy_;
   std::uint64_t next_seq_ = 0;
-  std::vector<Entry> entries_;
+  std::vector<Entry> heap_;
+  std::unordered_map<std::int64_t, std::size_t> index_;  // id -> heap slot
 };
 
 }  // namespace mgs::sched

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <unordered_map>
 
 #include "core/het_sort.h"
 #include "core/p2p_sort.h"
 #include "net/distributed_sort.h"
 #include "obs/phase.h"
 #include "obs/resilience.h"
+#include "obs/service.h"
 #include "obs/trace_bridge.h"
 
 namespace mgs::sched {
@@ -25,6 +28,34 @@ const char* JobStateName(JobState state) {
     default:
       return "other";
   }
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over one element's bytes, repeated `count` times — the building
+/// block of JobRecord::result_hash. Hashing a sorted output element by
+/// element equals hashing each equal-value run representative `run` times,
+/// which is how the batch split attributes outputs without materializing
+/// per-member copies.
+template <typename T>
+std::uint64_t MixValue(std::uint64_t h, const T& value, std::int64_t count) {
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  for (std::int64_t k = 0; k < count; ++k) {
+    for (unsigned char b : bytes) {
+      h ^= b;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t HashSortedOutput(const std::vector<T>& data) {
+  std::uint64_t h = kFnvOffset;
+  for (const T& v : data) h = MixValue(h, v, 1);
+  return h;
 }
 }  // namespace
 
@@ -112,7 +143,8 @@ const JobRecord& SortServer::job(std::int64_t id) const {
 void SortServer::FinishTerminal(JobSlot& slot) {
   completion_order_.push_back(slot.record.id);
   PublishJobOutcome(slot.record);
-  slot.done->Fire();
+  if (slot.dedupe_registered) SettleDedupePrimary(slot);
+  if (slot.done) slot.done->Fire();
   --unfinished_;
   MaybeFinish();
 }
@@ -162,6 +194,18 @@ void SortServer::OnArrival(std::int64_t id) {
   JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
   JobRecord& rec = slot.record;
   rec.arrival = Now();
+  // Ready cache hit first, deliberately ahead of admission: a job whose
+  // result is already sitting in the cache costs nothing to serve, which is
+  // exactly what an overloaded (queue-full, shedding) service wants.
+  if (DedupeEligible(rec.spec)) {
+    auto it = dedupe_.find(DatasetIdentity(rec.spec));
+    if (it != dedupe_.end() && it->second.ready &&
+        (options_.dedupe.ttl_seconds <= 0 ||
+         Now() - it->second.finished_at <= options_.dedupe.ttl_seconds)) {
+      CompleteDedupeHit(slot, it->second);
+      return;
+    }
+  }
   Status admit = Status::OK();
   if (rec.spec.nodes > 1) {
     if (options_.cluster == nullptr) {
@@ -195,7 +239,11 @@ void SortServer::OnArrival(std::int64_t id) {
     return;
   }
   rec.state = JobState::kQueued;
+  // A twin of a queued/running job parks outside the queue and rides that
+  // job's result instead of sorting again.
+  if (TryDedupeOnArrival(id)) return;
   queue_.Push(id, JobBytes(rec.spec), rec.spec.priority);
+  PushCoalesceIndex(id);
   PublishQueueGauges();
   TryDispatch();
 }
@@ -208,47 +256,197 @@ void SortServer::TryDispatch() {
         running_jobs_ >= options_.max_concurrent_jobs) {
       return;
     }
-    for (std::int64_t id : queue_.DispatchOrder()) {
-      JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
-      JobRecord& rec = slot.record;
-      PlacementRequest request;
-      request.gpus = rec.spec.gpus;
-      request.per_gpu_bytes = PerGpuBytes(rec.spec);
-      request.pinned = rec.spec.pinned_gpus;
-      std::vector<int> node_set;
-      auto placed =
-          rec.spec.nodes > 1
-              ? PlaceDistributed(rec, request.per_gpu_bytes, &node_set)
-              : placer_.Place(request, running_per_gpu_);
-      if (!placed.ok()) {
-        // Malformed beyond what admission caught; fail rather than wedge
-        // the queue.
-        queue_.Remove(id);
-        rec.state = JobState::kFailed;
-        rec.error = placed.status().ToString();
-        rec.start = rec.finish = Now();
-        FinishTerminal(slot);
-        dispatched = true;
-        break;
-      }
-      if (!placed->has_value()) {
-        if (!queue_.allows_bypass()) break;  // FIFO: head-of-line blocks
+    if (queue_.empty()) return;
+    dispatched = options_.legacy_scan_dispatch ? ScanDispatchOnce()
+                                               : HeapDispatchOnce();
+  }
+}
+
+bool SortServer::ScanDispatchOnce() {
+  // The pre-heap path: materialize the whole policy order (O(Q log Q)) and
+  // walk it. Kept verbatim as the A/B oracle for HeapDispatchOnce.
+  for (std::int64_t id : queue_.DispatchOrder()) {
+    switch (TryLaunch(id)) {
+      case LaunchResult::kLaunched:
+        return true;
+      case LaunchResult::kUnplaceable:
+        if (!queue_.allows_bypass()) return false;  // FIFO: head-of-line blocks
         continue;
-      }
-      queue_.Remove(id);
-      rec.gpu_set = **placed;
-      rec.node_set = std::move(node_set);
-      // Claim the memory now so co-scheduled placements at this instant
-      // can't oversubscribe; RunJob hands the claim to the sort task.
-      for (int g : rec.gpu_set) {
-        CheckOk(platform_->device(g).Reserve(request.per_gpu_bytes));
-      }
-      sim::Spawn(RunJob(id));
-      PublishQueueGauges();
-      dispatched = true;
-      break;
     }
   }
+  return false;
+}
+
+bool SortServer::HeapDispatchOnce() {
+  if (!AnyFreeGpu()) return false;
+  if (!queue_.allows_bypass()) {
+    // FIFO: only the head may dispatch; one O(log Q) peek decides.
+    return TryLaunch(queue_.PeekBest()) == LaunchResult::kLaunched;
+  }
+  // Bypassing policies: pop past unplaceable heads and restore them
+  // afterwards (Restore preserves their arrival seq, so the policy order is
+  // exactly what DispatchOrder would have produced).
+  std::vector<JobQueue::Entry> skipped;
+  bool launched = false;
+  while (!queue_.empty()) {
+    if (TryLaunch(queue_.PeekBest()) == LaunchResult::kLaunched) {
+      launched = true;
+      break;
+    }
+    skipped.push_back(queue_.PopBest());
+  }
+  for (const JobQueue::Entry& entry : skipped) queue_.Restore(entry);
+  return launched;
+}
+
+bool SortServer::AnyFreeGpu() const {
+  if (options_.allow_gpu_sharing) return true;
+  for (int g = 0; g < platform_->num_devices(); ++g) {
+    if (!platform_->device(g).failed() &&
+        running_per_gpu_[static_cast<std::size_t>(g)] == 0) {
+      return true;
+    }
+  }
+  // With every healthy GPU occupied (exclusive mode), CandidateGpus is
+  // empty and every placement comes back nullopt — the scan cannot launch
+  // anything, so skip it. (A malformed request's placement *error* is
+  // delayed until the next scan with an idle GPU; the terminal outcome is
+  // unchanged.)
+  return false;
+}
+
+SortServer::LaunchResult SortServer::TryLaunch(std::int64_t id) {
+  JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+  JobRecord& rec = slot.record;
+  PlacementRequest request;
+  request.gpus = rec.spec.gpus;
+  request.per_gpu_bytes = PerGpuBytes(rec.spec);
+  request.pinned = rec.spec.pinned_gpus;
+  std::vector<int> node_set;
+  auto placed = rec.spec.nodes > 1
+                    ? PlaceDistributed(rec, request.per_gpu_bytes, &node_set)
+                    : placer_.Place(request, running_per_gpu_);
+  if (!placed.ok()) {
+    // Malformed beyond what admission caught; fail rather than wedge the
+    // queue.
+    queue_.Remove(id);
+    rec.state = JobState::kFailed;
+    rec.error = placed.status().ToString();
+    rec.start = rec.finish = Now();
+    FinishTerminal(slot);
+    return LaunchResult::kLaunched;  // the queue changed either way
+  }
+  if (!placed->has_value()) return LaunchResult::kUnplaceable;
+  queue_.Remove(id);
+  rec.gpu_set = **placed;
+  rec.node_set = std::move(node_set);
+  double reserve_bytes = request.per_gpu_bytes;
+  std::vector<std::int64_t> batch;
+  if (CoalesceEligible(rec.spec)) {
+    batch = GatherBatch(id, rec.gpu_set, &reserve_bytes);
+  }
+  // Claim the memory now so co-scheduled placements at this instant can't
+  // oversubscribe; RunJob / RunBatch hand the claim to the sort task.
+  for (int g : rec.gpu_set) {
+    CheckOk(platform_->device(g).Reserve(reserve_bytes));
+  }
+  if (batch.size() > 1) {
+    sim::Spawn(RunBatch(std::move(batch), reserve_bytes));
+  } else {
+    sim::Spawn(RunJob(id));
+  }
+  PublishQueueGauges();
+  return LaunchResult::kLaunched;
+}
+
+bool SortServer::CoalesceEligible(const JobSpec& spec) const {
+  return options_.coalesce.enabled && spec.nodes <= 1 &&
+         spec.pinned_gpus.empty() &&
+         spec.logical_keys <= options_.coalesce.max_job_keys;
+}
+
+std::uint64_t SortServer::CoalesceKey(const JobSpec& spec) const {
+  // Bucket routing only — GatherBatch re-checks the exact shape, so a
+  // collision merely co-locates two shapes in one bucket.
+  return (static_cast<std::uint64_t>(spec.type) << 48) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              spec.priority))
+          << 16) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(spec.gpus));
+}
+
+void SortServer::PushCoalesceIndex(std::int64_t id) {
+  const JobSpec& spec = slots_[static_cast<std::size_t>(id)]->record.spec;
+  if (!CoalesceEligible(spec)) return;
+  coalesce_index_[CoalesceKey(spec)].push_back(id);
+}
+
+std::vector<std::int64_t> SortServer::GatherBatch(
+    std::int64_t leader, const std::vector<int>& gpu_set,
+    double* reserve_bytes) {
+  std::vector<std::int64_t> batch{leader};
+  const JobSpec& lead = slots_[static_cast<std::size_t>(leader)]->record.spec;
+  auto it = coalesce_index_.find(CoalesceKey(lead));
+  if (it == coalesce_index_.end()) return batch;
+
+  // The batch sorts the members' *concatenated* generated keys, so size the
+  // reservation from the summed actual (scaled-down) keys — the sum of
+  // ceils, not the ceil of the sum.
+  const double scale = platform_->scale();
+  const double elem_bytes =
+      static_cast<double>(DataTypeSize(lead.type)) * scale;
+  auto actual_of = [scale](double logical) {
+    return std::max(1.0, std::ceil(logical / scale));
+  };
+  double spare = platform_->device(gpu_set.front()).memory_available();
+  for (int g : gpu_set) {
+    spare = std::min(spare, platform_->device(g).memory_available());
+  }
+  double total_logical = lead.logical_keys;
+  double total_actual = actual_of(lead.logical_keys);
+
+  std::deque<std::int64_t>& bucket = it->second;
+  std::deque<std::int64_t> keep;
+  while (!bucket.empty() && static_cast<int>(batch.size()) <
+                                options_.coalesce.max_batch_jobs) {
+    const std::int64_t cid = bucket.front();
+    bucket.pop_front();
+    // Lazily purge: dispatched, doomed, re-indexed after a retry — and the
+    // leader itself, which TryLaunch already removed.
+    if (!queue_.Contains(cid)) continue;
+    const JobSpec& cand =
+        slots_[static_cast<std::size_t>(cid)]->record.spec;
+    if (cand.type != lead.type || cand.gpus != lead.gpus ||
+        cand.priority != lead.priority) {  // bucket collision
+      keep.push_back(cid);
+      continue;
+    }
+    const double next_actual = total_actual + actual_of(cand.logical_keys);
+    const double need =
+        2.0 * std::ceil(next_actual / lead.gpus) * elem_bytes;
+    if (total_logical + cand.logical_keys > options_.coalesce.max_batch_keys ||
+        need > spare) {
+      // FIFO within the bucket: stop at the first member that doesn't fit
+      // rather than searching past it (keeps the scan O(batch)).
+      keep.push_back(cid);
+      break;
+    }
+    queue_.Remove(cid);
+    total_logical += cand.logical_keys;
+    total_actual = next_actual;
+    batch.push_back(cid);
+  }
+  while (!bucket.empty()) {
+    keep.push_back(bucket.front());
+    bucket.pop_front();
+  }
+  bucket = std::move(keep);
+  if (bucket.empty()) coalesce_index_.erase(it);
+
+  if (batch.size() > 1) {
+    *reserve_bytes = 2.0 * std::ceil(total_actual / lead.gpus) * elem_bytes;
+  }
+  return batch;
 }
 
 Result<std::optional<std::vector<int>>> SortServer::PlaceDistributed(
@@ -276,6 +474,8 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   rec.state = JobState::kRunning;
   if (rec.attempts == 0) rec.start = Now();
   ++rec.attempts;
+  rec.batch_jobs = 1;  // attempt-scoped: a retried batch member runs solo
+  rec.batch_leader = -1;
   const double attempt_start = Now();
   ++running_jobs_;
   for (int g : rec.gpu_set) {
@@ -324,6 +524,13 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
                    attempt_start, rec.finish);
   }
 
+  SettleAttempt(slot);
+  TryDispatch();
+}
+
+void SortServer::SettleAttempt(JobSlot& slot) {
+  JobRecord& rec = slot.record;
+  const std::int64_t id = rec.id;
   if (rec.state == JobState::kFailed) {
     if (rec.first_failure < 0) rec.first_failure = Now();
     // Retry only the transient class: device loss, link outage, injected
@@ -352,8 +559,7 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
       }
       platform_->simulator().Schedule(std::max(0.0, backoff),
                                       [this, id] { RequeueJob(id); });
-      TryDispatch();
-      co_return;  // not terminal: the job lives on in backoff
+      return;  // not terminal: the job lives on in backoff
     }
   } else if (rec.recovered()) {
     if (auto* registry = metrics()) {
@@ -376,6 +582,193 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
     }
   }
   FinishTerminal(slot);
+}
+
+sim::Task<void> SortServer::RunBatch(std::vector<std::int64_t> batch,
+                                     double reserve_bytes) {
+  JobSlot& lead_slot = *slots_[static_cast<std::size_t>(batch.front())];
+  JobRecord& leader = lead_slot.record;
+  const double attempt_start = Now();
+  for (std::int64_t id : batch) {
+    JobRecord& rec = slots_[static_cast<std::size_t>(id)]->record;
+    rec.state = JobState::kRunning;
+    if (rec.attempts == 0) rec.start = Now();
+    ++rec.attempts;
+    rec.batch_jobs = static_cast<int>(batch.size());
+    rec.batch_leader = leader.id;
+    if (id != leader.id) rec.gpu_set = leader.gpu_set;
+  }
+  ++coalesced_batches_;
+  coalesced_jobs_ += static_cast<std::int64_t>(batch.size());
+  if (auto* registry = metrics()) {
+    registry
+        ->GetCounter(obs::kSchedCoalescedBatches, {},
+                     "Device passes that carried more than one job")
+        .Inc();
+    registry
+        ->GetCounter(obs::kSchedCoalescedJobs, {},
+                     "Jobs that rode a coalesced device pass")
+        .Add(static_cast<double>(batch.size()));
+  }
+  // One device pass = one running slot; the concurrency cap counts passes.
+  ++running_jobs_;
+  for (int g : leader.gpu_set) {
+    ++running_per_gpu_[static_cast<std::size_t>(g)];
+  }
+  PublishQueueGauges();
+  if (auto* trace = platform_->trace()) {
+    if (leader.attempts == 1 && leader.start > leader.arrival) {
+      trace->AddSpan("sched:queue",
+                     "job" + std::to_string(leader.id) + " queued",
+                     leader.arrival, leader.start);
+    }
+  }
+
+  // Reservation handoff, as in RunJob: release right before awaiting the
+  // sort task, which allocates eagerly before its first suspension.
+  for (int g : leader.gpu_set) {
+    platform_->device(g).Unreserve(reserve_bytes);
+  }
+  switch (leader.spec.type) {
+    case DataType::kInt32:
+      co_await ExecuteBatchTyped<std::int32_t>(batch, leader);
+      break;
+    case DataType::kInt64:
+      co_await ExecuteBatchTyped<std::int64_t>(batch, leader);
+      break;
+    case DataType::kFloat32:
+      co_await ExecuteBatchTyped<float>(batch, leader);
+      break;
+    case DataType::kFloat64:
+      co_await ExecuteBatchTyped<double>(batch, leader);
+      break;
+  }
+
+  const double finish = Now();
+  --running_jobs_;
+  for (int g : leader.gpu_set) {
+    --running_per_gpu_[static_cast<std::size_t>(g)];
+  }
+  PublishQueueGauges();
+  if (auto* trace = platform_->trace()) {
+    trace->AddSpan("sched:gpu" + std::to_string(leader.gpu_set.front()),
+                   leader.spec.tenant + "/job" + std::to_string(leader.id) +
+                       " batch x" + std::to_string(batch.size()) + " g=" +
+                       std::to_string(leader.spec.gpus),
+                   attempt_start, finish);
+  }
+  for (std::int64_t id : batch) {
+    JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+    slot.record.finish = finish;
+    SettleAttempt(slot);
+  }
+  TryDispatch();
+}
+
+bool SortServer::DedupeEligible(const JobSpec& spec) const {
+  return options_.dedupe.enabled && spec.nodes <= 1 &&
+         spec.pinned_gpus.empty();
+}
+
+bool SortServer::TryDedupeOnArrival(std::int64_t id) {
+  JobSlot& slot = *slots_[static_cast<std::size_t>(id)];
+  JobRecord& rec = slot.record;
+  if (!DedupeEligible(rec.spec)) return false;
+  DedupeEntry& entry = dedupe_[DatasetIdentity(rec.spec)];
+  if (entry.primary >= 0) {
+    // Park behind the live twin; SettleDedupePrimary completes (or
+    // promotes) this job when the primary settles.
+    rec.dedup_origin = entry.primary;
+    entry.waiters.push_back(id);
+    return true;
+  }
+  // Become the primary. A ready result that survived to this point is
+  // stale (the fresh case completed before admission) — supersede it.
+  if (entry.ready) {
+    dedupe_lru_.erase(entry.lru);
+    entry.ready = false;
+  }
+  entry.primary = id;
+  slot.dedupe_registered = true;
+  return false;
+}
+
+void SortServer::CompleteDedupeHit(JobSlot& slot, DedupeEntry& entry) {
+  JobRecord& rec = slot.record;
+  rec.state = JobState::kDone;
+  // start == finish == now: queueing delay is real (it waited for the
+  // primary), service time is zero — SLO attribution charges the wait.
+  rec.start = rec.finish = Now();
+  rec.sort = entry.stats;
+  rec.result_hash = entry.result_hash;
+  rec.dedup_hit = true;
+  rec.dedup_origin = entry.origin;
+  rec.error.clear();
+  rec.error_code = StatusCode::kOk;
+  ++dedup_hits_;
+  if (auto* registry = metrics()) {
+    registry
+        ->GetCounter(obs::kSchedDedupHits, {},
+                     "Jobs completed by reusing a twin's cached result")
+        .Inc();
+  }
+  if (entry.ready) {
+    // LRU touch: serving a hit keeps the entry warm.
+    dedupe_lru_.erase(entry.lru);
+    entry.lru = ++dedupe_stamp_;
+    dedupe_lru_[entry.lru] = DatasetIdentity(rec.spec);
+  }
+  FinishTerminal(slot);
+}
+
+void SortServer::SettleDedupePrimary(JobSlot& slot) {
+  JobRecord& rec = slot.record;
+  slot.dedupe_registered = false;
+  auto it = dedupe_.find(DatasetIdentity(rec.spec));
+  if (it == dedupe_.end() || it->second.primary != rec.id) return;
+  DedupeEntry& entry = it->second;
+  entry.primary = -1;
+  if (rec.state == JobState::kDone) {
+    entry.ready = true;
+    entry.finished_at = Now();
+    entry.stats = rec.sort;
+    entry.result_hash = rec.result_hash;
+    entry.origin = rec.id;
+    entry.lru = ++dedupe_stamp_;
+    dedupe_lru_[entry.lru] = it->first;
+    std::vector<std::int64_t> waiters = std::move(entry.waiters);
+    entry.waiters.clear();
+    for (std::int64_t wid : waiters) {
+      CompleteDedupeHit(*slots_[static_cast<std::size_t>(wid)], entry);
+    }
+    // Capacity eviction, least-recently-touched ready entries first. Only
+    // ready entries live in the LRU, and a ready entry has no primary and
+    // no waiters, so erasing it drops no live state.
+    const std::size_t cap =
+        static_cast<std::size_t>(std::max(1, options_.dedupe.capacity));
+    while (dedupe_lru_.size() > cap) {
+      auto oldest = dedupe_lru_.begin();
+      dedupe_.erase(oldest->second);
+      dedupe_lru_.erase(oldest);
+    }
+    return;
+  }
+  // The primary faulted out, taking its (never-produced) result with it:
+  // promote the first parked twin to a fresh primary and queue it.
+  if (entry.waiters.empty()) {
+    dedupe_.erase(it);
+    return;
+  }
+  const std::int64_t next = entry.waiters.front();
+  entry.waiters.erase(entry.waiters.begin());
+  entry.primary = next;
+  JobSlot& next_slot = *slots_[static_cast<std::size_t>(next)];
+  next_slot.dedupe_registered = true;
+  next_slot.record.dedup_origin = -1;
+  queue_.Push(next, JobBytes(next_slot.record.spec),
+              next_slot.record.spec.priority);
+  PushCoalesceIndex(next);
+  PublishQueueGauges();
   TryDispatch();
 }
 
@@ -385,6 +778,7 @@ void SortServer::RequeueJob(std::int64_t id) {
   if (rec.state != JobState::kRetryBackoff) return;
   rec.state = JobState::kQueued;
   queue_.Push(id, JobBytes(rec.spec), rec.spec.priority);
+  PushCoalesceIndex(id);
   PublishQueueGauges();
   TryDispatch();
 }
@@ -506,10 +900,130 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
     rec.error_code = StatusCode::kInternal;
     co_return;
   }
+  rec.result_hash = HashSortedOutput(data.vector());
   rec.sort = std::move(*out);
   rec.state = JobState::kDone;
   rec.error.clear();
   rec.error_code = StatusCode::kOk;
+}
+
+template <typename T>
+sim::Task<void> SortServer::ExecuteBatchTyped(
+    std::vector<std::int64_t>& batch, JobRecord& leader) {
+  const double scale = platform_->scale();
+  const int numa =
+      options_.cluster != nullptr && !leader.gpu_set.empty()
+          ? options_.cluster->FirstSocket(
+                options_.cluster->NodeOfGpu(leader.gpu_set.front()))
+          : 0;
+  // Generate every member's dataset (its own seed / distribution / size)
+  // into one concatenated buffer, remembering each member's multiset as
+  // value counts — that's all the split needs, because sorting is exactly
+  // "arrange the multiset in order".
+  std::vector<T> all;
+  std::vector<std::unordered_map<T, std::int64_t>> counts(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JobSpec& spec =
+        slots_[static_cast<std::size_t>(batch[i])]->record.spec;
+    DataGenOptions gen;
+    gen.distribution = spec.distribution;
+    gen.seed = spec.seed;
+    const std::int64_t actual = static_cast<std::int64_t>(
+        std::max(1.0, std::ceil(spec.logical_keys / scale)));
+    std::vector<T> keys = GenerateKeys<T>(actual, gen);
+    counts[i].reserve(keys.size());
+    for (const T& v : keys) ++counts[i][v];
+    all.insert(all.end(), keys.begin(), keys.end());
+  }
+  vgpu::HostBuffer<T> data(std::move(all), numa, /*pinned=*/true);
+
+  Result<core::SortStats> out = Status::Internal("sort task never ran");
+  if (ShouldFallBackToHet(leader)) {
+    for (std::int64_t id : batch) {
+      slots_[static_cast<std::size_t>(id)]->record.het_fallback = true;
+    }
+    if (auto* registry = metrics()) {
+      registry
+          ->GetCounter(obs::kSchedHetFallbacks, {},
+                       "Jobs rerouted to the HET sorter because their P2P "
+                       "mesh was degraded")
+          .Add(static_cast<double>(batch.size()));
+    }
+    core::HetOptions het_options;
+    het_options.gpu_set = leader.gpu_set;
+    het_options.gpu_memory_budget = PerGpuBytes(leader.spec);
+    ConfigureExec(leader, &het_options);
+    co_await core::HetSortTask<T>(platform_, &data, het_options, &out);
+  } else {
+    core::SortOptions sort_options;
+    sort_options.gpu_set = leader.gpu_set;
+    ConfigureExec(leader, &sort_options);
+    co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
+  }
+
+  auto fail_all = [&](const std::string& error, StatusCode code) {
+    for (std::int64_t id : batch) {
+      JobRecord& rec = slots_[static_cast<std::size_t>(id)]->record;
+      rec.state = JobState::kFailed;
+      rec.error = error;
+      rec.error_code = code;
+    }
+  };
+  if (!out.ok()) {
+    // The pass is all-or-nothing: every member shares the fault (and each
+    // retries independently, solo, through the normal path).
+    fail_all(out.status().ToString(), out.status().code());
+    co_return;
+  }
+  if (options_.verify_sorted &&
+      !std::is_sorted(data.vector().begin(), data.vector().end())) {
+    fail_all("output not sorted", StatusCode::kInternal);
+    co_return;
+  }
+
+  // Split the sorted union back into per-member outputs by walking
+  // equal-value runs: each member takes its multiset count of the run's
+  // value. A member's slice is then bitwise what a solo sort of its own
+  // dataset would produce, which the result hashes certify.
+  std::vector<std::uint64_t> hashes(batch.size(), kFnvOffset);
+  const std::vector<T>& sorted = data.vector();
+  std::size_t pos = 0;
+  bool split_ok = true;
+  while (pos < sorted.size()) {
+    std::size_t end = pos + 1;
+    while (end < sorted.size() && !(sorted[pos] < sorted[end])) ++end;
+    std::int64_t handed = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto hit = counts[i].find(sorted[pos]);
+      if (hit == counts[i].end()) continue;
+      hashes[i] = MixValue(hashes[i], sorted[pos], hit->second);
+      handed += hit->second;
+      counts[i].erase(hit);
+    }
+    if (handed != static_cast<std::int64_t>(end - pos)) {
+      split_ok = false;
+      break;
+    }
+    pos = end;
+  }
+  if (!split_ok) {
+    fail_all("batch split mismatch: sorted union does not partition into "
+             "member multisets",
+             StatusCode::kInternal);
+    co_return;
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JobRecord& rec = slots_[static_cast<std::size_t>(batch[i])]->record;
+    rec.sort = *out;
+    // The shared pass's timing, attributed to each member; keys stay the
+    // member's own so per-job throughput math is honest.
+    rec.sort.keys = static_cast<std::int64_t>(rec.spec.logical_keys);
+    rec.result_hash = hashes[i];
+    rec.state = JobState::kDone;
+    rec.error.clear();
+    rec.error_code = StatusCode::kOk;
+  }
 }
 
 sim::Task<void> SortServer::ClientLoop(int client_index,
@@ -521,7 +1035,10 @@ sim::Task<void> SortServer::ClientLoop(int client_index,
     spec.tenant = "client" + std::to_string(client_index);
     spec.arrival_seconds = Now();
     const std::int64_t id = AddSlot(std::move(spec));
-    auto done = slots_[static_cast<std::size_t>(id)]->done;
+    // Triggers are lazy (open-loop jobs never need one); a closed-loop
+    // client allocates its job's before arrival so it can await completion.
+    auto done = std::make_shared<sim::Trigger>();
+    slots_[static_cast<std::size_t>(id)]->done = done;
     OnArrival(id);
     co_await done->Wait();
     if (options.think_seconds > 0) {
@@ -665,6 +1182,10 @@ Result<ServiceReport> SortServer::Run() {
 ServiceReport SortServer::BuildReport() const {
   ServiceReport report;
   report.completion_order = completion_order_;
+  report.coalesced_batches = coalesced_batches_;
+  report.coalesced_jobs = coalesced_jobs_;
+  report.dedup_hits = dedup_hits_;
+  if (options_.report_jobs) report.jobs.reserve(slots_.size());
 
   std::vector<double> latencies, queue_delays, service_times;
   double first_arrival = 0, last_finish = 0;
@@ -674,7 +1195,7 @@ ServiceReport SortServer::BuildReport() const {
   double recovery_sum = 0;
   for (const auto& slot : slots_) {
     const JobRecord& rec = slot->record;
-    report.jobs.push_back(rec);
+    if (options_.report_jobs) report.jobs.push_back(rec);
     report.total_retries += rec.retries;
     if (rec.het_fallback) ++report.het_fallbacks;
     switch (rec.state) {

@@ -20,8 +20,12 @@
 #define MGS_SCHED_SERVER_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/executor.h"
@@ -79,6 +83,36 @@ struct RecoveryOptions {
   double health_check_seconds = 0;
 };
 
+/// Batch coalescing: at dispatch time, merge queued small jobs with the
+/// same shape (type, GPU count, priority, single-node, unpinned) into the
+/// leader's device pass. The batch sorts the concatenated datasets once and
+/// splits per-job results (and metrics / SLO attribution) back out —
+/// turning many tiny passes into one, which is what a million-job trace
+/// needs. Per-job outputs are bitwise-identical to solo runs.
+struct CoalesceOptions {
+  bool enabled = false;
+  /// Only jobs at or below this size coalesce (whales keep solo passes).
+  double max_job_keys = 5e8;
+  /// Caps per batch: member count and combined logical keys.
+  int max_batch_jobs = 64;
+  double max_batch_keys = 8e9;
+};
+
+/// Result cache: jobs are keyed by dataset identity (DatasetIdentity); a
+/// job whose twin is currently queued/running parks and rides the twin's
+/// result, and one whose twin recently finished completes instantly from
+/// the cached stats. Ready hits bypass admission (serving from cache is
+/// exactly what an overloaded service wants). A faulted primary
+/// invalidates nothing silently: the first parked twin is promoted to
+/// primary and re-sorts.
+struct DedupeOptions {
+  bool enabled = false;
+  /// Max ready (finished) entries kept; oldest evicted first.
+  int capacity = 4096;
+  /// > 0: a ready entry older than this no longer serves hits.
+  double ttl_seconds = 0;
+};
+
 struct ServerOptions {
   QueuePolicy policy = QueuePolicy::kFifo;
   AdmissionOptions admission;
@@ -105,6 +139,20 @@ struct ServerOptions {
   /// describe the same topology the platform was built from and outlive the
   /// server. Single-node jobs are unaffected.
   const net::ClusterInfo* cluster = nullptr;
+  /// Merge small same-shape jobs into shared device passes.
+  CoalesceOptions coalesce;
+  /// Reuse results across jobs describing the same dataset.
+  DedupeOptions dedupe;
+  /// Use the pre-heap dispatch path (full DispatchOrder() walk per event)
+  /// instead of the indexed-heap path. Kept as the A/B oracle: both paths
+  /// must pick identical dispatch sequences, which the randomized
+  /// equivalence tests assert. The heap path additionally skips scans that
+  /// provably cannot place anything (no free GPU, exclusive mode).
+  bool legacy_scan_dispatch = false;
+  /// Include every per-job record in the report. Turn off for million-job
+  /// traces where the aggregates are the point and the per-job vector would
+  /// dominate memory.
+  bool report_jobs = true;
 };
 
 /// One interconnect link's mean utilization over the service run.
@@ -114,7 +162,8 @@ struct LinkLoad {
 };
 
 struct ServiceReport {
-  /// Every job the service saw, in submission (id) order.
+  /// Every job the service saw, in submission (id) order (empty when
+  /// ServerOptions::report_jobs is off).
   std::vector<JobRecord> jobs;
   /// Job ids in completion order (deterministic for a fixed seed/config).
   std::vector<std::int64_t> completion_order;
@@ -142,6 +191,12 @@ struct ServiceReport {
   /// Fraction of completed jobs within ServerOptions::slo_seconds
   /// (-1 when no SLO is configured).
   double slo_attainment = -1;
+  /// Device passes that carried more than one job, and the jobs they
+  /// carried (CoalesceOptions).
+  std::int64_t coalesced_batches = 0;
+  std::int64_t coalesced_jobs = 0;
+  /// Jobs completed by reusing a twin's result (DedupeOptions).
+  std::int64_t dedup_hits = 0;
   /// Per-link mean utilization, busiest first.
   std::vector<LinkLoad> links;
 };
@@ -168,7 +223,26 @@ class SortServer {
  private:
   struct JobSlot {
     JobRecord record;
-    std::shared_ptr<sim::Trigger> done = std::make_shared<sim::Trigger>();
+    /// Completion trigger, allocated lazily — only closed-loop clients
+    /// await individual jobs, and a million-trigger trace would pay the
+    /// allocation for nothing. FinishTerminal fires it when present.
+    std::shared_ptr<sim::Trigger> done;
+    /// This job is the dedupe store's live primary for its dataset.
+    bool dedupe_registered = false;
+  };
+
+  /// One entry of the result cache, keyed by DatasetKey. Lives from the
+  /// first eligible arrival until eviction; `waiters` are parked twins that
+  /// ride the primary's result.
+  struct DedupeEntry {
+    std::int64_t primary = -1;            // live twin being sorted (-1: none)
+    std::vector<std::int64_t> waiters;    // parked twins (not in the queue)
+    bool ready = false;                   // a finished result is cached
+    double finished_at = 0;               // ready-result timestamp (TTL)
+    core::SortStats stats;                // cached result
+    std::uint64_t result_hash = 0;
+    std::int64_t origin = -1;             // job that produced the result
+    std::uint64_t lru = 0;                // key into dedupe_lru_ when ready
   };
 
   double Now() const;
@@ -193,7 +267,53 @@ class SortServer {
       std::vector<int>* node_set) const;
   void FinishTerminal(JobSlot& slot);  // fire + bookkeeping for any terminal state
   void TryDispatch();
+  /// One dispatch scan. The legacy path materializes the full policy order
+  /// and walks it; the heap path peeks O(log Q), popping past unplaceable
+  /// heads only under bypassing policies (and restoring them, seq
+  /// preserved). Both return true when a job was launched or terminally
+  /// failed (so TryDispatch rescans).
+  bool ScanDispatchOnce();
+  bool HeapDispatchOnce();
+  /// Exact fast-path gate for HeapDispatchOnce: in exclusive-GPU mode, no
+  /// placement can succeed unless some healthy GPU is idle — skip the scan
+  /// entirely. (Always true under gpu sharing.)
+  bool AnyFreeGpu() const;
+  enum class LaunchResult { kLaunched, kUnplaceable };
+  /// Places and launches one queued job (possibly gathering a coalesced
+  /// batch behind it). kLaunched also covers placement *errors* (the job
+  /// left the queue terminally failed) — either way the queue changed.
+  LaunchResult TryLaunch(std::int64_t id);
   void MaybeFinish();
+
+  // --- batch coalescing -----------------------------------------------
+  /// May this job share a device pass? (enabled, single-node, unpinned,
+  /// small enough.)
+  bool CoalesceEligible(const JobSpec& spec) const;
+  /// Shape bucket: jobs coalesce only within (type, gpus, priority).
+  std::uint64_t CoalesceKey(const JobSpec& spec) const;
+  void PushCoalesceIndex(std::int64_t id);
+  /// Pulls queued shape-mates of `leader` (already placed on `gpu_set`)
+  /// out of the queue into one batch, respecting the batch caps and the
+  /// placement's spare device memory. Returns leader + members and updates
+  /// `*reserve_bytes` (in: the leader's per-GPU need; out: the batch's).
+  std::vector<std::int64_t> GatherBatch(std::int64_t leader,
+                                        const std::vector<int>& gpu_set,
+                                        double* reserve_bytes);
+
+  // --- result dedupe ----------------------------------------------------
+  bool DedupeEligible(const JobSpec& spec) const;
+  /// Arrival hook. True when the job was absorbed by the cache — completed
+  /// from a ready entry, or parked behind a live primary — and must not be
+  /// queued. Registers the job as primary (and lets it queue) otherwise.
+  bool TryDedupeOnArrival(std::int64_t id);
+  /// Terminal hook for registered primaries: on success, cache the result,
+  /// complete all waiters as hits and rotate the LRU; on failure, promote
+  /// the first waiter to a fresh primary and requeue it.
+  void SettleDedupePrimary(JobSlot& slot);
+  void CompleteDedupeHit(JobSlot& slot, DedupeEntry& entry);
+  /// Common tail of a finished attempt: retry/backoff scheduling or
+  /// terminal accounting. Shared by RunJob and RunBatch members.
+  void SettleAttempt(JobSlot& slot);
   /// Backoff expiry: puts a kRetryBackoff job back in the queue.
   void RequeueJob(std::int64_t id);
   /// True when the job's P2P mesh is degraded below the fallback threshold
@@ -208,8 +328,16 @@ class SortServer {
 
   sim::Task<void> ServiceRoot();
   sim::Task<void> RunJob(std::int64_t id);
+  /// Runs a coalesced batch (leader first) as one device pass and settles
+  /// every member. `reserve_bytes` is the leader's per-GPU reservation to
+  /// hand off to the sorter's own allocation.
+  sim::Task<void> RunBatch(std::vector<std::int64_t> batch,
+                           double reserve_bytes);
   template <typename T>
   sim::Task<void> ExecuteTyped(JobRecord& rec);
+  template <typename T>
+  sim::Task<void> ExecuteBatchTyped(std::vector<std::int64_t>& batch,
+                                    JobRecord& leader);
   sim::Task<void> ClientLoop(int client_index, ClosedLoopOptions options,
                              std::uint64_t seed);
   sim::Task<void> UtilizationSampler();
@@ -228,6 +356,21 @@ class SortServer {
 
   std::vector<std::unique_ptr<JobSlot>> slots_;  // job id == index
   std::vector<ClosedLoopOptions> closed_loops_;
+
+  /// Shape bucket -> queued candidate ids, FIFO within a bucket. Purged
+  /// lazily: GatherBatch skips ids no longer in the queue, so stale entries
+  /// (dispatched, doomed, batched) cost one Contains() each.
+  std::unordered_map<std::uint64_t, std::deque<std::int64_t>> coalesce_index_;
+
+  /// Result cache (DedupeOptions). `dedupe_lru_` orders *ready* entries by
+  /// last touch for capacity eviction; `dedupe_stamp_` mints touch ids.
+  std::unordered_map<DatasetKey, DedupeEntry, DatasetKeyHash> dedupe_;
+  std::map<std::uint64_t, DatasetKey> dedupe_lru_;
+  std::uint64_t dedupe_stamp_ = 0;
+
+  std::int64_t coalesced_batches_ = 0;
+  std::int64_t coalesced_jobs_ = 0;
+  std::int64_t dedup_hits_ = 0;
 
   std::vector<int> running_per_gpu_;
   int running_jobs_ = 0;

@@ -1,5 +1,6 @@
 #include "sched/workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mgs::sched {
@@ -8,8 +9,20 @@ JobSpec SampleJob(const JobMix& mix, SplitMix64& rng) {
   JobSpec spec;
   const double lo = std::log(mix.min_keys);
   const double hi = std::log(mix.max_keys);
-  spec.logical_keys =
-      std::floor(std::exp(lo + (hi - lo) * rng.NextDouble()));
+  if (mix.distinct_datasets > 0) {
+    // Recurring dataset: size and seed are derived deterministically from
+    // the drawn pool index, so two jobs that draw the same index describe
+    // bit-identical datasets (dedupe twins).
+    const std::uint64_t index = rng.Next() %
+                                static_cast<std::uint64_t>(mix.distinct_datasets);
+    SplitMix64 pool(mix.dataset_pool_seed + index);
+    spec.logical_keys =
+        std::floor(std::exp(lo + (hi - lo) * pool.NextDouble()));
+    spec.seed = pool.Next();
+  } else {
+    spec.logical_keys =
+        std::floor(std::exp(lo + (hi - lo) * rng.NextDouble()));
+  }
   if (!mix.gpu_choices.empty()) {
     spec.gpus = mix.gpu_choices[static_cast<std::size_t>(
         rng.Next() % mix.gpu_choices.size())];
@@ -20,7 +33,9 @@ JobSpec SampleJob(const JobMix& mix, SplitMix64& rng) {
   }
   spec.type = mix.type;
   spec.distribution = mix.distribution;
-  spec.seed = rng.Next();
+  // Fresh-seed draw stays last so the rng consumption order (and thus every
+  // seeded workload) is unchanged from before the dataset pool existed.
+  if (mix.distinct_datasets <= 0) spec.seed = rng.Next();
   return spec;
 }
 
@@ -30,13 +45,14 @@ std::vector<JobSpec> MakePoissonWorkload(const JobMix& mix,
   SplitMix64 rng(seed);
   std::vector<JobSpec> jobs;
   jobs.reserve(static_cast<std::size_t>(num_jobs));
+  const int tenants = std::max(1, mix.tenants);
   double t = 0;
   for (int i = 0; i < num_jobs; ++i) {
     // Exponential gap via inverse transform; 1 - u keeps log() off zero.
     t += -std::log(1.0 - rng.NextDouble()) / arrival_rate_hz;
     JobSpec spec = SampleJob(mix, rng);
     spec.arrival_seconds = t;
-    spec.tenant = "open" + std::to_string(i % 4);
+    spec.tenant = "open" + std::to_string(i % tenants);
     jobs.push_back(std::move(spec));
   }
   return jobs;

@@ -32,6 +32,18 @@ struct JobMix {
   std::vector<int> priority_choices = {0};
   DataType type = DataType::kInt32;
   Distribution distribution = Distribution::kUniform;
+  /// Tenant population for MakePoissonWorkload: job i belongs to
+  /// "open<i mod tenants>". Clamped to at least 1.
+  int tenants = 4;
+  /// > 0: draw each job's dataset identity (size and generator seed) from a
+  /// recurring pool of this many distinct datasets instead of fresh
+  /// randomness. Jobs that draw the same pool index are dedupe twins —
+  /// identical (seed, distribution, keys) — which models tenants
+  /// re-submitting the same inputs (what the result cache exploits). 0
+  /// keeps the classic every-job-unique behavior.
+  int distinct_datasets = 0;
+  /// Root seed the recurring dataset pool is derived from.
+  std::uint64_t dataset_pool_seed = 0x9e3779b97f4a7c15ull;
 };
 
 /// Draws one job from the mix (arrival time left at 0 for the caller).

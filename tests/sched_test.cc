@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "core/p2p_sort.h"
 #include "obs/metrics.h"
@@ -170,6 +173,80 @@ TEST(AdmissionTest, EnforcesQueueDepthAndMemoryFraction) {
   JobSpec big = MakeJob(0, 4e9, 4);
   EXPECT_EQ(admission.Admit(big, 16e9, 0).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(AdmissionTest, FleetPressureIgnoresFailedDevices) {
+  // Regression: FleetPressure used to average over every device, so a
+  // failed GPU's frozen pressure diluted (or inflated) the fleet signal.
+  auto platform = MakeDgx();
+  AdmissionController admission(platform.get(), AdmissionOptions{});
+  const double cap = platform->device(0).memory_capacity();
+  CheckOk(platform->device(0).Reserve(cap / 2));
+  EXPECT_NEAR(admission.FleetPressure(), 0.5 / 8, 1e-12);
+
+  platform->device(1).Fail(Status::Unavailable("test"));
+  EXPECT_NEAR(admission.FleetPressure(), 0.5 / 7, 1e-12);
+
+  for (int i = 0; i < platform->num_devices(); ++i) {
+    if (!platform->device(i).failed()) {
+      platform->device(i).Fail(Status::Unavailable("test"));
+    }
+  }
+  // No healthy devices left: the fleet is saturated by definition.
+  EXPECT_DOUBLE_EQ(admission.FleetPressure(), 1.0);
+}
+
+TEST(AdmissionTest, MemoryFractionCapCountsHealthyCapacityOnly) {
+  // Regression: the max_job_memory_fraction cap summed failed devices'
+  // capacity, so jobs were admitted against memory that no longer exists.
+  auto platform = MakeDgx();
+  AdmissionOptions options;
+  options.max_job_memory_fraction = 0.1;
+  AdmissionController admission(platform.get(), options);
+
+  // Healthy fleet: 8 x 40 GB = 320 GB, cap 32 GB. A 2-GPU job asking
+  // 9 GB per GPU (18 GB total) fits under the cap.
+  JobSpec job = MakeJob(0, 4e9, 2);
+  EXPECT_TRUE(admission.Admit(job, 9e9, 0).ok());
+
+  // Half the fleet dies: 160 GB healthy, cap 16 GB. The same job must now
+  // bounce.
+  for (int gpu = 4; gpu < 8; ++gpu) {
+    platform->device(gpu).Fail(Status::Unavailable("test"));
+  }
+  EXPECT_EQ(admission.Admit(job, 9e9, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, PoissonWorkloadHonorsTenantCount) {
+  JobMix mix;
+  mix.tenants = 3;
+  const auto jobs = MakePoissonWorkload(mix, 5.0, 9, /*seed=*/1);
+  ASSERT_EQ(jobs.size(), 9u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].tenant, "open" + std::to_string(i % 3));
+  }
+  // The default population stays 4, matching the pre-knob behavior.
+  const auto defaults = MakePoissonWorkload(JobMix{}, 5.0, 8, /*seed=*/1);
+  std::set<std::string> tenants;
+  for (const auto& spec : defaults) tenants.insert(spec.tenant);
+  EXPECT_EQ(tenants.size(), 4u);
+}
+
+TEST(WorkloadTest, DistinctDatasetPoolBoundsDatasetIdentities) {
+  JobMix mix;
+  mix.distinct_datasets = 2;
+  const auto jobs = MakePoissonWorkload(mix, 5.0, 20, /*seed=*/9);
+  std::set<std::pair<std::uint64_t, double>> datasets;
+  for (const auto& spec : jobs) {
+    datasets.insert({spec.seed, spec.logical_keys});
+  }
+  EXPECT_LE(datasets.size(), 2u);
+  EXPECT_GE(datasets.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,373 @@
+// Tests for the trace-throughput machinery (ISSUE 9): the indexed-heap
+// queue vs a reference model, heap-vs-legacy dispatch equivalence, batch
+// coalescing (bitwise-equal splits, per-job SLO attribution), the result
+// cache (parked twins, ready hits, TTL, faulted-primary promotion), and a
+// mid-size open-loop trace smoke.
+
+#include "sched/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "fault/injector.h"
+#include "fault/scenario.h"
+#include "topo/systems.h"
+
+namespace mgs::sched {
+namespace {
+
+constexpr double kScale = 2e6;
+
+std::unique_ptr<vgpu::Platform> MakeDgx() {
+  return CheckOk(vgpu::Platform::Create(topo::MakeDgxA100(),
+                                        vgpu::PlatformOptions{kScale}));
+}
+
+JobSpec MakeJob(double arrival, double keys, int gpus,
+                std::uint64_t seed = 0) {
+  JobSpec spec;
+  spec.arrival_seconds = arrival;
+  spec.logical_keys = keys;
+  spec.gpus = gpus;
+  spec.seed = seed ? seed : static_cast<std::uint64_t>(keys) + gpus;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Indexed heap vs a brute-force reference model
+// ---------------------------------------------------------------------------
+
+bool RefBefore(QueuePolicy policy, const JobQueue::Entry& a,
+               const JobQueue::Entry& b) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return a.seq < b.seq;
+    case QueuePolicy::kSjfBytes:
+      if (a.bytes != b.bytes) return a.bytes < b.bytes;
+      return a.seq < b.seq;
+    case QueuePolicy::kPriority:
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+  }
+  return a.seq < b.seq;
+}
+
+TEST(QueueHeapTest, MatchesReferenceModelUnderRandomOperations) {
+  for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kSjfBytes,
+                             QueuePolicy::kPriority}) {
+    JobQueue q(policy);
+    std::vector<JobQueue::Entry> model;  // mirrors queue contents
+    std::mt19937 rng(2026);
+    std::uint64_t next_seq = 0;  // mirrors the queue's internal counter
+    std::int64_t next_id = 0;
+    auto before = [&](const JobQueue::Entry& a, const JobQueue::Entry& b) {
+      return RefBefore(policy, a, b);
+    };
+    auto model_best = [&] {
+      return std::min_element(model.begin(), model.end(), before);
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+      const int op = model.empty() ? 0 : static_cast<int>(rng() % 4);
+      if (op == 0) {  // push
+        JobQueue::Entry e;
+        e.id = next_id++;
+        e.bytes = static_cast<double>(rng() % 50);
+        e.priority = static_cast<int>(rng() % 4);
+        e.seq = next_seq++;
+        q.Push(e.id, e.bytes, e.priority);
+        model.push_back(e);
+      } else if (op == 1) {  // pop best, sometimes restore (seq preserved)
+        auto best = model_best();
+        EXPECT_EQ(q.PeekBest(), best->id);
+        const JobQueue::Entry popped = q.PopBest();
+        EXPECT_EQ(popped.id, best->id);
+        if (rng() % 2 == 0) {
+          q.Restore(popped);
+        } else {
+          model.erase(best);
+        }
+      } else if (op == 2) {  // remove an arbitrary id
+        const auto victim =
+            model.begin() + static_cast<std::ptrdiff_t>(rng() % model.size());
+        EXPECT_TRUE(q.Contains(victim->id));
+        q.Remove(victim->id);
+        EXPECT_FALSE(q.Contains(victim->id));
+        model.erase(victim);
+      } else {  // removing a non-member is a no-op
+        q.Remove(next_id + 1000);
+      }
+      ASSERT_EQ(q.size(), model.size());
+      if (step % 100 == 0) {
+        auto sorted = model;
+        std::sort(sorted.begin(), sorted.end(), before);
+        std::vector<std::int64_t> want;
+        want.reserve(sorted.size());
+        for (const auto& e : sorted) want.push_back(e.id);
+        EXPECT_EQ(q.DispatchOrder(), want)
+            << "policy " << QueuePolicyToString(policy) << " step " << step;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heap dispatch must be observationally identical to the legacy scan
+// ---------------------------------------------------------------------------
+
+TEST(DispatchOracleTest, HeapPathMatchesLegacyScanAcrossPolicies) {
+  for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kSjfBytes,
+                             QueuePolicy::kPriority}) {
+    auto run = [&](bool legacy) {
+      auto platform = MakeDgx();
+      ServerOptions options;
+      options.policy = policy;
+      options.legacy_scan_dispatch = legacy;
+      SortServer server(platform.get(), options);
+      JobMix mix;  // default mix: 1/2/4-GPU jobs, real backlog at this rate
+      server.Submit(MakePoissonWorkload(mix, 30.0, 32, /*seed=*/17));
+      return CheckOk(server.Run());
+    };
+    const auto legacy = run(true);
+    const auto heap = run(false);
+    EXPECT_EQ(legacy.completion_order, heap.completion_order)
+        << "policy " << QueuePolicyToString(policy);
+    EXPECT_EQ(legacy.makespan, heap.makespan);  // bitwise: same event sequence
+    ASSERT_EQ(legacy.jobs.size(), heap.jobs.size());
+    for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+      EXPECT_EQ(legacy.jobs[i].finish, heap.jobs[i].finish);
+      EXPECT_EQ(legacy.jobs[i].gpu_set, heap.jobs[i].gpu_set);
+      EXPECT_EQ(legacy.jobs[i].state, heap.jobs[i].state);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch coalescing
+// ---------------------------------------------------------------------------
+
+TEST(CoalesceTest, BatchedJobsSplitBitwiseEqualToSoloRuns) {
+  // Four same-shape jobs; max_concurrent_jobs=1 so job 0 dispatches solo
+  // and jobs 1..3 pile up behind it, then launch as one coalesced pass.
+  const std::vector<double> keys = {1.0e8, 1.4e8, 1.8e8, 1.2e8};
+  auto run = [&](bool coalesce) {
+    auto platform = MakeDgx();
+    ServerOptions options;
+    options.max_concurrent_jobs = 1;
+    options.coalesce.enabled = coalesce;
+    options.slo_seconds = 60;
+    SortServer server(platform.get(), options);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      server.Submit(
+          MakeJob(0.0001 * static_cast<double>(i), keys[i], 1, 100 + i));
+    }
+    return CheckOk(server.Run());
+  };
+  const auto solo = run(false);
+  const auto batched = run(true);
+
+  ASSERT_EQ(solo.completed, 4);
+  ASSERT_EQ(batched.completed, 4);
+  EXPECT_EQ(solo.coalesced_batches, 0);
+  EXPECT_EQ(batched.coalesced_batches, 1);
+  EXPECT_EQ(batched.coalesced_jobs, 3);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const JobRecord& b = batched.jobs[i];
+    const JobRecord& s = solo.jobs[i];
+    ASSERT_EQ(b.state, JobState::kDone);
+    // The certificate: each member's output hashes identically to the job
+    // sorted alone, so the split reproduced the solo result bitwise.
+    EXPECT_NE(b.result_hash, 0u);
+    EXPECT_EQ(b.result_hash, s.result_hash) << "job " << i;
+    EXPECT_EQ(b.sort.keys, s.sort.keys);
+    // SLO attribution stays per-job: latency decomposes against the
+    // member's own arrival, not the leader's.
+    EXPECT_NEAR(b.latency(), b.queue_delay() + b.service_time(), 1e-9);
+    EXPECT_GE(b.queue_delay(), 0);
+  }
+  // Jobs 1..3 ran as one pass under leader 1: shared finish time.
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_EQ(batched.jobs[i].batch_jobs, 3) << "job " << i;
+    EXPECT_EQ(batched.jobs[i].batch_leader, 1);
+    EXPECT_EQ(batched.jobs[i].finish, batched.jobs[1].finish);
+  }
+  EXPECT_EQ(batched.jobs[0].batch_jobs, 1);
+  EXPECT_DOUBLE_EQ(batched.slo_attainment, 1.0);
+}
+
+TEST(CoalesceTest, DifferentShapesNeverShareAPass) {
+  // Same arrival pattern but mixed GPU counts and types: every pass stays
+  // solo because no two queued jobs share a shape bucket.
+  auto platform = MakeDgx();
+  ServerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.coalesce.enabled = true;
+  SortServer server(platform.get(), options);
+  JobSpec a = MakeJob(0, 1e8, 1, 7);
+  JobSpec b = MakeJob(0.0001, 1e8, 2, 8);
+  JobSpec c = MakeJob(0.0002, 1e8, 1, 9);
+  c.type = DataType::kInt64;
+  server.Submit(a);
+  server.Submit(b);
+  server.Submit(c);
+  const auto report = CheckOk(server.Run());
+  EXPECT_EQ(report.completed, 3);
+  EXPECT_EQ(report.coalesced_batches, 0);
+  for (const auto& rec : report.jobs) EXPECT_EQ(rec.batch_jobs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache / dedupe
+// ---------------------------------------------------------------------------
+
+TEST(DedupeTest, QueuedTwinRidesThePrimary) {
+  auto platform = MakeDgx();
+  ServerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.dedupe.enabled = true;
+  SortServer server(platform.get(), options);
+  server.Submit(MakeJob(0, 2e8, 1, /*seed=*/41));      // id 0: filler, runs
+  server.Submit(MakeJob(0.0001, 2e8, 1, /*seed=*/77)); // id 1: primary, queues
+  server.Submit(MakeJob(0.0002, 2e8, 1, /*seed=*/77)); // id 2: twin, parks
+  const auto report = CheckOk(server.Run());
+
+  ASSERT_EQ(report.completed, 3);
+  EXPECT_EQ(report.dedup_hits, 1);
+  const JobRecord& primary = report.jobs[1];
+  const JobRecord& twin = report.jobs[2];
+  EXPECT_FALSE(primary.dedup_hit);
+  EXPECT_TRUE(twin.dedup_hit);
+  EXPECT_EQ(twin.dedup_origin, 1);
+  // The twin completes the instant the primary does, with the primary's
+  // exact result; its latency is pure waiting.
+  EXPECT_EQ(twin.finish, primary.finish);
+  EXPECT_EQ(twin.result_hash, primary.result_hash);
+  EXPECT_NE(twin.result_hash, 0u);
+  EXPECT_EQ(twin.sort.total_seconds, primary.sort.total_seconds);
+  EXPECT_DOUBLE_EQ(twin.service_time(), 0);
+  EXPECT_GT(twin.queue_delay(), 0);
+}
+
+TEST(DedupeTest, ReadyHitServesInstantlyAndTtlExpires) {
+  auto run = [&](double ttl) {
+    auto platform = MakeDgx();
+    ServerOptions options;
+    options.dedupe.enabled = true;
+    options.dedupe.ttl_seconds = ttl;
+    SortServer server(platform.get(), options);
+    server.Submit(MakeJob(0, 2e8, 1, /*seed=*/55));
+    server.Submit(MakeJob(10.0, 2e8, 1, /*seed=*/55));  // long after id 0
+    return CheckOk(server.Run());
+  };
+  {
+    const auto report = run(/*ttl=*/0);  // 0 = never expires
+    ASSERT_EQ(report.completed, 2);
+    EXPECT_EQ(report.dedup_hits, 1);
+    const JobRecord& hit = report.jobs[1];
+    EXPECT_TRUE(hit.dedup_hit);
+    EXPECT_EQ(hit.dedup_origin, 0);
+    EXPECT_DOUBLE_EQ(hit.latency(), 0);  // served at arrival, from cache
+    EXPECT_EQ(hit.result_hash, report.jobs[0].result_hash);
+  }
+  {
+    const auto report = run(/*ttl=*/1.0);  // stale by t=10: full re-sort
+    ASSERT_EQ(report.completed, 2);
+    EXPECT_EQ(report.dedup_hits, 0);
+    EXPECT_FALSE(report.jobs[1].dedup_hit);
+    EXPECT_GT(report.jobs[1].service_time(), 0);
+    // Same dataset still sorts to the same bits.
+    EXPECT_EQ(report.jobs[1].result_hash, report.jobs[0].result_hash);
+  }
+}
+
+TEST(DedupeTest, FaultedPrimaryPromotesWaiterInsteadOfPoisoningIt) {
+  // Find where the primary lands and how long it runs, then kill that GPU
+  // mid-service. Deterministic replay makes the probe exact.
+  int gpu = -1;
+  double service = 0;
+  {
+    auto platform = MakeDgx();
+    ServerOptions options;
+    options.dedupe.enabled = true;
+    SortServer server(platform.get(), options);
+    server.Submit(MakeJob(0, 2e8, 1, /*seed=*/91));
+    const auto report = CheckOk(server.Run());
+    ASSERT_EQ(report.completed, 1);
+    gpu = report.jobs[0].gpu_set.at(0);
+    service = report.jobs[0].service_time();
+    ASSERT_GT(service, 0);
+  }
+
+  auto platform = MakeDgx();
+  ServerOptions options;
+  options.dedupe.enabled = true;  // max_retries stays 0: first error is fatal
+  SortServer server(platform.get(), options);
+  fault::FaultInjector injector(
+      platform.get(),
+      CheckOk(fault::FaultScenario::Parse(
+          "at=" + std::to_string(service / 2) + " gpu=" +
+          std::to_string(gpu) + " fail")));
+  injector.Arm();
+  server.Submit(MakeJob(0, 2e8, 1, /*seed=*/91));       // id 0: primary
+  server.Submit(MakeJob(0.0001, 2e8, 1, /*seed=*/91));  // id 1: parked twin
+  const auto report = CheckOk(server.Run());
+
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.completed, 1);
+  EXPECT_EQ(report.dedup_hits, 0);  // the twin never reused a failed result
+  EXPECT_EQ(report.jobs[0].state, JobState::kFailed);
+  const JobRecord& twin = report.jobs[1];
+  EXPECT_EQ(twin.state, JobState::kDone);
+  EXPECT_FALSE(twin.dedup_hit);           // promoted: it sorted for itself
+  EXPECT_GT(twin.service_time(), 0);
+  EXPECT_NE(twin.gpu_set.at(0), gpu);     // on a healthy GPU
+  EXPECT_NE(twin.result_hash, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop trace smoke (the benchmark configuration, scaled down)
+// ---------------------------------------------------------------------------
+
+TEST(TraceSmokeTest, FiveThousandJobTraceCompletesDeterministically) {
+  auto run = [] {
+    auto platform = MakeDgx();
+    ServerOptions options;
+    options.policy = QueuePolicy::kSjfBytes;
+    options.admission.max_queue_depth = 0;  // open loop: no shedding
+    options.coalesce.enabled = true;
+    options.dedupe.enabled = true;
+    options.report_jobs = false;  // aggregates only, as in the trace bench
+    SortServer server(platform.get(), options);
+    JobMix mix;
+    mix.min_keys = 5e7;
+    mix.max_keys = 2e8;
+    mix.gpu_choices = {1};
+    mix.tenants = 8;
+    mix.distinct_datasets = 256;
+    server.Submit(MakePoissonWorkload(mix, 1e4, 5000, /*seed=*/3));
+    return CheckOk(server.Run());
+  };
+  const auto a = run();
+  EXPECT_EQ(a.completed, 5000);
+  EXPECT_EQ(a.failed, 0);
+  EXPECT_EQ(a.rejected, 0);
+  EXPECT_TRUE(a.jobs.empty());  // report_jobs off
+  EXPECT_EQ(a.completion_order.size(), 5000u);
+  EXPECT_GT(a.dedup_hits, 0);
+  EXPECT_GT(a.coalesced_jobs, 0);
+  EXPECT_GT(a.makespan, 0);
+
+  const auto b = run();
+  EXPECT_EQ(a.makespan, b.makespan);  // bitwise determinism
+  EXPECT_EQ(a.completion_order, b.completion_order);
+  EXPECT_EQ(a.dedup_hits, b.dedup_hits);
+  EXPECT_EQ(a.coalesced_batches, b.coalesced_batches);
+}
+
+}  // namespace
+}  // namespace mgs::sched
