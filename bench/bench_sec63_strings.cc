@@ -1,0 +1,131 @@
+// Native google-benchmark microbenchmarks of string- and record-key sorting
+// on *this* machine's CPU: what the 8-byte normalized-key prefix buys over
+// full string comparison, and what the radix prefix-tie fix-up costs on
+// adversarial shared-prefix data. Extends the Section 6.3 datatype study
+// beyond fixed-width numerics; gated in CI against
+// bench/baselines/keys.json via bench/compare.py.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/keygen.h"
+#include "core/record.h"
+#include "core/string_key.h"
+#include "cpusort/cpusort.h"
+#include "util/datagen.h"
+#include "util/thread_pool.h"
+
+using namespace mgs;
+using core::SortRecord;
+using core::StringArena;
+using core::StringKey;
+
+namespace {
+
+std::vector<StringKey> MakeStringKeys(std::int64_t n, Distribution dist,
+                                      StringArena* arena) {
+  DataGenOptions options;
+  options.distribution = dist;
+  return core::GenerateStringKeys(n, options, arena);
+}
+
+/// Baseline without normalized keys: sorting the strings themselves, full
+/// lexicographic comparison on every pair.
+void BM_StdStringSort(benchmark::State& state) {
+  StringArena arena;
+  const auto keys =
+      MakeStringKeys(state.range(0), Distribution::kUniform, &arena);
+  std::vector<std::string> base;
+  base.reserve(keys.size());
+  for (const auto& k : keys) base.emplace_back(k.view());
+  for (auto _ : state) {
+    auto data = base;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdStringSort)->Arg(1 << 16)->Arg(1 << 18);
+
+/// The same multiset as 24-byte StringKeys: the prefix settles nearly all
+/// comparisons with one integer compare.
+void BM_StringKeyStdSort(benchmark::State& state) {
+  StringArena arena;
+  const auto base =
+      MakeStringKeys(state.range(0), Distribution::kUniform, &arena);
+  for (auto _ : state) {
+    auto data = base;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringKeyStdSort)->Arg(1 << 16)->Arg(1 << 18);
+
+/// Radix on the prefix digits plus the comparison fix-up for equal-prefix
+/// runs (kPrefixOnly traits).
+void BM_StringKeyParadis(benchmark::State& state) {
+  StringArena arena;
+  const auto base =
+      MakeStringKeys(state.range(0), Distribution::kUniform, &arena);
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::ParadisSort(data.data(), state.range(0), &pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringKeyParadis)->Arg(1 << 16)->Arg(1 << 18);
+
+/// Adversarial case for the fix-up pass: URL-like keys share long domain
+/// prefixes, so most pairs tie on the 8-byte prefix and the cold path runs.
+void BM_StringKeyParadisSharedPrefix(benchmark::State& state) {
+  StringArena arena;
+  const auto base =
+      MakeStringKeys(state.range(0), Distribution::kNearlySorted, &arena);
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::ParadisSort(data.data(), state.range(0), &pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringKeyParadisSharedPrefix)->Arg(1 << 16);
+
+std::vector<SortRecord> MakeRecords(std::int64_t n) {
+  DataGenOptions options;
+  return core::GenerateRecords(n, options);
+}
+
+/// Multi-column records on the composed (a, b) normalized key.
+void BM_RecordStdSort(benchmark::State& state) {
+  const auto base = MakeRecords(state.range(0));
+  for (auto _ : state) {
+    auto data = base;
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordStdSort)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_RecordParadis(benchmark::State& state) {
+  const auto base = MakeRecords(state.range(0));
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto data = base;
+    cpusort::ParadisSort(data.data(), state.range(0), &pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordParadis)->Arg(1 << 16)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

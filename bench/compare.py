@@ -22,12 +22,34 @@ import signal
 import sys
 
 
-def load_benchmarks(path):
-    """Returns {name: metric_dict} from a Google-Benchmark JSON file."""
-    with open(path) as f:
-        doc = json.load(f)
+def load_benchmarks(path, role):
+    """Returns {name: metric_dict} from a Google-Benchmark JSON file.
+
+    A truncated upload or hand-edited baseline must fail the gate with a
+    message naming the broken file, not a traceback: exits 2 on unreadable
+    or malformed input.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"compare.py: cannot read {role} {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as e:
+        print(f"compare.py: malformed JSON in {role} {path}: {e}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks", []),
+                                                   list):
+        print(f"compare.py: malformed {role} {path}: expected an object with "
+              f"a 'benchmarks' array", file=sys.stderr)
+        raise SystemExit(2)
     out = {}
     for b in doc.get("benchmarks", []):
+        if not isinstance(b, dict) or "name" not in b:
+            print(f"compare.py: malformed {role} {path}: benchmark entry "
+                  f"without a name: {b!r}", file=sys.stderr)
+            raise SystemExit(2)
         # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
         # the gate compares the plain per-benchmark rows.
         if b.get("run_type") == "aggregate":
@@ -56,8 +78,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    cur = load_benchmarks(args.current)
+    base = load_benchmarks(args.baseline, "baseline")
+    cur = load_benchmarks(args.current, "current run")
     if not base:
         print(f"compare.py: no benchmarks in baseline {args.baseline}",
               file=sys.stderr)
@@ -108,6 +130,16 @@ def main():
         ok = False
         print(f"compare.py: {len(regressions)} regression(s) beyond "
               f"{args.tolerance:g}%: {', '.join(regressions)}", file=sys.stderr)
+    if ok:
+        faster = sum(1 for r in rows if r[4] == "faster")
+        new = len(set(cur) - set(base))
+        summary = f"compare.py: OK — {len(rows)} benchmark(s) within " \
+                  f"{args.tolerance:g}% of {os.path.basename(args.baseline)}"
+        if faster:
+            summary += f", {faster} faster"
+        if new:
+            summary += f", {new} new"
+        print(summary)
     return 0 if ok else 1
 
 

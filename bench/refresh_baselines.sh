@@ -12,7 +12,7 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
   bench_native_simulator bench_net_distributed bench_exec_overlap \
-  bench_sched_trace
+  bench_sched_trace bench_sec63_strings
 
 # Older libbenchmark releases only accept a plain double for
 # --benchmark_min_time; newer ones also take a "0.4s" suffix form. The
@@ -35,5 +35,8 @@ cmake --build "$BUILD" -j --target bench_native_cpu_primitives \
   --benchmark_min_time=0.4 \
   --benchmark_filter=-BM_ServiceTraceMillion \
   --benchmark_out=bench/baselines/sched.json --benchmark_out_format=json
+"./$BUILD/bench/bench_sec63_strings" \
+  --benchmark_min_time=0.4 \
+  --benchmark_out=bench/baselines/keys.json --benchmark_out_format=json
 
-echo "Refreshed bench/baselines/{cpu,sim,net,exec,sched}.json — review and commit."
+echo "Refreshed bench/baselines/{cpu,sim,net,exec,sched,keys}.json — review and commit."

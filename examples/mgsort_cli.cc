@@ -16,6 +16,14 @@
 // --exec=graph runs p2p/het through the task-graph executor (src/exec)
 // instead of phase barriers; with --explain it also prints the executor's
 // critical path (the dependency chain that set the makespan).
+//
+// Key shapes beyond numerics: --keys=string sorts variable-length string
+// keys (core::StringKey, 8-byte normalized prefixes; --count sets how
+// many), --keys=record sorts multi-column records (core::SortRecord,
+// composed ORDER BY (a, b) normalized keys). --spill=auto|force routes the
+// HET sorter's runs through a simulated per-socket NVMe device (attached as
+// link `nvme0`) when the working set exceeds the granted device buffers —
+// the out-of-core tier (docs/keys.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +35,12 @@
 #include "exec/executor.h"
 #include "fault/injector.h"
 #include "fault/scenario.h"
+#include "core/het_sort.h"
 #include "core/hybrid_sort.h"
+#include "core/keygen.h"
 #include "core/radix_partition_sort.h"
+#include "core/record.h"
+#include "core/string_key.h"
 #include "net/distributed_sort.h"
 #include "obs/explain.h"
 #include "obs/export.h"
@@ -46,6 +58,8 @@ struct Args {
   std::string algo = "p2p";
   int gpus = 0;  // 0 = all
   double keys = 2e9;
+  KeyKind key_kind = KeyKind::kNumeric;
+  core::SpillMode spill = core::SpillMode::kOff;
   std::string dist = "uniform";
   std::string type = "int32";
   std::uint64_t seed = 42;
@@ -65,7 +79,8 @@ void Usage() {
       "usage: mgsort_cli [--system=ac922|delta-d22x|dgx-a100]\n"
       "                  [--algo=p2p|het2n|het3n|het2n-eager|het3n-eager|"
       "hyb|cpu|rdx|dist]\n"
-      "                  [--gpus=N] [--keys=4e9]\n"
+      "                  [--gpus=N] [--keys=4e9|string|record] [--count=4e9]\n"
+      "                  [--spill=off|auto|force]\n"
       "                  [--nodes=N] [--rack-size=N] [--oversub=F]\n"
       "                  [--dist=uniform|normal|sorted|reverse-sorted|"
       "nearly-sorted|zipf]\n"
@@ -97,7 +112,32 @@ Result<Args> Parse(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--gpus", &value)) {
       args.gpus = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--keys", &value)) {
+      // --keys doubles as the key-shape selector: a key kind name switches
+      // shape (size then comes from --count), a number is a count, and
+      // anything else is a typo, not a zero-key numeric sort.
+      if (auto kind = KeyKindFromString(value); kind.ok()) {
+        args.key_kind = *kind;
+      } else {
+        char* end = nullptr;
+        const double keys = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || keys <= 0) {
+          return Status::Invalid("--keys expects numeric|string|record or a "
+                                 "positive count, got: " + value);
+        }
+        args.keys = keys;
+      }
+    } else if (ParseFlag(argv[i], "--count", &value)) {
       args.keys = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--spill", &value)) {
+      if (value == "off") {
+        args.spill = core::SpillMode::kOff;
+      } else if (value == "auto") {
+        args.spill = core::SpillMode::kAuto;
+      } else if (value == "force") {
+        args.spill = core::SpillMode::kForce;
+      } else {
+        return Status::Invalid("unknown spill mode: " + value);
+      }
     } else if (ParseFlag(argv[i], "--dist", &value)) {
       args.dist = value;
     } else if (ParseFlag(argv[i], "--type", &value)) {
@@ -146,11 +186,45 @@ Result<DataType> ParseType(const std::string& name) {
   return Status::Invalid("unknown type: " + name);
 }
 
+/// Key materialization per element type. The arena parameter is only used
+/// by the StringKey specialization; numeric and record keys ignore it.
+template <typename T>
+struct KeyMaker {
+  static std::vector<T> Make(std::int64_t n, const DataGenOptions& gen,
+                             core::StringArena*) {
+    return GenerateKeys<T>(n, gen);
+  }
+};
+
+template <>
+struct KeyMaker<core::StringKey> {
+  static std::vector<core::StringKey> Make(std::int64_t n,
+                                           const DataGenOptions& gen,
+                                           core::StringArena* arena) {
+    return core::GenerateStringKeys(n, gen, arena);
+  }
+};
+
+template <>
+struct KeyMaker<core::SortRecord> {
+  static std::vector<core::SortRecord> Make(std::int64_t n,
+                                            const DataGenOptions& gen,
+                                            core::StringArena*) {
+    return core::GenerateRecords(n, gen);
+  }
+};
+
 template <typename T>
 Result<core::SortStats> RunExperiment(const Args& args,
                                       sim::TraceRecorder* trace,
                                       obs::MetricsRegistry* metrics,
                                       exec::ExecReport* exec_report) {
+  constexpr bool kNumericKeys = std::is_arithmetic_v<T>;
+  if (args.spill != core::SpillMode::kOff && args.algo.rfind("het", 0) != 0) {
+    return Status::Invalid(
+        "--spill requires a het* algorithm (only the large-data via-host "
+        "scheme has an out-of-core variant)");
+  }
   const std::int64_t logical = static_cast<std::int64_t>(args.keys);
   const std::int64_t actual =
       std::max<std::int64_t>(1, std::min(logical, bench::ActualKeyCap()));
@@ -172,6 +246,13 @@ Result<core::SortStats> RunExperiment(const Args& args,
     MGS_ASSIGN_OR_RETURN(topology, topo::MakeSystem(args.system));
   }
   topology->SetMultihopP2p(args.multihop);
+  if (args.spill != core::SpillMode::kOff) {
+    // NVMe-class device on socket 0: 7 GB/s read, 5 GB/s write (PCIe 4.0
+    // x4 drive). Attached pre-compile so the `nvme0` link gets a flow
+    // resource (explain/metrics/fault-addressable like any other link).
+    MGS_RETURN_IF_ERROR(
+        topology->AttachNvme(0, 7.0 * kGB, 5.0 * kGB).status());
+  }
   MGS_ASSIGN_OR_RETURN(auto platform,
                        vgpu::Platform::Create(std::move(topology), popts));
   platform->SetTrace(trace);
@@ -189,15 +270,26 @@ Result<core::SortStats> RunExperiment(const Args& args,
   DataGenOptions gen;
   gen.seed = args.seed;
   MGS_ASSIGN_OR_RETURN(gen.distribution, DistributionFromString(args.dist));
-  vgpu::HostBuffer<T> data(GenerateKeys<T>(actual, gen));
+  core::StringArena arena;
+  vgpu::HostBuffer<T> data(KeyMaker<T>::Make(actual, gen, &arena));
   const int gpus =
       args.gpus > 0 ? args.gpus : platform->num_devices();
 
   core::SortStats stats;
   if (args.algo == "dist") {
-    MGS_ASSIGN_OR_RETURN(
-        stats, net::DistributedSort<T>(platform.get(), cluster_info, &data,
-                                       net::DistSortOptions{}));
+    if constexpr (!kNumericKeys) {
+      return Status::Invalid(
+          "--algo=dist moves raw element bytes between nodes and supports "
+          "numeric keys only (string keys are arena-backed)");
+    } else {
+      MGS_ASSIGN_OR_RETURN(
+          stats, net::DistributedSort<T>(platform.get(), cluster_info, &data,
+                                         net::DistSortOptions{}));
+    }
+  } else if (args.algo == "rdx" && !kNumericKeys) {
+    return Status::Invalid(
+        "--algo=rdx partitions on full radix digits and supports numeric "
+        "keys only; use p2p, het*, hyb, or cpu for string/record keys");
   } else if (args.algo == "cpu") {
     MGS_ASSIGN_OR_RETURN(stats, core::CpuSortBaseline(platform.get(), &data));
   } else if (args.algo == "p2p") {
@@ -208,12 +300,16 @@ Result<core::SortStats> RunExperiment(const Args& args,
                          core::ChooseGpuSet(platform->topology(), gpus, true));
     MGS_ASSIGN_OR_RETURN(stats, core::P2pSort(platform.get(), &data, options));
   } else if (args.algo == "rdx") {
-    core::RadixPartitionOptions options;
-    MGS_ASSIGN_OR_RETURN(
-        options.gpu_set,
-        core::ChooseGpuSet(platform->topology(), gpus, false));
-    MGS_ASSIGN_OR_RETURN(
-        stats, core::RadixPartitionSort(platform.get(), &data, options));
+    if constexpr (!kNumericKeys) {
+      return Status::Internal("unreachable: rdx gated above");
+    } else {
+      core::RadixPartitionOptions options;
+      MGS_ASSIGN_OR_RETURN(
+          options.gpu_set,
+          core::ChooseGpuSet(platform->topology(), gpus, false));
+      MGS_ASSIGN_OR_RETURN(
+          stats, core::RadixPartitionSort(platform.get(), &data, options));
+    }
   } else if (args.algo == "hyb") {
     core::HybridOptions options;
     MGS_ASSIGN_OR_RETURN(options.gpu_set,
@@ -228,6 +324,7 @@ Result<core::SortStats> RunExperiment(const Args& args,
     options.eager_merge = args.algo.find("eager") != std::string::npos;
     options.exec_mode = args.exec_mode;
     options.exec_report = exec_report;
+    options.spill = args.spill;
     MGS_ASSIGN_OR_RETURN(
         options.gpu_set,
         core::ChooseGpuSet(platform->topology(), gpus, false));
@@ -278,36 +375,55 @@ int main(int argc, char** argv) {
   }
   exec::ExecReport exec_report;
   Result<core::SortStats> stats = Status::Internal("unreachable");
-  switch (*type) {
-    case DataType::kInt32:
-      stats = RunExperiment<std::int32_t>(args, trace_ptr, metrics_ptr,
-                                          &exec_report);
-      break;
-    case DataType::kInt64:
-      stats = RunExperiment<std::int64_t>(args, trace_ptr, metrics_ptr,
-                                          &exec_report);
-      break;
-    case DataType::kFloat32:
-      stats = RunExperiment<float>(args, trace_ptr, metrics_ptr, &exec_report);
-      break;
-    case DataType::kFloat64:
-      stats = RunExperiment<double>(args, trace_ptr, metrics_ptr, &exec_report);
-      break;
+  if (args.key_kind == KeyKind::kString) {
+    stats = RunExperiment<core::StringKey>(args, trace_ptr, metrics_ptr,
+                                           &exec_report);
+  } else if (args.key_kind == KeyKind::kRecord) {
+    stats = RunExperiment<core::SortRecord>(args, trace_ptr, metrics_ptr,
+                                            &exec_report);
+  } else {
+    switch (*type) {
+      case DataType::kInt32:
+        stats = RunExperiment<std::int32_t>(args, trace_ptr, metrics_ptr,
+                                            &exec_report);
+        break;
+      case DataType::kInt64:
+        stats = RunExperiment<std::int64_t>(args, trace_ptr, metrics_ptr,
+                                            &exec_report);
+        break;
+      case DataType::kFloat32:
+        stats =
+            RunExperiment<float>(args, trace_ptr, metrics_ptr, &exec_report);
+        break;
+      case DataType::kFloat64:
+        stats =
+            RunExperiment<double>(args, trace_ptr, metrics_ptr, &exec_report);
+        break;
+    }
   }
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
   }
 
+  const char* shape = args.key_kind == KeyKind::kNumeric
+                          ? args.type.c_str()
+                          : KeyKindToString(args.key_kind);
   std::printf("%s on %s, %s of %s (%s)\n", stats->algorithm.c_str(),
-              args.system.c_str(), FormatKeys(stats->keys).c_str(),
-              args.type.c_str(), args.dist.c_str());
+              args.system.c_str(), FormatKeys(stats->keys).c_str(), shape,
+              args.dist.c_str());
   std::printf("  total : %s (simulated)\n",
               FormatDuration(stats->total_seconds).c_str());
   std::printf("  HtoD  : %s\n", FormatDuration(stats->phases.htod).c_str());
   std::printf("  sort  : %s\n", FormatDuration(stats->phases.sort).c_str());
   std::printf("  merge : %s\n", FormatDuration(stats->phases.merge).c_str());
   std::printf("  DtoH  : %s\n", FormatDuration(stats->phases.dtoh).c_str());
+  if (stats->spilled_bytes > 0) {
+    std::printf("  spill : %s in %d runs via nvme%d (%s)\n",
+                FormatBytes(stats->spilled_bytes).c_str(),
+                stats->spilled_runs, stats->spill_nvme,
+                FormatDuration(stats->phases.spill).c_str());
+  }
   if (stats->p2p_bytes > 0) {
     std::printf("  P2P   : %s exchanged\n",
                 FormatBytes(stats->p2p_bytes).c_str());

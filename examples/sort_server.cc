@@ -43,6 +43,8 @@ struct Args {
   double rate = 2.0;  // Poisson arrivals per second
   std::string policy = "sjf";
   std::string exec = "phase";
+  KeyKind keys = KeyKind::kNumeric;
+  bool spill = false;  // attach an NVMe and admit out-of-core jobs
   std::uint64_t seed = 42;
   double slo = 5.0;
   std::string trace_path;
@@ -57,6 +59,7 @@ void Usage() {
       "                   [--jobs=N] [--rate=JOBS_PER_SEC]\n"
       "                   [--policy=fifo|sjf|priority] [--seed=N]\n"
       "                   [--exec=phase|graph]\n"
+      "                   [--keys=numeric|string|record] [--spill]\n"
       "                   [--slo=SECONDS] [--trace=out.json]\n"
       "                   [--metrics-out=metrics.prom|.json|.csv]\n"
       "                   [--fault-plan='at=0.5 gpu=1 fail; ...'|@plan.json]\n"
@@ -104,6 +107,12 @@ Result<Args> Parse(int argc, char** argv) {
         return Status::Invalid("unknown exec mode: " + value);
       }
       args.exec = value;
+    } else if (ParseFlag(argv[i], "--keys", &value)) {
+      auto kind = KeyKindFromString(value);
+      if (!kind.ok()) return kind.status();
+      args.keys = *kind;
+    } else if (std::strcmp(argv[i], "--spill") == 0) {
+      args.spill = true;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--slo", &value)) {
@@ -164,6 +173,12 @@ int main(int argc, char** argv) {
     }
     topology = std::move(*single);
   }
+  if (args.spill) {
+    // NVMe-class drive on socket 0 (7 GB/s read, 5 GB/s write): the spill
+    // tier for jobs whose working set exceeds a device's memory. Attached
+    // pre-compile so `nvme0` is a real link — fault plans can down it.
+    CheckOk(topology->AttachNvme(0, 7.0 * kGB, 5.0 * kGB));
+  }
   auto platform =
       CheckOk(vgpu::Platform::Create(std::move(topology), popts));
 
@@ -182,6 +197,7 @@ int main(int argc, char** argv) {
   options.exec_mode = args.exec == "graph" ? core::ExecMode::kGraph
                                            : core::ExecMode::kPhased;
   options.slo_seconds = args.slo;
+  options.spill.enabled = args.spill;
   if (args.nodes > 1) options.cluster = &cluster_info;
   if (!args.trace_path.empty() || !args.metrics_path.empty()) {
     options.utilization_sample_seconds = 0.05;
@@ -214,14 +230,26 @@ int main(int argc, char** argv) {
   }
 
   JobMix mix;
+  mix.key_kind = args.keys;
   if (platform->num_devices() < 4) mix.gpu_choices = {1, 2};
   auto jobs = MakePoissonWorkload(mix, args.rate, args.jobs, args.seed);
-  if (args.nodes > 1) {
+  if (args.nodes > 1 && args.keys == KeyKind::kNumeric) {
     // Every fourth open-loop job spans two whole nodes via the distributed
     // sorter, so NICs and leaf/spine switches carry real shuffle traffic.
+    // (String/record jobs are single-node; the server would clamp anyway.)
     for (std::size_t j = 0; j < jobs.size(); j += 4) {
       jobs[j].nodes = 2;
       jobs[j].gpus = 1;  // derived (nodes x gpus-per-node) by the server
+    }
+  }
+  if (args.spill) {
+    // Every eighth open-loop job becomes an oversized single-GPU sort whose
+    // working set (2n device buffers) exceeds one GPU's memory — the jobs
+    // the NVMe spill tier exists for.
+    for (std::size_t j = 0; j < jobs.size(); j += 8) {
+      jobs[j].logical_keys = 8e9;  // 2x32 GB of int32 vs a 40 GB device
+      jobs[j].gpus = 1;
+      jobs[j].nodes = 1;
     }
   }
   server.Submit(jobs);

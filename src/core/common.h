@@ -46,8 +46,9 @@ struct PhaseBreakdown {
   double sort = 0;   // on-GPU chunk sorts
   double merge = 0;  // P2P merge phase (P2P sort) or CPU merge (HET sort)
   double dtoh = 0;   // device-to-host copies
+  double spill = 0;  // HET out-of-core: NVMe spill round-trip
 
-  double total() const { return htod + sort + merge + dtoh; }
+  double total() const { return htod + sort + merge + dtoh + spill; }
 };
 
 /// Outcome of one sort run (all times are simulated seconds).
@@ -64,6 +65,9 @@ struct SortStats {
   int nodes = 1;                       // DIST: cluster nodes participating
   double shuffle_bytes = 0;            // DIST: all-to-all shuffle bytes
   double cross_node_bytes = 0;         // DIST: shuffle bytes over the fabric
+  double spilled_bytes = 0;            // HET: logical bytes staged to NVMe
+  int spilled_runs = 0;                // HET: sorted runs spilled
+  int spill_nvme = -1;                 // HET: nvme index used (-1 = none)
   std::string algorithm;
 };
 

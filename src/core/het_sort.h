@@ -39,12 +39,39 @@ inline const char* BufferSchemeToString(BufferScheme s) {
   return s == BufferScheme::k2n ? "2n" : "3n";
 }
 
+/// Out-of-core spill policy: when the working set exceeds the granted GPU
+/// buffers (more than one chunk group), sorted runs can be staged to a
+/// simulated NVMe device instead of being presumed DRAM-resident until the
+/// final merge — the storage-bound third regime of the 2n/3n schemes.
+enum class SpillMode {
+  kOff,    // never spill (the paper's in-memory assumption)
+  kAuto,   // spill when chunk groups > 1 and the topology has an NVMe
+  kForce,  // always spill (error if the topology has no NVMe)
+};
+
+inline const char* SpillModeToString(SpillMode m) {
+  switch (m) {
+    case SpillMode::kOff:
+      return "off";
+    case SpillMode::kAuto:
+      return "auto";
+    case SpillMode::kForce:
+      return "force";
+  }
+  return "unknown";
+}
+
 struct HetOptions : SortOptions {
   BufferScheme scheme = BufferScheme::k2n;
   bool eager_merge = false;
   /// Cap on per-GPU memory used for chunk buffers (0 = all free memory).
   /// The paper compares 2n and 3n at an equal 33 GB budget per GPU.
   double gpu_memory_budget = 0;
+  /// Out-of-core spill tier (see SpillMode).
+  SpillMode spill = SpillMode::kOff;
+  /// NVMe device to spill to; -1 picks the device on the merge socket
+  /// (falling back to nvme0).
+  int spill_nvme = -1;
 };
 
 /// Per-doubling throughput penalty of the k-way CPU merge (Section 6.1.1:
@@ -95,6 +122,24 @@ struct Sublist {
                                   GroupTracker* tracker, int group) {
   co_await ev->Wait();
   tracker->MarkChunkDone(group);
+}
+
+/// One spill transfer with bounded retry: an NVMe outage mid-transfer
+/// aborts the flow with kUnavailable; back off (simulated time) and retry,
+/// so a flapping device costs latency, not the job. Non-transient errors
+/// propagate immediately.
+inline sim::Task<Status> NvmeTransferWithRetry(vgpu::Platform* platform,
+                                               int nvme, double bytes,
+                                               bool write) {
+  constexpr int kMaxAttempts = 6;
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    st = co_await platform->NvmeTransfer(nvme, bytes, write);
+    if (st.ok() || st.code() != StatusCode::kUnavailable) co_return st;
+    co_await sim::Delay{platform->simulator(),
+                        0.05 * static_cast<double>(1 << attempt)};
+  }
+  co_return st;
 }
 
 /// Everything the per-GPU pipelines and graph step bodies need. Pointer
@@ -685,6 +730,66 @@ template <typename T>
     co_return;
   }
 
+  // Out-of-core spill tier: with more than one chunk group the sorted runs
+  // exceed the granted GPU buffers, and under kAuto/kForce they are staged
+  // to NVMe as produced and read back for the final merge. Functionally the
+  // runs already live in the host buffer (the simulation moves time, not
+  // bytes); the spill bills the two storage round-trips that a real
+  // out-of-core run would pay, run by run, so a mid-spill NVMe outage hits
+  // a transfer in flight and exercises the retry path.
+  const double t_spill_begin = platform->simulator().Now();
+  if (options.spill != SpillMode::kOff) {
+    const bool want_spill =
+        options.spill == SpillMode::kForce || groups > 1;
+    int nvme = options.spill_nvme;
+    if (nvme < 0) nvme = platform->topology().NvmeForSocket(0);
+    if (nvme < 0 && options.spill == SpillMode::kForce) {
+      *out = Status::FailedPrecondition(
+          "spill forced but the topology has no NVMe device");
+      co_return;
+    }
+    if (want_spill && nvme >= 0) {
+      const auto spill_one = [&](double bytes,
+                                 bool write) -> sim::Task<Status> {
+        return het_internal::NvmeTransferWithRetry(platform, nvme, bytes,
+                                                   write);
+      };
+      int runs = 0;
+      double spilled = 0;
+      for (const auto& sub : sublists) {
+        if (options.eager_merge && sub.group < eager_groups) continue;
+        const double bytes =
+            static_cast<double>(sub.count) * sizeof(T) * platform->scale();
+        if (Status st = co_await spill_one(bytes, /*write=*/true); !st.ok()) {
+          *out = st;
+          co_return;
+        }
+        ++runs;
+        spilled += bytes;
+      }
+      for (const auto& run : eager_runs) {
+        const double bytes =
+            static_cast<double>(run.size()) * sizeof(T) * platform->scale();
+        if (Status st = co_await spill_one(bytes, /*write=*/true); !st.ok()) {
+          *out = st;
+          co_return;
+        }
+        ++runs;
+        spilled += bytes;
+      }
+      // Read-back feeding the merge (one streaming pass over all runs).
+      if (Status st = co_await spill_one(spilled, /*write=*/false);
+          !st.ok()) {
+        *out = st;
+        co_return;
+      }
+      stats.spilled_runs = runs;
+      stats.spilled_bytes = spilled;
+      stats.spill_nvme = nvme;
+    }
+  }
+  stats.phases.spill = platform->simulator().Now() - t_spill_begin;
+
   // Final CPU multiway merge.
   std::vector<cpusort::MergeInput<T>> inputs;
   for (const auto& run : eager_runs) {
@@ -712,7 +817,8 @@ template <typename T>
     cpusort::MultiwayMerge(inputs, result.data(), options.host_pool);
     data->vector() = std::move(result);
   }
-  const double merge_phase = platform->simulator().Now() - t_gpu_phase;
+  const double merge_phase =
+      platform->simulator().Now() - t_gpu_phase - stats.phases.spill;
   stats.total_seconds = platform->simulator().Now() - t0;
 
   // Phase attribution (best effort under pipelining: boundaries follow the
@@ -730,6 +836,7 @@ template <typename T>
   obs::RecordPhaseBreakdown(platform->metrics(), "het",
                             {{"htod", stats.phases.htod},
                              {"sort", stats.phases.sort},
+                             {"spill", stats.phases.spill},
                              {"merge", stats.phases.merge},
                              {"dtoh", stats.phases.dtoh}});
   *out = std::move(stats);

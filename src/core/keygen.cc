@@ -1,0 +1,134 @@
+#include "core/keygen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mgs::core {
+
+namespace {
+
+constexpr char kPrintable[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+
+std::string RandomWord(SplitMix64& rng, std::size_t min_len,
+                       std::size_t max_len) {
+  const std::size_t len =
+      min_len + static_cast<std::size_t>(rng.Next() % (max_len - min_len + 1));
+  std::string s(len, '\0');
+  for (auto& ch : s) ch = kPrintable[rng.Next() % 64];
+  return s;
+}
+
+std::vector<StringKey> UniformStrings(std::int64_t n, std::uint64_t seed,
+                                      StringArena* arena) {
+  SplitMix64 rng(seed);
+  std::vector<StringKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    keys.push_back(arena->Add(RandomWord(rng, 4, 24)));
+  }
+  return keys;
+}
+
+std::vector<StringKey> ZipfVocabulary(std::int64_t n, double theta,
+                                      std::uint64_t seed, StringArena* arena) {
+  // Build a fixed vocabulary once, then draw ranks zipfian (same
+  // inverse-CDF power method as datagen's numeric Zipf): heavy duplication
+  // on the most popular words, which stresses equal-key runs in both the
+  // radix fix-up and the merge paths.
+  constexpr std::int64_t kVocab = 4096;
+  SplitMix64 vocab_rng(seed ^ 0x57a6c0de57a6c0deULL);
+  std::vector<StringKey> vocab;
+  vocab.reserve(kVocab);
+  for (std::int64_t i = 0; i < kVocab; ++i) {
+    vocab.push_back(arena->Add(RandomWord(vocab_rng, 3, 16)));
+  }
+  SplitMix64 rng(seed);
+  const double exponent = 1.0 / (1.0 - std::min(theta, 0.999));
+  std::vector<StringKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto rank = static_cast<std::int64_t>(
+        static_cast<double>(kVocab) * std::pow(rng.NextDouble(), exponent));
+    keys.push_back(vocab[static_cast<std::size_t>(
+        std::min(rank, kVocab - 1))]);
+  }
+  return keys;
+}
+
+std::vector<StringKey> UrlKeys(std::int64_t n, std::uint64_t seed,
+                               StringArena* arena) {
+  // URL-like keys: a handful of domains, so huge groups of keys share a
+  // prefix far longer than the 8 normalized bytes ("https://" alone fills
+  // the prefix) — every comparison and every radix pass degenerates to the
+  // cold tie-break path. This is the adversarial shape the property tests
+  // lean on.
+  static constexpr const char* kDomains[] = {
+      "https://shard-a.example.com/", "https://shard-b.example.com/",
+      "https://cdn.example.net/assets/", "https://api.example.org/v2/"};
+  SplitMix64 rng(seed);
+  std::vector<StringKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::string url = kDomains[rng.Next() % 4];
+    url += RandomWord(rng, 1, 12);
+    if (rng.Next() % 2) {
+      url += '/';
+      url += RandomWord(rng, 1, 8);
+    }
+    keys.push_back(arena->Add(url));
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<StringKey> GenerateStringKeys(std::int64_t n,
+                                          const DataGenOptions& options,
+                                          StringArena* arena) {
+  std::vector<StringKey> keys;
+  switch (options.distribution) {
+    case Distribution::kUniform:
+      keys = UniformStrings(n, options.seed, arena);
+      break;
+    case Distribution::kZipf:
+      keys = ZipfVocabulary(n, options.zipf_theta, options.seed, arena);
+      break;
+    case Distribution::kNormal:
+    case Distribution::kNearlySorted:
+      keys = UrlKeys(n, options.seed, arena);
+      break;
+    case Distribution::kSorted:
+      keys = UniformStrings(n, options.seed, arena);
+      std::sort(keys.begin(), keys.end());
+      break;
+    case Distribution::kReverseSorted:
+      keys = UniformStrings(n, options.seed, arena);
+      std::sort(keys.begin(), keys.end());
+      std::reverse(keys.begin(), keys.end());
+      break;
+  }
+  return keys;
+}
+
+std::vector<SortRecord> GenerateRecords(std::int64_t n,
+                                        const DataGenOptions& options) {
+  // Leading ORDER BY columns follow the requested numeric distribution;
+  // column b is drawn from a small domain so composed-key ties on `a`
+  // resolve within the normalized key, and column c from a tiny domain so
+  // the cold tie-break path genuinely runs.
+  std::vector<std::int32_t> a = GenerateKeys<std::int32_t>(n, options);
+  SplitMix64 rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<SortRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::int32_t>(rng.Next() % 1024);
+    const auto c = static_cast<std::int64_t>(rng.Next() % 16);
+    records.push_back(SortRecord::Make(a[static_cast<std::size_t>(i)], b, c,
+                                       static_cast<std::uint64_t>(i)));
+  }
+  return records;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,44 @@
+// Generators for the non-numeric key shapes (string keys, multi-column
+// records). These live in core rather than util/datagen because they
+// produce core types; they reuse datagen's Distribution vocabulary and
+// SplitMix64 so every shape is deterministic for a fixed seed.
+//
+// String shapes by distribution:
+//   kUniform        — random printable strings, uniform length in [4, 24]
+//   kZipf           — zipfian draws from a ~4096-word vocabulary
+//                     (duplicate-heavy, exercises equal-key runs)
+//   kNormal /
+//   kNearlySorted   — URL-like keys sharing a >8-byte prefix
+//                     ("https://<domain>/<path>"), the adversarial case for
+//                     normalized-key prefixes: every compare goes cold
+//   kSorted /
+//   kReverseSorted  — uniform shapes emitted in (reverse) sorted order
+
+#ifndef MGS_CORE_KEYGEN_H_
+#define MGS_CORE_KEYGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.h"
+#include "core/string_key.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+
+/// Fills `arena` with `n` strings of the shape selected by
+/// `options.distribution` and returns their sort keys. The arena must
+/// outlive every use of the returned keys.
+std::vector<StringKey> GenerateStringKeys(std::int64_t n,
+                                          const DataGenOptions& options,
+                                          StringArena* arena);
+
+/// Generates `n` multi-column records: ORDER BY columns (a, b) follow the
+/// requested numeric distribution, column c is a low-cardinality tie-break
+/// column (so the cold path actually runs), rowid = i.
+std::vector<SortRecord> GenerateRecords(std::int64_t n,
+                                        const DataGenOptions& options);
+
+}  // namespace mgs::core
+
+#endif  // MGS_CORE_KEYGEN_H_

@@ -37,6 +37,49 @@ using IndexEntry32 = Record<std::int32_t, std::uint32_t>;
 /// Wide rows: 64-bit key, 64-bit tuple id.
 using IndexEntry64 = Record<std::int64_t, std::uint64_t>;
 
+/// A multi-column ORDER BY row: ORDER BY a, b, c with a rowid payload.
+/// Columns a and b are composed into one 64-bit normalized key
+/// (Encode(a) << 32 | Encode(b)), so a single integer compare — and the
+/// radix digit stream — settles both leading columns hot; column c breaks
+/// ties cold through operator<, exactly like a string key's suffix. The
+/// rowid is payload and never participates in ordering.
+struct SortRecord {
+  std::uint64_t norm = 0;    // composed normalized key for (a, b)
+  std::int64_t c = 0;        // third ORDER BY column, tie-break only
+  std::uint64_t rowid = 0;   // payload
+
+  static std::uint64_t Compose(std::int32_t a, std::int32_t b) {
+    return (static_cast<std::uint64_t>(
+                cpusort::RadixTraits<std::int32_t>::Encode(a))
+            << 32) |
+           cpusort::RadixTraits<std::int32_t>::Encode(b);
+  }
+
+  static SortRecord Make(std::int32_t a, std::int32_t b, std::int64_t c,
+                         std::uint64_t rowid) {
+    return SortRecord{Compose(a, b), c, rowid};
+  }
+
+  std::int32_t a() const {
+    return cpusort::RadixTraits<std::int32_t>::Decode(
+        static_cast<std::uint32_t>(norm >> 32));
+  }
+  std::int32_t b() const {
+    return cpusort::RadixTraits<std::int32_t>::Decode(
+        static_cast<std::uint32_t>(norm));
+  }
+
+  friend bool operator<(const SortRecord& x, const SortRecord& y) {
+    if (x.norm != y.norm) return x.norm < y.norm;
+    return x.c < y.c;
+  }
+  friend bool operator==(const SortRecord& x, const SortRecord& y) {
+    return x.norm == y.norm && x.c == y.c && x.rowid == y.rowid;
+  }
+};
+
+static_assert(sizeof(SortRecord) == 24);
+
 }  // namespace mgs::core
 
 namespace mgs::core {
@@ -46,6 +89,14 @@ template <typename K, typename V>
 struct SortableLimits<Record<K, V>> {
   static Record<K, V> Max() {
     return Record<K, V>{std::numeric_limits<K>::max(), V{}};
+  }
+};
+
+/// Padding sentinel for SortRecord: maximal on both ordering columns.
+template <>
+struct SortableLimits<SortRecord> {
+  static SortRecord Max() {
+    return SortRecord{~0ull, std::numeric_limits<std::int64_t>::max(), ~0ull};
   }
 };
 
@@ -62,6 +113,15 @@ struct RadixTraits<mgs::core::Record<K, V>> {
   static Unsigned Encode(const mgs::core::Record<K, V>& r) {
     return RadixTraits<K>::Encode(r.key);
   }
+};
+
+/// SortRecord radix-sorts on the composed (a, b) normalized key; column c
+/// is settled by the prefix-tie fix-up pass (kPrefixOnly).
+template <>
+struct RadixTraits<mgs::core::SortRecord> {
+  using Unsigned = std::uint64_t;
+  static constexpr bool kPrefixOnly = true;
+  static Unsigned Encode(const mgs::core::SortRecord& r) { return r.norm; }
 };
 
 }  // namespace mgs::cpusort

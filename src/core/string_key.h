@@ -1,0 +1,150 @@
+// Variable-length string keys with 8-byte normalized-key prefixes.
+//
+// The paper (Section 6) sorts fixed-width numeric keys only; real database
+// workloads — index builds, dedup, merge joins — sort strings. This header
+// makes every sorter in the library handle them through the same two
+// customization points the numeric types use:
+//
+//   * operator<  — compares the 8-byte big-endian prefix hot (one integer
+//     compare settles almost all pairs) and falls back to the full byte
+//     string cold, so comparison sorters (multiway merge, pivot selection,
+//     PARADIS cutoffs) pay string costs only on ties.
+//   * RadixTraits<StringKey>::Encode — the same prefix as radix digits, with
+//     kPrefixOnly = true so the radix entry points finish equal-prefix runs
+//     with a comparison fix-up pass (see cpusort/radix_traits.h).
+//
+// Bytes live in a StringArena: sort buffers move 24-byte StringKey structs
+// (prefix + pointer + length) while the character data stays put, which is
+// also how GPU string sorts keep their device working set fixed-width.
+
+#ifndef MGS_CORE_STRING_KEY_H_
+#define MGS_CORE_STRING_KEY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/common.h"
+#include "cpusort/radix_traits.h"
+
+namespace mgs::core {
+
+/// Big-endian packing of the first 8 bytes of `s`, NUL-padded. Order
+/// preserving for the prefix: byte[0] lands in the most significant
+/// position, and NUL padding ranks a short string below every proper
+/// extension of it (exactly the lexicographic rule, since no byte sorts
+/// below 0x00).
+inline std::uint64_t NormalizedPrefix(std::string_view s) {
+  std::uint64_t p = 0;
+  const std::size_t take = std::min<std::size_t>(s.size(), 8);
+  for (std::size_t i = 0; i < take; ++i) {
+    p |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[i]))
+         << (56 - 8 * i);
+  }
+  return p;
+}
+
+/// A sortable view of a variable-length string: fixed 24 bytes, trivially
+/// copyable, so device buffers / merge paths / radix scatters move it like
+/// any numeric key. `bytes == nullptr` marks the padding sentinel, which
+/// ranks above every real key.
+struct StringKey {
+  std::uint64_t prefix = 0;          // first 8 bytes, big-endian, NUL-padded
+  const unsigned char* bytes = nullptr;  // full string (arena-owned), may be null
+  std::uint32_t length = 0;
+
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(bytes), length};
+  }
+
+  friend bool operator<(const StringKey& a, const StringKey& b) {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    // Equal prefixes. Sentinels (null bytes) sort above all real keys.
+    if (a.bytes == nullptr || b.bytes == nullptr) {
+      return a.bytes != nullptr && b.bytes == nullptr;
+    }
+    if (a.length <= 8 || b.length <= 8) {
+      // At least one string ends inside the prefix; with equal prefixes the
+      // shorter (or equal) one is not greater, so order by length.
+      return a.length < b.length;
+    }
+    const std::size_t an = a.length - 8, bn = b.length - 8;
+    const int c = std::memcmp(a.bytes + 8, b.bytes + 8, std::min(an, bn));
+    if (c != 0) return c < 0;
+    return an < bn;
+  }
+
+  friend bool operator==(const StringKey& a, const StringKey& b) {
+    if (a.prefix != b.prefix || a.length != b.length) return false;
+    if (a.bytes == b.bytes) return true;
+    if (a.bytes == nullptr || b.bytes == nullptr) return false;
+    return a.length <= 8 ||
+           std::memcmp(a.bytes + 8, b.bytes + 8, a.length - 8) == 0;
+  }
+};
+
+static_assert(sizeof(StringKey) == 24);
+
+/// Bump-pointer arena owning the character data behind StringKeys. Blocks
+/// are never reallocated, so pointers handed out stay stable for the arena's
+/// lifetime (the sort only moves 24-byte key structs, never the bytes).
+class StringArena {
+ public:
+  static constexpr std::size_t kBlockBytes = 1 << 20;
+
+  StringKey Add(std::string_view s) {
+    const unsigned char* p = Append(s);
+    return StringKey{NormalizedPrefix(s), p,
+                     static_cast<std::uint32_t>(s.size())};
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  const unsigned char* Append(std::string_view s) {
+    if (s.empty()) return reinterpret_cast<const unsigned char*>("");
+    if (blocks_.empty() || block_fill_ + s.size() > kBlockBytes) {
+      blocks_.push_back(std::make_unique<unsigned char[]>(
+          std::max(kBlockBytes, s.size())));
+      block_fill_ = 0;
+    }
+    unsigned char* dst = blocks_.back().get() + block_fill_;
+    std::memcpy(dst, s.data(), s.size());
+    block_fill_ += s.size();
+    bytes_used_ += s.size();
+    return dst;
+  }
+
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+  std::size_t block_fill_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+/// Padding sentinel: maximal prefix with null bytes — operator< ranks it
+/// above every real key (including real keys whose prefix is all 0xff).
+template <>
+struct SortableLimits<StringKey> {
+  static StringKey Max() {
+    return StringKey{~0ull, nullptr, 0xffff'ffffu};
+  }
+};
+
+}  // namespace mgs::core
+
+namespace mgs::cpusort {
+
+/// Radix digits come from the normalized prefix only; kPrefixOnly makes the
+/// radix entry points run FixupPrefixTies to settle longer shared prefixes.
+template <>
+struct RadixTraits<mgs::core::StringKey> {
+  using Unsigned = std::uint64_t;
+  static constexpr bool kPrefixOnly = true;
+  static Unsigned Encode(const mgs::core::StringKey& k) { return k.prefix; }
+};
+
+}  // namespace mgs::cpusort
+
+#endif  // MGS_CORE_STRING_KEY_H_

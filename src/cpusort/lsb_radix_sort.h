@@ -210,6 +210,12 @@ void LsbRadixSort(T* data, T* aux, std::int64_t n, ThreadPool* pool = nullptr) {
   if (src != data) {
     std::copy(src, src + n, data);
   }
+
+  // Prefix-only keys (string/record normalized keys): the radix passes
+  // ordered by encoded prefix; settle ties within equal-prefix runs.
+  if constexpr (PrefixOnlyRadix<T>::value) {
+    FixupPrefixTies(data, n);
+  }
 }
 
 }  // namespace mgs::cpusort

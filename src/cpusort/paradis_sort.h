@@ -387,6 +387,13 @@ template <typename T>
 void ParadisSort(T* data, std::int64_t n, ThreadPool* pool = nullptr) {
   paradis_internal::SortLevel(data, 0, n, kRadixDigits<T> - 1, pool,
                               /*parallel=*/pool != nullptr);
+  // Prefix-only keys: MSD recursion bottoms out on the encoded prefix, so
+  // equal-prefix runs longer than the comparison-sort cutoff are still
+  // unordered beyond the prefix. (Buckets below the cutoff were finished
+  // with full-order comparison sorts, so this pass is idempotent there.)
+  if constexpr (PrefixOnlyRadix<T>::value) {
+    FixupPrefixTies(data, n);
+  }
 }
 
 }  // namespace mgs::cpusort

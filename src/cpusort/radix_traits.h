@@ -4,6 +4,7 @@
 #ifndef MGS_CPUSORT_RADIX_TRAITS_H_
 #define MGS_CPUSORT_RADIX_TRAITS_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <type_traits>
@@ -86,14 +87,46 @@ struct RadixTraits<double> {
 /// Digit extraction on the encoded key: digit `d` counts from the least
 /// significant end, 8 bits per digit.
 template <typename T>
-inline unsigned RadixDigit(T v, int digit) {
+inline unsigned RadixDigit(const T& v, int digit) {
   const auto u = RadixTraits<T>::Encode(v);
   return static_cast<unsigned>((u >> (8 * digit)) & 0xff);
 }
 
-/// Number of 8-bit digits in T's key.
+/// Number of 8-bit digits in T's key. Sized from the encoded key, not the
+/// element: records and string keys are wider than their normalized keys,
+/// and shifting Unsigned past its own width is UB.
 template <typename T>
-inline constexpr int kRadixDigits = static_cast<int>(sizeof(T));
+inline constexpr int kRadixDigits =
+    static_cast<int>(sizeof(typename RadixTraits<T>::Unsigned));
+
+/// Some types (core::StringKey, core::SortRecord) radix-sort on a
+/// normalized-key *prefix* only: equal Encode() values are not necessarily
+/// equal elements, so a pure radix pass leaves equal-prefix runs unordered.
+/// Such traits declare `static constexpr bool kPrefixOnly = true`, and the
+/// radix entry points finish with FixupPrefixTies.
+template <typename T, typename = void>
+struct PrefixOnlyRadix : std::false_type {};
+
+template <typename T>
+struct PrefixOnlyRadix<T, std::void_t<decltype(RadixTraits<T>::kPrefixOnly)>>
+    : std::bool_constant<RadixTraits<T>::kPrefixOnly> {};
+
+/// Cold path after a prefix-only radix sort: every run of equal encoded
+/// prefixes is comparison-sorted with the full operator< (which breaks ties
+/// beyond the prefix). Runs longer than one element are rare by construction
+/// — an 8-byte prefix separates almost all real keys — so this is a linear
+/// scan with occasional small sorts.
+template <typename T>
+inline void FixupPrefixTies(T* data, std::int64_t n) {
+  std::int64_t run_begin = 0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    if (i == n ||
+        RadixTraits<T>::Encode(data[i]) != RadixTraits<T>::Encode(data[run_begin])) {
+      if (i - run_begin > 1) std::sort(data + run_begin, data + i);
+      run_begin = i;
+    }
+  }
+}
 
 }  // namespace mgs::cpusort
 

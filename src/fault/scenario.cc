@@ -77,6 +77,12 @@ Status ParseClause(const std::string& clause, FaultScenario* scenario) {
         MGS_ASSIGN_OR_RETURN(const double node, ParseNumber(value, "nic"));
         ev.link = "nic" + std::to_string(static_cast<int>(node));
         saw_link = true;
+      } else if (key == "nvme") {
+        // Storage sugar (topo::AttachNvme): nvme=0 names the nvme0 link,
+        // so `nvme=0 down` kills the spill tier mid-transfer.
+        MGS_ASSIGN_OR_RETURN(const double dev, ParseNumber(value, "nvme"));
+        ev.link = "nvme" + std::to_string(static_cast<int>(dev));
+        saw_link = true;
       } else if (key == "rack") {
         // Cluster sugar: rack=1 hits rack 1's leaf switch and spine uplink.
         MGS_ASSIGN_OR_RETURN(const double r, ParseNumber(value, "rack"));

@@ -40,6 +40,7 @@ inline constexpr char kKernelSeconds[] = "mgs_kernel_seconds";
 inline constexpr char kKernelInvocations[] = "mgs_kernel_invocations_total";
 inline constexpr char kCpuPhaseSeconds[] = "mgs_cpu_phase_seconds";
 inline constexpr char kCpuBytes[] = "mgs_cpu_bytes_total";
+inline constexpr char kNvmeBytes[] = "mgs_nvme_bytes_total";
 inline constexpr char kPhaseSeconds[] = "mgs_sort_phase_seconds";
 inline constexpr char kPhaseLinkBytes[] = "mgs_sort_phase_link_bytes_total";
 inline constexpr char kPhaseLinkBusySeconds[] =

@@ -58,6 +58,11 @@ struct JobSpec {
   double arrival_seconds = 0;
   double logical_keys = 1e9;
   DataType type = DataType::kInt32;
+  /// Key shape: numeric (DataType applies), variable-length string keys
+  /// (core::StringKey) or multi-column records (core::SortRecord). Non-
+  /// numeric kinds are single-node and bypass coalescing/dedup (their
+  /// elements are not hashable dataset twins the way numerics are).
+  KeyKind key_kind = KeyKind::kNumeric;
   Distribution distribution = Distribution::kUniform;
   std::uint64_t seed = 42;
   /// GPUs requested; must be a power of two (P2P merge tree).
@@ -74,10 +79,17 @@ struct JobSpec {
   std::vector<int> pinned_gpus;
 };
 
+/// Element width for sizing/admission: numeric kinds follow DataType;
+/// string and record kinds move fixed 24-byte sort elements (core::StringKey
+/// / core::SortRecord) through the device buffers.
+inline std::size_t JobElementSize(const JobSpec& spec) {
+  return spec.key_kind == KeyKind::kNumeric ? DataTypeSize(spec.type) : 24;
+}
+
 /// Logical bytes a job moves through the system end to end (SJF ordering
 /// key and admission sizing).
 inline double JobBytes(const JobSpec& spec) {
-  return spec.logical_keys * static_cast<double>(DataTypeSize(spec.type));
+  return spec.logical_keys * static_cast<double>(JobElementSize(spec));
 }
 
 /// Content identity of the dataset a spec describes: everything that
@@ -90,6 +102,7 @@ inline double JobBytes(const JobSpec& spec) {
 /// results).
 struct DatasetKey {
   DataType type = DataType::kInt32;
+  KeyKind key_kind = KeyKind::kNumeric;
   Distribution distribution = Distribution::kUniform;
   std::uint64_t seed = 0;
   double logical_keys = 0;
@@ -98,7 +111,7 @@ struct DatasetKey {
 };
 
 inline DatasetKey DatasetIdentity(const JobSpec& spec) {
-  return DatasetKey{spec.type, spec.distribution, spec.seed,
+  return DatasetKey{spec.type, spec.key_kind, spec.distribution, spec.seed,
                     spec.logical_keys};
 }
 
@@ -112,6 +125,7 @@ inline std::uint64_t DatasetFingerprint(const DatasetKey& key) {
     }
   };
   mix(static_cast<std::uint64_t>(key.type));
+  mix(static_cast<std::uint64_t>(key.key_kind));
   mix(static_cast<std::uint64_t>(key.distribution));
   mix(key.seed);
   std::uint64_t key_bits = 0;

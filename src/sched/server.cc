@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <unordered_map>
+
+#include "core/keygen.h"
 
 #include "core/het_sort.h"
 #include "core/p2p_sort.h"
@@ -57,6 +60,25 @@ std::uint64_t HashSortedOutput(const std::vector<T>& data) {
   for (const T& v : data) h = MixValue(h, v, 1);
   return h;
 }
+
+/// StringKey overload: hash the actual string bytes (plus length framing),
+/// never the struct — the arena pointer inside StringKey differs run to
+/// run, while the content is what identifies the output.
+std::uint64_t HashSortedOutput(const std::vector<core::StringKey>& data) {
+  std::uint64_t h = kFnvOffset;
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= kFnvPrime;
+  };
+  for (const auto& key : data) {
+    std::uint32_t len = key.length;
+    for (int shift = 0; shift < 32; shift += 8) {
+      mix_byte(static_cast<unsigned char>((len >> shift) & 0xff));
+    }
+    for (std::uint32_t i = 0; i < key.length; ++i) mix_byte(key.bytes[i]);
+  }
+  return h;
+}
 }  // namespace
 
 SortServer::SortServer(vgpu::Platform* platform, ServerOptions options)
@@ -92,7 +114,19 @@ double SortServer::Now() const { return platform_->simulator().Now(); }
 double SortServer::PerGpuBytes(const JobSpec& spec) const {
   const double scale = platform_->scale();
   const double actual = std::max(1.0, std::ceil(spec.logical_keys / scale));
-  const double elem_bytes = static_cast<double>(DataTypeSize(spec.type)) * scale;
+  const double elem_bytes =
+      static_cast<double>(JobElementSize(spec)) * scale;
+  if (SpillJob(spec)) {
+    // Oversized job riding the spill tier: it runs the HET sorter with a
+    // bounded chunk-buffer budget, so the admission reservation is that
+    // budget, not the full footprint (which would never be admitted).
+    double smallest = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < platform_->num_devices(); ++d) {
+      smallest = std::min(
+          smallest, platform_->topology().gpu_spec(d).memory_capacity_bytes);
+    }
+    return smallest * options_.spill.budget_fraction;
+  }
   if (spec.nodes > 1 && options_.cluster != nullptr) {
     // Mirrors net::DistributedSortTask's eager allocation: sort chunk
     // (primary + aux of m = ceil(ceil(n/N)/g) elements) plus the receive
@@ -109,7 +143,29 @@ double SortServer::PerGpuBytes(const JobSpec& spec) const {
   return 2.0 * chunk * elem_bytes;
 }
 
+bool SortServer::SpillJob(const JobSpec& spec) const {
+  if (!options_.spill.enabled || platform_->topology().num_nvme() == 0) {
+    return false;
+  }
+  if (spec.nodes > 1 && options_.cluster != nullptr) return false;
+  const double scale = platform_->scale();
+  const double actual = std::max(1.0, std::ceil(spec.logical_keys / scale));
+  const double elem_bytes =
+      static_cast<double>(JobElementSize(spec)) * scale;
+  const double full_per_gpu =
+      2.0 * std::ceil(actual / spec.gpus) * elem_bytes;
+  double smallest = std::numeric_limits<double>::infinity();
+  for (int d = 0; d < platform_->num_devices(); ++d) {
+    smallest = std::min(
+        smallest, platform_->topology().gpu_spec(d).memory_capacity_bytes);
+  }
+  return full_per_gpu > smallest;
+}
+
 std::int64_t SortServer::AddSlot(JobSpec spec) {
+  // String/record sorts are single-node: the distributed shuffle moves raw
+  // element bytes between nodes, which would tear arena-backed keys.
+  if (spec.key_kind != KeyKind::kNumeric) spec.nodes = 1;
   if (spec.nodes > 1 && options_.cluster != nullptr) {
     // A distributed job spans whole nodes; its GPU count is derived, so
     // admission, sizing and the health monitor see the real footprint.
@@ -360,9 +416,12 @@ SortServer::LaunchResult SortServer::TryLaunch(std::int64_t id) {
 }
 
 bool SortServer::CoalesceEligible(const JobSpec& spec) const {
+  // Numeric kinds only: the batch pass splits members by element counts
+  // over a hashable key space; string/record jobs run solo.
   return options_.coalesce.enabled && spec.nodes <= 1 &&
-         spec.pinned_gpus.empty() &&
-         spec.logical_keys <= options_.coalesce.max_job_keys;
+         spec.key_kind == KeyKind::kNumeric && spec.pinned_gpus.empty() &&
+         spec.logical_keys <= options_.coalesce.max_job_keys &&
+         !SpillJob(spec);
 }
 
 std::uint64_t SortServer::CoalesceKey(const JobSpec& spec) const {
@@ -494,19 +553,25 @@ sim::Task<void> SortServer::RunJob(std::int64_t id) {
   // single-threaded simulation.
   const double per_gpu = PerGpuBytes(rec.spec);
   for (int g : rec.gpu_set) platform_->device(g).Unreserve(per_gpu);
-  switch (rec.spec.type) {
-    case DataType::kInt32:
-      co_await ExecuteTyped<std::int32_t>(rec);
-      break;
-    case DataType::kInt64:
-      co_await ExecuteTyped<std::int64_t>(rec);
-      break;
-    case DataType::kFloat32:
-      co_await ExecuteTyped<float>(rec);
-      break;
-    case DataType::kFloat64:
-      co_await ExecuteTyped<double>(rec);
-      break;
+  if (rec.spec.key_kind == KeyKind::kString) {
+    co_await ExecuteStringJob(rec);
+  } else if (rec.spec.key_kind == KeyKind::kRecord) {
+    co_await ExecuteRecordJob(rec);
+  } else {
+    switch (rec.spec.type) {
+      case DataType::kInt32:
+        co_await ExecuteTyped<std::int32_t>(rec);
+        break;
+      case DataType::kInt64:
+        co_await ExecuteTyped<std::int64_t>(rec);
+        break;
+      case DataType::kFloat32:
+        co_await ExecuteTyped<float>(rec);
+        break;
+      case DataType::kFloat64:
+        co_await ExecuteTyped<double>(rec);
+        break;
+    }
   }
 
   rec.finish = Now();
@@ -666,8 +731,11 @@ sim::Task<void> SortServer::RunBatch(std::vector<std::int64_t> batch,
 }
 
 bool SortServer::DedupeEligible(const JobSpec& spec) const {
+  // DatasetKey carries key_kind, so string/record twins *could* dedupe —
+  // but their cached stats would alias arena-backed outputs; keep the
+  // cache numeric-only.
   return options_.dedupe.enabled && spec.nodes <= 1 &&
-         spec.pinned_gpus.empty();
+         spec.key_kind == KeyKind::kNumeric && spec.pinned_gpus.empty();
 }
 
 bool SortServer::TryDedupeOnArrival(std::int64_t id) {
@@ -859,26 +927,35 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
     dist.node_set = rec.node_set;
     co_await net::DistributedSortTask<T>(platform_, *options_.cluster, &data,
                                          dist, &out);
-  } else if (ShouldFallBackToHet(rec)) {
-    // Graceful degradation: the mesh between these GPUs is sick, so stage
-    // through host memory (HET) instead of streaming peer-to-peer.
-    rec.het_fallback = true;
-    if (auto* registry = metrics()) {
-      registry
-          ->GetCounter(obs::kSchedHetFallbacks, {},
-                       "Jobs rerouted to the HET sorter because their P2P "
-                       "mesh was degraded")
-          .Inc();
-    }
-    if (auto* trace = platform_->trace()) {
+  } else if (SpillJob(rec.spec) || ShouldFallBackToHet(rec)) {
+    const bool spilling = SpillJob(rec.spec);
+    if (!spilling) {
+      // Graceful degradation: the mesh between these GPUs is sick, so stage
+      // through host memory (HET) instead of streaming peer-to-peer.
+      rec.het_fallback = true;
+      if (auto* registry = metrics()) {
+        registry
+            ->GetCounter(obs::kSchedHetFallbacks, {},
+                         "Jobs rerouted to the HET sorter because their P2P "
+                         "mesh was degraded")
+            .Inc();
+      }
+      if (auto* trace = platform_->trace()) {
+        trace->AddInstant("sched:queue",
+                          "job" + std::to_string(rec.id) +
+                              " HET fallback (degraded mesh)",
+                          Now());
+      }
+    } else if (auto* trace = platform_->trace()) {
       trace->AddInstant("sched:queue",
                         "job" + std::to_string(rec.id) +
-                            " HET fallback (degraded mesh)",
+                            " out-of-core (NVMe spill)",
                         Now());
     }
     core::HetOptions het_options;
     het_options.gpu_set = rec.gpu_set;
     het_options.gpu_memory_budget = PerGpuBytes(rec.spec);
+    if (spilling) het_options.spill = core::SpillMode::kAuto;
     ConfigureExec(rec, &het_options);
     co_await core::HetSortTask<T>(platform_, &data, het_options, &out);
   } else {
@@ -886,6 +963,132 @@ sim::Task<void> SortServer::ExecuteTyped(JobRecord& rec) {
     sort_options.gpu_set = rec.gpu_set;
     ConfigureExec(rec, &sort_options);
     co_await core::P2pSortTask<T>(platform_, &data, sort_options, &out);
+  }
+  if (!out.ok()) {
+    rec.state = JobState::kFailed;
+    rec.error = out.status().ToString();
+    rec.error_code = out.status().code();
+    co_return;
+  }
+  if (options_.verify_sorted &&
+      !std::is_sorted(data.vector().begin(), data.vector().end())) {
+    rec.state = JobState::kFailed;
+    rec.error = "output not sorted";
+    rec.error_code = StatusCode::kInternal;
+    co_return;
+  }
+  rec.result_hash = HashSortedOutput(data.vector());
+  rec.sort = std::move(*out);
+  rec.state = JobState::kDone;
+  rec.error.clear();
+  rec.error_code = StatusCode::kOk;
+}
+
+sim::Task<void> SortServer::ExecuteStringJob(JobRecord& rec) {
+  DataGenOptions gen;
+  gen.distribution = rec.spec.distribution;
+  gen.seed = rec.spec.seed;
+  const double scale = platform_->scale();
+  const std::int64_t actual = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(rec.spec.logical_keys / scale)));
+  const int numa =
+      options_.cluster != nullptr && !rec.gpu_set.empty()
+          ? options_.cluster->FirstSocket(
+                options_.cluster->NodeOfGpu(rec.gpu_set.front()))
+          : 0;
+  // The arena outlives the sort: every StringKey in flight points into it.
+  core::StringArena arena;
+  vgpu::HostBuffer<core::StringKey> data(
+      core::GenerateStringKeys(actual, gen, &arena), numa, /*pinned=*/true);
+
+  Result<core::SortStats> out = Status::Internal("sort task never ran");
+  if (SpillJob(rec.spec) || ShouldFallBackToHet(rec)) {
+    const bool spilling = SpillJob(rec.spec);
+    if (!spilling) {
+      rec.het_fallback = true;
+      if (auto* registry = metrics()) {
+        registry
+            ->GetCounter(obs::kSchedHetFallbacks, {},
+                         "Jobs rerouted to the HET sorter because their P2P "
+                         "mesh was degraded")
+            .Inc();
+      }
+    }
+    core::HetOptions het_options;
+    het_options.gpu_set = rec.gpu_set;
+    het_options.gpu_memory_budget = PerGpuBytes(rec.spec);
+    if (spilling) het_options.spill = core::SpillMode::kAuto;
+    ConfigureExec(rec, &het_options);
+    co_await core::HetSortTask<core::StringKey>(platform_, &data, het_options,
+                                                &out);
+  } else {
+    core::SortOptions sort_options;
+    sort_options.gpu_set = rec.gpu_set;
+    ConfigureExec(rec, &sort_options);
+    co_await core::P2pSortTask<core::StringKey>(platform_, &data, sort_options,
+                                                &out);
+  }
+  if (!out.ok()) {
+    rec.state = JobState::kFailed;
+    rec.error = out.status().ToString();
+    rec.error_code = out.status().code();
+    co_return;
+  }
+  if (options_.verify_sorted &&
+      !std::is_sorted(data.vector().begin(), data.vector().end())) {
+    rec.state = JobState::kFailed;
+    rec.error = "output not sorted";
+    rec.error_code = StatusCode::kInternal;
+    co_return;
+  }
+  rec.result_hash = HashSortedOutput(data.vector());
+  rec.sort = std::move(*out);
+  rec.state = JobState::kDone;
+  rec.error.clear();
+  rec.error_code = StatusCode::kOk;
+}
+
+sim::Task<void> SortServer::ExecuteRecordJob(JobRecord& rec) {
+  DataGenOptions gen;
+  gen.distribution = rec.spec.distribution;
+  gen.seed = rec.spec.seed;
+  const double scale = platform_->scale();
+  const std::int64_t actual = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(rec.spec.logical_keys / scale)));
+  const int numa =
+      options_.cluster != nullptr && !rec.gpu_set.empty()
+          ? options_.cluster->FirstSocket(
+                options_.cluster->NodeOfGpu(rec.gpu_set.front()))
+          : 0;
+  vgpu::HostBuffer<core::SortRecord> data(core::GenerateRecords(actual, gen),
+                                          numa, /*pinned=*/true);
+
+  Result<core::SortStats> out = Status::Internal("sort task never ran");
+  if (SpillJob(rec.spec) || ShouldFallBackToHet(rec)) {
+    const bool spilling = SpillJob(rec.spec);
+    if (!spilling) {
+      rec.het_fallback = true;
+      if (auto* registry = metrics()) {
+        registry
+            ->GetCounter(obs::kSchedHetFallbacks, {},
+                         "Jobs rerouted to the HET sorter because their P2P "
+                         "mesh was degraded")
+            .Inc();
+      }
+    }
+    core::HetOptions het_options;
+    het_options.gpu_set = rec.gpu_set;
+    het_options.gpu_memory_budget = PerGpuBytes(rec.spec);
+    if (spilling) het_options.spill = core::SpillMode::kAuto;
+    ConfigureExec(rec, &het_options);
+    co_await core::HetSortTask<core::SortRecord>(platform_, &data, het_options,
+                                                 &out);
+  } else {
+    core::SortOptions sort_options;
+    sort_options.gpu_set = rec.gpu_set;
+    ConfigureExec(rec, &sort_options);
+    co_await core::P2pSortTask<core::SortRecord>(platform_, &data,
+                                                 sort_options, &out);
   }
   if (!out.ok()) {
     rec.state = JobState::kFailed;

@@ -113,10 +113,24 @@ struct DedupeOptions {
   double ttl_seconds = 0;
 };
 
+/// Out-of-core spill tier: jobs whose working set exceeds what a device can
+/// grant run the HET sorter with core::SpillMode::kAuto instead of being
+/// rejected for memory. Requires an NVMe device in the topology
+/// (topo::AttachNvme); without one the option is inert.
+struct SpillOptions {
+  bool enabled = false;
+  /// Fraction of a device's memory granted to an oversized job's chunk
+  /// buffers (the admission reservation is capped to this, which is what
+  /// lets the job through admission at all).
+  double budget_fraction = 0.25;
+};
+
 struct ServerOptions {
   QueuePolicy policy = QueuePolicy::kFifo;
   AdmissionOptions admission;
   RecoveryOptions recovery;
+  /// Spill oversized jobs to NVMe instead of rejecting them.
+  SpillOptions spill;
   /// Cap on co-running jobs (0 = bounded only by GPUs/memory).
   int max_concurrent_jobs = 0;
   /// Allow placing a job on a GPU that is already running another one
@@ -338,6 +352,13 @@ class SortServer {
   template <typename T>
   sim::Task<void> ExecuteBatchTyped(std::vector<std::int64_t>& batch,
                                     JobRecord& leader);
+  /// Non-numeric key kinds: generate via core/keygen, sort through the same
+  /// P2P / HET routing as ExecuteTyped (always single-node, never batched).
+  sim::Task<void> ExecuteStringJob(JobRecord& rec);
+  sim::Task<void> ExecuteRecordJob(JobRecord& rec);
+  /// True when the job cannot fit its full per-GPU reservation and the
+  /// spill tier should carry it (SpillOptions).
+  bool SpillJob(const JobSpec& spec) const;
   sim::Task<void> ClientLoop(int client_index, ClosedLoopOptions options,
                              std::uint64_t seed);
   sim::Task<void> UtilizationSampler();

@@ -32,6 +32,9 @@ JobSpec SampleJob(const JobMix& mix, SplitMix64& rng) {
         rng.Next() % mix.priority_choices.size())];
   }
   spec.type = mix.type;
+  // Assigned, never drawn: key_kind must not consume rng state, so seeded
+  // numeric workloads stay bit-identical to before the knob existed.
+  spec.key_kind = mix.key_kind;
   spec.distribution = mix.distribution;
   // Fresh-seed draw stays last so the rng consumption order (and thus every
   // seeded workload) is unchanged from before the dataset pool existed.

@@ -31,6 +31,9 @@ struct JobMix {
   /// Priorities to draw from, uniformly (only QueuePolicy::kPriority cares).
   std::vector<int> priority_choices = {0};
   DataType type = DataType::kInt32;
+  /// Key shape for every sampled job: numeric (default), string, or record
+  /// tenants (see JobSpec::key_kind).
+  KeyKind key_kind = KeyKind::kNumeric;
   Distribution distribution = Distribution::kUniform;
   /// Tenant population for MakePoissonWorkload: job i belongs to
   /// "open<i mod tenants>". Clamped to at least 1.

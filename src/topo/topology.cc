@@ -29,6 +29,8 @@ const char* LinkKindToString(LinkKind kind) {
       return "NVSwitch fabric";
     case LinkKind::kInfiniband:
       return "InfiniBand";
+    case LinkKind::kNvme:
+      return "NVMe";
   }
   return "unknown";
 }
@@ -77,6 +79,37 @@ Status Topology::AttachHostMemory(int socket, double read_cap,
   spec.duplex_cap = duplex_cap;
   spec.duplex_weight_ba = write_weight;
   return Connect(mem, cpu_nodes_[socket], spec);
+}
+
+Result<int> Topology::AttachNvme(int socket, double read_cap,
+                                 double write_cap, double duplex_cap) {
+  if (socket < 0 || socket >= num_sockets()) {
+    return Status::Invalid("no such socket: " + std::to_string(socket));
+  }
+  if (compiled_) {
+    return Status::FailedPrecondition("AttachNvme after Compile");
+  }
+  const int nvme = num_nvme();
+  nodes_.push_back(
+      Node{NodeKind::kStorage, "NVME" + std::to_string(nvme), nvme});
+  const NodeId node = static_cast<NodeId>(nodes_.size() - 1);
+  LinkSpec spec;
+  spec.name = "nvme" + std::to_string(nvme);
+  spec.kind = LinkKind::kNvme;
+  spec.cap_ab = write_cap;  // cpu -> device (spill writes)
+  spec.cap_ba = read_cap;   // device -> cpu (read-back)
+  spec.duplex_cap = duplex_cap;
+  MGS_RETURN_IF_ERROR(Connect(cpu_nodes_[socket], node, std::move(spec)));
+  nvmes_.push_back(
+      NvmeDev{node, socket, static_cast<int>(links_.size() - 1)});
+  return nvme;
+}
+
+int Topology::NvmeForSocket(int socket) const {
+  for (int i = 0; i < num_nvme(); ++i) {
+    if (nvmes_[i].socket == socket) return i;
+  }
+  return nvmes_.empty() ? -1 : 0;
 }
 
 int Topology::AddGpu(const GpuSpec& spec, int numa_socket) {
@@ -382,6 +415,43 @@ Result<std::vector<sim::PathHop>> Topology::CpuMemoryWorkPath(
     }
   }
   return Status::NotFound("socket has no memory bus");
+}
+
+Result<std::vector<sim::PathHop>> Topology::NvmePath(int nvme,
+                                                     bool write) const {
+  if (!compiled_) return Status::FailedPrecondition("topology not compiled");
+  if (nvme < 0 || nvme >= num_nvme()) {
+    return Status::NotFound("no such nvme: " + std::to_string(nvme));
+  }
+  const NvmeDev& dev = nvmes_[nvme];
+  const Link& nlink = links_[dev.link_index];
+  if (!nlink.up) {
+    return Status::Unavailable("nvme" + std::to_string(nvme) + " is down");
+  }
+  std::vector<sim::PathHop> path;
+  // Host-memory side: spilling reads the staged runs out of memory; the
+  // read-back writes them in.
+  const NodeId mem = memory_nodes_[dev.socket];
+  const NodeId cpu = cpu_nodes_[dev.socket];
+  for (const auto& link : links_) {
+    if ((link.a == mem && link.b == cpu) || (link.a == cpu && link.b == mem)) {
+      const bool mem_is_a = link.a == mem;
+      const auto read_res = mem_is_a ? link.res_ab : link.res_ba;
+      const auto write_res = mem_is_a ? link.res_ba : link.res_ab;
+      path.push_back(sim::PathHop{write ? read_res : write_res, 1.0});
+      if (link.res_duplex >= 0) {
+        path.push_back(sim::PathHop{link.res_duplex, 1.0});
+      }
+      break;
+    }
+  }
+  // Device side: AttachNvme connected cpu(a) -> device(b), so res_ab is the
+  // write direction and res_ba the read direction.
+  path.push_back(sim::PathHop{write ? nlink.res_ab : nlink.res_ba, 1.0});
+  if (nlink.res_duplex >= 0) {
+    path.push_back(sim::PathHop{nlink.res_duplex, 1.0});
+  }
+  return path;
 }
 
 Result<bool> Topology::IsDirectP2p(int gpu_a, int gpu_b) const {

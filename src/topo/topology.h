@@ -34,8 +34,8 @@
 namespace mgs::topo {
 
 /// Kinds of nodes in the interconnect graph. Routes may pass *through* CPU
-/// and switch nodes only; GPUs and memories are endpoints.
-enum class NodeKind { kCpu, kMemory, kGpu, kSwitch };
+/// and switch nodes only; GPUs, memories and storage devices are endpoints.
+enum class NodeKind { kCpu, kMemory, kGpu, kSwitch, kStorage };
 
 using NodeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
@@ -54,6 +54,9 @@ enum class LinkKind {
   /// RDMA-capable cluster interconnect (InfiniBand-class NIC/leaf/spine
   /// links between nodes; see src/net).
   kInfiniband,
+  /// NVMe storage link (the out-of-core spill tier; orders of magnitude
+  /// slower than the memory bus, which is the point).
+  kNvme,
 };
 
 const char* LinkKindToString(LinkKind kind);
@@ -153,6 +156,15 @@ class Topology {
   Status AttachHostMemory(int socket, double read_cap, double write_cap,
                           double duplex_cap, double write_weight = 1.0);
 
+  /// Attaches an NVMe storage device to a socket. The device is a leaf
+  /// node behind a link named "nvme<i>" (fault-addressable: `nvme=<i>` in
+  /// the fault grammar degrades or downs it like any link). `read_cap` /
+  /// `write_cap`: payload capacity off / onto the device — NVMe-class, i.e.
+  /// far below the memory bus, which is what makes the spill tier a third,
+  /// storage-bound regime. Returns the nvme index (0-based).
+  Result<int> AttachNvme(int socket, double read_cap, double write_cap,
+                         double duplex_cap = 0);
+
   /// Adds a GPU owned by `numa_socket` (locality only; connectivity comes
   /// from links). Returns the gpu id (0-based).
   int AddGpu(const GpuSpec& spec, int numa_socket);
@@ -181,6 +193,10 @@ class Topology {
 
   int num_gpus() const { return static_cast<int>(gpus_.size()); }
   int num_sockets() const { return static_cast<int>(cpu_nodes_.size()); }
+  int num_nvme() const { return static_cast<int>(nvmes_.size()); }
+  int nvme_socket(int nvme) const { return nvmes_.at(nvme).socket; }
+  /// First NVMe attached to `socket`, falling back to any NVMe; -1 if none.
+  int NvmeForSocket(int socket) const;
   const GpuSpec& gpu_spec(int gpu) const { return gpus_[gpu].spec; }
   int gpu_socket(int gpu) const { return gpus_[gpu].socket; }
   const CpuSpec& cpu_spec() const { return cpu_spec_; }
@@ -206,6 +222,13 @@ class Topology {
   /// memory traffic per logical byte, plus the CPU merge-engine budget.
   Result<std::vector<sim::PathHop>> CpuMemoryWorkPath(
       int socket, double amplification) const;
+
+  /// Path for one spill transfer: host memory <-> NVMe device `nvme`.
+  /// `write` = true stages data onto the device (membus read + nvme write);
+  /// false reads it back (nvme read + membus write). The nvme link is the
+  /// bottleneck by construction, so concurrent spills contend on it under
+  /// the usual max-min settling.
+  Result<std::vector<sim::PathHop>> NvmePath(int nvme, bool write) const;
 
   /// True if two GPUs are connected without traversing a CPU-CPU link
   /// (used by GPU-set selection, Section 5.4).
@@ -294,6 +317,11 @@ class Topology {
     NodeId node;
     sim::ResourceId hbm = -1;  // device memory resource
   };
+  struct NvmeDev {
+    NodeId node;
+    int socket;
+    int link_index;  // the "nvme<i>" link in links_
+  };
   struct Link {
     NodeId a;
     NodeId b;
@@ -328,6 +356,7 @@ class Topology {
   std::vector<NodeId> cpu_nodes_;
   std::vector<NodeId> memory_nodes_;  // per socket
   std::vector<Gpu> gpus_;
+  std::vector<NvmeDev> nvmes_;
   std::vector<Link> links_;
   CpuSpec cpu_spec_;
   sim::ResourceId cpu_merge_engine_ = -1;

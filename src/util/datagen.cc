@@ -60,6 +60,25 @@ std::size_t DataTypeSize(DataType t) {
   return 0;
 }
 
+const char* KeyKindToString(KeyKind k) {
+  switch (k) {
+    case KeyKind::kNumeric:
+      return "numeric";
+    case KeyKind::kString:
+      return "string";
+    case KeyKind::kRecord:
+      return "record";
+  }
+  return "unknown";
+}
+
+Result<KeyKind> KeyKindFromString(const std::string& name) {
+  if (name == "numeric") return KeyKind::kNumeric;
+  if (name == "string") return KeyKind::kString;
+  if (name == "record") return KeyKind::kRecord;
+  return Status::Invalid("unknown key kind: " + name);
+}
+
 namespace {
 
 // Maps a raw 64-bit random value to a key of type T spanning (most of) its

@@ -33,6 +33,15 @@ enum class DataType { kInt32, kInt64, kFloat32, kFloat64 };
 const char* DataTypeToString(DataType t);
 std::size_t DataTypeSize(DataType t);
 
+/// Key shape, orthogonal to DataType: the paper stops at fixed-width
+/// numerics (kNumeric); kString sorts variable-length strings through
+/// core::StringKey and kRecord multi-column rows through core::SortRecord
+/// (generators live in core/keygen.h — they need core types).
+enum class KeyKind { kNumeric, kString, kRecord };
+
+const char* KeyKindToString(KeyKind k);
+Result<KeyKind> KeyKindFromString(const std::string& name);
+
 /// Options controlling generation.
 struct DataGenOptions {
   Distribution distribution = Distribution::kUniform;

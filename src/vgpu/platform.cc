@@ -310,6 +310,35 @@ sim::Task<Status> Platform::CpuMemoryWork(int socket, double logical_bytes,
   co_return st;
 }
 
+sim::Task<Status> Platform::NvmeTransfer(int nvme, double logical_bytes,
+                                         bool write) {
+  auto path_or = topology_->NvmePath(nvme, write);
+  if (!path_or.ok()) co_return path_or.status();
+  const double begin = simulator_.Now();
+  const Status st =
+      co_await network_.Transfer(logical_bytes, std::move(*path_or));
+  const char* dir = write ? "spill-write" : "spill-read";
+  if (trace_) {
+    trace_->AddSpan("NVMe" + std::to_string(nvme),
+                    std::string(dir) + " " + FormatBytes(logical_bytes) +
+                        (st.ok() ? "" : " [failed]"),
+                    begin, simulator_.Now());
+  }
+  if (metrics_) {
+    metrics_
+        ->GetHistogram(obs::kCpuPhaseSeconds, {{"phase", dir}},
+                       "Simulated CPU phase durations")
+        .Observe(simulator_.Now() - begin);
+    metrics_
+        ->GetCounter(obs::kNvmeBytes,
+                     {{"nvme", std::to_string(nvme)},
+                      {"dir", write ? "write" : "read"}},
+                     "Bytes spilled to / read back from NVMe storage")
+        .Add(logical_bytes);
+  }
+  co_return st;
+}
+
 Status Platform::ConsultCopyOracle(const CopyFaultContext& ctx) {
   return fault_oracle_ ? fault_oracle_->OnCopyDelivered(ctx) : Status::OK();
 }

@@ -271,6 +271,13 @@ class Platform {
   sim::Task<Status> CpuMemoryWork(int socket, double logical_bytes,
                                   double amplification, double engine_weight);
 
+  /// One spill transfer between host memory and NVMe device `nvme`
+  /// (`write` stages onto the device; otherwise reads back). Bills
+  /// `logical_bytes` across the membus and the nvme link; returns
+  /// kUnavailable when the nvme link is down or taken down mid-flight
+  /// (callers retry with backoff, like any faulted copy).
+  sim::Task<Status> NvmeTransfer(int nvme, double logical_bytes, bool write);
+
   /// Runs `root` to completion on this platform's simulator and returns the
   /// simulated seconds it took.
   Result<double> Run(sim::Task<void> root);

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Selftest for bench/compare.py: the perf gate must pass on identical
-numbers, fail on a >tolerance regression (tampered baseline), fail on a
-dropped benchmark, and tolerate improvements and new benchmarks."""
+numbers (with an explicit success summary), fail on a >tolerance regression
+(tampered baseline), fail on a dropped benchmark, fail clearly — not with a
+traceback — on malformed baseline JSON, and tolerate improvements and new
+benchmarks."""
 
 import json
 import os
@@ -22,13 +24,20 @@ def bench_doc(times):
 
 
 def run(compare, base, cur, extra=None):
+    return run_proc(compare, base, cur, extra).returncode
+
+
+def run_proc(compare, base, cur, extra=None, raw_baseline=None):
     with tempfile.TemporaryDirectory() as d:
         bp = os.path.join(d, "base.json")
         cp = os.path.join(d, "cur.json")
-        json.dump(bench_doc(base), open(bp, "w"))
+        if raw_baseline is None:
+            json.dump(bench_doc(base), open(bp, "w"))
+        else:
+            open(bp, "w").write(raw_baseline)
         json.dump(bench_doc(cur), open(cp, "w"))
         argv = [sys.executable, compare, bp, cp] + (extra or [])
-        return subprocess.run(argv, capture_output=True, text=True).returncode
+        return subprocess.run(argv, capture_output=True, text=True)
 
 
 def main():
@@ -59,9 +68,27 @@ def main():
               {"BM_A/1": 100.0, "BM_B/2": 2000.0, "BM_C/3": 5.0}), 0)
     check("empty baseline is an error", run(compare, {}, base), 2)
 
+    # A truncated / hand-mangled baseline must exit 2 with a message naming
+    # the file — never a traceback.
+    broken = run_proc(compare, None, base, raw_baseline='{"benchmarks": [tru')
+    check("malformed baseline JSON is an error", broken.returncode, 2)
+    if "malformed JSON in baseline" not in broken.stderr:
+        failures.append("malformed baseline: missing clear stderr message, "
+                        f"got: {broken.stderr!r}")
+    if "Traceback" in broken.stderr:
+        failures.append("malformed baseline: crashed with a traceback")
+
+    # A clean pass must say so explicitly (per-baseline summary line), so a
+    # green CI log shows which gates actually ran.
+    passed = run_proc(compare, base, dict(base))
+    check("success summary exit code", passed.returncode, 0)
+    if "compare.py: OK" not in passed.stdout or "base.json" not in passed.stdout:
+        failures.append("success run: missing 'compare.py: OK ... base.json' "
+                        f"summary, got: {passed.stdout!r}")
+
     for f in failures:
         print("FAIL:", f)
-    print(f"{8 - len(failures)}/8 checks passed")
+    print(f"{12 - len(failures)}/12 checks passed")
     return 1 if failures else 0
 
 

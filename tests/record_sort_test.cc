@@ -1,0 +1,147 @@
+// Multi-column record sorting: the composed (a, b) normalized key plus the
+// c tie-break must order records exactly like a reference ORDER BY a, b, c —
+// randomized A/B against std::stable_sort with an explicit three-column
+// comparator, through both the CPU radix paths (prefix-only traits + tie
+// fix-up) and the multi-GPU sorters.
+
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/gpu_set.h"
+#include "core/keygen.h"
+#include "core/p2p_sort.h"
+#include "cpusort/lsb_radix_sort.h"
+#include "cpusort/paradis_sort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+using cpusort::LsbRadixSort;
+using cpusort::ParadisSort;
+
+/// Reference ORDER BY (a, b, c): the order SortRecord's composed key +
+/// tie-break must reproduce. rowid is payload and deliberately not compared.
+bool ThreeColumnLess(const SortRecord& x, const SortRecord& y) {
+  if (x.a() != y.a()) return x.a() < y.a();
+  if (x.b() != y.b()) return x.b() < y.b();
+  return x.c < y.c;
+}
+
+std::vector<SortRecord> RandomRecords(int n, std::uint64_t seed) {
+  // Tiny column domains so every tie shape — equal a, equal (a, b), fully
+  // equal keys with distinct payloads — occurs often.
+  SplitMix64 rng(seed);
+  std::vector<SortRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.Next() % 16) - 8;
+    const auto b = static_cast<std::int32_t>(rng.Next() % 8) - 4;
+    const auto c = static_cast<std::int64_t>(rng.Next() % 4);
+    records.push_back(
+        SortRecord::Make(a, b, c, static_cast<std::uint64_t>(i)));
+  }
+  return records;
+}
+
+TEST(SortRecordOrder, ComposedKeyMatchesThreeColumnComparator) {
+  auto records = RandomRecords(3000, 5);
+  for (std::size_t i = 0; i < records.size(); i += 7) {
+    for (std::size_t j = 0; j < records.size(); j += 11) {
+      EXPECT_EQ(records[i] < records[j],
+                ThreeColumnLess(records[i], records[j]))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(SortRecordOrder, RoundTripsColumns) {
+  SplitMix64 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.Next());
+    const auto b = static_cast<std::int32_t>(rng.Next());
+    const SortRecord r = SortRecord::Make(a, b, 0, 0);
+    EXPECT_EQ(r.a(), a);
+    EXPECT_EQ(r.b(), b);
+  }
+}
+
+/// A/B harness: sort with `sorter`, compare against std::stable_sort with
+/// the three-column comparator. Key order must match exactly; payloads may
+/// permute within fully-equal-key runs (the sorters are not stable), so
+/// equal runs are compared as rowid multisets.
+template <typename Sorter>
+void ExpectAbEquivalent(std::vector<SortRecord> records, Sorter&& sorter) {
+  auto expected = records;
+  std::stable_sort(expected.begin(), expected.end(), ThreeColumnLess);
+  sorter(records);
+  ASSERT_EQ(records.size(), expected.size());
+  std::size_t i = 0;
+  while (i < records.size()) {
+    ASSERT_EQ(records[i].norm, expected[i].norm) << "at " << i;
+    ASSERT_EQ(records[i].c, expected[i].c) << "at " << i;
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].norm == records[i].norm &&
+           records[j].c == records[i].c) {
+      ++j;
+    }
+    std::vector<std::uint64_t> got, want;
+    for (std::size_t k = i; k < j; ++k) {
+      got.push_back(records[k].rowid);
+      want.push_back(expected[k].rowid);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "payload multiset diverges in run at " << i;
+    i = j;
+  }
+}
+
+TEST(SortRecordAb, LsbRadixVsStableSort) {
+  ExpectAbEquivalent(RandomRecords(20000, 21), [](auto& records) {
+    std::vector<SortRecord> aux(records.size());
+    LsbRadixSort(records.data(), aux.data(),
+                 static_cast<std::int64_t>(records.size()));
+  });
+}
+
+TEST(SortRecordAb, ParadisVsStableSort) {
+  ExpectAbEquivalent(RandomRecords(30000, 22), [](auto& records) {
+    ParadisSort(records.data(), static_cast<std::int64_t>(records.size()));
+  });
+}
+
+TEST(SortRecordAb, StdSortVsStableSort) {
+  ExpectAbEquivalent(RandomRecords(10000, 23), [](auto& records) {
+    std::sort(records.begin(), records.end());
+  });
+}
+
+TEST(SortRecordAb, GeneratedRecordsP2pVsStableSort) {
+  auto platform =
+      CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem("dgx-a100"))));
+  DataGenOptions gen;
+  gen.seed = 31;
+  auto records = GenerateRecords(200000, gen);
+  auto expected = records;
+  std::stable_sort(expected.begin(), expected.end(), ThreeColumnLess);
+  vgpu::HostBuffer<SortRecord> data(std::move(records));
+  SortOptions options;
+  options.gpu_set = CheckOk(ChooseGpuSet(platform->topology(), 4, true));
+  auto stats = P2pSort(platform.get(), &data, options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const auto& sorted = data.vector();
+  ASSERT_EQ(sorted.size(), expected.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].norm, expected[i].norm) << "at " << i;
+    EXPECT_EQ(sorted[i].c, expected[i].c) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mgs::core

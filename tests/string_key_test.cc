@@ -1,0 +1,227 @@
+// Property tests for variable-length string keys: the 8-byte normalized
+// prefix plus cold-path tie-break must equal full lexicographic order on
+// adversarial inputs (shared prefixes past 8 bytes, embedded NULs, empty
+// strings), and every sorter — comparison, radix (with the prefix-tie
+// fix-up), and the multi-GPU paths — must agree with a reference sort of
+// the underlying strings.
+
+#include "core/string_key.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/keygen.h"
+#include "core/p2p_sort.h"
+#include "core/het_sort.h"
+#include "core/gpu_set.h"
+#include "cpusort/lsb_radix_sort.h"
+#include "cpusort/paradis_sort.h"
+#include "topo/systems.h"
+#include "util/datagen.h"
+
+namespace mgs::core {
+namespace {
+
+using cpusort::LsbRadixSort;
+using cpusort::ParadisSort;
+
+/// Adversarial corpus: everything that stresses the prefix boundary.
+std::vector<std::string> AdversarialStrings() {
+  std::vector<std::string> out = {
+      "",                          // empty
+      std::string(1, '\0'),        // single NUL
+      std::string(8, '\0'),        // all-NUL prefix, length 8
+      std::string(9, '\0'),        // all-NUL prefix, longer than 8
+      "a",
+      "ab",
+      "abcdefgh",                  // exactly prefix-sized
+      "abcdefgha",                 // extends the previous by one byte
+      "abcdefghz",
+      "abcdefgh\x01",
+      std::string("abcdefgh") + std::string(1, '\0'),  // NUL in byte 9
+      "abcdefg",                   // one short of the prefix
+      "sharedprefix-0123456789",   // shared >8-byte prefixes ...
+      "sharedprefix-0123456790",
+      "sharedprefix-01234567",
+      "sharedprefix-",
+      std::string("emb\0edded", 9),      // NUL inside the prefix
+      std::string("emb\0edded!", 10),
+      std::string("embedded-nul-after-prefix\0x", 27),
+      std::string("embedded-nul-after-prefix\0y", 27),
+      "\x7f\x7f\x7f\x7f\x7f\x7f\x7f\x7f\x7f",
+      "zzzzzzzzzzzzzzzz",
+  };
+  // Duplicates: equal keys must compare equivalent, not less.
+  out.push_back("sharedprefix-0123456789");
+  out.push_back("");
+  return out;
+}
+
+TEST(StringKeyOrder, MatchesLexicographicOnAdversarialPairs) {
+  StringArena arena;
+  const auto strings = AdversarialStrings();
+  std::vector<StringKey> keys;
+  for (const auto& s : strings) keys.push_back(arena.Add(s));
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    for (std::size_t j = 0; j < strings.size(); ++j) {
+      const bool expect_lt =
+          std::string_view(strings[i]) < std::string_view(strings[j]);
+      const bool expect_eq = strings[i] == strings[j];
+      EXPECT_EQ(keys[i] < keys[j], expect_lt)
+          << "i=" << i << " j=" << j << " a=\"" << strings[i] << "\" b=\""
+          << strings[j] << '"';
+      EXPECT_EQ(keys[i] == keys[j], expect_eq) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(StringKeyOrder, MatchesLexicographicOnRandomStrings) {
+  SplitMix64 rng(0xfeedface);
+  StringArena arena;
+  std::vector<std::string> strings;
+  std::vector<StringKey> keys;
+  for (int i = 0; i < 2000; ++i) {
+    // Short lengths around the 8-byte boundary and a tiny alphabet so that
+    // shared prefixes, ties, and exact duplicates all occur frequently.
+    const std::size_t len = rng.Next() % 14;
+    std::string s;
+    for (std::size_t k = 0; k < len; ++k) {
+      s.push_back(static_cast<char>('a' + rng.Next() % 3));
+    }
+    strings.push_back(s);
+    keys.push_back(arena.Add(strings.back()));
+  }
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::size_t i = rng.Next() % strings.size();
+    const std::size_t j = rng.Next() % strings.size();
+    EXPECT_EQ(keys[i] < keys[j],
+              std::string_view(strings[i]) < std::string_view(strings[j]))
+        << "a=\"" << strings[i] << "\" b=\"" << strings[j] << '"';
+  }
+}
+
+TEST(StringKeyOrder, SentinelRanksAboveEverything) {
+  StringArena arena;
+  const StringKey max = SortableLimits<StringKey>::Max();
+  for (const auto& s : AdversarialStrings()) {
+    const StringKey k = arena.Add(s);
+    EXPECT_TRUE(k < max) << '"' << s << '"';
+    EXPECT_FALSE(max < k);
+  }
+  EXPECT_FALSE(max < max);
+}
+
+/// Sorted key sequence must equal the sorted string sequence, element for
+/// element (not just is_sorted: ties must keep the full multiset).
+void ExpectMatchesReference(const std::vector<StringKey>& keys,
+                            std::vector<std::string> strings) {
+  std::sort(strings.begin(), strings.end());
+  ASSERT_EQ(keys.size(), strings.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i].view(), std::string_view(strings[i])) << "at " << i;
+  }
+}
+
+TEST(StringKeyRadix, LsbRadixEqualsComparisonSort) {
+  SplitMix64 rng(11);
+  StringArena arena;
+  std::vector<std::string> strings;
+  // Heavy on shared >8-byte prefixes so FixupPrefixTies has real work.
+  for (int i = 0; i < 5000; ++i) {
+    std::string s = (i % 3 == 0) ? "shared-long-prefix-" : "";
+    const std::size_t len = rng.Next() % 10;
+    for (std::size_t k = 0; k < len; ++k) {
+      s.push_back(static_cast<char>('a' + rng.Next() % 4));
+    }
+    strings.push_back(std::move(s));
+  }
+  std::vector<StringKey> keys;
+  for (const auto& s : strings) keys.push_back(arena.Add(s));
+  std::vector<StringKey> aux(keys.size());
+  LsbRadixSort(keys.data(), aux.data(),
+               static_cast<std::int64_t>(keys.size()));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  ExpectMatchesReference(keys, strings);
+}
+
+TEST(StringKeyRadix, ParadisEqualsComparisonSort) {
+  DataGenOptions gen;
+  gen.seed = 99;
+  gen.distribution = Distribution::kNearlySorted;  // URL generator: long
+                                                   // shared domain prefixes
+  StringArena arena;
+  auto keys = GenerateStringKeys(20000, gen, &arena);
+  std::vector<std::string> strings;
+  for (const auto& k : keys) strings.emplace_back(k.view());
+  ParadisSort(keys.data(), static_cast<std::int64_t>(keys.size()));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  ExpectMatchesReference(keys, strings);
+}
+
+TEST(StringKeyGen, DeterministicForSeed) {
+  DataGenOptions gen;
+  gen.seed = 1234;
+  gen.distribution = Distribution::kZipf;
+  StringArena a1, a2;
+  auto k1 = GenerateStringKeys(500, gen, &a1);
+  auto k2 = GenerateStringKeys(500, gen, &a2);
+  ASSERT_EQ(k1.size(), k2.size());
+  for (std::size_t i = 0; i < k1.size(); ++i) {
+    EXPECT_EQ(k1[i].view(), k2[i].view()) << "at " << i;
+  }
+}
+
+struct GpuStringCase {
+  const char* algo;
+  Distribution dist;
+};
+
+class GpuStringSortSweep : public ::testing::TestWithParam<GpuStringCase> {};
+
+TEST_P(GpuStringSortSweep, SortsStringsOnTheSimulatedMachine) {
+  const auto& c = GetParam();
+  auto platform =
+      CheckOk(vgpu::Platform::Create(CheckOk(topo::MakeSystem("dgx-a100"))));
+  DataGenOptions gen;
+  gen.seed = 7;
+  gen.distribution = c.dist;
+  StringArena arena;
+  auto keys = GenerateStringKeys(200000, gen, &arena);
+  std::vector<std::string> strings;
+  for (const auto& k : keys) strings.emplace_back(k.view());
+  vgpu::HostBuffer<StringKey> data(std::move(keys));
+  Result<SortStats> stats = Status::Internal("unset");
+  if (std::string_view(c.algo) == "p2p") {
+    SortOptions options;
+    options.gpu_set = CheckOk(ChooseGpuSet(platform->topology(), 4, true));
+    stats = P2pSort(platform.get(), &data, options);
+  } else {
+    HetOptions options;
+    options.gpu_set = CheckOk(ChooseGpuSet(platform->topology(), 4, false));
+    stats = HetSort(platform.get(), &data, options);
+  }
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(std::is_sorted(data.vector().begin(), data.vector().end()));
+  ExpectMatchesReference(data.vector(), std::move(strings));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GpuStringSortSweep,
+    ::testing::Values(GpuStringCase{"p2p", Distribution::kUniform},
+                      GpuStringCase{"p2p", Distribution::kZipf},
+                      GpuStringCase{"het", Distribution::kNearlySorted}),
+    [](const ::testing::TestParamInfo<GpuStringCase>& info) {
+      std::string name = info.param.algo;
+      name += "_";
+      for (char ch : std::string(DistributionToString(info.param.dist))) {
+        name += ch == '-' ? '_' : ch;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mgs::core
